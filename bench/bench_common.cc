@@ -1,0 +1,203 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+
+#include "baselines/gca.h"
+#include "baselines/graphcl.h"
+#include "baselines/node2vec.h"
+#include "baselines/rne_lite.h"
+#include "baselines/srn2vec.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "traj/map_matching.h"
+#include "traj/trajectory_generator.h"
+
+namespace sarn::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::atof(value);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+BenchEnv GetEnv() {
+  BenchEnv env;
+  env.scale = EnvDouble("SARN_SCALE", env.scale);
+  env.epochs = EnvInt("SARN_EPOCHS", env.epochs);
+  env.reps = EnvInt("SARN_REPS", env.reps);
+  env.trajectories = EnvInt("SARN_TRAJS", env.trajectories);
+  env.traj_max_segments = EnvInt("SARN_TRAJ_SEGMENTS", env.traj_max_segments);
+  return env;
+}
+
+roadnet::RoadNetwork BuildCity(const std::string& name, const BenchEnv& env) {
+  return roadnet::GenerateSyntheticCity(roadnet::CityConfigByName(name, env.scale));
+}
+
+core::SarnConfig BenchSarnConfig(const BenchEnv& env, uint64_t seed,
+                                 const roadnet::RoadNetwork& network) {
+  core::SarnConfig config;
+  config.seed = 42 + seed;
+  config.hidden_dim = 64;
+  config.embedding_dim = 64;
+  config.projection_dim = 32;
+  config.gat_layers = 2;
+  config.gat_heads = 4;
+  config.feature_dim_per_feature = 8;
+  config.max_epochs = env.epochs;
+  config.patience = std::max(5, env.epochs / 3);
+  // Fewer optimizer steps than the paper's 46k -> a faster-moving target.
+  config.momentum = 0.99f;
+  // Slightly denser A^s than the library default: at reduced scale the
+  // spatial-edge signal needs a few more neighbors per segment.
+  config.max_spatial_neighbors = 6;
+  core::FitCellSideToNetwork(config, network, /*target_cells_per_axis=*/10);
+  return config;
+}
+
+const std::vector<std::string>& SelfSupervisedMethods() {
+  static const auto& methods = *new std::vector<std::string>{
+      "node2vec", "SRN2Vec", "GraphCL", "GCA", "SARN"};
+  return methods;
+}
+
+EmbeddingRun RunMethod(const std::string& name, const roadnet::RoadNetwork& network,
+                       const BenchEnv& env, uint64_t seed) {
+  Timer timer;
+  EmbeddingRun run;
+  if (name == "node2vec") {
+    baselines::Node2VecConfig config;
+    config.seed = 17 + seed;
+    config.dim = 64;
+    config.walk.walk_length = 40;
+    config.walk.walks_per_vertex = 6;
+    config.epochs = std::max(2, env.epochs / 6);
+    run.embeddings = baselines::TrainNode2Vec(network, config);
+  } else if (name == "SRN2Vec") {
+    baselines::Srn2VecConfig config;
+    config.seed = 31 + seed;
+    config.dim = 64;
+    config.max_epochs = env.epochs;
+    run.embeddings = baselines::TrainSrn2Vec(network, config).embeddings;
+  } else if (name == "GraphCL") {
+    baselines::GraphClConfig config;
+    config.seed = 23 + seed;
+    config.max_epochs = env.epochs;
+    config.feature_dim_per_feature = 8;
+    run.embeddings = baselines::TrainGraphCl(network, config).embeddings;
+  } else if (name == "GCA") {
+    baselines::GcaConfig config;
+    config.seed = 29 + seed;
+    config.max_epochs = env.epochs;
+    config.feature_dim_per_feature = 8;
+    baselines::GcaResult result = baselines::TrainGca(network, config);
+    run.out_of_memory = result.out_of_memory;
+    if (!result.out_of_memory) run.embeddings = result.embeddings;
+  } else if (name == "SARN") {
+    core::SarnConfig config = BenchSarnConfig(env, seed, network);
+    core::SarnModel model(network, config);
+    model.Train();
+    run.embeddings = model.Embeddings();
+  } else if (name == "RNE") {
+    baselines::RneLiteConfig config;
+    config.seed = 37 + seed;
+    config.dim = 64;
+    config.max_epochs = env.epochs;
+    config.sources_per_epoch = 48;
+    config.targets_per_source = 96;
+    double extent = std::max(network.bounding_box().WidthMeters(),
+                             network.bounding_box().HeightMeters());
+    config.zone_cell_meters = std::max(200.0, extent / 5.0);
+    run.embeddings = baselines::TrainRneLite(network, config).embeddings;
+  } else {
+    SARN_CHECK(false) << "unknown method " << name;
+  }
+  run.train_seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+std::unique_ptr<core::SarnModel> TrainSarn(const roadnet::RoadNetwork& network,
+                                           const core::SarnConfig& config) {
+  auto model = std::make_unique<core::SarnModel>(network, config);
+  model->Train();
+  return model;
+}
+
+std::vector<traj::MatchedTrajectory> MakeTrajectories(const roadnet::RoadNetwork& network,
+                                                      int count, int max_segments,
+                                                      uint64_t seed, int legs) {
+  traj::TrajectoryGeneratorConfig config;
+  config.seed = 13 + seed;
+  config.min_route_segments = 8;
+  config.legs = legs;
+  config.max_route_segments = std::max(220, max_segments + 40);
+  traj::TrajectoryGenerator generator(network, config);
+  traj::MapMatcher matcher(network);
+  std::vector<traj::MatchedTrajectory> matched;
+  for (const auto& trip : generator.Generate(count)) {
+    traj::MatchedTrajectory m = matcher.Match(trip.gps);
+    if (m.segments.size() >= 2) {
+      matched.push_back(traj::TruncateSegments(m, static_cast<size_t>(max_segments)));
+    }
+  }
+  return matched;
+}
+
+void Stat::Add(double value) {
+  // Online update of mean and sum of squared deviations (Welford).
+  ++count;
+  double delta = value - mean;
+  mean += delta / count;
+  stddev += delta * (value - mean);  // Accumulates M2 until Cell().
+}
+
+std::string Stat::Cell(int decimals) const {
+  double variance = count > 1 ? stddev / (count - 1) : 0.0;
+  char buffer[64];
+  if (count > 1) {
+    std::snprintf(buffer, sizeof(buffer), "%.*f±%.*f", decimals, mean, decimals,
+                  std::sqrt(std::max(0.0, variance)));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, mean);
+  }
+  return buffer;
+}
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  for (int w : widths) {
+    for (int i = 0; i < w + 2; ++i) std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s  ", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Num(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace sarn::bench

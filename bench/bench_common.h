@@ -1,0 +1,99 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary reads the same environment knobs:
+//   SARN_SCALE  — city size multiplier (1.0 = paper-size networks; default
+//                 keeps each bench in the minutes range on a laptop).
+//   SARN_EPOCHS — self-supervised training epochs per method.
+//   SARN_REPS   — repetitions with different seeds (paper: 5; default 1).
+//   SARN_TRAJS  — trajectories per trajectory dataset.
+// Results print as fixed-width tables mirroring the paper's layout; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+
+#ifndef SARN_BENCH_BENCH_COMMON_H_
+#define SARN_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sarn_model.h"
+#include "roadnet/road_network.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/road_property_task.h"
+#include "tasks/spd_task.h"
+#include "tasks/traj_similarity_task.h"
+#include "tensor/tensor.h"
+#include "traj/trajectory.h"
+
+namespace sarn::bench {
+
+struct BenchEnv {
+  double scale = 0.02;
+  int epochs = 20;
+  int reps = 1;
+  int trajectories = 240;
+  int traj_max_segments = 60;
+};
+
+/// Reads SARN_* environment overrides.
+BenchEnv GetEnv();
+
+/// Builds the named synthetic city ("CD", "BJ", "SF", "SF-S", "SF-L").
+roadnet::RoadNetwork BuildCity(const std::string& name, const BenchEnv& env);
+
+/// SARN hyper-parameters scaled for bench runtimes (paper defaults
+/// otherwise); the negative-sampling grid is fitted to the network extent.
+/// `seed` shifts all stochastic components per repetition.
+core::SarnConfig BenchSarnConfig(const BenchEnv& env, uint64_t seed,
+                                 const roadnet::RoadNetwork& network);
+
+/// One trained embedding method.
+struct EmbeddingRun {
+  tensor::Tensor embeddings;  // Undefined on OOM.
+  double train_seconds = 0.0;
+  bool out_of_memory = false;
+};
+
+/// Self-supervised method names in paper order.
+const std::vector<std::string>& SelfSupervisedMethods();  // node2vec..SARN
+
+/// Trains one self-supervised method ("node2vec", "SRN2Vec", "GraphCL",
+/// "GCA", "SARN") or the supervised-reused "RNE".
+EmbeddingRun RunMethod(const std::string& name, const roadnet::RoadNetwork& network,
+                       const BenchEnv& env, uint64_t seed);
+
+/// Trains a full SARN model (for SARN* fine-tuning and the ablations).
+std::unique_ptr<core::SarnModel> TrainSarn(const roadnet::RoadNetwork& network,
+                                           const core::SarnConfig& config);
+
+/// Generates, map-matches and truncates a trajectory dataset. `legs` > 1
+/// chains multiple OD trips per trajectory (long-trajectory sweeps).
+std::vector<traj::MatchedTrajectory> MakeTrajectories(const roadnet::RoadNetwork& network,
+                                                      int count, int max_segments,
+                                                      uint64_t seed, int legs = 1);
+
+// --- Aggregation over repetitions ------------------------------------------
+
+struct Stat {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int count = 0;
+
+  void Add(double value);
+  /// "96.75±0.81"-style cell.
+  std::string Cell(int decimals = 2) const;
+};
+
+// --- Table printing -----------------------------------------------------------
+
+void PrintTitle(const std::string& title);
+void PrintRule(const std::vector<int>& widths);
+void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths);
+
+/// "93.42" with the given decimals.
+std::string Num(double value, int decimals = 2);
+
+}  // namespace sarn::bench
+
+#endif  // SARN_BENCH_BENCH_COMMON_H_

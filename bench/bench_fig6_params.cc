@@ -1,0 +1,146 @@
+// Reproduces Figure 6: SARN parameter studies on the SF-like network,
+// measured with the trajectory-similarity task (HR@5 / HR@20), as in the
+// paper:
+//   6a: embedding dimensionality d        (paper 32..512; scaled 16..128)
+//   6b: cell side length clen             (fractions of the network extent)
+//   6c: loss trade-off lambda             (0..1)
+//   6d: negative-queue budget K           (250..2000)
+//   6e: corruption-rate grid rho_t x rho_s (0.2..0.8)
+//
+// Usage: bench_fig6_params [d|clen|lambda|k|rho|all]   (default: all)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "tasks/embedding_source.h"
+
+namespace sarn::bench {
+namespace {
+
+struct Sweep {
+  roadnet::RoadNetwork* network = nullptr;
+  tasks::TrajectorySimilarityTask* task = nullptr;
+  BenchEnv env;
+};
+
+struct Point {
+  double hr5;
+  double hr20;
+};
+
+Point Measure(Sweep& sweep, const core::SarnConfig& config) {
+  auto model = TrainSarn(*sweep.network, config);
+  tasks::FrozenEmbeddingSource source(model->Embeddings());
+  tasks::TrajSimResult r = sweep.task->Evaluate(source);
+  return {100.0 * r.hr5, 100.0 * r.hr20};
+}
+
+void SweepD(Sweep& sweep) {
+  PrintTitle("Fig 6a: embedding dimensionality d");
+  std::vector<int> widths = {10, 10, 10};
+  PrintRow({"d", "HR@5", "HR@20"}, widths);
+  PrintRule(widths);
+  for (int64_t d : {16, 32, 64, 128}) {
+    core::SarnConfig config = BenchSarnConfig(sweep.env, 0, *sweep.network);
+    config.embedding_dim = d;
+    config.hidden_dim = d;
+    config.projection_dim = std::max<int64_t>(8, d / 2);
+    Point p = Measure(sweep, config);
+    PrintRow({std::to_string(d), Num(p.hr5, 1), Num(p.hr20, 1)}, widths);
+  }
+  std::printf("Paper shape: rises to a peak (d=128 at full scale), then over-fits.\n");
+}
+
+void SweepClen(Sweep& sweep) {
+  PrintTitle("Fig 6b: cell side length clen");
+  std::vector<int> widths = {12, 10, 10};
+  PrintRow({"clen (m)", "HR@5", "HR@20"}, widths);
+  PrintRule(widths);
+  double extent = std::max(sweep.network->bounding_box().WidthMeters(),
+                           sweep.network->bounding_box().HeightMeters());
+  for (double fraction : {1.0 / 12, 1.0 / 8, 1.0 / 6, 1.0 / 4, 1.0 / 2}) {
+    core::SarnConfig config = BenchSarnConfig(sweep.env, 0, *sweep.network);
+    config.cell_side_meters = std::max(100.0, extent * fraction);
+    Point p = Measure(sweep, config);
+    PrintRow({Num(config.cell_side_meters, 0), Num(p.hr5, 1), Num(p.hr20, 1)}, widths);
+  }
+  std::printf("Paper shape: peak at an intermediate clen (600 m on SF); too-small\n"
+              "cells starve local negatives, too-large cells drown the global loss.\n");
+}
+
+void SweepLambda(Sweep& sweep) {
+  PrintTitle("Fig 6c: loss trade-off lambda");
+  std::vector<int> widths = {10, 10, 10};
+  PrintRow({"lambda", "HR@5", "HR@20"}, widths);
+  PrintRule(widths);
+  for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    core::SarnConfig config = BenchSarnConfig(sweep.env, 0, *sweep.network);
+    config.lambda = lambda;
+    Point p = Measure(sweep, config);
+    PrintRow({Num(lambda, 1), Num(p.hr5, 1), Num(p.hr20, 1)}, widths);
+  }
+  std::printf("Paper shape: best in [0.3, 0.5]; lambda = 1 (local-only) collapses.\n");
+}
+
+void SweepK(Sweep& sweep) {
+  PrintTitle("Fig 6d: negative sample budget K");
+  std::vector<int> widths = {10, 10, 10};
+  PrintRow({"K", "HR@5", "HR@20"}, widths);
+  PrintRule(widths);
+  for (int k : {250, 500, 1000, 2000}) {
+    core::SarnConfig config = BenchSarnConfig(sweep.env, 0, *sweep.network);
+    config.queue_budget = k;
+    Point p = Measure(sweep, config);
+    PrintRow({std::to_string(k), Num(p.hr5, 1), Num(p.hr20, 1)}, widths);
+  }
+  std::printf("Paper shape: monotone gains with K, saturating past 1000.\n");
+}
+
+void SweepRho(Sweep& sweep) {
+  PrintTitle("Fig 6e: corruption rates rho_t x rho_s (HR@5)");
+  std::vector<double> rates = {0.2, 0.4, 0.6, 0.8};
+  std::vector<int> widths = {12, 9, 9, 9, 9};
+  PrintRow({"rho_s \\ rho_t", "0.2", "0.4", "0.6", "0.8"}, widths);
+  PrintRule(widths);
+  for (double rho_s : rates) {
+    std::vector<std::string> row = {Num(rho_s, 1)};
+    for (double rho_t : rates) {
+      core::SarnConfig config = BenchSarnConfig(sweep.env, 0, *sweep.network);
+      config.rho_t = rho_t;
+      config.rho_s = rho_s;
+      Point p = Measure(sweep, config);
+      row.push_back(Num(p.hr5, 1));
+    }
+    PrintRow(row, widths);
+  }
+  std::printf("Paper shape: best near (0.4, 0.4); high rates hurt, and corrupting\n"
+              "spatial edges (rho_s) hurts faster than corrupting topological ones.\n");
+}
+
+void Run(const std::string& which) {
+  BenchEnv env = GetEnv();
+  roadnet::RoadNetwork network = BuildCity("SF", env);
+  std::printf("[SF] %lld segments\n", static_cast<long long>(network.num_segments()));
+  std::vector<traj::MatchedTrajectory> trajectories =
+      MakeTrajectories(network, env.trajectories, env.traj_max_segments, 0);
+  tasks::TrajSimConfig traj_config;
+  tasks::TrajectorySimilarityTask task(network, trajectories, traj_config);
+  Sweep sweep{&network, &task, env};
+
+  if (which == "d" || which == "all") SweepD(sweep);
+  if (which == "clen" || which == "all") SweepClen(sweep);
+  if (which == "lambda" || which == "all") SweepLambda(sweep);
+  if (which == "k" || which == "all") SweepK(sweep);
+  if (which == "rho" || which == "all") SweepRho(sweep);
+}
+
+}  // namespace
+}  // namespace sarn::bench
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "all";
+  sarn::bench::Run(which);
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind the
+// reproduction: tensor ops, GAT forward/backward, Dijkstra, Fréchet, A^s
+// construction, graph augmentation and the negative-sampling queues.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/augmentation.h"
+#include "core/negative_queue.h"
+#include "core/spatial_similarity.h"
+#include "graph/dijkstra.h"
+#include "nn/gat.h"
+#include "roadnet/features.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+#include "traj/frechet.h"
+
+namespace sarn {
+namespace {
+
+const roadnet::RoadNetwork& TestNetwork() {
+  static const roadnet::RoadNetwork& network = *new roadnet::RoadNetwork([] {
+    roadnet::SyntheticCityConfig config;
+    config.rows = 20;
+    config.cols = 20;
+    return roadnet::GenerateSyntheticCity(config);
+  }());
+  return network;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, rng).RequiresGrad();
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, rng).RequiresGrad();
+  for (auto _ : state) {
+    tensor::Tensor loss = tensor::Sum(tensor::MatMul(a, b));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(64)->Arg(128);
+
+void BM_GatForward(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(2);
+  nn::GatLayer layer(32, 16, 4, true, nn::Activation::kElu, rng);
+  tensor::Tensor x = tensor::Tensor::Randn({network.num_segments(), 32}, rng);
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) edges.Add(e.from, e.to);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(x, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * network.num_segments());
+}
+BENCHMARK(BM_GatForward);
+
+void BM_GatForwardBackward(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(2);
+  nn::GatLayer layer(32, 16, 4, true, nn::Activation::kElu, rng);
+  tensor::Tensor x = tensor::Tensor::Randn({network.num_segments(), 32}, rng);
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) edges.Add(e.from, e.to);
+  for (auto _ : state) {
+    tensor::Tensor loss = tensor::Sum(layer.Forward(x, edges));
+    loss.Backward();
+  }
+}
+BENCHMARK(BM_GatForwardBackward);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  graph::CsrGraph g = network.ToLengthWeightedGraph();
+  Rng rng(3);
+  for (auto _ : state) {
+    graph::VertexId source = rng.UniformInt(0, g.num_vertices() - 1);
+    benchmark::DoNotOptimize(Dijkstra(g, source));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_DiscreteFrechet(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(4);
+  geo::LocalProjection proj(geo::LatLng{30.0, 104.0});
+  std::vector<geo::LatLng> a, b;
+  for (int64_t i = 0; i < n; ++i) {
+    a.push_back(proj.ToLatLng(i * 50.0, rng.Uniform(0, 100)));
+    b.push_back(proj.ToLatLng(i * 50.0, rng.Uniform(100, 200)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::DiscreteFrechet(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DiscreteFrechet)->Arg(60)->Arg(180);
+
+void BM_BuildSpatialEdges(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  core::SpatialSimilarityConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildSpatialEdges(network, config));
+  }
+  state.SetItemsProcessed(state.iterations() * network.num_segments());
+}
+BENCHMARK(BM_BuildSpatialEdges);
+
+void BM_AugmentGraph(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  std::vector<core::SpatialEdge> spatial =
+      core::BuildSpatialEdges(network, core::SpatialSimilarityConfig{});
+  core::AugmentationConfig config;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::AugmentGraph(network.topo_edges(), spatial, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (network.topo_edges().size() + spatial.size()));
+}
+BENCHMARK(BM_AugmentGraph);
+
+void BM_NegativeQueueCycle(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  core::NegativeQueueStore store(network, 400.0, 1000);
+  Rng rng(6);
+  std::vector<float> embedding(32, 0.5f);
+  for (int64_t s = 0; s < network.num_segments(); ++s) store.Push(s, embedding);
+  for (auto _ : state) {
+    int64_t anchor = rng.UniformInt(0, network.num_segments() - 1);
+    benchmark::DoNotOptimize(store.LocalNegatives(anchor));
+    benchmark::DoNotOptimize(store.GlobalNegatives(anchor));
+    store.Push(anchor, embedding);
+  }
+}
+BENCHMARK(BM_NegativeQueueCycle);
+
+void BM_EdgeSoftmaxScatter(benchmark::State& state) {
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(7);
+  std::vector<int64_t> dst;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) dst.push_back(e.to);
+  int64_t e_count = static_cast<int64_t>(dst.size());
+  tensor::Tensor scores = tensor::Tensor::Randn({e_count}, rng);
+  tensor::Tensor messages = tensor::Tensor::Randn({e_count, 32}, rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    tensor::Tensor alpha = tensor::EdgeSoftmax(scores, dst, network.num_segments());
+    benchmark::DoNotOptimize(
+        tensor::ScatterAddRows(tensor::ScaleRows(messages, alpha), dst,
+                               network.num_segments()));
+  }
+  state.SetItemsProcessed(state.iterations() * e_count);
+}
+BENCHMARK(BM_EdgeSoftmaxScatter);
+
+}  // namespace
+}  // namespace sarn
+
+BENCHMARK_MAIN();

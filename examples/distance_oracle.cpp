@@ -1,0 +1,69 @@
+// Shortest-path distance oracle — the paper's third downstream task as an
+// application: answer road-network distance queries from embeddings in
+// microseconds instead of running Dijkstra per query.
+//
+//   ./build/examples/distance_oracle
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/sarn_model.h"
+#include "graph/dijkstra.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/embedding_source.h"
+#include "tasks/spd_task.h"
+
+using namespace sarn;  // NOLINT: example brevity.
+
+int main() {
+  roadnet::SyntheticCityConfig city_config;
+  city_config.rows = 16;
+  city_config.cols = 16;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city_config);
+  std::printf("City: %lld segments\n", static_cast<long long>(network.num_segments()));
+
+  // Self-supervised embeddings (no distance labels used in training!).
+  core::SarnConfig config;
+  config.embedding_dim = 32;
+  config.hidden_dim = 32;
+  config.projection_dim = 16;
+  config.gat_heads = 2;
+  config.max_epochs = 15;
+  core::FitCellSideToNetwork(config, network);
+  core::SarnModel model(network, config);
+  model.Train();
+
+  // A small supervised regressor on embedding differences = the oracle.
+  tasks::SpdConfig task_config;
+  task_config.num_train_pairs = 3000;
+  task_config.num_test_pairs = 600;
+  task_config.epochs = 100;
+  tasks::SpdTask task(network, task_config);
+  tasks::FrozenEmbeddingSource source(model.Embeddings());
+  tasks::SpdResult result = task.Evaluate(source);
+  std::printf("Oracle accuracy on %lld held-out OD pairs: MAE %.0f m, MRE %.1f%%\n",
+              static_cast<long long>(result.num_test_pairs), result.mae_meters,
+              100.0 * result.mre);
+
+  // Latency contrast vs exact Dijkstra.
+  graph::CsrGraph routing = network.ToLengthWeightedGraph();
+  Rng rng(7);
+  const int kQueries = 200;
+  Timer dijkstra_timer;
+  double sink = 0.0;
+  for (int q = 0; q < kQueries; ++q) {
+    graph::VertexId source_vertex = rng.UniformInt(0, routing.num_vertices() - 1);
+    graph::VertexId target = rng.UniformInt(0, routing.num_vertices() - 1);
+    auto d = graph::ShortestPathDistance(routing, source_vertex, target);
+    sink += d.value_or(0.0);
+  }
+  double dijkstra_us = dijkstra_timer.ElapsedMillis() * 1000.0 / kQueries;
+  std::printf("Exact Dijkstra: %.1f us/query. The embedding oracle costs one\n"
+              "d-dimensional FFN evaluation (~%lld MACs) per query regardless of\n"
+              "network size — constant time where Dijkstra grows with the graph.\n",
+              dijkstra_us,
+              static_cast<long long>(config.embedding_dim * 20 + 20));
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Trajectory similarity search — the carpooling scenario from the paper's
+// introduction: find users with commute trajectories similar to a query, in
+// linear time, by comparing trajectory embeddings instead of running
+// quadratic-time point-to-point distance computations.
+//
+//   ./build/examples/trajectory_search
+//
+// Pipeline: synthetic city -> synthetic GPS trips -> map matching -> SARN
+// segment embeddings -> GRU trajectory encoder -> top-k search, with the
+// exact discrete Fréchet ranking as the reference.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/sarn_model.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/embedding_source.h"
+#include "tasks/traj_similarity_task.h"
+#include "tensor/ops.h"
+#include "traj/frechet.h"
+#include "traj/map_matching.h"
+#include "traj/trajectory_generator.h"
+
+using namespace sarn;  // NOLINT: example brevity.
+
+int main() {
+  roadnet::SyntheticCityConfig city_config;
+  city_config.rows = 16;
+  city_config.cols = 16;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city_config);
+
+  // Simulated commuter GPS trips, map-matched onto the network.
+  traj::TrajectoryGeneratorConfig generator_config;
+  generator_config.min_route_segments = 8;
+  traj::TrajectoryGenerator generator(network, generator_config);
+  traj::MapMatcher matcher(network);
+  std::vector<traj::MatchedTrajectory> commutes;
+  for (const traj::GeneratedTrajectory& trip : generator.Generate(160)) {
+    traj::MatchedTrajectory matched = matcher.Match(trip.gps);
+    if (matched.size() >= 2) commutes.push_back(traj::TruncateSegments(matched, 60));
+  }
+  std::printf("%zu commute trajectories map-matched onto %lld segments\n",
+              commutes.size(), static_cast<long long>(network.num_segments()));
+
+  // Task-agnostic SARN embeddings, then a small supervised GRU ranking head
+  // (exactly the paper's downstream-task protocol).
+  core::SarnConfig config;
+  config.embedding_dim = 32;
+  config.hidden_dim = 32;
+  config.projection_dim = 16;
+  config.gat_heads = 2;
+  config.max_epochs = 15;
+  core::FitCellSideToNetwork(config, network);
+  core::SarnModel model(network, config);
+  model.Train();
+
+  tasks::TrajSimConfig task_config;
+  task_config.epochs = 4;
+  tasks::TrajectorySimilarityTask task(network, commutes, task_config);
+  tasks::FrozenEmbeddingSource source(model.Embeddings());
+
+  Timer timer;
+  tasks::TrajSimResult result = task.Evaluate(source);
+  std::printf("Embedding-based top-k search quality over %lld held-out commutes:\n"
+              "  HR@5 = %.1f%%   HR@20 = %.1f%%   R5@20 = %.1f%%   (%.1fs)\n",
+              static_cast<long long>(result.num_test), 100.0 * result.hr5,
+              100.0 * result.hr20, 100.0 * result.r5_20, timer.ElapsedMillis() / 1000.0);
+
+  // Cost contrast: embedding comparison is O(d) per candidate; the exact
+  // Fréchet reference is O(len^2) haversine evaluations per candidate.
+  Timer exact_timer;
+  double sink = 0.0;
+  std::vector<geo::LatLng> a = traj::MatchedMidpoints(commutes[0], network);
+  for (size_t c = 1; c < std::min<size_t>(commutes.size(), 50); ++c) {
+    sink += traj::DiscreteFrechet(a, traj::MatchedMidpoints(commutes[c], network));
+  }
+  std::printf("Exact Fréchet against 49 candidates: %.1f ms "
+              "(embeddings make this a linear scan of vectors)\n",
+              exact_timer.ElapsedMillis());
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,52 @@
+// GCA baseline (Zhu et al., WWW'21) adapted to road networks (§5.1):
+// GraphCL plus (i) ADAPTIVE augmentation — important edges (by the Eq. 1
+// type weights) are retained with higher probability — and (ii) negatives
+// drawn from ALL vertices of the other view, which is what gives GCA its
+// O(n^2 d) loss cost and its out-of-memory failure on large road networks
+// (paper Table 8).
+
+#ifndef SARN_BASELINES_GCA_H_
+#define SARN_BASELINES_GCA_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "roadnet/road_network.h"
+#include "tensor/tensor.h"
+
+namespace sarn::baselines {
+
+struct GcaConfig {
+  uint64_t seed = 29;
+  int64_t feature_dim_per_feature = 12;
+  int64_t hidden_dim = 64;
+  int64_t embedding_dim = 64;
+  int gat_layers = 2;
+  int gat_heads = 4;
+  int64_t projection_dim = 32;
+  double edge_drop_rate = 0.3;  // Mean drop rate; per-edge adaptive.
+  double epsilon = 0.05;
+  double tau = 0.1;
+  int max_epochs = 30;
+  int batch_size = 128;  // Anchors per step; negatives are still all n.
+  float learning_rate = 0.005f;
+  /// Memory guard reproducing GCA's documented failure mode: training
+  /// aborts (status OOM) when the all-vertex similarity computation would
+  /// exceed this budget. 0 disables the guard.
+  int64_t memory_budget_bytes = 4LL * 1024 * 1024 * 1024;
+};
+
+struct GcaResult {
+  /// Undefined (`!defined()`) when the memory guard fired.
+  tensor::Tensor embeddings;
+  bool out_of_memory = false;
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double seconds = 0.0;
+};
+
+GcaResult TrainGca(const roadnet::RoadNetwork& network, const GcaConfig& config);
+
+}  // namespace sarn::baselines
+
+#endif  // SARN_BASELINES_GCA_H_

@@ -1,0 +1,129 @@
+#include "baselines/graphcl.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "nn/embedding.h"
+#include "nn/gat.h"
+#include "nn/losses.h"
+#include "nn/projection_head.h"
+#include "roadnet/features.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::baselines {
+namespace {
+
+using tensor::Tensor;
+
+nn::EdgeList DropEdgesUniform(const std::vector<roadnet::TopoEdge>& edges, double rate,
+                              Rng& rng) {
+  nn::EdgeList out;
+  for (const roadnet::TopoEdge& e : edges) {
+    if (!rng.Bernoulli(rate)) out.Add(e.from, e.to);
+  }
+  return out;
+}
+
+// GraphCL's attribute masking: replaces a fraction of feature values with
+// bin 0 (an arbitrary shared "masked" id — the embedding learns to treat it
+// as low-information).
+roadnet::SegmentFeatures MaskFeatures(const roadnet::SegmentFeatures& features,
+                                      double rate, Rng& rng) {
+  roadnet::SegmentFeatures masked = features;
+  if (rate <= 0.0) return masked;
+  for (auto& column : masked.ids) {
+    for (int64_t& id : column) {
+      if (rng.Bernoulli(rate)) id = 0;
+    }
+  }
+  return masked;
+}
+
+}  // namespace
+
+GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
+                           const GraphClConfig& config) {
+  Timer timer;
+  Rng rng(config.seed);
+  roadnet::SegmentFeatures features = roadnet::FeaturizeSegments(network);
+  std::vector<int64_t> dims(features.vocab_sizes.size(), config.feature_dim_per_feature);
+  nn::FeatureEmbedding feature_embedding(features.vocab_sizes, dims, rng);
+  nn::GatEncoder encoder(feature_embedding.output_dim(), config.hidden_dim,
+                         config.embedding_dim, config.gat_layers, config.gat_heads, rng);
+  nn::ProjectionHead head(config.embedding_dim, config.embedding_dim,
+                          config.projection_dim, rng);
+
+  std::vector<Tensor> parameters = feature_embedding.Parameters();
+  for (const Tensor& p : encoder.Parameters()) parameters.push_back(p);
+  for (const Tensor& p : head.Parameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config.learning_rate);
+  tensor::CosineAnnealingSchedule schedule(config.learning_rate, config.max_epochs);
+
+  int64_t n = network.num_segments();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto project = [&](const nn::EdgeList& edges,
+                     const roadnet::SegmentFeatures& view_features) {
+    Tensor x = feature_embedding.Forward(view_features.ids);
+    return tensor::RowL2Normalize(head.Forward(encoder.Forward(x, edges)));
+  };
+
+  GraphClResult result;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    schedule.OnEpoch(optimizer, epoch);
+    nn::EdgeList view1 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
+    nn::EdgeList view2 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
+    roadnet::SegmentFeatures features1 =
+        MaskFeatures(features, config.feature_mask_rate, rng);
+    roadnet::SegmentFeatures features2 =
+        MaskFeatures(features, config.feature_mask_rate, rng);
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int64_t begin = 0; begin < n; begin += config.batch_size) {
+      int64_t end = std::min<int64_t>(n, begin + config.batch_size);
+      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
+      int64_t m = static_cast<int64_t>(batch.size());
+      if (m < 2) continue;
+
+      // Both views through the SHARED encoder.
+      Tensor z1 = tensor::Rows(project(view1, features1), batch);
+      Tensor z2 = tensor::Rows(project(view2, features2), batch);
+
+      // NT-Xent with in-batch negatives, symmetric.
+      Tensor logits12 = tensor::MulScalar(tensor::MatMul(z1, tensor::Transpose(z2)),
+                                          1.0f / static_cast<float>(config.tau));
+      Tensor logits21 = tensor::MulScalar(tensor::MatMul(z2, tensor::Transpose(z1)),
+                                          1.0f / static_cast<float>(config.tau));
+      std::vector<int64_t> labels(static_cast<size_t>(m));
+      std::iota(labels.begin(), labels.end(), 0);
+      Tensor loss =
+          tensor::MulScalar(tensor::Add(nn::CrossEntropyWithLogits(logits12, labels),
+                                        nn::CrossEntropyWithLogits(logits21, labels)),
+                            0.5f);
+      epoch_loss += loss.item();
+      ++batches;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+    result.final_loss = epoch_loss / std::max(1, batches);
+    result.epochs_run = epoch + 1;
+  }
+
+  {
+    tensor::NoGradGuard guard;
+    nn::EdgeList full;
+    for (const roadnet::TopoEdge& e : network.topo_edges()) full.Add(e.from, e.to);
+    Tensor x = feature_embedding.Forward(features.ids);  // Unmasked at inference.
+    result.embeddings = encoder.Forward(x, full);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sarn::baselines

@@ -1,0 +1,48 @@
+// GraphCL baseline (You et al., NeurIPS'20) adapted to road networks, as the
+// paper configures it (§5.1): the same GAT backbone and feature embedding as
+// SARN, but (i) topological edges only, (ii) parameter-SHARED encoders for
+// both views, (iii) uniform random edge dropping, and (iv) in-batch
+// negatives (the other anchors of the same minibatch).
+
+#ifndef SARN_BASELINES_GRAPHCL_H_
+#define SARN_BASELINES_GRAPHCL_H_
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+#include "tensor/tensor.h"
+
+namespace sarn::baselines {
+
+struct GraphClConfig {
+  uint64_t seed = 23;
+  int64_t feature_dim_per_feature = 12;
+  int64_t hidden_dim = 64;
+  int64_t embedding_dim = 64;
+  int gat_layers = 2;
+  int gat_heads = 4;
+  int64_t projection_dim = 32;
+  /// Uniform edge-drop rate for each view.
+  double edge_drop_rate = 0.2;
+  /// GraphCL's attribute-masking augmentation: per view, this fraction of
+  /// the seven input features is replaced by a masked (shared) bin id.
+  double feature_mask_rate = 0.1;
+  double tau = 0.1;
+  int max_epochs = 30;
+  int batch_size = 128;
+  float learning_rate = 0.005f;
+};
+
+struct GraphClResult {
+  tensor::Tensor embeddings;  // [n, embedding_dim]
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double seconds = 0.0;
+};
+
+GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
+                           const GraphClConfig& config);
+
+}  // namespace sarn::baselines
+
+#endif  // SARN_BASELINES_GRAPHCL_H_

@@ -1,0 +1,89 @@
+#include "baselines/neutraj_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/sequence_util.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::baselines {
+
+using tensor::Tensor;
+
+NeutrajLite::NeutrajLite(int64_t num_segments, NeutrajLiteConfig config)
+    : config_(config), rng_(config.seed) {
+  SARN_CHECK_GT(num_segments, 0);
+  segment_table_ =
+      Tensor::Randn({num_segments, config.segment_dim}, rng_, 0.1f).RequiresGrad();
+  gru_ = std::make_unique<nn::Gru>(config.segment_dim, config.hidden_dim,
+                                   config.gru_layers, rng_);
+  scale_ = Tensor::FromVector({1}, {1.0f}).RequiresGrad();
+  offset_ = Tensor::FromVector({1}, {0.0f}).RequiresGrad();
+}
+
+double NeutrajLite::Train(const std::vector<std::vector<int64_t>>& trajectories,
+                          const std::function<double(size_t, size_t)>& distance) {
+  SARN_CHECK_GE(trajectories.size(), 2u);
+  std::vector<Tensor> parameters = {segment_table_, scale_, offset_};
+  for (const Tensor& p : gru_->Parameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config_.learning_rate);
+
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int produced = 0; produced < config_.pairs_per_epoch;
+         produced += config_.batch_pairs) {
+      // Sample a batch of pairs; embed the union of members once.
+      std::vector<std::pair<size_t, size_t>> pairs;
+      std::vector<std::vector<int64_t>> batch_sequences;
+      std::vector<float> targets_km, weights;
+      for (int k = 0; k < config_.batch_pairs; ++k) {
+        size_t a = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(trajectories.size()) - 1));
+        size_t b = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(trajectories.size()) - 1));
+        if (a == b) continue;
+        double d = distance(a, b);
+        pairs.emplace_back(batch_sequences.size(), batch_sequences.size() + 1);
+        batch_sequences.push_back(trajectories[a]);
+        batch_sequences.push_back(trajectories[b]);
+        targets_km.push_back(static_cast<float>(d / 1000.0));
+        weights.push_back(static_cast<float>(
+            std::exp(-d / config_.weight_bandwidth_meters)) + 0.1f);
+      }
+      if (pairs.empty()) continue;
+      Tensor embedded = nn::EmbedSequences(*gru_, segment_table_, batch_sequences);
+      std::vector<int64_t> left, right;
+      for (const auto& [a, b] : pairs) {
+        left.push_back(static_cast<int64_t>(a));
+        right.push_back(static_cast<int64_t>(b));
+      }
+      Tensor l1 = tensor::SumAxis(
+          tensor::Abs(tensor::Sub(tensor::Rows(embedded, left),
+                                  tensor::Rows(embedded, right))),
+          1);
+      Tensor prediction = tensor::Add(tensor::Mul(l1, scale_), offset_);
+      int64_t m = prediction.numel();
+      Tensor error = tensor::Square(
+          tensor::Sub(prediction, Tensor::FromVector({m}, targets_km)));
+      Tensor loss = tensor::Mean(tensor::Mul(error, Tensor::FromVector({m}, weights)));
+      epoch_loss += loss.item();
+      ++batches;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+    last_loss = epoch_loss / std::max(1, batches);
+  }
+  return last_loss;
+}
+
+Tensor NeutrajLite::Embed(const std::vector<std::vector<int64_t>>& trajectories) const {
+  tensor::NoGradGuard guard;
+  return nn::EmbedSequences(*gru_, segment_table_, trajectories);
+}
+
+}  // namespace sarn::baselines

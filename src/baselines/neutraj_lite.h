@@ -1,0 +1,61 @@
+// NEUTRAJ baseline (Yao et al., ICDE'19), reduced-scale reimplementation
+// ("NeutrajLite", DESIGN.md §3): a dedicated supervised trajectory-
+// similarity model. It learns its own segment embedding table plus a GRU
+// trajectory encoder, trained with distance-weighted pair regression
+// against ground-truth (Fréchet) distances — the seed-guided metric-
+// learning idea, with near pairs weighted more. It does NOT produce
+// reusable road-segment embeddings (paper §5.2), so it only participates
+// in downstream task 2.
+
+#ifndef SARN_BASELINES_NEUTRAJ_LITE_H_
+#define SARN_BASELINES_NEUTRAJ_LITE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/gru.h"
+#include "tensor/tensor.h"
+
+namespace sarn::baselines {
+
+struct NeutrajLiteConfig {
+  uint64_t seed = 43;
+  int64_t segment_dim = 32;
+  int64_t hidden_dim = 64;
+  int gru_layers = 2;
+  int pairs_per_epoch = 1024;
+  int max_epochs = 8;
+  int batch_pairs = 32;
+  float learning_rate = 0.01f;
+  /// Weighting bandwidth (meters): pair weight = exp(-distance / bandwidth),
+  /// emphasising near pairs as NEUTRAJ's seeding does.
+  double weight_bandwidth_meters = 2000.0;
+};
+
+class NeutrajLite {
+ public:
+  /// `num_segments` sizes the learnable segment table.
+  NeutrajLite(int64_t num_segments, NeutrajLiteConfig config);
+
+  /// Trains on trajectories (segment-id sequences) with a ground-truth
+  /// distance oracle (meters). Returns the final training loss.
+  double Train(const std::vector<std::vector<int64_t>>& trajectories,
+               const std::function<double(size_t, size_t)>& distance);
+
+  /// Embeds trajectories (detached) for ranking: [k, hidden_dim].
+  tensor::Tensor Embed(const std::vector<std::vector<int64_t>>& trajectories) const;
+
+ private:
+  NeutrajLiteConfig config_;
+  Rng rng_;
+  tensor::Tensor segment_table_;
+  std::unique_ptr<nn::Gru> gru_;
+  tensor::Tensor scale_;
+  tensor::Tensor offset_;
+};
+
+}  // namespace sarn::baselines
+
+#endif  // SARN_BASELINES_NEUTRAJ_LITE_H_

@@ -1,0 +1,120 @@
+#include "baselines/rne_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "geo/grid.h"
+#include "graph/dijkstra.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::baselines {
+namespace {
+
+using tensor::Tensor;
+
+struct DistancePair {
+  int64_t a;
+  int64_t b;
+  float km;
+};
+
+}  // namespace
+
+RneLiteResult TrainRneLite(const roadnet::RoadNetwork& network,
+                           const RneLiteConfig& config) {
+  Timer timer;
+  Rng rng(config.seed);
+  int64_t n = network.num_segments();
+  int64_t d = config.dim;
+
+  // Zone assignment via a coarse grid.
+  geo::Grid grid(network.bounding_box(), config.zone_cell_meters);
+  std::vector<int64_t> zone_of;
+  zone_of.reserve(static_cast<size_t>(n));
+  for (const roadnet::RoadSegment& s : network.segments()) {
+    zone_of.push_back(grid.CellOf(s.Midpoint()));
+  }
+
+  Tensor zone_table = Tensor::Randn({grid.num_cells(), d}, rng, 0.1f).RequiresGrad();
+  Tensor residual = Tensor::Randn({n, d}, rng, 0.05f).RequiresGrad();
+  // Learned affine from L1 embedding distance to kilometers.
+  Tensor scale = Tensor::FromVector({1}, {1.0f}).RequiresGrad();
+  Tensor offset = Tensor::FromVector({1}, {0.0f}).RequiresGrad();
+  tensor::Adam optimizer({zone_table, residual, scale, offset}, config.learning_rate);
+
+  graph::CsrGraph routing = network.ToLengthWeightedGraph();
+
+  RneLiteResult result;
+  std::vector<DistancePair> pairs;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    pairs.clear();
+    for (int s = 0; s < config.sources_per_epoch; ++s) {
+      int64_t source = rng.UniformInt(0, n - 1);
+      graph::ShortestPathTree tree = Dijkstra(routing, source);
+      std::vector<int64_t> reachable;
+      for (int64_t v = 0; v < n; ++v) {
+        if (v != source &&
+            tree.distance[static_cast<size_t>(v)] != graph::kInfiniteDistance) {
+          reachable.push_back(v);
+        }
+      }
+      if (reachable.empty()) continue;
+      for (int t = 0; t < config.targets_per_source; ++t) {
+        int64_t target = reachable[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(reachable.size()) - 1))];
+        pairs.push_back({source, target,
+                         static_cast<float>(tree.distance[static_cast<size_t>(target)] /
+                                            1000.0)});
+      }
+    }
+    rng.Shuffle(pairs);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin < pairs.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(pairs.size(), begin + static_cast<size_t>(config.batch_size));
+      std::vector<int64_t> a_ids, b_ids, a_zones, b_zones;
+      std::vector<float> targets;
+      for (size_t i = begin; i < end; ++i) {
+        a_ids.push_back(pairs[i].a);
+        b_ids.push_back(pairs[i].b);
+        a_zones.push_back(zone_of[static_cast<size_t>(pairs[i].a)]);
+        b_zones.push_back(zone_of[static_cast<size_t>(pairs[i].b)]);
+        targets.push_back(pairs[i].km);
+      }
+      int64_t m = static_cast<int64_t>(a_ids.size());
+      Tensor ea = tensor::Add(tensor::Rows(zone_table, a_zones),
+                              tensor::Rows(residual, a_ids));
+      Tensor eb = tensor::Add(tensor::Rows(zone_table, b_zones),
+                              tensor::Rows(residual, b_ids));
+      Tensor l1 = tensor::SumAxis(tensor::Abs(tensor::Sub(ea, eb)), 1);  // [m]
+      Tensor prediction = tensor::Add(tensor::Mul(l1, scale), offset);
+      Tensor loss = nn::MseLoss(prediction, Tensor::FromVector({m}, targets));
+      epoch_loss += loss.item();
+      ++batches;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+    result.final_loss = epoch_loss / std::max(1, batches);
+    result.epochs_run = epoch + 1;
+  }
+
+  {
+    tensor::NoGradGuard guard;
+    std::vector<int64_t> all_ids(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all_ids[static_cast<size_t>(i)] = i;
+    result.embeddings =
+        tensor::Add(tensor::Rows(zone_table, zone_of), tensor::Rows(residual, all_ids))
+            .Detach();
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sarn::baselines

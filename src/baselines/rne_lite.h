@@ -1,0 +1,44 @@
+// RNE baseline (Huang et al., ICDE'21), reduced-scale reimplementation
+// ("RneLite", DESIGN.md §3): road-segment embeddings trained so that a
+// (learned affine of the) L1 distance between two embeddings regresses
+// their shortest-path distance. The hierarchy is two-level: a coarse
+// zone-grid embedding plus a per-segment residual, summed — mirroring RNE's
+// coarse-to-fine construction. Embeddings encode global pairwise distance
+// structure, which is why RNE is strong on task 3 and surprisingly useful
+// elsewhere (paper §5.2.2).
+
+#ifndef SARN_BASELINES_RNE_LITE_H_
+#define SARN_BASELINES_RNE_LITE_H_
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+#include "tensor/tensor.h"
+
+namespace sarn::baselines {
+
+struct RneLiteConfig {
+  uint64_t seed = 37;
+  int64_t dim = 64;
+  double zone_cell_meters = 800.0;
+  /// Dijkstra sources per epoch; targets sampled from each tree.
+  int sources_per_epoch = 24;
+  int targets_per_source = 48;
+  int max_epochs = 15;
+  int batch_size = 256;
+  float learning_rate = 0.01f;
+};
+
+struct RneLiteResult {
+  tensor::Tensor embeddings;  // [n, dim] = zone + residual, detached.
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double seconds = 0.0;
+};
+
+RneLiteResult TrainRneLite(const roadnet::RoadNetwork& network,
+                           const RneLiteConfig& config);
+
+}  // namespace sarn::baselines
+
+#endif  // SARN_BASELINES_RNE_LITE_H_

@@ -1,0 +1,118 @@
+#include "baselines/srn2vec.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "geo/spatial_index.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::baselines {
+namespace {
+
+using tensor::Tensor;
+
+struct PairSample {
+  int64_t a;
+  int64_t b;
+  float close;
+  float same_type;
+};
+
+}  // namespace
+
+Srn2VecResult TrainSrn2Vec(const roadnet::RoadNetwork& network,
+                           const Srn2VecConfig& config) {
+  Timer timer;
+  Rng rng(config.seed);
+  int64_t n = network.num_segments();
+  int64_t d = config.dim;
+
+  // Trainable segment embedding table (the FFN's first-layer weights in the
+  // original formulation). The "close" prediction is metric-based — its
+  // logit decreases with the L1 distance between the two embeddings — which
+  // forces spatial proximity into the table's geometry; the "same type"
+  // prediction uses an MLP head on the concatenated pair.
+  Tensor table = Tensor::Randn({n, d}, rng, 0.1f).RequiresGrad();
+  Tensor close_scale = Tensor::FromVector({1}, {1.0f}).RequiresGrad();
+  Tensor close_offset = Tensor::FromVector({1}, {1.0f}).RequiresGrad();
+  nn::Ffn type_head({2 * d, d, 1}, nn::Activation::kRelu, rng);
+  std::vector<Tensor> parameters = {table, close_scale, close_offset};
+  for (const Tensor& p : type_head.Parameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config.learning_rate);
+
+  geo::SpatialIndex index(network.Midpoints(), config.close_radius_meters);
+
+  auto same_type = [&](int64_t a, int64_t b) {
+    return network.segment(a).type == network.segment(b).type ? 1.0f : 0.0f;
+  };
+
+  Srn2VecResult result;
+  std::vector<PairSample> pairs;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Fresh pair corpus per epoch: positives from radius queries, negatives
+    // from random (almost surely far) pairs.
+    pairs.clear();
+    while (static_cast<int>(pairs.size()) < config.pairs_per_epoch) {
+      int64_t a = rng.UniformInt(0, n - 1);
+      std::vector<uint32_t> nearby = index.WithinRadius(
+          network.segment(a).Midpoint(), config.close_radius_meters);
+      if (nearby.size() > 1) {
+        int64_t b = nearby[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(nearby.size()) - 1))];
+        if (b != a) pairs.push_back({a, b, 1.0f, same_type(a, b)});
+      }
+      for (int k = 0; k < config.negatives_per_positive; ++k) {
+        int64_t u = rng.UniformInt(0, n - 1);
+        int64_t v = rng.UniformInt(0, n - 1);
+        if (u == v) continue;
+        double dist = geo::HaversineMeters(network.segment(u).Midpoint(),
+                                           network.segment(v).Midpoint());
+        pairs.push_back({u, v, dist <= config.close_radius_meters ? 1.0f : 0.0f,
+                         same_type(u, v)});
+      }
+    }
+    rng.Shuffle(pairs);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin < pairs.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(pairs.size(), begin + static_cast<size_t>(config.batch_size));
+      std::vector<int64_t> left, right;
+      std::vector<float> close_labels, type_labels;
+      for (size_t i = begin; i < end; ++i) {
+        left.push_back(pairs[i].a);
+        right.push_back(pairs[i].b);
+        close_labels.push_back(pairs[i].close);
+        type_labels.push_back(pairs[i].same_type);
+      }
+      Tensor ea = tensor::Rows(table, left);
+      Tensor eb = tensor::Rows(table, right);
+      int64_t m = ea.shape()[0];
+      Tensor l1 = tensor::SumAxis(tensor::Abs(tensor::Sub(ea, eb)), 1);  // [m]
+      Tensor close_logit =
+          tensor::Sub(close_offset, tensor::Mul(l1, close_scale));  // [m]
+      Tensor type_logit = tensor::Reshape(
+          type_head.Forward(tensor::Concat({ea, eb}, 1)), {m});
+      Tensor loss = tensor::Add(nn::BinaryCrossEntropyWithLogits(close_logit, close_labels),
+                                nn::BinaryCrossEntropyWithLogits(type_logit, type_labels));
+      epoch_loss += loss.item();
+      ++batches;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+    result.final_loss = epoch_loss / std::max(1, batches);
+    result.epochs_run = epoch + 1;
+  }
+
+  result.embeddings = table.Detach();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sarn::baselines

@@ -1,0 +1,43 @@
+// SRN2Vec baseline (Wang et al., TIST'20), reimplemented from its proposal
+// as the paper did (§5.1, no released code): an FFN is trained to predict,
+// for a pair of road segments, (i) whether they are spatially close and
+// (ii) whether they share the same road type; the learned per-segment
+// embedding table is the road-network embedding. Spatial proximity only —
+// no topology — the mirror image of node2vec's weakness.
+
+#ifndef SARN_BASELINES_SRN2VEC_H_
+#define SARN_BASELINES_SRN2VEC_H_
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+#include "tensor/tensor.h"
+
+namespace sarn::baselines {
+
+struct Srn2VecConfig {
+  uint64_t seed = 31;
+  int64_t dim = 64;
+  /// Pairs within this distance are "close" positives.
+  double close_radius_meters = 250.0;
+  /// Random (mostly far) pairs per positive pair.
+  int negatives_per_positive = 3;
+  int pairs_per_epoch = 8192;
+  int max_epochs = 12;
+  int batch_size = 256;
+  float learning_rate = 0.01f;
+};
+
+struct Srn2VecResult {
+  tensor::Tensor embeddings;  // [n, dim]
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double seconds = 0.0;
+};
+
+Srn2VecResult TrainSrn2Vec(const roadnet::RoadNetwork& network,
+                           const Srn2VecConfig& config);
+
+}  // namespace sarn::baselines
+
+#endif  // SARN_BASELINES_SRN2VEC_H_

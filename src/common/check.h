@@ -1,0 +1,74 @@
+// Contract-checking macros.
+//
+// The project does not use exceptions (Google style). Logic errors — broken
+// invariants, out-of-range arguments, shape mismatches — abort the process
+// with a diagnostic. Recoverable conditions are expressed with
+// std::optional or status-like return values instead.
+
+#ifndef SARN_COMMON_CHECK_H_
+#define SARN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sarn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[SARN CHECK FAILED] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Accumulates the streamed context of a failed check and aborts in its
+// destructor, so `SARN_CHECK(x) << "context"` works.
+class CheckFailer {
+ public:
+  CheckFailer(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckFailer() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckFailer& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sarn::internal
+
+/// Aborts with a diagnostic unless `condition` holds. Supports streaming
+/// extra context: SARN_CHECK(i < n) << "i=" << i;
+#define SARN_CHECK(condition)         \
+  if (static_cast<bool>(condition)) { \
+  } else /* NOLINT */                 \
+    ::sarn::internal::CheckFailer(__FILE__, __LINE__, #condition)
+
+#define SARN_CHECK_EQ(a, b) SARN_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SARN_CHECK_NE(a, b) SARN_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SARN_CHECK_LT(a, b) SARN_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SARN_CHECK_LE(a, b) SARN_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SARN_CHECK_GT(a, b) SARN_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SARN_CHECK_GE(a, b) SARN_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SARN_DCHECK(condition) \
+  if (true) {                  \
+  } else                       \
+    ::sarn::internal::CheckFailer(__FILE__, __LINE__, #condition)
+#else
+#define SARN_DCHECK(condition) SARN_CHECK(condition)
+#endif
+
+#endif  // SARN_COMMON_CHECK_H_

@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sarn {
+
+std::optional<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::optional<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (first && has_header) {
+      table.header = std::move(fields);
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+bool WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    if (row.size() == 1 && row[0].empty()) {
+      // A bare empty line would be skipped by the reader; quote it.
+      out << "\"\"\n";
+      return;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeCsvField(row[i]);
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out.good();
+}
+
+}  // namespace sarn

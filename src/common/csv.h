@@ -1,0 +1,42 @@
+// Small CSV reader/writer used for road-network and trajectory persistence
+// and for exporting benchmark series.
+//
+// The dialect is deliberately simple: comma-separated, first row optionally a
+// header, fields containing commas/quotes/newlines are double-quoted with
+// embedded quotes doubled. This is sufficient for the numeric/identifier data
+// the library stores; it is not a general RFC 4180 parser for exotic input.
+
+#ifndef SARN_COMMON_CSV_H_
+#define SARN_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sarn {
+
+/// An in-memory CSV table: optional header plus string rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named header column, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+};
+
+/// Parses a single CSV line into fields (handles quoting).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Escapes a field for CSV output if needed.
+std::string EscapeCsvField(const std::string& field);
+
+/// Reads a CSV file. Returns nullopt if the file cannot be opened.
+/// If `has_header` the first row populates `header`.
+std::optional<CsvTable> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Writes a CSV file. Returns false on I/O failure.
+bool WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_CSV_H_

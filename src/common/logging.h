@@ -1,0 +1,68 @@
+// Minimal leveled logging to stderr.
+
+#ifndef SARN_COMMON_LOGGING_H_
+#define SARN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+#include <string>
+
+namespace sarn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sarn
+
+#define SARN_LOG(level) \
+  ::sarn::internal::LogMessage(::sarn::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SARN_COMMON_LOGGING_H_

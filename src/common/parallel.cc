@@ -1,0 +1,54 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sarn {
+namespace {
+
+std::atomic<size_t> g_threads{0};  // 0 = not yet initialised.
+
+size_t DefaultThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min<size_t>(hw, 8);
+}
+
+}  // namespace
+
+size_t GetParallelThreads() {
+  size_t t = g_threads.load();
+  if (t == 0) {
+    t = DefaultThreads();
+    g_threads.store(t);
+  }
+  return t;
+}
+
+void SetParallelThreads(size_t threads) { g_threads.store(threads == 0 ? 1 : threads); }
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
+                 size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  size_t threads = GetParallelThreads();
+  if (threads <= 1 || n < grain) {
+    body(0, n);
+    return;
+  }
+  threads = std::min(threads, (n + grain - 1) / grain);
+  size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace sarn

@@ -1,0 +1,28 @@
+// Minimal parallel-for over std::thread, used by the hot numeric kernels
+// (matmul, GAT message passing, A^s construction). Falls back to serial
+// execution for small ranges, and the thread count can be pinned globally
+// (tests pin it to 1 for determinism where order matters).
+
+#ifndef SARN_COMMON_PARALLEL_H_
+#define SARN_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace sarn {
+
+/// Number of worker threads parallel-for may use (defaults to hardware
+/// concurrency capped at 8).
+size_t GetParallelThreads();
+void SetParallelThreads(size_t threads);
+
+/// Runs body(begin, end) over a partition of [0, n) across threads. `body`
+/// must be safe to call concurrently on disjoint ranges. Serial when the
+/// range is small (fewer than `grain` items) or threads == 1. Pass a small
+/// `grain` when each item is expensive (e.g., a matrix row).
+void ParallelFor(size_t n, const std::function<void(size_t begin, size_t end)>& body,
+                 size_t grain = 2048);
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_PARALLEL_H_

@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace sarn {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SARN_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // For small k relative to n, rejection sampling; otherwise partial shuffle.
+  if (k * 4 <= n) {
+    std::unordered_set<size_t> seen;
+    std::vector<size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      size_t candidate = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (seen.insert(candidate).second) out.push_back(candidate);
+    }
+    return out;
+  }
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+std::vector<size_t> Rng::WeightedSampleWithoutReplacement(const std::vector<double>& weights,
+                                                          size_t k) {
+  // Efraimidis–Spirakis A-ES: each item gets key u^(1/w); take the k largest.
+  // Using log-keys for numerical stability: log(u)/w.
+  using Entry = std::pair<double, size_t>;  // (key, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> smallest_on_top;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double w = weights[i];
+    if (w <= 0.0) continue;
+    double u = Uniform(std::numeric_limits<double>::min(), 1.0);
+    double key = std::log(u) / w;
+    if (smallest_on_top.size() < k) {
+      smallest_on_top.emplace(key, i);
+    } else if (key > smallest_on_top.top().first) {
+      smallest_on_top.pop();
+      smallest_on_top.emplace(key, i);
+    }
+  }
+  std::vector<size_t> out;
+  out.reserve(smallest_on_top.size());
+  while (!smallest_on_top.empty()) {
+    out.push_back(smallest_on_top.top().second);
+    smallest_on_top.pop();
+  }
+  std::reverse(out.begin(), out.end());  // Highest key (most likely) first.
+  return out;
+}
+
+}  // namespace sarn

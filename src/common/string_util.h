@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef SARN_COMMON_STRING_UTIL_H_
+#define SARN_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sarn {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// Locale-independent numeric parsing; nullopt on malformed input.
+std::optional<double> ParseDouble(const std::string& text);
+std::optional<int64_t> ParseInt(const std::string& text);
+
+/// Formats a double with the given number of decimals (printf "%.*f").
+std::string FormatDouble(double value, int decimals);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing utilities used by the benchmark harness and the trainers'
+// progress reports.
+
+#ifndef SARN_COMMON_TIMER_H_
+#define SARN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sarn {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_TIMER_H_

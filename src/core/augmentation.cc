@@ -1,0 +1,123 @@
+#include "core/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarn::core {
+namespace {
+
+using PairKey = std::pair<roadnet::SegmentId, roadnet::SegmentId>;
+
+PairKey KeyOf(roadnet::SegmentId a, roadnet::SegmentId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+double SigmaEpsilon(double x, double epsilon) {
+  SARN_CHECK(epsilon >= 0.0 && epsilon < 0.5) << epsilon;
+  return epsilon + x * (1.0 - 2.0 * epsilon);
+}
+
+double TopoCorruptionProbability(double weight, double min_weight, double max_weight,
+                                 double epsilon) {
+  double normalized =
+      max_weight > min_weight ? (weight - min_weight) / (max_weight - min_weight) : 0.5;
+  return SigmaEpsilon(1.0 - normalized, epsilon);
+}
+
+double SpatialCorruptionProbability(double weight, double epsilon) {
+  return SigmaEpsilon(1.0 - weight, epsilon);
+}
+
+GraphView AugmentGraph(const std::vector<roadnet::TopoEdge>& topo_edges,
+                       const std::vector<SpatialEdge>& spatial_edges,
+                       const AugmentationConfig& config, Rng& rng) {
+  SARN_CHECK(config.rho_t >= 0.0 && config.rho_t < 1.0) << config.rho_t;
+  SARN_CHECK(config.rho_s >= 0.0 && config.rho_s < 1.0) << config.rho_s;
+
+  // Eq. 6 normalisation bounds over non-zero topological weights.
+  double min_w = 1e18, max_w = -1e18;
+  for (const roadnet::TopoEdge& e : topo_edges) {
+    min_w = std::min(min_w, e.weight);
+    max_w = std::max(max_w, e.weight);
+  }
+
+  std::vector<bool> drop_topo(topo_edges.size(), false);
+  std::vector<bool> drop_spatial(spatial_edges.size(), false);
+
+  if (!topo_edges.empty() && config.rho_t > 0.0) {
+    std::vector<double> weights(topo_edges.size());
+    for (size_t i = 0; i < topo_edges.size(); ++i) {
+      weights[i] =
+          TopoCorruptionProbability(topo_edges[i].weight, min_w, max_w, config.epsilon);
+    }
+    size_t k = static_cast<size_t>(std::llround(config.rho_t * topo_edges.size()));
+    for (size_t idx : rng.WeightedSampleWithoutReplacement(weights, k)) {
+      drop_topo[idx] = true;
+    }
+  }
+  if (!spatial_edges.empty() && config.rho_s > 0.0) {
+    std::vector<double> weights(spatial_edges.size());
+    for (size_t i = 0; i < spatial_edges.size(); ++i) {
+      weights[i] = SpatialCorruptionProbability(spatial_edges[i].weight, config.epsilon);
+    }
+    size_t k = static_cast<size_t>(std::llround(config.rho_s * spatial_edges.size()));
+    for (size_t idx : rng.WeightedSampleWithoutReplacement(weights, k)) {
+      drop_spatial[idx] = true;
+    }
+  }
+
+  // Dual-typed coupling: a pair removed in either matrix disappears from both.
+  if (config.couple_dual_typed) {
+    std::map<PairKey, std::vector<size_t>> topo_of_pair;
+    for (size_t i = 0; i < topo_edges.size(); ++i) {
+      topo_of_pair[KeyOf(topo_edges[i].from, topo_edges[i].to)].push_back(i);
+    }
+    std::map<PairKey, size_t> spatial_of_pair;
+    for (size_t i = 0; i < spatial_edges.size(); ++i) {
+      spatial_of_pair[KeyOf(spatial_edges[i].a, spatial_edges[i].b)] = i;
+    }
+    for (const auto& [key, topo_indices] : topo_of_pair) {
+      auto it = spatial_of_pair.find(key);
+      if (it == spatial_of_pair.end()) continue;
+      bool any_topo_dropped = false;
+      for (size_t idx : topo_indices) any_topo_dropped |= drop_topo[idx];
+      if (any_topo_dropped || drop_spatial[it->second]) {
+        for (size_t idx : topo_indices) drop_topo[idx] = true;
+        drop_spatial[it->second] = true;
+      }
+    }
+  }
+
+  GraphView view;
+  for (size_t i = 0; i < topo_edges.size(); ++i) {
+    if (drop_topo[i]) continue;
+    view.edges.Add(topo_edges[i].from, topo_edges[i].to);
+    ++view.surviving_topo;
+  }
+  for (size_t i = 0; i < spatial_edges.size(); ++i) {
+    if (drop_spatial[i]) continue;
+    view.edges.Add(spatial_edges[i].a, spatial_edges[i].b);
+    view.edges.Add(spatial_edges[i].b, spatial_edges[i].a);
+    ++view.surviving_spatial;
+  }
+  return view;
+}
+
+nn::EdgeList FullEdgeList(const std::vector<roadnet::TopoEdge>& topo_edges,
+                          const std::vector<SpatialEdge>& spatial_edges) {
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : topo_edges) edges.Add(e.from, e.to);
+  for (const SpatialEdge& e : spatial_edges) {
+    edges.Add(e.a, e.b);
+    edges.Add(e.b, e.a);
+  }
+  return edges;
+}
+
+}  // namespace sarn::core

@@ -1,0 +1,64 @@
+// Spatial importance-based graph augmentation (paper §4.2, Technical
+// Contribution 2).
+//
+// A graph view corrupts G by removing rho_t of the topological edges and
+// rho_s of the spatial edges via weighted sampling WITHOUT replacement:
+// an edge's probability of being picked for removal decreases with its
+// importance weight (Eqs. 6-7), clamped into [epsilon, 1-epsilon] by
+// sigma_epsilon. When a segment pair carries both edge types ("dual-typed"),
+// sampling either one removes both.
+
+#ifndef SARN_CORE_AUGMENTATION_H_
+#define SARN_CORE_AUGMENTATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spatial_similarity.h"
+#include "nn/gat.h"
+#include "roadnet/road_network.h"
+
+namespace sarn::core {
+
+struct AugmentationConfig {
+  double rho_t = 0.4;
+  double rho_s = 0.4;
+  double epsilon = 0.05;
+  /// Dual-typed coupling: removing either edge of a dual-typed pair removes
+  /// both (paper §4.2). Exposed for the ablation bench.
+  bool couple_dual_typed = true;
+};
+
+/// A corrupted graph view, already flattened to the directed edge list the
+/// GAT encoder consumes: surviving topological edges keep their direction;
+/// surviving spatial edges contribute both directions.
+struct GraphView {
+  nn::EdgeList edges;
+  int64_t surviving_topo = 0;
+  int64_t surviving_spatial = 0;
+};
+
+/// sigma_epsilon: maps [0,1] -> [epsilon, 1-epsilon] linearly.
+double SigmaEpsilon(double x, double epsilon);
+
+/// Corruption probability of topological edge (i,j) given the min/max
+/// non-zero weights of A^t (Eq. 6).
+double TopoCorruptionProbability(double weight, double min_weight, double max_weight,
+                                 double epsilon);
+
+/// Corruption probability of a spatial edge (Eq. 7).
+double SpatialCorruptionProbability(double weight, double epsilon);
+
+/// Samples one corrupted view. Deterministic given `rng` state.
+GraphView AugmentGraph(const std::vector<roadnet::TopoEdge>& topo_edges,
+                       const std::vector<SpatialEdge>& spatial_edges,
+                       const AugmentationConfig& config, Rng& rng);
+
+/// The uncorrupted flattening of the same edges (used at inference and by
+/// baselines): all topo edges plus both directions of all spatial edges.
+nn::EdgeList FullEdgeList(const std::vector<roadnet::TopoEdge>& topo_edges,
+                          const std::vector<SpatialEdge>& spatial_edges);
+
+}  // namespace sarn::core
+
+#endif  // SARN_CORE_AUGMENTATION_H_

@@ -1,0 +1,108 @@
+#include "core/negative_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sarn::core {
+
+NegativeQueueStore::NegativeQueueStore(const roadnet::RoadNetwork& network,
+                                       double cell_side_meters, int queue_budget)
+    : grid_(network.bounding_box(), cell_side_meters) {
+  SARN_CHECK_GT(queue_budget, 0);
+  cell_of_segment_.reserve(static_cast<size_t>(network.num_segments()));
+  for (const roadnet::RoadSegment& s : network.segments()) {
+    cell_of_segment_.push_back(grid_.CellOf(s.Midpoint()));
+  }
+  capacity_ = std::max(2, queue_budget / std::max(1, grid_.num_cells()));
+  queues_.resize(static_cast<size_t>(grid_.num_cells()));
+}
+
+void NegativeQueueStore::Push(roadnet::SegmentId segment, std::vector<float> embedding) {
+  SARN_CHECK(segment >= 0 &&
+             segment < static_cast<int64_t>(cell_of_segment_.size()));
+  std::deque<QueueEntry>& queue =
+      queues_[static_cast<size_t>(cell_of_segment_[static_cast<size_t>(segment)])];
+  queue.push_back({segment, std::move(embedding)});
+  if (static_cast<int>(queue.size()) > capacity_) queue.pop_front();
+}
+
+std::vector<const QueueEntry*> NegativeQueueStore::LocalNegatives(
+    roadnet::SegmentId anchor) const {
+  const std::deque<QueueEntry>& queue =
+      queues_[static_cast<size_t>(CellOf(anchor))];
+  std::vector<const QueueEntry*> out;
+  out.reserve(queue.size());
+  for (const QueueEntry& entry : queue) {
+    if (entry.segment != anchor) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<float> NegativeQueueStore::CellAggregate(int cell) const {
+  const std::deque<QueueEntry>& queue = queues_[static_cast<size_t>(cell)];
+  if (queue.empty()) return {};
+  std::vector<float> mean(queue.front().embedding.size(), 0.0f);
+  for (const QueueEntry& entry : queue) {
+    for (size_t j = 0; j < mean.size(); ++j) mean[j] += entry.embedding[j];
+  }
+  float inv = 1.0f / static_cast<float>(queue.size());
+  for (float& v : mean) v *= inv;
+  return mean;
+}
+
+std::vector<std::vector<float>> NegativeQueueStore::GlobalNegatives(
+    roadnet::SegmentId anchor) const {
+  int own = CellOf(anchor);
+  std::vector<std::vector<float>> out;
+  for (int cell = 0; cell < grid_.num_cells(); ++cell) {
+    if (cell == own) continue;
+    std::vector<float> aggregate = CellAggregate(cell);
+    if (!aggregate.empty()) out.push_back(std::move(aggregate));
+  }
+  return out;
+}
+
+std::vector<float> NegativeQueueStore::OwnCellAggregate(roadnet::SegmentId anchor) const {
+  return CellAggregate(CellOf(anchor));
+}
+
+std::vector<const QueueEntry*> NegativeQueueStore::RandomNegatives(
+    roadnet::SegmentId anchor, int count, Rng& rng) const {
+  std::vector<const QueueEntry*> pool;
+  for (const std::deque<QueueEntry>& queue : queues_) {
+    for (const QueueEntry& entry : queue) {
+      if (entry.segment != anchor) pool.push_back(&entry);
+    }
+  }
+  if (static_cast<int>(pool.size()) <= count) return pool;
+  std::vector<const QueueEntry*> out;
+  out.reserve(static_cast<size_t>(count));
+  for (size_t idx :
+       rng.SampleWithoutReplacement(pool.size(), static_cast<size_t>(count))) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+int NegativeQueueStore::CellOf(roadnet::SegmentId segment) const {
+  SARN_CHECK(segment >= 0 &&
+             segment < static_cast<int64_t>(cell_of_segment_.size()));
+  return cell_of_segment_[static_cast<size_t>(segment)];
+}
+
+int64_t NegativeQueueStore::TotalStored() const {
+  int64_t total = 0;
+  for (const auto& queue : queues_) total += static_cast<int64_t>(queue.size());
+  return total;
+}
+
+std::vector<int> NegativeQueueStore::NonEmptyCells() const {
+  std::vector<int> cells;
+  for (int cell = 0; cell < grid_.num_cells(); ++cell) {
+    if (!queues_[static_cast<size_t>(cell)].empty()) cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace sarn::core

@@ -1,0 +1,77 @@
+// Spatial distance-based negative sampling (paper §4.4, Technical
+// Contribution 3, Fig. 3).
+//
+// The road-network space is partitioned by a uniform grid with cell side
+// `clen`; each cell keeps a FIFO queue of the last phi projected embeddings
+// z'_j (from the momentum head P', MoCo-style) of segments whose midpoints
+// fall into the cell. For an anchor s_i:
+//  * local negatives  N_l(s_i): the queue entries of s_i's own cell, minus
+//    entries that belong to s_i itself (Eq. 13);
+//  * global negatives N_g(s_i): the mean-readout R(Q(c_k)) of every other
+//    non-empty cell (Eq. 14); R(Q(s_i.cell)) doubles as the positive of the
+//    global loss (Eq. 16).
+
+#ifndef SARN_CORE_NEGATIVE_QUEUE_H_
+#define SARN_CORE_NEGATIVE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "roadnet/road_network.h"
+
+namespace sarn::core {
+
+/// A stored (detached) projected embedding.
+struct QueueEntry {
+  roadnet::SegmentId segment = -1;
+  std::vector<float> embedding;
+};
+
+class NegativeQueueStore {
+ public:
+  /// `queue_budget` = total entries across all queues (the paper's K);
+  /// the per-cell capacity phi is budget / num_cells, at least 2.
+  NegativeQueueStore(const roadnet::RoadNetwork& network, double cell_side_meters,
+                     int queue_budget);
+
+  /// Enqueues z' for a segment (evicting the oldest entry when full).
+  void Push(roadnet::SegmentId segment, std::vector<float> embedding);
+
+  /// Eq. 13. Order: oldest first.
+  std::vector<const QueueEntry*> LocalNegatives(roadnet::SegmentId anchor) const;
+
+  /// Eq. 14: one aggregated embedding per *other* non-empty cell.
+  std::vector<std::vector<float>> GlobalNegatives(roadnet::SegmentId anchor) const;
+
+  /// R(Q(anchor.cell)); empty vector when the anchor's cell queue is empty.
+  std::vector<float> OwnCellAggregate(roadnet::SegmentId anchor) const;
+
+  /// Mean embedding of a cell's queue; empty when the queue is empty.
+  std::vector<float> CellAggregate(int cell) const;
+
+  /// Uniform random sample of up to `count` stored entries across all cells
+  /// (the plain-InfoNCE negatives of the ablation variants).
+  std::vector<const QueueEntry*> RandomNegatives(roadnet::SegmentId anchor, int count,
+                                                 Rng& rng) const;
+
+  int CellOf(roadnet::SegmentId segment) const;
+  int num_cells() const { return grid_.num_cells(); }
+  int per_cell_capacity() const { return capacity_; }
+  int64_t TotalStored() const;
+
+  /// Cells with at least one entry, ascending.
+  std::vector<int> NonEmptyCells() const;
+
+ private:
+  geo::Grid grid_;
+  std::vector<int> cell_of_segment_;
+  int capacity_;
+  std::vector<std::deque<QueueEntry>> queues_;
+};
+
+}  // namespace sarn::core
+
+#endif  // SARN_CORE_NEGATIVE_QUEUE_H_

@@ -1,0 +1,313 @@
+#include "core/sarn_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/losses.h"
+#include "nn/serialization.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::core {
+
+void FitCellSideToNetwork(SarnConfig& config, const roadnet::RoadNetwork& network,
+                          int target_cells_per_axis) {
+  SARN_CHECK_GT(target_cells_per_axis, 0);
+  double extent = std::max(network.bounding_box().WidthMeters(),
+                           network.bounding_box().HeightMeters());
+  config.cell_side_meters =
+      std::clamp(extent / target_cells_per_axis, 150.0, 1200.0);
+}
+
+namespace {
+
+using tensor::Tensor;
+
+// Mask value for padded negative slots; after division by tau (>= 0.01)
+// exp() underflows to exactly 0.
+constexpr float kMaskedSimilarity = -1e4f;
+
+// L2-normalises a raw float vector in place.
+void NormalizeVector(std::vector<float>& v) {
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace
+
+SarnModel::SarnModel(const roadnet::RoadNetwork& network, SarnConfig config)
+    : network_(&network), config_(config) {
+  SARN_CHECK_GT(network.num_segments(), 1);
+  features_ = roadnet::FeaturizeSegments(network);
+
+  if (config_.use_spatial_matrix) {
+    SpatialSimilarityConfig similarity_config;
+    similarity_config.delta_ds_meters = config_.delta_ds_meters;
+    similarity_config.delta_as_radians = config_.delta_as_radians;
+    similarity_config.max_spatial_neighbors = config_.max_spatial_neighbors;
+    spatial_edges_ = BuildSpatialEdges(network, similarity_config);
+  }
+  full_edges_ = FullEdgeList(network.topo_edges(), spatial_edges_);
+
+  Rng init_rng(config_.seed);
+  std::vector<int64_t> feature_dims(features_.vocab_sizes.size(),
+                                    config_.feature_dim_per_feature);
+  feature_embedding_ = std::make_unique<nn::FeatureEmbedding>(features_.vocab_sizes,
+                                                              feature_dims, init_rng);
+  int64_t d_f = feature_embedding_->output_dim();
+  online_encoder_ = std::make_unique<nn::GatEncoder>(
+      d_f, config_.hidden_dim, config_.embedding_dim, config_.gat_layers,
+      config_.gat_heads, init_rng, config_.use_attention);
+  online_head_ = std::make_unique<nn::ProjectionHead>(
+      config_.embedding_dim, config_.embedding_dim, config_.projection_dim, init_rng);
+  target_encoder_ = std::make_unique<nn::GatEncoder>(
+      d_f, config_.hidden_dim, config_.embedding_dim, config_.gat_layers,
+      config_.gat_heads, init_rng, config_.use_attention);
+  target_head_ = std::make_unique<nn::ProjectionHead>(
+      config_.embedding_dim, config_.embedding_dim, config_.projection_dim, init_rng);
+  target_encoder_->CopyWeightsFrom(*online_encoder_);
+  target_head_->CopyWeightsFrom(*online_head_);
+
+  queues_ = std::make_unique<NegativeQueueStore>(network, config_.cell_side_meters,
+                                                 config_.queue_budget);
+}
+
+Tensor SarnModel::OnlineEncode(const nn::EdgeList& edges) const {
+  Tensor x = feature_embedding_->Forward(features_.ids);
+  return online_encoder_->Forward(x, edges);
+}
+
+Tensor SarnModel::TargetProject(const nn::EdgeList& edges) const {
+  Tensor x = feature_embedding_->Forward(features_.ids);
+  Tensor h = target_encoder_->Forward(x, edges);
+  return tensor::RowL2Normalize(target_head_->Forward(h));
+}
+
+Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
+                              const std::vector<int64_t>& batch, Rng& rng) const {
+  int64_t m = z.shape()[0];
+  int64_t dz = z.shape()[1];
+  Tensor positive_sim = tensor::DotRows(z, z_prime);  // Lambda(z_i, z'_i), [m].
+
+  if (!config_.use_spatial_negatives) {
+    // Plain InfoNCE (Eq. 2) with random negatives from the global queue pool.
+    int k = config_.random_negatives;
+    std::vector<float> neg_data(static_cast<size_t>(m * k * dz), 0.0f);
+    std::vector<float> mask(static_cast<size_t>(m * k), kMaskedSimilarity);
+    for (int64_t i = 0; i < m; ++i) {
+      auto negatives = queues_->RandomNegatives(batch[static_cast<size_t>(i)], k, rng);
+      for (size_t s = 0; s < negatives.size(); ++s) {
+        std::copy(negatives[s]->embedding.begin(), negatives[s]->embedding.end(),
+                  neg_data.begin() + (static_cast<size_t>(i) * k + s) * dz);
+        mask[static_cast<size_t>(i) * k + s] = 0.0f;
+      }
+    }
+    Tensor negatives = Tensor::FromVector({m * k, dz}, std::move(neg_data));
+    std::vector<int64_t> repeat_index(static_cast<size_t>(m * k));
+    for (int64_t i = 0; i < m; ++i) {
+      std::fill_n(repeat_index.begin() + i * k, k, i);
+    }
+    Tensor sims = tensor::Reshape(
+        tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, k});
+    sims = tensor::Add(sims, Tensor::FromVector({m, k}, std::move(mask)));
+    return nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
+  }
+
+  // --- Local contrastive loss (Eq. 15) -------------------------------------
+  std::vector<std::vector<const QueueEntry*>> local(static_cast<size_t>(m));
+  int64_t phi_max = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    local[static_cast<size_t>(i)] =
+        queues_->LocalNegatives(batch[static_cast<size_t>(i)]);
+    phi_max = std::max(phi_max,
+                       static_cast<int64_t>(local[static_cast<size_t>(i)].size()));
+  }
+  Tensor local_loss;
+  if (phi_max == 0) {
+    local_loss = Tensor::Zeros({1});  // Queues still empty (first iterations).
+  } else {
+    std::vector<float> neg_data(static_cast<size_t>(m * phi_max * dz), 0.0f);
+    std::vector<float> mask(static_cast<size_t>(m * phi_max), kMaskedSimilarity);
+    for (int64_t i = 0; i < m; ++i) {
+      const auto& entries = local[static_cast<size_t>(i)];
+      for (size_t s = 0; s < entries.size(); ++s) {
+        std::copy(entries[s]->embedding.begin(), entries[s]->embedding.end(),
+                  neg_data.begin() + (static_cast<size_t>(i) * phi_max + s) * dz);
+        mask[static_cast<size_t>(i) * phi_max + s] = 0.0f;
+      }
+    }
+    Tensor negatives = Tensor::FromVector({m * phi_max, dz}, std::move(neg_data));
+    std::vector<int64_t> repeat_index(static_cast<size_t>(m * phi_max));
+    for (int64_t i = 0; i < m; ++i) {
+      std::fill_n(repeat_index.begin() + i * phi_max, phi_max, i);
+    }
+    Tensor sims = tensor::Reshape(
+        tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, phi_max});
+    sims = tensor::Add(sims, Tensor::FromVector({m, phi_max}, std::move(mask)));
+    local_loss = nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
+  }
+
+  // --- Global contrastive loss (Eq. 16) --------------------------------------
+  // One InfoNCE over cell aggregates: for anchor i, the positive is its own
+  // cell's readout and the negatives are every other non-empty cell's
+  // readout — i.e., cross entropy over cells with label = own cell.
+  std::vector<int> cells = queues_->NonEmptyCells();
+  Tensor global_loss = Tensor::Zeros({1});
+  if (cells.size() >= 2) {
+    std::vector<int> cell_rank(static_cast<size_t>(queues_->num_cells()), -1);
+    for (size_t c = 0; c < cells.size(); ++c) cell_rank[static_cast<size_t>(cells[c])] =
+        static_cast<int>(c);
+    int64_t c_count = static_cast<int64_t>(cells.size());
+    std::vector<float> agg_data(static_cast<size_t>(c_count * dz), 0.0f);
+    for (int64_t c = 0; c < c_count; ++c) {
+      std::vector<float> aggregate = queues_->CellAggregate(cells[static_cast<size_t>(c)]);
+      std::copy(aggregate.begin(), aggregate.end(), agg_data.begin() + c * dz);
+    }
+    // Anchors whose own cell queue is non-empty participate.
+    std::vector<int64_t> rows;
+    std::vector<int64_t> labels;
+    for (int64_t i = 0; i < m; ++i) {
+      int rank = cell_rank[static_cast<size_t>(
+          queues_->CellOf(batch[static_cast<size_t>(i)]))];
+      if (rank >= 0) {
+        rows.push_back(i);
+        labels.push_back(rank);
+      }
+    }
+    if (!rows.empty()) {
+      Tensor aggregates = Tensor::FromVector({c_count, dz}, std::move(agg_data));
+      Tensor sims = tensor::MatMul(tensor::Rows(z, rows), tensor::Transpose(aggregates));
+      Tensor logits = tensor::MulScalar(sims, 1.0f / static_cast<float>(config_.tau));
+      global_loss = nn::CrossEntropyWithLogits(logits, labels);
+    }
+  }
+
+  float lambda = static_cast<float>(config_.lambda);
+  return tensor::Add(tensor::MulScalar(local_loss, lambda),
+                     tensor::MulScalar(global_loss, 1.0f - lambda));
+}
+
+TrainStats SarnModel::Train() {
+  Timer timer;
+  Rng rng(config_.seed + 1);
+  AugmentationConfig augmentation;
+  augmentation.rho_t = config_.rho_t;
+  augmentation.rho_s = config_.rho_s;
+  augmentation.epsilon = config_.epsilon;
+
+  std::vector<Tensor> parameters = OnlineParameters();
+  tensor::Adam optimizer(parameters, config_.learning_rate);
+  tensor::CosineAnnealingSchedule schedule(config_.learning_rate, config_.max_epochs);
+
+  std::vector<Tensor> target_params = target_encoder_->Parameters();
+  for (const Tensor& p : target_head_->Parameters()) target_params.push_back(p);
+  std::vector<Tensor> online_params_no_features = online_encoder_->Parameters();
+  for (const Tensor& p : online_head_->Parameters()) {
+    online_params_no_features.push_back(p);
+  }
+
+  int64_t n = network_->num_segments();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  double best_loss = 1e18;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    schedule.OnEpoch(optimizer, epoch);
+    GraphView view1 =
+        AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+    GraphView view2 =
+        AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+    rng.Shuffle(order);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int64_t begin = 0; begin < n; begin += config_.batch_size) {
+      int64_t end = std::min<int64_t>(n, begin + config_.batch_size);
+      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
+
+      // Target branch first (fills z' and, later, the queues).
+      Tensor z_prime_batch;
+      {
+        tensor::NoGradGuard guard;
+        Tensor z_prime_all = TargetProject(view2.edges);
+        z_prime_batch = tensor::Rows(z_prime_all, batch);
+      }
+
+      // Online branch.
+      Tensor h = OnlineEncode(view1.edges);
+      Tensor z_all = tensor::RowL2Normalize(online_head_->Forward(h));
+      Tensor z_batch = tensor::Rows(z_all, batch);
+
+      Tensor loss = ComputeLoss(z_batch, z_prime_batch, batch, rng);
+      epoch_loss += loss.item();
+      ++batches;
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+      nn::MomentumUpdate(target_params, online_params_no_features, config_.momentum);
+
+      // Queue update with the fresh momentum projections (Algorithm 1 L15).
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::vector<float> embedding(
+            z_prime_batch.data().begin() + static_cast<int64_t>(i) * config_.projection_dim,
+            z_prime_batch.data().begin() +
+                static_cast<int64_t>(i + 1) * config_.projection_dim);
+        NormalizeVector(embedding);
+        queues_->Push(batch[i], std::move(embedding));
+      }
+    }
+    epoch_loss /= std::max(1, batches);
+    stats.epoch_losses.push_back(epoch_loss);
+    stats.epochs_run = epoch + 1;
+    stats.final_loss = epoch_loss;
+    if (epoch_loss < best_loss - 1e-4) {
+      best_loss = epoch_loss;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= config_.patience) {
+      SARN_LOG(Debug) << "early stop at epoch " << epoch;
+      break;
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Tensor SarnModel::Embeddings() const {
+  tensor::NoGradGuard guard;
+  return OnlineEncode(full_edges_);
+}
+
+Tensor SarnModel::EncodeForFineTune() const { return OnlineEncode(full_edges_); }
+
+std::vector<Tensor> SarnModel::FineTuneParameters() const {
+  return online_encoder_->FinalLayerParameters();
+}
+
+bool SarnModel::SaveWeights(const std::string& path) const {
+  return nn::SaveParameters(path, OnlineParameters());
+}
+
+bool SarnModel::LoadWeights(const std::string& path) {
+  if (!nn::LoadParameters(path, OnlineParameters())) return false;
+  target_encoder_->CopyWeightsFrom(*online_encoder_);
+  target_head_->CopyWeightsFrom(*online_head_);
+  return true;
+}
+
+std::vector<Tensor> SarnModel::OnlineParameters() const {
+  std::vector<Tensor> params = feature_embedding_->Parameters();
+  for (const Tensor& p : online_encoder_->Parameters()) params.push_back(p);
+  for (const Tensor& p : online_head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace sarn::core

@@ -1,0 +1,103 @@
+// The SARN model (paper §4): feature embedding + two momentum-coupled GAT
+// encoders and projection heads, trained with the spatial importance-based
+// augmentation, grid-based negative sampling and the two-level contrastive
+// loss of Algorithm 1.
+//
+// Ablation variants (paper §5.4) are obtained through SarnConfig:
+//  * SARN          — defaults.
+//  * SARN-w/o-M    — use_spatial_matrix = false.
+//  * SARN-w/o-NL   — use_spatial_negatives = false.
+//  * SARN-w/o-MNL  — both false (the plain weighted-GCL baseline of §3).
+
+#ifndef SARN_CORE_SARN_MODEL_H_
+#define SARN_CORE_SARN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/augmentation.h"
+#include "core/negative_queue.h"
+#include "core/sarn_config.h"
+#include "core/spatial_similarity.h"
+#include "nn/embedding.h"
+#include "nn/gat.h"
+#include "nn/projection_head.h"
+#include "roadnet/features.h"
+#include "roadnet/road_network.h"
+#include "tensor/tensor.h"
+
+namespace sarn::core {
+
+struct TrainStats {
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double seconds = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+class SarnModel {
+ public:
+  /// `network` must outlive the model.
+  SarnModel(const roadnet::RoadNetwork& network, SarnConfig config);
+
+  /// Runs Algorithm 1 (with cosine-annealed Adam and loss-plateau early
+  /// stopping) and leaves the online encoder ready for Embeddings().
+  TrainStats Train();
+
+  /// Road-segment embeddings H = F(S, G) on the *uncorrupted* graph,
+  /// detached ([n, d]). This is what downstream tasks consume.
+  tensor::Tensor Embeddings() const;
+
+  /// Gradient-tracked encoder output for SARN* fine-tuning; optimise
+  /// FineTuneParameters() against a task loss on top of this.
+  tensor::Tensor EncodeForFineTune() const;
+
+  /// Final GAT layer parameters (the paper fine-tunes only this layer).
+  std::vector<tensor::Tensor> FineTuneParameters() const;
+
+  const SarnConfig& config() const { return config_; }
+  const std::vector<SpatialEdge>& spatial_edges() const { return spatial_edges_; }
+  const roadnet::RoadNetwork& network() const { return *network_; }
+  int64_t embedding_dim() const { return config_.embedding_dim; }
+
+  /// All trainable parameters of the online branch (tests/inspection).
+  std::vector<tensor::Tensor> OnlineParameters() const;
+
+  /// Checkpointing of the online branch (the target branch is re-synced on
+  /// load). Returns false on I/O or architecture mismatch.
+  bool SaveWeights(const std::string& path) const;
+  bool LoadWeights(const std::string& path);
+
+ private:
+  friend class SarnModelTestPeer;
+
+  /// Full online forward: feature embedding -> GAT over `edges` -> [n, d].
+  tensor::Tensor OnlineEncode(const nn::EdgeList& edges) const;
+  /// Target branch forward (call under NoGradGuard), through the projection
+  /// head: [n, d_z], L2-normalised.
+  tensor::Tensor TargetProject(const nn::EdgeList& edges) const;
+
+  /// Two-level loss (Eqs. 15-17) over a minibatch. `z` is the online
+  /// projection rows of the batch (normalised, grad-tracked); `z_prime`
+  /// the matching momentum projections (detached, normalised).
+  tensor::Tensor ComputeLoss(const tensor::Tensor& z, const tensor::Tensor& z_prime,
+                             const std::vector<int64_t>& batch, Rng& rng) const;
+
+  const roadnet::RoadNetwork* network_;
+  SarnConfig config_;
+  roadnet::SegmentFeatures features_;
+  std::vector<SpatialEdge> spatial_edges_;
+  nn::EdgeList full_edges_;
+
+  std::unique_ptr<nn::FeatureEmbedding> feature_embedding_;
+  std::unique_ptr<nn::GatEncoder> online_encoder_;
+  std::unique_ptr<nn::ProjectionHead> online_head_;
+  std::unique_ptr<nn::GatEncoder> target_encoder_;
+  std::unique_ptr<nn::ProjectionHead> target_head_;
+  std::unique_ptr<NegativeQueueStore> queues_;
+};
+
+}  // namespace sarn::core
+
+#endif  // SARN_CORE_SARN_MODEL_H_

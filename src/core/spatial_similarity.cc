@@ -1,0 +1,90 @@
+#include "core/spatial_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "geo/spatial_index.h"
+
+namespace sarn::core {
+
+double DistanceSimilarity(double sp_dist_meters, double delta_ds_meters) {
+  SARN_CHECK_GT(delta_ds_meters, 0.0);
+  double clamped = std::min(sp_dist_meters, delta_ds_meters);
+  return std::cos(geo::kPi * clamped / (2.0 * delta_ds_meters));
+}
+
+double AngleSimilarity(double ag_dist_radians, double delta_as_radians) {
+  SARN_CHECK_GT(delta_as_radians, 0.0);
+  double clamped = std::min(ag_dist_radians, delta_as_radians);
+  return std::cos(geo::kPi * clamped / (2.0 * delta_as_radians));
+}
+
+double SpatialSimilarity(const roadnet::RoadSegment& a, const roadnet::RoadSegment& b,
+                         const SpatialSimilarityConfig& config) {
+  double sp_dist = geo::HaversineMeters(a.Midpoint(), b.Midpoint());
+  double ag_dist = geo::AngularDistance(a.radian, b.radian);
+  if (sp_dist >= config.delta_ds_meters || ag_dist >= config.delta_as_radians) {
+    return 0.0;
+  }
+  return 0.5 * (DistanceSimilarity(sp_dist, config.delta_ds_meters) +
+                AngleSimilarity(ag_dist, config.delta_as_radians));
+}
+
+std::vector<SpatialEdge> BuildSpatialEdges(const roadnet::RoadNetwork& network,
+                                           const SpatialSimilarityConfig& config) {
+  int64_t n = network.num_segments();
+  geo::SpatialIndex index(network.Midpoints(), config.delta_ds_meters);
+
+  // Candidate edges per segment, strongest first, capped.
+  using Candidate = std::pair<double, roadnet::SegmentId>;  // (weight, neighbor)
+  std::vector<std::vector<Candidate>> top(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const roadnet::RoadSegment& si = network.segment(i);
+    std::vector<uint32_t> nearby =
+        index.WithinRadius(si.Midpoint(), config.delta_ds_meters);
+    std::vector<Candidate>& candidates = top[static_cast<size_t>(i)];
+    for (uint32_t j : nearby) {
+      if (static_cast<int64_t>(j) == i) continue;
+      double w = SpatialSimilarity(si, network.segment(j), config);
+      if (w > 0.0) candidates.emplace_back(w, static_cast<roadnet::SegmentId>(j));
+    }
+    if (static_cast<int>(candidates.size()) > config.max_spatial_neighbors) {
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + config.max_spatial_neighbors,
+                        candidates.end(), std::greater<Candidate>());
+      candidates.resize(static_cast<size_t>(config.max_spatial_neighbors));
+    }
+  }
+
+  // Union of both directions' top lists, deduplicated as undirected (a < b).
+  std::set<std::pair<roadnet::SegmentId, roadnet::SegmentId>> seen;
+  std::vector<SpatialEdge> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (const Candidate& c : top[static_cast<size_t>(i)]) {
+      roadnet::SegmentId a = std::min<roadnet::SegmentId>(i, c.second);
+      roadnet::SegmentId b = std::max<roadnet::SegmentId>(i, c.second);
+      if (seen.emplace(a, b).second) {
+        edges.push_back({a, b, c.first});
+      }
+    }
+  }
+  return edges;
+}
+
+int64_t CountDualTypedEdges(const roadnet::RoadNetwork& network,
+                            const std::vector<SpatialEdge>& spatial_edges) {
+  std::set<std::pair<roadnet::SegmentId, roadnet::SegmentId>> topo_pairs;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) {
+    topo_pairs.emplace(std::min(e.from, e.to), std::max(e.from, e.to));
+  }
+  int64_t count = 0;
+  for (const SpatialEdge& e : spatial_edges) {
+    if (topo_pairs.count({e.a, e.b}) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace sarn::core

@@ -1,0 +1,50 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarn::geo {
+
+Grid::Grid(const BoundingBox& box, double cell_side_meters)
+    : box_(box), cell_side_meters_(cell_side_meters) {
+  SARN_CHECK_GT(cell_side_meters, 0.0);
+  SARN_CHECK_LE(box.min_lat, box.max_lat);
+  SARN_CHECK_LE(box.min_lng, box.max_lng);
+  double height = std::max(1.0, box.HeightMeters());
+  double width = std::max(1.0, box.WidthMeters());
+  rows_ = std::max(1, static_cast<int>(std::ceil(height / cell_side_meters)));
+  cols_ = std::max(1, static_cast<int>(std::ceil(width / cell_side_meters)));
+  lat_per_cell_ = (box.max_lat - box.min_lat) / rows_;
+  lng_per_cell_ = (box.max_lng - box.min_lng) / cols_;
+  if (lat_per_cell_ <= 0) lat_per_cell_ = 1e-9;
+  if (lng_per_cell_ <= 0) lng_per_cell_ = 1e-9;
+}
+
+int Grid::RowOf(const LatLng& p) const {
+  int row = static_cast<int>((p.lat - box_.min_lat) / lat_per_cell_);
+  return std::clamp(row, 0, rows_ - 1);
+}
+
+int Grid::ColOf(const LatLng& p) const {
+  int col = static_cast<int>((p.lng - box_.min_lng) / lng_per_cell_);
+  return std::clamp(col, 0, cols_ - 1);
+}
+
+int Grid::CellOf(const LatLng& p) const { return RowOf(p) * cols_ + ColOf(p); }
+
+std::vector<int> Grid::CellsWithinRadius(const LatLng& p, double radius_meters) const {
+  int row = RowOf(p);
+  int col = ColOf(p);
+  int span = static_cast<int>(std::ceil(radius_meters / cell_side_meters_)) + 1;
+  std::vector<int> cells;
+  for (int r = std::max(0, row - span); r <= std::min(rows_ - 1, row + span); ++r) {
+    for (int c = std::max(0, col - span); c <= std::min(cols_ - 1, col + span); ++c) {
+      cells.push_back(r * cols_ + c);
+    }
+  }
+  return cells;
+}
+
+}  // namespace sarn::geo

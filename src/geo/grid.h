@@ -1,0 +1,57 @@
+// Uniform grid partitioning of a geographic region.
+//
+// Two users:
+//  * core/negative_queue: the paper's spatial distance-based negative
+//    sampling partitions the road-network space with a grid of side length
+//    `clen` and keeps one embedding queue per cell (paper §4.4, Fig. 3).
+//  * geo/spatial_index: radius queries for A^s construction and map-matching.
+
+#ifndef SARN_GEO_GRID_H_
+#define SARN_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace sarn::geo {
+
+/// A fixed uniform grid over a bounding box, with square-ish cells of a
+/// requested side length in meters. Cells are indexed row-major:
+/// cell = row * cols + col, row 0 at min_lat, col 0 at min_lng.
+class Grid {
+ public:
+  /// Builds a grid covering `box` with cells of approximately
+  /// `cell_side_meters` on each side (at least 1x1).
+  Grid(const BoundingBox& box, double cell_side_meters);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_cells() const { return rows_ * cols_; }
+  double cell_side_meters() const { return cell_side_meters_; }
+  const BoundingBox& box() const { return box_; }
+
+  /// Cell index of a point. Points outside the box are clamped to the
+  /// nearest border cell (road midpoints can drift marginally outside the
+  /// network bounding box after augmentation/noise).
+  int CellOf(const LatLng& p) const;
+
+  int RowOf(const LatLng& p) const;
+  int ColOf(const LatLng& p) const;
+
+  /// Cells whose centers lie within `radius_meters` of `p`, including the
+  /// cell of p itself; used for neighborhood scans.
+  std::vector<int> CellsWithinRadius(const LatLng& p, double radius_meters) const;
+
+ private:
+  BoundingBox box_;
+  double cell_side_meters_;
+  int rows_;
+  int cols_;
+  double lat_per_cell_;
+  double lng_per_cell_;
+};
+
+}  // namespace sarn::geo
+
+#endif  // SARN_GEO_GRID_H_

@@ -1,0 +1,59 @@
+#include "geo/point.h"
+
+#include <algorithm>
+
+namespace sarn::geo {
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  double lat1 = DegToRad(a.lat);
+  double lat2 = DegToRad(b.lat);
+  double dlat = lat2 - lat1;
+  double dlng = DegToRad(b.lng - a.lng);
+  double s1 = std::sin(dlat / 2.0);
+  double s2 = std::sin(dlng / 2.0);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+double AngularDistance(double radian_a, double radian_b) {
+  double diff = std::fmod(std::fabs(radian_a - radian_b), 2.0 * kPi);
+  if (diff > kPi) diff = 2.0 * kPi - diff;
+  return diff;
+}
+
+double SegmentRadian(const LatLng& a, const LatLng& b) {
+  double mid_lat = DegToRad((a.lat + b.lat) / 2.0);
+  double dx = (b.lng - a.lng) * std::cos(mid_lat);  // East component (deg-equivalent).
+  double dy = b.lat - a.lat;                        // North component.
+  double angle = std::atan2(dy, dx);
+  if (angle < 0) angle += 2.0 * kPi;
+  return angle;
+}
+
+LocalProjection::LocalProjection(const LatLng& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kPi / 180.0;
+  meters_per_deg_lng_ = meters_per_deg_lat_ * std::cos(DegToRad(origin.lat));
+}
+
+LatLng LocalProjection::ToLatLng(double x_meters, double y_meters) const {
+  return LatLng{origin_.lat + y_meters / meters_per_deg_lat_,
+                origin_.lng + x_meters / meters_per_deg_lng_};
+}
+
+void LocalProjection::ToMeters(const LatLng& p, double* x_meters, double* y_meters) const {
+  *x_meters = (p.lng - origin_.lng) * meters_per_deg_lng_;
+  *y_meters = (p.lat - origin_.lat) * meters_per_deg_lat_;
+}
+
+double BoundingBox::WidthMeters() const {
+  double mid_lat = (min_lat + max_lat) / 2.0;
+  return HaversineMeters(LatLng{mid_lat, min_lng}, LatLng{mid_lat, max_lng});
+}
+
+double BoundingBox::HeightMeters() const {
+  double mid_lng = (min_lng + max_lng) / 2.0;
+  return HaversineMeters(LatLng{min_lat, mid_lng}, LatLng{max_lat, mid_lng});
+}
+
+}  // namespace sarn::geo

@@ -1,0 +1,93 @@
+// Geographic point and angle primitives.
+
+#ifndef SARN_GEO_POINT_H_
+#define SARN_GEO_POINT_H_
+
+#include <cmath>
+
+namespace sarn::geo {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kEarthRadiusMeters = 6371000.0;
+
+/// A WGS84 coordinate in degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const LatLng& a, const LatLng& b) {
+    return a.lat == b.lat && a.lng == b.lng;
+  }
+};
+
+inline double DegToRad(double degrees) { return degrees * kPi / 180.0; }
+inline double RadToDeg(double radians) { return radians * 180.0 / kPi; }
+
+/// Midpoint of a segment in coordinate space (adequate for the city-scale
+/// distances used throughout; no antimeridian handling).
+inline LatLng Midpoint(const LatLng& a, const LatLng& b) {
+  return LatLng{(a.lat + b.lat) / 2.0, (a.lng + b.lng) / 2.0};
+}
+
+/// Great-circle (haversine) distance in meters.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Absolute angular distance between two directions given in radians,
+/// folded into [0, pi]. This is the paper's ag_dist(s_i, s_j) with the
+/// natural 2*pi wrap-around.
+double AngularDistance(double radian_a, double radian_b);
+
+/// Bearing of the segment a->b, in radians in [0, 2*pi), measured from east
+/// counter-clockwise on the local tangent plane. Used as RoadSegment::radian.
+double SegmentRadian(const LatLng& a, const LatLng& b);
+
+/// A local equirectangular projection anchored at `origin`: converts between
+/// lat/lng and (x east, y north) meters. Accurate to well under 0.1% at city
+/// scale, which is all the synthetic generator and grid partitioning need.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLng& origin);
+
+  LatLng ToLatLng(double x_meters, double y_meters) const;
+  void ToMeters(const LatLng& p, double* x_meters, double* y_meters) const;
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+/// Axis-aligned geographic bounding box.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lng = 0.0;
+  double max_lat = 0.0;
+  double max_lng = 0.0;
+
+  bool Contains(const LatLng& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lng >= min_lng && p.lng <= max_lng;
+  }
+
+  void Extend(const LatLng& p) {
+    if (p.lat < min_lat) min_lat = p.lat;
+    if (p.lat > max_lat) max_lat = p.lat;
+    if (p.lng < min_lng) min_lng = p.lng;
+    if (p.lng > max_lng) max_lng = p.lng;
+  }
+
+  /// Box spanning exactly the given points; identity element for Extend.
+  static BoundingBox Empty() {
+    return BoundingBox{1e9, 1e9, -1e9, -1e9};
+  }
+
+  /// Width (east-west) and height (north-south) in meters, measured through
+  /// the box centre.
+  double WidthMeters() const;
+  double HeightMeters() const;
+};
+
+}  // namespace sarn::geo
+
+#endif  // SARN_GEO_POINT_H_

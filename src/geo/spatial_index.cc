@@ -1,0 +1,86 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sarn::geo {
+namespace {
+
+BoundingBox BoxOf(const std::vector<LatLng>& points) {
+  BoundingBox box = BoundingBox::Empty();
+  for (const LatLng& p : points) box.Extend(p);
+  if (points.empty()) box = BoundingBox{0, 0, 0, 0};
+  return box;
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(std::vector<LatLng> points, double cell_side_meters)
+    : points_(std::move(points)), grid_(BoxOf(points_), cell_side_meters) {
+  size_t n = points_.size();
+  std::vector<uint32_t> cell_of(n);
+  std::vector<uint32_t> counts(grid_.num_cells() + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    cell_of[i] = static_cast<uint32_t>(grid_.CellOf(points_[i]));
+    ++counts[cell_of[i] + 1];
+  }
+  for (size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  bucket_offsets_ = counts;
+  bucket_ids_.resize(n);
+  std::vector<uint32_t> cursor(bucket_offsets_.begin(), bucket_offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    bucket_ids_[cursor[cell_of[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+std::vector<uint32_t> SpatialIndex::WithinRadius(const LatLng& center,
+                                                 double radius_meters) const {
+  std::vector<uint32_t> result;
+  if (points_.empty()) return result;
+  for (int cell : grid_.CellsWithinRadius(center, radius_meters)) {
+    for (uint32_t k = bucket_offsets_[cell]; k < bucket_offsets_[cell + 1]; ++k) {
+      uint32_t id = bucket_ids_[k];
+      if (HaversineMeters(center, points_[id]) <= radius_meters) {
+        result.push_back(id);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<uint32_t> SpatialIndex::Nearest(const LatLng& center,
+                                              double max_radius_meters) const {
+  if (points_.empty()) return std::nullopt;
+  double radius = grid_.cell_side_meters();
+  std::optional<uint32_t> best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  while (radius <= max_radius_meters * 2.0) {
+    for (int cell : grid_.CellsWithinRadius(center, radius)) {
+      for (uint32_t k = bucket_offsets_[cell]; k < bucket_offsets_[cell + 1]; ++k) {
+        uint32_t id = bucket_ids_[k];
+        double dist = HaversineMeters(center, points_[id]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = id;
+        }
+      }
+    }
+    // A hit within the scanned ring is guaranteed closest only once the ring
+    // radius exceeds the found distance.
+    if (best.has_value() && best_dist <= radius) return best;
+    if (radius >= max_radius_meters) break;
+    radius = std::min(radius * 2.0, max_radius_meters);
+    if (radius >= std::max(grid_.box().WidthMeters(), grid_.box().HeightMeters()) +
+                      grid_.cell_side_meters()) {
+      // Scanned everything; the radius cap still applies below.
+      break;
+    }
+  }
+  if (best.has_value() && best_dist <= max_radius_meters) return best;
+  return std::nullopt;
+}
+
+}  // namespace sarn::geo

@@ -1,0 +1,47 @@
+// Grid-bucketed point index supporting radius and nearest-neighbor queries.
+//
+// Used to build the spatial similarity matrix A^s in O(n * neighbors) rather
+// than O(n^2), and by the map-matcher to snap GPS points to road segments.
+
+#ifndef SARN_GEO_SPATIAL_INDEX_H_
+#define SARN_GEO_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace sarn::geo {
+
+/// Immutable index over a set of points (built once, queried many times).
+/// Item ids are the indices of the `points` vector passed at construction.
+class SpatialIndex {
+ public:
+  /// `cell_side_meters` should be on the order of the typical query radius.
+  SpatialIndex(std::vector<LatLng> points, double cell_side_meters);
+
+  size_t size() const { return points_.size(); }
+  const LatLng& point(size_t id) const { return points_[id]; }
+
+  /// Ids of all points with haversine distance <= radius_meters of `center`
+  /// (including a point identical to the center, if indexed).
+  std::vector<uint32_t> WithinRadius(const LatLng& center, double radius_meters) const;
+
+  /// Id of the nearest indexed point, or nullopt if the index is empty.
+  /// `max_radius_meters` bounds the search (expanding ring over grid cells).
+  std::optional<uint32_t> Nearest(const LatLng& center,
+                                  double max_radius_meters = 1e7) const;
+
+ private:
+  std::vector<LatLng> points_;
+  Grid grid_;
+  // CSR-style buckets: ids_ grouped by cell, offsets per cell.
+  std::vector<uint32_t> bucket_ids_;
+  std::vector<uint32_t> bucket_offsets_;
+};
+
+}  // namespace sarn::geo
+
+#endif  // SARN_GEO_SPATIAL_INDEX_H_

@@ -1,0 +1,97 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace sarn::graph {
+
+CsrGraph::CsrGraph(int64_t num_vertices, const std::vector<WeightedEdge>& edges) {
+  SARN_CHECK_GE(num_vertices, 0);
+  offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const WeightedEdge& e : edges) {
+    SARN_CHECK(e.from >= 0 && e.from < num_vertices) << "from " << e.from;
+    SARN_CHECK(e.to >= 0 && e.to < num_vertices) << "to " << e.to;
+    ++offsets_[static_cast<size_t>(e.from) + 1];
+  }
+  for (size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  targets_.resize(edges.size());
+  weights_.resize(edges.size());
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const WeightedEdge& e : edges) {
+    int64_t slot = cursor[static_cast<size_t>(e.from)]++;
+    targets_[static_cast<size_t>(slot)] = e.to;
+    weights_[static_cast<size_t>(slot)] = e.weight;
+  }
+}
+
+std::span<const VertexId> CsrGraph::OutNeighbors(VertexId v) const {
+  SARN_DCHECK(v >= 0 && v < num_vertices());
+  size_t begin = static_cast<size_t>(offsets_[static_cast<size_t>(v)]);
+  size_t end = static_cast<size_t>(offsets_[static_cast<size_t>(v) + 1]);
+  return {targets_.data() + begin, end - begin};
+}
+
+std::span<const double> CsrGraph::OutWeights(VertexId v) const {
+  SARN_DCHECK(v >= 0 && v < num_vertices());
+  size_t begin = static_cast<size_t>(offsets_[static_cast<size_t>(v)]);
+  size_t end = static_cast<size_t>(offsets_[static_cast<size_t>(v) + 1]);
+  return {weights_.data() + begin, end - begin};
+}
+
+int64_t CsrGraph::OutDegree(VertexId v) const {
+  return offsets_[static_cast<size_t>(v) + 1] - offsets_[static_cast<size_t>(v)];
+}
+
+std::vector<bool> CsrGraph::ReachableFrom(VertexId source) const {
+  std::vector<bool> visited(static_cast<size_t>(num_vertices()), false);
+  std::queue<VertexId> frontier;
+  visited[static_cast<size_t>(source)] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop();
+    for (VertexId u : OutNeighbors(v)) {
+      if (!visited[static_cast<size_t>(u)]) {
+        visited[static_cast<size_t>(u)] = true;
+        frontier.push(u);
+      }
+    }
+  }
+  return visited;
+}
+
+int64_t CsrGraph::CountWeakComponents() const {
+  int64_t n = num_vertices();
+  // Build an undirected adjacency once (union of out-edges both ways).
+  std::vector<std::vector<VertexId>> undirected(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : OutNeighbors(v)) {
+      undirected[static_cast<size_t>(v)].push_back(u);
+      undirected[static_cast<size_t>(u)].push_back(v);
+    }
+  }
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  int64_t components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    ++components;
+    stack.push_back(start);
+    visited[static_cast<size_t>(start)] = true;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : undirected[static_cast<size_t>(v)]) {
+        if (!visited[static_cast<size_t>(u)]) {
+          visited[static_cast<size_t>(u)] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sarn::graph

@@ -1,0 +1,54 @@
+// Compressed-sparse-row directed graph with edge weights.
+//
+// Used as the algorithmic view of a road network (vertices = road segments,
+// edges = topological connectivity) for Dijkstra ground truth, random-walk
+// baselines and reachability checks.
+
+#ifndef SARN_GRAPH_CSR_GRAPH_H_
+#define SARN_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sarn::graph {
+
+using VertexId = int64_t;
+
+struct WeightedEdge {
+  VertexId from = 0;
+  VertexId to = 0;
+  double weight = 1.0;
+};
+
+/// Immutable CSR adjacency structure.
+class CsrGraph {
+ public:
+  /// Builds from an edge list; edges may arrive in any order. Parallel edges
+  /// are kept as-is (Dijkstra handles them naturally).
+  CsrGraph(int64_t num_vertices, const std::vector<WeightedEdge>& edges);
+
+  int64_t num_vertices() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+  int64_t num_edges() const { return static_cast<int64_t>(targets_.size()); }
+
+  /// Out-neighbors of v (targets) and matching weights, as parallel spans.
+  std::span<const VertexId> OutNeighbors(VertexId v) const;
+  std::span<const double> OutWeights(VertexId v) const;
+
+  int64_t OutDegree(VertexId v) const;
+
+  /// Vertices reachable from `source` (BFS, ignoring weights).
+  std::vector<bool> ReachableFrom(VertexId source) const;
+
+  /// Number of weakly connected components (edges treated as undirected).
+  int64_t CountWeakComponents() const;
+
+ private:
+  std::vector<int64_t> offsets_;  // Size n+1.
+  std::vector<VertexId> targets_;
+  std::vector<double> weights_;
+};
+
+}  // namespace sarn::graph
+
+#endif  // SARN_GRAPH_CSR_GRAPH_H_

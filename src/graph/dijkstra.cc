@@ -1,0 +1,67 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace sarn::graph {
+
+ShortestPathTree Dijkstra(const CsrGraph& graph, VertexId source,
+                          std::optional<VertexId> target, double max_distance) {
+  int64_t n = graph.num_vertices();
+  SARN_CHECK(source >= 0 && source < n) << "source " << source;
+  ShortestPathTree tree;
+  tree.distance.assign(static_cast<size_t>(n), kInfiniteDistance);
+  tree.parent.assign(static_cast<size_t>(n), -1);
+  tree.distance[static_cast<size_t>(source)] = 0.0;
+
+  using Entry = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<size_t>(v)]) continue;  // Stale entry.
+    if (target.has_value() && v == *target) break;
+    std::span<const VertexId> neighbors = graph.OutNeighbors(v);
+    std::span<const double> weights = graph.OutWeights(v);
+    for (size_t k = 0; k < neighbors.size(); ++k) {
+      SARN_DCHECK(weights[k] >= 0.0);
+      double candidate = dist + weights[k];
+      if (candidate > max_distance) continue;
+      VertexId u = neighbors[k];
+      if (candidate < tree.distance[static_cast<size_t>(u)]) {
+        tree.distance[static_cast<size_t>(u)] = candidate;
+        tree.parent[static_cast<size_t>(u)] = v;
+        heap.emplace(candidate, u);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<double> ShortestPathDistance(const CsrGraph& graph, VertexId source,
+                                           VertexId target) {
+  ShortestPathTree tree = Dijkstra(graph, source, target);
+  double d = tree.distance[static_cast<size_t>(target)];
+  if (d == kInfiniteDistance) return std::nullopt;
+  return d;
+}
+
+std::vector<VertexId> ReconstructPath(const ShortestPathTree& tree, VertexId source,
+                                      VertexId target) {
+  if (tree.distance[static_cast<size_t>(target)] == kInfiniteDistance) return {};
+  std::vector<VertexId> path;
+  VertexId v = target;
+  while (v != -1) {
+    path.push_back(v);
+    if (v == source) break;
+    v = tree.parent[static_cast<size_t>(v)];
+  }
+  if (path.back() != source) return {};  // Tree rooted elsewhere.
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace sarn::graph

@@ -1,0 +1,44 @@
+// Dijkstra single-source shortest paths, the ground-truth oracle of the
+// shortest-path-distance downstream task (paper §5.2.3) and the router of
+// the synthetic trajectory generator.
+
+#ifndef SARN_GRAPH_DIJKSTRA_H_
+#define SARN_GRAPH_DIJKSTRA_H_
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace sarn::graph {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+  /// distance[v] = shortest distance from the source, kInfiniteDistance when
+  /// unreachable (or pruned by a bound).
+  std::vector<double> distance;
+  /// parent[v] = predecessor on a shortest path, -1 for source/unreached.
+  std::vector<VertexId> parent;
+};
+
+/// Full single-source run. `max_distance` prunes the search: vertices farther
+/// than the bound keep infinite distance. `target` (if set) stops the search
+/// once the target is settled.
+ShortestPathTree Dijkstra(const CsrGraph& graph, VertexId source,
+                          std::optional<VertexId> target = std::nullopt,
+                          double max_distance = kInfiniteDistance);
+
+/// Point query; nullopt when unreachable.
+std::optional<double> ShortestPathDistance(const CsrGraph& graph, VertexId source,
+                                           VertexId target);
+
+/// Reconstructs source -> target as a vertex sequence (inclusive); empty when
+/// the tree does not reach target.
+std::vector<VertexId> ReconstructPath(const ShortestPathTree& tree, VertexId source,
+                                      VertexId target);
+
+}  // namespace sarn::graph
+
+#endif  // SARN_GRAPH_DIJKSTRA_H_

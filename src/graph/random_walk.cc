@@ -1,0 +1,75 @@
+#include "graph/random_walk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sarn::graph {
+namespace {
+
+// True if `graph` has an edge prev -> candidate (linear scan; road-network
+// degrees are tiny, typically <= 4).
+bool HasEdge(const CsrGraph& graph, VertexId prev, VertexId candidate) {
+  for (VertexId u : graph.OutNeighbors(prev)) {
+    if (u == candidate) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<VertexId> BiasedWalk(const CsrGraph& graph, VertexId start,
+                                 const RandomWalkConfig& config, Rng& rng) {
+  SARN_CHECK_GT(config.walk_length, 0);
+  SARN_CHECK_GT(config.p, 0.0);
+  SARN_CHECK_GT(config.q, 0.0);
+  std::vector<VertexId> walk;
+  walk.reserve(static_cast<size_t>(config.walk_length));
+  walk.push_back(start);
+  std::vector<double> probabilities;
+  while (static_cast<int>(walk.size()) < config.walk_length) {
+    VertexId current = walk.back();
+    std::span<const VertexId> neighbors = graph.OutNeighbors(current);
+    std::span<const double> weights = graph.OutWeights(current);
+    if (neighbors.empty()) break;
+    if (walk.size() == 1) {
+      // First step: plain weighted choice.
+      probabilities.assign(weights.begin(), weights.end());
+    } else {
+      VertexId prev = walk[walk.size() - 2];
+      probabilities.resize(neighbors.size());
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        double bias;
+        if (neighbors[k] == prev) {
+          bias = 1.0 / config.p;  // Return step.
+        } else if (HasEdge(graph, prev, neighbors[k])) {
+          bias = 1.0;  // Common neighbor: distance 1 from prev.
+        } else {
+          bias = 1.0 / config.q;  // Outward step: distance 2 from prev.
+        }
+        probabilities[k] = weights[k] * bias;
+      }
+    }
+    walk.push_back(neighbors[rng.Discrete(probabilities)]);
+  }
+  return walk;
+}
+
+std::vector<std::vector<VertexId>> GenerateWalkCorpus(const CsrGraph& graph,
+                                                      const RandomWalkConfig& config,
+                                                      Rng& rng) {
+  std::vector<VertexId> order(static_cast<size_t>(graph.num_vertices()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<VertexId>(i);
+  std::vector<std::vector<VertexId>> corpus;
+  corpus.reserve(order.size() * static_cast<size_t>(config.walks_per_vertex));
+  for (int round = 0; round < config.walks_per_vertex; ++round) {
+    rng.Shuffle(order);
+    for (VertexId start : order) {
+      std::vector<VertexId> walk = BiasedWalk(graph, start, config, rng);
+      if (walk.size() >= 2) corpus.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace sarn::graph

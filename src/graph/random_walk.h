@@ -1,0 +1,38 @@
+// Random walks over a CsrGraph: uniform first-order walks and node2vec's
+// biased second-order walks (Grover & Leskovec, KDD'16), the corpus
+// generator of the node2vec baseline.
+
+#ifndef SARN_GRAPH_RANDOM_WALK_H_
+#define SARN_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace sarn::graph {
+
+struct RandomWalkConfig {
+  int walk_length = 80;
+  int walks_per_vertex = 10;
+  /// node2vec return parameter p: larger p discourages revisiting the
+  /// previous vertex.
+  double p = 1.0;
+  /// node2vec in-out parameter q: q > 1 keeps walks local (BFS-like),
+  /// q < 1 pushes them outward (DFS-like).
+  double q = 1.0;
+};
+
+/// One biased walk starting at `start`. The walk stops early at sinks.
+std::vector<VertexId> BiasedWalk(const CsrGraph& graph, VertexId start,
+                                 const RandomWalkConfig& config, Rng& rng);
+
+/// The full node2vec corpus: `walks_per_vertex` walks from every vertex, in
+/// a shuffled vertex order per round.
+std::vector<std::vector<VertexId>> GenerateWalkCorpus(const CsrGraph& graph,
+                                                      const RandomWalkConfig& config,
+                                                      Rng& rng);
+
+}  // namespace sarn::graph
+
+#endif  // SARN_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,51 @@
+#include "nn/embedding.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+using tensor::Tensor;
+
+Embedding::Embedding(int64_t num_entries, int64_t dim, Rng& rng) {
+  SARN_CHECK_GT(num_entries, 0);
+  SARN_CHECK_GT(dim, 0);
+  // Small Gaussian init (word2vec-style).
+  table_ = Tensor::Randn({num_entries, dim}, rng, 0.1f);
+  table_.RequiresGrad();
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return tensor::Rows(table_, ids);
+}
+
+std::vector<Tensor> Embedding::Parameters() const { return {table_}; }
+
+FeatureEmbedding::FeatureEmbedding(const std::vector<int64_t>& vocab_sizes,
+                                   const std::vector<int64_t>& dims, Rng& rng) {
+  SARN_CHECK_EQ(vocab_sizes.size(), dims.size());
+  SARN_CHECK(!vocab_sizes.empty());
+  for (size_t f = 0; f < vocab_sizes.size(); ++f) {
+    tables_.emplace_back(vocab_sizes[f], dims[f], rng);
+    output_dim_ += dims[f];
+  }
+}
+
+Tensor FeatureEmbedding::Forward(const std::vector<std::vector<int64_t>>& ids) const {
+  SARN_CHECK_EQ(ids.size(), tables_.size());
+  std::vector<Tensor> parts;
+  parts.reserve(tables_.size());
+  for (size_t f = 0; f < tables_.size(); ++f) {
+    SARN_CHECK_EQ(ids[f].size(), ids[0].size());
+    parts.push_back(tables_[f].Forward(ids[f]));
+  }
+  return tensor::Concat(parts, /*axis=*/1);
+}
+
+std::vector<Tensor> FeatureEmbedding::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Embedding& table : tables_) params.push_back(table.table());
+  return params;
+}
+
+}  // namespace sarn::nn

@@ -1,0 +1,137 @@
+#include "nn/gat.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+using tensor::Tensor;
+
+GatLayer::GatLayer(int64_t in_dim, int64_t head_dim, int num_heads, bool concat_heads,
+                   Activation activation, Rng& rng, float leaky_relu_slope,
+                   bool add_self_loops, bool residual, bool use_attention)
+    : head_dim_(head_dim),
+      num_heads_(num_heads),
+      concat_heads_(concat_heads),
+      activation_(activation),
+      leaky_relu_slope_(leaky_relu_slope),
+      add_self_loops_(add_self_loops),
+      use_attention_(use_attention) {
+  SARN_CHECK_GT(head_dim, 0);
+  SARN_CHECK_GT(num_heads, 0);
+  for (int h = 0; h < num_heads; ++h) {
+    weight_.push_back(Tensor::GlorotUniform(in_dim, head_dim, rng).RequiresGrad());
+    att_src_.push_back(Tensor::GlorotUniform(head_dim, 1, rng).RequiresGrad());
+    att_dst_.push_back(Tensor::GlorotUniform(head_dim, 1, rng).RequiresGrad());
+  }
+  if (residual) {
+    residual_weight_ = Tensor::GlorotUniform(in_dim, output_dim(), rng).RequiresGrad();
+  }
+}
+
+Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
+  SARN_CHECK_EQ(x.rank(), 2);
+  int64_t n = x.shape()[0];
+  // Self-loops make every vertex attend to itself; without them isolated
+  // vertices (possible after aggressive augmentation) would emit zeros.
+  const std::vector<int64_t>* src = &edges.src;
+  const std::vector<int64_t>* dst = &edges.dst;
+  std::vector<int64_t> src_aug, dst_aug;
+  if (add_self_loops_) {
+    src_aug = edges.src;
+    dst_aug = edges.dst;
+    src_aug.reserve(src_aug.size() + n);
+    dst_aug.reserve(dst_aug.size() + n);
+    for (int64_t v = 0; v < n; ++v) {
+      src_aug.push_back(v);
+      dst_aug.push_back(v);
+    }
+    src = &src_aug;
+    dst = &dst_aug;
+  }
+  int64_t e_count = static_cast<int64_t>(src->size());
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor wx = tensor::MatMul(x, weight_[h]);  // [n, head_dim]
+    Tensor alpha;
+    if (use_attention_) {
+      Tensor score_src = tensor::MatMul(wx, att_src_[h]);  // [n, 1]
+      Tensor score_dst = tensor::MatMul(wx, att_dst_[h]);  // [n, 1]
+      Tensor e = tensor::LeakyRelu(
+          tensor::Add(tensor::Rows(score_dst, *dst), tensor::Rows(score_src, *src)),
+          leaky_relu_slope_);  // [E, 1]
+      alpha = tensor::EdgeSoftmax(tensor::Reshape(e, {e_count}), *dst, n);
+    } else {
+      // Footnote-1 ablation: softmax of constant scores = uniform mean over
+      // each vertex's incoming edges.
+      alpha = tensor::EdgeSoftmax(Tensor::Zeros({e_count}), *dst, n);
+    }
+    Tensor messages = tensor::ScaleRows(tensor::Rows(wx, *src), alpha);
+    head_outputs.push_back(tensor::ScatterAddRows(messages, *dst, n));  // [n, head_dim]
+  }
+
+  Tensor combined;
+  if (concat_heads_) {
+    combined = num_heads_ == 1 ? head_outputs[0] : tensor::Concat(head_outputs, 1);
+  } else {
+    combined = head_outputs[0];
+    for (int h = 1; h < num_heads_; ++h) combined = tensor::Add(combined, head_outputs[h]);
+    combined = tensor::MulScalar(combined, 1.0f / static_cast<float>(num_heads_));
+  }
+  if (residual_weight_.defined()) {
+    combined = tensor::Add(combined, tensor::MatMul(x, residual_weight_));
+  }
+  return Apply(activation_, combined);
+}
+
+std::vector<Tensor> GatLayer::Parameters() const {
+  std::vector<Tensor> params;
+  for (int h = 0; h < num_heads_; ++h) {
+    params.push_back(weight_[h]);
+    params.push_back(att_src_[h]);
+    params.push_back(att_dst_[h]);
+  }
+  if (residual_weight_.defined()) params.push_back(residual_weight_);
+  return params;
+}
+
+GatEncoder::GatEncoder(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
+                       int num_layers, int num_heads, Rng& rng, bool use_attention) {
+  SARN_CHECK_GE(num_layers, 1);
+  SARN_CHECK_EQ(hidden_dim % num_heads, 0)
+      << "hidden_dim " << hidden_dim << " not divisible by heads " << num_heads;
+  int64_t head_dim = hidden_dim / num_heads;
+  int64_t current = in_dim;
+  for (int layer = 0; layer + 1 < num_layers; ++layer) {
+    layers_.emplace_back(current, head_dim, num_heads, /*concat_heads=*/true,
+                         Activation::kElu, rng, 0.2f, /*add_self_loops=*/true,
+                         /*residual=*/true, use_attention);
+    current = hidden_dim;
+  }
+  // Final layer: average heads, no activation (its output is the embedding).
+  layers_.emplace_back(current, out_dim, num_heads, /*concat_heads=*/false,
+                       Activation::kNone, rng, 0.2f, /*add_self_loops=*/true,
+                       /*residual=*/true, use_attention);
+}
+
+Tensor GatEncoder::Forward(const Tensor& x, const EdgeList& edges) const {
+  Tensor h = x;
+  for (const GatLayer& layer : layers_) h = layer.Forward(h, edges);
+  return h;
+}
+
+std::vector<Tensor> GatEncoder::Parameters() const {
+  std::vector<Tensor> params;
+  for (const GatLayer& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Tensor> GatEncoder::FinalLayerParameters() const {
+  return layers_.back().Parameters();
+}
+
+}  // namespace sarn::nn

@@ -1,0 +1,82 @@
+#include "nn/gru.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  SARN_CHECK_GT(input_dim, 0);
+  SARN_CHECK_GT(hidden_dim, 0);
+  auto gate = [&](Tensor& w, Tensor& u, Tensor& b) {
+    w = Tensor::GlorotUniform(input_dim, hidden_dim, rng).RequiresGrad();
+    u = Tensor::GlorotUniform(hidden_dim, hidden_dim, rng).RequiresGrad();
+    b = Tensor::Zeros({hidden_dim});
+    b.RequiresGrad();
+  };
+  gate(w_z_, u_z_, b_z_);
+  gate(w_r_, u_r_, b_r_);
+  gate(w_n_, u_n_, b_n_);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  using namespace tensor;  // NOLINT: local op readability.
+  Tensor z = Sigmoid(Add(Add(MatMul(x, w_z_), MatMul(h, u_z_)), b_z_));
+  Tensor r = Sigmoid(Add(Add(MatMul(x, w_r_), MatMul(h, u_r_)), b_r_));
+  Tensor n = Tanh(Add(Add(MatMul(x, w_n_), MatMul(Mul(r, h), u_n_)), b_n_));
+  // h' = (1 - z) * n + z * h = n - z*n + z*h
+  return Add(Sub(n, Mul(z, n)), Mul(z, h));
+}
+
+Tensor GruCell::InitialState(int64_t batch) const {
+  return Tensor::Zeros({batch, hidden_dim_});
+}
+
+std::vector<Tensor> GruCell::Parameters() const {
+  return {w_z_, u_z_, b_z_, w_r_, u_r_, b_r_, w_n_, u_n_, b_n_};
+}
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, int num_layers, Rng& rng) {
+  SARN_CHECK_GE(num_layers, 1);
+  int64_t in = input_dim;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    cells_.emplace_back(in, hidden_dim, rng);
+    in = hidden_dim;
+  }
+}
+
+Tensor Gru::Forward(const std::vector<Tensor>& steps) const {
+  std::vector<Tensor> all = ForwardAllSteps(steps);
+  return all.back();
+}
+
+std::vector<Tensor> Gru::ForwardAllSteps(const std::vector<Tensor>& steps) const {
+  SARN_CHECK(!steps.empty());
+  int64_t batch = steps[0].shape()[0];
+  std::vector<Tensor> layer_input = steps;
+  std::vector<Tensor> outputs;
+  for (const GruCell& cell : cells_) {
+    Tensor h = cell.InitialState(batch);
+    outputs.clear();
+    outputs.reserve(layer_input.size());
+    for (const Tensor& x : layer_input) {
+      h = cell.Forward(x, h);
+      outputs.push_back(h);
+    }
+    layer_input = outputs;
+  }
+  return outputs;
+}
+
+std::vector<Tensor> Gru::Parameters() const {
+  std::vector<Tensor> params;
+  for (const GruCell& cell : cells_) {
+    for (const Tensor& p : cell.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace sarn::nn

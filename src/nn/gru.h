@@ -1,0 +1,67 @@
+// Gated recurrent units, used by the trajectory-similarity downstream task
+// (paper §5.2.2: a 2-layer GRU over frozen road-segment embeddings) and by
+// the NEUTRAJ-lite baseline.
+
+#ifndef SARN_NN_GRU_H_
+#define SARN_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace sarn::nn {
+
+/// A single GRU cell:
+///   z = sigmoid(x W_z + h U_z + b_z)
+///   r = sigmoid(x W_r + h U_r + b_r)
+///   n = tanh(x W_n + (r * h) U_n + b_n)
+///   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  /// x: [batch, input_dim], h: [batch, hidden_dim] -> new h.
+  tensor::Tensor Forward(const tensor::Tensor& x, const tensor::Tensor& h) const;
+
+  /// Zero initial state for a batch.
+  tensor::Tensor InitialState(int64_t batch) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+  int64_t input_dim() const { return input_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  tensor::Tensor w_z_, u_z_, b_z_;
+  tensor::Tensor w_r_, u_r_, b_r_;
+  tensor::Tensor w_n_, u_n_, b_n_;
+};
+
+/// A (possibly multi-layer) unidirectional GRU. Forward consumes a sequence
+/// of [batch, input_dim] steps and returns the final hidden state of the last
+/// layer — the trajectory embedding in task 2.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, int num_layers, Rng& rng);
+
+  /// steps[t]: [batch, input_dim]; returns [batch, hidden_dim].
+  tensor::Tensor Forward(const std::vector<tensor::Tensor>& steps) const;
+
+  /// Like Forward but also returns each timestep's top-layer hidden state.
+  std::vector<tensor::Tensor> ForwardAllSteps(
+      const std::vector<tensor::Tensor>& steps) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int64_t hidden_dim() const { return cells_.back().hidden_dim(); }
+
+ private:
+  std::vector<GruCell> cells_;
+};
+
+}  // namespace sarn::nn
+
+#endif  // SARN_NN_GRU_H_

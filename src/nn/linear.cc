@@ -1,0 +1,77 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+using tensor::Tensor;
+
+Tensor Apply(Activation activation, const Tensor& x) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return tensor::Relu(x);
+    case Activation::kLeakyRelu:
+      return tensor::LeakyRelu(x);
+    case Activation::kElu:
+      return tensor::Elu(x);
+    case Activation::kSigmoid:
+      return tensor::Sigmoid(x);
+    case Activation::kTanh:
+      return tensor::Tanh(x);
+  }
+  SARN_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias) {
+  SARN_CHECK_GT(in_features, 0);
+  SARN_CHECK_GT(out_features, 0);
+  weight_ = Tensor::GlorotUniform(in_features, out_features, rng);
+  weight_.RequiresGrad();
+  if (bias) {
+    bias_ = Tensor::Zeros({out_features});
+    bias_.RequiresGrad();
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = tensor::MatMul(x, weight_);
+  if (bias_.defined()) y = tensor::Add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::Parameters() const {
+  std::vector<Tensor> params = {weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+Ffn::Ffn(const std::vector<int64_t>& layer_sizes, Activation activation, Rng& rng)
+    : activation_(activation) {
+  SARN_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+  }
+}
+
+Tensor Ffn::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Apply(activation_, h);
+  }
+  return h;
+}
+
+std::vector<Tensor> Ffn::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Linear& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace sarn::nn

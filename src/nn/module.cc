@@ -1,0 +1,37 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace sarn::nn {
+
+void Module::CopyWeightsFrom(const Module& other) {
+  std::vector<tensor::Tensor> dst = Parameters();
+  std::vector<tensor::Tensor> src = other.Parameters();
+  SARN_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    SARN_CHECK_EQ(dst[i].numel(), src[i].numel());
+    dst[i].mutable_data() = src[i].data();
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const tensor::Tensor& p : Parameters()) total += p.numel();
+  return total;
+}
+
+void MomentumUpdate(const std::vector<tensor::Tensor>& target,
+                    const std::vector<tensor::Tensor>& source, float momentum) {
+  SARN_CHECK_EQ(target.size(), source.size());
+  SARN_CHECK(momentum >= 0.0f && momentum <= 1.0f) << momentum;
+  for (size_t i = 0; i < target.size(); ++i) {
+    SARN_CHECK_EQ(target[i].numel(), source[i].numel());
+    std::vector<float>& t = const_cast<tensor::Tensor&>(target[i]).mutable_data();
+    const std::vector<float>& s = source[i].data();
+    for (size_t j = 0; j < t.size(); ++j) {
+      t[j] = momentum * t[j] + (1.0f - momentum) * s[j];
+    }
+  }
+}
+
+}  // namespace sarn::nn

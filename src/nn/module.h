@@ -1,0 +1,36 @@
+// Base interface for neural-network modules.
+
+#ifndef SARN_NN_MODULE_H_
+#define SARN_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sarn::nn {
+
+/// A trainable component owning parameter tensors. Parameters() returns the
+/// full flattened list (own + children) in a deterministic order, which is
+/// what optimizers, the momentum update and weight copying rely on.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+
+  /// Copies parameter *values* from another module of identical architecture
+  /// (same parameter list shapes, in order).
+  void CopyWeightsFrom(const Module& other);
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+};
+
+/// MoCo-style momentum update (paper Eq. 12): for every parameter pair,
+/// target = m * target + (1 - m) * source. Both lists must align.
+void MomentumUpdate(const std::vector<tensor::Tensor>& target,
+                    const std::vector<tensor::Tensor>& source, float momentum);
+
+}  // namespace sarn::nn
+
+#endif  // SARN_NN_MODULE_H_

@@ -1,0 +1,21 @@
+#include "nn/projection_head.h"
+
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+ProjectionHead::ProjectionHead(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
+                               Rng& rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {}
+
+tensor::Tensor ProjectionHead::Forward(const tensor::Tensor& h) const {
+  return fc2_.Forward(tensor::Relu(fc1_.Forward(h)));
+}
+
+std::vector<tensor::Tensor> ProjectionHead::Parameters() const {
+  std::vector<tensor::Tensor> params = fc1_.Parameters();
+  for (const tensor::Tensor& p : fc2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace sarn::nn

@@ -1,0 +1,33 @@
+// The nonlinear projection head of contrastive learning (paper Eq. 11):
+// z = FC(ReLU(FC(h))), mapping encoder outputs [*, d] to the lower
+// dimensional space [*, d_z] used only for loss computation.
+
+#ifndef SARN_NN_PROJECTION_HEAD_H_
+#define SARN_NN_PROJECTION_HEAD_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace sarn::nn {
+
+class ProjectionHead : public Module {
+ public:
+  ProjectionHead(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& h) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int64_t out_dim() const { return fc2_.out_features(); }
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace sarn::nn
+
+#endif  // SARN_NN_PROJECTION_HEAD_H_

@@ -1,0 +1,47 @@
+#include "nn/sequence_util.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+
+using tensor::Tensor;
+
+Tensor EmbedSequences(const Gru& gru, const Tensor& item_embeddings,
+                      const std::vector<std::vector<int64_t>>& sequences) {
+  SARN_CHECK(!sequences.empty());
+  std::map<size_t, std::vector<size_t>> by_length;  // length -> sequence indices.
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    SARN_CHECK(!sequences[i].empty()) << "sequence " << i;
+    by_length[sequences[i].size()].push_back(i);
+  }
+
+  std::vector<Tensor> group_outputs;
+  std::vector<size_t> group_order;  // Original index of each produced row.
+  for (const auto& [length, members] : by_length) {
+    std::vector<Tensor> steps;
+    steps.reserve(length);
+    for (size_t t = 0; t < length; ++t) {
+      std::vector<int64_t> ids;
+      ids.reserve(members.size());
+      for (size_t m : members) ids.push_back(sequences[m][t]);
+      steps.push_back(tensor::Rows(item_embeddings, ids));
+    }
+    group_outputs.push_back(gru.Forward(steps));  // [|members|, hidden]
+    for (size_t m : members) group_order.push_back(m);
+  }
+
+  Tensor stacked =
+      group_outputs.size() == 1 ? group_outputs[0] : tensor::Concat(group_outputs, 0);
+  // Reorder rows back to the input order: row r of the result must be the
+  // stacked row holding sequence r.
+  std::vector<int64_t> perm(sequences.size());
+  for (size_t pos = 0; pos < group_order.size(); ++pos) {
+    perm[group_order[pos]] = static_cast<int64_t>(pos);
+  }
+  return tensor::Rows(stacked, perm);
+}
+
+}  // namespace sarn::nn

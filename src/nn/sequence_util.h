@@ -1,0 +1,29 @@
+// Batched GRU embedding of variable-length id sequences.
+//
+// Trajectories are sequences of road-segment ids of varying length; a GRU
+// cannot batch different lengths directly, and padding would corrupt the
+// final state. EmbedSequences groups sequences of equal length, runs each
+// group as one batch, and reassembles the results in input order — all
+// within a single autograd graph (gradients flow into `item_embeddings`
+// when it requires grad).
+
+#ifndef SARN_NN_SEQUENCE_UTIL_H_
+#define SARN_NN_SEQUENCE_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/gru.h"
+#include "tensor/tensor.h"
+
+namespace sarn::nn {
+
+/// item_embeddings: [n, d]; sequences: ids into its rows (each non-empty).
+/// Returns [num_sequences, gru.hidden_dim()], row i = embedding of
+/// sequences[i].
+tensor::Tensor EmbedSequences(const Gru& gru, const tensor::Tensor& item_embeddings,
+                              const std::vector<std::vector<int64_t>>& sequences);
+
+}  // namespace sarn::nn
+
+#endif  // SARN_NN_SEQUENCE_UTIL_H_

@@ -1,0 +1,28 @@
+// Parameter checkpointing: save/load a module's parameter list to a compact
+// binary file. The format is positional — parameters are written in
+// Parameters() order — so a checkpoint can only be restored into the same
+// architecture, which is validated by shape at load time.
+//
+// Format: magic "SARNW1\n", int64 count, then per tensor: int64 rank,
+// int64 dims..., float32 data (little-endian host order).
+
+#ifndef SARN_NN_SERIALIZATION_H_
+#define SARN_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sarn::nn {
+
+/// Writes the tensors to `path`. Returns false on I/O failure.
+bool SaveParameters(const std::string& path, const std::vector<tensor::Tensor>& params);
+
+/// Restores values into `params` (shapes must match the file exactly).
+/// Returns false on I/O failure, magic/shape mismatch or truncation.
+bool LoadParameters(const std::string& path, const std::vector<tensor::Tensor>& params);
+
+}  // namespace sarn::nn
+
+#endif  // SARN_NN_SERIALIZATION_H_

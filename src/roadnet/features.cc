@@ -1,0 +1,85 @@
+#include "roadnet/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/point.h"
+
+namespace sarn::roadnet {
+namespace {
+
+int64_t BinOf(double value, double bin_width, int64_t num_bins) {
+  int64_t bin = static_cast<int64_t>(value / bin_width);
+  return std::clamp<int64_t>(bin, 0, num_bins - 1);
+}
+
+}  // namespace
+
+SegmentFeatures FeaturizeSegments(const RoadNetwork& network) {
+  const geo::BoundingBox& box = network.bounding_box();
+  geo::LocalProjection proj(geo::LatLng{box.min_lat, box.min_lng});
+
+  // Vocabulary sizes derived from the data domain (>= 1 each).
+  double max_length = 0.0;
+  for (const RoadSegment& s : network.segments()) {
+    max_length = std::max(max_length, s.length_meters);
+  }
+  int64_t length_bins =
+      std::max<int64_t>(1, static_cast<int64_t>(max_length / kLengthBinMeters) + 1);
+  int64_t radian_bins =
+      static_cast<int64_t>(std::ceil(360.0 / kRadianBinDegrees));  // 36.
+  int64_t lat_bins = std::max<int64_t>(
+      1, static_cast<int64_t>(box.HeightMeters() / kCoordBinMeters) + 1);
+  int64_t lng_bins = std::max<int64_t>(
+      1, static_cast<int64_t>(box.WidthMeters() / kCoordBinMeters) + 1);
+
+  SegmentFeatures features;
+  features.vocab_sizes = {kNumHighwayTypes, length_bins, radian_bins,
+                          lat_bins,         lng_bins,    lat_bins,
+                          lng_bins};
+  features.ids.assign(kNumSegmentFeatures, {});
+  for (auto& column : features.ids) column.reserve(network.segments().size());
+
+  for (const RoadSegment& s : network.segments()) {
+    features.ids[0].push_back(static_cast<int64_t>(s.type));
+    features.ids[1].push_back(BinOf(s.length_meters, kLengthBinMeters, length_bins));
+    features.ids[2].push_back(
+        BinOf(geo::RadToDeg(s.radian), kRadianBinDegrees, radian_bins));
+    double x = 0.0, y = 0.0;
+    proj.ToMeters(s.start, &x, &y);
+    features.ids[3].push_back(BinOf(y, kCoordBinMeters, lat_bins));
+    features.ids[4].push_back(BinOf(x, kCoordBinMeters, lng_bins));
+    proj.ToMeters(s.end, &x, &y);
+    features.ids[5].push_back(BinOf(y, kCoordBinMeters, lat_bins));
+    features.ids[6].push_back(BinOf(x, kCoordBinMeters, lng_bins));
+  }
+  return features;
+}
+
+std::vector<std::vector<float>> DenseSegmentFeatures(const RoadNetwork& network) {
+  const geo::BoundingBox& box = network.bounding_box();
+  double width = std::max(1.0, box.WidthMeters());
+  double height = std::max(1.0, box.HeightMeters());
+  geo::LocalProjection proj(geo::LatLng{box.min_lat, box.min_lng});
+
+  std::vector<std::vector<float>> features;
+  features.reserve(network.segments().size());
+  for (const RoadSegment& s : network.segments()) {
+    std::vector<float> row(kNumHighwayTypes + 6, 0.0f);
+    row[static_cast<size_t>(s.type)] = 1.0f;
+    size_t k = kNumHighwayTypes;
+    row[k++] = static_cast<float>(s.length_meters / 1000.0);
+    row[k++] = static_cast<float>(std::sin(s.radian));
+    row[k++] = static_cast<float>(std::cos(s.radian));
+    double x = 0.0, y = 0.0;
+    proj.ToMeters(s.Midpoint(), &x, &y);
+    row[k++] = static_cast<float>(x / width);
+    row[k++] = static_cast<float>(y / height);
+    row[k++] = static_cast<float>(HighwayWeight(s.type) / 6.0);
+    features.push_back(std::move(row));
+  }
+  return features;
+}
+
+}  // namespace sarn::roadnet

@@ -1,0 +1,47 @@
+// Road-segment feature discretisation (paper §4.3, "Feature embedding
+// layer"): each segment is a 5-tuple with seven scalar feature values —
+// type, length, radian, and the two coordinates of each endpoint. Continuous
+// values are discretised with equi-sized bins (5 m for length, 10 degrees
+// for radian, 50 m for coordinates) and every value becomes an integer bin
+// id, feeding one embedding table per feature (nn::FeatureEmbedding).
+
+#ifndef SARN_ROADNET_FEATURES_H_
+#define SARN_ROADNET_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace sarn::roadnet {
+
+/// Number of input features per segment (type, length, radian, start lat,
+/// start lng, end lat, end lng).
+inline constexpr int kNumSegmentFeatures = 7;
+
+/// Paper bin widths.
+inline constexpr double kLengthBinMeters = 5.0;
+inline constexpr double kRadianBinDegrees = 10.0;
+inline constexpr double kCoordBinMeters = 50.0;
+
+/// Discretised features of a whole network, feature-major:
+/// ids[f][s] = bin id of feature f for segment s.
+struct SegmentFeatures {
+  std::vector<std::vector<int64_t>> ids;
+  std::vector<int64_t> vocab_sizes;  // Bin count per feature.
+};
+
+/// Discretises all segments of `network`. Coordinate bins are relative to the
+/// network's bounding box (IDs are network-local; embeddings remain
+/// ID-independent across networks as the paper requires).
+SegmentFeatures FeaturizeSegments(const RoadNetwork& network);
+
+/// Dense (non-learned) feature matrix [n, kNumHighwayTypes + 6]:
+/// one-hot type ++ {length/1km, sin(radian), cos(radian), normalized mid lat,
+/// normalized mid lng, normalized length rank}. Used by baselines that take
+/// raw features (SRN2Vec) and by tests.
+std::vector<std::vector<float>> DenseSegmentFeatures(const RoadNetwork& network);
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_FEATURES_H_

@@ -1,0 +1,63 @@
+#include "roadnet/geojson.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sarn::roadnet {
+
+std::string ValueToHexColor(double value, double min_value, double max_value) {
+  double t = max_value > min_value ? (value - min_value) / (max_value - min_value) : 0.5;
+  t = std::clamp(t, 0.0, 1.0);
+  int red = static_cast<int>(40 + 215 * t);
+  int green = 60;
+  int blue = static_cast<int>(40 + 215 * (1.0 - t));
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x", red, green, blue);
+  return buffer;
+}
+
+bool ExportGeoJson(const RoadNetwork& network, const std::string& path,
+                   const GeoJsonOptions& options) {
+  if (!options.values.empty()) {
+    SARN_CHECK_EQ(static_cast<int64_t>(options.values.size()), network.num_segments());
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+
+  double min_value = 0.0, max_value = 0.0;
+  if (!options.values.empty()) {
+    min_value = *std::min_element(options.values.begin(), options.values.end());
+    max_value = *std::max_element(options.values.begin(), options.values.end());
+  }
+
+  out << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  for (int64_t i = 0; i < network.num_segments(); ++i) {
+    const RoadSegment& s = network.segment(i);
+    if (i > 0) out << ",\n";
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        << "\"coordinates\":[[" << FormatDouble(s.start.lng, 7) << ","
+        << FormatDouble(s.start.lat, 7) << "],[" << FormatDouble(s.end.lng, 7) << ","
+        << FormatDouble(s.end.lat, 7) << "]]},\"properties\":{\"id\":" << i;
+    if (options.include_attributes) {
+      out << ",\"highway\":\"" << HighwayName(s.type) << "\""
+          << ",\"length_m\":" << FormatDouble(s.length_meters, 1);
+      if (s.speed_limit_kmh.has_value()) {
+        out << ",\"maxspeed\":" << *s.speed_limit_kmh;
+      }
+    }
+    if (!options.values.empty()) {
+      double value = options.values[static_cast<size_t>(i)];
+      out << ",\"value\":" << FormatDouble(value, 5) << ",\"color\":\""
+          << ValueToHexColor(value, min_value, max_value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
+}  // namespace sarn::roadnet

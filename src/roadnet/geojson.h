@@ -1,0 +1,35 @@
+// GeoJSON export of road networks, optionally colored by per-segment
+// scalars (e.g., PCA components of learned embeddings). The output opens
+// directly in geojson.io / QGIS / Kepler for visual inspection of what the
+// embeddings learned.
+
+#ifndef SARN_ROADNET_GEOJSON_H_
+#define SARN_ROADNET_GEOJSON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace sarn::roadnet {
+
+struct GeoJsonOptions {
+  /// Optional per-segment scalar written as property "value" and mapped to
+  /// a blue->red "color" property (hex). Size must equal num_segments.
+  std::vector<double> values;
+  /// Include type/length/speed properties per feature.
+  bool include_attributes = true;
+};
+
+/// Writes a FeatureCollection of LineString features (one per segment).
+/// Returns false on I/O failure.
+bool ExportGeoJson(const RoadNetwork& network, const std::string& path,
+                   const GeoJsonOptions& options = {});
+
+/// Maps a value in [min, max] to a "#rrggbb" blue->red ramp.
+std::string ValueToHexColor(double value, double min_value, double max_value);
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_GEOJSON_H_

@@ -1,0 +1,27 @@
+// CSV persistence for road networks.
+//
+// Format (one header + one row per segment):
+//   from_node,to_node,type,speed_limit,start_lat,start_lng,end_lat,end_lng
+// `speed_limit` is empty when unposted. Node positions are reconstructed
+// from the first row mentioning each node id.
+
+#ifndef SARN_ROADNET_IO_H_
+#define SARN_ROADNET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace sarn::roadnet {
+
+/// Writes `network` to `path`. Returns false on I/O error.
+bool SaveRoadNetworkCsv(const RoadNetwork& network, const std::string& path);
+
+/// Reads a network written by SaveRoadNetworkCsv. Returns nullopt on missing
+/// file or malformed content.
+std::optional<RoadNetwork> LoadRoadNetworkCsv(const std::string& path);
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_IO_H_

@@ -1,0 +1,200 @@
+#include "roadnet/osm_import.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sarn::roadnet {
+namespace {
+
+// A parsed XML tag: name plus attribute map; `closing` is true for </name>,
+// `self_closing` for <name ... />.
+struct XmlTag {
+  std::string name;
+  std::unordered_map<std::string, std::string> attributes;
+  bool closing = false;
+  bool self_closing = false;
+};
+
+// Scans the next tag starting at or after `pos`; advances `pos` past it.
+std::optional<XmlTag> NextTag(const std::string& xml, size_t& pos) {
+  size_t open = xml.find('<', pos);
+  if (open == std::string::npos) return std::nullopt;
+  size_t close = xml.find('>', open);
+  if (close == std::string::npos) return std::nullopt;
+  pos = close + 1;
+  std::string body = xml.substr(open + 1, close - open - 1);
+  XmlTag tag;
+  if (!body.empty() && body[0] == '?') return NextTag(xml, pos);   // <?xml ...?>
+  if (body.size() >= 3 && body.compare(0, 3, "!--") == 0) {
+    // Comment: skip to its true end (may contain '>').
+    size_t end = xml.find("-->", open);
+    if (end == std::string::npos) return std::nullopt;
+    pos = end + 3;
+    return NextTag(xml, pos);
+  }
+  if (!body.empty() && body[0] == '/') {
+    tag.closing = true;
+    tag.name = Trim(body.substr(1));
+    return tag;
+  }
+  if (!body.empty() && body.back() == '/') {
+    tag.self_closing = true;
+    body.pop_back();
+  }
+  // Name = up to first whitespace.
+  size_t name_end = body.find_first_of(" \t\n\r");
+  tag.name = body.substr(0, name_end);
+  if (name_end == std::string::npos) return tag;
+  // Attributes: key="value" or key='value'.
+  size_t i = name_end;
+  while (i < body.size()) {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    size_t eq = body.find('=', i);
+    if (eq == std::string::npos) break;
+    std::string key = Trim(body.substr(i, eq - i));
+    size_t quote = body.find_first_of("\"'", eq);
+    if (quote == std::string::npos) break;
+    char quote_char = body[quote];
+    size_t end = body.find(quote_char, quote + 1);
+    if (end == std::string::npos) break;
+    tag.attributes[key] = body.substr(quote + 1, end - quote - 1);
+    i = end + 1;
+  }
+  return tag;
+}
+
+std::optional<int> ParseMaxspeed(const std::string& value) {
+  // "50", "50 km/h", "30 mph" — take the leading number; convert mph.
+  size_t digits = 0;
+  while (digits < value.size() && std::isdigit(static_cast<unsigned char>(value[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  auto number = ParseInt(value.substr(0, digits));
+  if (!number) return std::nullopt;
+  if (value.find("mph") != std::string::npos) {
+    return static_cast<int>(*number * 1.609344 + 0.5);
+  }
+  return static_cast<int>(*number);
+}
+
+}  // namespace
+
+std::optional<RoadNetwork> ParseOsmXml(const std::string& xml, OsmImportStats* stats) {
+  OsmImportStats local_stats;
+  size_t pos = 0;
+  bool saw_osm_root = false;
+
+  struct OsmWay {
+    std::vector<int64_t> node_refs;
+    HighwayType type = HighwayType::kResidential;
+    bool has_highway = false;
+    bool oneway = false;
+    std::optional<int> maxspeed;
+  };
+  std::unordered_map<int64_t, geo::LatLng> nodes;
+  std::vector<OsmWay> ways;
+  std::optional<OsmWay> current_way;
+
+  while (auto tag = NextTag(xml, pos)) {
+    if (tag->name == "osm" && !tag->closing) {
+      saw_osm_root = true;
+    } else if (tag->name == "node" && !tag->closing) {
+      auto id = ParseInt(tag->attributes["id"]);
+      auto lat = ParseDouble(tag->attributes["lat"]);
+      auto lon = ParseDouble(tag->attributes["lon"]);
+      if (id && lat && lon) {
+        nodes[*id] = geo::LatLng{*lat, *lon};
+        ++local_stats.nodes_parsed;
+      }
+    } else if (tag->name == "way") {
+      if (tag->closing || tag->self_closing) {
+        if (current_way.has_value()) {
+          ++local_stats.ways_parsed;
+          if (current_way->has_highway && current_way->node_refs.size() >= 2) {
+            ways.push_back(std::move(*current_way));
+            ++local_stats.ways_kept;
+          }
+          current_way.reset();
+        }
+      } else {
+        current_way = OsmWay{};
+      }
+    } else if (current_way.has_value() && tag->name == "nd") {
+      if (auto ref = ParseInt(tag->attributes["ref"])) {
+        current_way->node_refs.push_back(*ref);
+      }
+    } else if (current_way.has_value() && tag->name == "tag") {
+      const std::string& key = tag->attributes["k"];
+      const std::string& value = tag->attributes["v"];
+      if (key == "highway") {
+        // "motorway_link" etc. map to their base class.
+        std::string base = value;
+        size_t link = base.find("_link");
+        if (link != std::string::npos) base = base.substr(0, link);
+        if (auto type = HighwayFromName(base)) {
+          current_way->type = *type;
+          current_way->has_highway = true;
+        }
+      } else if (key == "oneway") {
+        current_way->oneway = (value == "yes" || value == "1" || value == "true");
+      } else if (key == "maxspeed") {
+        current_way->maxspeed = ParseMaxspeed(value);
+      }
+    }
+  }
+
+  if (!saw_osm_root) {
+    SARN_LOG(Error) << "not an OSM document";
+    return std::nullopt;
+  }
+
+  RoadNetworkBuilder builder;
+  std::unordered_map<int64_t, int64_t> builder_node_of;  // OSM id -> builder id.
+  auto node_of = [&](int64_t osm_id) -> int64_t {
+    auto it = builder_node_of.find(osm_id);
+    if (it != builder_node_of.end()) return it->second;
+    int64_t id = builder.AddNode(nodes.at(osm_id));
+    builder_node_of.emplace(osm_id, id);
+    return id;
+  };
+  for (const OsmWay& way : ways) {
+    for (size_t k = 0; k + 1 < way.node_refs.size(); ++k) {
+      int64_t a_ref = way.node_refs[k];
+      int64_t b_ref = way.node_refs[k + 1];
+      if (nodes.find(a_ref) == nodes.end() || nodes.find(b_ref) == nodes.end()) {
+        continue;  // Clipped extract: member node outside the file.
+      }
+      if (a_ref == b_ref) continue;
+      int64_t a = node_of(a_ref);
+      int64_t b = node_of(b_ref);
+      builder.AddSegment(a, b, way.type, way.maxspeed);
+      ++local_stats.segments_created;
+      if (!way.oneway) {
+        builder.AddSegment(b, a, way.type, way.maxspeed);
+        ++local_stats.segments_created;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  if (builder.num_segments() == 0) {
+    SARN_LOG(Error) << "OSM document contains no usable highway ways";
+    return std::nullopt;
+  }
+  return builder.Build();
+}
+
+std::optional<RoadNetwork> LoadOsmFile(const std::string& path, OsmImportStats* stats) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseOsmXml(buffer.str(), stats);
+}
+
+}  // namespace sarn::roadnet

@@ -1,0 +1,42 @@
+// Minimal OpenStreetMap XML importer.
+//
+// Parses the subset of the OSM XML format the paper's datasets come from:
+// <node id lat lon>, <way> with <nd ref> members and <tag k v> pairs. Ways
+// tagged with a recognized highway=* value become road segments (one
+// directed segment per consecutive node pair; the reverse direction is
+// added unless oneway=yes). maxspeed tags become speed-limit labels.
+//
+// This is a purpose-built scanner, not a general XML parser: it handles the
+// well-formed exports produced by Overpass / osmium / JOSM (attribute order
+// free, single or double quotes, self-closing tags) and rejects files
+// missing the <osm> root.
+
+#ifndef SARN_ROADNET_OSM_IMPORT_H_
+#define SARN_ROADNET_OSM_IMPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace sarn::roadnet {
+
+struct OsmImportStats {
+  int64_t nodes_parsed = 0;
+  int64_t ways_parsed = 0;
+  int64_t ways_kept = 0;  // Ways with a recognized highway type.
+  int64_t segments_created = 0;
+};
+
+/// Parses OSM XML text into a road network. Returns nullopt when the text is
+/// not an OSM document or contains no usable highway ways.
+std::optional<RoadNetwork> ParseOsmXml(const std::string& xml,
+                                       OsmImportStats* stats = nullptr);
+
+/// Reads an .osm file from disk. Returns nullopt on I/O or parse failure.
+std::optional<RoadNetwork> LoadOsmFile(const std::string& path,
+                                       OsmImportStats* stats = nullptr);
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_OSM_IMPORT_H_

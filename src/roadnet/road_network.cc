@@ -1,0 +1,104 @@
+#include "roadnet/road_network.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sarn::roadnet {
+
+const RoadSegment& RoadNetwork::segment(SegmentId id) const {
+  SARN_CHECK(id >= 0 && id < num_segments()) << "segment " << id;
+  return segments_[static_cast<size_t>(id)];
+}
+
+std::vector<geo::LatLng> RoadNetwork::Midpoints() const {
+  std::vector<geo::LatLng> midpoints;
+  midpoints.reserve(segments_.size());
+  for (const RoadSegment& s : segments_) midpoints.push_back(s.Midpoint());
+  return midpoints;
+}
+
+graph::CsrGraph RoadNetwork::ToLengthWeightedGraph() const {
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(topo_edges_.size());
+  for (const TopoEdge& e : topo_edges_) {
+    double w = (segments_[static_cast<size_t>(e.from)].length_meters +
+                segments_[static_cast<size_t>(e.to)].length_meters) /
+               2.0;
+    edges.push_back({e.from, e.to, w});
+  }
+  return graph::CsrGraph(num_segments(), edges);
+}
+
+graph::CsrGraph RoadNetwork::ToTypeWeightedGraph() const {
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(topo_edges_.size());
+  for (const TopoEdge& e : topo_edges_) edges.push_back({e.from, e.to, e.weight});
+  return graph::CsrGraph(num_segments(), edges);
+}
+
+double RoadNetwork::MeanSegmentLength() const {
+  if (segments_.empty()) return 0.0;
+  double total = 0.0;
+  for (const RoadSegment& s : segments_) total += s.length_meters;
+  return total / static_cast<double>(segments_.size());
+}
+
+int64_t RoadNetworkBuilder::AddNode(const geo::LatLng& position) {
+  nodes_.push_back(position);
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+SegmentId RoadNetworkBuilder::AddSegment(int64_t from_node, int64_t to_node,
+                                         HighwayType type,
+                                         std::optional<int> speed_limit_kmh) {
+  SARN_CHECK(from_node >= 0 && from_node < num_nodes()) << "from_node " << from_node;
+  SARN_CHECK(to_node >= 0 && to_node < num_nodes()) << "to_node " << to_node;
+  SARN_CHECK_NE(from_node, to_node);
+  segments_.push_back({from_node, to_node, type, speed_limit_kmh});
+  return static_cast<SegmentId>(segments_.size()) - 1;
+}
+
+RoadNetwork RoadNetworkBuilder::Build() const {
+  RoadNetwork network;
+  network.segments_.reserve(segments_.size());
+  for (const PendingSegment& p : segments_) {
+    RoadSegment s;
+    s.type = p.type;
+    s.speed_limit_kmh = p.speed_limit_kmh;
+    s.from_node = p.from_node;
+    s.to_node = p.to_node;
+    s.start = nodes_[static_cast<size_t>(p.from_node)];
+    s.end = nodes_[static_cast<size_t>(p.to_node)];
+    s.length_meters = geo::HaversineMeters(s.start, s.end);
+    s.radian = geo::SegmentRadian(s.start, s.end);
+    network.box_.Extend(s.start);
+    network.box_.Extend(s.end);
+    network.segments_.push_back(s);
+  }
+  // Topological adjacency: s_i -> s_j iff i ends where j starts. Exclude the
+  // immediate U-turn back along the reverse twin of a two-way street (same
+  // node pair, opposite direction), which OSM-derived segment graphs exclude
+  // as well.
+  std::unordered_map<int64_t, std::vector<SegmentId>> outgoing_of_node;
+  for (size_t j = 0; j < network.segments_.size(); ++j) {
+    outgoing_of_node[network.segments_[j].from_node].push_back(
+        static_cast<SegmentId>(j));
+  }
+  for (size_t i = 0; i < network.segments_.size(); ++i) {
+    const RoadSegment& si = network.segments_[i];
+    auto it = outgoing_of_node.find(si.to_node);
+    if (it == outgoing_of_node.end()) continue;
+    for (SegmentId j : it->second) {
+      if (static_cast<size_t>(j) == i) continue;
+      const RoadSegment& sj = network.segments_[static_cast<size_t>(j)];
+      if (sj.to_node == si.from_node && sj.from_node == si.to_node) continue;  // U-turn.
+      double weight = 0.5 * (HighwayWeight(si.type) + HighwayWeight(sj.type));
+      network.topo_edges_.push_back({static_cast<SegmentId>(i), j, weight});
+    }
+  }
+  if (network.segments_.empty()) network.box_ = geo::BoundingBox{0, 0, 0, 0};
+  return network;
+}
+
+}  // namespace sarn::roadnet

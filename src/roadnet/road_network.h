@@ -1,0 +1,118 @@
+// Road-network data model.
+//
+// A road network is a directed graph whose vertices are *road segments*
+// (paper §3): segment s_i carries <type, length, radian, start, end>. Two
+// segments are topologically adjacent (A^t_{i,j} > 0) when s_j is directly
+// connected from s_i, i.e., s_i's end intersection is s_j's start
+// intersection; the edge weight is the mean of the two segments' type-based
+// importance weights (Eq. 1).
+
+#ifndef SARN_ROADNET_ROAD_NETWORK_H_
+#define SARN_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "graph/csr_graph.h"
+#include "roadnet/road_types.h"
+
+namespace sarn::roadnet {
+
+using SegmentId = int64_t;
+
+/// One directed road segment (a graph vertex in the paper's formulation).
+struct RoadSegment {
+  HighwayType type = HighwayType::kResidential;
+  double length_meters = 0.0;
+  double radian = 0.0;  // Direction in [0, 2*pi), east = 0, ccw.
+  geo::LatLng start;
+  geo::LatLng end;
+  /// Posted speed limit (km/h); the *label* of downstream task 1 — it is
+  /// never part of the model input features. nullopt when unposted.
+  std::optional<int> speed_limit_kmh;
+  /// Intersection ids (from the builder); used to derive connectivity.
+  int64_t from_node = -1;
+  int64_t to_node = -1;
+
+  geo::LatLng Midpoint() const { return geo::Midpoint(start, end); }
+};
+
+/// A weighted topological edge A^t_{i,j} between segments (Eq. 1).
+struct TopoEdge {
+  SegmentId from = 0;
+  SegmentId to = 0;
+  double weight = 0.0;
+};
+
+/// Immutable road network (build with RoadNetworkBuilder).
+class RoadNetwork {
+ public:
+  int64_t num_segments() const { return static_cast<int64_t>(segments_.size()); }
+  const RoadSegment& segment(SegmentId id) const;
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+
+  /// All topological edges (the sparse A^t).
+  const std::vector<TopoEdge>& topo_edges() const { return topo_edges_; }
+
+  /// Bounding box over all segment endpoints.
+  const geo::BoundingBox& bounding_box() const { return box_; }
+
+  /// Midpoints of all segments, indexable by SegmentId.
+  std::vector<geo::LatLng> Midpoints() const;
+
+  /// Segment graph for routing/SPD ground truth: edge i->j with weight
+  /// (length_i + length_j) / 2, i.e., midpoint-to-midpoint travel distance.
+  graph::CsrGraph ToLengthWeightedGraph() const;
+
+  /// Segment graph with the Eq. 1 type weights (used by weighted walks and
+  /// the augmentation baselines).
+  graph::CsrGraph ToTypeWeightedGraph() const;
+
+  double MeanSegmentLength() const;
+
+ private:
+  friend class RoadNetworkBuilder;
+
+  std::vector<RoadSegment> segments_;
+  std::vector<TopoEdge> topo_edges_;
+  geo::BoundingBox box_ = geo::BoundingBox::Empty();
+};
+
+/// Incremental construction: register intersections, then directed segments
+/// between them; Build() derives lengths, radians, the bounding box and the
+/// Eq. 1-weighted topological adjacency.
+class RoadNetworkBuilder {
+ public:
+  /// Returns the node id.
+  int64_t AddNode(const geo::LatLng& position);
+
+  /// Returns the segment id. Nodes must already exist.
+  SegmentId AddSegment(int64_t from_node, int64_t to_node, HighwayType type,
+                       std::optional<int> speed_limit_kmh = std::nullopt);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_segments() const { return static_cast<int64_t>(segments_.size()); }
+  const geo::LatLng& node(int64_t id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  /// Finalises the network. The builder can keep being used afterwards
+  /// (Build copies).
+  RoadNetwork Build() const;
+
+ private:
+  struct PendingSegment {
+    int64_t from_node;
+    int64_t to_node;
+    HighwayType type;
+    std::optional<int> speed_limit_kmh;
+  };
+
+  std::vector<geo::LatLng> nodes_;
+  std::vector<PendingSegment> segments_;
+};
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_ROAD_NETWORK_H_

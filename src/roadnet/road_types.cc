@@ -1,0 +1,65 @@
+#include "roadnet/road_types.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace sarn::roadnet {
+namespace {
+
+struct TypeInfo {
+  const char* name;
+  double weight;
+  std::vector<int> speed_limits;
+};
+
+const std::array<TypeInfo, kNumHighwayTypes>& Table() {
+  static const auto& table = *new std::array<TypeInfo, kNumHighwayTypes>{{
+      {"motorway", 6.0, {80, 100, 120}},
+      {"trunk", 5.0, {60, 80, 100}},
+      {"primary", 4.5, {50, 60, 70}},
+      {"secondary", 4.0, {40, 50, 60}},
+      {"tertiary", 3.5, {30, 40, 50}},
+      {"unclassified", 2.5, {30, 40}},
+      {"residential", 2.0, {20, 30, 40}},
+      {"service", 1.5, {10, 20}},
+  }};
+  return table;
+}
+
+}  // namespace
+
+double HighwayWeight(HighwayType type) {
+  return Table()[static_cast<size_t>(type)].weight;
+}
+
+const std::string& HighwayName(HighwayType type) {
+  static const auto& names = *new std::array<std::string, kNumHighwayTypes>{
+      {"motorway", "trunk", "primary", "secondary", "tertiary", "unclassified",
+       "residential", "service"}};
+  return names[static_cast<size_t>(type)];
+}
+
+std::optional<HighwayType> HighwayFromName(const std::string& name) {
+  for (int t = 0; t < kNumHighwayTypes; ++t) {
+    if (HighwayName(static_cast<HighwayType>(t)) == name) {
+      return static_cast<HighwayType>(t);
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<int>& TypicalSpeedLimits(HighwayType type) {
+  return Table()[static_cast<size_t>(type)].speed_limits;
+}
+
+const std::vector<HighwayType>& AllHighwayTypes() {
+  static const auto& all = *new std::vector<HighwayType>{
+      HighwayType::kMotorway,     HighwayType::kTrunk,       HighwayType::kPrimary,
+      HighwayType::kSecondary,    HighwayType::kTertiary,    HighwayType::kUnclassified,
+      HighwayType::kResidential,  HighwayType::kService,
+  };
+  return all;
+}
+
+}  // namespace sarn::roadnet

@@ -1,0 +1,46 @@
+// OSM-style highway taxonomy with the importance weights of paper Eq. 1
+// ("e.g., 6.0 for motorways and 2.0 for residential roads") and per-type
+// speed-limit pools used by the synthetic generator to produce the
+// road-property labels of downstream task 1.
+
+#ifndef SARN_ROADNET_ROAD_TYPES_H_
+#define SARN_ROADNET_ROAD_TYPES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sarn::roadnet {
+
+enum class HighwayType {
+  kMotorway = 0,
+  kTrunk = 1,
+  kPrimary = 2,
+  kSecondary = 3,
+  kTertiary = 4,
+  kUnclassified = 5,
+  kResidential = 6,
+  kService = 7,
+};
+
+inline constexpr int kNumHighwayTypes = 8;
+
+/// Importance weight of a road type (Eq. 1's weight(.)).
+double HighwayWeight(HighwayType type);
+
+/// OSM key string ("motorway", "residential", ...).
+const std::string& HighwayName(HighwayType type);
+
+/// Reverse lookup; nullopt on unknown names.
+std::optional<HighwayType> HighwayFromName(const std::string& name);
+
+/// Candidate speed limits (km/h) typically posted on roads of this type;
+/// the synthetic generator samples (with cross-type noise) from these.
+const std::vector<int>& TypicalSpeedLimits(HighwayType type);
+
+/// All types, in enum order.
+const std::vector<HighwayType>& AllHighwayTypes();
+
+}  // namespace sarn::roadnet
+
+#endif  // SARN_ROADNET_ROAD_TYPES_H_

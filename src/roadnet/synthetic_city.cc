@@ -1,0 +1,284 @@
+#include "roadnet/synthetic_city.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sarn::roadnet {
+namespace {
+
+// Union-find over grid nodes, used to protect bridges when dropping links.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct GridLink {
+  int64_t node_a;
+  int64_t node_b;
+  HighwayType type;
+  // Street identity: orientation (0 horizontal, 1 vertical) and line index.
+  // Real speed limits are posted per road, so labels are sampled per line.
+  int orientation = 0;
+  int line = 0;
+};
+
+int SampleSpeedFromPool(HighwayType type, const SyntheticCityConfig& config, Rng& rng) {
+  HighwayType pool_type = type;
+  if (rng.Bernoulli(config.speed_noise)) {
+    // Borrow the pool of an adjacent type in the hierarchy.
+    int t = static_cast<int>(type) + (rng.Bernoulli(0.5) ? 1 : -1);
+    t = std::clamp(t, 0, kNumHighwayTypes - 1);
+    pool_type = static_cast<HighwayType>(t);
+  }
+  const std::vector<int>& pool = TypicalSpeedLimits(pool_type);
+  if (rng.Bernoulli(config.speed_modal_fraction)) return pool[pool.size() / 2];
+  return pool[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+}
+
+}  // namespace
+
+RoadNetwork GenerateSyntheticCity(const SyntheticCityConfig& config) {
+  SARN_CHECK_GE(config.rows, 3);
+  SARN_CHECK_GE(config.cols, 3);
+  SARN_CHECK_GT(config.block_meters, 1.0);
+  Rng rng(config.seed);
+  geo::LocalProjection proj(config.origin);
+  RoadNetworkBuilder builder;
+
+  // 1. Jittered grid of intersections.
+  int rows = config.rows, cols = config.cols;
+  auto node_index = [cols](int r, int c) { return static_cast<int64_t>(r) * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double jitter = config.block_meters * config.jitter_fraction;
+      double x = c * config.block_meters + rng.Uniform(-jitter, jitter);
+      double y = r * config.block_meters + rng.Uniform(-jitter, jitter);
+      int64_t id = builder.AddNode(proj.ToLatLng(x, y));
+      SARN_CHECK_EQ(id, node_index(r, c));
+    }
+  }
+
+  // 2. Classify every grid link by the road hierarchy.
+  int mid_row = rows / 2, mid_col = cols / 2;
+  auto line_type = [&](bool on_border, bool on_radial, int line_index) -> HighwayType {
+    if (config.ring_and_radials && on_border) return HighwayType::kMotorway;
+    if (config.ring_and_radials && on_radial) return HighwayType::kTrunk;
+    if (line_index % config.arterial_every == 0) return HighwayType::kPrimary;
+    if (config.arterial_every >= 4 &&
+        line_index % config.arterial_every == config.arterial_every / 2) {
+      return HighwayType::kSecondary;
+    }
+    return HighwayType::kResidential;
+  };
+
+  std::vector<GridLink> links;
+  for (int r = 0; r < rows; ++r) {
+    bool border_row = (r == 0 || r == rows - 1);
+    bool radial_row = (r == mid_row);
+    for (int c = 0; c + 1 < cols; ++c) {  // Horizontal links.
+      HighwayType type = line_type(border_row, radial_row, r);
+      links.push_back({node_index(r, c), node_index(r, c + 1), type, 0, r});
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    bool border_col = (c == 0 || c == cols - 1);
+    bool radial_col = (c == mid_col);
+    for (int r = 0; r + 1 < rows; ++r) {  // Vertical links.
+      HighwayType type = line_type(border_col, radial_col, c);
+      links.push_back({node_index(r, c), node_index(r + 1, c), type, 1, c});
+    }
+  }
+
+  // River: remove vertical links crossing the river row, keep bridges.
+  if (config.river && rows >= 8) {
+    int river_row = (rows * 2) / 5;  // Between river_row and river_row + 1.
+    if (river_row == mid_row) ++river_row;
+    std::vector<GridLink> kept;
+    kept.reserve(links.size());
+    for (const GridLink& link : links) {
+      bool crosses = link.orientation == 1 &&
+                     std::min(link.node_a, link.node_b) / cols == river_row;
+      if (!crosses) {
+        kept.push_back(link);
+        continue;
+      }
+      int c = static_cast<int>(link.node_a % cols);
+      bool bridge = c == 0 || c == cols - 1 || c == mid_col ||
+                    c % config.bridge_every == 0;
+      if (bridge) {
+        GridLink upgraded = link;
+        if (HighwayWeight(upgraded.type) < HighwayWeight(HighwayType::kPrimary)) {
+          upgraded.type = HighwayType::kPrimary;
+        }
+        kept.push_back(upgraded);
+      }
+    }
+    links = std::move(kept);
+  }
+
+  // Sprinkle tertiary collectors and service alleys over residential links.
+  for (GridLink& link : links) {
+    if (link.type != HighwayType::kResidential) continue;
+    double roll = rng.Uniform();
+    if (roll < 0.18) {
+      link.type = HighwayType::kTertiary;
+    } else if (roll < 0.24) {
+      link.type = HighwayType::kUnclassified;
+    } else if (roll < 0.30) {
+      link.type = HighwayType::kService;
+    }
+  }
+
+  // 3. Drop a fraction of minor links — but never a bridge: a random
+  // spanning forest is built first and its links are immortal.
+  std::vector<size_t> order(links.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  UnionFind components(static_cast<size_t>(rows) * cols);
+  std::vector<bool> in_tree(links.size(), false);
+  for (size_t idx : order) {
+    if (components.Union(static_cast<size_t>(links[idx].node_a),
+                         static_cast<size_t>(links[idx].node_b))) {
+      in_tree[idx] = true;
+    }
+  }
+  std::vector<bool> dropped(links.size(), false);
+  for (size_t i = 0; i < links.size(); ++i) {
+    bool minor = links[i].type == HighwayType::kResidential ||
+                 links[i].type == HighwayType::kService ||
+                 links[i].type == HighwayType::kUnclassified;
+    if (!in_tree[i] && minor && rng.Bernoulli(config.street_drop_fraction)) {
+      dropped[i] = true;
+    }
+  }
+
+  // 4. Speed limits are posted per street (line), the way municipalities
+  // post them: one sample per (orientation, line); segments whose sprinkled
+  // type diverges from the line's majority type draw their own sample.
+  std::map<std::pair<int, int>, int> line_speed;
+  for (const GridLink& link : links) {
+    auto key = std::make_pair(link.orientation, link.line);
+    if (line_speed.find(key) == line_speed.end()) {
+      line_speed[key] = SampleSpeedFromPool(link.type, config, rng);
+    }
+  }
+  auto segment_speed = [&](const GridLink& link) -> std::optional<int> {
+    if (!rng.Bernoulli(config.speed_label_fraction)) return std::nullopt;
+    auto key = std::make_pair(link.orientation, link.line);
+    HighwayType majority =
+        link.orientation == 0
+            ? line_type(link.line == 0 || link.line == rows - 1, link.line == mid_row,
+                        link.line)
+            : line_type(link.line == 0 || link.line == cols - 1, link.line == mid_col,
+                        link.line);
+    if (link.type == majority || rng.Bernoulli(0.5)) return line_speed.at(key);
+    return SampleSpeedFromPool(link.type, config, rng);
+  };
+
+  // 5. Emit directed segments: major roads are dual carriageways; minor
+  // streets are occasionally one-way.
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (dropped[i]) continue;
+    const GridLink& link = links[i];
+    bool major = HighwayWeight(link.type) >= HighwayWeight(HighwayType::kTertiary);
+    bool one_way = !major && rng.Bernoulli(config.one_way_fraction);
+    bool forward_first = rng.Bernoulli(0.5);
+    int64_t a = forward_first ? link.node_a : link.node_b;
+    int64_t b = forward_first ? link.node_b : link.node_a;
+    builder.AddSegment(a, b, link.type, segment_speed(link));
+    if (!one_way) {
+      builder.AddSegment(b, a, link.type, segment_speed(link));
+    }
+  }
+
+  return builder.Build();
+}
+
+namespace {
+
+SyntheticCityConfig ScaledConfig(double scale, int base_rows, int base_cols,
+                                 double block_meters, const geo::LatLng& origin,
+                                 uint64_t seed) {
+  SARN_CHECK_GT(scale, 0.0);
+  SyntheticCityConfig config;
+  config.seed = seed;
+  config.origin = origin;
+  double factor = std::sqrt(scale);
+  config.rows = std::max(4, static_cast<int>(std::lround(base_rows * factor)));
+  config.cols = std::max(4, static_cast<int>(std::lround(base_cols * factor)));
+  config.block_meters = block_meters;
+  return config;
+}
+
+}  // namespace
+
+SyntheticCityConfig ChengduLikeConfig(double scale) {
+  // CD: 29,593 segments over 10.13 x 11.26 km; coarse blocks, high NMI (0.80)
+  // -> low label noise.
+  SyntheticCityConfig config =
+      ScaledConfig(scale, 86, 90, 112.0, geo::LatLng{30.65, 104.06}, 104);
+  config.speed_noise = 0.05;
+  config.speed_modal_fraction = 0.92;
+  config.speed_label_fraction = 1.0;
+  return config;
+}
+
+SyntheticCityConfig BeijingLikeConfig(double scale) {
+  // BJ: 36,809 segments over 9.49 x 8.74 km; NMI 0.73.
+  SyntheticCityConfig config =
+      ScaledConfig(scale, 98, 94, 93.0, geo::LatLng{39.90, 116.40}, 116);
+  config.speed_noise = 0.08;
+  config.speed_modal_fraction = 0.88;
+  config.one_way_fraction = 0.22;
+  return config;
+}
+
+SyntheticCityConfig SanFranciscoLikeConfig(double scale) {
+  // SF: 37,284 segments over 5.72 x 5.69 km; dense small blocks, NMI 0.39
+  // -> heavy label noise.
+  SyntheticCityConfig config =
+      ScaledConfig(scale, 98, 98, 58.0, geo::LatLng{37.77, -122.42}, 122);
+  config.speed_noise = 0.40;
+  config.speed_modal_fraction = 0.40;
+  config.one_way_fraction = 0.30;
+  config.arterial_every = 6;
+  return config;
+}
+
+SyntheticCityConfig CityConfigByName(const std::string& name, double scale) {
+  if (name == "CD") return ChengduLikeConfig(scale);
+  if (name == "BJ") return BeijingLikeConfig(scale);
+  if (name == "SF") return SanFranciscoLikeConfig(scale);
+  if (name == "SF-S") return SanFranciscoLikeConfig(scale * 0.5);
+  if (name == "SF-L") return SanFranciscoLikeConfig(scale * 2.0);
+  SARN_CHECK(false) << "unknown city " << name;
+  return {};
+}
+
+}  // namespace sarn::roadnet

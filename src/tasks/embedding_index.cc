@@ -1,0 +1,82 @@
+#include "tasks/embedding_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace sarn::tasks {
+
+EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric)
+    : metric_(metric) {
+  SARN_CHECK_EQ(embeddings.rank(), 2);
+  n_ = embeddings.shape()[0];
+  d_ = embeddings.shape()[1];
+  data_ = embeddings.data();
+  if (metric_ == IndexMetric::kCosine) {
+    for (int64_t i = 0; i < n_; ++i) {
+      float* row = data_.data() + i * d_;
+      double sq = 0.0;
+      for (int64_t j = 0; j < d_; ++j) sq += static_cast<double>(row[j]) * row[j];
+      float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+      for (int64_t j = 0; j < d_; ++j) row[j] *= inv;
+    }
+  }
+}
+
+std::vector<Neighbor> EmbeddingIndex::TopK(const std::vector<float>& query, int k,
+                                           int64_t exclude) const {
+  SARN_CHECK_EQ(static_cast<int64_t>(query.size()), d_);
+  k = std::min<int>(k, static_cast<int>(exclude >= 0 ? n_ - 1 : n_));
+  if (k <= 0) return {};
+  // Min-heap on score keeps the k best seen so far.
+  using Entry = std::pair<double, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int64_t i = 0; i < n_; ++i) {
+    if (i == exclude) continue;
+    const float* row = data_.data() + i * d_;
+    double score = 0.0;
+    if (metric_ == IndexMetric::kCosine) {
+      for (int64_t j = 0; j < d_; ++j) score += static_cast<double>(query[j]) * row[j];
+    } else {
+      double l1 = 0.0;
+      for (int64_t j = 0; j < d_; ++j) l1 += std::fabs(query[j] - row[j]);
+      score = -l1;
+    }
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(score, i);
+    } else if (score > heap.top().first) {
+      heap.pop();
+      heap.emplace(score, i);
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (auto it = out.rbegin(); it != out.rend(); ++it) {
+    *it = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> EmbeddingIndex::QueryById(int64_t query_id, int k) const {
+  SARN_CHECK(query_id >= 0 && query_id < n_) << "query_id " << query_id;
+  std::vector<float> query(data_.begin() + query_id * d_,
+                           data_.begin() + (query_id + 1) * d_);
+  return TopK(query, k, query_id);
+}
+
+std::vector<Neighbor> EmbeddingIndex::QueryByVector(const std::vector<float>& query,
+                                                    int k) const {
+  if (metric_ == IndexMetric::kCosine) {
+    std::vector<float> normalized = query;
+    double sq = 0.0;
+    for (float v : normalized) sq += static_cast<double>(v) * v;
+    float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+    for (float& v : normalized) v *= inv;
+    return TopK(normalized, k, -1);
+  }
+  return TopK(query, k, -1);
+}
+
+}  // namespace sarn::tasks

@@ -1,0 +1,60 @@
+// Top-k query serving over learned embeddings.
+//
+// The paper's motivation (§1) is that embeddings turn graph traversals into
+// linear vector scans. This index is that serving layer: it holds an
+// embedding matrix (optionally L2-normalised) and answers top-k most-similar
+// queries under cosine or L1 distance with an exact brute-force scan —
+// O(n d) per query, cache-friendly, and deterministic, which at road-network
+// sizes (tens of thousands of rows) answers in well under a millisecond.
+
+#ifndef SARN_TASKS_EMBEDDING_INDEX_H_
+#define SARN_TASKS_EMBEDDING_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sarn::tasks {
+
+enum class IndexMetric {
+  kCosine = 0,  // Higher is more similar.
+  kL1 = 1,      // Lower is more similar.
+};
+
+struct Neighbor {
+  int64_t id = -1;
+  /// Similarity score for kCosine; negative L1 distance for kL1 (so that
+  /// higher always means more similar).
+  double score = 0.0;
+};
+
+class EmbeddingIndex {
+ public:
+  /// Copies (and for cosine, L2-normalises) the embedding rows.
+  EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric);
+
+  /// Top-k neighbors of row `query_id` (the row itself is excluded),
+  /// best first. k is clamped to n - 1.
+  std::vector<Neighbor> QueryById(int64_t query_id, int k) const;
+
+  /// Top-k neighbors of an external query vector (dimension must match).
+  std::vector<Neighbor> QueryByVector(const std::vector<float>& query, int k) const;
+
+  int64_t size() const { return n_; }
+  int64_t dim() const { return d_; }
+  IndexMetric metric() const { return metric_; }
+
+ private:
+  std::vector<Neighbor> TopK(const std::vector<float>& query, int k,
+                             int64_t exclude) const;
+
+  IndexMetric metric_;
+  int64_t n_ = 0;
+  int64_t d_ = 0;
+  std::vector<float> data_;  // Row-major, normalised for cosine.
+};
+
+}  // namespace sarn::tasks
+
+#endif  // SARN_TASKS_EMBEDDING_INDEX_H_

@@ -1,0 +1,103 @@
+// Uniform access to road-segment embeddings for downstream tasks.
+//
+// The paper evaluates three regimes (§5.2):
+//  * frozen self-supervised embeddings (node2vec, SRN2Vec, GraphCL, GCA,
+//    SARN, and RNE reused across tasks) — FrozenEmbeddingSource;
+//  * SARN* fine-tuning, where the final GAT layer trains jointly with the
+//    task head — SarnFineTuneSource;
+//  * fully supervised end-to-end models (HRNR) — HrnrSource.
+// A task trains its prediction head plus whatever TrainableParameters() the
+// source exposes, calling Forward() each step.
+
+#ifndef SARN_TASKS_EMBEDDING_SOURCE_H_
+#define SARN_TASKS_EMBEDDING_SOURCE_H_
+
+#include <vector>
+
+#include "baselines/hrnr_lite.h"
+#include "core/sarn_model.h"
+#include "tensor/tensor.h"
+
+namespace sarn::tasks {
+
+class EmbeddingSource {
+ public:
+  virtual ~EmbeddingSource() = default;
+
+  /// Segment embeddings [n, dim]. Gradient-tracked when the source is
+  /// trainable; may be cached when it is not.
+  virtual tensor::Tensor Forward() = 0;
+
+  /// Source parameters the task should optimise jointly (empty = frozen).
+  virtual std::vector<tensor::Tensor> TrainableParameters() { return {}; }
+
+  virtual int64_t dim() const = 0;
+};
+
+/// Precomputed, frozen embeddings.
+class FrozenEmbeddingSource : public EmbeddingSource {
+ public:
+  explicit FrozenEmbeddingSource(tensor::Tensor embeddings)
+      : embeddings_(std::move(embeddings)) {}
+
+  tensor::Tensor Forward() override { return embeddings_; }
+  int64_t dim() const override { return embeddings_.shape()[1]; }
+
+ private:
+  tensor::Tensor embeddings_;
+};
+
+/// SARN*: re-encodes through the trained SARN encoder each step; only the
+/// final GAT layer's parameters are trainable (paper §5.2).
+///
+/// The pre-trained final-layer weights are snapshotted at construction and
+/// restored on destruction, so each task fine-tunes from the same
+/// self-supervised starting point (the paper fine-tunes per task); create
+/// one source per task evaluation.
+class SarnFineTuneSource : public EmbeddingSource {
+ public:
+  explicit SarnFineTuneSource(core::SarnModel& model) : model_(&model) {
+    for (const tensor::Tensor& p : model_->FineTuneParameters()) {
+      snapshot_.push_back(p.data());
+    }
+  }
+
+  ~SarnFineTuneSource() override { Reset(); }
+
+  /// Restores the snapshotted pre-fine-tuning weights.
+  void Reset() {
+    std::vector<tensor::Tensor> params = model_->FineTuneParameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_data() = snapshot_[i];
+    }
+  }
+
+  tensor::Tensor Forward() override { return model_->EncodeForFineTune(); }
+  std::vector<tensor::Tensor> TrainableParameters() override {
+    return model_->FineTuneParameters();
+  }
+  int64_t dim() const override { return model_->embedding_dim(); }
+
+ private:
+  core::SarnModel* model_;
+  std::vector<std::vector<float>> snapshot_;
+};
+
+/// HRNR: the whole hierarchical encoder trains end-to-end with the task.
+class HrnrSource : public EmbeddingSource {
+ public:
+  explicit HrnrSource(baselines::HrnrLite& model) : model_(&model) {}
+
+  tensor::Tensor Forward() override { return model_->Forward(); }
+  std::vector<tensor::Tensor> TrainableParameters() override {
+    return model_->Parameters();
+  }
+  int64_t dim() const override { return model_->embedding_dim(); }
+
+ private:
+  baselines::HrnrLite* model_;
+};
+
+}  // namespace sarn::tasks
+
+#endif  // SARN_TASKS_EMBEDDING_SOURCE_H_

@@ -1,0 +1,175 @@
+#include "tasks/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sarn::tasks {
+
+double MicroF1(const std::vector<int64_t>& predicted, const std::vector<int64_t>& actual) {
+  SARN_CHECK_EQ(predicted.size(), actual.size());
+  SARN_CHECK(!actual.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < actual.size(); ++i) correct += predicted[i] == actual[i] ? 1 : 0;
+  return static_cast<double>(correct) / actual.size();
+}
+
+double MacroF1(const std::vector<int64_t>& predicted, const std::vector<int64_t>& actual) {
+  SARN_CHECK_EQ(predicted.size(), actual.size());
+  SARN_CHECK(!actual.empty());
+  std::set<int64_t> classes(actual.begin(), actual.end());
+  double f1_sum = 0.0;
+  for (int64_t c : classes) {
+    int64_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      bool predicted_c = predicted[i] == c;
+      bool actual_c = actual[i] == c;
+      tp += (predicted_c && actual_c) ? 1 : 0;
+      fp += (predicted_c && !actual_c) ? 1 : 0;
+      fn += (!predicted_c && actual_c) ? 1 : 0;
+    }
+    double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    f1_sum += precision + recall > 0 ? 2.0 * precision * recall / (precision + recall)
+                                     : 0.0;
+  }
+  return f1_sum / static_cast<double>(classes.size());
+}
+
+namespace {
+
+// Binary AUC by the Mann-Whitney rank statistic with midrank ties.
+double BinaryAuc(const std::vector<double>& scores, const std::vector<bool>& positive) {
+  size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Midranks.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  int64_t pos = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (positive[k]) {
+      positive_rank_sum += rank[k];
+      ++pos;
+    }
+  }
+  int64_t neg = static_cast<int64_t>(n) - pos;
+  if (pos == 0 || neg == 0) return -1.0;  // Undefined.
+  return (positive_rank_sum - pos * (pos + 1.0) / 2.0) /
+         (static_cast<double>(pos) * neg);
+}
+
+}  // namespace
+
+double MacroAuc(const std::vector<std::vector<double>>& scores,
+                const std::vector<int64_t>& actual, int64_t num_classes) {
+  SARN_CHECK_EQ(scores.size(), actual.size());
+  SARN_CHECK(!actual.empty());
+  double total = 0.0;
+  int used = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    std::vector<double> class_scores(actual.size());
+    std::vector<bool> positive(actual.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      SARN_CHECK_GT(static_cast<int64_t>(scores[i].size()), c);
+      class_scores[i] = scores[i][static_cast<size_t>(c)];
+      positive[i] = actual[i] == c;
+    }
+    double auc = BinaryAuc(class_scores, positive);
+    if (auc >= 0.0) {
+      total += auc;
+      ++used;
+    }
+  }
+  return used > 0 ? total / used : 0.0;
+}
+
+double NormalizedMutualInformation(const std::vector<int64_t>& a,
+                                   const std::vector<int64_t>& b) {
+  SARN_CHECK_EQ(a.size(), b.size());
+  SARN_CHECK(!a.empty());
+  double n = static_cast<double>(a.size());
+  std::map<int64_t, double> pa, pb;
+  std::map<std::pair<int64_t, int64_t>, double> joint;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    joint[{a[i], b[i]}] += 1.0;
+  }
+  double mutual = 0.0;
+  for (const auto& [key, count] : joint) {
+    double pxy = count / n;
+    double px = pa[key.first] / n;
+    double py = pb[key.second] / n;
+    mutual += pxy * std::log(pxy / (px * py));
+  }
+  auto entropy = [n](const std::map<int64_t, double>& p) {
+    double h = 0.0;
+    for (const auto& [label, count] : p) {
+      double prob = count / n;
+      h -= prob * std::log(prob);
+    }
+    return h;
+  };
+  double ha = entropy(pa), hb = entropy(pb);
+  if (ha <= 0.0 || hb <= 0.0) return ha == hb ? 1.0 : 0.0;
+  return mutual / std::sqrt(ha * hb);
+}
+
+double HitRatioAtK(const std::vector<int64_t>& predicted_ranking,
+                   const std::vector<int64_t>& true_ranking, size_t k) {
+  SARN_CHECK_GE(predicted_ranking.size(), k);
+  SARN_CHECK_GE(true_ranking.size(), k);
+  std::unordered_set<int64_t> truth(true_ranking.begin(),
+                                    true_ranking.begin() + static_cast<int64_t>(k));
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) hits += truth.count(predicted_ranking[i]) > 0 ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallTopAInB(const std::vector<int64_t>& predicted_ranking,
+                     const std::vector<int64_t>& true_ranking, size_t a, size_t b) {
+  SARN_CHECK_GE(predicted_ranking.size(), b);
+  SARN_CHECK_GE(true_ranking.size(), a);
+  std::unordered_set<int64_t> truth(true_ranking.begin(),
+                                    true_ranking.begin() + static_cast<int64_t>(a));
+  size_t hits = 0;
+  for (size_t i = 0; i < b; ++i) hits += truth.count(predicted_ranking[i]) > 0 ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(a);
+}
+
+double MeanAbsoluteError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual) {
+  SARN_CHECK_EQ(predicted.size(), actual.size());
+  SARN_CHECK(!actual.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) total += std::fabs(predicted[i] - actual[i]);
+  return total / static_cast<double>(actual.size());
+}
+
+double MeanRelativeError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual, double floor) {
+  SARN_CHECK_EQ(predicted.size(), actual.size());
+  SARN_CHECK(!actual.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    total += std::fabs(predicted[i] - actual[i]) / std::max(actual[i], floor);
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+}  // namespace sarn::tasks

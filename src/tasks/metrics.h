@@ -1,0 +1,51 @@
+// Evaluation metrics of the paper's three downstream tasks, plus NMI
+// (used in §5.2.1 to report the type<->speed-limit correlation).
+
+#ifndef SARN_TASKS_METRICS_H_
+#define SARN_TASKS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sarn::tasks {
+
+/// Micro-averaged F1 over multiclass predictions (equals accuracy for
+/// single-label classification).
+double MicroF1(const std::vector<int64_t>& predicted, const std::vector<int64_t>& actual);
+
+/// Macro-averaged F1: per-class F1 averaged over classes present in
+/// `actual`.
+double MacroF1(const std::vector<int64_t>& predicted, const std::vector<int64_t>& actual);
+
+/// One-vs-rest ROC-AUC, macro-averaged over classes present in `actual`.
+/// `scores[i][c]` is the score of sample i for class c. Classes that are
+/// all-positive or all-negative in `actual` are skipped.
+double MacroAuc(const std::vector<std::vector<double>>& scores,
+                const std::vector<int64_t>& actual, int64_t num_classes);
+
+/// Normalized mutual information of two discrete labelings (in [0, 1]).
+double NormalizedMutualInformation(const std::vector<int64_t>& a,
+                                   const std::vector<int64_t>& b);
+
+/// HR@k: |top-k(predicted) ∩ top-k(truth)| / k (NEUTRAJ's hit ratio).
+/// Both arguments are ranked id lists (best first) of length >= k.
+double HitRatioAtK(const std::vector<int64_t>& predicted_ranking,
+                   const std::vector<int64_t>& true_ranking, size_t k);
+
+/// R-a@b: |top-b(predicted) ∩ top-a(truth)| / a (the paper's R5@20 with
+/// a = 5, b = 20).
+double RecallTopAInB(const std::vector<int64_t>& predicted_ranking,
+                     const std::vector<int64_t>& true_ranking, size_t a, size_t b);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual);
+
+/// Mean relative error: mean(|pred - actual| / max(actual, floor)).
+double MeanRelativeError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual, double floor = 1.0);
+
+}  // namespace sarn::tasks
+
+#endif  // SARN_TASKS_METRICS_H_

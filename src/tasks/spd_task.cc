@@ -1,0 +1,128 @@
+#include "tasks/spd_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "tasks/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::tasks {
+
+using tensor::Tensor;
+
+SpdTask::SpdTask(const roadnet::RoadNetwork& network, const SpdConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  graph::CsrGraph routing = network.ToLengthWeightedGraph();
+  int64_t n = network.num_segments();
+  SARN_CHECK_GT(n, 2);
+
+  int64_t total_needed = config.num_train_pairs + config.num_test_pairs;
+  std::vector<std::tuple<int64_t, int64_t, double>> pairs;
+  pairs.reserve(static_cast<size_t>(total_needed));
+  double distance_sum = 0.0;
+  // Sample sources; harvest several reachable targets per Dijkstra tree.
+  int targets_per_source =
+      std::max<int>(8, static_cast<int>(total_needed / std::max<int64_t>(1, n / 8)));
+  while (static_cast<int64_t>(pairs.size()) < total_needed) {
+    int64_t source = rng.UniformInt(0, n - 1);
+    graph::ShortestPathTree tree = Dijkstra(routing, source);
+    std::vector<int64_t> reachable;
+    for (int64_t v = 0; v < n; ++v) {
+      if (v != source &&
+          tree.distance[static_cast<size_t>(v)] != graph::kInfiniteDistance) {
+        reachable.push_back(v);
+      }
+    }
+    if (reachable.empty()) continue;
+    for (int t = 0; t < targets_per_source &&
+                    static_cast<int64_t>(pairs.size()) < total_needed;
+         ++t) {
+      int64_t target = reachable[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(reachable.size()) - 1))];
+      double meters = tree.distance[static_cast<size_t>(target)];
+      pairs.emplace_back(source, target, meters);
+      distance_sum += meters;
+    }
+  }
+  rng.Shuffle(pairs);
+  mean_distance_km_ = std::max(0.1, distance_sum / pairs.size() / 1000.0);
+  train_pairs_.assign(pairs.begin(), pairs.begin() + config.num_train_pairs);
+  test_pairs_.assign(pairs.begin() + config.num_train_pairs, pairs.end());
+}
+
+SpdResult SpdTask::Evaluate(EmbeddingSource& source) const {
+  Rng rng(config_.seed + 1);
+  nn::Ffn regressor({source.dim(), config_.hidden, 1}, nn::Activation::kRelu, rng);
+  std::vector<Tensor> parameters = regressor.Parameters();
+  for (const Tensor& p : source.TrainableParameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config_.learning_rate);
+
+  bool trainable_source = !source.TrainableParameters().empty();
+  Tensor frozen_embeddings;
+  if (!trainable_source) frozen_embeddings = source.Forward();
+
+  // Predict distance (in units of the mean train distance) from the raw
+  // per-dimension embedding difference.
+  auto predict = [&](const std::vector<std::tuple<int64_t, int64_t, double>>& pairs,
+                     size_t begin, size_t end) {
+    Tensor embeddings = trainable_source ? source.Forward() : frozen_embeddings;
+    std::vector<int64_t> a_ids, b_ids;
+    for (size_t i = begin; i < end; ++i) {
+      a_ids.push_back(std::get<0>(pairs[i]));
+      b_ids.push_back(std::get<1>(pairs[i]));
+    }
+    Tensor diff =
+        tensor::Sub(tensor::Rows(embeddings, a_ids), tensor::Rows(embeddings, b_ids));
+    int64_t m = static_cast<int64_t>(a_ids.size());
+    return tensor::Reshape(regressor.Forward(diff), {m});
+  };
+  auto targets_for = [&](const std::vector<std::tuple<int64_t, int64_t, double>>& pairs,
+                         size_t begin, size_t end) {
+    std::vector<float> targets;
+    for (size_t i = begin; i < end; ++i) {
+      targets.push_back(
+          static_cast<float>(std::get<2>(pairs[i]) / 1000.0 / mean_distance_km_));
+    }
+    return targets;
+  };
+
+  int epochs = trainable_source ? config_.epochs_trainable : config_.epochs;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin < train_pairs_.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      size_t end =
+          std::min(train_pairs_.size(), begin + static_cast<size_t>(config_.batch_size));
+      std::vector<float> targets = targets_for(train_pairs_, begin, end);
+      optimizer.ZeroGrad();
+      Tensor loss = nn::MseLoss(
+          predict(train_pairs_, begin, end),
+          Tensor::FromVector({static_cast<int64_t>(targets.size())}, targets));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+
+  tensor::NoGradGuard guard;
+  Tensor predictions = predict(test_pairs_, 0, test_pairs_.size());
+  std::vector<double> predicted_m, actual_m;
+  for (size_t i = 0; i < test_pairs_.size(); ++i) {
+    predicted_m.push_back(
+        std::max(0.0, static_cast<double>(predictions.at(static_cast<int64_t>(i)))) *
+        mean_distance_km_ * 1000.0);
+    actual_m.push_back(std::get<2>(test_pairs_[i]));
+  }
+  SpdResult result;
+  result.mae_meters = MeanAbsoluteError(predicted_m, actual_m);
+  result.mre = MeanRelativeError(predicted_m, actual_m, /*floor=*/50.0);
+  result.num_test_pairs = static_cast<int64_t>(test_pairs_.size());
+  return result;
+}
+
+}  // namespace sarn::tasks

@@ -1,0 +1,33 @@
+#include "tasks/splits.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sarn::tasks {
+
+Split MakeSplit(int64_t n, uint64_t seed, double train_fraction, double val_fraction) {
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  return MakeSplitOf(std::move(ids), seed, train_fraction, val_fraction);
+}
+
+Split MakeSplitOf(std::vector<int64_t> ids, uint64_t seed, double train_fraction,
+                  double val_fraction) {
+  SARN_CHECK(train_fraction >= 0 && val_fraction >= 0 &&
+             train_fraction + val_fraction <= 1.0);
+  Rng rng(seed);
+  rng.Shuffle(ids);
+  size_t n = ids.size();
+  size_t train_end = static_cast<size_t>(train_fraction * n);
+  size_t val_end = train_end + static_cast<size_t>(val_fraction * n);
+  Split split;
+  split.train.assign(ids.begin(), ids.begin() + static_cast<int64_t>(train_end));
+  split.val.assign(ids.begin() + static_cast<int64_t>(train_end),
+                   ids.begin() + static_cast<int64_t>(val_end));
+  split.test.assign(ids.begin() + static_cast<int64_t>(val_end), ids.end());
+  return split;
+}
+
+}  // namespace sarn::tasks

@@ -1,0 +1,28 @@
+// Train/validation/test index splits (the paper uses 6:2:2 throughout).
+
+#ifndef SARN_TASKS_SPLITS_H_
+#define SARN_TASKS_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sarn::tasks {
+
+struct Split {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+/// Shuffles [0, n) with `seed` and splits by the given fractions
+/// (train_fraction + val_fraction <= 1; the remainder is test).
+Split MakeSplit(int64_t n, uint64_t seed, double train_fraction = 0.6,
+                double val_fraction = 0.2);
+
+/// Same, but over a caller-provided id list.
+Split MakeSplitOf(std::vector<int64_t> ids, uint64_t seed, double train_fraction = 0.6,
+                  double val_fraction = 0.2);
+
+}  // namespace sarn::tasks
+
+#endif  // SARN_TASKS_SPLITS_H_

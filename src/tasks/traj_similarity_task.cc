@@ -1,0 +1,170 @@
+#include "tasks/traj_similarity_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/gru.h"
+#include "nn/losses.h"
+#include "nn/sequence_util.h"
+#include "tasks/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "traj/frechet.h"
+
+namespace sarn::tasks {
+
+using tensor::Tensor;
+
+TrajectorySimilarityTask::TrajectorySimilarityTask(
+    const roadnet::RoadNetwork& network,
+    std::vector<traj::MatchedTrajectory> trajectories, const TrajSimConfig& config)
+    : network_(&network), config_(config) {
+  for (const traj::MatchedTrajectory& t : trajectories) {
+    if (t.segments.size() < 2) continue;
+    sequences_.push_back(t.segments);
+    polylines_.push_back(traj::MatchedMidpoints(t, network));
+  }
+  SARN_CHECK_GE(sequences_.size(), 30u) << "need enough trajectories to rank top-20";
+  split_ = MakeSplit(static_cast<int64_t>(sequences_.size()), config.seed);
+  SARN_CHECK_GE(split_.test.size(), 21u);
+
+  // Precompute ground-truth rankings within the test set.
+  size_t t_count = split_.test.size();
+  true_ranking_.resize(t_count);
+  for (size_t q = 0; q < t_count; ++q) {
+    std::vector<std::pair<double, int64_t>> by_distance;
+    for (size_t o = 0; o < t_count; ++o) {
+      if (o == q) continue;
+      double d = GroundTruthDistance(static_cast<size_t>(split_.test[q]),
+                                     static_cast<size_t>(split_.test[o]));
+      by_distance.emplace_back(d, static_cast<int64_t>(o));
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    for (const auto& [d, o] : by_distance) true_ranking_[q].push_back(o);
+  }
+}
+
+double TrajectorySimilarityTask::GroundTruthDistance(size_t a, size_t b) const {
+  if (a == b) return 0.0;
+  std::pair<size_t, size_t> key = {std::min(a, b), std::max(a, b)};
+  auto it = frechet_cache_.find(key);
+  if (it != frechet_cache_.end()) return it->second;
+  double d = traj::TrajectoryDistance(config_.metric, polylines_[key.first],
+                                      polylines_[key.second]);
+  frechet_cache_.emplace(key, d);
+  return d;
+}
+
+TrajSimResult TrajectorySimilarityTask::RankTestSet(const Tensor& test_embeddings) const {
+  size_t t_count = split_.test.size();
+  SARN_CHECK_EQ(test_embeddings.shape()[0], static_cast<int64_t>(t_count));
+  int64_t dim = test_embeddings.shape()[1];
+  TrajSimResult result;
+  result.num_test = static_cast<int64_t>(t_count);
+  for (size_t q = 0; q < t_count; ++q) {
+    std::vector<std::pair<double, int64_t>> by_distance;
+    for (size_t o = 0; o < t_count; ++o) {
+      if (o == q) continue;
+      double l1 = 0.0;
+      for (int64_t j = 0; j < dim; ++j) {
+        l1 += std::fabs(test_embeddings.at(static_cast<int64_t>(q), j) -
+                        test_embeddings.at(static_cast<int64_t>(o), j));
+      }
+      by_distance.emplace_back(l1, static_cast<int64_t>(o));
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    std::vector<int64_t> predicted;
+    predicted.reserve(by_distance.size());
+    for (const auto& [d, o] : by_distance) predicted.push_back(o);
+    result.hr5 += HitRatioAtK(predicted, true_ranking_[q], 5);
+    result.hr20 += HitRatioAtK(predicted, true_ranking_[q], 20);
+    result.r5_20 += RecallTopAInB(predicted, true_ranking_[q], 5, 20);
+  }
+  result.hr5 /= static_cast<double>(t_count);
+  result.hr20 /= static_cast<double>(t_count);
+  result.r5_20 /= static_cast<double>(t_count);
+  return result;
+}
+
+TrajSimResult TrajectorySimilarityTask::Evaluate(EmbeddingSource& source) const {
+  Rng rng(config_.seed + 3);
+  nn::Gru gru(source.dim(), config_.gru_hidden, config_.gru_layers, rng);
+  Tensor scale = Tensor::FromVector({1}, {1.0f}).RequiresGrad();
+  Tensor offset = Tensor::FromVector({1}, {0.0f}).RequiresGrad();
+  std::vector<Tensor> parameters = gru.Parameters();
+  parameters.push_back(scale);
+  parameters.push_back(offset);
+  for (const Tensor& p : source.TrainableParameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config_.learning_rate);
+
+  bool trainable_source = !source.TrainableParameters().empty();
+  auto embeddings_of = [&](Tensor raw) {
+    return config_.normalize_embeddings ? tensor::RowL2Normalize(raw) : raw;
+  };
+  Tensor frozen_embeddings;
+  if (!trainable_source) frozen_embeddings = embeddings_of(source.Forward()).Detach();
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int produced = 0; produced < config_.pairs_per_epoch;
+         produced += config_.batch_pairs) {
+      std::vector<std::vector<int64_t>> batch_sequences;
+      std::vector<int64_t> left, right;
+      std::vector<float> targets_km;
+      for (int k = 0; k < config_.batch_pairs; ++k) {
+        size_t a = static_cast<size_t>(split_.train[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(split_.train.size()) - 1))]);
+        size_t b = static_cast<size_t>(split_.train[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(split_.train.size()) - 1))]);
+        if (a == b) continue;
+        left.push_back(static_cast<int64_t>(batch_sequences.size()));
+        batch_sequences.push_back(sequences_[a]);
+        right.push_back(static_cast<int64_t>(batch_sequences.size()));
+        batch_sequences.push_back(sequences_[b]);
+        targets_km.push_back(static_cast<float>(GroundTruthDistance(a, b) / 1000.0));
+      }
+      if (left.empty()) continue;
+      Tensor embeddings =
+          trainable_source ? embeddings_of(source.Forward()) : frozen_embeddings;
+      Tensor trajectory_embeddings = nn::EmbedSequences(gru, embeddings, batch_sequences);
+      Tensor l1 = tensor::SumAxis(
+          tensor::Abs(tensor::Sub(tensor::Rows(trajectory_embeddings, left),
+                                  tensor::Rows(trajectory_embeddings, right))),
+          1);
+      Tensor prediction = tensor::Add(tensor::Mul(l1, scale), offset);
+      int64_t m = prediction.numel();
+      Tensor loss = nn::MseLoss(prediction, Tensor::FromVector({m}, targets_km));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+
+  tensor::NoGradGuard guard;
+  Tensor embeddings =
+      trainable_source ? embeddings_of(source.Forward()) : frozen_embeddings;
+  std::vector<std::vector<int64_t>> test_sequences;
+  for (int64_t idx : split_.test) test_sequences.push_back(sequences_[static_cast<size_t>(idx)]);
+  Tensor test_embeddings = nn::EmbedSequences(gru, embeddings, test_sequences);
+  return RankTestSet(test_embeddings);
+}
+
+TrajSimResult TrajectorySimilarityTask::EvaluateNeutraj(
+    const baselines::NeutrajLiteConfig& config) const {
+  baselines::NeutrajLite model(network_->num_segments(), config);
+  std::vector<std::vector<int64_t>> train_sequences;
+  std::vector<size_t> train_global;
+  for (int64_t idx : split_.train) {
+    train_sequences.push_back(sequences_[static_cast<size_t>(idx)]);
+    train_global.push_back(static_cast<size_t>(idx));
+  }
+  model.Train(train_sequences, [&](size_t a, size_t b) {
+    return GroundTruthDistance(train_global[a], train_global[b]);
+  });
+  std::vector<std::vector<int64_t>> test_sequences;
+  for (int64_t idx : split_.test) test_sequences.push_back(sequences_[static_cast<size_t>(idx)]);
+  return RankTestSet(model.Embed(test_sequences));
+}
+
+}  // namespace sarn::tasks

@@ -1,0 +1,108 @@
+#include "tasks/travel_time_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/sequence_util.h"
+#include "tasks/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::tasks {
+
+using tensor::Tensor;
+
+double SimulatedTravelTimeSeconds(const roadnet::RoadNetwork& network,
+                                  const std::vector<roadnet::SegmentId>& route) {
+  double total = 0.0;
+  for (roadnet::SegmentId id : route) {
+    const roadnet::RoadSegment& s = network.segment(id);
+    const std::vector<int>& pool = roadnet::TypicalSpeedLimits(s.type);
+    double speed_ms = pool[pool.size() / 2] * 0.75 / 3.6;  // Generator's cruise model.
+    total += s.length_meters / std::max(speed_ms, 0.5);
+  }
+  return total;
+}
+
+TravelTimeTask::TravelTimeTask(const roadnet::RoadNetwork& network,
+                               std::vector<std::vector<int64_t>> routes,
+                               const TravelTimeConfig& config)
+    : network_(&network), config_(config) {
+  double sum = 0.0;
+  for (auto& route : routes) {
+    if (route.size() < 2) continue;
+    routes_.push_back(std::move(route));
+    times_s_.push_back(SimulatedTravelTimeSeconds(network, routes_.back()));
+    sum += times_s_.back();
+  }
+  SARN_CHECK_GE(routes_.size(), 20u);
+  mean_time_s_ = std::max(1.0, sum / static_cast<double>(routes_.size()));
+  split_ = MakeSplit(static_cast<int64_t>(routes_.size()), config.seed);
+}
+
+TravelTimeResult TravelTimeTask::Evaluate(EmbeddingSource& source) const {
+  Rng rng(config_.seed + 1);
+  nn::Gru gru(source.dim(), config_.gru_hidden, config_.gru_layers, rng);
+  nn::Linear head(config_.gru_hidden, 1, rng);
+  std::vector<Tensor> parameters = gru.Parameters();
+  for (const Tensor& p : head.Parameters()) parameters.push_back(p);
+  for (const Tensor& p : source.TrainableParameters()) parameters.push_back(p);
+  tensor::Adam optimizer(parameters, config_.learning_rate);
+
+  bool trainable_source = !source.TrainableParameters().empty();
+  Tensor frozen_embeddings;
+  if (!trainable_source) frozen_embeddings = source.Forward();
+
+  auto predict = [&](const std::vector<int64_t>& route_ids) {
+    Tensor embeddings = trainable_source ? source.Forward() : frozen_embeddings;
+    std::vector<std::vector<int64_t>> batch;
+    for (int64_t r : route_ids) batch.push_back(routes_[static_cast<size_t>(r)]);
+    Tensor encoded = nn::EmbedSequences(gru, embeddings, batch);
+    int64_t m = static_cast<int64_t>(route_ids.size());
+    return tensor::Reshape(head.Forward(encoded), {m});
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<int64_t> order = split_.train;
+    rng.Shuffle(order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_routes)) {
+      size_t end = std::min(order.size(), begin + static_cast<size_t>(config_.batch_routes));
+      std::vector<int64_t> batch(order.begin() + static_cast<int64_t>(begin),
+                                 order.begin() + static_cast<int64_t>(end));
+      std::vector<float> targets;
+      for (int64_t r : batch) {
+        targets.push_back(
+            static_cast<float>(times_s_[static_cast<size_t>(r)] / mean_time_s_));
+      }
+      optimizer.ZeroGrad();
+      Tensor loss = nn::MseLoss(
+          predict(batch), Tensor::FromVector({static_cast<int64_t>(targets.size())},
+                                             targets));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+
+  tensor::NoGradGuard guard;
+  Tensor predictions = predict(split_.test);
+  std::vector<double> predicted, actual;
+  for (size_t i = 0; i < split_.test.size(); ++i) {
+    predicted.push_back(
+        std::max(0.0, static_cast<double>(predictions.at(static_cast<int64_t>(i)))) *
+        mean_time_s_);
+    actual.push_back(times_s_[static_cast<size_t>(split_.test[i])]);
+  }
+  TravelTimeResult result;
+  result.mae_seconds = MeanAbsoluteError(predicted, actual);
+  result.mape = MeanRelativeError(predicted, actual, /*floor=*/10.0);
+  result.num_test = static_cast<int64_t>(split_.test.size());
+  return result;
+}
+
+}  // namespace sarn::tasks

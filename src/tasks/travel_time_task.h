@@ -1,0 +1,65 @@
+// Extension task (the paper's stated future work, §5/§6): route travel-time
+// estimation. Ground truth is the simulated driving time of a route (segment
+// length over the class cruise speed, as the trajectory generator drives);
+// the predictor is a GRU over frozen segment embeddings with a linear head,
+// trained by regression. Reported as MAE (seconds) and MAPE.
+//
+// This exercises a contextual signal (speed/time) that is NOT part of the
+// embedding inputs, on sequences — complementary to the paper's three tasks.
+
+#ifndef SARN_TASKS_TRAVEL_TIME_TASK_H_
+#define SARN_TASKS_TRAVEL_TIME_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "tasks/embedding_source.h"
+#include "tasks/splits.h"
+#include "traj/trajectory.h"
+
+namespace sarn::tasks {
+
+struct TravelTimeConfig {
+  uint64_t seed = 81;
+  int64_t gru_hidden = 32;
+  int gru_layers = 1;
+  int epochs = 5;
+  int batch_routes = 24;
+  float learning_rate = 0.01f;
+};
+
+struct TravelTimeResult {
+  double mae_seconds = 0.0;
+  double mape = 0.0;  // Fractional.
+  int64_t num_test = 0;
+};
+
+/// Simulated driving time of a route, seconds (matches the trajectory
+/// generator's cruise model).
+double SimulatedTravelTimeSeconds(const roadnet::RoadNetwork& network,
+                                  const std::vector<roadnet::SegmentId>& route);
+
+class TravelTimeTask {
+ public:
+  /// `routes` are segment sequences (e.g., MatchedTrajectory::segments).
+  TravelTimeTask(const roadnet::RoadNetwork& network,
+                 std::vector<std::vector<int64_t>> routes,
+                 const TravelTimeConfig& config);
+
+  TravelTimeResult Evaluate(EmbeddingSource& source) const;
+
+  const Split& split() const { return split_; }
+
+ private:
+  const roadnet::RoadNetwork* network_;
+  TravelTimeConfig config_;
+  std::vector<std::vector<int64_t>> routes_;
+  std::vector<double> times_s_;  // Aligned ground truth.
+  double mean_time_s_ = 1.0;
+  Split split_;
+};
+
+}  // namespace sarn::tasks
+
+#endif  // SARN_TASKS_TRAVEL_TIME_TASK_H_

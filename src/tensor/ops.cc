@@ -1,0 +1,787 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.h"
+
+namespace sarn::tensor {
+namespace {
+
+using internal::TensorImpl;
+
+// How operand b aligns against operand a in a binary op.
+enum class Broadcast {
+  kSame,    // identical element counts and (logical) shapes
+  kRowVec,  // a: [m, n], b: [n] or [1, n]
+  kScalar,  // b: single element
+};
+
+bool IsRowVecOf(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2) return false;
+  int64_t n = a.shape()[1];
+  if (b.rank() == 1 && b.shape()[0] == n) return true;
+  if (b.rank() == 2 && b.shape()[0] == 1 && b.shape()[1] == n) return true;
+  return false;
+}
+
+Broadcast ResolveBroadcast(const Tensor& a, const Tensor& b) {
+  if (a.numel() == b.numel() && a.numel() > 0 &&
+      (a.shape() == b.shape() || a.rank() == 1 || b.rank() == 1)) {
+    // Treat [n] and [1, n]/[n, 1] with equal numel as the same layout.
+    if (a.shape() == b.shape() || std::min(a.rank(), b.rank()) <= 1) return Broadcast::kSame;
+  }
+  if (b.numel() == 1) return Broadcast::kScalar;
+  if (IsRowVecOf(a, b)) return Broadcast::kRowVec;
+  SARN_CHECK(false) << "incompatible shapes " << ShapeToString(a.shape()) << " vs "
+                    << ShapeToString(b.shape());
+  return Broadcast::kSame;  // Unreachable.
+}
+
+// Generic elementwise binary with the three broadcast modes. `fwd(x, y)` is
+// the value, `dfdx(x, y, out)` / `dfdy(x, y, out)` the partials.
+template <typename Fwd, typename DfDx, typename DfDy>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDx dfdx, DfDy dfdy) {
+  Broadcast mode = ResolveBroadcast(a, b);
+  const std::vector<float>& av = a.data();
+  const std::vector<float>& bv = b.data();
+  int64_t n_cols = (mode == Broadcast::kRowVec) ? a.shape()[1] : 0;
+  std::vector<float> out(av.size());
+  switch (mode) {
+    case Broadcast::kSame:
+      for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[i]);
+      break;
+    case Broadcast::kRowVec:
+      for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[i % n_cols]);
+      break;
+    case Broadcast::kScalar:
+      for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[0]);
+      break;
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult(
+      a.shape(), std::move(out), {a, b},
+      [ai, bi, mode, n_cols, fwd, dfdx, dfdy](TensorImpl& o) {
+        const std::vector<float>& g = o.grad;
+        auto b_at = [&](size_t i) -> float {
+          switch (mode) {
+            case Broadcast::kSame:
+              return bi->data[i];
+            case Broadcast::kRowVec:
+              return bi->data[i % n_cols];
+            case Broadcast::kScalar:
+              return bi->data[0];
+          }
+          return 0.0f;
+        };
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          for (size_t i = 0; i < g.size(); ++i) {
+            ai->grad[i] += g[i] * dfdx(ai->data[i], b_at(i), o.data[i]);
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (size_t i = 0; i < g.size(); ++i) {
+            float contribution = g[i] * dfdy(ai->data[i], b_at(i), o.data[i]);
+            switch (mode) {
+              case Broadcast::kSame:
+                bi->grad[i] += contribution;
+                break;
+              case Broadcast::kRowVec:
+                bi->grad[i % n_cols] += contribution;
+                break;
+              case Broadcast::kScalar:
+                bi->grad[0] += contribution;
+                break;
+            }
+          }
+        }
+      });
+}
+
+// Generic elementwise unary. `dfd(x, out)` is the local derivative.
+template <typename Fwd, typename Df>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Df dfd) {
+  const std::vector<float>& av = a.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, dfd](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.grad.size(); ++i) {
+      ai->grad[i] += o.grad[i] * dfd(ai->data[i], o.data[i]);
+    }
+  });
+}
+
+Tensor Reciprocal(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / x; },
+      [](float, float out) { return -out * out; });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  // Commutative: put the broadcast operand on the right.
+  if (b.numel() > a.numel()) return Add(b, a);
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float) { return 1.0f; }, [](float, float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  if (a.numel() >= b.numel()) {
+    return BinaryOp(
+        a, b, [](float x, float y) { return x - y; },
+        [](float, float, float) { return 1.0f; },
+        [](float, float, float) { return -1.0f; });
+  }
+  return Add(Neg(b), a);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (b.numel() > a.numel()) return Mul(b, a);
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float) { return y; }, [](float x, float, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  if (a.numel() >= b.numel()) {
+    return BinaryOp(
+        a, b, [](float x, float y) { return x / y; },
+        [](float, float y, float) { return 1.0f / y; },
+        [](float x, float y, float) { return -x / (y * y); });
+  }
+  return Mul(Reciprocal(b), a);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); }, [](float, float out) { return out; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); }, [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float out) { return out > 0 ? 0.5f / out : 0.0f; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor ClampMin(const Tensor& a, float lo) {
+  return UnaryOp(
+      a, [lo](float x) { return x < lo ? lo : x; },
+      [lo](float x, float) { return x > lo ? 1.0f : 0.0f; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a, [negative_slope](float x) { return x > 0 ? x : negative_slope * x; },
+      [negative_slope](float x, float) { return x > 0 ? 1.0f : negative_slope; });
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0 ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float out) { return x > 0 ? 1.0f : out + alpha; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable in both tails.
+        if (x >= 0) {
+          float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float out) { return out * (1.0f - out); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float out) { return 1.0f - out * out; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  SARN_CHECK_EQ(b.rank(), 2);
+  int64_t m = a.shape()[0], k = a.shape()[1], k2 = b.shape()[0], n = b.shape()[1];
+  SARN_CHECK_EQ(k, k2) << "MatMul " << ShapeToString(a.shape()) << " x "
+                       << ShapeToString(b.shape());
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  float* od = out.data();
+  // Split so each chunk holds >= ~64k multiply-adds.
+  size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, k * n));
+  ParallelFor(
+      static_cast<size_t>(m),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const float* arow = ad + i * k;
+          float* orow = od + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            float av = arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = bd + kk * n;
+            for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+          }
+        }
+      },
+      grain);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult({m, n}, std::move(out), {a, b}, [ai, bi, m, k, n](TensorImpl& o) {
+    const float* g = o.grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      float* ga = ai->grad.data();
+      const float* bd = bi->data.data();
+      // dA = G * B^T : [m,n] x [n,k]
+      size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, k * n));
+      ParallelFor(
+          static_cast<size_t>(m),
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              const float* grow = g + i * n;
+              float* garow = ga + i * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const float* brow = bd + kk * n;
+                float acc = 0.0f;
+                for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                garow[kk] += acc;
+              }
+            }
+          },
+          grain);
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      float* gb = bi->grad.data();
+      const float* ad = ai->data.data();
+      // dB = A^T * G : [k,m] x [m,n]; parallel over k (rows of dB).
+      size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, m * n));
+      ParallelFor(
+          static_cast<size_t>(k),
+          [&](size_t begin, size_t end) {
+            for (size_t kk = begin; kk < end; ++kk) {
+              float* gbrow = gb + kk * n;
+              for (int64_t i = 0; i < m; ++i) {
+                float av = ad[i * k + kk];
+                if (av == 0.0f) continue;
+                const float* grow = g + i * n;
+                for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+              }
+            }
+          },
+          grain);
+    }
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  std::vector<float> out(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j * m + i)] = a.data()[static_cast<size_t>(i * n + j)];
+    }
+  }
+  auto ai = a.impl();
+  return MakeOpResult({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        ai->grad[static_cast<size_t>(i * n + j)] += o.grad[static_cast<size_t>(j * m + i)];
+      }
+    }
+  });
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  SARN_CHECK_EQ(NumElements(shape), a.numel());
+  auto ai = a.impl();
+  return MakeOpResult(shape, a.data(), {a}, [ai](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.grad.size(); ++i) ai->grad[i] += o.grad[i];
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  auto ai = a.impl();
+  return MakeOpResult({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    float g = o.grad[0];
+    for (float& gv : ai->grad) gv += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  SARN_CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumAxis(const Tensor& a, int axis) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  SARN_CHECK(axis == 0 || axis == 1);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  auto ai = a.impl();
+  if (axis == 0) {
+    std::vector<float> out(static_cast<size_t>(n), 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) out[j] += a.data()[static_cast<size_t>(i * n + j)];
+    }
+    return MakeOpResult({n}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+      if (!ai->requires_grad) return;
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) ai->grad[static_cast<size_t>(i * n + j)] += o.grad[j];
+      }
+    });
+  }
+  std::vector<float> out(static_cast<size_t>(m), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < n; ++j) acc += a.data()[static_cast<size_t>(i * n + j)];
+    out[static_cast<size_t>(i)] = static_cast<float>(acc);
+  }
+  return MakeOpResult({m}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) ai->grad[static_cast<size_t>(i * n + j)] += o.grad[i];
+    }
+  });
+}
+
+Tensor MeanAxis(const Tensor& a, int axis) {
+  int64_t count = axis == 0 ? a.shape()[0] : a.shape()[1];
+  SARN_CHECK_GT(count, 0);
+  return MulScalar(SumAxis(a, axis), 1.0f / static_cast<float>(count));
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  std::vector<float> out(a.data().size());
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data().data() + i * n;
+    float* orow = out.data() + i * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* y = o.data.data() + i * n;
+      const float* g = o.grad.data() + i * n;
+      float* ga = ai->grad.data() + i * n;
+      double dot = 0.0;
+      for (int64_t j = 0; j < n; ++j) dot += static_cast<double>(g[j]) * y[j];
+      for (int64_t j = 0; j < n; ++j) ga[j] += (g[j] - static_cast<float>(dot)) * y[j];
+    }
+  });
+}
+
+Tensor RowLogSoftmax(const Tensor& a) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  std::vector<float> out(a.data().size());
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data().data() + i * n;
+    float* orow = out.data() + i * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += std::exp(static_cast<double>(row[j]) - mx);
+    float lse = mx + static_cast<float>(std::log(sum));
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - lse;
+  }
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* y = o.data.data() + i * n;
+      const float* g = o.grad.data() + i * n;
+      float* ga = ai->grad.data() + i * n;
+      double gsum = 0.0;
+      for (int64_t j = 0; j < n; ++j) gsum += g[j];
+      for (int64_t j = 0; j < n; ++j) {
+        ga[j] += g[j] - static_cast<float>(gsum) * std::exp(y[j]);
+      }
+    }
+  });
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  std::vector<float> out(a.data().size());
+  std::vector<float> norms(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data().data() + i * n;
+    double sq = 0.0;
+    for (int64_t j = 0; j < n; ++j) sq += static_cast<double>(row[j]) * row[j];
+    float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    norms[static_cast<size_t>(i)] = norm;
+    float inv = 1.0f / norm;
+    for (int64_t j = 0; j < n; ++j) out[static_cast<size_t>(i * n + j)] = row[j] * inv;
+  }
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a},
+                      [ai, m, n, norms = std::move(norms), eps](TensorImpl& o) {
+                        if (!ai->requires_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < m; ++i) {
+                          const float* x = ai->data.data() + i * n;
+                          const float* g = o.grad.data() + i * n;
+                          float* ga = ai->grad.data() + i * n;
+                          float norm = norms[static_cast<size_t>(i)];
+                          float inv = 1.0f / norm;
+                          if (norm <= eps) {
+                            for (int64_t j = 0; j < n; ++j) ga[j] += g[j] * inv;
+                            continue;
+                          }
+                          double dot = 0.0;
+                          for (int64_t j = 0; j < n; ++j) {
+                            dot += static_cast<double>(g[j]) * x[j];
+                          }
+                          float scale = static_cast<float>(dot) * inv * inv * inv;
+                          for (int64_t j = 0; j < n; ++j) {
+                            ga[j] += g[j] * inv - x[j] * scale;
+                          }
+                        }
+                      });
+}
+
+Tensor DotRows(const Tensor& a, const Tensor& b) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  SARN_CHECK(a.shape() == b.shape())
+      << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  std::vector<float> out(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(a.data()[static_cast<size_t>(i * n + j)]) *
+             b.data()[static_cast<size_t>(i * n + j)];
+    }
+    out[static_cast<size_t>(i)] = static_cast<float>(acc);
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult({m}, std::move(out), {a, b}, [ai, bi, m, n](TensorImpl& o) {
+    for (int64_t i = 0; i < m; ++i) {
+      float g = o.grad[static_cast<size_t>(i)];
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (int64_t j = 0; j < n; ++j) {
+          ai->grad[static_cast<size_t>(i * n + j)] +=
+              g * bi->data[static_cast<size_t>(i * n + j)];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t j = 0; j < n; ++j) {
+          bi->grad[static_cast<size_t>(i * n + j)] +=
+              g * ai->data[static_cast<size_t>(i * n + j)];
+        }
+      }
+    }
+  });
+}
+
+Tensor ScaleRows(const Tensor& a, const Tensor& scale) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  SARN_CHECK_EQ(scale.numel(), m) << "ScaleRows " << ShapeToString(a.shape()) << " by "
+                                  << ShapeToString(scale.shape());
+  std::vector<float> out(a.data().size());
+  for (int64_t i = 0; i < m; ++i) {
+    float s = scale.data()[static_cast<size_t>(i)];
+    const float* row = a.data().data() + i * n;
+    float* orow = out.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] * s;
+  }
+  auto ai = a.impl();
+  auto si = scale.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a, scale}, [ai, si, m, n](TensorImpl& o) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* g = o.grad.data() + i * n;
+      float s = si->data[static_cast<size_t>(i)];
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) ga[j] += g[j] * s;
+      }
+      if (si->requires_grad) {
+        si->EnsureGrad();
+        const float* arow = ai->data.data() + i * n;
+        double acc = 0.0;
+        for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(g[j]) * arow[j];
+        si->grad[static_cast<size_t>(i)] += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+Tensor Rows(const Tensor& a, const std::vector<int64_t>& indices) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t n = a.shape()[1];
+  int64_t m = static_cast<int64_t>(indices.size());
+  std::vector<float> out(static_cast<size_t>(m * n));
+  for (int64_t r = 0; r < m; ++r) {
+    int64_t src = indices[static_cast<size_t>(r)];
+    SARN_CHECK(src >= 0 && src < a.shape()[0]) << "row index " << src;
+    std::copy_n(a.data().data() + src * n, n, out.data() + r * n);
+  }
+  auto ai = a.impl();
+  return MakeOpResult({m, n}, std::move(out), {a}, [ai, indices, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t r = 0; r < indices.size(); ++r) {
+      const float* g = o.grad.data() + r * n;
+      float* ga = ai->grad.data() + indices[r] * n;
+      for (int64_t j = 0; j < n; ++j) ga[j] += g[j];
+    }
+  });
+}
+
+Tensor TakePerRow(const Tensor& a, const std::vector<int64_t>& cols) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  SARN_CHECK_EQ(static_cast<int64_t>(cols.size()), m);
+  std::vector<float> out(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t c = cols[static_cast<size_t>(i)];
+    SARN_CHECK(c >= 0 && c < n) << "col index " << c;
+    out[static_cast<size_t>(i)] = a.data()[static_cast<size_t>(i * n + c)];
+  }
+  auto ai = a.impl();
+  return MakeOpResult({m}, std::move(out), {a}, [ai, cols, n](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      ai->grad[i * n + static_cast<size_t>(cols[i])] += o.grad[i];
+    }
+  });
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  SARN_CHECK(!parts.empty());
+  SARN_CHECK(axis == 0 || axis == 1);
+  for (const Tensor& p : parts) SARN_CHECK_EQ(p.rank(), 2);
+  int64_t m = 0, n = 0;
+  if (axis == 0) {
+    n = parts[0].shape()[1];
+    for (const Tensor& p : parts) {
+      SARN_CHECK_EQ(p.shape()[1], n);
+      m += p.shape()[0];
+    }
+  } else {
+    m = parts[0].shape()[0];
+    for (const Tensor& p : parts) {
+      SARN_CHECK_EQ(p.shape()[0], m);
+      n += p.shape()[1];
+    }
+  }
+  std::vector<float> out(static_cast<size_t>(m * n));
+  if (axis == 0) {
+    size_t offset = 0;
+    for (const Tensor& p : parts) {
+      std::copy(p.data().begin(), p.data().end(), out.begin() + offset);
+      offset += p.data().size();
+    }
+  } else {
+    int64_t col_offset = 0;
+    for (const Tensor& p : parts) {
+      int64_t pn = p.shape()[1];
+      for (int64_t i = 0; i < m; ++i) {
+        std::copy_n(p.data().data() + i * pn, pn, out.data() + i * n + col_offset);
+      }
+      col_offset += pn;
+    }
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (const Tensor& p : parts) impls.push_back(p.impl());
+  return MakeOpResult({m, n}, std::move(out), parts, [impls, axis, m, n](TensorImpl& o) {
+    if (axis == 0) {
+      size_t offset = 0;
+      for (const auto& pi : impls) {
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (size_t i = 0; i < pi->data.size(); ++i) pi->grad[i] += o.grad[offset + i];
+        }
+        offset += pi->data.size();
+      }
+    } else {
+      int64_t col_offset = 0;
+      for (const auto& pi : impls) {
+        int64_t pn = pi->shape[1];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (int64_t i = 0; i < m; ++i) {
+            const float* g = o.grad.data() + i * n + col_offset;
+            float* gp = pi->grad.data() + i * pn;
+            for (int64_t j = 0; j < pn; ++j) gp[j] += g[j];
+          }
+        }
+        col_offset += pn;
+      }
+    }
+  });
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng) {
+  SARN_CHECK(p >= 0.0f && p < 1.0f) << "p=" << p;
+  if (p == 0.0f) return a;
+  float keep = 1.0f - p;
+  float scale = 1.0f / keep;
+  std::vector<float> mask(a.data().size());
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.Bernoulli(keep) ? scale : 0.0f;
+    out[i] = a.data()[i] * mask[i];
+  }
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {a},
+                      [ai, mask = std::move(mask)](TensorImpl& o) {
+                        if (!ai->requires_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < o.grad.size(); ++i) {
+                          ai->grad[i] += o.grad[i] * mask[i];
+                        }
+                      });
+}
+
+Tensor EdgeSoftmax(const Tensor& scores, const std::vector<int64_t>& dst,
+                   int64_t num_vertices) {
+  SARN_CHECK(scores.rank() == 1 || (scores.rank() == 2 && scores.shape()[1] == 1));
+  int64_t e_count = scores.numel();
+  SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), e_count);
+  std::vector<float> max_per(static_cast<size_t>(num_vertices),
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t e = 0; e < e_count; ++e) {
+    int64_t v = dst[static_cast<size_t>(e)];
+    SARN_DCHECK(v >= 0 && v < num_vertices);
+    max_per[static_cast<size_t>(v)] =
+        std::max(max_per[static_cast<size_t>(v)], scores.data()[static_cast<size_t>(e)]);
+  }
+  std::vector<double> sum_per(static_cast<size_t>(num_vertices), 0.0);
+  std::vector<float> out(static_cast<size_t>(e_count));
+  for (int64_t e = 0; e < e_count; ++e) {
+    size_t v = static_cast<size_t>(dst[static_cast<size_t>(e)]);
+    float ex = std::exp(scores.data()[static_cast<size_t>(e)] - max_per[v]);
+    out[static_cast<size_t>(e)] = ex;
+    sum_per[v] += ex;
+  }
+  for (int64_t e = 0; e < e_count; ++e) {
+    size_t v = static_cast<size_t>(dst[static_cast<size_t>(e)]);
+    out[static_cast<size_t>(e)] =
+        sum_per[v] > 0 ? static_cast<float>(out[static_cast<size_t>(e)] / sum_per[v]) : 0.0f;
+  }
+  auto si = scores.impl();
+  return MakeOpResult(
+      {e_count}, std::move(out), {scores}, [si, dst, num_vertices](TensorImpl& o) {
+        if (!si->requires_grad) return;
+        si->EnsureGrad();
+        // Grouped softmax Jacobian: ds_e = y_e * (g_e - sum_{e' in group} g_e' y_e').
+        std::vector<double> group_dot(static_cast<size_t>(num_vertices), 0.0);
+        for (size_t e = 0; e < dst.size(); ++e) {
+          group_dot[static_cast<size_t>(dst[e])] +=
+              static_cast<double>(o.grad[e]) * o.data[e];
+        }
+        for (size_t e = 0; e < dst.size(); ++e) {
+          si->grad[e] += o.data[e] * (o.grad[e] - static_cast<float>(
+                                                      group_dot[static_cast<size_t>(dst[e])]));
+        }
+      });
+}
+
+Tensor ScatterAddRows(const Tensor& messages, const std::vector<int64_t>& dst,
+                      int64_t num_vertices) {
+  SARN_CHECK_EQ(messages.rank(), 2);
+  int64_t e_count = messages.shape()[0], d = messages.shape()[1];
+  SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), e_count);
+  std::vector<float> out(static_cast<size_t>(num_vertices * d), 0.0f);
+  for (int64_t e = 0; e < e_count; ++e) {
+    int64_t v = dst[static_cast<size_t>(e)];
+    SARN_DCHECK(v >= 0 && v < num_vertices);
+    const float* msg = messages.data().data() + e * d;
+    float* orow = out.data() + v * d;
+    for (int64_t j = 0; j < d; ++j) orow[j] += msg[j];
+  }
+  auto mi = messages.impl();
+  return MakeOpResult({num_vertices, d}, std::move(out), {messages},
+                      [mi, dst, d](TensorImpl& o) {
+                        if (!mi->requires_grad) return;
+                        mi->EnsureGrad();
+                        for (size_t e = 0; e < dst.size(); ++e) {
+                          const float* g = o.grad.data() + dst[e] * d;
+                          float* gm = mi->grad.data() + e * d;
+                          for (int64_t j = 0; j < d; ++j) gm[j] += g[j];
+                        }
+                      });
+}
+
+}  // namespace sarn::tensor

@@ -1,0 +1,97 @@
+#include "tensor/pca.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sarn::tensor {
+
+PcaResult Pca(const Tensor& x, int num_components, int iterations) {
+  SARN_CHECK_EQ(x.rank(), 2);
+  int64_t n = x.shape()[0];
+  int64_t d = x.shape()[1];
+  SARN_CHECK_GT(num_components, 0);
+  SARN_CHECK_LE(num_components, d);
+  SARN_CHECK_GT(n, 1);
+
+  // Center columns.
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      mean[static_cast<size_t>(j)] += x.at(i, j);
+    }
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  std::vector<double> centered(static_cast<size_t>(n * d));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      centered[static_cast<size_t>(i * d + j)] =
+          x.at(i, j) - mean[static_cast<size_t>(j)];
+    }
+  }
+  // Covariance C = X^T X / (n - 1), [d, d].
+  std::vector<double> cov(static_cast<size_t>(d * d), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = centered.data() + i * d;
+    for (int64_t a = 0; a < d; ++a) {
+      for (int64_t b = a; b < d; ++b) {
+        cov[static_cast<size_t>(a * d + b)] += row[a] * row[b];
+      }
+    }
+  }
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b = a; b < d; ++b) {
+      double value = cov[static_cast<size_t>(a * d + b)] / (n - 1);
+      cov[static_cast<size_t>(a * d + b)] = value;
+      cov[static_cast<size_t>(b * d + a)] = value;
+    }
+  }
+
+  PcaResult result;
+  result.components = Tensor::Zeros({num_components, d});
+  result.projections = Tensor::Zeros({n, num_components});
+  Rng rng(12345);
+  std::vector<double> vec(static_cast<size_t>(d));
+  std::vector<double> next(static_cast<size_t>(d));
+  for (int c = 0; c < num_components; ++c) {
+    for (double& v : vec) v = rng.Normal();
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < iterations; ++iter) {
+      // next = C * vec
+      for (int64_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        const double* row = cov.data() + a * d;
+        for (int64_t b = 0; b < d; ++b) acc += row[b] * vec[static_cast<size_t>(b)];
+        next[static_cast<size_t>(a)] = acc;
+      }
+      double norm = 0.0;
+      for (double v : next) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // Rank-deficient; remaining variance ~0.
+      eigenvalue = norm;
+      for (int64_t a = 0; a < d; ++a) next[static_cast<size_t>(a)] /= norm;
+      vec = next;
+    }
+    result.explained_variance.push_back(eigenvalue);
+    for (int64_t j = 0; j < d; ++j) {
+      result.components.set(c, j, static_cast<float>(vec[static_cast<size_t>(j)]));
+    }
+    // Project and deflate: C -= lambda v v^T.
+    for (int64_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      const double* row = centered.data() + i * d;
+      for (int64_t j = 0; j < d; ++j) dot += row[j] * vec[static_cast<size_t>(j)];
+      result.projections.set(i, c, static_cast<float>(dot));
+    }
+    for (int64_t a = 0; a < d; ++a) {
+      for (int64_t b = 0; b < d; ++b) {
+        cov[static_cast<size_t>(a * d + b)] -=
+            eigenvalue * vec[static_cast<size_t>(a)] * vec[static_cast<size_t>(b)];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sarn::tensor

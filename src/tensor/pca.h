@@ -1,0 +1,30 @@
+// Principal component analysis by power iteration with deflation.
+//
+// Used to project learned road-segment embeddings to 2-3 components for
+// visualization (GeoJSON export) and for quick diagnostics of embedding
+// collapse. Works on detached data; no autograd involvement.
+
+#ifndef SARN_TENSOR_PCA_H_
+#define SARN_TENSOR_PCA_H_
+
+#include "tensor/tensor.h"
+
+namespace sarn::tensor {
+
+struct PcaResult {
+  /// [n, components] projections of the (centered) rows.
+  Tensor projections;
+  /// [components, d] principal axes (unit rows).
+  Tensor components;
+  /// Explained variance per component, descending.
+  std::vector<double> explained_variance;
+};
+
+/// Projects the rows of x [n, d] onto the top `num_components` principal
+/// axes. `num_components` must be <= d. Deterministic (fixed-seed start
+/// vectors); `iterations` bounds the power-iteration steps per component.
+PcaResult Pca(const Tensor& x, int num_components, int iterations = 100);
+
+}  // namespace sarn::tensor
+
+#endif  // SARN_TENSOR_PCA_H_

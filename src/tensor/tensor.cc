@@ -1,0 +1,248 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace sarn::tensor {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    SARN_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+namespace {
+
+thread_local bool t_grad_mode = true;
+
+std::shared_ptr<internal::TensorImpl> NewImpl(Shape shape, std::vector<float> data) {
+  SARN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()))
+      << "shape " << ShapeToString(shape);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  return impl;
+}
+
+}  // namespace
+
+bool GradModeEnabled() { return t_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_mode) { t_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { t_grad_mode = previous_; }
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  return FromImpl(NewImpl(shape, std::vector<float>(NumElements(shape), 0.0f)));
+}
+
+Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  return FromImpl(NewImpl(shape, std::vector<float>(NumElements(shape), value)));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  return FromImpl(NewImpl(shape, std::move(values)));
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
+  std::vector<float> data(NumElements(shape));
+  for (float& v : data) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return FromImpl(NewImpl(shape, std::move(data)));
+}
+
+Tensor Tensor::Uniform(const Shape& shape, Rng& rng, float lo, float hi) {
+  std::vector<float> data(NumElements(shape));
+  for (float& v : data) v = static_cast<float>(rng.Uniform(lo, hi));
+  return FromImpl(NewImpl(shape, std::move(data)));
+}
+
+Tensor Tensor::GlorotUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Uniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+int64_t Tensor::dim(size_t axis) const {
+  SARN_CHECK_LT(axis, impl_->shape.size());
+  return impl_->shape[axis];
+}
+
+Tensor& Tensor::RequiresGrad(bool value) {
+  impl_->requires_grad = value;
+  return *this;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::mutable_grad() {
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::item() const {
+  SARN_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+float Tensor::at(int64_t i) const {
+  SARN_DCHECK(i >= 0 && i < numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  SARN_DCHECK(rank() == 2);
+  SARN_DCHECK(i >= 0 && i < impl_->shape[0] && j >= 0 && j < impl_->shape[1]);
+  return impl_->data[static_cast<size_t>(i * impl_->shape[1] + j)];
+}
+
+void Tensor::set(int64_t i, float v) {
+  SARN_DCHECK(i >= 0 && i < numel());
+  impl_->data[static_cast<size_t>(i)] = v;
+}
+
+void Tensor::set(int64_t i, int64_t j, float v) {
+  SARN_DCHECK(rank() == 2);
+  impl_->data[static_cast<size_t>(i * impl_->shape[1] + j)] = v;
+}
+
+void Tensor::Backward() {
+  SARN_CHECK_EQ(numel(), 1) << "Backward() without seed requires a scalar";
+  Backward({1.0f});
+}
+
+void Tensor::Backward(const std::vector<float>& seed_grad) {
+  SARN_CHECK(defined());
+  SARN_CHECK_EQ(static_cast<int64_t>(seed_grad.size()), numel());
+  // Topological order over the tape (iterative DFS to survive deep graphs,
+  // e.g., unrolled GRUs over 180-step trajectories).
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(impl_.get()).second) stack.push_back({impl_.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  impl_->EnsureGrad();
+  for (size_t i = 0; i < seed_grad.size(); ++i) impl_->grad[i] += seed_grad[i];
+  // `order` is children-after-parents; walk it back-to-front.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward) {
+      node->EnsureGrad();
+      node->backward();
+    }
+  }
+  // Consume the tape so intermediate buffers can be freed.
+  for (internal::TensorImpl* node : order) {
+    node->backward = nullptr;
+    node->parents.clear();
+  }
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_->grad.empty()) std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = NewImpl(impl_->shape, impl_->data);
+  return FromImpl(impl);
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string Tensor::ToString(int max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(impl_->shape) << " ";
+  if (rank() <= 1) {
+    out << "[";
+    int64_t n = std::min<int64_t>(numel(), max_per_dim);
+    for (int64_t i = 0; i < n; ++i) {
+      if (i > 0) out << ", ";
+      out << impl_->data[static_cast<size_t>(i)];
+    }
+    if (numel() > n) out << ", ...";
+    out << "]";
+  } else if (rank() == 2) {
+    out << "[";
+    int64_t rows = std::min<int64_t>(impl_->shape[0], max_per_dim);
+    for (int64_t i = 0; i < rows; ++i) {
+      out << (i > 0 ? ", [" : "[");
+      int64_t cols = std::min<int64_t>(impl_->shape[1], max_per_dim);
+      for (int64_t j = 0; j < cols; ++j) {
+        if (j > 0) out << ", ";
+        out << at(i, j);
+      }
+      if (impl_->shape[1] > cols) out << ", ...";
+      out << "]";
+    }
+    if (impl_->shape[0] > rows) out << ", ...";
+    out << "]";
+  } else {
+    out << "<rank " << rank() << ">";
+  }
+  return out.str();
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+Tensor MakeOpResult(Shape shape, std::vector<float> data, std::vector<Tensor> inputs,
+                    BackwardFn backward) {
+  auto impl = NewImpl(std::move(shape), std::move(data));
+  if (GradModeEnabled()) {
+    bool any_requires = false;
+    for (const Tensor& input : inputs) {
+      if (input.defined() && input.requires_grad()) {
+        any_requires = true;
+        break;
+      }
+    }
+    if (any_requires) {
+      impl->requires_grad = true;
+      for (const Tensor& input : inputs) {
+        if (input.defined()) impl->parents.push_back(input.impl());
+      }
+      // Captures a raw self pointer: the closure is owned by *impl and only
+      // invoked while the node is alive during Backward().
+      internal::TensorImpl* self = impl.get();
+      impl->backward = [self, fn = std::move(backward)]() { fn(*self); };
+    }
+  }
+  return Tensor::FromImpl(impl);
+}
+
+}  // namespace sarn::tensor

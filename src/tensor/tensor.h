@@ -1,0 +1,165 @@
+// A compact dense-tensor engine with reverse-mode automatic differentiation.
+//
+// This is the numeric substrate every model in the repository trains on
+// (SARN's GAT encoders, the projection heads, the GRU trajectory encoder, the
+// baseline FFNs). It is deliberately small: float32 storage, row-major, rank
+// <= 2 in practice (vectors and matrices), a tape built dynamically by the
+// ops in tensor/ops.h, and topological-order backpropagation.
+//
+// Usage:
+//   Tensor w = Tensor::Randn({4, 3}, rng).RequiresGrad();
+//   Tensor x = Tensor::FromVector({1, 4}, {1, 2, 3, 4});
+//   Tensor loss = Sum(MatMul(x, w));
+//   loss.Backward();
+//   w.grad();  // d loss / d w
+//
+// Thread-compatibility: distinct graphs may be built/run on distinct threads;
+// a single Tensor must not be used concurrently. Gradient recording can be
+// suspended with NoGradGuard (used by all inference paths).
+
+#ifndef SARN_TENSOR_TENSOR_H_
+#define SARN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sarn::tensor {
+
+/// Tensor shape; rank 0 (scalar) through rank 3 are supported, rank <= 2 is
+/// the common case.
+using Shape = std::vector<int64_t>;
+
+int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Allocated lazily, same size as data.
+  bool requires_grad = false;
+
+  // Autograd tape node. `backward` propagates this node's grad into its
+  // parents' grads. Cleared by Tensor::Backward() after use.
+  std::function<void()> backward;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// True while gradients are being recorded on this thread (default true).
+bool GradModeEnabled();
+
+/// RAII guard disabling gradient recording; nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Value-semantic handle to a (possibly autograd-tracked) dense float tensor.
+/// Copies share the underlying buffer (like torch.Tensor).
+class Tensor {
+ public:
+  /// An empty (null) tensor; defined() is false.
+  Tensor() = default;
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  /// N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng& rng, float stddev = 1.0f);
+  /// U[lo, hi) entries.
+  static Tensor Uniform(const Shape& shape, Rng& rng, float lo, float hi);
+  /// Glorot/Xavier-uniform initialisation for a [fan_in, fan_out] matrix.
+  static Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+  // --- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int64_t dim(size_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+  int64_t rank() const { return static_cast<int64_t>(impl_->shape.size()); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Marks this tensor as a gradient leaf (a trainable parameter). Returns
+  /// *this for chaining.
+  Tensor& RequiresGrad(bool value = true);
+
+  // --- Data access ---------------------------------------------------------
+
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& mutable_data() { return impl_->data; }
+  /// Gradient buffer (zeros if backward has not reached this tensor).
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+
+  float item() const;                       // Requires numel() == 1.
+  float at(int64_t i) const;                // Rank-1 access.
+  float at(int64_t i, int64_t j) const;     // Rank-2 access.
+  void set(int64_t i, float v);             // Rank-1.
+  void set(int64_t i, int64_t j, float v);  // Rank-2.
+
+  // --- Autograd ------------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this scalar tensor: fills `grad` of all
+  /// reachable tensors with requires_grad. The tape is consumed (freed).
+  void Backward();
+
+  /// Same, with an explicit seed gradient (shape must match).
+  void Backward(const std::vector<float>& seed_grad);
+
+  /// Zeroes this tensor's gradient buffer.
+  void ZeroGrad();
+
+  /// Returns a copy detached from the autograd graph (shares no tape, fresh
+  /// buffer, requires_grad = false).
+  Tensor Detach() const;
+
+  /// Deep copy of values (no tape).
+  Tensor Clone() const;
+
+  std::string ToString(int max_per_dim = 8) const;
+
+  // Internal: used by ops.
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Signature of an op's backward pass: receives the output node (whose
+/// `grad` holds dL/d_out) and must accumulate into the inputs' grads (the
+/// closure captures the input impls itself).
+using BackwardFn = std::function<void(internal::TensorImpl& out)>;
+
+/// Creates a result tensor wired into the tape: if grad mode is on and any
+/// input requires grad, the result requires grad and `backward` will be
+/// invoked during backprop. Used by all op implementations.
+Tensor MakeOpResult(Shape shape, std::vector<float> data, std::vector<Tensor> inputs,
+                    BackwardFn backward);
+
+}  // namespace sarn::tensor
+
+#endif  // SARN_TENSOR_TENSOR_H_

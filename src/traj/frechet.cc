@@ -1,0 +1,36 @@
+#include "traj/frechet.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sarn::traj {
+
+double DiscreteFrechet(const std::vector<geo::LatLng>& a,
+                       const std::vector<geo::LatLng>& b) {
+  SARN_CHECK(!a.empty() && !b.empty());
+  size_t n = a.size(), m = b.size();
+  // Rolling single-row DP: ca[j] = coupling distance for (i, j).
+  std::vector<double> row(m);
+  std::vector<double> prev(m);
+  for (size_t j = 0; j < m; ++j) {
+    double d = geo::HaversineMeters(a[0], b[j]);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double d = geo::HaversineMeters(a[i], b[j]);
+      double best_prior;
+      if (j == 0) {
+        best_prior = prev[0];
+      } else {
+        best_prior = std::min({prev[j], prev[j - 1], row[j - 1]});
+      }
+      row[j] = std::max(best_prior, d);
+    }
+    std::swap(row, prev);
+  }
+  return prev[m - 1];
+}
+
+}  // namespace sarn::traj

@@ -1,0 +1,21 @@
+// Discrete Fréchet distance (Alt & Godau), the paper's ground-truth
+// trajectory similarity metric (§5.2.2). O(n*m) dynamic program over
+// haversine point distances.
+
+#ifndef SARN_TRAJ_FRECHET_H_
+#define SARN_TRAJ_FRECHET_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace sarn::traj {
+
+/// Discrete Fréchet distance between two polylines, meters. Both inputs must
+/// be non-empty.
+double DiscreteFrechet(const std::vector<geo::LatLng>& a,
+                       const std::vector<geo::LatLng>& b);
+
+}  // namespace sarn::traj
+
+#endif  // SARN_TRAJ_FRECHET_H_

@@ -1,0 +1,86 @@
+#include "traj/io.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sarn::traj {
+
+bool SaveTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
+                         const std::string& path) {
+  CsvTable table;
+  table.header = {"trajectory_id", "timestamp_s", "lat", "lng"};
+  for (size_t id = 0; id < trajectories.size(); ++id) {
+    for (const GpsPoint& p : trajectories[id].points) {
+      table.rows.push_back({std::to_string(id), FormatDouble(p.timestamp_s, 3),
+                            FormatDouble(p.position.lat, 7),
+                            FormatDouble(p.position.lng, 7)});
+    }
+  }
+  return WriteCsvFile(path, table);
+}
+
+std::optional<std::vector<Trajectory>> LoadTrajectoriesCsv(const std::string& path) {
+  std::optional<CsvTable> table = ReadCsvFile(path, /*has_header=*/true);
+  if (!table.has_value() || table->header.size() != 4) return std::nullopt;
+  std::vector<Trajectory> trajectories;
+  for (const auto& row : table->rows) {
+    if (row.size() != 4) return std::nullopt;
+    auto id = ParseInt(row[0]);
+    auto timestamp = ParseDouble(row[1]);
+    auto lat = ParseDouble(row[2]);
+    auto lng = ParseDouble(row[3]);
+    if (!id || !timestamp || !lat || !lng || *id < 0) {
+      SARN_LOG(Error) << "malformed trajectory row in " << path;
+      return std::nullopt;
+    }
+    if (static_cast<size_t>(*id) >= trajectories.size()) {
+      trajectories.resize(static_cast<size_t>(*id) + 1);
+    }
+    trajectories[static_cast<size_t>(*id)].points.push_back(
+        {geo::LatLng{*lat, *lng}, *timestamp});
+  }
+  return trajectories;
+}
+
+bool SaveMatchedCsv(const std::vector<MatchedTrajectory>& matched,
+                    const std::string& path) {
+  CsvTable table;
+  table.header = {"trajectory_id", "position", "segment_id"};
+  for (size_t id = 0; id < matched.size(); ++id) {
+    for (size_t k = 0; k < matched[id].segments.size(); ++k) {
+      table.rows.push_back({std::to_string(id), std::to_string(k),
+                            std::to_string(matched[id].segments[k])});
+    }
+  }
+  return WriteCsvFile(path, table);
+}
+
+std::optional<std::vector<MatchedTrajectory>> LoadMatchedCsv(const std::string& path) {
+  std::optional<CsvTable> table = ReadCsvFile(path, /*has_header=*/true);
+  if (!table.has_value() || table->header.size() != 3) return std::nullopt;
+  std::vector<MatchedTrajectory> matched;
+  for (const auto& row : table->rows) {
+    if (row.size() != 3) return std::nullopt;
+    auto id = ParseInt(row[0]);
+    auto position = ParseInt(row[1]);
+    auto segment = ParseInt(row[2]);
+    if (!id || !position || !segment || *id < 0 || *position < 0) {
+      SARN_LOG(Error) << "malformed matched row in " << path;
+      return std::nullopt;
+    }
+    if (static_cast<size_t>(*id) >= matched.size()) {
+      matched.resize(static_cast<size_t>(*id) + 1);
+    }
+    std::vector<roadnet::SegmentId>& segments =
+        matched[static_cast<size_t>(*id)].segments;
+    if (static_cast<size_t>(*position) != segments.size()) {
+      SARN_LOG(Error) << "out-of-order matched rows in " << path;
+      return std::nullopt;
+    }
+    segments.push_back(*segment);
+  }
+  return matched;
+}
+
+}  // namespace sarn::traj

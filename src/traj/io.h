@@ -1,0 +1,32 @@
+// CSV persistence for trajectory datasets.
+//
+// Two formats:
+//  * GPS trajectories — rows (trajectory_id, timestamp_s, lat, lng); the
+//    interchange format of the public datasets the paper uses (T-Drive,
+//    SF-Cab are distributed as per-point CSV logs).
+//  * Matched trajectories — rows (trajectory_id, position, segment_id);
+//    the cached output of map matching, so the expensive matching step can
+//    be done once per dataset.
+
+#ifndef SARN_TRAJ_IO_H_
+#define SARN_TRAJ_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace sarn::traj {
+
+bool SaveTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
+                         const std::string& path);
+std::optional<std::vector<Trajectory>> LoadTrajectoriesCsv(const std::string& path);
+
+bool SaveMatchedCsv(const std::vector<MatchedTrajectory>& matched,
+                    const std::string& path);
+std::optional<std::vector<MatchedTrajectory>> LoadMatchedCsv(const std::string& path);
+
+}  // namespace sarn::traj
+
+#endif  // SARN_TRAJ_IO_H_

@@ -1,0 +1,112 @@
+#include "traj/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "graph/dijkstra.h"
+
+namespace sarn::traj {
+
+double PointToSegmentMeters(const geo::LatLng& point, const geo::LatLng& seg_start,
+                            const geo::LatLng& seg_end) {
+  geo::LocalProjection proj(seg_start);
+  double px = 0, py = 0, ex = 0, ey = 0;
+  proj.ToMeters(point, &px, &py);
+  proj.ToMeters(seg_end, &ex, &ey);
+  double len_sq = ex * ex + ey * ey;
+  if (len_sq < 1e-9) return std::sqrt(px * px + py * py);
+  double t = std::clamp((px * ex + py * ey) / len_sq, 0.0, 1.0);
+  double dx = px - t * ex;
+  double dy = py - t * ey;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+MapMatcher::MapMatcher(const roadnet::RoadNetwork& network, MapMatcherConfig config)
+    : network_(network),
+      config_(config),
+      midpoint_index_(network.Midpoints(),
+                      std::max(50.0, network.MeanSegmentLength())),
+      routing_graph_(network.ToLengthWeightedGraph()) {}
+
+roadnet::SegmentId MapMatcher::SnapPoint(const geo::LatLng& point,
+                                         std::optional<double> heading_radians) const {
+  // Candidate segments: those whose midpoint is within snap radius plus half
+  // the longest plausible segment; then rank by point-to-segment distance
+  // plus (optionally) a heading-mismatch penalty.
+  double scan_radius = config_.max_snap_meters + network_.MeanSegmentLength() * 2.0;
+  std::vector<uint32_t> candidates = midpoint_index_.WithinRadius(point, scan_radius);
+  roadnet::SegmentId best = -1;
+  double best_score = config_.max_snap_meters;
+  for (uint32_t id : candidates) {
+    const roadnet::RoadSegment& s = network_.segment(id);
+    double score = PointToSegmentMeters(point, s.start, s.end);
+    if (score >= config_.max_snap_meters) continue;  // Geometric gate first.
+    if (heading_radians.has_value()) {
+      score += config_.heading_penalty_meters *
+               geo::AngularDistance(*heading_radians, s.radian) / geo::kPi;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<roadnet::SegmentId>(id);
+    }
+  }
+  return best;
+}
+
+MatchedTrajectory MapMatcher::Match(const Trajectory& trajectory) const {
+  MatchedTrajectory matched;
+  for (size_t k = 0; k < trajectory.points.size(); ++k) {
+    const GpsPoint& p = trajectory.points[k];
+    // Travel heading from the surrounding fixes (forward difference; falls
+    // back to backward difference on the last point).
+    std::optional<double> heading;
+    const geo::LatLng* from = nullptr;
+    const geo::LatLng* to = nullptr;
+    if (k + 1 < trajectory.points.size()) {
+      from = &p.position;
+      to = &trajectory.points[k + 1].position;
+    } else if (k > 0) {
+      from = &trajectory.points[k - 1].position;
+      to = &p.position;
+    }
+    if (from != nullptr && geo::HaversineMeters(*from, *to) > 1.0) {
+      heading = geo::SegmentRadian(*from, *to);
+    }
+    roadnet::SegmentId snapped = SnapPoint(p.position, heading);
+    if (snapped < 0) continue;  // Outlier fix.
+    if (!matched.segments.empty() && matched.segments.back() == snapped) continue;
+    if (!matched.segments.empty()) {
+      roadnet::SegmentId prev = matched.segments.back();
+      // Bridge the gap with the shortest connecting path if prev -> snapped
+      // is not a direct topological step.
+      bool adjacent = false;
+      for (graph::VertexId u : routing_graph_.OutNeighbors(prev)) {
+        if (u == snapped) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) {
+        graph::ShortestPathTree tree = Dijkstra(
+            routing_graph_, prev, snapped,
+            /*max_distance=*/network_.MeanSegmentLength() *
+                (config_.max_bridge_segments + 2) * 2.0);
+        std::vector<graph::VertexId> path = ReconstructPath(tree, prev, snapped);
+        if (path.size() >= 2 &&
+            static_cast<int>(path.size()) - 2 <= config_.max_bridge_segments) {
+          // Append intermediates (skip endpoints: prev present, snapped below).
+          for (size_t k = 1; k + 1 < path.size(); ++k) {
+            matched.segments.push_back(path[k]);
+          }
+        }
+        // Unreachable or too long: accept the jump as-is (GPS tunnel gap).
+      }
+    }
+    matched.segments.push_back(snapped);
+  }
+  return matched;
+}
+
+}  // namespace sarn::traj

@@ -1,0 +1,62 @@
+// Nearest-segment map matching with shortest-path gap bridging — a light
+// version of the HMM matcher the paper cites [Lou et al. 2009], adequate for
+// the synthetic low-noise trajectories the generator emits (DESIGN.md §3).
+
+#ifndef SARN_TRAJ_MAP_MATCHING_H_
+#define SARN_TRAJ_MAP_MATCHING_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/spatial_index.h"
+#include "graph/csr_graph.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace sarn::traj {
+
+struct MapMatcherConfig {
+  /// GPS fixes farther than this from any segment are dropped as outliers.
+  double max_snap_meters = 120.0;
+  /// Non-adjacent consecutive matches are connected by shortest path when
+  /// the connecting path has at most this many intermediate segments.
+  int max_bridge_segments = 12;
+  /// Heading penalty (meters at opposite heading): disambiguates the two
+  /// directed twins of a two-way street using the travel direction.
+  double heading_penalty_meters = 60.0;
+};
+
+/// Matches GPS trajectories onto a road network. Build once per network;
+/// Match() is const and thread-compatible.
+class MapMatcher {
+ public:
+  MapMatcher(const roadnet::RoadNetwork& network, MapMatcherConfig config = {});
+
+  /// Returns the ordered, deduplicated, gap-bridged segment sequence; empty
+  /// if no point snapped onto the network.
+  MatchedTrajectory Match(const Trajectory& trajectory) const;
+
+  /// Nearest segment to a point (by point-to-segment geometric distance over
+  /// candidates from the midpoint index), or -1 when outside max_snap_meters.
+  /// When `heading_radians` is provided (travel direction at the fix),
+  /// candidates are ranked by distance plus a heading-mismatch penalty,
+  /// which disambiguates the directed twins of two-way streets.
+  roadnet::SegmentId SnapPoint(const geo::LatLng& point,
+                               std::optional<double> heading_radians = {}) const;
+
+ private:
+  const roadnet::RoadNetwork& network_;
+  MapMatcherConfig config_;
+  geo::SpatialIndex midpoint_index_;
+  graph::CsrGraph routing_graph_;
+};
+
+/// Geometric distance from a point to the straight segment start-end, meters
+/// (local-projection approximation; exact enough at city scale).
+double PointToSegmentMeters(const geo::LatLng& point, const geo::LatLng& seg_start,
+                            const geo::LatLng& seg_end);
+
+}  // namespace sarn::traj
+
+#endif  // SARN_TRAJ_MAP_MATCHING_H_

@@ -1,0 +1,63 @@
+#include "traj/similarity_metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "traj/frechet.h"
+
+namespace sarn::traj {
+
+double DynamicTimeWarping(const std::vector<geo::LatLng>& a,
+                          const std::vector<geo::LatLng>& b) {
+  SARN_CHECK(!a.empty() && !b.empty());
+  size_t n = a.size(), m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling rows: dp[j] = cost of aligning a[0..i] with b[0..j].
+  std::vector<double> prev(m + 1, kInf), row(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    row[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      double cost = geo::HaversineMeters(a[i - 1], b[j - 1]);
+      row[j] = cost + std::min({prev[j], row[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, row);
+  }
+  return prev[m];
+}
+
+double HausdorffDistance(const std::vector<geo::LatLng>& a,
+                         const std::vector<geo::LatLng>& b) {
+  SARN_CHECK(!a.empty() && !b.empty());
+  auto directed = [](const std::vector<geo::LatLng>& from,
+                     const std::vector<geo::LatLng>& to) {
+    double worst = 0.0;
+    for (const geo::LatLng& p : from) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const geo::LatLng& q : to) {
+        best = std::min(best, geo::HaversineMeters(p, q));
+        if (best == 0.0) break;
+      }
+      worst = std::max(worst, best);
+    }
+    return worst;
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+double TrajectoryDistance(SimilarityMetric metric, const std::vector<geo::LatLng>& a,
+                          const std::vector<geo::LatLng>& b) {
+  switch (metric) {
+    case SimilarityMetric::kFrechet:
+      return DiscreteFrechet(a, b);
+    case SimilarityMetric::kDtw:
+      return DynamicTimeWarping(a, b);
+    case SimilarityMetric::kHausdorff:
+      return HausdorffDistance(a, b);
+  }
+  SARN_CHECK(false) << "unknown metric";
+  return 0.0;
+}
+
+}  // namespace sarn::traj

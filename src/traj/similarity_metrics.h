@@ -1,0 +1,40 @@
+// Additional trajectory distance metrics.
+//
+// The paper uses the discrete Fréchet distance as ground truth and notes it
+// is "straightforward to replace it with another metric" (§5.2.2); these are
+// the two most common alternatives in the trajectory-query literature:
+// dynamic time warping (Keogh & Ratanamahatana) and the (symmetric)
+// Hausdorff distance. The trajectory-similarity task can be configured to
+// use any of the three.
+
+#ifndef SARN_TRAJ_SIMILARITY_METRICS_H_
+#define SARN_TRAJ_SIMILARITY_METRICS_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace sarn::traj {
+
+enum class SimilarityMetric {
+  kFrechet = 0,
+  kDtw = 1,
+  kHausdorff = 2,
+};
+
+/// Dynamic time warping distance: minimum total point-to-point cost over
+/// monotone alignments, meters (sum-of-costs, not normalised).
+double DynamicTimeWarping(const std::vector<geo::LatLng>& a,
+                          const std::vector<geo::LatLng>& b);
+
+/// Symmetric Hausdorff distance between point sets, meters.
+double HausdorffDistance(const std::vector<geo::LatLng>& a,
+                         const std::vector<geo::LatLng>& b);
+
+/// Dispatches to Fréchet / DTW / Hausdorff.
+double TrajectoryDistance(SimilarityMetric metric, const std::vector<geo::LatLng>& a,
+                          const std::vector<geo::LatLng>& b);
+
+}  // namespace sarn::traj
+
+#endif  // SARN_TRAJ_SIMILARITY_METRICS_H_

@@ -1,0 +1,143 @@
+#include "traj/trajectory_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/spatial_index.h"
+#include "graph/dijkstra.h"
+
+namespace sarn::traj {
+namespace {
+
+// Typical cruising speed on a segment, m/s: a bit under the median posted
+// limit of the road class.
+double CruiseSpeed(const roadnet::RoadSegment& segment) {
+  const std::vector<int>& pool = roadnet::TypicalSpeedLimits(segment.type);
+  double median_kmh = pool[pool.size() / 2];
+  return median_kmh * 0.75 / 3.6;
+}
+
+}  // namespace
+
+TrajectoryGenerator::TrajectoryGenerator(const roadnet::RoadNetwork& network,
+                                         TrajectoryGeneratorConfig config)
+    : network_(network), config_(config), rng_(config.seed) {
+  SARN_CHECK_GT(network.num_segments(), 1);
+  midpoints_ = network.Midpoints();
+  // Hotspots: random segment midpoints.
+  for (int h = 0; h < config_.num_hotspots; ++h) {
+    size_t pick =
+        static_cast<size_t>(rng_.UniformInt(0, network.num_segments() - 1));
+    hotspots_.push_back(midpoints_[pick]);
+  }
+  // Pre-built perturbed routing graphs.
+  int variants = std::max(1, config_.num_routing_variants);
+  for (int v = 0; v < variants; ++v) {
+    std::vector<graph::WeightedEdge> edges;
+    edges.reserve(network.topo_edges().size());
+    for (const roadnet::TopoEdge& e : network.topo_edges()) {
+      double base = (network.segment(e.from).length_meters +
+                     network.segment(e.to).length_meters) /
+                    2.0;
+      double factor = std::exp(rng_.Normal(0.0, config_.route_diversity));
+      edges.push_back({e.from, e.to, base * factor});
+    }
+    routing_variants_.emplace_back(network.num_segments(), edges);
+  }
+}
+
+roadnet::SegmentId TrajectoryGenerator::SampleEndpoint() {
+  if (!hotspots_.empty() && rng_.Bernoulli(config_.hotspot_fraction)) {
+    // Near a hotspot: hotspot midpoint + Gaussian offset, snapped to the
+    // nearest segment midpoint by linear probing over random candidates.
+    const geo::LatLng& hotspot =
+        hotspots_[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(hotspots_.size()) - 1))];
+    roadnet::SegmentId best = -1;
+    double best_dist = 1e18;
+    // 48 random candidates: cheap and keeps endpoints clustered.
+    for (int trial = 0; trial < 48; ++trial) {
+      auto id = static_cast<roadnet::SegmentId>(
+          rng_.UniformInt(0, network_.num_segments() - 1));
+      double d = geo::HaversineMeters(hotspot, midpoints_[static_cast<size_t>(id)]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = id;
+      }
+    }
+    return best;
+  }
+  return static_cast<roadnet::SegmentId>(rng_.UniformInt(0, network_.num_segments() - 1));
+}
+
+std::optional<GeneratedTrajectory> TrajectoryGenerator::GenerateOne() {
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    roadnet::SegmentId origin = SampleEndpoint();
+    roadnet::SegmentId destination = SampleEndpoint();
+    if (origin == destination) continue;
+    const graph::CsrGraph& routing = routing_variants_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(routing_variants_.size()) - 1))];
+    graph::ShortestPathTree tree = Dijkstra(routing, origin, destination);
+    std::vector<graph::VertexId> path = ReconstructPath(tree, origin, destination);
+    if (static_cast<int>(path.size()) < config_.min_route_segments) continue;
+    // Taxi-style chained legs: keep driving to fresh destinations.
+    for (int leg = 1; leg < config_.legs; ++leg) {
+      graph::VertexId from = path.back();
+      roadnet::SegmentId next = SampleEndpoint();
+      if (next == from) continue;
+      graph::ShortestPathTree leg_tree = Dijkstra(routing, from, next);
+      std::vector<graph::VertexId> leg_path = ReconstructPath(leg_tree, from, next);
+      if (leg_path.size() < 2) continue;
+      path.insert(path.end(), leg_path.begin() + 1, leg_path.end());
+    }
+    if (static_cast<int>(path.size()) > config_.max_route_segments) {
+      path.resize(static_cast<size_t>(config_.max_route_segments));
+    }
+
+    GeneratedTrajectory out;
+    out.ground_truth.assign(path.begin(), path.end());
+
+    // Emit GPS fixes: drive each segment start -> end at its cruise speed,
+    // sampling every sample_interval_s with Gaussian position noise.
+    double t = 0.0;
+    double next_sample = 0.0;
+    for (graph::VertexId sid : path) {
+      const roadnet::RoadSegment& s = network_.segment(sid);
+      double speed = CruiseSpeed(s);
+      double duration = s.length_meters / std::max(speed, 0.5);
+      while (next_sample <= t + duration) {
+        double along = (next_sample - t) / duration;  // In [0, 1].
+        geo::LatLng exact{
+            s.start.lat + (s.end.lat - s.start.lat) * along,
+            s.start.lng + (s.end.lng - s.start.lng) * along,
+        };
+        geo::LocalProjection proj(exact);
+        geo::LatLng noisy = proj.ToLatLng(rng_.Normal(0.0, config_.gps_noise_meters),
+                                          rng_.Normal(0.0, config_.gps_noise_meters));
+        out.gps.points.push_back({noisy, next_sample});
+        next_sample += config_.sample_interval_s;
+      }
+      t += duration;
+    }
+    if (out.gps.points.size() < 2) continue;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::vector<GeneratedTrajectory> TrajectoryGenerator::Generate(int count) {
+  std::vector<GeneratedTrajectory> out;
+  out.reserve(static_cast<size_t>(count));
+  int failures = 0;
+  while (static_cast<int>(out.size()) < count && failures < count + 100) {
+    std::optional<GeneratedTrajectory> one = GenerateOne();
+    if (one.has_value()) {
+      out.push_back(std::move(*one));
+    } else {
+      ++failures;
+    }
+  }
+  return out;
+}
+
+}  // namespace sarn::traj

@@ -1,0 +1,77 @@
+// Synthetic GPS trajectory generator — the substitute for the DiDi /
+// T-Drive / SF-Cab datasets (DESIGN.md §3).
+//
+// Trajectories are produced the way vehicle traces arise: an origin and a
+// destination segment are drawn (with popularity hotspots so some corridors
+// are shared by many trips, as in real taxi data), the route is computed on
+// the road network with per-trip randomised edge weights (drivers do not all
+// take the exact shortest path), and GPS fixes are emitted along the route
+// at a fixed sampling interval with Gaussian position noise.
+
+#ifndef SARN_TRAJ_TRAJECTORY_GENERATOR_H_
+#define SARN_TRAJ_TRAJECTORY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace sarn::traj {
+
+struct TrajectoryGeneratorConfig {
+  uint64_t seed = 13;
+  /// Number of OD popularity hotspots; trips start/end near hotspots with
+  /// probability `hotspot_fraction`.
+  int num_hotspots = 6;
+  double hotspot_fraction = 0.6;
+  /// GPS sampling interval and positional noise.
+  double sample_interval_s = 15.0;
+  double gps_noise_meters = 12.0;
+  /// Route length bounds (in segments); shorter routes are rejected.
+  int min_route_segments = 10;
+  int max_route_segments = 220;
+  /// Log-normal sigma of the per-trip edge-weight perturbation (route
+  /// diversity); 0 = everyone drives the exact shortest path.
+  double route_diversity = 0.25;
+  /// Number of pre-built perturbed routing graphs shared across trips.
+  int num_routing_variants = 8;
+  /// Legs per trip: after reaching a destination the vehicle continues to a
+  /// new destination (taxi-style chains). legs > 1 produces the long
+  /// trajectories of the paper's Table 7 length sweep.
+  int legs = 1;
+};
+
+struct GeneratedTrajectory {
+  Trajectory gps;                                 // Noisy fixes.
+  std::vector<roadnet::SegmentId> ground_truth;   // The actual driven route.
+};
+
+/// Generates trajectories over a network. Construction precomputes the
+/// routing variants; Generate() draws `count` trajectories.
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const roadnet::RoadNetwork& network,
+                      TrajectoryGeneratorConfig config = {});
+
+  std::vector<GeneratedTrajectory> Generate(int count);
+
+  /// One trajectory; nullopt if OD sampling failed repeatedly (disconnected
+  /// pair), which is rare on generator-produced networks.
+  std::optional<GeneratedTrajectory> GenerateOne();
+
+ private:
+  roadnet::SegmentId SampleEndpoint();
+
+  const roadnet::RoadNetwork& network_;
+  TrajectoryGeneratorConfig config_;
+  Rng rng_;
+  std::vector<graph::CsrGraph> routing_variants_;
+  std::vector<geo::LatLng> hotspots_;
+  std::vector<geo::LatLng> midpoints_;
+};
+
+}  // namespace sarn::traj
+
+#endif  // SARN_TRAJ_TRAJECTORY_GENERATOR_H_

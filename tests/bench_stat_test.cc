@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace sarn::bench {
+namespace {
+
+TEST(StatTest, SingleValueNoDeviation) {
+  Stat stat;
+  stat.Add(42.5);
+  EXPECT_EQ(stat.count, 1);
+  EXPECT_DOUBLE_EQ(stat.mean, 42.5);
+  EXPECT_EQ(stat.Cell(1), "42.5");
+}
+
+TEST(StatTest, MeanAndStdOverKnownValues) {
+  Stat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count, 8);
+  EXPECT_DOUBLE_EQ(stat.mean, 5.0);
+  // Sample stddev of this classic set is sqrt(32/7) ~ 2.138.
+  std::string cell = stat.Cell(2);
+  EXPECT_NE(cell.find("5.00"), std::string::npos);
+  EXPECT_NE(cell.find("2.14"), std::string::npos);
+}
+
+TEST(StatTest, CellUsesPlusMinusSeparator) {
+  Stat stat;
+  stat.Add(1.0);
+  stat.Add(3.0);
+  EXPECT_NE(stat.Cell(1).find("±"), std::string::npos);
+}
+
+TEST(StatTest, EmptyStatRendersZero) {
+  Stat stat;
+  EXPECT_EQ(stat.count, 0);
+  EXPECT_EQ(stat.Cell(0), "0");
+}
+
+TEST(BenchEnvTest, DefaultsSane) {
+  BenchEnv env = GetEnv();  // May be overridden by ambient env vars.
+  EXPECT_GT(env.scale, 0.0);
+  EXPECT_GT(env.epochs, 0);
+  EXPECT_GT(env.reps, 0);
+  EXPECT_GT(env.trajectories, 0);
+}
+
+TEST(BenchCommonTest, NumFormatsDecimals) {
+  EXPECT_EQ(Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace sarn::bench

@@ -1,0 +1,34 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNothing) {
+  SARN_CHECK(true);
+  SARN_CHECK_EQ(1, 1);
+  SARN_CHECK_NE(1, 2);
+  SARN_CHECK_LT(1, 2);
+  SARN_CHECK_LE(2, 2);
+  SARN_CHECK_GT(3, 2);
+  SARN_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ SARN_CHECK(false) << "boom"; }, "boom");
+}
+
+TEST(CheckDeathTest, FailingComparisonShowsValues) {
+  int a = 3, b = 5;
+  EXPECT_DEATH({ SARN_CHECK_EQ(a, b); }, "3 vs 5");
+}
+
+TEST(CheckDeathTest, MessageIncludesExpression) {
+  EXPECT_DEATH({ SARN_CHECK(1 > 2); }, "1 > 2");
+}
+
+TEST(CheckTest, DcheckPassesInAnyBuild) { SARN_DCHECK(2 + 2 == 4); }
+
+}  // namespace
+}  // namespace sarn

@@ -1,0 +1,82 @@
+// Randomized round-trip fuzzing of the CSV layer: arbitrary field content
+// (including delimiters, quotes, unicode bytes) must survive
+// escape -> write -> read -> parse unchanged.
+
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sarn {
+namespace {
+
+std::string RandomField(Rng& rng) {
+  static const std::string alphabet =
+      "abcXYZ0189 ,\"'\t;|%$#@!()[]{}<>\\/.:-_+=~`\xc3\xa9\xe4\xb8\xad";
+  size_t length = static_cast<size_t>(rng.UniformInt(0, 24));
+  std::string field;
+  for (size_t i = 0; i < length; ++i) {
+    field.push_back(alphabet[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+  }
+  return field;
+}
+
+TEST(CsvFuzzTest, EscapeParseRoundTripOnRandomRows) {
+  Rng rng(20240706);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t columns = static_cast<size_t>(rng.UniformInt(1, 8));
+    std::vector<std::string> row;
+    std::string line;
+    for (size_t c = 0; c < columns; ++c) {
+      row.push_back(RandomField(rng));
+      if (c > 0) line += ',';
+      line += EscapeCsvField(row.back());
+    }
+    std::vector<std::string> parsed = ParseCsvLine(line);
+    ASSERT_EQ(parsed.size(), row.size()) << "trial " << trial << " line: " << line;
+    for (size_t c = 0; c < columns; ++c) {
+      ASSERT_EQ(parsed[c], row[c]) << "trial " << trial << " column " << c;
+    }
+  }
+}
+
+TEST(CsvFuzzTest, FileRoundTripOnRandomTables) {
+  Rng rng(77);
+  std::string path = testing::TempDir() + "/sarn_csv_fuzz.csv";
+  for (int trial = 0; trial < 20; ++trial) {
+    CsvTable table;
+    size_t columns = static_cast<size_t>(rng.UniformInt(1, 6));
+    for (size_t c = 0; c < columns; ++c) table.header.push_back("col" + std::to_string(c));
+    size_t rows = static_cast<size_t>(rng.UniformInt(1, 30));
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < columns; ++c) {
+        std::string field = RandomField(rng);
+        // Newlines inside fields are out of dialect scope; strip them.
+        std::erase(field, '\n');
+        std::erase(field, '\r');
+        row.push_back(field);
+      }
+      table.rows.push_back(row);
+    }
+    ASSERT_TRUE(WriteCsvFile(path, table));
+    auto loaded = ReadCsvFile(path, /*has_header=*/true);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->header, table.header) << "trial " << trial;
+    // Empty-file dialect nuance: rows that are entirely empty strings write
+    // as blank-ish lines; compare only field contents of surviving rows.
+    ASSERT_EQ(loaded->rows.size(), table.rows.size()) << "trial " << trial;
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      ASSERT_EQ(loaded->rows[r], table.rows[r]) << "trial " << trial << " row " << r;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sarn

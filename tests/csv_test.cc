@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = ParseCsvLine(",x,,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto fields = ParseCsvLine("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvTest, ParseToleratesCarriageReturn) {
+  auto fields = ParseCsvLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  for (const std::string& value :
+       {std::string("plain"), std::string("with,comma"), std::string("with\"quote"),
+        std::string("")}) {
+    auto fields = ParseCsvLine(EscapeCsvField(value));
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], value);
+  }
+}
+
+TEST(CsvTest, WriteAndReadFileRoundTrip) {
+  std::string path = testing::TempDir() + "/sarn_csv_test.csv";
+  CsvTable table;
+  table.header = {"id", "name", "value"};
+  table.rows = {{"1", "alpha", "0.5"}, {"2", "beta,comma", "1.5"}};
+  ASSERT_TRUE(WriteCsvFile(path, table));
+
+  auto loaded = ReadCsvFile(path, /*has_header=*/true);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header, table.header);
+  ASSERT_EQ(loaded->rows.size(), 2u);
+  EXPECT_EQ(loaded->rows[1][1], "beta,comma");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  EXPECT_EQ(table.ColumnIndex("b").value(), 1u);
+  EXPECT_FALSE(table.ColumnIndex("missing").has_value());
+}
+
+TEST(CsvTest, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path/file.csv", true).has_value());
+}
+
+TEST(CsvTest, ReadWithoutHeader) {
+  std::string path = testing::TempDir() + "/sarn_csv_noheader.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,4\n";
+  }
+  auto loaded = ReadCsvFile(path, /*has_header=*/false);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->header.empty());
+  ASSERT_EQ(loaded->rows.size(), 2u);
+  EXPECT_EQ(loaded->rows[0][0], "1");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sarn

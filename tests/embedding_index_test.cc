@@ -1,0 +1,107 @@
+#include "tasks/embedding_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace sarn::tasks {
+namespace {
+
+using tensor::Tensor;
+
+Tensor ClusteredEmbeddings() {
+  // Three well-separated clusters of 4 rows each.
+  Rng rng(1);
+  std::vector<float> data;
+  for (int cluster = 0; cluster < 3; ++cluster) {
+    for (int member = 0; member < 4; ++member) {
+      for (int j = 0; j < 8; ++j) {
+        float center = j == cluster ? 10.0f : 0.0f;
+        data.push_back(center + static_cast<float>(rng.Normal(0.0, 0.1)));
+      }
+    }
+  }
+  return Tensor::FromVector({12, 8}, std::move(data));
+}
+
+TEST(EmbeddingIndexTest, CosineFindsClusterMembers) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  for (int64_t q = 0; q < 12; ++q) {
+    std::vector<Neighbor> top = index.QueryById(q, 3);
+    ASSERT_EQ(top.size(), 3u);
+    for (const Neighbor& n : top) {
+      EXPECT_EQ(n.id / 4, q / 4) << "query " << q << " matched " << n.id;
+      EXPECT_NE(n.id, q);
+    }
+  }
+}
+
+TEST(EmbeddingIndexTest, L1FindsClusterMembers) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kL1);
+  for (int64_t q = 0; q < 12; ++q) {
+    std::vector<Neighbor> top = index.QueryById(q, 3);
+    for (const Neighbor& n : top) EXPECT_EQ(n.id / 4, q / 4);
+  }
+}
+
+TEST(EmbeddingIndexTest, ScoresDescending) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  std::vector<Neighbor> top = index.QueryById(0, 11);
+  ASSERT_EQ(top.size(), 11u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(EmbeddingIndexTest, MatchesBruteForceOnRandomData) {
+  Rng rng(2);
+  Tensor embeddings = Tensor::Randn({40, 6}, rng);
+  EmbeddingIndex index(embeddings, IndexMetric::kL1);
+  for (int64_t q = 0; q < 40; q += 7) {
+    std::vector<Neighbor> top = index.QueryById(q, 1);
+    ASSERT_EQ(top.size(), 1u);
+    // Brute force.
+    double best = 1e18;
+    int64_t best_id = -1;
+    for (int64_t o = 0; o < 40; ++o) {
+      if (o == q) continue;
+      double l1 = 0;
+      for (int64_t j = 0; j < 6; ++j) {
+        l1 += std::fabs(embeddings.at(q, j) - embeddings.at(o, j));
+      }
+      if (l1 < best) {
+        best = l1;
+        best_id = o;
+      }
+    }
+    EXPECT_EQ(top[0].id, best_id);
+    EXPECT_NEAR(-top[0].score, best, 1e-4);
+  }
+}
+
+TEST(EmbeddingIndexTest, QueryByVectorCosineScaleInvariant) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  std::vector<float> query(8, 0.0f);
+  query[1] = 1.0f;  // Points at cluster 1.
+  std::vector<Neighbor> small = index.QueryByVector(query, 4);
+  for (float& v : query) v *= 1000.0f;
+  std::vector<Neighbor> large = index.QueryByVector(query, 4);
+  ASSERT_EQ(small.size(), large.size());
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].id, large[i].id);
+    EXPECT_EQ(small[i].id / 4, 1);
+  }
+}
+
+TEST(EmbeddingIndexTest, KClamping) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  EXPECT_EQ(index.QueryById(0, 100).size(), 11u);  // n - 1.
+  EXPECT_EQ(index.QueryById(0, 0).size(), 0u);
+  EXPECT_EQ(index.QueryByVector(std::vector<float>(8, 1.0f), 100).size(), 12u);
+}
+
+}  // namespace
+}  // namespace sarn::tasks

@@ -1,0 +1,116 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+namespace sarn::geo {
+namespace {
+
+TEST(GeoTest, HaversineZeroForIdenticalPoints) {
+  LatLng p{30.66, 104.06};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // One degree of latitude is ~111.19 km.
+  LatLng a{0.0, 0.0}, b{1.0, 0.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 100.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  LatLng a{30.0, 104.0}, b{30.01, 104.02};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeoTest, HaversineLongitudeShrinksWithLatitude) {
+  // A fixed longitude delta spans fewer meters at higher latitude.
+  double at_equator = HaversineMeters({0.0, 0.0}, {0.0, 1.0});
+  double at_60 = HaversineMeters({60.0, 0.0}, {60.0, 1.0});
+  EXPECT_NEAR(at_60 / at_equator, 0.5, 0.01);
+}
+
+TEST(GeoTest, AngularDistanceBasics) {
+  EXPECT_DOUBLE_EQ(AngularDistance(0.0, 0.0), 0.0);
+  EXPECT_NEAR(AngularDistance(0.0, kPi / 2), kPi / 2, 1e-12);
+  EXPECT_NEAR(AngularDistance(kPi / 2, 0.0), kPi / 2, 1e-12);
+}
+
+TEST(GeoTest, AngularDistanceWrapsAround) {
+  // 350 degrees vs 10 degrees is 20 degrees apart, not 340.
+  double a = DegToRad(350.0), b = DegToRad(10.0);
+  EXPECT_NEAR(AngularDistance(a, b), DegToRad(20.0), 1e-9);
+}
+
+TEST(GeoTest, AngularDistanceMaxIsPi) {
+  EXPECT_NEAR(AngularDistance(0.0, kPi), kPi, 1e-12);
+  EXPECT_NEAR(AngularDistance(0.25, 0.25 + kPi), kPi, 1e-9);
+}
+
+TEST(GeoTest, SegmentRadianCardinalDirections) {
+  LatLng origin{30.0, 104.0};
+  LocalProjection proj(origin);
+  LatLng east = proj.ToLatLng(100.0, 0.0);
+  LatLng north = proj.ToLatLng(0.0, 100.0);
+  LatLng west = proj.ToLatLng(-100.0, 0.0);
+  EXPECT_NEAR(SegmentRadian(origin, east), 0.0, 1e-6);
+  EXPECT_NEAR(SegmentRadian(origin, north), kPi / 2, 1e-6);
+  EXPECT_NEAR(SegmentRadian(origin, west), kPi, 1e-6);
+}
+
+TEST(GeoTest, SegmentRadianInRange) {
+  LatLng origin{30.0, 104.0};
+  LocalProjection proj(origin);
+  for (double angle = 0.0; angle < 2 * kPi; angle += 0.3) {
+    LatLng target = proj.ToLatLng(100.0 * std::cos(angle), 100.0 * std::sin(angle));
+    double r = SegmentRadian(origin, target);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 2 * kPi + 1e-9);
+    EXPECT_NEAR(r, angle, 1e-4);
+  }
+}
+
+TEST(GeoTest, LocalProjectionRoundTrip) {
+  LocalProjection proj(LatLng{37.77, -122.42});
+  for (double x : {-3000.0, 0.0, 1234.5}) {
+    for (double y : {-2000.0, 0.0, 987.6}) {
+      LatLng p = proj.ToLatLng(x, y);
+      double rx, ry;
+      proj.ToMeters(p, &rx, &ry);
+      EXPECT_NEAR(rx, x, 1e-6);
+      EXPECT_NEAR(ry, y, 1e-6);
+    }
+  }
+}
+
+TEST(GeoTest, LocalProjectionConsistentWithHaversine) {
+  LocalProjection proj(LatLng{30.66, 104.06});
+  LatLng p = proj.ToLatLng(300.0, 400.0);  // 500 m from origin.
+  EXPECT_NEAR(HaversineMeters(proj.origin(), p), 500.0, 1.0);
+}
+
+TEST(GeoTest, MidpointIsAverage) {
+  LatLng a{10.0, 20.0}, b{12.0, 26.0};
+  LatLng mid = Midpoint(a, b);
+  EXPECT_DOUBLE_EQ(mid.lat, 11.0);
+  EXPECT_DOUBLE_EQ(mid.lng, 23.0);
+}
+
+TEST(GeoTest, BoundingBoxExtendAndContains) {
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend({30.0, 104.0});
+  box.Extend({30.1, 104.2});
+  EXPECT_TRUE(box.Contains({30.05, 104.1}));
+  EXPECT_FALSE(box.Contains({29.9, 104.1}));
+  EXPECT_FALSE(box.Contains({30.05, 104.3}));
+}
+
+TEST(GeoTest, BoundingBoxDimensions) {
+  LocalProjection proj(LatLng{30.0, 104.0});
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend(proj.ToLatLng(0.0, 0.0));
+  box.Extend(proj.ToLatLng(5000.0, 3000.0));
+  EXPECT_NEAR(box.WidthMeters(), 5000.0, 10.0);
+  EXPECT_NEAR(box.HeightMeters(), 3000.0, 10.0);
+}
+
+}  // namespace
+}  // namespace sarn::geo

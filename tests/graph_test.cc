@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/dijkstra.h"
+#include "graph/random_walk.h"
+
+namespace sarn::graph {
+namespace {
+
+CsrGraph DiamondGraph() {
+  // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 1 -> 3 (5), 2 -> 3 (1)
+  return CsrGraph(4, {{0, 1, 1.0}, {0, 2, 4.0}, {1, 2, 1.0}, {1, 3, 5.0}, {2, 3, 1.0}});
+}
+
+TEST(CsrGraphTest, DegreesAndNeighbors) {
+  CsrGraph g = DiamondGraph();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(3), 0);
+  std::set<VertexId> n0(g.OutNeighbors(0).begin(), g.OutNeighbors(0).end());
+  EXPECT_EQ(n0, (std::set<VertexId>{1, 2}));
+}
+
+TEST(CsrGraphTest, WeightsAlignWithNeighbors) {
+  CsrGraph g = DiamondGraph();
+  auto neighbors = g.OutNeighbors(0);
+  auto weights = g.OutWeights(0);
+  ASSERT_EQ(neighbors.size(), weights.size());
+  for (size_t k = 0; k < neighbors.size(); ++k) {
+    if (neighbors[k] == 1) {
+      EXPECT_EQ(weights[k], 1.0);
+    }
+    if (neighbors[k] == 2) {
+      EXPECT_EQ(weights[k], 4.0);
+    }
+  }
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.CountWeakComponents(), 0);
+}
+
+TEST(CsrGraphTest, ParallelEdgesPreserved) {
+  CsrGraph g(2, {{0, 1, 1.0}, {0, 1, 2.0}});
+  EXPECT_EQ(g.OutDegree(0), 2);
+}
+
+TEST(CsrGraphTest, ReachabilityRespectsDirection) {
+  CsrGraph g(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  std::vector<bool> from0 = g.ReachableFrom(0);
+  EXPECT_TRUE(from0[0] && from0[1] && from0[2]);
+  std::vector<bool> from2 = g.ReachableFrom(2);
+  EXPECT_FALSE(from2[0]);
+  EXPECT_TRUE(from2[2]);
+}
+
+TEST(CsrGraphTest, WeakComponents) {
+  CsrGraph g(5, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_EQ(g.CountWeakComponents(), 3);  // {0,1}, {2,3}, {4}.
+}
+
+TEST(DijkstraTest, ShortestDistancesOnDiamond) {
+  CsrGraph g = DiamondGraph();
+  ShortestPathTree tree = Dijkstra(g, 0);
+  EXPECT_EQ(tree.distance[0], 0.0);
+  EXPECT_EQ(tree.distance[1], 1.0);
+  EXPECT_EQ(tree.distance[2], 2.0);  // Via 1, not the direct 4.0 edge.
+  EXPECT_EQ(tree.distance[3], 3.0);  // 0-1-2-3.
+}
+
+TEST(DijkstraTest, PathReconstruction) {
+  CsrGraph g = DiamondGraph();
+  ShortestPathTree tree = Dijkstra(g, 0);
+  EXPECT_EQ(ReconstructPath(tree, 0, 3), (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(ReconstructPath(tree, 0, 0), (std::vector<VertexId>{0}));
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  CsrGraph g(3, {{0, 1, 1.0}});
+  ShortestPathTree tree = Dijkstra(g, 0);
+  EXPECT_EQ(tree.distance[2], kInfiniteDistance);
+  EXPECT_TRUE(ReconstructPath(tree, 0, 2).empty());
+  EXPECT_FALSE(ShortestPathDistance(g, 0, 2).has_value());
+}
+
+TEST(DijkstraTest, PointQuery) {
+  CsrGraph g = DiamondGraph();
+  EXPECT_EQ(ShortestPathDistance(g, 0, 3).value(), 3.0);
+  EXPECT_EQ(ShortestPathDistance(g, 1, 3).value(), 2.0);
+}
+
+TEST(DijkstraTest, MaxDistancePrunes) {
+  CsrGraph g = DiamondGraph();
+  ShortestPathTree tree = Dijkstra(g, 0, std::nullopt, /*max_distance=*/1.5);
+  EXPECT_EQ(tree.distance[1], 1.0);
+  EXPECT_EQ(tree.distance[3], kInfiniteDistance);
+}
+
+TEST(DijkstraTest, MatchesBruteForceOnRandomGraph) {
+  Rng rng(9);
+  const int64_t n = 60;
+  std::vector<WeightedEdge> edges;
+  for (int64_t v = 0; v < n; ++v) {
+    for (int k = 0; k < 4; ++k) {
+      int64_t u = rng.UniformInt(0, n - 1);
+      if (u != v) edges.push_back({v, u, rng.Uniform(1.0, 10.0)});
+    }
+  }
+  CsrGraph g(n, edges);
+  ShortestPathTree tree = Dijkstra(g, 0);
+  // Bellman-Ford as the oracle.
+  std::vector<double> oracle(static_cast<size_t>(n), kInfiniteDistance);
+  oracle[0] = 0.0;
+  for (int64_t iter = 0; iter < n; ++iter) {
+    for (const WeightedEdge& e : edges) {
+      if (oracle[static_cast<size_t>(e.from)] + e.weight <
+          oracle[static_cast<size_t>(e.to)]) {
+        oracle[static_cast<size_t>(e.to)] = oracle[static_cast<size_t>(e.from)] + e.weight;
+      }
+    }
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    if (oracle[static_cast<size_t>(v)] == kInfiniteDistance) {
+      EXPECT_EQ(tree.distance[static_cast<size_t>(v)], kInfiniteDistance);
+    } else {
+      EXPECT_NEAR(tree.distance[static_cast<size_t>(v)], oracle[static_cast<size_t>(v)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(RandomWalkTest, WalkStaysOnEdges) {
+  CsrGraph g = DiamondGraph();
+  Rng rng(3);
+  RandomWalkConfig config;
+  config.walk_length = 10;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<VertexId> walk = BiasedWalk(g, 0, config, rng);
+    ASSERT_GE(walk.size(), 1u);
+    EXPECT_EQ(walk[0], 0);
+    for (size_t i = 0; i + 1 < walk.size(); ++i) {
+      auto neighbors = g.OutNeighbors(walk[i]);
+      EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), walk[i + 1]) !=
+                  neighbors.end())
+          << "step " << i;
+    }
+  }
+}
+
+TEST(RandomWalkTest, WalkStopsAtSink) {
+  CsrGraph g(2, {{0, 1, 1.0}});
+  Rng rng(4);
+  RandomWalkConfig config;
+  config.walk_length = 10;
+  std::vector<VertexId> walk = BiasedWalk(g, 0, config, rng);
+  EXPECT_EQ(walk, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(RandomWalkTest, ReturnParameterControlsBacktracking) {
+  // Path graph 0 <-> 1 <-> 2: from 1 after arriving from 0, low p favors
+  // returning to 0; high p discourages it.
+  CsrGraph g(3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+  auto count_returns = [&g](double p) {
+    Rng rng(5);
+    RandomWalkConfig config;
+    config.walk_length = 3;
+    config.p = p;
+    int returns = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::vector<VertexId> walk = BiasedWalk(g, 0, config, rng);
+      if (walk.size() == 3 && walk[2] == 0) ++returns;
+    }
+    return returns;
+  };
+  EXPECT_GT(count_returns(0.1), count_returns(10.0) + 200);
+}
+
+TEST(RandomWalkTest, CorpusCoversAllVertices) {
+  CsrGraph g = DiamondGraph();
+  Rng rng(6);
+  RandomWalkConfig config;
+  config.walk_length = 5;
+  config.walks_per_vertex = 3;
+  auto corpus = GenerateWalkCorpus(g, config, rng);
+  std::set<VertexId> starts;
+  for (const auto& walk : corpus) starts.insert(walk[0]);
+  // Vertex 3 is a sink (walk length 1, filtered); the rest must appear.
+  EXPECT_TRUE(starts.count(0) && starts.count(1) && starts.count(2));
+}
+
+}  // namespace
+}  // namespace sarn::graph

@@ -1,0 +1,103 @@
+#include "geo/grid.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/point.h"
+
+namespace sarn::geo {
+namespace {
+
+BoundingBox MakeBox(double width_m, double height_m) {
+  LocalProjection proj(LatLng{30.0, 104.0});
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend(proj.ToLatLng(0.0, 0.0));
+  box.Extend(proj.ToLatLng(width_m, height_m));
+  return box;
+}
+
+TEST(GridTest, DimensionsMatchCellSize) {
+  Grid grid(MakeBox(3000.0, 2000.0), 1000.0);
+  EXPECT_EQ(grid.cols(), 3);
+  EXPECT_EQ(grid.rows(), 2);
+  EXPECT_EQ(grid.num_cells(), 6);
+}
+
+TEST(GridTest, TinyBoxYieldsSingleCell) {
+  Grid grid(MakeBox(10.0, 10.0), 1000.0);
+  EXPECT_EQ(grid.num_cells(), 1);
+}
+
+TEST(GridTest, CellOfCorners) {
+  BoundingBox box = MakeBox(3000.0, 3000.0);
+  Grid grid(box, 1000.0);
+  // Bottom-left corner is cell 0; top-right corner is the last cell.
+  EXPECT_EQ(grid.CellOf({box.min_lat, box.min_lng}), 0);
+  EXPECT_EQ(grid.CellOf({box.max_lat, box.max_lng}), grid.num_cells() - 1);
+}
+
+TEST(GridTest, OutOfBoxPointsClampToBorder) {
+  BoundingBox box = MakeBox(2000.0, 2000.0);
+  Grid grid(box, 1000.0);
+  int cell = grid.CellOf({box.min_lat - 1.0, box.min_lng - 1.0});
+  EXPECT_EQ(cell, 0);
+  cell = grid.CellOf({box.max_lat + 1.0, box.max_lng + 1.0});
+  EXPECT_EQ(cell, grid.num_cells() - 1);
+}
+
+TEST(GridTest, NeighboringPointsInSameOrAdjacentCells) {
+  BoundingBox box = MakeBox(5000.0, 5000.0);
+  Grid grid(box, 1000.0);
+  LocalProjection proj(LatLng{box.min_lat, box.min_lng});
+  LatLng a = proj.ToLatLng(1500.0, 1500.0);
+  LatLng b = proj.ToLatLng(1550.0, 1500.0);  // 50 m apart.
+  int row_diff = std::abs(grid.RowOf(a) - grid.RowOf(b));
+  int col_diff = std::abs(grid.ColOf(a) - grid.ColOf(b));
+  EXPECT_LE(row_diff, 1);
+  EXPECT_LE(col_diff, 1);
+}
+
+TEST(GridTest, EveryCellReachable) {
+  BoundingBox box = MakeBox(4000.0, 3000.0);
+  Grid grid(box, 1000.0);
+  LocalProjection proj(LatLng{box.min_lat, box.min_lng});
+  std::set<int> seen;
+  for (double x = 100.0; x < 4000.0; x += 200.0) {
+    for (double y = 100.0; y < 3000.0; y += 200.0) {
+      int cell = grid.CellOf(proj.ToLatLng(x, y));
+      EXPECT_GE(cell, 0);
+      EXPECT_LT(cell, grid.num_cells());
+      seen.insert(cell);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), grid.num_cells());
+}
+
+TEST(GridTest, CellsWithinRadiusIncludesOwnCell) {
+  BoundingBox box = MakeBox(5000.0, 5000.0);
+  Grid grid(box, 1000.0);
+  LocalProjection proj(LatLng{box.min_lat, box.min_lng});
+  LatLng p = proj.ToLatLng(2500.0, 2500.0);
+  std::vector<int> cells = grid.CellsWithinRadius(p, 100.0);
+  bool found = false;
+  for (int c : cells) found = found || (c == grid.CellOf(p));
+  EXPECT_TRUE(found);
+}
+
+TEST(GridTest, CellsWithinRadiusGrowsWithRadius) {
+  BoundingBox box = MakeBox(10000.0, 10000.0);
+  Grid grid(box, 1000.0);
+  LocalProjection proj(LatLng{box.min_lat, box.min_lng});
+  LatLng p = proj.ToLatLng(5000.0, 5000.0);
+  size_t small = grid.CellsWithinRadius(p, 500.0).size();
+  size_t large = grid.CellsWithinRadius(p, 3000.0).size();
+  EXPECT_LT(small, large);
+}
+
+TEST(GridDeathTest, NonPositiveCellSizeRejected) {
+  EXPECT_DEATH({ Grid grid(MakeBox(100.0, 100.0), 0.0); }, "cell_side_meters");
+}
+
+}  // namespace
+}  // namespace sarn::geo

@@ -1,0 +1,111 @@
+// Property sweep of the map matcher: route recall across GPS noise levels
+// and sampling intervals, and graceful degradation.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "roadnet/synthetic_city.h"
+#include "traj/map_matching.h"
+#include "traj/trajectory_generator.h"
+
+namespace sarn::traj {
+namespace {
+
+struct NoiseCase {
+  double gps_noise_meters;
+  double sample_interval_s;
+  double min_recall;
+};
+
+class MatcherSweepTest : public testing::TestWithParam<NoiseCase> {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::SyntheticCityConfig city;
+    city.rows = 14;
+    city.cols = 14;
+    network_ = new roadnet::RoadNetwork(roadnet::GenerateSyntheticCity(city));
+    matcher_ = new MapMatcher(*network_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_;
+    delete network_;
+    matcher_ = nullptr;
+    network_ = nullptr;
+  }
+
+  static roadnet::RoadNetwork* network_;
+  static MapMatcher* matcher_;
+};
+
+roadnet::RoadNetwork* MatcherSweepTest::network_ = nullptr;
+MapMatcher* MatcherSweepTest::matcher_ = nullptr;
+
+TEST_P(MatcherSweepTest, RouteRecallAboveFloor) {
+  NoiseCase c = GetParam();
+  TrajectoryGeneratorConfig config;
+  config.gps_noise_meters = c.gps_noise_meters;
+  config.sample_interval_s = c.sample_interval_s;
+  config.min_route_segments = 8;
+  TrajectoryGenerator generator(*network_, config);
+  auto trips = generator.Generate(15);
+  ASSERT_FALSE(trips.empty());
+  double recall = 0.0;
+  for (const GeneratedTrajectory& trip : trips) {
+    MatchedTrajectory matched = matcher_->Match(trip.gps);
+    std::set<roadnet::SegmentId> matched_set(matched.segments.begin(),
+                                             matched.segments.end());
+    int hits = 0;
+    for (roadnet::SegmentId sid : trip.ground_truth) {
+      hits += matched_set.count(sid) > 0 ? 1 : 0;
+    }
+    recall += static_cast<double>(hits) / trip.ground_truth.size();
+  }
+  recall /= static_cast<double>(trips.size());
+  EXPECT_GE(recall, c.min_recall) << "noise=" << c.gps_noise_meters
+                                  << " interval=" << c.sample_interval_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseGrid, MatcherSweepTest,
+    testing::Values(NoiseCase{2.0, 8.0, 0.85},    // Near-ideal GPS.
+                    NoiseCase{8.0, 10.0, 0.8},    // Typical phone GPS.
+                    NoiseCase{15.0, 15.0, 0.65},  // Paper-like defaults.
+                    NoiseCase{30.0, 20.0, 0.4},   // Urban-canyon noise.
+                    NoiseCase{8.0, 40.0, 0.5}),   // Sparse sampling.
+    [](const testing::TestParamInfo<NoiseCase>& info) {
+      return "noise" + std::to_string(static_cast<int>(info.param.gps_noise_meters)) +
+             "m_dt" + std::to_string(static_cast<int>(info.param.sample_interval_s)) +
+             "s";
+    });
+
+TEST(MatcherDegradationTest, MoreNoiseNeverHelpsMuch) {
+  roadnet::SyntheticCityConfig city;
+  city.rows = 12;
+  city.cols = 12;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  MapMatcher matcher(network);
+  auto recall_at = [&](double noise) {
+    TrajectoryGeneratorConfig config;
+    config.gps_noise_meters = noise;
+    config.min_route_segments = 8;
+    TrajectoryGenerator generator(network, config);
+    double recall = 0.0;
+    auto trips = generator.Generate(12);
+    for (const GeneratedTrajectory& trip : trips) {
+      MatchedTrajectory matched = matcher.Match(trip.gps);
+      std::set<roadnet::SegmentId> matched_set(matched.segments.begin(),
+                                               matched.segments.end());
+      int hits = 0;
+      for (roadnet::SegmentId sid : trip.ground_truth) {
+        hits += matched_set.count(sid) > 0 ? 1 : 0;
+      }
+      recall += static_cast<double>(hits) / trip.ground_truth.size();
+    }
+    return recall / trips.size();
+  };
+  EXPECT_GT(recall_at(3.0) + 0.12, recall_at(40.0));
+}
+
+}  // namespace
+}  // namespace sarn::traj

@@ -1,0 +1,116 @@
+#include "tasks/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sarn::tasks {
+namespace {
+
+TEST(MetricsTest, MicroF1PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(MicroF1({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MicroF1({1, 2, 0}, {0, 1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(MicroF1({0, 1, 0}, {0, 1, 2}), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, MacroF1BalancesClasses) {
+  // Predicting the majority class everywhere: micro is high, macro is low.
+  std::vector<int64_t> actual = {0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  std::vector<int64_t> predicted(10, 0);
+  EXPECT_DOUBLE_EQ(MicroF1(predicted, actual), 0.9);
+  double macro = MacroF1(predicted, actual);
+  EXPECT_LT(macro, 0.6);
+  EXPECT_GT(macro, 0.4);  // (F1_0 ~ 0.947 + F1_1 = 0) / 2.
+}
+
+TEST(MetricsTest, MacroF1Perfect) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 1, 2}, {0, 1, 1, 2}), 1.0);
+}
+
+TEST(MetricsTest, AucPerfectSeparation) {
+  std::vector<std::vector<double>> scores = {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9},
+                                             {0.2, 0.8}};
+  std::vector<int64_t> actual = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MacroAuc(scores, actual, 2), 1.0);
+}
+
+TEST(MetricsTest, AucRandomScoresNearHalf) {
+  // Scores identical for all samples: AUC = 0.5 by midrank ties.
+  std::vector<std::vector<double>> scores(10, {0.5, 0.5});
+  std::vector<int64_t> actual = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(MacroAuc(scores, actual, 2), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, AucInvertedScoresIsZero) {
+  std::vector<std::vector<double>> scores = {{0.1, 0.9}, {0.9, 0.1}};
+  std::vector<int64_t> actual = {0, 1};
+  EXPECT_DOUBLE_EQ(MacroAuc(scores, actual, 2), 0.0);
+}
+
+TEST(MetricsTest, AucSkipsDegenerateClasses) {
+  // Class 1 never appears: only class 0 (all-positive -> skipped too).
+  std::vector<std::vector<double>> scores = {{0.9, 0.1}, {0.8, 0.2}};
+  std::vector<int64_t> actual = {0, 0};
+  EXPECT_DOUBLE_EQ(MacroAuc(scores, actual, 2), 0.0);  // Nothing usable.
+}
+
+TEST(MetricsTest, NmiIdenticalLabelings) {
+  EXPECT_NEAR(NormalizedMutualInformation({0, 1, 2, 0}, {5, 7, 9, 5}), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, NmiIndependentLabelings) {
+  // Perfectly independent: each combination equally likely.
+  std::vector<int64_t> a = {0, 0, 1, 1};
+  std::vector<int64_t> b = {0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, NmiPartialCorrelationBetween) {
+  std::vector<int64_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<int64_t> b = {0, 0, 1, 1, 1, 0};
+  double nmi = NormalizedMutualInformation(a, b);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(MetricsTest, NmiSymmetric) {
+  std::vector<int64_t> a = {0, 1, 2, 0, 1, 2, 1};
+  std::vector<int64_t> b = {1, 1, 0, 0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), NormalizedMutualInformation(b, a),
+              1e-12);
+}
+
+TEST(MetricsTest, HitRatioExamples) {
+  std::vector<int64_t> truth = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_DOUBLE_EQ(HitRatioAtK({1, 2, 3, 4, 5, 9, 9}, truth, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK({1, 2, 9, 9, 9, 3, 4}, truth, 5), 0.4);
+  EXPECT_DOUBLE_EQ(HitRatioAtK({9, 8, 10, 11, 12, 1, 2}, truth, 5), 0.0);
+}
+
+TEST(MetricsTest, RecallTopAInB) {
+  std::vector<int64_t> truth = {1, 2, 3, 4, 5};
+  // All of truth's top-5 appear somewhere in predicted top-20.
+  std::vector<int64_t> predicted;
+  for (int64_t i = 20; i >= 1; --i) predicted.push_back(i);
+  EXPECT_DOUBLE_EQ(RecallTopAInB(predicted, truth, 5, 20), 1.0);
+  // Only 2 of the top-5 appear in the first 20 slots.
+  std::vector<int64_t> predicted2 = {1, 2};
+  for (int64_t i = 100; i < 118; ++i) predicted2.push_back(i);
+  EXPECT_DOUBLE_EQ(RecallTopAInB(predicted2, truth, 5, 20), 0.4);
+}
+
+TEST(MetricsTest, MaeAndMre) {
+  std::vector<double> predicted = {100, 300};
+  std::vector<double> actual = {200, 200};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(predicted, actual), 100.0);
+  EXPECT_DOUBLE_EQ(MeanRelativeError(predicted, actual), 0.5);
+}
+
+TEST(MetricsTest, MreFloorGuardsAgainstTinyActuals) {
+  std::vector<double> predicted = {10.0};
+  std::vector<double> actual = {0.001};
+  EXPECT_LT(MeanRelativeError(predicted, actual, 1.0), 11.0);
+}
+
+}  // namespace
+}  // namespace sarn::tasks

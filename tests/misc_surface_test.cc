@@ -1,0 +1,76 @@
+// Coverage for small public surfaces: logging levels, tensor printing,
+// EdgeList, timers.
+
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/gat.h"
+#include "tensor/tensor.h"
+
+namespace sarn {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesForAllLevels) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // Suppress output during the test.
+  SARN_LOG(Debug) << "debug " << 1;
+  SARN_LOG(Info) << "info " << 2.5;
+  SARN_LOG(Warning) << "warn " << "text";
+  SARN_LOG(Error) << "";
+  SetLogLevel(original);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
+TEST(TensorToStringTest, FormatsVectorsAndMatrices) {
+  tensor::Tensor v = tensor::Tensor::FromVector({3}, {1, 2, 3});
+  std::string s = v.ToString();
+  EXPECT_NE(s.find("[3]"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+
+  tensor::Tensor m = tensor::Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  std::string ms = m.ToString();
+  EXPECT_NE(ms.find("[2, 2]"), std::string::npos);
+
+  tensor::Tensor undefined;
+  EXPECT_EQ(undefined.ToString(), "Tensor(undefined)");
+}
+
+TEST(TensorToStringTest, TruncatesLongTensors) {
+  tensor::Tensor v = tensor::Tensor::Zeros({100});
+  EXPECT_NE(v.ToString(4).find("..."), std::string::npos);
+}
+
+TEST(EdgeListTest, AddAndSize) {
+  nn::EdgeList edges;
+  EXPECT_EQ(edges.size(), 0u);
+  edges.Add(1, 2);
+  edges.Add(3, 4);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges.src[1], 3);
+  EXPECT_EQ(edges.dst[1], 4);
+}
+
+}  // namespace
+}  // namespace sarn

@@ -1,0 +1,162 @@
+#include "nn/gat.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+EdgeList PathGraph(int64_t n) {
+  // 0 -> 1 -> 2 -> ... (both directions).
+  EdgeList edges;
+  for (int64_t v = 0; v + 1 < n; ++v) {
+    edges.Add(v, v + 1);
+    edges.Add(v + 1, v);
+  }
+  return edges;
+}
+
+TEST(GatLayerTest, OutputShapeConcatHeads) {
+  Rng rng(1);
+  GatLayer layer(6, 4, /*num_heads=*/3, /*concat_heads=*/true, Activation::kElu, rng);
+  Tensor x = Tensor::Randn({5, 6}, rng);
+  Tensor y = layer.Forward(x, PathGraph(5));
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 12}));
+  EXPECT_EQ(layer.output_dim(), 12);
+}
+
+TEST(GatLayerTest, OutputShapeMeanHeads) {
+  Rng rng(2);
+  GatLayer layer(6, 4, 3, /*concat_heads=*/false, Activation::kNone, rng);
+  Tensor x = Tensor::Randn({5, 6}, rng);
+  Tensor y = layer.Forward(x, PathGraph(5));
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 4}));
+}
+
+TEST(GatLayerTest, IsolatedVertexGetsSelfLoopOutput) {
+  Rng rng(3);
+  GatLayer layer(4, 4, 1, true, Activation::kNone, rng);
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  EdgeList edges;  // No edges at all: only self-loops remain.
+  Tensor y = layer.Forward(x, edges);
+  // With only a self-loop, attention weight is 1 and output = W x_i.
+  float norm = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) norm += std::fabs(y.at(0, j));
+  EXPECT_GT(norm, 0.0f);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GatLayerTest, WithoutSelfLoopsIsolatedVertexIsZero) {
+  Rng rng(4);
+  GatLayer layer(4, 4, 1, true, Activation::kNone, rng, 0.2f, /*add_self_loops=*/false,
+                 /*residual=*/false);
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  EdgeList edges;
+  edges.Add(0, 1);  // Vertex 2 receives nothing.
+  Tensor y = layer.Forward(x, edges);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(y.at(2, j), 0.0f);
+}
+
+TEST(GatLayerTest, MessagesFlowAlongEdges) {
+  Rng rng(5);
+  GatLayer layer(4, 4, 1, true, Activation::kNone, rng, 0.2f, /*add_self_loops=*/false,
+                 /*residual=*/false);
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  EdgeList edges;
+  edges.Add(0, 1);  // Only 0 -> 1.
+  Tensor y = layer.Forward(x, edges);
+  // Vertex 1's output depends on x_0: perturb x_0 and observe the change.
+  Tensor x2 = x.Clone();
+  x2.set(0, 0, x2.at(0, 0) + 1.0f);
+  Tensor y2 = layer.Forward(x2, edges);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) diff += std::fabs(y2.at(1, j) - y.at(1, j));
+  EXPECT_GT(diff, 1e-6f);
+  // Vertex 0 receives nothing, so its output stays zero regardless.
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(y.at(0, j), 0.0f);
+}
+
+TEST(GatLayerTest, GradientsReachAllParameters) {
+  Rng rng(6);
+  GatLayer layer(4, 4, 2, true, Activation::kElu, rng);
+  Tensor x = Tensor::Randn({6, 4}, rng);
+  Tensor y = layer.Forward(x, PathGraph(6));
+  tensor::Sum(y).Backward();
+  for (const Tensor& p : layer.Parameters()) {
+    float norm = 0.0f;
+    for (float g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(GatEncoderTest, StackShapes) {
+  Rng rng(7);
+  GatEncoder encoder(10, 16, 8, /*num_layers=*/3, /*num_heads=*/4, rng);
+  EXPECT_EQ(encoder.num_layers(), 3u);
+  Tensor x = Tensor::Randn({7, 10}, rng);
+  Tensor h = encoder.Forward(x, PathGraph(7));
+  EXPECT_EQ(h.shape(), (tensor::Shape{7, 8}));
+  EXPECT_EQ(encoder.out_dim(), 8);
+}
+
+TEST(GatEncoderTest, SingleLayerVariant) {
+  Rng rng(8);
+  GatEncoder encoder(10, 16, 8, 1, 4, rng);
+  Tensor h = encoder.Forward(Tensor::Randn({4, 10}, rng), PathGraph(4));
+  EXPECT_EQ(h.shape(), (tensor::Shape{4, 8}));
+}
+
+TEST(GatEncoderTest, FinalLayerParametersAreSubset) {
+  Rng rng(9);
+  GatEncoder encoder(10, 16, 8, 3, 4, rng);
+  EXPECT_LT(encoder.FinalLayerParameters().size(), encoder.Parameters().size());
+  // W, a_src, a_dst per head, plus the residual projection.
+  EXPECT_EQ(encoder.FinalLayerParameters().size(), 3u * 4u + 1u);
+}
+
+TEST(GatEncoderTest, LearnsToSeparateTwoCommunities) {
+  // Two cliques weakly connected; train vertex classification by community.
+  Rng rng(10);
+  EdgeList edges;
+  auto clique = [&edges](int64_t lo, int64_t hi) {
+    for (int64_t a = lo; a < hi; ++a) {
+      for (int64_t b = lo; b < hi; ++b) {
+        if (a != b) edges.Add(a, b);
+      }
+    }
+  };
+  clique(0, 5);
+  clique(5, 10);
+  edges.Add(4, 5);
+  edges.Add(5, 4);
+  Tensor x = Tensor::Randn({10, 8}, rng);  // Fixed random features.
+  GatEncoder encoder(8, 8, 2, 2, 2, rng);
+  tensor::Adam opt(encoder.Parameters(), 0.01f);
+  std::vector<int64_t> labels = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  float final_loss = 1e9f;
+  for (int iter = 0; iter < 150; ++iter) {
+    opt.ZeroGrad();
+    Tensor loss = CrossEntropyWithLogits(encoder.Forward(x, edges), labels);
+    final_loss = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 0.3f);
+  Tensor logits = encoder.Forward(x, edges);
+  int correct = 0;
+  for (int64_t i = 0; i < 10; ++i) {
+    int64_t pred = logits.at(i, 0) > logits.at(i, 1) ? 0 : 1;
+    correct += pred == labels[static_cast<size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_GE(correct, 9);
+}
+
+}  // namespace
+}  // namespace sarn::nn

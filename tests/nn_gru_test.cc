@@ -1,0 +1,121 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(GruCellTest, OutputShape) {
+  Rng rng(1);
+  GruCell cell(4, 8, rng);
+  Tensor h = cell.Forward(Tensor::Randn({3, 4}, rng), cell.InitialState(3));
+  EXPECT_EQ(h.shape(), (tensor::Shape{3, 8}));
+}
+
+TEST(GruCellTest, ZeroInputZeroStateStaysBounded) {
+  Rng rng(2);
+  GruCell cell(4, 8, rng);
+  Tensor h = cell.InitialState(2);
+  for (int t = 0; t < 50; ++t) h = cell.Forward(Tensor::Zeros({2, 4}), h);
+  for (float v : h.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 1.0f);  // GRU state is a convex mix of tanh outputs.
+  }
+}
+
+TEST(GruCellTest, ParameterCount) {
+  Rng rng(3);
+  GruCell cell(4, 8, rng);
+  EXPECT_EQ(cell.Parameters().size(), 9u);
+  EXPECT_EQ(cell.NumParameters(), 3 * (4 * 8 + 8 * 8 + 8));
+}
+
+TEST(GruTest, MultiLayerShapes) {
+  Rng rng(4);
+  Gru gru(4, 8, /*num_layers=*/2, rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 5; ++t) steps.push_back(Tensor::Randn({3, 4}, rng));
+  Tensor h = gru.Forward(steps);
+  EXPECT_EQ(h.shape(), (tensor::Shape{3, 8}));
+  EXPECT_EQ(gru.ForwardAllSteps(steps).size(), 5u);
+}
+
+TEST(GruTest, StateDependsOnSequenceOrder) {
+  Rng rng(5);
+  Gru gru(2, 6, 1, rng);
+  Tensor a = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  Tensor b = Tensor::FromVector({1, 2}, {0.0f, 1.0f});
+  Tensor h_ab = gru.Forward({a, b});
+  Tensor h_ba = gru.Forward({b, a});
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 6; ++j) diff += std::fabs(h_ab.at(0, j) - h_ba.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(GruTest, LearnsToDetectSymbolAnywhereInSequence) {
+  // Class 1 iff the "marker" input appears at any timestep; requires memory.
+  Rng rng(6);
+  Gru gru(2, 12, 1, rng);
+  Linear head(12, 2, rng);
+  std::vector<Tensor> params = gru.Parameters();
+  for (const Tensor& p : head.Parameters()) params.push_back(p);
+  tensor::Adam opt(params, 0.02f);
+
+  auto make_batch = [&rng](std::vector<std::vector<Tensor>>& sequences,
+                           std::vector<int64_t>& labels) {
+    sequences.clear();
+    labels.clear();
+    for (int s = 0; s < 8; ++s) {
+      bool has_marker = rng.Bernoulli(0.5);
+      int marker_pos = static_cast<int>(rng.UniformInt(0, 5));
+      std::vector<Tensor> steps;
+      for (int t = 0; t < 6; ++t) {
+        bool marker_here = has_marker && t == marker_pos;
+        steps.push_back(
+            Tensor::FromVector({1, 2}, {marker_here ? 1.0f : 0.0f, 0.3f}));
+      }
+      sequences.push_back(std::move(steps));
+      labels.push_back(has_marker ? 1 : 0);
+    }
+  };
+
+  std::vector<std::vector<Tensor>> sequences;
+  std::vector<int64_t> labels;
+  for (int iter = 0; iter < 300; ++iter) {
+    make_batch(sequences, labels);
+    opt.ZeroGrad();
+    std::vector<Tensor> logits_rows;
+    for (const auto& steps : sequences) {
+      logits_rows.push_back(head.Forward(gru.Forward(steps)));
+    }
+    Tensor loss = CrossEntropyWithLogits(tensor::Concat(logits_rows, 0), labels);
+    loss.Backward();
+    opt.Step();
+  }
+
+  // Evaluate on fresh samples.
+  int correct = 0, total = 0;
+  tensor::NoGradGuard guard;
+  for (int trial = 0; trial < 10; ++trial) {
+    make_batch(sequences, labels);
+    for (size_t s = 0; s < sequences.size(); ++s) {
+      Tensor logits = head.Forward(gru.Forward(sequences[s]));
+      int64_t pred = logits.at(0, 0) > logits.at(0, 1) ? 0 : 1;
+      correct += pred == labels[s] ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GE(correct, total * 9 / 10);
+}
+
+}  // namespace
+}  // namespace sarn::nn

@@ -1,0 +1,103 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Zeros({5, 4});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 3}));
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear layer(4, 2, rng);
+  Tensor y = layer.Forward(Tensor::Zeros({1, 4}));
+  // Bias initialises to zero.
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(4, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(4);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, LearnsLinearMap) {
+  Rng rng(5);
+  Linear layer(2, 1, rng);
+  tensor::Adam opt(layer.Parameters(), 0.05f);
+  // Target: y = 2*x0 - 3*x1 + 0.5
+  for (int iter = 0; iter < 600; ++iter) {
+    Tensor x = Tensor::Uniform({16, 2}, rng, -1.0f, 1.0f);
+    std::vector<float> target_values;
+    for (int64_t i = 0; i < 16; ++i) {
+      target_values.push_back(2.0f * x.at(i, 0) - 3.0f * x.at(i, 1) + 0.5f);
+    }
+    Tensor target = Tensor::FromVector({16, 1}, target_values);
+    opt.ZeroGrad();
+    Tensor loss = MseLoss(layer.Forward(x), target);
+    loss.Backward();
+    opt.Step();
+  }
+  Tensor probe = Tensor::FromVector({1, 2}, {1.0f, 1.0f});
+  EXPECT_NEAR(layer.Forward(probe).at(0, 0), -0.5f, 0.05f);
+}
+
+TEST(FfnTest, StructureAndShapes) {
+  Rng rng(6);
+  Ffn ffn({8, 16, 4}, Activation::kRelu, rng);
+  EXPECT_EQ(ffn.num_layers(), 2u);
+  Tensor y = ffn.Forward(Tensor::Zeros({3, 8}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{3, 4}));
+}
+
+TEST(FfnTest, LearnsXor) {
+  Rng rng(7);
+  Ffn ffn({2, 8, 2}, Activation::kTanh, rng);
+  tensor::Adam opt(ffn.Parameters(), 0.05f);
+  Tensor x = Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<int64_t> labels = {0, 1, 1, 0};
+  for (int iter = 0; iter < 500; ++iter) {
+    opt.ZeroGrad();
+    Tensor loss = CrossEntropyWithLogits(ffn.Forward(x), labels);
+    loss.Backward();
+    opt.Step();
+  }
+  Tensor logits = ffn.Forward(x);
+  for (int64_t i = 0; i < 4; ++i) {
+    int64_t pred = logits.at(i, 0) > logits.at(i, 1) ? 0 : 1;
+    EXPECT_EQ(pred, labels[static_cast<size_t>(i)]) << "row " << i;
+  }
+}
+
+TEST(ApplyTest, AllActivationsFinite) {
+  Tensor x = Tensor::FromVector({4}, {-2.0f, -0.1f, 0.1f, 2.0f});
+  for (Activation act : {Activation::kNone, Activation::kRelu, Activation::kLeakyRelu,
+                         Activation::kElu, Activation::kSigmoid, Activation::kTanh}) {
+    Tensor y = Apply(act, x);
+    for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace sarn::nn

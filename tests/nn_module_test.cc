@@ -1,0 +1,124 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/projection_head.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ModuleTest, CopyWeightsFromMakesOutputsEqual) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // Different init.
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  b.CopyWeightsFrom(a);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[static_cast<size_t>(i)], yb.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ModuleTest, MomentumUpdateInterpolates) {
+  Rng rng(2);
+  Tensor target = Tensor::Full({2}, 1.0f).RequiresGrad();
+  Tensor source = Tensor::Full({2}, 2.0f).RequiresGrad();
+  MomentumUpdate({target}, {source}, 0.9f);
+  EXPECT_NEAR(target.at(0), 0.9f * 1.0f + 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(ModuleTest, MomentumOneFreezesTarget) {
+  Tensor target = Tensor::Full({2}, 1.0f).RequiresGrad();
+  Tensor source = Tensor::Full({2}, 5.0f).RequiresGrad();
+  MomentumUpdate({target}, {source}, 1.0f);
+  EXPECT_FLOAT_EQ(target.at(0), 1.0f);
+}
+
+TEST(ModuleTest, MomentumZeroCopiesSource) {
+  Tensor target = Tensor::Full({2}, 1.0f).RequiresGrad();
+  Tensor source = Tensor::Full({2}, 5.0f).RequiresGrad();
+  MomentumUpdate({target}, {source}, 0.0f);
+  EXPECT_FLOAT_EQ(target.at(0), 5.0f);
+}
+
+TEST(ModuleTest, RepeatedMomentumConvergesToSource) {
+  Tensor target = Tensor::Full({1}, 0.0f).RequiresGrad();
+  Tensor source = Tensor::Full({1}, 1.0f).RequiresGrad();
+  for (int i = 0; i < 200; ++i) MomentumUpdate({target}, {source}, 0.95f);
+  EXPECT_NEAR(target.at(0), 1.0f, 1e-3f);
+}
+
+TEST(EmbeddingTest, LookupMatchesTableRows) {
+  Rng rng(3);
+  Embedding emb(10, 4, rng);
+  Tensor out = emb.Forward({7, 0, 7});
+  EXPECT_EQ(out.shape(), (tensor::Shape{3, 4}));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), emb.table().at(7, j));
+    EXPECT_FLOAT_EQ(out.at(1, j), emb.table().at(0, j));
+    EXPECT_FLOAT_EQ(out.at(0, j), out.at(2, j));
+  }
+}
+
+TEST(EmbeddingTest, GradientFlowsOnlyToLookedUpRows) {
+  Rng rng(4);
+  Embedding emb(5, 3, rng);
+  tensor::Sum(emb.Forward({1, 3})).Backward();
+  const std::vector<float>& g = emb.table().grad();
+  for (int64_t row = 0; row < 5; ++row) {
+    float norm = 0;
+    for (int64_t j = 0; j < 3; ++j) norm += std::fabs(g[static_cast<size_t>(row * 3 + j)]);
+    if (row == 1 || row == 3) {
+      EXPECT_GT(norm, 0.0f) << row;
+    } else {
+      EXPECT_EQ(norm, 0.0f) << row;
+    }
+  }
+}
+
+TEST(FeatureEmbeddingTest, ConcatenatesPerFeatureEmbeddings) {
+  Rng rng(5);
+  FeatureEmbedding fe({4, 6, 8}, {2, 3, 4}, rng);
+  EXPECT_EQ(fe.output_dim(), 9);
+  EXPECT_EQ(fe.num_features(), 3u);
+  Tensor out = fe.Forward({{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 9}));
+}
+
+TEST(FeatureEmbeddingTest, SameIdsSameOutput) {
+  Rng rng(6);
+  FeatureEmbedding fe({4, 4}, {3, 3}, rng);
+  Tensor a = fe.Forward({{1}, {2}});
+  Tensor b = fe.Forward({{1}, {2}});
+  for (int64_t j = 0; j < 6; ++j) EXPECT_FLOAT_EQ(a.at(0, j), b.at(0, j));
+}
+
+TEST(FeatureEmbeddingDeathTest, MismatchedFeatureCount) {
+  Rng rng(7);
+  FeatureEmbedding fe({4, 4}, {3, 3}, rng);
+  EXPECT_DEATH(fe.Forward({{1}}), "");
+}
+
+TEST(ProjectionHeadTest, ShapeAndParams) {
+  Rng rng(8);
+  ProjectionHead head(16, 16, 8, rng);
+  EXPECT_EQ(head.out_dim(), 8);
+  Tensor z = head.Forward(Tensor::Randn({3, 16}, rng));
+  EXPECT_EQ(z.shape(), (tensor::Shape{3, 8}));
+  EXPECT_EQ(head.Parameters().size(), 4u);
+}
+
+TEST(ModuleTest, NumParametersSumsAll) {
+  Rng rng(9);
+  ProjectionHead head(4, 6, 2, rng);
+  EXPECT_EQ(head.NumParameters(), 4 * 6 + 6 + 6 * 2 + 2);
+}
+
+}  // namespace
+}  // namespace sarn::nn

@@ -1,0 +1,254 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace sarn::tensor {
+namespace {
+
+void ExpectTensorNear(const Tensor& t, const std::vector<float>& expected,
+                      float tol = 1e-5f) {
+  ASSERT_EQ(t.numel(), static_cast<int64_t>(expected.size()));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(t.data()[i], expected[i], tol) << "index " << i;
+  }
+}
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  ExpectTensorNear(Add(a, b), {11, 22, 33, 44});
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectTensorNear(Add(a, bias), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(OpsTest, AddScalarBroadcastEitherSide) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Tensor::FromVector({1}, {100});
+  ExpectTensorNear(Add(a, s), {101, 102, 103});
+  ExpectTensorNear(Add(s, a), {101, 102, 103});
+}
+
+TEST(OpsTest, SubAndDiv) {
+  Tensor a = Tensor::FromVector({2}, {6, 9});
+  Tensor b = Tensor::FromVector({2}, {2, 3});
+  ExpectTensorNear(Sub(a, b), {4, 6});
+  ExpectTensorNear(Div(a, b), {3, 3});
+}
+
+TEST(OpsTest, SubWithSmallerLeftOperand) {
+  Tensor s = Tensor::FromVector({1}, {10});
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  ExpectTensorNear(Sub(s, b), {9, 8, 7});
+}
+
+TEST(OpsTest, MulElementwiseAndBroadcast) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor row = Tensor::FromVector({1, 2}, {10, 100});
+  ExpectTensorNear(Mul(a, row), {10, 200, 30, 400});
+}
+
+TEST(OpsTest, UnaryFunctions) {
+  Tensor a = Tensor::FromVector({4}, {-2, -0.5, 0.5, 2});
+  ExpectTensorNear(Neg(a), {2, 0.5, -0.5, -2});
+  ExpectTensorNear(Abs(a), {2, 0.5, 0.5, 2});
+  ExpectTensorNear(Relu(a), {0, 0, 0.5, 2});
+  ExpectTensorNear(LeakyRelu(a, 0.1f), {-0.2f, -0.05f, 0.5f, 2.0f});
+  ExpectTensorNear(Square(a), {4, 0.25, 0.25, 4});
+  ExpectTensorNear(ClampMin(a, 0.0f), {0, 0, 0.5, 2});
+}
+
+TEST(OpsTest, ExpLogSqrt) {
+  Tensor a = Tensor::FromVector({3}, {1, 4, 9});
+  ExpectTensorNear(Sqrt(a), {1, 2, 3});
+  ExpectTensorNear(Log(a), {0.0f, std::log(4.0f), std::log(9.0f)});
+  Tensor b = Tensor::FromVector({2}, {0, 1});
+  ExpectTensorNear(Exp(b), {1.0f, std::exp(1.0f)});
+}
+
+TEST(OpsTest, EluMatchesDefinition) {
+  Tensor a = Tensor::FromVector({2}, {-1.0f, 2.0f});
+  ExpectTensorNear(Elu(a, 1.0f), {std::exp(-1.0f) - 1.0f, 2.0f});
+}
+
+TEST(OpsTest, SigmoidStableInTails) {
+  Tensor a = Tensor::FromVector({3}, {-100.0f, 0.0f, 100.0f});
+  Tensor s = Sigmoid(a);
+  EXPECT_NEAR(s.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.at(1), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.at(2), 1.0f, 1e-6f);
+  for (float v : s.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(OpsTest, TanhValues) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 1.0f});
+  ExpectTensorNear(Tanh(a), {0.0f, std::tanh(1.0f)});
+}
+
+TEST(OpsTest, MatMulKnownResult) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  ExpectTensorNear(MatMul(a, b), {58, 64, 139, 154});
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor eye = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  ExpectTensorNear(MatMul(a, eye), {1, 2, 3, 4});
+}
+
+TEST(OpsDeathTest, MatMulShapeMismatch) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(MatMul(a, b), "MatMul");
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  ExpectTensorNear(Transpose(t), {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  ExpectTensorNear(r, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 3.5f);
+  ExpectTensorNear(SumAxis(a, 0), {5, 7, 9});
+  ExpectTensorNear(SumAxis(a, 1), {6, 15});
+  ExpectTensorNear(MeanAxis(a, 0), {2.5, 3.5, 4.5});
+  ExpectTensorNear(MeanAxis(a, 1), {2, 5});
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 1000, 1001, 1002});
+  Tensor s = RowSoftmax(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = s.at(i, 0) + s.at(i, 1) + s.at(i, 2);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Shift invariance: both rows should be identical distributions.
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(s.at(0, j), s.at(1, j), 1e-5f);
+  for (float v : s.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(OpsTest, RowLogSoftmaxConsistentWithSoftmax) {
+  Tensor a = Tensor::FromVector({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = RowLogSoftmax(a);
+  Tensor s = RowSoftmax(a);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_NEAR(std::exp(ls.at(0, j)), s.at(0, j), 1e-5f);
+}
+
+TEST(OpsTest, RowL2NormalizeUnitNorm) {
+  Tensor a = Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  Tensor n = RowL2Normalize(a);
+  EXPECT_NEAR(n.at(0, 0), 0.6f, 1e-5f);
+  EXPECT_NEAR(n.at(0, 1), 0.8f, 1e-5f);
+  // Zero row stays finite (zero).
+  EXPECT_EQ(n.at(1, 0), 0.0f);
+}
+
+TEST(OpsTest, DotRowsValues) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  ExpectTensorNear(DotRows(a, b), {17, 53});
+}
+
+TEST(OpsTest, RowsGather) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = Rows(a, {2, 0, 2});
+  ExpectTensorNear(g, {5, 6, 1, 2, 5, 6});
+}
+
+TEST(OpsTest, TakePerRowValues) {
+  Tensor a = Tensor::FromVector({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ExpectTensorNear(TakePerRow(a, {0, 2, 1}), {1, 6, 8});
+}
+
+TEST(OpsTest, ConcatAxis0) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  ExpectTensorNear(c, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, ConcatAxis1) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  ExpectTensorNear(c, {1, 3, 4, 2, 5, 6});
+}
+
+TEST(OpsTest, DropoutZeroPIsIdentity) {
+  Rng rng(1);
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor d = Dropout(a, 0.0f, rng);
+  ExpectTensorNear(d, {1, 2, 3, 4});
+}
+
+TEST(OpsTest, DropoutKeepsExpectationAndMasks) {
+  Rng rng(2);
+  Tensor a = Tensor::Ones({10000});
+  Tensor d = Dropout(a, 0.4f, rng);
+  int zeros = 0;
+  double sum = 0.0;
+  for (float v : d.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5f);
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.4, 0.03);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);  // Inverted dropout preserves E[x].
+}
+
+TEST(OpsTest, EdgeSoftmaxGroupsSumToOne) {
+  // Edges into vertex 0: {0,1}; into vertex 1: {2,3,4}.
+  Tensor scores = Tensor::FromVector({5}, {1.0f, 2.0f, -1.0f, 0.0f, 1.0f});
+  std::vector<int64_t> dst = {0, 0, 1, 1, 1};
+  Tensor alpha = EdgeSoftmax(scores, dst, 2);
+  EXPECT_NEAR(alpha.at(0) + alpha.at(1), 1.0f, 1e-5f);
+  EXPECT_NEAR(alpha.at(2) + alpha.at(3) + alpha.at(4), 1.0f, 1e-5f);
+  EXPECT_GT(alpha.at(1), alpha.at(0));  // Higher score, higher weight.
+}
+
+TEST(OpsTest, EdgeSoftmaxSingleEdgeGroupIsOne) {
+  Tensor scores = Tensor::FromVector({1}, {-5.0f});
+  Tensor alpha = EdgeSoftmax(scores, {0}, 3);
+  EXPECT_NEAR(alpha.at(0), 1.0f, 1e-6f);
+}
+
+TEST(OpsTest, ScatterAddRowsAggregates) {
+  Tensor messages = Tensor::FromVector({3, 2}, {1, 2, 10, 20, 100, 200});
+  std::vector<int64_t> dst = {1, 1, 0};
+  Tensor out = ScatterAddRows(messages, dst, 2);
+  ExpectTensorNear(out, {100, 200, 11, 22});
+}
+
+TEST(OpsTest, ScatterAddRowsIsolatedVertexIsZero) {
+  Tensor messages = Tensor::FromVector({1, 2}, {1, 1});
+  Tensor out = ScatterAddRows(messages, {0}, 3);
+  ExpectTensorNear(out, {1, 1, 0, 0, 0, 0});
+}
+
+}  // namespace
+}  // namespace sarn::tensor

@@ -1,0 +1,137 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sarn::tensor {
+namespace {
+
+// Quadratic bowl: loss = ||x - target||^2. Any sane optimizer must converge.
+float QuadraticStep(Optimizer& opt, Tensor& x, const Tensor& target) {
+  opt.ZeroGrad();
+  Tensor loss = Sum(Square(Sub(x, target)));
+  float value = loss.item();
+  loss.Backward();
+  opt.Step();
+  return value;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({3}, {5.0f, -3.0f, 1.0f});
+  x.RequiresGrad();
+  Tensor target = Tensor::FromVector({3}, {1.0f, 2.0f, -1.0f});
+  Sgd opt({x}, /*learning_rate=*/0.1f);
+  for (int i = 0; i < 200; ++i) QuadraticStep(opt, x, target);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x.at(i), target.at(i), 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  auto run = [](float momentum) {
+    Tensor x = Tensor::FromVector({1}, {10.0f});
+    x.RequiresGrad();
+    Tensor target = Tensor::FromVector({1}, {0.0f});
+    Sgd opt({x}, 0.01f, momentum);
+    float last = 0;
+    for (int i = 0; i < 50; ++i) last = QuadraticStep(opt, x, target);
+    return last;
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::FromVector({1}, {1.0f});
+  x.RequiresGrad();
+  Sgd opt({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // No data gradient at all: decay alone must shrink the weight.
+  opt.ZeroGrad();
+  opt.Step();
+  EXPECT_NEAR(x.at(0), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({3}, {5.0f, -3.0f, 1.0f});
+  x.RequiresGrad();
+  Tensor target = Tensor::FromVector({3}, {1.0f, 2.0f, -1.0f});
+  Adam opt({x}, 0.1f);
+  for (int i = 0; i < 500; ++i) QuadraticStep(opt, x, target);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x.at(i), target.at(i), 1e-2f);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr in the gradient
+  // direction regardless of gradient scale.
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    Tensor x = Tensor::FromVector({1}, {0.0f});
+    x.RequiresGrad();
+    Adam opt({x}, 0.05f);
+    opt.ZeroGrad();
+    Tensor loss = MulScalar(Sum(x), scale);
+    loss.Backward();
+    opt.Step();
+    EXPECT_NEAR(x.at(0), -0.05f, 1e-4f) << "scale " << scale;
+  }
+}
+
+TEST(AdamTest, StepCountIncrements) {
+  Tensor x = Tensor::FromVector({1}, {1.0f});
+  x.RequiresGrad();
+  Adam opt({x}, 0.01f);
+  EXPECT_EQ(opt.step_count(), 0);
+  QuadraticStep(opt, x, Tensor::FromVector({1}, {0.0f}));
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParameters) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  a.RequiresGrad();
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  b.RequiresGrad();
+  Sgd opt({a, b}, 0.1f);
+  Sum(Add(Square(a), Square(b))).Backward();
+  EXPECT_NE(a.grad()[0], 0.0f);
+  EXPECT_NE(b.grad()[0], 0.0f);
+  opt.ZeroGrad();
+  for (float g : a.grad()) EXPECT_EQ(g, 0.0f);
+  for (float g : b.grad()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(OptimizerDeathTest, RejectsNonGradParameters) {
+  Tensor x = Tensor::FromVector({1}, {1.0f});  // No RequiresGrad.
+  EXPECT_DEATH(Sgd({x}, 0.1f), "require grad");
+}
+
+TEST(CosineScheduleTest, EndpointsAndMidpoint) {
+  CosineAnnealingSchedule schedule(/*lr_max=*/0.1f, /*max_epochs=*/100, /*lr_min=*/0.0f);
+  EXPECT_NEAR(schedule.LearningRateAt(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(schedule.LearningRateAt(50), 0.05f, 1e-6f);
+  EXPECT_NEAR(schedule.LearningRateAt(100), 0.0f, 1e-6f);
+}
+
+TEST(CosineScheduleTest, MonotoneDecreasing) {
+  CosineAnnealingSchedule schedule(0.1f, 50);
+  for (int e = 1; e <= 50; ++e) {
+    EXPECT_LE(schedule.LearningRateAt(e), schedule.LearningRateAt(e - 1) + 1e-7f);
+  }
+}
+
+TEST(CosineScheduleTest, ClampsOutOfRangeEpochs) {
+  CosineAnnealingSchedule schedule(0.1f, 10, 0.01f);
+  EXPECT_NEAR(schedule.LearningRateAt(-5), 0.1f, 1e-6f);
+  EXPECT_NEAR(schedule.LearningRateAt(99), 0.01f, 1e-6f);
+}
+
+TEST(CosineScheduleTest, OnEpochUpdatesOptimizer) {
+  Tensor x = Tensor::FromVector({1}, {1.0f});
+  x.RequiresGrad();
+  Sgd opt({x}, 0.1f);
+  CosineAnnealingSchedule schedule(0.1f, 10);
+  schedule.OnEpoch(opt, 10);
+  EXPECT_NEAR(opt.learning_rate(), 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace sarn::tensor

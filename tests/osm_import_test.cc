@@ -1,0 +1,164 @@
+#include "roadnet/osm_import.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sarn::roadnet {
+namespace {
+
+// A small, valid OSM extract: a two-way residential street of two segments,
+// a one-way primary with maxspeed, and a non-highway way (building) that
+// must be ignored.
+constexpr const char* kSampleOsm = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <!-- four street nodes -->
+  <node id="1" lat="30.6500" lon="104.0600"/>
+  <node id="2" lat="30.6510" lon="104.0600"/>
+  <node id="3" lat="30.6520" lon="104.0600"/>
+  <node id="4" lat="30.6520" lon="104.0610"/>
+  <node id="5" lat="30.6530" lon="104.0610"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Test Street"/>
+  </way>
+  <way id="101">
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="60"/>
+  </way>
+  <way id="102">
+    <nd ref="4"/>
+    <nd ref="5"/>
+    <tag k="building" v="yes"/>
+  </way>
+</osm>)";
+
+TEST(OsmImportTest, ParsesSampleExtract) {
+  OsmImportStats stats;
+  auto network = ParseOsmXml(kSampleOsm, &stats);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(stats.nodes_parsed, 5);
+  EXPECT_EQ(stats.ways_parsed, 3);
+  EXPECT_EQ(stats.ways_kept, 2);
+  // Way 100: 2 node pairs x 2 directions = 4; way 101: 1 pair x 1 = 1.
+  EXPECT_EQ(stats.segments_created, 5);
+  EXPECT_EQ(network->num_segments(), 5);
+}
+
+TEST(OsmImportTest, SegmentAttributesParsed) {
+  auto network = ParseOsmXml(kSampleOsm);
+  ASSERT_TRUE(network.has_value());
+  int primaries = 0, residentials = 0;
+  for (const RoadSegment& s : network->segments()) {
+    if (s.type == HighwayType::kPrimary) {
+      ++primaries;
+      EXPECT_EQ(s.speed_limit_kmh.value(), 60);
+    }
+    if (s.type == HighwayType::kResidential) {
+      ++residentials;
+      EXPECT_FALSE(s.speed_limit_kmh.has_value());
+      EXPECT_NEAR(s.length_meters, 111.2, 5.0);  // 0.001 deg latitude.
+    }
+  }
+  EXPECT_EQ(primaries, 1);
+  EXPECT_EQ(residentials, 4);
+}
+
+TEST(OsmImportTest, ConnectivityAcrossWays) {
+  auto network = ParseOsmXml(kSampleOsm);
+  ASSERT_TRUE(network.has_value());
+  // The residential into-node-3 segment must connect to the primary 3->4.
+  bool found = false;
+  for (const TopoEdge& e : network->topo_edges()) {
+    if (network->segment(e.to).type == HighwayType::kPrimary) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OsmImportTest, LinkTypesMapToBaseClass) {
+  std::string xml = R"(<osm>
+    <node id="1" lat="0.0" lon="0.0"/>
+    <node id="2" lat="0.001" lon="0.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/>
+      <tag k="highway" v="motorway_link"/></way>
+  </osm>)";
+  auto network = ParseOsmXml(xml);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(network->segment(0).type, HighwayType::kMotorway);
+}
+
+TEST(OsmImportTest, MphMaxspeedConverted) {
+  std::string xml = R"(<osm>
+    <node id="1" lat="0.0" lon="0.0"/>
+    <node id="2" lat="0.001" lon="0.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/>
+      <tag k="highway" v="primary"/>
+      <tag k="maxspeed" v="30 mph"/></way>
+  </osm>)";
+  auto network = ParseOsmXml(xml);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(network->segment(0).speed_limit_kmh.value(), 48);  // 30 mph ~ 48 km/h.
+}
+
+TEST(OsmImportTest, SingleQuotedAttributes) {
+  std::string xml = "<osm><node id='1' lat='0.0' lon='0.0'/>"
+                    "<node id='2' lat='0.001' lon='0.0'/>"
+                    "<way id='1'><nd ref='1'/><nd ref='2'/>"
+                    "<tag k='highway' v='tertiary'/></way></osm>";
+  auto network = ParseOsmXml(xml);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(network->segment(0).type, HighwayType::kTertiary);
+}
+
+TEST(OsmImportTest, ClippedExtractSkipsMissingNodes) {
+  // Node 3 is referenced but missing (clipped at the boundary).
+  std::string xml = R"(<osm>
+    <node id="1" lat="0.0" lon="0.0"/>
+    <node id="2" lat="0.001" lon="0.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/><nd ref="3"/>
+      <tag k="highway" v="residential"/></way>
+  </osm>)";
+  auto network = ParseOsmXml(xml);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(network->num_segments(), 2);  // Only 1<->2, both directions.
+}
+
+TEST(OsmImportTest, RejectsNonOsmDocuments) {
+  EXPECT_FALSE(ParseOsmXml("<html><body>hi</body></html>").has_value());
+  EXPECT_FALSE(ParseOsmXml("").has_value());
+  EXPECT_FALSE(ParseOsmXml("<osm></osm>").has_value());  // No ways.
+}
+
+TEST(OsmImportTest, UnknownHighwayValuesIgnored) {
+  std::string xml = R"(<osm>
+    <node id="1" lat="0.0" lon="0.0"/>
+    <node id="2" lat="0.001" lon="0.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/>
+      <tag k="highway" v="bridleway"/></way>
+  </osm>)";
+  EXPECT_FALSE(ParseOsmXml(xml).has_value());
+}
+
+TEST(OsmImportTest, LoadFromFile) {
+  std::string path = testing::TempDir() + "/sarn_sample.osm";
+  {
+    std::ofstream out(path);
+    out << kSampleOsm;
+  }
+  OsmImportStats stats;
+  auto network = LoadOsmFile(path, &stats);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_EQ(network->num_segments(), 5);
+  EXPECT_FALSE(LoadOsmFile("/nonexistent.osm").has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sarn::roadnet

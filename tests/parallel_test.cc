@@ -1,0 +1,62 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelTest, SmallRangeRunsSerially) {
+  // Small ranges take the serial path: a single contiguous [0, n) call.
+  std::vector<std::pair<size_t, size_t>> calls;
+  ParallelFor(10, [&](size_t begin, size_t end) { calls.emplace_back(begin, end); });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 0u);
+  EXPECT_EQ(calls[0].second, 10u);
+}
+
+TEST(ParallelTest, ZeroRangeNoCalls) {
+  bool called = false;
+  ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, SumMatchesSerial) {
+  const size_t n = 50000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = 0.5 * static_cast<double>(i);
+  std::atomic<int64_t> parallel_sum{0};  // Sum of integer doubles fits.
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    double local = 0;
+    for (size_t i = begin; i < end; ++i) local += values[i];
+    parallel_sum.fetch_add(static_cast<int64_t>(local * 2.0));
+  });
+  double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_EQ(parallel_sum.load(), static_cast<int64_t>(serial * 2.0));
+}
+
+TEST(ParallelTest, ThreadCountOverride) {
+  size_t original = GetParallelThreads();
+  SetParallelThreads(1);
+  EXPECT_EQ(GetParallelThreads(), 1u);
+  SetParallelThreads(4);
+  EXPECT_EQ(GetParallelThreads(), 4u);
+  SetParallelThreads(0);  // Clamps to 1.
+  EXPECT_EQ(GetParallelThreads(), 1u);
+  SetParallelThreads(original);
+}
+
+}  // namespace
+}  // namespace sarn

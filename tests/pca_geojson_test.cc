@@ -1,0 +1,154 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/gat.h"
+#include "roadnet/geojson.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+#include "tensor/pca.h"
+
+namespace sarn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the direction (3, 4)/5 with small orthogonal noise.
+  Rng rng(1);
+  std::vector<float> data;
+  for (int i = 0; i < 200; ++i) {
+    float t = static_cast<float>(rng.Normal(0.0, 3.0));
+    float noise = static_cast<float>(rng.Normal(0.0, 0.1));
+    data.push_back(0.6f * t - 0.8f * noise);
+    data.push_back(0.8f * t + 0.6f * noise);
+  }
+  Tensor x = Tensor::FromVector({200, 2}, std::move(data));
+  tensor::PcaResult pca = tensor::Pca(x, 2);
+  // First axis must align with (0.6, 0.8) up to sign.
+  float axis_x = pca.components.at(0, 0);
+  float axis_y = pca.components.at(0, 1);
+  float alignment = std::fabs(axis_x * 0.6f + axis_y * 0.8f);
+  EXPECT_GT(alignment, 0.99f);
+  EXPECT_GT(pca.explained_variance[0], pca.explained_variance[1] * 10);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({50, 6}, rng);
+  tensor::PcaResult pca = tensor::Pca(x, 3);
+  for (int a = 0; a < 3; ++a) {
+    double norm = 0, cross = 0;
+    for (int64_t j = 0; j < 6; ++j) {
+      norm += pca.components.at(a, j) * pca.components.at(a, j);
+      if (a + 1 < 3) cross += pca.components.at(a, j) * pca.components.at(a + 1, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+    EXPECT_NEAR(cross, 0.0, 0.05);
+  }
+}
+
+TEST(PcaTest, ProjectionsAreCentered) {
+  Rng rng(3);
+  Tensor x = tensor::AddScalar(Tensor::Randn({80, 4}, rng), 5.0f);
+  tensor::PcaResult pca = tensor::Pca(x, 2);
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0;
+    for (int64_t i = 0; i < 80; ++i) mean += pca.projections.at(i, c);
+    EXPECT_NEAR(mean / 80.0, 0.0, 1e-3);
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDescending) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({60, 8}, rng);
+  tensor::PcaResult pca = tensor::Pca(x, 4);
+  for (size_t c = 1; c < pca.explained_variance.size(); ++c) {
+    EXPECT_GE(pca.explained_variance[c - 1] + 1e-9, pca.explained_variance[c]);
+  }
+}
+
+TEST(GeoJsonTest, ColorRampEndpoints) {
+  EXPECT_EQ(roadnet::ValueToHexColor(0.0, 0.0, 1.0), "#283cff");  // Blue end.
+  EXPECT_EQ(roadnet::ValueToHexColor(1.0, 0.0, 1.0), "#ff3c28");  // Red end.
+  // Degenerate range maps to midpoint, not NaN.
+  std::string mid = roadnet::ValueToHexColor(0.5, 0.5, 0.5);
+  EXPECT_EQ(mid.size(), 7u);
+}
+
+TEST(GeoJsonTest, ExportsValidStructure) {
+  roadnet::SyntheticCityConfig city;
+  city.rows = 6;
+  city.cols = 6;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  std::string path = testing::TempDir() + "/sarn_export.geojson";
+  roadnet::GeoJsonOptions options;
+  for (int64_t i = 0; i < network.num_segments(); ++i) {
+    options.values.push_back(static_cast<double>(i));
+  }
+  ASSERT_TRUE(ExportGeoJson(network, path, options));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  EXPECT_NE(content.find("LineString"), std::string::npos);
+  EXPECT_NE(content.find("\"color\":\"#"), std::string::npos);
+  EXPECT_NE(content.find("\"highway\":\"motorway\""), std::string::npos);
+  // One feature per segment.
+  size_t features = 0;
+  for (size_t pos = content.find("\"type\":\"Feature\""); pos != std::string::npos;
+       pos = content.find("\"type\":\"Feature\"", pos + 1)) {
+    ++features;
+  }
+  EXPECT_EQ(features, static_cast<size_t>(network.num_segments()));
+  // Balanced braces (cheap well-formedness check).
+  int64_t depth = 0;
+  for (char c : content) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST(UniformAggregationTest, AlphaIsUniformWithoutAttention) {
+  Rng rng(5);
+  nn::GatLayer uniform(4, 4, 1, true, nn::Activation::kNone, rng, 0.2f,
+                       /*add_self_loops=*/false, /*residual=*/false,
+                       /*use_attention=*/false);
+  // Two sources into vertex 0: output must be the mean of the two messages.
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  nn::EdgeList edges;
+  edges.Add(1, 0);
+  edges.Add(2, 0);
+  Tensor y = uniform.Forward(x, edges);
+  // Compare against manual mean of W x_1 and W x_2 via single-edge passes.
+  nn::EdgeList only1, only2;
+  only1.Add(1, 0);
+  only2.Add(2, 0);
+  Tensor y1 = uniform.Forward(x, only1);
+  Tensor y2 = uniform.Forward(x, only2);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y.at(0, j), (y1.at(0, j) + y2.at(0, j)) / 2.0f, 1e-5f);
+  }
+}
+
+TEST(UniformAggregationTest, EncoderRunsWithoutAttention) {
+  Rng rng(6);
+  nn::GatEncoder encoder(6, 8, 4, 2, 2, rng, /*use_attention=*/false);
+  nn::EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  Tensor h = encoder.Forward(Tensor::Randn({3, 6}, rng), edges);
+  EXPECT_EQ(h.shape(), (tensor::Shape{3, 4}));
+  for (float v : h.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace sarn

@@ -1,0 +1,89 @@
+#include "tasks/representation_quality.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/sarn_model.h"
+#include "core/spatial_similarity.h"
+#include "roadnet/synthetic_city.h"
+
+namespace sarn::tasks {
+namespace {
+
+using tensor::Tensor;
+
+TEST(RepresentationQualityTest, AlignmentZeroForIdenticalPairs) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({10, 4}, rng);
+  std::vector<std::pair<int64_t, int64_t>> self_pairs;
+  for (int64_t i = 0; i < 10; ++i) self_pairs.emplace_back(i, i);
+  EXPECT_NEAR(AlignmentLoss(x, self_pairs), 0.0, 1e-9);
+}
+
+TEST(RepresentationQualityTest, AlignmentBoundedByFour) {
+  // On the unit sphere ||x - y||^2 <= 4.
+  Rng rng(2);
+  Tensor x = Tensor::Randn({20, 6}, rng);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i + 1 < 20; i += 2) pairs.emplace_back(i, i + 1);
+  double alignment = AlignmentLoss(x, pairs);
+  EXPECT_GE(alignment, 0.0);
+  EXPECT_LE(alignment, 4.0);
+}
+
+TEST(RepresentationQualityTest, UniformityPrefersSpreadOverCollapse) {
+  // Collapsed embeddings (all rows equal) have uniformity ~0 (the worst);
+  // random Gaussian rows are much more uniform (more negative).
+  Rng rng(3);
+  Tensor collapsed = Tensor::Ones({50, 8});
+  Tensor spread = Tensor::Randn({50, 8}, rng);
+  double u_collapsed = UniformityLoss(collapsed, 500, 7);
+  double u_spread = UniformityLoss(spread, 500, 7);
+  EXPECT_NEAR(u_collapsed, 0.0, 1e-9);
+  EXPECT_LT(u_spread, u_collapsed - 0.5);
+}
+
+TEST(RepresentationQualityTest, UniformityDeterministicPerSeed) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({30, 4}, rng);
+  EXPECT_DOUBLE_EQ(UniformityLoss(x, 200, 11), UniformityLoss(x, 200, 11));
+}
+
+TEST(RepresentationQualityTest, SarnTrainingImprovesAlignmentOfSpatialPairs) {
+  // The paper's §4.4 claim, measured directly: after training, spatially
+  // similar pairs (A^s edges) are better aligned than before training,
+  // while the embedding distribution stays non-collapsed.
+  roadnet::SyntheticCityConfig city;
+  city.rows = 10;
+  city.cols = 10;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  core::SarnConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 16;
+  config.projection_dim = 8;
+  config.gat_layers = 2;
+  config.gat_heads = 2;
+  config.feature_dim_per_feature = 4;
+  config.max_epochs = 12;
+  core::FitCellSideToNetwork(config, network);
+  core::SarnModel model(network, config);
+
+  std::vector<std::pair<int64_t, int64_t>> spatial_pairs;
+  for (const core::SpatialEdge& e : model.spatial_edges()) {
+    spatial_pairs.emplace_back(e.a, e.b);
+    if (spatial_pairs.size() >= 200) break;
+  }
+  ASSERT_FALSE(spatial_pairs.empty());
+
+  double alignment_before = AlignmentLoss(model.Embeddings(), spatial_pairs);
+  model.Train();
+  Tensor trained = model.Embeddings();
+  double alignment_after = AlignmentLoss(trained, spatial_pairs);
+  EXPECT_LT(alignment_after, alignment_before);
+  // No collapse: uniformity stays clearly negative.
+  EXPECT_LT(UniformityLoss(trained, 400, 13), -0.2);
+}
+
+}  // namespace
+}  // namespace sarn::tasks

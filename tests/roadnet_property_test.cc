@@ -1,0 +1,153 @@
+// Property sweep over the synthetic city presets (TEST_P): the generated
+// networks must satisfy the structural invariants the experiments rely on,
+// at every preset and scale.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.h"
+#include "graph/dijkstra.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/metrics.h"
+
+namespace sarn::roadnet {
+namespace {
+
+struct CityCase {
+  std::string name;
+  double scale;
+  double min_nmi;
+  double max_nmi;
+};
+
+class CityPropertyTest : public testing::TestWithParam<CityCase> {
+ protected:
+  CityPropertyTest()
+      : network_(GenerateSyntheticCity(
+            CityConfigByName(GetParam().name, GetParam().scale))) {}
+
+  RoadNetwork network_;
+};
+
+TEST_P(CityPropertyTest, WeaklyConnected) {
+  graph::CsrGraph g = network_.ToTypeWeightedGraph();
+  EXPECT_EQ(g.CountWeakComponents(), 1);
+}
+
+TEST_P(CityPropertyTest, MostPairsRouteable) {
+  // Directed reachability: one-ways and the river must not strand regions.
+  graph::CsrGraph g = network_.ToLengthWeightedGraph();
+  std::vector<bool> reachable = g.ReachableFrom(0);
+  int64_t count = 0;
+  for (bool r : reachable) count += r ? 1 : 0;
+  EXPECT_GT(static_cast<double>(count) / network_.num_segments(), 0.9);
+}
+
+TEST_P(CityPropertyTest, FullRoadHierarchyPresent) {
+  std::set<HighwayType> present;
+  for (const RoadSegment& s : network_.segments()) present.insert(s.type);
+  EXPECT_TRUE(present.count(HighwayType::kMotorway));
+  EXPECT_TRUE(present.count(HighwayType::kPrimary));
+  EXPECT_TRUE(present.count(HighwayType::kResidential));
+}
+
+TEST_P(CityPropertyTest, DegreesAreRoadLike) {
+  // Real road-segment graphs have tiny out-degrees (paper Table 3 implies a
+  // mean of ~1.7); ours must stay in the same family.
+  graph::CsrGraph g = network_.ToTypeWeightedGraph();
+  double mean = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 5.0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.OutDegree(v), 8);
+  }
+}
+
+TEST_P(CityPropertyTest, NmiInPresetBand) {
+  std::vector<int64_t> types, speeds;
+  for (const RoadSegment& s : network_.segments()) {
+    if (s.speed_limit_kmh) {
+      types.push_back(static_cast<int64_t>(s.type));
+      speeds.push_back(*s.speed_limit_kmh);
+    }
+  }
+  double nmi = tasks::NormalizedMutualInformation(types, speeds);
+  EXPECT_GE(nmi, GetParam().min_nmi);
+  EXPECT_LE(nmi, GetParam().max_nmi);
+}
+
+TEST_P(CityPropertyTest, MeanSegmentLengthPlausible) {
+  EXPECT_GT(network_.MeanSegmentLength(), 40.0);
+  EXPECT_LT(network_.MeanSegmentLength(), 200.0);
+}
+
+TEST_P(CityPropertyTest, TopoEdgeWeightsFollowEq1) {
+  for (size_t i = 0; i < std::min<size_t>(network_.topo_edges().size(), 200); ++i) {
+    const TopoEdge& e = network_.topo_edges()[i];
+    double expected = 0.5 * (HighwayWeight(network_.segment(e.from).type) +
+                             HighwayWeight(network_.segment(e.to).type));
+    EXPECT_DOUBLE_EQ(e.weight, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, CityPropertyTest,
+    testing::Values(CityCase{"CD", 0.02, 0.55, 0.95}, CityCase{"CD", 0.05, 0.55, 0.95},
+                    CityCase{"BJ", 0.02, 0.5, 0.9}, CityCase{"SF", 0.02, 0.2, 0.65},
+                    CityCase{"SF-S", 0.02, 0.2, 0.65},
+                    CityCase{"SF-L", 0.02, 0.2, 0.65}),
+    [](const testing::TestParamInfo<CityCase>& info) {
+      std::string name = info.param.name + "_s" +
+                         std::to_string(static_cast<int>(info.param.scale * 1000));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(RiverTest, RiverCutsCrossLinksButKeepsBridges) {
+  SyntheticCityConfig with_river;
+  with_river.rows = 20;
+  with_river.cols = 20;
+  with_river.river = true;
+  SyntheticCityConfig without_river = with_river;
+  without_river.river = false;
+  RoadNetwork river_city = GenerateSyntheticCity(with_river);
+  RoadNetwork plain_city = GenerateSyntheticCity(without_river);
+  EXPECT_LT(river_city.num_segments(), plain_city.num_segments());
+  // Still connected: bridges preserve the spanning structure.
+  EXPECT_EQ(river_city.ToTypeWeightedGraph().CountWeakComponents(), 1);
+}
+
+TEST(RiverTest, CrossRiverDetourExceedsEuclidean) {
+  // The river is exactly the paper's Fig. 1 situation: spatially close
+  // segments on opposite banks are many hops apart in the graph.
+  SyntheticCityConfig config;
+  config.rows = 24;
+  config.cols = 24;
+  config.bridge_every = 11;
+  RoadNetwork network = GenerateSyntheticCity(config);
+  graph::CsrGraph routing = network.ToLengthWeightedGraph();
+
+  // Find a pair of segments within 260 m straight-line but on opposite
+  // banks (network distance much larger than Euclidean).
+  double worst_ratio = 0.0;
+  for (int64_t a = 0; a < network.num_segments(); a += 17) {
+    graph::ShortestPathTree tree = Dijkstra(routing, a);
+    for (int64_t b = 0; b < network.num_segments(); b += 13) {
+      if (a == b) continue;
+      double euclid = geo::HaversineMeters(network.segment(a).Midpoint(),
+                                           network.segment(b).Midpoint());
+      if (euclid > 260.0 || euclid < 50.0) continue;
+      double net = tree.distance[static_cast<size_t>(b)];
+      if (net == graph::kInfiniteDistance) continue;
+      worst_ratio = std::max(worst_ratio, net / euclid);
+    }
+    if (worst_ratio > 4.0) break;
+  }
+  EXPECT_GT(worst_ratio, 4.0) << "river should create topology/geometry divergence";
+}
+
+}  // namespace
+}  // namespace sarn::roadnet

@@ -1,0 +1,182 @@
+// End-to-end tests of the SARN model: training decreases the contrastive
+// loss, embeddings are well-formed, and the learned space reflects spatial
+// structure (the paper's core claim).
+
+#include "core/sarn_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "geo/point.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sarn::core {
+namespace {
+
+using tensor::Tensor;
+
+SarnConfig SmallConfig() {
+  SarnConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 16;
+  config.projection_dim = 8;
+  config.gat_layers = 2;
+  config.gat_heads = 2;
+  config.feature_dim_per_feature = 4;
+  config.max_epochs = 8;
+  config.batch_size = 128;
+  config.queue_budget = 400;
+  return config;
+}
+
+class SarnModelTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::SyntheticCityConfig city;
+    city.rows = 10;
+    city.cols = 10;
+    network_ = new roadnet::RoadNetwork(roadnet::GenerateSyntheticCity(city));
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    network_ = nullptr;
+  }
+
+  static roadnet::RoadNetwork* network_;
+};
+
+roadnet::RoadNetwork* SarnModelTest::network_ = nullptr;
+
+TEST_F(SarnModelTest, EmbeddingsShapeAndFinite) {
+  SarnModel model(*network_, SmallConfig());
+  Tensor h = model.Embeddings();
+  EXPECT_EQ(h.shape(),
+            (tensor::Shape{network_->num_segments(), SmallConfig().embedding_dim}));
+  for (float v : h.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(SarnModelTest, TrainingDecreasesLoss) {
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 10;
+  SarnModel model(*network_, config);
+  TrainStats stats = model.Train();
+  ASSERT_GE(stats.epochs_run, 5);
+  // Compare the mean of the first two vs last two epochs (epoch 0 has cold
+  // queues, so include epoch 1).
+  double early = (stats.epoch_losses[1] + stats.epoch_losses[2]) / 2.0;
+  double late = (stats.epoch_losses[stats.epochs_run - 2] +
+                 stats.epoch_losses[stats.epochs_run - 1]) /
+                2.0;
+  EXPECT_LT(late, early);
+}
+
+TEST_F(SarnModelTest, SpatialEdgesPresentByDefaultAbsentInAblation) {
+  SarnModel with(*network_, SmallConfig());
+  EXPECT_FALSE(with.spatial_edges().empty());
+  SarnConfig ablated = SmallConfig();
+  ablated.use_spatial_matrix = false;
+  SarnModel without(*network_, ablated);
+  EXPECT_TRUE(without.spatial_edges().empty());
+}
+
+TEST_F(SarnModelTest, AblationVariantsTrain) {
+  for (bool matrix : {true, false}) {
+    for (bool negatives : {true, false}) {
+      SarnConfig config = SmallConfig();
+      config.max_epochs = 3;
+      config.use_spatial_matrix = matrix;
+      config.use_spatial_negatives = negatives;
+      config.random_negatives = 16;
+      SarnModel model(*network_, config);
+      TrainStats stats = model.Train();
+      EXPECT_EQ(stats.epochs_run, 3);
+      EXPECT_TRUE(std::isfinite(stats.final_loss));
+    }
+  }
+}
+
+TEST_F(SarnModelTest, TrainedEmbeddingsReflectSpatialStructure) {
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 12;
+  SarnModel model(*network_, config);
+  model.Train();
+  Tensor h = model.Embeddings();
+  Tensor normalized = tensor::RowL2Normalize(h);
+
+  // Average cosine similarity of spatially-close pairs must exceed that of
+  // distant random pairs.
+  auto cosine = [&](int64_t a, int64_t b) {
+    double dot = 0;
+    for (int64_t j = 0; j < normalized.shape()[1]; ++j) {
+      dot += normalized.at(a, j) * normalized.at(b, j);
+    }
+    return dot;
+  };
+  Rng rng(5);
+  double near_sum = 0;
+  int near_count = 0;
+  for (const SpatialEdge& e : model.spatial_edges()) {
+    near_sum += cosine(e.a, e.b);
+    if (++near_count >= 300) break;
+  }
+  double far_sum = 0;
+  int far_count = 0;
+  while (far_count < 300) {
+    int64_t a = rng.UniformInt(0, network_->num_segments() - 1);
+    int64_t b = rng.UniformInt(0, network_->num_segments() - 1);
+    if (a == b) continue;
+    double dist = geo::HaversineMeters(network_->segment(a).Midpoint(),
+                                       network_->segment(b).Midpoint());
+    if (dist < 500.0) continue;
+    far_sum += cosine(a, b);
+    ++far_count;
+  }
+  EXPECT_GT(near_sum / near_count, far_sum / far_count + 0.05);
+}
+
+TEST_F(SarnModelTest, DeterministicGivenSeed) {
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 2;
+  SetParallelThreads(1);
+  SarnModel a(*network_, config);
+  a.Train();
+  SarnModel b(*network_, config);
+  b.Train();
+  SetParallelThreads(0);
+  Tensor ha = a.Embeddings();
+  Tensor hb = b.Embeddings();
+  for (int64_t i = 0; i < std::min<int64_t>(ha.numel(), 200); ++i) {
+    ASSERT_FLOAT_EQ(ha.data()[static_cast<size_t>(i)], hb.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(SarnModelTest, FineTuneParametersAreFinalLayerOnly) {
+  SarnModel model(*network_, SmallConfig());
+  EXPECT_LT(model.FineTuneParameters().size(), model.OnlineParameters().size());
+  // Fine-tuning step: gradients reach the final layer through
+  // EncodeForFineTune.
+  Tensor h = model.EncodeForFineTune();
+  tensor::Sum(h).Backward();
+  for (const Tensor& p : model.FineTuneParameters()) {
+    double norm = 0;
+    for (float g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+TEST_F(SarnModelTest, EarlyStoppingBoundsEpochs) {
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 50;
+  config.patience = 2;
+  SarnModel model(*network_, config);
+  TrainStats stats = model.Train();
+  EXPECT_LE(stats.epochs_run, 50);
+  EXPECT_EQ(stats.epoch_losses.size(), static_cast<size_t>(stats.epochs_run));
+}
+
+}  // namespace
+}  // namespace sarn::core

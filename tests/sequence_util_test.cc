@@ -1,0 +1,81 @@
+#include "nn/sequence_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+class SequenceUtilTest : public testing::Test {
+ protected:
+  SequenceUtilTest() : rng_(1), gru_(4, 6, 1, rng_), table_(Tensor::Randn({20, 4}, rng_)) {}
+
+  Rng rng_;
+  Gru gru_;
+  Tensor table_;
+};
+
+TEST_F(SequenceUtilTest, OutputShape) {
+  std::vector<std::vector<int64_t>> sequences = {{0, 1, 2}, {3, 4}, {5, 6, 7, 8}};
+  Tensor out = EmbedSequences(gru_, table_, sequences);
+  EXPECT_EQ(out.shape(), (tensor::Shape{3, 6}));
+}
+
+TEST_F(SequenceUtilTest, MatchesSequentialEvaluation) {
+  // Batched-by-length evaluation must equal embedding each sequence alone.
+  std::vector<std::vector<int64_t>> sequences = {{0, 1, 2}, {5, 9, 2}, {3, 4},
+                                                 {7, 7}, {1, 2, 3}};
+  Tensor batched = EmbedSequences(gru_, table_, sequences);
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    Tensor single = EmbedSequences(gru_, table_, {sequences[i]});
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(batched.at(static_cast<int64_t>(i), j), single.at(0, j), 1e-5f)
+          << "sequence " << i << " dim " << j;
+    }
+  }
+}
+
+TEST_F(SequenceUtilTest, OrderOfResultsMatchesInputOrder) {
+  // Two sequences of different lengths in "interleaved" order: results must
+  // not be grouped-by-length in the output.
+  std::vector<std::vector<int64_t>> sequences = {{0, 1, 2, 3}, {4, 5}, {6, 7, 8, 9}};
+  Tensor out = EmbedSequences(gru_, table_, sequences);
+  Tensor middle = EmbedSequences(gru_, table_, {sequences[1]});
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(out.at(1, j), middle.at(0, j), 1e-5f);
+  }
+}
+
+TEST_F(SequenceUtilTest, GradientsFlowIntoItemTable) {
+  Tensor table = Tensor::Randn({10, 4}, rng_, 0.5f).RequiresGrad();
+  std::vector<std::vector<int64_t>> sequences = {{0, 1}, {2, 3, 4}};
+  Tensor out = EmbedSequences(gru_, table, sequences);
+  tensor::Sum(out).Backward();
+  double used = 0, unused = 0;
+  for (int64_t row = 0; row < 10; ++row) {
+    double norm = 0;
+    for (int64_t j = 0; j < 4; ++j) {
+      norm += std::fabs(table.grad()[static_cast<size_t>(row * 4 + j)]);
+    }
+    if (row <= 4) {
+      used += norm;
+    } else {
+      unused += norm;
+    }
+  }
+  EXPECT_GT(used, 0.0);
+  EXPECT_EQ(unused, 0.0);
+}
+
+TEST_F(SequenceUtilTest, SingleSequenceSingleStep) {
+  Tensor out = EmbedSequences(gru_, table_, {{7}});
+  EXPECT_EQ(out.shape(), (tensor::Shape{1, 6}));
+}
+
+}  // namespace
+}  // namespace sarn::nn

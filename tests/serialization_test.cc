@@ -1,0 +1,104 @@
+#include "nn/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/sarn_model.h"
+#include "nn/linear.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+
+namespace sarn::nn {
+namespace {
+
+using tensor::Tensor;
+
+std::string TempPath(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+TEST(SerializationTest, RoundTripRestoresValues) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // Different init.
+  std::string path = TempPath("sarn_params.bin");
+  ASSERT_TRUE(SaveParameters(path, a.Parameters()));
+  ASSERT_TRUE(LoadParameters(path, b.Parameters()));
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[static_cast<size_t>(i)], yb.data()[static_cast<size_t>(i)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsShapeMismatch) {
+  Rng rng(2);
+  Linear a(4, 3, rng);
+  Linear wrong(4, 5, rng);
+  std::string path = TempPath("sarn_params_mismatch.bin");
+  ASSERT_TRUE(SaveParameters(path, a.Parameters()));
+  EXPECT_FALSE(LoadParameters(path, wrong.Parameters()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsWrongCount) {
+  Rng rng(3);
+  Linear a(4, 3, rng);
+  std::string path = TempPath("sarn_params_count.bin");
+  ASSERT_TRUE(SaveParameters(path, a.Parameters()));
+  std::vector<Tensor> too_few = {a.Parameters()[0]};
+  EXPECT_FALSE(LoadParameters(path, too_few));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbageFile) {
+  std::string path = TempPath("sarn_params_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  Rng rng(4);
+  Linear a(4, 3, rng);
+  EXPECT_FALSE(LoadParameters(path, a.Parameters()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  Rng rng(5);
+  Linear a(4, 3, rng);
+  EXPECT_FALSE(LoadParameters("/nonexistent/params.bin", a.Parameters()));
+}
+
+TEST(SerializationTest, SarnModelCheckpointRoundTrip) {
+  roadnet::SyntheticCityConfig city;
+  city.rows = 8;
+  city.cols = 8;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  core::SarnConfig config;
+  config.hidden_dim = 8;
+  config.embedding_dim = 8;
+  config.projection_dim = 4;
+  config.gat_layers = 1;
+  config.gat_heads = 2;
+  config.feature_dim_per_feature = 2;
+  config.max_epochs = 2;
+  core::SarnModel trained(network, config);
+  trained.Train();
+  std::string path = TempPath("sarn_model.ckpt");
+  ASSERT_TRUE(trained.SaveWeights(path));
+
+  config.seed = 777;  // Different init.
+  core::SarnModel restored(network, config);
+  ASSERT_TRUE(restored.LoadWeights(path));
+  Tensor a = trained.Embeddings();
+  Tensor b = restored.Embeddings();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.data()[static_cast<size_t>(i)], b.data()[static_cast<size_t>(i)]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sarn::nn

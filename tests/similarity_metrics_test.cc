@@ -1,0 +1,115 @@
+#include "traj/similarity_metrics.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "traj/frechet.h"
+
+namespace sarn::traj {
+namespace {
+
+class MetricsGeomTest : public testing::Test {
+ protected:
+  MetricsGeomTest() : proj_(geo::LatLng{30.0, 104.0}) {}
+
+  std::vector<geo::LatLng> Line(double y, int n, double step = 100.0) {
+    std::vector<geo::LatLng> points;
+    for (int i = 0; i < n; ++i) points.push_back(proj_.ToLatLng(i * step, y));
+    return points;
+  }
+
+  geo::LocalProjection proj_;
+};
+
+TEST_F(MetricsGeomTest, DtwZeroForIdentical) {
+  auto a = Line(0.0, 8);
+  EXPECT_NEAR(DynamicTimeWarping(a, a), 0.0, 1e-9);
+}
+
+TEST_F(MetricsGeomTest, DtwParallelLines) {
+  // Each of the 10 aligned pairs contributes the 200 m offset.
+  auto a = Line(0.0, 10);
+  auto b = Line(200.0, 10);
+  EXPECT_NEAR(DynamicTimeWarping(a, b), 10 * 200.0, 30.0);
+}
+
+TEST_F(MetricsGeomTest, DtwSymmetric) {
+  auto a = Line(0.0, 7);
+  auto b = Line(150.0, 4);
+  EXPECT_NEAR(DynamicTimeWarping(a, b), DynamicTimeWarping(b, a), 1e-9);
+}
+
+TEST_F(MetricsGeomTest, DtwHandlesDifferentSamplingRates) {
+  // The same physical path sampled at 2x density: the 4 extra odd samples
+  // each align to a coarse point 100 m away, so DTW = 4 * 100 m — and the
+  // monotone alignment keeps it far below the same offset applied laterally.
+  auto coarse = Line(0.0, 5, 200.0);
+  auto fine = Line(0.0, 9, 100.0);
+  EXPECT_NEAR(DynamicTimeWarping(coarse, fine), 400.0, 20.0);
+  auto shifted = Line(400.0, 9, 100.0);
+  EXPECT_GT(DynamicTimeWarping(coarse, shifted), DynamicTimeWarping(coarse, fine) * 4);
+}
+
+TEST_F(MetricsGeomTest, HausdorffZeroForIdentical) {
+  auto a = Line(0.0, 8);
+  EXPECT_NEAR(HausdorffDistance(a, a), 0.0, 1e-9);
+}
+
+TEST_F(MetricsGeomTest, HausdorffParallelLinesIsOffset) {
+  auto a = Line(0.0, 10);
+  auto b = Line(250.0, 10);
+  EXPECT_NEAR(HausdorffDistance(a, b), 250.0, 2.0);
+}
+
+TEST_F(MetricsGeomTest, HausdorffOrderInvariant) {
+  // Unlike Fréchet, Hausdorff ignores point order.
+  auto a = Line(0.0, 12);
+  auto reversed = a;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NEAR(HausdorffDistance(a, reversed), 0.0, 1e-9);
+  EXPECT_GT(DiscreteFrechet(a, reversed), 900.0);
+}
+
+TEST_F(MetricsGeomTest, HausdorffSymmetricOnRandomCurves) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<geo::LatLng> a, b;
+    for (int i = 0; i < 6; ++i) {
+      a.push_back(proj_.ToLatLng(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+      b.push_back(proj_.ToLatLng(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+    }
+    EXPECT_NEAR(HausdorffDistance(a, b), HausdorffDistance(b, a), 1e-9);
+  }
+}
+
+TEST_F(MetricsGeomTest, MetricOrderingRelations) {
+  // For equal-length curves: Hausdorff <= Fréchet (coupling is a valid
+  // witness for every point's nearest neighbor bound).
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<geo::LatLng> a, b;
+    for (int i = 0; i < 7; ++i) {
+      a.push_back(proj_.ToLatLng(rng.Uniform(0, 1500), rng.Uniform(0, 1500)));
+      b.push_back(proj_.ToLatLng(rng.Uniform(0, 1500), rng.Uniform(0, 1500)));
+    }
+    EXPECT_LE(HausdorffDistance(a, b), DiscreteFrechet(a, b) + 1e-6);
+    // DTW (a sum) dominates Fréchet (a max) for curves of length >= 1.
+    EXPECT_GE(DynamicTimeWarping(a, b) + 1e-6, DiscreteFrechet(a, b));
+  }
+}
+
+TEST_F(MetricsGeomTest, DispatchMatchesDirectCalls) {
+  auto a = Line(0.0, 6);
+  auto b = Line(120.0, 9);
+  EXPECT_DOUBLE_EQ(TrajectoryDistance(SimilarityMetric::kFrechet, a, b),
+                   DiscreteFrechet(a, b));
+  EXPECT_DOUBLE_EQ(TrajectoryDistance(SimilarityMetric::kDtw, a, b),
+                   DynamicTimeWarping(a, b));
+  EXPECT_DOUBLE_EQ(TrajectoryDistance(SimilarityMetric::kHausdorff, a, b),
+                   HausdorffDistance(a, b));
+}
+
+}  // namespace
+}  // namespace sarn::traj

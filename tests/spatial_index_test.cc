@@ -1,0 +1,109 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace sarn::geo {
+namespace {
+
+class SpatialIndexTest : public testing::Test {
+ protected:
+  SpatialIndexTest() : proj_(LatLng{30.0, 104.0}) {}
+
+  // Points on a 10x10 lattice with 100 m spacing.
+  std::vector<LatLng> LatticePoints() {
+    std::vector<LatLng> points;
+    for (int i = 0; i < 10; ++i) {
+      for (int j = 0; j < 10; ++j) {
+        points.push_back(proj_.ToLatLng(i * 100.0, j * 100.0));
+      }
+    }
+    return points;
+  }
+
+  LocalProjection proj_;
+};
+
+TEST_F(SpatialIndexTest, WithinRadiusMatchesBruteForce) {
+  std::vector<LatLng> points = LatticePoints();
+  SpatialIndex index(points, 150.0);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    LatLng center = proj_.ToLatLng(rng.Uniform(0, 900), rng.Uniform(0, 900));
+    double radius = rng.Uniform(50, 400);
+    std::vector<uint32_t> got = index.WithinRadius(center, radius);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size()) << "duplicates returned";
+    for (uint32_t id = 0; id < points.size(); ++id) {
+      bool expected = HaversineMeters(center, points[id]) <= radius;
+      EXPECT_EQ(got_set.count(id) > 0, expected) << "id " << id;
+    }
+  }
+}
+
+TEST_F(SpatialIndexTest, NearestMatchesBruteForce) {
+  std::vector<LatLng> points = LatticePoints();
+  SpatialIndex index(points, 150.0);
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    LatLng center = proj_.ToLatLng(rng.Uniform(-100, 1000), rng.Uniform(-100, 1000));
+    auto got = index.Nearest(center);
+    ASSERT_TRUE(got.has_value());
+    double best = 1e18;
+    for (const LatLng& p : points) best = std::min(best, HaversineMeters(center, p));
+    EXPECT_NEAR(HaversineMeters(center, points[*got]), best, 1e-6);
+  }
+}
+
+TEST_F(SpatialIndexTest, EmptyIndexBehaviour) {
+  SpatialIndex index({}, 100.0);
+  EXPECT_TRUE(index.WithinRadius(LatLng{30, 104}, 1000.0).empty());
+  EXPECT_FALSE(index.Nearest(LatLng{30, 104}).has_value());
+}
+
+TEST_F(SpatialIndexTest, SinglePoint) {
+  LatLng p = proj_.ToLatLng(50.0, 50.0);
+  SpatialIndex index({p}, 100.0);
+  auto nearest = index.Nearest(proj_.ToLatLng(500.0, 500.0));
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, 0u);
+  EXPECT_EQ(index.WithinRadius(p, 1.0).size(), 1u);
+}
+
+TEST_F(SpatialIndexTest, NearestRespectsMaxRadius) {
+  LatLng p = proj_.ToLatLng(0.0, 0.0);
+  SpatialIndex index({p}, 100.0);
+  LatLng far = proj_.ToLatLng(5000.0, 0.0);
+  EXPECT_FALSE(index.Nearest(far, /*max_radius_meters=*/1000.0).has_value());
+  EXPECT_TRUE(index.Nearest(far, /*max_radius_meters=*/6000.0).has_value());
+}
+
+TEST_F(SpatialIndexTest, DuplicatePointsAllReturned) {
+  LatLng p = proj_.ToLatLng(10.0, 10.0);
+  SpatialIndex index({p, p, p}, 100.0);
+  EXPECT_EQ(index.WithinRadius(p, 1.0).size(), 3u);
+}
+
+TEST_F(SpatialIndexTest, LargeRandomConsistency) {
+  Rng rng(7);
+  std::vector<LatLng> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back(proj_.ToLatLng(rng.Uniform(0, 5000), rng.Uniform(0, 5000)));
+  }
+  SpatialIndex index(points, 200.0);
+  LatLng center = proj_.ToLatLng(2500.0, 2500.0);
+  std::vector<uint32_t> got = index.WithinRadius(center, 300.0);
+  size_t brute = 0;
+  for (const LatLng& p : points) {
+    if (HaversineMeters(center, p) <= 300.0) ++brute;
+  }
+  EXPECT_EQ(got.size(), brute);
+}
+
+}  // namespace
+}  // namespace sarn::geo

@@ -1,0 +1,159 @@
+#include "core/spatial_similarity.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/point.h"
+#include "roadnet/synthetic_city.h"
+
+namespace sarn::core {
+namespace {
+
+TEST(SimilarityFunctionsTest, DistanceSimilarityEndpoints) {
+  // Eq. 4: 1 at zero distance, 0 at/beyond the threshold.
+  EXPECT_NEAR(DistanceSimilarity(0.0, 200.0), 1.0, 1e-12);
+  EXPECT_NEAR(DistanceSimilarity(200.0, 200.0), 0.0, 1e-12);
+  EXPECT_NEAR(DistanceSimilarity(900.0, 200.0), 0.0, 1e-12);  // Clamped.
+}
+
+TEST(SimilarityFunctionsTest, DistanceSimilarityMonotone) {
+  double prev = 1.1;
+  for (double d = 0.0; d <= 200.0; d += 20.0) {
+    double s = DistanceSimilarity(d, 200.0);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SimilarityFunctionsTest, AngleSimilarityEndpoints) {
+  double delta = geo::kPi / 8.0;
+  EXPECT_NEAR(AngleSimilarity(0.0, delta), 1.0, 1e-12);
+  EXPECT_NEAR(AngleSimilarity(delta, delta), 0.0, 1e-12);
+  EXPECT_NEAR(AngleSimilarity(geo::kPi, delta), 0.0, 1e-12);
+}
+
+class PairSimilarityTest : public testing::Test {
+ protected:
+  PairSimilarityTest() : proj_(geo::LatLng{30.0, 104.0}) {}
+
+  roadnet::RoadSegment Segment(double x, double y, double radian, double length = 80.0) {
+    roadnet::RoadSegment s;
+    s.start = proj_.ToLatLng(x, y);
+    s.end = proj_.ToLatLng(x + length * std::cos(radian), y + length * std::sin(radian));
+    s.radian = radian;
+    s.length_meters = length;
+    return s;
+  }
+
+  geo::LocalProjection proj_;
+  SpatialSimilarityConfig config_;
+};
+
+TEST_F(PairSimilarityTest, ParallelCloseSegmentsHighSimilarity) {
+  roadnet::RoadSegment a = Segment(0, 0, 0.0);
+  roadnet::RoadSegment b = Segment(0, 30, 0.0);  // 30 m north, same direction.
+  double sim = SpatialSimilarity(a, b, config_);
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST_F(PairSimilarityTest, FarSegmentsZero) {
+  roadnet::RoadSegment a = Segment(0, 0, 0.0);
+  roadnet::RoadSegment b = Segment(0, 500, 0.0);  // Beyond 200 m threshold.
+  EXPECT_EQ(SpatialSimilarity(a, b, config_), 0.0);
+}
+
+TEST_F(PairSimilarityTest, PerpendicularSegmentsZero) {
+  roadnet::RoadSegment a = Segment(0, 0, 0.0);
+  roadnet::RoadSegment b = Segment(0, 30, geo::kPi / 2.0);
+  EXPECT_EQ(SpatialSimilarity(a, b, config_), 0.0);
+}
+
+TEST_F(PairSimilarityTest, SymmetricInArguments) {
+  roadnet::RoadSegment a = Segment(0, 0, 0.1);
+  roadnet::RoadSegment b = Segment(50, 40, 0.25);
+  EXPECT_DOUBLE_EQ(SpatialSimilarity(a, b, config_), SpatialSimilarity(b, a, config_));
+}
+
+TEST_F(PairSimilarityTest, CloserPairsMoreSimilar) {
+  roadnet::RoadSegment a = Segment(0, 0, 0.0);
+  double near = SpatialSimilarity(a, Segment(0, 20, 0.0), config_);
+  double far = SpatialSimilarity(a, Segment(0, 120, 0.0), config_);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+class BuildEdgesTest : public testing::Test {
+ protected:
+  BuildEdgesTest() {
+    roadnet::SyntheticCityConfig config;
+    config.rows = 14;
+    config.cols = 14;
+    network_ = roadnet::GenerateSyntheticCity(config);
+  }
+  roadnet::RoadNetwork network_;
+  SpatialSimilarityConfig config_;
+};
+
+TEST_F(BuildEdgesTest, EdgesAreValidAndCanonical) {
+  auto edges = BuildSpatialEdges(network_, config_);
+  ASSERT_FALSE(edges.empty());
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const SpatialEdge& e : edges) {
+    EXPECT_LT(e.a, e.b);  // Canonical undirected representation.
+    EXPECT_GE(e.a, 0);
+    EXPECT_LT(e.b, network_.num_segments());
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0);
+    EXPECT_TRUE(seen.emplace(e.a, e.b).second) << "duplicate edge";
+  }
+}
+
+TEST_F(BuildEdgesTest, EdgesMatchDirectComputation) {
+  auto edges = BuildSpatialEdges(network_, config_);
+  for (size_t i = 0; i < std::min<size_t>(edges.size(), 100); ++i) {
+    const SpatialEdge& e = edges[i];
+    double direct = SpatialSimilarity(network_.segment(e.a), network_.segment(e.b),
+                                      config_);
+    EXPECT_NEAR(e.weight, direct, 1e-12);
+  }
+}
+
+TEST_F(BuildEdgesTest, EdgeCountSameOrderAsTopoEdges) {
+  // Paper Table 3: |A^s| is within ~25% of |A^t| on every dataset.
+  auto edges = BuildSpatialEdges(network_, config_);
+  double ratio = static_cast<double>(edges.size()) / network_.topo_edges().size();
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST_F(BuildEdgesTest, NeighborCapRespectedApproximately) {
+  SpatialSimilarityConfig tight = config_;
+  tight.max_spatial_neighbors = 2;
+  auto edges_tight = BuildSpatialEdges(network_, tight);
+  auto edges_loose = BuildSpatialEdges(network_, config_);
+  EXPECT_LT(edges_tight.size(), edges_loose.size());
+}
+
+TEST_F(BuildEdgesTest, LargerRadiusMoreEdges) {
+  SpatialSimilarityConfig wide = config_;
+  wide.delta_ds_meters = 400.0;
+  wide.max_spatial_neighbors = 1000;
+  SpatialSimilarityConfig narrow = config_;
+  narrow.delta_ds_meters = 100.0;
+  narrow.max_spatial_neighbors = 1000;
+  EXPECT_GT(BuildSpatialEdges(network_, wide).size(),
+            BuildSpatialEdges(network_, narrow).size());
+}
+
+TEST_F(BuildEdgesTest, DualTypedEdgesAreMinority) {
+  auto edges = BuildSpatialEdges(network_, config_);
+  int64_t dual = CountDualTypedEdges(network_, edges);
+  EXPECT_GE(dual, 0);
+  // Paper: ~7.5% on CD. Ours should also be a small minority.
+  EXPECT_LT(static_cast<double>(dual), 0.5 * static_cast<double>(edges.size()));
+}
+
+}  // namespace
+}  // namespace sarn::core

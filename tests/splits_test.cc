@@ -1,0 +1,59 @@
+#include "tasks/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sarn::tasks {
+namespace {
+
+TEST(SplitsTest, PartitionCoversEverythingOnce) {
+  Split split = MakeSplit(100, 1);
+  EXPECT_EQ(split.train.size(), 60u);
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+  std::set<int64_t> all;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int64_t id : *part) EXPECT_TRUE(all.insert(id).second) << "duplicate " << id;
+  }
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), 99);
+}
+
+TEST(SplitsTest, DeterministicPerSeed) {
+  Split a = MakeSplit(50, 7);
+  Split b = MakeSplit(50, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  Split c = MakeSplit(50, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitsTest, SplitIsShuffled) {
+  Split split = MakeSplit(1000, 3);
+  // The train set should not be the sorted prefix.
+  std::vector<int64_t> sorted = split.train;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(split.train, sorted);
+}
+
+TEST(SplitsTest, CustomFractions) {
+  Split split = MakeSplit(10, 1, 0.8, 0.1);
+  EXPECT_EQ(split.train.size(), 8u);
+  EXPECT_EQ(split.val.size(), 1u);
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+TEST(SplitsTest, SplitOfCustomIds) {
+  Split split = MakeSplitOf({100, 200, 300, 400, 500}, 2, 0.6, 0.2);
+  std::set<int64_t> all;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int64_t id : *part) all.insert(id);
+  }
+  EXPECT_EQ(all, (std::set<int64_t>{100, 200, 300, 400, 500}));
+}
+
+}  // namespace
+}  // namespace sarn::tasks

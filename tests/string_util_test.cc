@@ -1,0 +1,63 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = Split("a:b:c", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("::", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  for (const auto& p : parts) EXPECT_TRUE(p.empty());
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2e3 ").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").value(), 0.0);
+}
+
+TEST(StringUtilTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+}
+
+TEST(StringUtilTest, ParseIntValid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+}
+
+TEST(StringUtilTest, ParseIntInvalid) {
+  EXPECT_FALSE(ParseInt("4.5").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("12ab").has_value());
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("motorway_link", "motorway"));
+  EXPECT_FALSE(StartsWith("way", "motorway"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace sarn

@@ -1,0 +1,113 @@
+// Edge-case behavior of the autograd engine: tape consumption, detach
+// semantics, gradient accumulation across backward passes, interaction with
+// NoGradGuard mid-graph.
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sarn::tensor {
+namespace {
+
+TEST(TensorEdgeTest, TapeConsumedAfterBackward) {
+  Tensor x = Tensor::FromVector({1}, {3.0f});
+  x.RequiresGrad();
+  Tensor y = Square(x);
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  // Second backward on the same consumed tape must not double-accumulate
+  // (the backward closure was cleared).
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(TensorEdgeTest, GradAccumulatesAcrossFreshGraphs) {
+  Tensor x = Tensor::FromVector({1}, {3.0f});
+  x.RequiresGrad();
+  Square(x).Backward({1.0f});
+  Square(x).Backward({1.0f});  // New graph, same leaf.
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorEdgeTest, DetachBlocksGradientFlow) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  Tensor y = Square(x).Detach();
+  EXPECT_FALSE(y.requires_grad());
+  y.RequiresGrad();
+  Tensor z = Square(y);
+  z.Backward({1.0f});
+  EXPECT_FLOAT_EQ(y.grad()[0], 8.0f);   // dz/dy = 2y = 8.
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);   // Cut by Detach.
+}
+
+TEST(TensorEdgeTest, MixedGradAndNoGradInputs) {
+  Tensor w = Tensor::FromVector({1}, {2.0f});
+  w.RequiresGrad();
+  Tensor constant = Tensor::FromVector({1}, {5.0f});  // No grad.
+  Tensor y = Mul(w, constant);
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(w.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(constant.grad()[0], 0.0f);  // Never touched.
+}
+
+TEST(TensorEdgeTest, NoGradSegmentInsideGradGraph) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  Tensor frozen;
+  {
+    NoGradGuard guard;
+    frozen = Square(x);  // Constant w.r.t. autograd.
+  }
+  Tensor y = Mul(Square(x), frozen);  // y = x^2 * c, c = 4.
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f * 2.0f * 4.0f);  // d(x^2)*c only.
+}
+
+TEST(TensorEdgeTest, DiamondGraphAccumulatesOnce) {
+  // y = a + a (same tensor twice): dy/da = 2.
+  Tensor a = Tensor::FromVector({1}, {1.0f});
+  a.RequiresGrad();
+  Tensor y = Add(a, a);
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(TensorEdgeTest, SharedSubexpressionBackpropagatesOnce) {
+  // s = x^2; y = s*s = x^4; dy/dx = 4x^3 = 32 at x=2. Requires the topo
+  // sort to run s's backward exactly once with the accumulated grad.
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  Tensor s = Square(x);
+  Tensor y = Mul(s, s);
+  y.Backward({1.0f});
+  EXPECT_FLOAT_EQ(x.grad()[0], 32.0f);
+}
+
+TEST(TensorEdgeTest, CloneIsDeepForValues) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor b = a.Clone();
+  b.set(0, 99.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorEdgeTest, EmptyMatMulRows) {
+  // Zero-row matrices are legal (empty minibatch edge case).
+  Tensor a = Tensor::Zeros({0, 4});
+  Tensor b = Tensor::Zeros({4, 3});
+  Tensor y = MatMul(a, b);
+  EXPECT_EQ(y.shape(), (Shape{0, 3}));
+  EXPECT_EQ(y.numel(), 0);
+}
+
+TEST(TensorEdgeTest, RowsWithEmptyIndexList) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor empty = Rows(a, {});
+  EXPECT_EQ(empty.shape(), (Shape{0, 2}));
+}
+
+}  // namespace
+}  // namespace sarn::tensor

@@ -1,0 +1,151 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace sarn::tensor {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  Tensor ones = Tensor::Ones({2, 2});
+  for (float v : ones.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  t.set(1, 1, 9.0f);
+  EXPECT_EQ(t.at(1, 1), 9.0f);
+}
+
+TEST(TensorDeathTest, FromVectorShapeMismatch) {
+  EXPECT_DEATH({ Tensor::FromVector({2, 2}, {1, 2, 3}); }, "shape");
+}
+
+TEST(TensorTest, CopiesShareStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;
+  b.set(0, 5.0f);
+  EXPECT_EQ(a.at(0), 5.0f);
+}
+
+TEST(TensorTest, DetachProducesIndependentCopy) {
+  Tensor a = Tensor::Ones({3});
+  a.RequiresGrad();
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.set(0, 7.0f);
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, RandnIsDeterministicGivenSeed) {
+  Rng rng1(3), rng2(3);
+  Tensor a = Tensor::Randn({10}, rng1);
+  Tensor b = Tensor::Randn({10}, rng2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(4);
+  Tensor w = Tensor::GlorotUniform(100, 100, rng);
+  float limit = std::sqrt(6.0f / 200.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(TensorTest, BackwardOnSimpleChain) {
+  Tensor x = Tensor::FromVector({2}, {3.0f, -1.0f});
+  x.RequiresGrad();
+  Tensor y = Sum(Square(x));  // y = x0^2 + x1^2
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -2.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesOverFanOut) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  Tensor y = Add(Mul(x, x), x);  // y = x^2 + x -> dy/dx = 2x + 1 = 5
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  Sum(Square(x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesTape) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  NoGradGuard guard;
+  Tensor y = Square(x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardRestores) {
+  Tensor x = Tensor::FromVector({1}, {2.0f});
+  x.RequiresGrad();
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  Tensor y = Square(x);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, BackwardWithExplicitSeed) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f});
+  x.RequiresGrad();
+  Tensor y = Square(x);  // Non-scalar output.
+  y.Backward({1.0f, 10.0f});
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 40.0f);
+}
+
+TEST(TensorDeathTest, BackwardOnNonScalarWithoutSeed) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f});
+  x.RequiresGrad();
+  Tensor y = Square(x);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(TensorTest, DeepChainBackwardDoesNotOverflowStack) {
+  // 20k-node chain; the iterative DFS must handle it.
+  Tensor x = Tensor::FromVector({1}, {1.0f});
+  x.RequiresGrad();
+  Tensor y = x;
+  for (int i = 0; i < 20000; ++i) y = AddScalar(y, 0.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(TensorTest, ShapeToStringFormat) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, NumElementsOfScalarShape) { EXPECT_EQ(NumElements({}), 1); }
+
+}  // namespace
+}  // namespace sarn::tensor

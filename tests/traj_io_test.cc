@@ -1,0 +1,89 @@
+#include "traj/io.h"
+
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "roadnet/synthetic_city.h"
+#include "traj/map_matching.h"
+#include "traj/trajectory_generator.h"
+
+namespace sarn::traj {
+namespace {
+
+TEST(TrajIoTest, GpsRoundTrip) {
+  roadnet::SyntheticCityConfig city;
+  city.rows = 8;
+  city.cols = 8;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  TrajectoryGeneratorConfig config;
+  config.min_route_segments = 5;
+  TrajectoryGenerator generator(network, config);
+  std::vector<Trajectory> original;
+  for (const GeneratedTrajectory& trip : generator.Generate(8)) {
+    original.push_back(trip.gps);
+  }
+
+  std::string path = testing::TempDir() + "/sarn_traj_io.csv";
+  ASSERT_TRUE(SaveTrajectoriesCsv(original, path));
+  auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t t = 0; t < original.size(); ++t) {
+    ASSERT_EQ((*loaded)[t].size(), original[t].size());
+    for (size_t p = 0; p < original[t].points.size(); ++p) {
+      EXPECT_NEAR((*loaded)[t].points[p].position.lat,
+                  original[t].points[p].position.lat, 1e-6);
+      EXPECT_NEAR((*loaded)[t].points[p].timestamp_s, original[t].points[p].timestamp_s,
+                  1e-3);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrajIoTest, MatchedRoundTrip) {
+  std::vector<MatchedTrajectory> matched(3);
+  matched[0].segments = {5, 6, 7};
+  matched[1].segments = {1};
+  matched[2].segments = {9, 3, 9, 2};
+  std::string path = testing::TempDir() + "/sarn_matched_io.csv";
+  ASSERT_TRUE(SaveMatchedCsv(matched, path));
+  auto loaded = LoadMatchedCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t t = 0; t < matched.size(); ++t) {
+    EXPECT_EQ((*loaded)[t].segments, matched[t].segments);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrajIoTest, LoadRejectsMalformed) {
+  std::string path = testing::TempDir() + "/sarn_bad_traj.csv";
+  {
+    CsvTable table;
+    table.header = {"trajectory_id", "timestamp_s", "lat", "lng"};
+    table.rows = {{"0", "notanumber", "1", "2"}};
+    WriteCsvFile(path, table);
+  }
+  EXPECT_FALSE(LoadTrajectoriesCsv(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadTrajectoriesCsv("/nonexistent.csv").has_value());
+  EXPECT_FALSE(LoadMatchedCsv("/nonexistent.csv").has_value());
+}
+
+TEST(TrajIoTest, MatchedRejectsOutOfOrderPositions) {
+  std::string path = testing::TempDir() + "/sarn_bad_matched.csv";
+  {
+    CsvTable table;
+    table.header = {"trajectory_id", "position", "segment_id"};
+    table.rows = {{"0", "1", "5"}};  // Position 0 missing.
+    WriteCsvFile(path, table);
+  }
+  EXPECT_FALSE(LoadMatchedCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sarn::traj

@@ -1,0 +1,105 @@
+#include "tasks/travel_time_task.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/sarn_model.h"
+#include "roadnet/synthetic_city.h"
+#include "traj/trajectory_generator.h"
+
+namespace sarn::tasks {
+namespace {
+
+class TravelTimeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::SyntheticCityConfig city;
+    city.rows = 12;
+    city.cols = 12;
+    network_ = new roadnet::RoadNetwork(roadnet::GenerateSyntheticCity(city));
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    network_ = nullptr;
+  }
+
+  static std::vector<std::vector<int64_t>> MakeRoutes(int count) {
+    traj::TrajectoryGeneratorConfig config;
+    config.min_route_segments = 6;
+    traj::TrajectoryGenerator generator(*network_, config);
+    std::vector<std::vector<int64_t>> routes;
+    for (const auto& trip : generator.Generate(count)) {
+      routes.push_back(trip.ground_truth);
+    }
+    return routes;
+  }
+
+  static roadnet::RoadNetwork* network_;
+};
+
+roadnet::RoadNetwork* TravelTimeTest::network_ = nullptr;
+
+TEST_F(TravelTimeTest, SimulatedTimePositiveAndAdditive) {
+  auto routes = MakeRoutes(5);
+  ASSERT_FALSE(routes.empty());
+  const auto& route = routes[0];
+  double whole = SimulatedTravelTimeSeconds(*network_, route);
+  EXPECT_GT(whole, 0.0);
+  // Additivity: time(route) = time(prefix) + time(suffix).
+  size_t half = route.size() / 2;
+  std::vector<int64_t> prefix(route.begin(), route.begin() + static_cast<int64_t>(half));
+  std::vector<int64_t> suffix(route.begin() + static_cast<int64_t>(half), route.end());
+  EXPECT_NEAR(whole,
+              SimulatedTravelTimeSeconds(*network_, prefix) +
+                  SimulatedTravelTimeSeconds(*network_, suffix),
+              1e-9);
+}
+
+TEST_F(TravelTimeTest, FasterRoadsYieldShorterTimesPerMeter) {
+  // A motorway segment must be traversed faster than a residential one.
+  roadnet::SegmentId motorway = -1, residential = -1;
+  for (int64_t i = 0; i < network_->num_segments(); ++i) {
+    if (network_->segment(i).type == roadnet::HighwayType::kMotorway) motorway = i;
+    if (network_->segment(i).type == roadnet::HighwayType::kResidential) residential = i;
+  }
+  ASSERT_GE(motorway, 0);
+  ASSERT_GE(residential, 0);
+  double motorway_rate = SimulatedTravelTimeSeconds(*network_, {motorway}) /
+                         network_->segment(motorway).length_meters;
+  double residential_rate = SimulatedTravelTimeSeconds(*network_, {residential}) /
+                            network_->segment(residential).length_meters;
+  EXPECT_LT(motorway_rate, residential_rate);
+}
+
+TEST_F(TravelTimeTest, EvaluateLearnsBetterThanMeanPredictor) {
+  auto routes = MakeRoutes(120);
+  TravelTimeConfig config;
+  config.epochs = 6;
+  TravelTimeTask task(*network_, routes, config);
+
+  core::SarnConfig sarn_config;
+  sarn_config.hidden_dim = 16;
+  sarn_config.embedding_dim = 16;
+  sarn_config.projection_dim = 8;
+  sarn_config.gat_layers = 2;
+  sarn_config.gat_heads = 2;
+  sarn_config.feature_dim_per_feature = 4;
+  sarn_config.max_epochs = 8;
+  core::SarnModel model(*network_, sarn_config);
+  model.Train();
+  FrozenEmbeddingSource source(model.Embeddings());
+  TravelTimeResult result = task.Evaluate(source);
+  EXPECT_GT(result.num_test, 10);
+  EXPECT_TRUE(std::isfinite(result.mae_seconds));
+  EXPECT_LT(result.mape, 0.6);  // Should be a real predictor, not noise.
+}
+
+TEST_F(TravelTimeTest, RejectsTooFewRoutes) {
+  auto routes = MakeRoutes(5);
+  TravelTimeConfig config;
+  EXPECT_DEATH({ TravelTimeTask task(*network_, routes, config); }, "");
+}
+
+}  // namespace
+}  // namespace sarn::tasks

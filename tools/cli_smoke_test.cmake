@@ -1,0 +1,21 @@
+# Drives the sarn CLI through its full pipeline and fails on any error.
+file(MAKE_DIRECTORY ${WORK_DIR})
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+run_step(${SARN_CLI} generate --city SF --scale 0.015 --out ${WORK_DIR}/net.csv)
+run_step(${SARN_CLI} train --network ${WORK_DIR}/net.csv --epochs 2 --dim 16
+         --weights ${WORK_DIR}/model.ckpt --embeddings ${WORK_DIR}/emb.csv)
+run_step(${SARN_CLI} export --network ${WORK_DIR}/net.csv
+         --embeddings ${WORK_DIR}/emb.csv --out ${WORK_DIR}/atlas.geojson)
+run_step(${SARN_CLI} eval --network ${WORK_DIR}/net.csv
+         --embeddings ${WORK_DIR}/emb.csv --task property)
+foreach(artifact net.csv model.ckpt emb.csv atlas.geojson)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "missing artifact ${artifact}")
+  endif()
+endforeach()

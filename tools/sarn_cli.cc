@@ -1,0 +1,251 @@
+// sarn — command-line interface to the library.
+//
+//   sarn generate --city CD --scale 0.05 --out network.csv
+//   sarn train    --network network.csv [--epochs 40] [--dim 64]
+//                 --weights model.ckpt --embeddings embeddings.csv
+//   sarn export   --network network.csv --embeddings embeddings.csv
+//                 --out atlas.geojson
+//   sarn eval     --network network.csv --embeddings embeddings.csv
+//                 [--task property|spd|traj|all]
+//   sarn import-osm --in extract.osm --out network.csv
+//
+// Networks are stored in the roadnet CSV format; embeddings as a headerless
+// CSV of n rows x d columns.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/sarn_model.h"
+#include "roadnet/geojson.h"
+#include "roadnet/io.h"
+#include "roadnet/osm_import.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/embedding_source.h"
+#include "tasks/road_property_task.h"
+#include "tasks/spd_task.h"
+#include "tasks/traj_similarity_task.h"
+#include "tensor/pca.h"
+#include "traj/map_matching.h"
+#include "traj/trajectory_generator.h"
+
+namespace sarn::cli {
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (StartsWith(key, "--")) key = key.substr(2);
+    args[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string Get(const Args& args, const std::string& key,
+                const std::string& fallback = "") {
+  auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "sarn: %s\n", message.c_str());
+  return 1;
+}
+
+bool SaveEmbeddingsCsv(const tensor::Tensor& embeddings, const std::string& path) {
+  CsvTable table;
+  for (int64_t i = 0; i < embeddings.shape()[0]; ++i) {
+    std::vector<std::string> row;
+    for (int64_t j = 0; j < embeddings.shape()[1]; ++j) {
+      row.push_back(FormatDouble(embeddings.at(i, j), 6));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, table);
+}
+
+std::optional<tensor::Tensor> LoadEmbeddingsCsv(const std::string& path) {
+  auto table = ReadCsvFile(path, /*has_header=*/false);
+  if (!table.has_value() || table->rows.empty()) return std::nullopt;
+  int64_t n = static_cast<int64_t>(table->rows.size());
+  int64_t d = static_cast<int64_t>(table->rows[0].size());
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(n * d));
+  for (const auto& row : table->rows) {
+    if (static_cast<int64_t>(row.size()) != d) return std::nullopt;
+    for (const std::string& cell : row) {
+      auto value = ParseDouble(cell);
+      if (!value) return std::nullopt;
+      data.push_back(static_cast<float>(*value));
+    }
+  }
+  return tensor::Tensor::FromVector({n, d}, std::move(data));
+}
+
+int CmdGenerate(const Args& args) {
+  std::string city = Get(args, "city", "CD");
+  double scale = std::atof(Get(args, "scale", "0.05").c_str());
+  std::string out = Get(args, "out");
+  if (out.empty()) return Fail("generate: --out is required");
+  roadnet::RoadNetwork network =
+      roadnet::GenerateSyntheticCity(roadnet::CityConfigByName(city, scale));
+  if (!roadnet::SaveRoadNetworkCsv(network, out)) {
+    return Fail("generate: cannot write " + out);
+  }
+  std::printf("generated %s-like network: %lld segments -> %s\n", city.c_str(),
+              static_cast<long long>(network.num_segments()), out.c_str());
+  return 0;
+}
+
+int CmdImportOsm(const Args& args) {
+  std::string in = Get(args, "in");
+  std::string out = Get(args, "out");
+  if (in.empty() || out.empty()) return Fail("import-osm: --in and --out required");
+  roadnet::OsmImportStats stats;
+  auto network = roadnet::LoadOsmFile(in, &stats);
+  if (!network.has_value()) return Fail("import-osm: cannot parse " + in);
+  if (!roadnet::SaveRoadNetworkCsv(*network, out)) {
+    return Fail("import-osm: cannot write " + out);
+  }
+  std::printf("imported %lld nodes, kept %lld/%lld ways, %lld segments -> %s\n",
+              static_cast<long long>(stats.nodes_parsed),
+              static_cast<long long>(stats.ways_kept),
+              static_cast<long long>(stats.ways_parsed),
+              static_cast<long long>(stats.segments_created), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  std::string network_path = Get(args, "network");
+  if (network_path.empty()) return Fail("train: --network is required");
+  auto network = roadnet::LoadRoadNetworkCsv(network_path);
+  if (!network.has_value()) return Fail("train: cannot load " + network_path);
+
+  core::SarnConfig config;
+  config.max_epochs = std::atoi(Get(args, "epochs", "40").c_str());
+  int64_t dim = std::atoll(Get(args, "dim", "64").c_str());
+  config.embedding_dim = dim;
+  config.hidden_dim = dim;
+  config.projection_dim = std::max<int64_t>(8, dim / 2);
+  config.seed = static_cast<uint64_t>(std::atoll(Get(args, "seed", "42").c_str()));
+  core::FitCellSideToNetwork(config, *network);
+
+  std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
+              static_cast<long long>(network->num_segments()),
+              static_cast<long long>(dim), config.max_epochs);
+  core::SarnModel model(*network, config);
+  core::TrainStats stats = model.Train();
+  std::printf("done: %d epochs, loss %.4f, %.1fs\n", stats.epochs_run, stats.final_loss,
+              stats.seconds);
+
+  std::string weights = Get(args, "weights");
+  if (!weights.empty()) {
+    if (!model.SaveWeights(weights)) return Fail("train: cannot write " + weights);
+    std::printf("weights -> %s\n", weights.c_str());
+  }
+  std::string embeddings_path = Get(args, "embeddings");
+  if (!embeddings_path.empty()) {
+    if (!SaveEmbeddingsCsv(model.Embeddings(), embeddings_path)) {
+      return Fail("train: cannot write " + embeddings_path);
+    }
+    std::printf("embeddings -> %s\n", embeddings_path.c_str());
+  }
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  auto network = roadnet::LoadRoadNetworkCsv(Get(args, "network"));
+  if (!network.has_value()) return Fail("export: cannot load --network");
+  auto embeddings = LoadEmbeddingsCsv(Get(args, "embeddings"));
+  if (!embeddings.has_value()) return Fail("export: cannot load --embeddings");
+  if (embeddings->shape()[0] != network->num_segments()) {
+    return Fail("export: embeddings row count != segment count");
+  }
+  std::string out = Get(args, "out", "atlas.geojson");
+  tensor::PcaResult pca = tensor::Pca(*embeddings, 1);
+  roadnet::GeoJsonOptions options;
+  for (int64_t i = 0; i < network->num_segments(); ++i) {
+    options.values.push_back(pca.projections.at(i, 0));
+  }
+  if (!ExportGeoJson(*network, out, options)) return Fail("export: cannot write " + out);
+  std::printf("wrote %s (colored by first principal component)\n", out.c_str());
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  auto network = roadnet::LoadRoadNetworkCsv(Get(args, "network"));
+  if (!network.has_value()) return Fail("eval: cannot load --network");
+  auto embeddings = LoadEmbeddingsCsv(Get(args, "embeddings"));
+  if (!embeddings.has_value()) return Fail("eval: cannot load --embeddings");
+  if (embeddings->shape()[0] != network->num_segments()) {
+    return Fail("eval: embeddings row count != segment count");
+  }
+  std::string which = Get(args, "task", "all");
+  tasks::FrozenEmbeddingSource source(*embeddings);
+
+  if (which == "property" || which == "all") {
+    tasks::RoadPropertyTask task(*network, {});
+    tasks::RoadPropertyResult r = task.Evaluate(source);
+    std::printf("road property:   F1 %.2f%%  AUC %.2f%%  (%lld labeled, %lld classes)\n",
+                100.0 * r.f1, 100.0 * r.auc, static_cast<long long>(r.num_labeled),
+                static_cast<long long>(r.num_classes));
+  }
+  if (which == "spd" || which == "all") {
+    tasks::SpdTask task(*network, {});
+    tasks::SpdResult r = task.Evaluate(source);
+    std::printf("shortest path:   MRE %.2f%%  MAE %.0f m  (%lld pairs)\n", 100.0 * r.mre,
+                r.mae_meters, static_cast<long long>(r.num_test_pairs));
+  }
+  if (which == "traj" || which == "all") {
+    traj::TrajectoryGeneratorConfig generator_config;
+    generator_config.min_route_segments = 8;
+    traj::TrajectoryGenerator generator(*network, generator_config);
+    traj::MapMatcher matcher(*network);
+    std::vector<traj::MatchedTrajectory> matched;
+    for (const auto& trip : generator.Generate(200)) {
+      traj::MatchedTrajectory m = matcher.Match(trip.gps);
+      if (m.segments.size() >= 2) matched.push_back(traj::TruncateSegments(m, 60));
+    }
+    tasks::TrajectorySimilarityTask task(*network, matched, {});
+    tasks::TrajSimResult r = task.Evaluate(source);
+    std::printf("trajectory sim:  HR@5 %.1f%%  HR@20 %.1f%%  R5@20 %.1f%%\n",
+                100.0 * r.hr5, 100.0 * r.hr20, 100.0 * r.r5_20);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: sarn <command> [--key value ...]\n"
+      "  generate   --city CD|BJ|SF --scale 0.05 --out net.csv\n"
+      "  import-osm --in extract.osm --out net.csv\n"
+      "  train      --network net.csv [--epochs N] [--dim D] [--seed S]\n"
+      "             [--weights model.ckpt] [--embeddings emb.csv]\n"
+      "  export     --network net.csv --embeddings emb.csv --out atlas.geojson\n"
+      "  eval       --network net.csv --embeddings emb.csv [--task property|spd|traj|all]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "import-osm") return CmdImportOsm(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "export") return CmdExport(args);
+  if (command == "eval") return CmdEval(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sarn::cli
+
+int main(int argc, char** argv) { return sarn::cli::Main(argc, argv); }
