@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_travel_time.dir/bench_ext_travel_time.cc.o"
+  "CMakeFiles/bench_ext_travel_time.dir/bench_ext_travel_time.cc.o.d"
+  "bench_ext_travel_time"
+  "bench_ext_travel_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_travel_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_params.dir/bench_fig6_params.cc.o"
+  "CMakeFiles/bench_fig6_params.dir/bench_fig6_params.cc.o.d"
+  "bench_fig6_params"
+  "bench_fig6_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o" "gcc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sarn_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/sarn_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sarn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sarn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sarn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sarn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/sarn_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sarn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sarn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sarn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sarn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

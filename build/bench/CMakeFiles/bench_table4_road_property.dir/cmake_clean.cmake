@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_road_property.dir/bench_table4_road_property.cc.o"
+  "CMakeFiles/bench_table4_road_property.dir/bench_table4_road_property.cc.o.d"
+  "bench_table4_road_property"
+  "bench_table4_road_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_road_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_traj_similarity.dir/bench_table5_traj_similarity.cc.o"
+  "CMakeFiles/bench_table5_traj_similarity.dir/bench_table5_traj_similarity.cc.o.d"
+  "bench_table5_traj_similarity"
+  "bench_table5_traj_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_traj_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_spd.dir/bench_table6_spd.cc.o"
+  "CMakeFiles/bench_table6_spd.dir/bench_table6_spd.cc.o.d"
+  "bench_table6_spd"
+  "bench_table6_spd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_spd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_traj_length.dir/bench_table7_traj_length.cc.o"
+  "CMakeFiles/bench_table7_traj_length.dir/bench_table7_traj_length.cc.o.d"
+  "bench_table7_traj_length"
+  "bench_table7_traj_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_traj_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/sarn_bench_common.dir/bench_common.cc.o.d"
+  "libsarn_bench_common.a"
+  "libsarn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

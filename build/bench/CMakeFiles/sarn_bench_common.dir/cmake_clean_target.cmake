@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsarn_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_oracle.dir/distance_oracle.cpp.o"
+  "CMakeFiles/distance_oracle.dir/distance_oracle.cpp.o.d"
+  "distance_oracle"
+  "distance_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

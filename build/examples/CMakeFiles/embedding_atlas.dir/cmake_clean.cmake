@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_atlas.dir/embedding_atlas.cpp.o"
+  "CMakeFiles/embedding_atlas.dir/embedding_atlas.cpp.o.d"
+  "embedding_atlas"
+  "embedding_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_search.dir/trajectory_search.cpp.o"
+  "CMakeFiles/trajectory_search.dir/trajectory_search.cpp.o.d"
+  "trajectory_search"
+  "trajectory_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gca.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/gca.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/gca.cc.o.d"
+  "/root/repo/src/baselines/graphcl.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/graphcl.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/graphcl.cc.o.d"
+  "/root/repo/src/baselines/hrnr_lite.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/hrnr_lite.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/hrnr_lite.cc.o.d"
+  "/root/repo/src/baselines/neutraj_lite.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/neutraj_lite.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/neutraj_lite.cc.o.d"
+  "/root/repo/src/baselines/node2vec.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/node2vec.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/node2vec.cc.o.d"
+  "/root/repo/src/baselines/rne_lite.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/rne_lite.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/rne_lite.cc.o.d"
+  "/root/repo/src/baselines/srn2vec.cc" "src/baselines/CMakeFiles/sarn_baselines.dir/srn2vec.cc.o" "gcc" "src/baselines/CMakeFiles/sarn_baselines.dir/srn2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sarn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sarn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sarn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sarn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sarn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_baselines.dir/gca.cc.o"
+  "CMakeFiles/sarn_baselines.dir/gca.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/graphcl.cc.o"
+  "CMakeFiles/sarn_baselines.dir/graphcl.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/hrnr_lite.cc.o"
+  "CMakeFiles/sarn_baselines.dir/hrnr_lite.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/neutraj_lite.cc.o"
+  "CMakeFiles/sarn_baselines.dir/neutraj_lite.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/node2vec.cc.o"
+  "CMakeFiles/sarn_baselines.dir/node2vec.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/rne_lite.cc.o"
+  "CMakeFiles/sarn_baselines.dir/rne_lite.cc.o.d"
+  "CMakeFiles/sarn_baselines.dir/srn2vec.cc.o"
+  "CMakeFiles/sarn_baselines.dir/srn2vec.cc.o.d"
+  "libsarn_baselines.a"
+  "libsarn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_common.dir/csv.cc.o"
+  "CMakeFiles/sarn_common.dir/csv.cc.o.d"
+  "CMakeFiles/sarn_common.dir/logging.cc.o"
+  "CMakeFiles/sarn_common.dir/logging.cc.o.d"
+  "CMakeFiles/sarn_common.dir/parallel.cc.o"
+  "CMakeFiles/sarn_common.dir/parallel.cc.o.d"
+  "CMakeFiles/sarn_common.dir/rng.cc.o"
+  "CMakeFiles/sarn_common.dir/rng.cc.o.d"
+  "CMakeFiles/sarn_common.dir/string_util.cc.o"
+  "CMakeFiles/sarn_common.dir/string_util.cc.o.d"
+  "libsarn_common.a"
+  "libsarn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_core.dir/augmentation.cc.o"
+  "CMakeFiles/sarn_core.dir/augmentation.cc.o.d"
+  "CMakeFiles/sarn_core.dir/negative_queue.cc.o"
+  "CMakeFiles/sarn_core.dir/negative_queue.cc.o.d"
+  "CMakeFiles/sarn_core.dir/sarn_model.cc.o"
+  "CMakeFiles/sarn_core.dir/sarn_model.cc.o.d"
+  "CMakeFiles/sarn_core.dir/spatial_similarity.cc.o"
+  "CMakeFiles/sarn_core.dir/spatial_similarity.cc.o.d"
+  "libsarn_core.a"
+  "libsarn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_geo.dir/grid.cc.o"
+  "CMakeFiles/sarn_geo.dir/grid.cc.o.d"
+  "CMakeFiles/sarn_geo.dir/point.cc.o"
+  "CMakeFiles/sarn_geo.dir/point.cc.o.d"
+  "CMakeFiles/sarn_geo.dir/spatial_index.cc.o"
+  "CMakeFiles/sarn_geo.dir/spatial_index.cc.o.d"
+  "libsarn_geo.a"
+  "libsarn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/sarn_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/sarn_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/sarn_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/sarn_graph.dir/random_walk.cc.o"
+  "CMakeFiles/sarn_graph.dir/random_walk.cc.o.d"
+  "libsarn_graph.a"
+  "libsarn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

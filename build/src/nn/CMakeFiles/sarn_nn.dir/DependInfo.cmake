@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/sarn_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gat.cc" "src/nn/CMakeFiles/sarn_nn.dir/gat.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/gat.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/sarn_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/sarn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/sarn_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/sarn_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/projection_head.cc" "src/nn/CMakeFiles/sarn_nn.dir/projection_head.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/projection_head.cc.o.d"
+  "/root/repo/src/nn/sequence_util.cc" "src/nn/CMakeFiles/sarn_nn.dir/sequence_util.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/sequence_util.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/sarn_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/sarn_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sarn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sarn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sarn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

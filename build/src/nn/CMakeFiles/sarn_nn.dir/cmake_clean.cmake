@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_nn.dir/embedding.cc.o"
+  "CMakeFiles/sarn_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/gat.cc.o"
+  "CMakeFiles/sarn_nn.dir/gat.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/gru.cc.o"
+  "CMakeFiles/sarn_nn.dir/gru.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/linear.cc.o"
+  "CMakeFiles/sarn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/losses.cc.o"
+  "CMakeFiles/sarn_nn.dir/losses.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/module.cc.o"
+  "CMakeFiles/sarn_nn.dir/module.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/projection_head.cc.o"
+  "CMakeFiles/sarn_nn.dir/projection_head.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/sequence_util.cc.o"
+  "CMakeFiles/sarn_nn.dir/sequence_util.cc.o.d"
+  "CMakeFiles/sarn_nn.dir/serialization.cc.o"
+  "CMakeFiles/sarn_nn.dir/serialization.cc.o.d"
+  "libsarn_nn.a"
+  "libsarn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

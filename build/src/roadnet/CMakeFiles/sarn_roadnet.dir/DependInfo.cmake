@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/features.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/features.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/features.cc.o.d"
+  "/root/repo/src/roadnet/geojson.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/geojson.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/geojson.cc.o.d"
+  "/root/repo/src/roadnet/io.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/io.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/io.cc.o.d"
+  "/root/repo/src/roadnet/osm_import.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/osm_import.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/osm_import.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/road_network.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/road_network.cc.o.d"
+  "/root/repo/src/roadnet/road_types.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/road_types.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/road_types.cc.o.d"
+  "/root/repo/src/roadnet/synthetic_city.cc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/synthetic_city.cc.o" "gcc" "src/roadnet/CMakeFiles/sarn_roadnet.dir/synthetic_city.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sarn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sarn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_roadnet.dir/features.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/features.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/geojson.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/geojson.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/io.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/io.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/osm_import.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/osm_import.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/road_network.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/road_network.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/road_types.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/road_types.cc.o.d"
+  "CMakeFiles/sarn_roadnet.dir/synthetic_city.cc.o"
+  "CMakeFiles/sarn_roadnet.dir/synthetic_city.cc.o.d"
+  "libsarn_roadnet.a"
+  "libsarn_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

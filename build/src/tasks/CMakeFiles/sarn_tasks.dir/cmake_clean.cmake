@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_tasks.dir/embedding_index.cc.o"
+  "CMakeFiles/sarn_tasks.dir/embedding_index.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/metrics.cc.o"
+  "CMakeFiles/sarn_tasks.dir/metrics.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/representation_quality.cc.o"
+  "CMakeFiles/sarn_tasks.dir/representation_quality.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/road_property_task.cc.o"
+  "CMakeFiles/sarn_tasks.dir/road_property_task.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/spd_task.cc.o"
+  "CMakeFiles/sarn_tasks.dir/spd_task.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/splits.cc.o"
+  "CMakeFiles/sarn_tasks.dir/splits.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/traj_similarity_task.cc.o"
+  "CMakeFiles/sarn_tasks.dir/traj_similarity_task.cc.o.d"
+  "CMakeFiles/sarn_tasks.dir/travel_time_task.cc.o"
+  "CMakeFiles/sarn_tasks.dir/travel_time_task.cc.o.d"
+  "libsarn_tasks.a"
+  "libsarn_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

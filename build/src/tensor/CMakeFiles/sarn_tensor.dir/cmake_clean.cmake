@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_tensor.dir/ops.cc.o"
+  "CMakeFiles/sarn_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/sarn_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/sarn_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/sarn_tensor.dir/pca.cc.o"
+  "CMakeFiles/sarn_tensor.dir/pca.cc.o.d"
+  "CMakeFiles/sarn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sarn_tensor.dir/tensor.cc.o.d"
+  "libsarn_tensor.a"
+  "libsarn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/frechet.cc" "src/traj/CMakeFiles/sarn_traj.dir/frechet.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/frechet.cc.o.d"
+  "/root/repo/src/traj/io.cc" "src/traj/CMakeFiles/sarn_traj.dir/io.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/io.cc.o.d"
+  "/root/repo/src/traj/map_matching.cc" "src/traj/CMakeFiles/sarn_traj.dir/map_matching.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/map_matching.cc.o.d"
+  "/root/repo/src/traj/similarity_metrics.cc" "src/traj/CMakeFiles/sarn_traj.dir/similarity_metrics.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/similarity_metrics.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/sarn_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/trajectory.cc.o.d"
+  "/root/repo/src/traj/trajectory_generator.cc" "src/traj/CMakeFiles/sarn_traj.dir/trajectory_generator.cc.o" "gcc" "src/traj/CMakeFiles/sarn_traj.dir/trajectory_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sarn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sarn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/sarn_roadnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_traj.dir/frechet.cc.o"
+  "CMakeFiles/sarn_traj.dir/frechet.cc.o.d"
+  "CMakeFiles/sarn_traj.dir/io.cc.o"
+  "CMakeFiles/sarn_traj.dir/io.cc.o.d"
+  "CMakeFiles/sarn_traj.dir/map_matching.cc.o"
+  "CMakeFiles/sarn_traj.dir/map_matching.cc.o.d"
+  "CMakeFiles/sarn_traj.dir/similarity_metrics.cc.o"
+  "CMakeFiles/sarn_traj.dir/similarity_metrics.cc.o.d"
+  "CMakeFiles/sarn_traj.dir/trajectory.cc.o"
+  "CMakeFiles/sarn_traj.dir/trajectory.cc.o.d"
+  "CMakeFiles/sarn_traj.dir/trajectory_generator.cc.o"
+  "CMakeFiles/sarn_traj.dir/trajectory_generator.cc.o.d"
+  "libsarn_traj.a"
+  "libsarn_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_test.dir/augmentation_test.cc.o"
+  "CMakeFiles/augmentation_test.dir/augmentation_test.cc.o.d"
+  "augmentation_test"
+  "augmentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stat_test.dir/bench_stat_test.cc.o"
+  "CMakeFiles/bench_stat_test.dir/bench_stat_test.cc.o.d"
+  "bench_stat_test"
+  "bench_stat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

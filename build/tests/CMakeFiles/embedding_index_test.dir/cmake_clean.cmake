@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_index_test.dir/embedding_index_test.cc.o"
+  "CMakeFiles/embedding_index_test.dir/embedding_index_test.cc.o.d"
+  "embedding_index_test"
+  "embedding_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_surface_test.dir/misc_surface_test.cc.o"
+  "CMakeFiles/misc_surface_test.dir/misc_surface_test.cc.o.d"
+  "misc_surface_test"
+  "misc_surface_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

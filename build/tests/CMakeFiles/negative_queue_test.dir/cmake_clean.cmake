@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_queue_test.dir/negative_queue_test.cc.o"
+  "CMakeFiles/negative_queue_test.dir/negative_queue_test.cc.o.d"
+  "negative_queue_test"
+  "negative_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_gat_test.dir/nn_gat_test.cc.o"
+  "CMakeFiles/nn_gat_test.dir/nn_gat_test.cc.o.d"
+  "nn_gat_test"
+  "nn_gat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_gat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

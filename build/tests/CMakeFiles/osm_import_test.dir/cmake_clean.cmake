@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_import_test.dir/osm_import_test.cc.o"
+  "CMakeFiles/osm_import_test.dir/osm_import_test.cc.o.d"
+  "osm_import_test"
+  "osm_import_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

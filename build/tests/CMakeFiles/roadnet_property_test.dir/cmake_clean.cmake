@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_property_test.dir/roadnet_property_test.cc.o"
+  "CMakeFiles/roadnet_property_test.dir/roadnet_property_test.cc.o.d"
+  "roadnet_property_test"
+  "roadnet_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

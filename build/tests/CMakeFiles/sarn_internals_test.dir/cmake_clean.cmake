@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_internals_test.dir/sarn_internals_test.cc.o"
+  "CMakeFiles/sarn_internals_test.dir/sarn_internals_test.cc.o.d"
+  "sarn_internals_test"
+  "sarn_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

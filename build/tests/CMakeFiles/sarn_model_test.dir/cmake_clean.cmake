@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_model_test.dir/sarn_model_test.cc.o"
+  "CMakeFiles/sarn_model_test.dir/sarn_model_test.cc.o.d"
+  "sarn_model_test"
+  "sarn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_util_test.dir/sequence_util_test.cc.o"
+  "CMakeFiles/sequence_util_test.dir/sequence_util_test.cc.o.d"
+  "sequence_util_test"
+  "sequence_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_metrics_test.dir/similarity_metrics_test.cc.o"
+  "CMakeFiles/similarity_metrics_test.dir/similarity_metrics_test.cc.o.d"
+  "similarity_metrics_test"
+  "similarity_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

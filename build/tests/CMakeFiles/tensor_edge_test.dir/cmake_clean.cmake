@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_edge_test.dir/tensor_edge_test.cc.o"
+  "CMakeFiles/tensor_edge_test.dir/tensor_edge_test.cc.o.d"
+  "tensor_edge_test"
+  "tensor_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_io_test.dir/traj_io_test.cc.o"
+  "CMakeFiles/traj_io_test.dir/traj_io_test.cc.o.d"
+  "traj_io_test"
+  "traj_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

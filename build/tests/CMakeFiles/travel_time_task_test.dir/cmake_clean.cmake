@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_time_task_test.dir/travel_time_task_test.cc.o"
+  "CMakeFiles/travel_time_task_test.dir/travel_time_task_test.cc.o.d"
+  "travel_time_task_test"
+  "travel_time_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_time_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

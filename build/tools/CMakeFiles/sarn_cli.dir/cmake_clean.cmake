@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarn_cli.dir/sarn_cli.cc.o"
+  "CMakeFiles/sarn_cli.dir/sarn_cli.cc.o.d"
+  "sarn"
+  "sarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sarn_cli_pipeline "/usr/bin/cmake" "-DSARN_CLI=/root/repo/build/tools/sarn" "-DWORK_DIR=/root/repo/build/tools/cli_smoke" "-P" "/root/repo/tools/cli_smoke_test.cmake")
+set_tests_properties(sarn_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
