@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/augmentation.h"
 #include "core/negative_queue.h"
@@ -12,11 +16,24 @@
 #include "nn/gat.h"
 #include "roadnet/features.h"
 #include "roadnet/synthetic_city.h"
+#include "tensor/matmul_kernels.h"
 #include "tensor/ops.h"
 #include "traj/frechet.h"
 
 namespace sarn {
 namespace {
+
+/// Pins the parallel thread count for the duration of one benchmark.
+class ThreadPin {
+ public:
+  explicit ThreadPin(size_t threads) : previous_(GetParallelThreads()) {
+    SetParallelThreads(threads);
+  }
+  ~ThreadPin() { SetParallelThreads(previous_); }
+
+ private:
+  size_t previous_;
+};
 
 const roadnet::RoadNetwork& TestNetwork() {
   static const roadnet::RoadNetwork& network = *new roadnet::RoadNetwork([] {
@@ -27,6 +44,121 @@ const roadnet::RoadNetwork& TestNetwork() {
   }());
   return network;
 }
+
+// --- Parallel runtime dispatch ----------------------------------------------
+// Latency of handing an (almost) empty body to the persistent pool, vs the
+// seed implementation's spawn-and-join-per-call strategy. Run with 4 logical
+// threads regardless of the host so the two are comparable.
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  ThreadPin pin(4);
+  std::vector<float> sink(4096, 1.0f);
+  for (auto _ : state) {
+    ParallelFor(
+        sink.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) sink[i] += 1.0f;
+        },
+        /*grain=*/1);
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch);
+
+void BM_SpawnJoinDispatch(benchmark::State& state) {
+  // What ParallelFor cost before the persistent pool: fresh std::threads per
+  // invocation (the seed's implementation, reproduced verbatim).
+  std::vector<float> sink(4096, 1.0f);
+  const size_t threads = 4;
+  for (auto _ : state) {
+    size_t n = sink.size();
+    size_t chunk = (n + threads - 1) / threads;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      size_t begin = t * chunk;
+      size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back([&sink, begin, end] {
+        for (size_t i = begin; i < end; ++i) sink[i] += 1.0f;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_SpawnJoinDispatch);
+
+// --- MatMul kernels ---------------------------------------------------------
+// Raw kernel comparison (no autograd/tensor overhead): the seed's naive
+// i/k/j loops vs the register-tiled kernels that replaced them.
+
+template <void (*Kernel)(const float*, const float*, float*, int64_t, int64_t,
+                         int64_t, int64_t)>
+void BM_MatMulKernel(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, rng);
+  std::vector<float> c(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    Kernel(a.data().data(), b.data().data(), c.data(), 0, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulKernel<tensor::kernels::MatMulNaive>)
+    ->Name("BM_MatMulKernelNaive")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512);
+BENCHMARK(BM_MatMulKernel<tensor::kernels::MatMulBlocked>)
+    ->Name("BM_MatMulKernelBlocked")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512);
+
+template <void (*Kernel)(const float*, const float*, float*, int64_t, int64_t,
+                         int64_t, int64_t)>
+void BM_MatMulGradAKernel(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor g = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, rng);
+  std::vector<float> da(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    Kernel(g.data().data(), b.data().data(), da.data(), 0, n, n, n);
+    benchmark::DoNotOptimize(da.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulGradAKernel<tensor::kernels::MatMulGradANaive>)
+    ->Name("BM_MatMulGradAKernelNaive")
+    ->Arg(256);
+BENCHMARK(BM_MatMulGradAKernel<tensor::kernels::MatMulGradABlocked>)
+    ->Name("BM_MatMulGradAKernelBlocked")
+    ->Arg(256);
+
+template <void (*Kernel)(const float*, const float*, float*, int64_t, int64_t,
+                         int64_t, int64_t, int64_t)>
+void BM_MatMulGradBKernel(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor g = tensor::Tensor::Randn({n, n}, rng);
+  std::vector<float> db(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    Kernel(a.data().data(), g.data().data(), db.data(), 0, n, n, n, n);
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulGradBKernel<tensor::kernels::MatMulGradBNaive>)
+    ->Name("BM_MatMulGradBKernelNaive")
+    ->Arg(256);
+BENCHMARK(BM_MatMulGradBKernel<tensor::kernels::MatMulGradBBlocked>)
+    ->Name("BM_MatMulGradBKernelBlocked")
+    ->Arg(256);
 
 void BM_MatMul(benchmark::State& state) {
   int64_t n = state.range(0);
@@ -68,6 +200,68 @@ void BM_GatForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * network.num_segments());
 }
 BENCHMARK(BM_GatForward);
+
+void BM_GatForwardPerHeadReference(benchmark::State& state) {
+  // The seed's forward, reproduced from public ops: one matmul per head and
+  // self-loop lists rebuilt on every call. Compare against BM_GatForward
+  // (fused wide matmul + cached self loops) to measure the fusion win.
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(2);
+  const int num_heads = 4;
+  const int64_t in_dim = 32, head_dim = 16;
+  std::vector<tensor::Tensor> weight, att_src, att_dst;
+  for (int h = 0; h < num_heads; ++h) {
+    weight.push_back(tensor::Tensor::GlorotUniform(in_dim, head_dim, rng));
+    att_src.push_back(tensor::Tensor::GlorotUniform(head_dim, 1, rng));
+    att_dst.push_back(tensor::Tensor::GlorotUniform(head_dim, 1, rng));
+  }
+  int64_t n = network.num_segments();
+  tensor::Tensor x = tensor::Tensor::Randn({n, in_dim}, rng);
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) edges.Add(e.from, e.to);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    std::vector<int64_t> src = edges.src;
+    std::vector<int64_t> dst = edges.dst;
+    for (int64_t v = 0; v < n; ++v) {
+      src.push_back(v);
+      dst.push_back(v);
+    }
+    int64_t e_count = static_cast<int64_t>(src.size());
+    std::vector<tensor::Tensor> heads;
+    for (int h = 0; h < num_heads; ++h) {
+      tensor::Tensor wx = tensor::MatMul(x, weight[h]);
+      tensor::Tensor score_dst = tensor::MatMul(wx, att_dst[h]);
+      tensor::Tensor score_src = tensor::MatMul(wx, att_src[h]);
+      tensor::Tensor scores = tensor::LeakyRelu(
+          tensor::Add(tensor::Rows(score_dst, dst), tensor::Rows(score_src, src)), 0.2f);
+      tensor::Tensor alpha =
+          tensor::EdgeSoftmax(tensor::Reshape(scores, {e_count}), dst, n);
+      tensor::Tensor messages = tensor::ScaleRows(tensor::Rows(wx, src), alpha);
+      heads.push_back(tensor::ScatterAddRows(messages, dst, n));
+    }
+    benchmark::DoNotOptimize(tensor::Elu(tensor::Concat(heads, 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GatForwardPerHeadReference);
+
+void BM_GatEncoderForward(benchmark::State& state) {
+  // Full 3-layer, 4-head encoder forward — the shape of the training hot
+  // path (paper configuration, minus autograd).
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(2);
+  nn::GatEncoder encoder(32, 64, 32, /*num_layers=*/3, /*num_heads=*/4, rng);
+  tensor::Tensor x = tensor::Tensor::Randn({network.num_segments(), 32}, rng);
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) edges.Add(e.from, e.to);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(x, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * network.num_segments());
+}
+BENCHMARK(BM_GatEncoderForward);
 
 void BM_GatForwardBackward(benchmark::State& state) {
   const roadnet::RoadNetwork& network = TestNetwork();

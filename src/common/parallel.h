@@ -1,7 +1,17 @@
-// Minimal parallel-for over std::thread, used by the hot numeric kernels
-// (matmul, GAT message passing, A^s construction). Falls back to serial
-// execution for small ranges, and the thread count can be pinned globally
-// (tests pin it to 1 for determinism where order matters).
+// Parallel-for over a persistent worker pool, used by the hot numeric
+// kernels (matmul, GAT message passing, A^s construction).
+//
+// Workers are spawned once (lazily, on first use) and park on a condition
+// variable between calls, so ParallelFor costs a wake/notify instead of a
+// thread spawn+join per invocation. Work is distributed dynamically in
+// chunks of at least `grain` items; the calling thread participates, so a
+// ParallelFor always completes even if every worker is busy elsewhere.
+// Falls back to serial execution for small ranges, when the pool is pinned
+// to one thread, or when called from inside another ParallelFor body
+// (nested calls run inline rather than deadlocking on the shared pool).
+//
+// The thread count can be pinned globally; tests pin it to 1 for
+// determinism where accumulation order matters.
 
 #ifndef SARN_COMMON_PARALLEL_H_
 #define SARN_COMMON_PARALLEL_H_
@@ -11,17 +21,31 @@
 
 namespace sarn {
 
-/// Number of worker threads parallel-for may use (defaults to hardware
-/// concurrency capped at 8).
+/// Number of threads ParallelFor may use, including the calling thread
+/// (defaults to hardware concurrency capped at 8). Thread-safe; the
+/// underlying pool is initialised exactly once.
 size_t GetParallelThreads();
+
+/// Resizes the worker pool to `threads - 1` persistent workers (the caller
+/// is the remaining thread); 0 is clamped to 1. Joins the old workers
+/// before spawning the new ones, so it is safe to call between parallel
+/// regions from any thread.
 void SetParallelThreads(size_t threads);
 
-/// Runs body(begin, end) over a partition of [0, n) across threads. `body`
-/// must be safe to call concurrently on disjoint ranges. Serial when the
-/// range is small (fewer than `grain` items) or threads == 1. Pass a small
-/// `grain` when each item is expensive (e.g., a matrix row).
+/// Runs body(begin, end) over a partition of [0, n) across the pool. `body`
+/// must be safe to call concurrently on disjoint ranges, and may be invoked
+/// several times per thread (dynamic chunking). Serial when the range is
+/// small (fewer than `grain` items), when threads == 1, or when already
+/// inside a ParallelFor body. Pass a small `grain` when each item is
+/// expensive (e.g., a matrix row). Exceptions thrown by `body` are caught
+/// in the worker, the remaining chunks still run, and the first exception
+/// is rethrown on the calling thread after the region completes.
 void ParallelFor(size_t n, const std::function<void(size_t begin, size_t end)>& body,
                  size_t grain = 2048);
+
+/// True while the current thread is executing a ParallelFor body (nested
+/// calls therefore run serially). Exposed for tests and assertions.
+bool InParallelRegion();
 
 }  // namespace sarn
 

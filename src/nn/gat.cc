@@ -7,6 +7,22 @@ namespace sarn::nn {
 
 using tensor::Tensor;
 
+const EdgeList& EdgeList::WithSelfLoops(int64_t num_vertices) const {
+  if (!self_loop_cache_ || cached_vertices_ != num_vertices ||
+      cached_edges_ != src.size()) {
+    auto augmented = std::make_shared<EdgeList>();
+    augmented->src.reserve(src.size() + static_cast<size_t>(num_vertices));
+    augmented->dst.reserve(dst.size() + static_cast<size_t>(num_vertices));
+    augmented->src = src;
+    augmented->dst = dst;
+    for (int64_t v = 0; v < num_vertices; ++v) augmented->Add(v, v);
+    self_loop_cache_ = std::move(augmented);
+    cached_vertices_ = num_vertices;
+    cached_edges_ = src.size();
+  }
+  return *self_loop_cache_;
+}
+
 GatLayer::GatLayer(int64_t in_dim, int64_t head_dim, int num_heads, bool concat_heads,
                    Activation activation, Rng& rng, float leaky_relu_slope,
                    bool add_self_loops, bool residual, bool use_attention)
@@ -33,43 +49,47 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
   SARN_CHECK_EQ(x.rank(), 2);
   int64_t n = x.shape()[0];
   // Self-loops make every vertex attend to itself; without them isolated
-  // vertices (possible after aggressive augmentation) would emit zeros.
-  const std::vector<int64_t>* src = &edges.src;
-  const std::vector<int64_t>* dst = &edges.dst;
-  std::vector<int64_t> src_aug, dst_aug;
-  if (add_self_loops_) {
-    src_aug = edges.src;
-    dst_aug = edges.dst;
-    src_aug.reserve(src_aug.size() + n);
-    dst_aug.reserve(dst_aug.size() + n);
-    for (int64_t v = 0; v < n; ++v) {
-      src_aug.push_back(v);
-      dst_aug.push_back(v);
-    }
-    src = &src_aug;
-    dst = &dst_aug;
+  // vertices (possible after aggressive augmentation) would emit zeros. The
+  // augmented list is cached on the EdgeList, so a whole encoder stack (and
+  // repeated Forward calls on the same view) builds it once.
+  const EdgeList& graph = add_self_loops_ ? edges.WithSelfLoops(n) : edges;
+  const std::vector<int64_t>& src = graph.src;
+  const std::vector<int64_t>& dst = graph.dst;
+  int64_t e_count = static_cast<int64_t>(src.size());
+
+  // Fused per-head projection: one [n, in] x [in, num_heads * head_dim]
+  // matmul instead of num_heads separate ones — the wide kernel amortises
+  // dispatch and keeps x in cache across heads. Concat is differentiable,
+  // so each head's weight still receives its own gradient slice.
+  Tensor wx_all = num_heads_ == 1 ? tensor::MatMul(x, weight_[0])
+                                  : tensor::MatMul(x, tensor::Concat(weight_, 1));
+
+  // Footnote-1 ablation: softmax of constant scores = uniform mean over each
+  // vertex's incoming edges; identical for every head, so computed once.
+  Tensor uniform_alpha;
+  if (!use_attention_) {
+    uniform_alpha = tensor::EdgeSoftmax(Tensor::Zeros({e_count}), dst, n);
   }
-  int64_t e_count = static_cast<int64_t>(src->size());
 
   std::vector<Tensor> head_outputs;
   head_outputs.reserve(num_heads_);
   for (int h = 0; h < num_heads_; ++h) {
-    Tensor wx = tensor::MatMul(x, weight_[h]);  // [n, head_dim]
+    Tensor wx = num_heads_ == 1
+                    ? wx_all
+                    : tensor::ColsRange(wx_all, h * head_dim_, head_dim_);  // [n, head_dim]
     Tensor alpha;
     if (use_attention_) {
       Tensor score_src = tensor::MatMul(wx, att_src_[h]);  // [n, 1]
       Tensor score_dst = tensor::MatMul(wx, att_dst_[h]);  // [n, 1]
       Tensor e = tensor::LeakyRelu(
-          tensor::Add(tensor::Rows(score_dst, *dst), tensor::Rows(score_src, *src)),
+          tensor::Add(tensor::Rows(score_dst, dst), tensor::Rows(score_src, src)),
           leaky_relu_slope_);  // [E, 1]
-      alpha = tensor::EdgeSoftmax(tensor::Reshape(e, {e_count}), *dst, n);
+      alpha = tensor::EdgeSoftmax(tensor::Reshape(e, {e_count}), dst, n);
     } else {
-      // Footnote-1 ablation: softmax of constant scores = uniform mean over
-      // each vertex's incoming edges.
-      alpha = tensor::EdgeSoftmax(Tensor::Zeros({e_count}), *dst, n);
+      alpha = uniform_alpha;
     }
-    Tensor messages = tensor::ScaleRows(tensor::Rows(wx, *src), alpha);
-    head_outputs.push_back(tensor::ScatterAddRows(messages, *dst, n));  // [n, head_dim]
+    Tensor messages = tensor::ScaleRows(tensor::Rows(wx, src), alpha);
+    head_outputs.push_back(tensor::ScatterAddRows(messages, dst, n));  // [n, head_dim]
   }
 
   Tensor combined;

@@ -10,6 +10,7 @@
 #define SARN_NN_GAT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/linear.h"
@@ -28,6 +29,19 @@ struct EdgeList {
     src.push_back(s);
     dst.push_back(d);
   }
+
+  /// This edge list with one self-loop per vertex appended, built lazily and
+  /// cached on the instance: a GAT stack augments the same graph view once
+  /// instead of once per layer per Forward call. The cache is invalidated
+  /// when the edge count or vertex count changes (the only mutator, Add,
+  /// changes the count). Copies share the cache. Not safe to call
+  /// concurrently on the same instance (same contract as Tensor).
+  const EdgeList& WithSelfLoops(int64_t num_vertices) const;
+
+ private:
+  mutable std::shared_ptr<const EdgeList> self_loop_cache_;
+  mutable int64_t cached_vertices_ = -1;
+  mutable size_t cached_edges_ = 0;
 };
 
 /// One multi-head GAT layer.

@@ -1,0 +1,52 @@
+// Raw float matmul kernels behind tensor::MatMul — forward and both
+// backward products — in two variants each:
+//
+//   *Naive:   the straightforward i/k/j (resp. dot-product) loops the seed
+//             implementation used. Kept as the golden reference for
+//             equivalence tests and as the baseline in bench_micro_kernels.
+//   *Blocked: register-tiled kernels. The output is computed in kMr x kNr
+//             tiles held in registers across the whole k-reduction, so each
+//             A element is reused kNr times and each B row kMr times per
+//             load instead of being re-streamed from cache per scalar. The
+//             reduction order per output element is unchanged (ascending
+//             k for the forward / dB, ascending j for dA), so results match
+//             the naive kernels bit-for-bit on finite inputs.
+//
+// All kernels operate on a row range [row_begin, row_end) of the output so
+// ParallelFor can partition them; `c` is accumulated into (callers zero or
+// pre-seed it).
+
+#ifndef SARN_TENSOR_MATMUL_KERNELS_H_
+#define SARN_TENSOR_MATMUL_KERNELS_H_
+
+#include <cstdint>
+
+namespace sarn::tensor::kernels {
+
+/// Register tile height (output rows) and width (output cols) of the
+/// blocked kernels. kMr * kNr accumulators must fit the register file with
+/// room for operands (4 x 16 floats = 8 SSE / 4 AVX2 vectors).
+inline constexpr int64_t kMr = 4;
+inline constexpr int64_t kNr = 16;
+
+/// C[i,:] += A[i,:] * B for i in [row_begin, row_end). A: [m,k], B: [k,n].
+void MatMulNaive(const float* a, const float* b, float* c, int64_t row_begin,
+                 int64_t row_end, int64_t k, int64_t n);
+void MatMulBlocked(const float* a, const float* b, float* c, int64_t row_begin,
+                   int64_t row_end, int64_t k, int64_t n);
+
+/// dA[i,:] += G[i,:] * B^T for i in [row_begin, row_end). G: [m,n], B: [k,n].
+void MatMulGradANaive(const float* g, const float* b, float* da, int64_t row_begin,
+                      int64_t row_end, int64_t k, int64_t n);
+void MatMulGradABlocked(const float* g, const float* b, float* da, int64_t row_begin,
+                        int64_t row_end, int64_t k, int64_t n);
+
+/// dB[kk,:] += (A^T * G)[kk,:] for kk in [row_begin, row_end). A: [m,k], G: [m,n].
+void MatMulGradBNaive(const float* a, const float* g, float* db, int64_t row_begin,
+                      int64_t row_end, int64_t m, int64_t k, int64_t n);
+void MatMulGradBBlocked(const float* a, const float* g, float* db, int64_t row_begin,
+                        int64_t row_end, int64_t m, int64_t k, int64_t n);
+
+}  // namespace sarn::tensor::kernels
+
+#endif  // SARN_TENSOR_MATMUL_KERNELS_H_

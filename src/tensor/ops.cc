@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "tensor/matmul_kernels.h"
 
 namespace sarn::tensor {
 namespace {
@@ -122,6 +123,15 @@ Tensor Reciprocal(const Tensor& a) {
   return UnaryOp(
       a, [](float x) { return 1.0f / x; },
       [](float, float out) { return -out * out; });
+}
+
+// Rows per parallel matmul chunk: >= ~64k multiply-adds each, rounded up to
+// the register-tile height so only a chunk's last tile can be partial.
+size_t MatMulRowGrain(int64_t reduce, int64_t cols) {
+  size_t grain =
+      std::max<size_t>(1, 65536 / static_cast<size_t>(std::max<int64_t>(1, reduce * cols)));
+  size_t mr = static_cast<size_t>(kernels::kMr);
+  return (grain + mr - 1) / mr * mr;
 }
 
 }  // namespace
@@ -255,21 +265,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bd = b.data().data();
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   float* od = out.data();
-  // Split so each chunk holds >= ~64k multiply-adds.
-  size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, k * n));
+  // Split so each chunk holds >= ~64k multiply-adds; chunks of kMr rows keep
+  // the register tiles full except at a range boundary.
+  size_t grain = MatMulRowGrain(k, n);
   ParallelFor(
       static_cast<size_t>(m),
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const float* arow = ad + i * k;
-          float* orow = od + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            float av = arow[kk];
-            if (av == 0.0f) continue;
-            const float* brow = bd + kk * n;
-            for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-          }
-        }
+        kernels::MatMulBlocked(ad, bd, od, static_cast<int64_t>(begin),
+                               static_cast<int64_t>(end), k, n);
       },
       grain);
   auto ai = a.impl();
@@ -281,43 +284,26 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       float* ga = ai->grad.data();
       const float* bd = bi->data.data();
       // dA = G * B^T : [m,n] x [n,k]
-      size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, k * n));
       ParallelFor(
           static_cast<size_t>(m),
           [&](size_t begin, size_t end) {
-            for (size_t i = begin; i < end; ++i) {
-              const float* grow = g + i * n;
-              float* garow = ga + i * k;
-              for (int64_t kk = 0; kk < k; ++kk) {
-                const float* brow = bd + kk * n;
-                float acc = 0.0f;
-                for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-                garow[kk] += acc;
-              }
-            }
+            kernels::MatMulGradABlocked(g, bd, ga, static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(end), k, n);
           },
-          grain);
+          MatMulRowGrain(k, n));
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
       float* gb = bi->grad.data();
       const float* ad = ai->data.data();
       // dB = A^T * G : [k,m] x [m,n]; parallel over k (rows of dB).
-      size_t grain = std::max<size_t>(1, 65536 / std::max<int64_t>(1, m * n));
       ParallelFor(
           static_cast<size_t>(k),
           [&](size_t begin, size_t end) {
-            for (size_t kk = begin; kk < end; ++kk) {
-              float* gbrow = gb + kk * n;
-              for (int64_t i = 0; i < m; ++i) {
-                float av = ad[i * k + kk];
-                if (av == 0.0f) continue;
-                const float* grow = g + i * n;
-                for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-              }
-            }
+            kernels::MatMulGradBBlocked(ad, g, gb, static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(end), m, k, n);
           },
-          grain);
+          MatMulRowGrain(m, n));
     }
   });
 }
@@ -622,6 +608,27 @@ Tensor TakePerRow(const Tensor& a, const std::vector<int64_t>& cols) {
     ai->EnsureGrad();
     for (size_t i = 0; i < cols.size(); ++i) {
       ai->grad[i * n + static_cast<size_t>(cols[i])] += o.grad[i];
+    }
+  });
+}
+
+Tensor ColsRange(const Tensor& a, int64_t col, int64_t count) {
+  SARN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.shape()[0], n = a.shape()[1];
+  SARN_CHECK(col >= 0 && count > 0 && col + count <= n)
+      << "ColsRange [" << col << ", " << col + count << ") of " << ShapeToString(a.shape());
+  std::vector<float> out(static_cast<size_t>(m * count));
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy_n(a.data().data() + i * n + col, count, out.data() + i * count);
+  }
+  auto ai = a.impl();
+  return MakeOpResult({m, count}, std::move(out), {a}, [ai, m, n, col, count](TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* g = o.grad.data() + i * count;
+      float* ga = ai->grad.data() + i * n + col;
+      for (int64_t j = 0; j < count; ++j) ga[j] += g[j];
     }
   });
 }

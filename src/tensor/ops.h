@@ -45,7 +45,8 @@ Tensor Sigmoid(const Tensor& a);
 Tensor Tanh(const Tensor& a);
 
 // --- Linear algebra ----------------------------------------------------------
-/// [m, k] x [k, n] -> [m, n]. Parallelised over output rows.
+/// [m, k] x [k, n] -> [m, n]. Register-tiled kernels (tensor/matmul_kernels.h)
+/// parallelised over output rows for the forward and both backward products.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// 2-D transpose (copies).
 Tensor Transpose(const Tensor& a);
@@ -75,6 +76,10 @@ Tensor ScaleRows(const Tensor& a, const Tensor& scale);
 Tensor Rows(const Tensor& a, const std::vector<int64_t>& indices);
 /// out[r] = a[r, cols[r]] -> [m]; the cross-entropy gather.
 Tensor TakePerRow(const Tensor& a, const std::vector<int64_t>& cols);
+/// Contiguous column slice of a [m, n] tensor: out = a[:, col : col + count].
+/// Backward scatter-adds into the sliced columns. This is the per-head view
+/// primitive for fused multi-head layers (one wide matmul, sliced per head).
+Tensor ColsRange(const Tensor& a, int64_t col, int64_t count);
 /// Concatenation of 2-D tensors along axis 0 (rows) or 1 (columns).
 Tensor Concat(const std::vector<Tensor>& parts, int axis);
 

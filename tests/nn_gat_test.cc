@@ -96,6 +96,171 @@ TEST(GatLayerTest, GradientsReachAllParameters) {
   }
 }
 
+TEST(GatLayerTest, FusedForwardMatchesPerHeadReference) {
+  // The layer now computes all heads through one wide matmul plus column
+  // slices. This golden test replays the seed's per-head formulation with
+  // the layer's exact weights (same Rng seed, same draw order as the
+  // constructor) and checks outputs AND all gradients agree.
+  const int64_t in_dim = 6, head_dim = 4, n = 7;
+  const int num_heads = 3;
+  Rng layer_rng(21);
+  GatLayer layer(in_dim, head_dim, num_heads, /*concat_heads=*/true, Activation::kElu,
+                 layer_rng);
+  Rng ref_rng(21);  // Mirrors the constructor's parameter draws.
+  std::vector<Tensor> w, a_src, a_dst;
+  for (int h = 0; h < num_heads; ++h) {
+    w.push_back(Tensor::GlorotUniform(in_dim, head_dim, ref_rng).RequiresGrad());
+    a_src.push_back(Tensor::GlorotUniform(head_dim, 1, ref_rng).RequiresGrad());
+    a_dst.push_back(Tensor::GlorotUniform(head_dim, 1, ref_rng).RequiresGrad());
+  }
+  Tensor residual =
+      Tensor::GlorotUniform(in_dim, head_dim * num_heads, ref_rng).RequiresGrad();
+
+  Rng data_rng(5);
+  Tensor x = Tensor::Randn({n, in_dim}, data_rng).RequiresGrad();
+  Tensor x_ref = x.Clone().RequiresGrad();
+  EdgeList edges = PathGraph(n);
+
+  Tensor y = layer.Forward(x, edges);
+  tensor::Sum(y).Backward();
+
+  // Seed-style reference: per-head matmuls, self loops appended by hand.
+  std::vector<int64_t> src = edges.src, dst = edges.dst;
+  for (int64_t v = 0; v < n; ++v) {
+    src.push_back(v);
+    dst.push_back(v);
+  }
+  int64_t e_count = static_cast<int64_t>(src.size());
+  std::vector<Tensor> heads;
+  for (int h = 0; h < num_heads; ++h) {
+    Tensor wx = tensor::MatMul(x_ref, w[h]);
+    Tensor scores = tensor::LeakyRelu(
+        tensor::Add(tensor::Rows(tensor::MatMul(wx, a_dst[h]), dst),
+                    tensor::Rows(tensor::MatMul(wx, a_src[h]), src)),
+        0.2f);
+    Tensor alpha = tensor::EdgeSoftmax(tensor::Reshape(scores, {e_count}), dst, n);
+    heads.push_back(
+        tensor::ScatterAddRows(tensor::ScaleRows(tensor::Rows(wx, src), alpha), dst, n));
+  }
+  Tensor y_ref = tensor::Elu(tensor::Add(tensor::Concat(heads, 1),
+                                         tensor::MatMul(x_ref, residual)));
+  tensor::Sum(y_ref).Backward();
+
+  ASSERT_EQ(y.shape(), y_ref.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.data()[i], y_ref.data()[i], 1e-6f) << "output " << i;
+  }
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(x.grad()[i], x_ref.grad()[i], 1e-5f) << "dx " << i;
+  }
+  // Parameters() order: per head (W, a_src, a_dst), then the residual.
+  std::vector<Tensor> params = layer.Parameters();
+  ASSERT_EQ(params.size(), static_cast<size_t>(3 * num_heads + 1));
+  for (int h = 0; h < num_heads; ++h) {
+    const std::vector<Tensor> ref = {w[h], a_src[h], a_dst[h]};
+    for (int p = 0; p < 3; ++p) {
+      const Tensor& got = params[static_cast<size_t>(3 * h + p)];
+      ASSERT_EQ(got.numel(), ref[p].numel());
+      for (int64_t i = 0; i < got.numel(); ++i) {
+        EXPECT_NEAR(got.grad()[i], ref[p].grad()[i], 1e-5f)
+            << "head " << h << " param " << p << " grad " << i;
+      }
+    }
+  }
+  for (int64_t i = 0; i < residual.numel(); ++i) {
+    EXPECT_NEAR(params.back().grad()[i], residual.grad()[i], 1e-5f) << "dresidual " << i;
+  }
+}
+
+TEST(GatLayerTest, MeanHeadsFusedMatchesPerHeadReference) {
+  // Same golden comparison for the mean-combine (final layer) variant,
+  // without attention (the footnote-1 uniform-alpha path).
+  const int64_t in_dim = 5, head_dim = 3, n = 6;
+  const int num_heads = 2;
+  Rng layer_rng(31);
+  GatLayer layer(in_dim, head_dim, num_heads, /*concat_heads=*/false, Activation::kNone,
+                 layer_rng, 0.2f, /*add_self_loops=*/true, /*residual=*/false,
+                 /*use_attention=*/false);
+  Rng ref_rng(31);
+  std::vector<Tensor> w;
+  for (int h = 0; h < num_heads; ++h) {
+    w.push_back(Tensor::GlorotUniform(in_dim, head_dim, ref_rng).RequiresGrad());
+    Tensor::GlorotUniform(head_dim, 1, ref_rng);  // a_src: drawn, unused here.
+    Tensor::GlorotUniform(head_dim, 1, ref_rng);  // a_dst.
+  }
+  Rng data_rng(6);
+  Tensor x = Tensor::Randn({n, in_dim}, data_rng);
+  EdgeList edges = PathGraph(n);
+  Tensor y = layer.Forward(x, edges);
+
+  std::vector<int64_t> src = edges.src, dst = edges.dst;
+  for (int64_t v = 0; v < n; ++v) {
+    src.push_back(v);
+    dst.push_back(v);
+  }
+  int64_t e_count = static_cast<int64_t>(src.size());
+  Tensor alpha = tensor::EdgeSoftmax(Tensor::Zeros({e_count}), dst, n);
+  Tensor combined;
+  for (int h = 0; h < num_heads; ++h) {
+    Tensor wx = tensor::MatMul(x, w[h]);
+    Tensor head =
+        tensor::ScatterAddRows(tensor::ScaleRows(tensor::Rows(wx, src), alpha), dst, n);
+    combined = h == 0 ? head : tensor::Add(combined, head);
+  }
+  Tensor y_ref = tensor::MulScalar(combined, 1.0f / static_cast<float>(num_heads));
+  ASSERT_EQ(y.shape(), y_ref.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.data()[i], y_ref.data()[i], 1e-6f) << "output " << i;
+  }
+}
+
+TEST(GatLayerTest, RepeatedForwardWithCachedSelfLoopsIsStable) {
+  Rng rng(12);
+  GatLayer layer(4, 4, 2, true, Activation::kElu, rng);
+  Tensor x = Tensor::Randn({5, 4}, rng);
+  EdgeList edges = PathGraph(5);
+  Tensor first = layer.Forward(x, edges);
+  // Second call hits the cached self-loop-augmented edge list.
+  Tensor second = layer.Forward(x, edges);
+  for (int64_t i = 0; i < first.numel(); ++i) {
+    EXPECT_EQ(first.data()[i], second.data()[i]) << "index " << i;
+  }
+}
+
+TEST(GatLayerTest, SelfLoopCacheInvalidatedByEdgeMutation) {
+  Rng rng(13);
+  GatLayer layer(4, 4, 1, true, Activation::kNone, rng, 0.2f, /*add_self_loops=*/true,
+                 /*residual=*/false);
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  EdgeList edges;  // Vertex 2 isolated: output = W x_2 via its self loop.
+  edges.Add(0, 1);
+  Tensor before = layer.Forward(x, edges);
+  edges.Add(0, 2);  // Now vertex 2 also attends to vertex 0.
+  Tensor after = layer.Forward(x, edges);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) diff += std::fabs(after.at(2, j) - before.at(2, j));
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(EdgeListTest, WithSelfLoopsAppendsAndCaches) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  const EdgeList& aug = edges.WithSelfLoops(3);
+  ASSERT_EQ(aug.size(), 5u);
+  EXPECT_EQ(aug.src[0], 0);
+  EXPECT_EQ(aug.dst[0], 1);
+  for (int64_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(aug.src[static_cast<size_t>(2 + v)], v);
+    EXPECT_EQ(aug.dst[static_cast<size_t>(2 + v)], v);
+  }
+  // Cached: same instance on repeat, rebuilt after a mutation or new n.
+  EXPECT_EQ(&edges.WithSelfLoops(3), &aug);
+  EXPECT_EQ(edges.WithSelfLoops(4).size(), 6u);
+  edges.Add(2, 0);
+  EXPECT_EQ(edges.WithSelfLoops(4).size(), 7u);
+}
+
 TEST(GatEncoderTest, StackShapes) {
   Rng rng(7);
   GatEncoder encoder(10, 16, 8, /*num_layers=*/3, /*num_heads=*/4, rng);

@@ -1,9 +1,12 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
+#include "tensor/matmul_kernels.h"
 #include "tensor/tensor.h"
 
 namespace sarn::tensor {
@@ -104,6 +107,126 @@ TEST(OpsTest, MatMulIdentity) {
   ExpectTensorNear(MatMul(a, eye), {1, 2, 3, 4});
 }
 
+// --- Blocked-kernel equivalence ---------------------------------------------
+// The register-tiled kernels must reproduce the seed's naive loops. Sizes
+// deliberately include multiples of the tile (4/16), sub-tile remainders and
+// degenerate 1-wide shapes so every edge path runs.
+
+struct MatMulDims {
+  int64_t m, k, n;
+};
+
+class MatMulKernelEquivalence : public ::testing::TestWithParam<MatMulDims> {};
+
+TEST_P(MatMulKernelEquivalence, ForwardMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(42 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  std::vector<float> naive(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> blocked(static_cast<size_t>(m * n), 0.0f);
+  kernels::MatMulNaive(a.data().data(), b.data().data(), naive.data(), 0, m, k, n);
+  kernels::MatMulBlocked(a.data().data(), b.data().data(), blocked.data(), 0, m, k, n);
+  for (size_t i = 0; i < naive.size(); ++i) {
+    // Same per-element reduction order: bitwise equality, not just tolerance.
+    EXPECT_EQ(blocked[i], naive[i]) << "index " << i;
+  }
+}
+
+TEST_P(MatMulKernelEquivalence, GradAMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(77 + m + k + n);
+  Tensor g = Tensor::Randn({m, n}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  std::vector<float> naive(static_cast<size_t>(m * k), 0.5f);  // Accumulates on top.
+  std::vector<float> blocked(static_cast<size_t>(m * k), 0.5f);
+  kernels::MatMulGradANaive(g.data().data(), b.data().data(), naive.data(), 0, m, k, n);
+  kernels::MatMulGradABlocked(g.data().data(), b.data().data(), blocked.data(), 0, m, k, n);
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(blocked[i], naive[i]) << "index " << i;
+  }
+}
+
+TEST_P(MatMulKernelEquivalence, GradBMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(99 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor g = Tensor::Randn({m, n}, rng);
+  std::vector<float> naive(static_cast<size_t>(k * n), -0.25f);
+  std::vector<float> blocked(static_cast<size_t>(k * n), -0.25f);
+  kernels::MatMulGradBNaive(a.data().data(), g.data().data(), naive.data(), 0, k, m, k, n);
+  kernels::MatMulGradBBlocked(a.data().data(), g.data().data(), blocked.data(), 0, k, m, k,
+                              n);
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(blocked[i], naive[i]) << "index " << i;
+  }
+}
+
+TEST_P(MatMulKernelEquivalence, RowRangeCoversPartition) {
+  // Kernels run on arbitrary row sub-ranges under ParallelFor; a partition
+  // at non-tile-aligned boundaries must produce the same matrix.
+  auto [m, k, n] = GetParam();
+  Rng rng(123 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  std::vector<float> whole(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> split(static_cast<size_t>(m * n), 0.0f);
+  kernels::MatMulBlocked(a.data().data(), b.data().data(), whole.data(), 0, m, k, n);
+  int64_t mid = m / 2 + (m > 2 ? 1 : 0);  // Deliberately off-center.
+  kernels::MatMulBlocked(a.data().data(), b.data().data(), split.data(), 0, mid, k, n);
+  kernels::MatMulBlocked(a.data().data(), b.data().data(), split.data(), mid, m, k, n);
+  for (size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(split[i], whole[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulKernelEquivalence,
+                         ::testing::Values(MatMulDims{1, 1, 1}, MatMulDims{3, 5, 7},
+                                           MatMulDims{4, 16, 16}, MatMulDims{5, 17, 19},
+                                           MatMulDims{8, 32, 16}, MatMulDims{13, 9, 33},
+                                           MatMulDims{16, 8, 1}, MatMulDims{33, 64, 47}));
+
+TEST(OpsTest, MatMulOpMatchesNaiveKernelsThroughAutograd) {
+  // End-to-end: the MatMul op (blocked kernels + ParallelFor) vs a serial
+  // naive-kernel reference for the forward and both gradients.
+  const int64_t m = 21, k = 34, n = 29;
+  Rng rng(7);
+  Tensor a = Tensor::Randn({m, k}, rng).RequiresGrad();
+  Tensor b = Tensor::Randn({k, n}, rng).RequiresGrad();
+  Tensor y = MatMul(a, b);
+  y.Backward(std::vector<float>(static_cast<size_t>(m * n), 1.0f));
+
+  std::vector<float> ref_y(static_cast<size_t>(m * n), 0.0f);
+  kernels::MatMulNaive(a.data().data(), b.data().data(), ref_y.data(), 0, m, k, n);
+  std::vector<float> ones(static_cast<size_t>(m * n), 1.0f);
+  std::vector<float> ref_da(static_cast<size_t>(m * k), 0.0f);
+  std::vector<float> ref_db(static_cast<size_t>(k * n), 0.0f);
+  kernels::MatMulGradANaive(ones.data(), b.data().data(), ref_da.data(), 0, m, k, n);
+  kernels::MatMulGradBNaive(a.data().data(), ones.data(), ref_db.data(), 0, k, m, k, n);
+
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_EQ(y.data()[i], ref_y[i]) << i;
+  for (int64_t i = 0; i < m * k; ++i) EXPECT_EQ(a.grad()[i], ref_da[i]) << i;
+  for (int64_t i = 0; i < k * n; ++i) EXPECT_EQ(b.grad()[i], ref_db[i]) << i;
+}
+
+TEST(OpsTest, MatMulIdenticalAcrossThreadCounts) {
+  // Row-partitioned kernels write disjoint outputs, so the thread count must
+  // not change a single bit of the result.
+  const int64_t m = 64, k = 48, n = 40;
+  Rng rng(11);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  size_t original = GetParallelThreads();
+  SetParallelThreads(1);
+  Tensor serial = MatMul(a, b);
+  SetParallelThreads(4);
+  Tensor parallel = MatMul(a, b);
+  SetParallelThreads(original);
+  for (int64_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(serial.data()[i], parallel.data()[i]) << "index " << i;
+  }
+}
+
 TEST(OpsDeathTest, MatMulShapeMismatch) {
   Tensor a = Tensor::Zeros({2, 3});
   Tensor b = Tensor::Zeros({2, 3});
@@ -178,6 +301,36 @@ TEST(OpsTest, RowsGather) {
 TEST(OpsTest, TakePerRowValues) {
   Tensor a = Tensor::FromVector({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
   ExpectTensorNear(TakePerRow(a, {0, 2, 1}), {1, 6, 8});
+}
+
+TEST(OpsTest, ColsRangeValues) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor mid = ColsRange(a, 1, 2);
+  EXPECT_EQ(mid.shape(), (Shape{2, 2}));
+  ExpectTensorNear(mid, {2, 3, 6, 7});
+  ExpectTensorNear(ColsRange(a, 0, 4), {1, 2, 3, 4, 5, 6, 7, 8});
+  ExpectTensorNear(ColsRange(a, 3, 1), {4, 8});
+}
+
+TEST(OpsTest, ColsRangeBackwardScattersIntoSlice) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}).RequiresGrad();
+  Tensor s = ColsRange(a, 1, 2);
+  Sum(Mul(s, s)).Backward();  // d/dx sum(x^2) = 2x on the slice, 0 elsewhere.
+  ExpectTensorNear(Tensor::FromVector({6}, a.grad()), {0, 4, 6, 0, 10, 12});
+}
+
+TEST(OpsTest, ColsRangeInverseOfConcat) {
+  Rng rng(3);
+  Tensor left = Tensor::Randn({3, 2}, rng);
+  Tensor right = Tensor::Randn({3, 5}, rng);
+  Tensor joined = Concat({left, right}, 1);
+  ExpectTensorNear(ColsRange(joined, 0, 2), left.data());
+  ExpectTensorNear(ColsRange(joined, 2, 5), right.data());
+}
+
+TEST(OpsDeathTest, ColsRangeOutOfBounds) {
+  Tensor a = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(ColsRange(a, 2, 2), "ColsRange");
 }
 
 TEST(OpsTest, ConcatAxis0) {

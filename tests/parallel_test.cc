@@ -2,12 +2,25 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 namespace sarn {
 namespace {
+
+/// Restores the global thread count on scope exit so tests stay independent.
+class ThreadPin {
+ public:
+  explicit ThreadPin(size_t threads) : previous_(GetParallelThreads()) {
+    SetParallelThreads(threads);
+  }
+  ~ThreadPin() { SetParallelThreads(previous_); }
+
+ private:
+  size_t previous_;
+};
 
 TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
   const size_t n = 100000;
@@ -55,6 +68,134 @@ TEST(ParallelTest, ThreadCountOverride) {
   EXPECT_EQ(GetParallelThreads(), 4u);
   SetParallelThreads(0);  // Clamps to 1.
   EXPECT_EQ(GetParallelThreads(), 1u);
+  SetParallelThreads(original);
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnceOnPool) {
+  // Same coverage invariant, but forced through the multi-worker pool with
+  // a grain small enough that every worker claims several chunks.
+  ThreadPin pin(4);
+  const size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/64);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelTest, GrainLargerThanRangeRunsSerially) {
+  ThreadPin pin(4);
+  std::vector<std::pair<size_t, size_t>> calls;
+  ParallelFor(
+      100, [&](size_t begin, size_t end) { calls.emplace_back(begin, end); },
+      /*grain=*/101);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 0u);
+  EXPECT_EQ(calls[0].second, 100u);
+}
+
+TEST(ParallelTest, SingleThreadIsDeterministicOrder) {
+  // With threads pinned to 1 the body runs inline as one [0, n) call, so an
+  // order-dependent (non-commutative) reduction is reproducible run to run.
+  ThreadPin pin(1);
+  auto run = [] {
+    double acc = 1.0;
+    ParallelFor(
+        1000,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            acc = acc * 0.999 + static_cast<double>(i % 7);
+          }
+        },
+        /*grain=*/1);
+    return acc;
+  };
+  double first = run();
+  for (int repeat = 0; repeat < 3; ++repeat) EXPECT_EQ(run(), first);
+}
+
+TEST(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPin pin(4);
+  const size_t outer = 64, inner = 128;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  EXPECT_FALSE(InParallelRegion());
+  ParallelFor(
+      outer,
+      [&](size_t obegin, size_t oend) {
+        EXPECT_TRUE(InParallelRegion());
+        for (size_t o = obegin; o < oend; ++o) {
+          // The nested call must run inline (it would otherwise contend for
+          // the same pool while every worker is busy in the outer region).
+          ParallelFor(
+              inner,
+              [&](size_t ibegin, size_t iend) {
+                for (size_t i = ibegin; i < iend; ++i) {
+                  hits[o * inner + i].fetch_add(1);
+                }
+              },
+              /*grain=*/1);
+        }
+      },
+      /*grain=*/1);
+  EXPECT_FALSE(InParallelRegion());
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelTest, ExceptionPropagatesOutOfWorker) {
+  ThreadPin pin(4);
+  const size_t n = 10000;
+  EXPECT_THROW(
+      ParallelFor(
+          n,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              if (i == n / 2) throw std::runtime_error("boom");
+            }
+          },
+          /*grain=*/16),
+      std::runtime_error);
+  // The pool survives a throwing region: later regions still complete fully.
+  std::atomic<size_t> count{0};
+  ParallelFor(
+      n, [&](size_t begin, size_t end) { count.fetch_add(end - begin); },
+      /*grain=*/16);
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST(ParallelTest, ExceptionCarriesMessageAndRemainingChunksRun) {
+  ThreadPin pin(4);
+  const size_t n = 4096;
+  std::atomic<size_t> visited{0};
+  try {
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end) {
+          visited.fetch_add(end - begin);
+          if (begin == 0) throw std::runtime_error("first chunk failed");
+        },
+        /*grain=*/16);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first chunk failed");
+  }
+  // A failing chunk does not abort the region: every chunk still ran.
+  EXPECT_EQ(visited.load(), n);
+}
+
+TEST(ParallelTest, ResizeBetweenRegionsIsSafe) {
+  size_t original = GetParallelThreads();
+  std::atomic<size_t> count{0};
+  for (size_t threads : {1u, 4u, 2u, 8u, 1u}) {
+    SetParallelThreads(threads);
+    count.store(0);
+    ParallelFor(
+        5000, [&](size_t begin, size_t end) { count.fetch_add(end - begin); },
+        /*grain=*/8);
+    EXPECT_EQ(count.load(), 5000u) << "threads=" << threads;
+  }
   SetParallelThreads(original);
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo verification:
+#   1. tier-1: full Release build + the whole ctest suite;
+#   2. the concurrency-sensitive tests (parallel runtime, matmul kernels,
+#      GAT fusion) rebuilt under ThreadSanitizer, so a pool regression shows
+#      up as a reported race instead of a rare flake.
+#
+# Usage: tools/verify.sh [--tsan-only|--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+mode="${1:-all}"
+
+if [[ "$mode" != "--tsan-only" ]]; then
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$jobs"
+  (cd build && ctest --output-on-failure -j"$jobs")
+fi
+
+if [[ "$mode" != "--no-tsan" ]]; then
+  cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j"$jobs" --target parallel_test ops_test nn_gat_test
+  (cd build-tsan && ctest --output-on-failure -R '^(parallel_test|ops_test|nn_gat_test)$')
+fi
+
+echo "verify: OK"
