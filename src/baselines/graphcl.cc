@@ -1,14 +1,18 @@
 #include "baselines/graphcl.h"
 
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "nn/embedding.h"
 #include "nn/gat.h"
 #include "nn/losses.h"
 #include "nn/projection_head.h"
+#include "nn/serialization.h"
 #include "roadnet/features.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
@@ -42,6 +46,88 @@ roadnet::SegmentFeatures MaskFeatures(const roadnet::SegmentFeatures& features,
   return masked;
 }
 
+// Training-checkpoint section names.
+constexpr char kSectionParams[] = "graphcl/params";
+constexpr char kSectionOptimizer[] = "graphcl/optimizer";
+constexpr char kSectionSchedule[] = "graphcl/schedule";
+constexpr char kSectionRng[] = "graphcl/rng";
+constexpr char kSectionTrainer[] = "graphcl/trainer";
+
+nn::TrainingCheckpoint BuildGraphClCheckpoint(
+    const GraphClConfig& config, const std::vector<Tensor>& parameters,
+    const tensor::Adam& optimizer, const tensor::CosineAnnealingSchedule& schedule,
+    const Rng& rng, int next_epoch, double last_loss) {
+  nn::TrainingCheckpoint ckpt;
+  ByteWriter params;
+  nn::WriteTensors(params, parameters);
+  ckpt.SetSection(kSectionParams, params.Take());
+  ByteWriter optimizer_state;
+  optimizer.SaveState(optimizer_state);
+  ckpt.SetSection(kSectionOptimizer, optimizer_state.Take());
+  ByteWriter schedule_state;
+  schedule.SaveState(schedule_state);
+  ckpt.SetSection(kSectionSchedule, schedule_state.Take());
+  ByteWriter rng_state;
+  rng.SaveState(rng_state);
+  ckpt.SetSection(kSectionRng, rng_state.Take());
+  ByteWriter trainer;
+  trainer.PutU64(config.seed);
+  trainer.PutI64(next_epoch);
+  trainer.PutF64(last_loss);
+  ckpt.SetSection(kSectionTrainer, trainer.Take());
+  return ckpt;
+}
+
+// Atomic restore of a GraphCL checkpoint: stages every section, commits only
+// when all of them validate. Returns false on any mismatch.
+bool ApplyGraphClCheckpoint(const nn::TrainingCheckpoint& ckpt,
+                            const GraphClConfig& config,
+                            const std::vector<Tensor>& parameters,
+                            tensor::Adam& optimizer,
+                            tensor::CosineAnnealingSchedule& schedule, Rng& rng,
+                            int* next_epoch, double* last_loss) {
+  const std::string* params = ckpt.FindSection(kSectionParams);
+  const std::string* optimizer_state = ckpt.FindSection(kSectionOptimizer);
+  const std::string* schedule_state = ckpt.FindSection(kSectionSchedule);
+  const std::string* rng_state = ckpt.FindSection(kSectionRng);
+  const std::string* trainer = ckpt.FindSection(kSectionTrainer);
+  if (!params || !optimizer_state || !schedule_state || !rng_state || !trainer) {
+    return false;
+  }
+
+  std::vector<std::vector<float>> staged_params;
+  ByteReader params_in(*params);
+  if (!nn::ParseTensors(params_in, parameters, &staged_params).ok()) return false;
+  tensor::Adam staged_optimizer = optimizer;
+  ByteReader optimizer_in(*optimizer_state);
+  if (!staged_optimizer.LoadState(optimizer_in)) return false;
+  tensor::CosineAnnealingSchedule staged_schedule = schedule;
+  ByteReader schedule_in(*schedule_state);
+  if (!staged_schedule.LoadState(schedule_in)) return false;
+  Rng staged_rng = rng;
+  ByteReader rng_in(*rng_state);
+  if (!staged_rng.LoadState(rng_in)) return false;
+  uint64_t seed = 0;
+  int64_t epoch = 0;
+  double loss = 0.0;
+  ByteReader trainer_in(*trainer);
+  if (!trainer_in.GetU64(&seed) || !trainer_in.GetI64(&epoch) ||
+      !trainer_in.GetF64(&loss)) {
+    return false;
+  }
+  if (seed != config.seed || epoch < 0 || epoch > config.max_epochs) return false;
+
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    const_cast<Tensor&>(parameters[i]).mutable_data() = std::move(staged_params[i]);
+  }
+  optimizer = staged_optimizer;
+  schedule = staged_schedule;
+  rng = staged_rng;
+  *next_epoch = static_cast<int>(epoch);
+  *last_loss = loss;
+  return true;
+}
+
 }  // namespace
 
 GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
@@ -73,7 +159,46 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
   };
 
   GraphClResult result;
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  int start_epoch = 0;
+  bool checkpointing = !config.checkpoint_dir.empty();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.checkpoint_dir, ec);
+    if (ec) {
+      SARN_LOG(Error) << "cannot create checkpoint dir " << config.checkpoint_dir
+                      << ": " << ec.message() << "; training without checkpoints";
+      checkpointing = false;
+    }
+  }
+  if (checkpointing && config.resume) {
+    for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(config.checkpoint_dir)) {
+      nn::TrainingCheckpoint ckpt;
+      nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
+      if (!status.ok()) {
+        SARN_LOG(Warning) << "skipping checkpoint " << path << " ["
+                          << nn::CheckpointErrorName(status.error)
+                          << "]: " << status.message;
+        continue;
+      }
+      if (!ApplyGraphClCheckpoint(ckpt, config, parameters, optimizer, schedule, rng,
+                                  &start_epoch, &result.final_loss)) {
+        SARN_LOG(Warning) << "skipping checkpoint " << path
+                          << ": state does not match this configuration";
+        continue;
+      }
+      result.resumed_from_epoch = start_epoch;
+      result.epochs_run = start_epoch;
+      SARN_LOG(Info) << "resumed GraphCL from " << path << " (" << start_epoch
+                     << " epochs already complete)";
+      break;
+    }
+  }
+
+  int stop_after = config.stop_after_epochs >= 0
+                       ? std::min(config.stop_after_epochs, config.max_epochs)
+                       : config.max_epochs;
+  bool aborted = false;
+  for (int epoch = start_epoch; epoch < stop_after && !aborted; ++epoch) {
     schedule.OnEpoch(optimizer, epoch);
     nn::EdgeList view1 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
     nn::EdgeList view2 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
@@ -81,6 +206,10 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
         MaskFeatures(features, config.feature_mask_rate, rng);
     roadnet::SegmentFeatures features2 =
         MaskFeatures(features, config.feature_mask_rate, rng);
+    // Shuffle from the identity so the batch order depends only on the
+    // checkpointed RNG state (resume must replay it bitwise), not on the
+    // cumulative permutation history.
+    std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -105,14 +234,38 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
           tensor::MulScalar(tensor::Add(nn::CrossEntropyWithLogits(logits12, labels),
                                         nn::CrossEntropyWithLogits(logits21, labels)),
                             0.5f);
-      epoch_loss += loss.item();
+      float loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        aborted = true;
+        SARN_LOG(Error) << "GraphCL: non-finite loss at epoch " << epoch
+                        << "; aborting training (embeddings keep the last "
+                           "finite parameters)";
+        break;
+      }
+      epoch_loss += loss_value;
       ++batches;
       optimizer.ZeroGrad();
       loss.Backward();
       optimizer.Step();
     }
+    if (aborted) break;  // No checkpoint of the poisoned epoch.
     result.final_loss = epoch_loss / std::max(1, batches);
     result.epochs_run = epoch + 1;
+    if (checkpointing && (epoch + 1 == stop_after ||
+                          (epoch + 1) % std::max(1, config.checkpoint_every) == 0)) {
+      std::string path =
+          config.checkpoint_dir + "/" + nn::CheckpointFileName(epoch + 1);
+      nn::CheckpointStatus status = nn::SaveCheckpoint(
+          path, BuildGraphClCheckpoint(config, parameters, optimizer, schedule, rng,
+                                       epoch + 1, result.final_loss));
+      if (status.ok()) {
+        nn::PruneCheckpoints(config.checkpoint_dir, config.keep_last);
+      } else {
+        SARN_LOG(Error) << "cannot write checkpoint " << path << " ["
+                        << nn::CheckpointErrorName(status.error)
+                        << "]: " << status.message;
+      }
+    }
   }
 
   {

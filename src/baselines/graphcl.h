@@ -8,6 +8,7 @@
 #define SARN_BASELINES_GRAPHCL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "roadnet/road_network.h"
 #include "tensor/tensor.h"
@@ -31,6 +32,20 @@ struct GraphClConfig {
   int max_epochs = 30;
   int batch_size = 128;
   float learning_rate = 0.005f;
+
+  // --- Crash-safe checkpointing (mirrors core::TrainOptions) -----------------
+  // With checkpoint_dir set, TrainGraphCl writes atomic rolling checkpoints
+  // of the full training state (parameters, Adam moments, schedule position,
+  // RNG stream) and resumes from the newest valid one, so interrupted bench
+  // table runs restart where they stopped — bitwise identical to an
+  // uninterrupted run at the same thread count.
+  std::string checkpoint_dir;  // Empty disables checkpointing and resume.
+  int checkpoint_every = 1;    // Epochs between checkpoints.
+  int keep_last = 2;           // Rolling retention.
+  bool resume = true;          // Resume from the newest valid checkpoint.
+  /// Stop once this many *total* epochs are complete (simulates a kill);
+  /// < 0 trains to max_epochs. The LR schedule always spans max_epochs.
+  int stop_after_epochs = -1;
 };
 
 struct GraphClResult {
@@ -38,6 +53,8 @@ struct GraphClResult {
   int epochs_run = 0;
   double final_loss = 0.0;
   double seconds = 0.0;
+  /// Epochs restored from a checkpoint before this call trained (0 = fresh).
+  int resumed_from_epoch = 0;
 };
 
 GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,

@@ -1,0 +1,80 @@
+#include "common/binary_io.h"
+
+#include <array>
+#include <cstring>
+
+namespace sarn {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU64(static_cast<uint64_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void ByteWriter::PutFloats(const std::vector<float>& values) {
+  PutU64(static_cast<uint64_t>(values.size()));
+  PutBytes(values.data(), values.size() * sizeof(float));
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+bool ByteReader::GetString(std::string* s) {
+  uint64_t size = 0;
+  if (!GetU64(&size)) return false;
+  if (size > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(data_.data() + pos_, static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return true;
+}
+
+bool ByteReader::GetFloats(std::vector<float>* values) {
+  uint64_t count = 0;
+  if (!GetU64(&count)) return false;
+  if (count > remaining() / sizeof(float)) {
+    failed_ = true;
+    return false;
+  }
+  values->resize(static_cast<size_t>(count));
+  return GetBytes(values->data(), static_cast<size_t>(count) * sizeof(float));
+}
+
+bool ByteReader::GetBytes(void* out, size_t size) {
+  if (failed_ || size > data_.size() - pos_) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+}  // namespace sarn

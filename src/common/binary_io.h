@@ -1,0 +1,81 @@
+// Little byte-buffer serialization layer used by the checkpoint subsystem.
+//
+// ByteWriter appends typed values to an in-memory buffer; ByteReader parses
+// them back with sticky failure semantics: the first short read marks the
+// reader failed and every subsequent Get* returns false without touching its
+// output, so callers can chain reads and check once at the end. Multi-byte
+// values are written in host byte order (checkpoints are a same-machine
+// crash-recovery format, not an interchange format; the container's magic and
+// CRC reject foreign files).
+//
+// Crc32 is the standard CRC-32 (IEEE 802.3, reflected, polynomial
+// 0xEDB88320), computed over a whole payload to detect torn or bit-flipped
+// checkpoint files.
+
+#ifndef SARN_COMMON_BINARY_IO_H_
+#define SARN_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sarn {
+
+/// CRC-32 (IEEE) of `size` bytes at `data`; pass the previous return value
+/// as `crc` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+/// Appends typed values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutF32(float v) { PutBytes(&v, sizeof(v)); }
+  void PutF64(double v) { PutBytes(&v, sizeof(v)); }
+
+  /// u64 length followed by the raw bytes.
+  void PutString(std::string_view s);
+
+  /// u64 count followed by the raw float32 payload.
+  void PutFloats(const std::vector<float>& values);
+
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Parses values from a byte buffer (not owned). All Get* methods return
+/// false — leaving the output untouched — once the buffer is exhausted or a
+/// previous read failed.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetF32(float* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetF64(double* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetString(std::string* s);
+  bool GetFloats(std::vector<float>* values);
+  bool GetBytes(void* out, size_t size);
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_BINARY_IO_H_

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <sstream>
 #include <unordered_set>
 
 namespace sarn {
+
+void Rng::SaveState(ByteWriter& out) const {
+  // mt19937_64 defines exact text round-tripping via the stream operators.
+  std::ostringstream stream;
+  stream << engine_;
+  out.PutString(stream.str());
+}
+
+bool Rng::LoadState(ByteReader& in) {
+  std::string text;
+  if (!in.GetString(&text)) return false;
+  std::istringstream stream(text);
+  std::mt19937_64 restored;
+  stream >> restored;
+  if (stream.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   SARN_CHECK_LE(k, n);

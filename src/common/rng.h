@@ -12,6 +12,7 @@
 #include <random>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 
 namespace sarn {
@@ -72,6 +73,15 @@ class Rng {
   /// Derives an independent child generator; useful for giving each component
   /// its own stream from one master seed.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Serialises the engine state so the stream can be resumed exactly.
+  /// Because every distribution object is constructed per call, the engine
+  /// state is the *complete* state of an Rng: after LoadState the generator
+  /// continues the saved stream bitwise.
+  void SaveState(ByteWriter& out) const;
+  /// Restores a state written by SaveState. Returns false (leaving this Rng
+  /// untouched) on truncated or malformed input.
+  bool LoadState(ByteReader& in);
 
   std::mt19937_64& engine() { return engine_; }
 

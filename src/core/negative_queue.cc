@@ -97,6 +97,41 @@ int64_t NegativeQueueStore::TotalStored() const {
   return total;
 }
 
+void NegativeQueueStore::SaveState(ByteWriter& out) const {
+  out.PutI64(grid_.num_cells());
+  out.PutI64(capacity_);
+  for (const std::deque<QueueEntry>& queue : queues_) {
+    out.PutU64(queue.size());
+    for (const QueueEntry& entry : queue) {
+      out.PutI64(entry.segment);
+      out.PutFloats(entry.embedding);
+    }
+  }
+}
+
+bool NegativeQueueStore::LoadState(ByteReader& in) {
+  int64_t num_cells = 0;
+  int64_t capacity = 0;
+  if (!in.GetI64(&num_cells) || !in.GetI64(&capacity)) return false;
+  if (num_cells != grid_.num_cells() || capacity != capacity_) return false;
+  std::vector<std::deque<QueueEntry>> staged(queues_.size());
+  for (std::deque<QueueEntry>& queue : staged) {
+    uint64_t size = 0;
+    if (!in.GetU64(&size) || size > static_cast<uint64_t>(capacity_)) return false;
+    for (uint64_t i = 0; i < size; ++i) {
+      QueueEntry entry;
+      if (!in.GetI64(&entry.segment) || !in.GetFloats(&entry.embedding)) return false;
+      if (entry.segment < 0 ||
+          entry.segment >= static_cast<int64_t>(cell_of_segment_.size())) {
+        return false;
+      }
+      queue.push_back(std::move(entry));
+    }
+  }
+  queues_ = std::move(staged);
+  return true;
+}
+
 std::vector<int> NegativeQueueStore::NonEmptyCells() const {
   std::vector<int> cells;
   for (int cell = 0; cell < grid_.num_cells(); ++cell) {

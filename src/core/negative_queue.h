@@ -18,6 +18,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
 #include "geo/grid.h"
 #include "roadnet/road_network.h"
@@ -64,6 +65,14 @@ class NegativeQueueStore {
 
   /// Cells with at least one entry, ascending.
   std::vector<int> NonEmptyCells() const;
+
+  /// Serialises every cell queue (entry order preserved) so a resumed
+  /// training run sees exactly the negatives the interrupted run had.
+  void SaveState(ByteWriter& out) const;
+  /// Restores queues written by SaveState. Returns false — leaving the store
+  /// untouched — on truncation, a grid/capacity mismatch or out-of-range
+  /// segment ids.
+  bool LoadState(ByteReader& in);
 
  private:
   geo::Grid grid_;

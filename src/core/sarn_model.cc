@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <numeric>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "nn/losses.h"
-#include "nn/serialization.h"
 #include "tensor/ops.h"
-#include "tensor/optimizer.h"
 
 namespace sarn::core {
 
@@ -30,6 +29,25 @@ using tensor::Tensor;
 // Mask value for padded negative slots; after division by tau (>= 0.01)
 // exp() underflows to exactly 0.
 constexpr float kMaskedSimilarity = -1e4f;
+
+// Training-checkpoint section names.
+constexpr char kSectionOnline[] = "sarn/online";
+constexpr char kSectionTarget[] = "sarn/target";
+constexpr char kSectionOptimizer[] = "sarn/optimizer";
+constexpr char kSectionSchedule[] = "sarn/schedule";
+constexpr char kSectionRng[] = "sarn/rng";
+constexpr char kSectionQueues[] = "sarn/queues";
+constexpr char kSectionTrainer[] = "sarn/trainer";
+
+// Squared L2 norm of the accumulated gradients; +inf/NaN poison propagates
+// into the sum, so one finite check covers every parameter.
+double GradNormSquared(const std::vector<Tensor>& parameters) {
+  double sum = 0.0;
+  for (const Tensor& p : parameters) {
+    for (float g : p.grad()) sum += static_cast<double>(g) * g;
+  }
+  return sum;
+}
 
 // L2-normalises a raw float vector in place.
 void NormalizeVector(std::vector<float>& v) {
@@ -193,7 +211,9 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
                      tensor::MulScalar(global_loss, 1.0f - lambda));
 }
 
-TrainStats SarnModel::Train() {
+TrainStats SarnModel::Train() { return Train(TrainOptions{}); }
+
+TrainStats SarnModel::Train(const TrainOptions& options) {
   Timer timer;
   Rng rng(config_.seed + 1);
   AugmentationConfig augmentation;
@@ -205,26 +225,70 @@ TrainStats SarnModel::Train() {
   tensor::Adam optimizer(parameters, config_.learning_rate);
   tensor::CosineAnnealingSchedule schedule(config_.learning_rate, config_.max_epochs);
 
-  std::vector<Tensor> target_params = target_encoder_->Parameters();
-  for (const Tensor& p : target_head_->Parameters()) target_params.push_back(p);
+  std::vector<Tensor> target_params = TargetParameters();
   std::vector<Tensor> online_params_no_features = online_encoder_->Parameters();
   for (const Tensor& p : online_head_->Parameters()) {
     online_params_no_features.push_back(p);
   }
 
+  TrainStats stats;
+  TrainerProgress progress;
+  bool checkpointing = !options.checkpoint_dir.empty();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      SARN_LOG(Error) << "cannot create checkpoint dir " << options.checkpoint_dir
+                      << ": " << ec.message() << "; training without checkpoints";
+      checkpointing = false;
+    }
+  }
+  if (checkpointing && options.resume) {
+    // Newest first; skip anything corrupt or mismatched with a warning.
+    for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(options.checkpoint_dir)) {
+      nn::TrainingCheckpoint ckpt;
+      nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
+      if (!status.ok()) {
+        SARN_LOG(Warning) << "skipping checkpoint " << path << " ["
+                          << nn::CheckpointErrorName(status.error)
+                          << "]: " << status.message;
+        continue;
+      }
+      if (!ApplyCheckpoint(ckpt, optimizer, schedule, rng, progress)) {
+        SARN_LOG(Warning) << "skipping checkpoint " << path
+                          << ": state does not match this model/config";
+        continue;
+      }
+      stats.resumed_from_epoch = progress.next_epoch;
+      SARN_LOG(Info) << "resumed training from " << path << " ("
+                     << progress.next_epoch << " epochs already complete)";
+      break;
+    }
+  }
+  stats.epoch_losses = progress.epoch_losses;
+  stats.epochs_run = progress.next_epoch;
+  if (!stats.epoch_losses.empty()) stats.final_loss = stats.epoch_losses.back();
+
   int64_t n = network_->num_segments();
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
-  TrainStats stats;
-  double best_loss = 1e18;
-  int epochs_since_best = 0;
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  int stop_after = options.max_epochs >= 0
+                       ? std::min(options.max_epochs, config_.max_epochs)
+                       : config_.max_epochs;
+  for (int epoch = progress.next_epoch; epoch < stop_after && !stats.aborted;
+       ++epoch) {
     schedule.OnEpoch(optimizer, epoch);
     GraphView view1 =
         AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
     GraphView view2 =
         AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+    // Reshuffle from the identity so the batch order is a pure function of
+    // the RNG state — which is checkpointed — rather than of the cumulative
+    // permutation history, which is not. Statistically equivalent (a uniform
+    // shuffle of any fixed permutation is uniform) and required for resumed
+    // runs to be bitwise identical to uninterrupted ones.
+    std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(order);
 
     double epoch_loss = 0.0;
@@ -247,11 +311,28 @@ TrainStats SarnModel::Train() {
       Tensor z_batch = tensor::Rows(z_all, batch);
 
       Tensor loss = ComputeLoss(z_batch, z_prime_batch, batch, rng);
-      epoch_loss += loss.item();
+      float loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        stats.aborted = true;
+        stats.abort_reason = "non-finite loss " + std::to_string(loss_value) +
+                             " at epoch " + std::to_string(epoch) + ", batch " +
+                             std::to_string(batches);
+        break;
+      }
+      epoch_loss += loss_value;
       ++batches;
 
       optimizer.ZeroGrad();
       loss.Backward();
+      double grad_norm_sq = GradNormSquared(parameters);
+      if (!std::isfinite(grad_norm_sq)) {
+        // Abort before Step(): parameters keep their last finite values.
+        stats.aborted = true;
+        stats.abort_reason = "non-finite gradient norm at epoch " +
+                             std::to_string(epoch) + ", batch " +
+                             std::to_string(batches - 1);
+        break;
+      }
       optimizer.Step();
       nn::MomentumUpdate(target_params, online_params_no_features, config_.momentum);
 
@@ -265,20 +346,186 @@ TrainStats SarnModel::Train() {
         queues_->Push(batch[i], std::move(embedding));
       }
     }
+    if (stats.aborted) {
+      // Leave the last durable checkpoint as the restart point rather than
+      // persisting an epoch that produced non-finite numbers.
+      SARN_LOG(Error) << "training aborted: " << stats.abort_reason;
+      break;
+    }
+
     epoch_loss /= std::max(1, batches);
+    progress.epoch_losses.push_back(epoch_loss);
+    progress.next_epoch = epoch + 1;
     stats.epoch_losses.push_back(epoch_loss);
     stats.epochs_run = epoch + 1;
     stats.final_loss = epoch_loss;
-    if (epoch_loss < best_loss - 1e-4) {
-      best_loss = epoch_loss;
-      epochs_since_best = 0;
-    } else if (++epochs_since_best >= config_.patience) {
+
+    bool stopping = epoch + 1 == stop_after;
+    if (epoch_loss < progress.best_loss - 1e-4) {
+      progress.best_loss = epoch_loss;
+      progress.epochs_since_best = 0;
+    } else if (++progress.epochs_since_best >= config_.patience) {
       SARN_LOG(Debug) << "early stop at epoch " << epoch;
-      break;
+      stopping = true;
     }
+
+    if (checkpointing &&
+        (stopping || (epoch + 1) % std::max(1, options.checkpoint_every) == 0)) {
+      std::string path = options.checkpoint_dir + "/" +
+                         nn::CheckpointFileName(progress.next_epoch);
+      nn::CheckpointStatus status = nn::SaveCheckpoint(
+          path, BuildCheckpoint(optimizer, schedule, rng, progress));
+      if (status.ok()) {
+        ++stats.checkpoints_written;
+        nn::PruneCheckpoints(options.checkpoint_dir, options.keep_last);
+      } else {
+        SARN_LOG(Error) << "cannot write checkpoint " << path << " ["
+                        << nn::CheckpointErrorName(status.error)
+                        << "]: " << status.message;
+      }
+    }
+    if (stopping) break;
   }
   stats.seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+std::vector<Tensor> SarnModel::TargetParameters() const {
+  std::vector<Tensor> params = target_encoder_->Parameters();
+  for (const Tensor& p : target_head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+nn::TrainingCheckpoint SarnModel::BuildCheckpoint(
+    const tensor::Adam& optimizer, const tensor::CosineAnnealingSchedule& schedule,
+    const Rng& rng, const TrainerProgress& progress) const {
+  nn::TrainingCheckpoint ckpt;
+  ByteWriter online;
+  nn::WriteTensors(online, OnlineParameters());
+  ckpt.SetSection(kSectionOnline, online.Take());
+
+  ByteWriter target;
+  nn::WriteTensors(target, TargetParameters());
+  ckpt.SetSection(kSectionTarget, target.Take());
+
+  ByteWriter optimizer_state;
+  optimizer.SaveState(optimizer_state);
+  ckpt.SetSection(kSectionOptimizer, optimizer_state.Take());
+
+  ByteWriter schedule_state;
+  schedule.SaveState(schedule_state);
+  ckpt.SetSection(kSectionSchedule, schedule_state.Take());
+
+  ByteWriter rng_state;
+  rng.SaveState(rng_state);
+  ckpt.SetSection(kSectionRng, rng_state.Take());
+
+  ByteWriter queue_state;
+  queues_->SaveState(queue_state);
+  ckpt.SetSection(kSectionQueues, queue_state.Take());
+
+  ByteWriter trainer;
+  trainer.PutU64(config_.seed);
+  trainer.PutI64(progress.next_epoch);
+  trainer.PutF64(progress.best_loss);
+  trainer.PutI64(progress.epochs_since_best);
+  trainer.PutU64(progress.epoch_losses.size());
+  for (double loss : progress.epoch_losses) trainer.PutF64(loss);
+  ckpt.SetSection(kSectionTrainer, trainer.Take());
+  return ckpt;
+}
+
+bool SarnModel::ApplyCheckpoint(const nn::TrainingCheckpoint& ckpt,
+                                tensor::Adam& optimizer,
+                                tensor::CosineAnnealingSchedule& schedule, Rng& rng,
+                                TrainerProgress& progress) {
+  const std::string* online = ckpt.FindSection(kSectionOnline);
+  const std::string* target = ckpt.FindSection(kSectionTarget);
+  const std::string* optimizer_state = ckpt.FindSection(kSectionOptimizer);
+  const std::string* schedule_state = ckpt.FindSection(kSectionSchedule);
+  const std::string* rng_state = ckpt.FindSection(kSectionRng);
+  const std::string* queue_state = ckpt.FindSection(kSectionQueues);
+  const std::string* trainer = ckpt.FindSection(kSectionTrainer);
+  if (!online || !target || !optimizer_state || !schedule_state || !rng_state ||
+      !queue_state || !trainer) {
+    SARN_LOG(Warning) << "checkpoint is missing a required section";
+    return false;
+  }
+
+  // Phase 1: parse and validate every section into staging; the model is
+  // not touched until all of them check out.
+  std::vector<Tensor> online_params = OnlineParameters();
+  std::vector<Tensor> target_params = TargetParameters();
+  std::vector<std::vector<float>> online_staged, target_staged;
+  ByteReader online_in(*online);
+  nn::CheckpointStatus status = nn::ParseTensors(online_in, online_params, &online_staged);
+  if (!status.ok()) {
+    SARN_LOG(Warning) << "online parameters: " << status.message;
+    return false;
+  }
+  ByteReader target_in(*target);
+  status = nn::ParseTensors(target_in, target_params, &target_staged);
+  if (!status.ok()) {
+    SARN_LOG(Warning) << "target parameters: " << status.message;
+    return false;
+  }
+
+  tensor::Adam staged_optimizer = optimizer;
+  ByteReader optimizer_in(*optimizer_state);
+  if (!staged_optimizer.LoadState(optimizer_in)) return false;
+
+  tensor::CosineAnnealingSchedule staged_schedule = schedule;
+  ByteReader schedule_in(*schedule_state);
+  if (!staged_schedule.LoadState(schedule_in)) return false;
+
+  Rng staged_rng = rng;
+  ByteReader rng_in(*rng_state);
+  if (!staged_rng.LoadState(rng_in)) return false;
+
+  NegativeQueueStore staged_queues = *queues_;
+  ByteReader queue_in(*queue_state);
+  if (!staged_queues.LoadState(queue_in)) return false;
+
+  TrainerProgress staged_progress;
+  ByteReader trainer_in(*trainer);
+  uint64_t seed = 0;
+  int64_t next_epoch = 0;
+  int64_t epochs_since_best = 0;
+  uint64_t loss_count = 0;
+  if (!trainer_in.GetU64(&seed) || !trainer_in.GetI64(&next_epoch) ||
+      !trainer_in.GetF64(&staged_progress.best_loss) ||
+      !trainer_in.GetI64(&epochs_since_best) || !trainer_in.GetU64(&loss_count)) {
+    return false;
+  }
+  if (seed != config_.seed) {
+    SARN_LOG(Warning) << "checkpoint was trained with seed " << seed
+                      << ", this model uses " << config_.seed;
+    return false;
+  }
+  if (next_epoch < 0 || next_epoch > config_.max_epochs ||
+      loss_count != static_cast<uint64_t>(next_epoch)) {
+    return false;
+  }
+  staged_progress.next_epoch = static_cast<int>(next_epoch);
+  staged_progress.epochs_since_best = static_cast<int>(epochs_since_best);
+  staged_progress.epoch_losses.resize(static_cast<size_t>(loss_count));
+  for (double& loss : staged_progress.epoch_losses) {
+    if (!trainer_in.GetF64(&loss)) return false;
+  }
+
+  // Phase 2: commit everything.
+  for (size_t i = 0; i < online_params.size(); ++i) {
+    online_params[i].mutable_data() = std::move(online_staged[i]);
+  }
+  for (size_t i = 0; i < target_params.size(); ++i) {
+    target_params[i].mutable_data() = std::move(target_staged[i]);
+  }
+  optimizer = staged_optimizer;
+  schedule = staged_schedule;
+  rng = staged_rng;
+  *queues_ = std::move(staged_queues);
+  progress = std::move(staged_progress);
+  return true;
 }
 
 Tensor SarnModel::Embeddings() const {

@@ -23,8 +23,10 @@
 #include "nn/embedding.h"
 #include "nn/gat.h"
 #include "nn/projection_head.h"
+#include "nn/serialization.h"
 #include "roadnet/features.h"
 #include "roadnet/road_network.h"
+#include "tensor/optimizer.h"
 #include "tensor/tensor.h"
 
 namespace sarn::core {
@@ -34,6 +36,41 @@ struct TrainStats {
   double final_loss = 0.0;
   double seconds = 0.0;
   std::vector<double> epoch_losses;
+  /// Epochs that were already complete when this call started (restored from
+  /// a checkpoint); 0 for a fresh run. epoch_losses always covers the full
+  /// history, including restored epochs.
+  int resumed_from_epoch = 0;
+  /// Checkpoint files successfully written by this call.
+  int checkpoints_written = 0;
+  /// True when training stopped because a loss or gradient norm went
+  /// non-finite; abort_reason carries the diagnostic. The model keeps the
+  /// last finite parameter state and no checkpoint of the poisoned epoch is
+  /// written.
+  bool aborted = false;
+  std::string abort_reason;
+};
+
+/// Options for the crash-safe training driver. Defaults reproduce the
+/// original single-shot Train() behaviour (no checkpointing).
+struct TrainOptions {
+  /// Directory for rolling checkpoints (created if missing). Empty disables
+  /// checkpointing and resume.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every this many completed epochs (>= 1). A final
+  /// checkpoint is always written when training stops with checkpointing on.
+  int checkpoint_every = 1;
+  /// Rolling retention: only the newest `keep_last` checkpoint files are
+  /// kept in checkpoint_dir.
+  int keep_last = 3;
+  /// Resume from the newest valid checkpoint in checkpoint_dir; corrupt or
+  /// mismatched files are skipped with a logged warning.
+  bool resume = true;
+  /// Stop once this many *total* epochs are complete (simulating a kill at
+  /// epoch k); < 0 trains to config.max_epochs. The LR schedule and
+  /// early-stopping horizon always follow config.max_epochs, so an
+  /// interrupted-and-resumed run is bitwise identical to an uninterrupted
+  /// one.
+  int max_epochs = -1;
 };
 
 class SarnModel {
@@ -44,6 +81,16 @@ class SarnModel {
   /// Runs Algorithm 1 (with cosine-annealed Adam and loss-plateau early
   /// stopping) and leaves the online encoder ready for Embeddings().
   TrainStats Train();
+
+  /// Fault-tolerant epoch-stepping driver: same training loop, but resumes
+  /// from the newest valid checkpoint in options.checkpoint_dir, writes
+  /// atomic rolling checkpoints of the *complete* training state (online +
+  /// momentum parameters, Adam moments, schedule position, RNG stream,
+  /// negative queues, early-stop progress), and aborts with a diagnostic if
+  /// a loss or gradient norm goes non-finite. Resume invariant: a run
+  /// killed after any checkpoint and resumed with the same config and
+  /// thread count finishes bitwise identical to an uninterrupted run.
+  TrainStats Train(const TrainOptions& options);
 
   /// Road-segment embeddings H = F(S, G) on the *uncorrupted* graph,
   /// detached ([n, d]). This is what downstream tasks consume.
@@ -71,6 +118,31 @@ class SarnModel {
 
  private:
   friend class SarnModelTestPeer;
+
+  /// Early-stopping and epoch bookkeeping carried across checkpoints.
+  struct TrainerProgress {
+    int next_epoch = 0;
+    double best_loss = 1e18;
+    int epochs_since_best = 0;
+    std::vector<double> epoch_losses;
+  };
+
+  /// Momentum-branch parameters (target encoder + target head).
+  std::vector<tensor::Tensor> TargetParameters() const;
+
+  /// Packs the complete training state into a checkpoint container.
+  nn::TrainingCheckpoint BuildCheckpoint(const tensor::Adam& optimizer,
+                                         const tensor::CosineAnnealingSchedule& schedule,
+                                         const Rng& rng,
+                                         const TrainerProgress& progress) const;
+
+  /// Restores the state captured by BuildCheckpoint. Atomic: every section
+  /// is parsed and validated into staging first, and the model/optimizer/
+  /// rng/queues are only mutated once everything checks out. Returns false
+  /// (logged) when the checkpoint does not match this model.
+  bool ApplyCheckpoint(const nn::TrainingCheckpoint& ckpt, tensor::Adam& optimizer,
+                       tensor::CosineAnnealingSchedule& schedule, Rng& rng,
+                       TrainerProgress& progress);
 
   /// Full online forward: feature embedding -> GAT over `edges` -> [n, d].
   tensor::Tensor OnlineEncode(const nn::EdgeList& edges) const;

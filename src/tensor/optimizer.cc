@@ -18,6 +18,41 @@ void Optimizer::ZeroGrad() {
   for (Tensor& p : parameters_) p.ZeroGrad();
 }
 
+namespace {
+
+// Shared helper for the per-parameter buffer lists (Sgd velocity, Adam
+// moments): written as a count followed by one float vector per parameter.
+void WriteBuffers(ByteWriter& out, const std::vector<std::vector<float>>& buffers) {
+  out.PutU64(buffers.size());
+  for (const std::vector<float>& b : buffers) out.PutFloats(b);
+}
+
+// Reads buffers written by WriteBuffers into `staged`, validating the count
+// and per-parameter sizes against `parameters`. Strong guarantee: on failure
+// `staged` content is unspecified but nothing else is touched.
+bool ReadBuffers(ByteReader& in, const std::vector<Tensor>& parameters,
+                 std::vector<std::vector<float>>* staged) {
+  uint64_t count = 0;
+  if (!in.GetU64(&count) || count != parameters.size()) return false;
+  staged->resize(parameters.size());
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    if (!in.GetFloats(&(*staged)[i])) return false;
+    if ((*staged)[i].size() != parameters[i].data().size()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Optimizer::SaveState(ByteWriter& out) const { out.PutF32(learning_rate_); }
+
+bool Optimizer::LoadState(ByteReader& in) {
+  float lr = 0.0f;
+  if (!in.GetF32(&lr)) return false;
+  learning_rate_ = lr;
+  return true;
+}
+
 Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum,
          float weight_decay)
     : Optimizer(std::move(parameters), learning_rate),
@@ -27,6 +62,21 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum,
   for (size_t i = 0; i < parameters_.size(); ++i) {
     velocity_[i].assign(parameters_[i].data().size(), 0.0f);
   }
+}
+
+void Sgd::SaveState(ByteWriter& out) const {
+  Optimizer::SaveState(out);
+  WriteBuffers(out, velocity_);
+}
+
+bool Sgd::LoadState(ByteReader& in) {
+  float lr = 0.0f;
+  if (!in.GetF32(&lr)) return false;
+  std::vector<std::vector<float>> velocity;
+  if (!ReadBuffers(in, parameters_, &velocity)) return false;
+  learning_rate_ = lr;
+  velocity_ = std::move(velocity);
+  return true;
 }
 
 void Sgd::Step() {
@@ -60,6 +110,28 @@ Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1, flo
   }
 }
 
+void Adam::SaveState(ByteWriter& out) const {
+  Optimizer::SaveState(out);
+  out.PutI64(step_);
+  WriteBuffers(out, m_);
+  WriteBuffers(out, v_);
+}
+
+bool Adam::LoadState(ByteReader& in) {
+  float lr = 0.0f;
+  int64_t step = 0;
+  if (!in.GetF32(&lr) || !in.GetI64(&step) || step < 0) return false;
+  std::vector<std::vector<float>> m, v;
+  if (!ReadBuffers(in, parameters_, &m) || !ReadBuffers(in, parameters_, &v)) {
+    return false;
+  }
+  learning_rate_ = lr;
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
+}
+
 void Adam::Step() {
   ++step_;
   float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
@@ -83,6 +155,20 @@ void Adam::Step() {
 CosineAnnealingSchedule::CosineAnnealingSchedule(float lr_max, int max_epochs, float lr_min)
     : lr_max_(lr_max), lr_min_(lr_min), max_epochs_(max_epochs) {
   SARN_CHECK_GT(max_epochs, 0);
+}
+
+void CosineAnnealingSchedule::SaveState(ByteWriter& out) const {
+  out.PutI64(max_epochs_);
+  out.PutI64(last_epoch_);
+}
+
+bool CosineAnnealingSchedule::LoadState(ByteReader& in) {
+  int64_t max_epochs = 0;
+  int64_t last_epoch = 0;
+  if (!in.GetI64(&max_epochs) || !in.GetI64(&last_epoch)) return false;
+  if (max_epochs != max_epochs_) return false;  // Different schedule horizon.
+  last_epoch_ = static_cast<int>(last_epoch);
+  return true;
 }
 
 float CosineAnnealingSchedule::LearningRateAt(int epoch) const {

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/binary_io.h"
 #include "tensor/tensor.h"
 
 namespace sarn::tensor {
@@ -20,6 +21,17 @@ class Optimizer {
 
   /// Applies one update using each parameter's current grad buffer.
   virtual void Step() = 0;
+
+  /// Serialises the optimizer's internal state (learning rate plus whatever
+  /// the subclass accumulates — momentum buffers, Adam moments, step count)
+  /// so a restored optimizer produces a bitwise-identical next Step().
+  /// Parameter *values* are not included; checkpoint those separately.
+  virtual void SaveState(ByteWriter& out) const;
+
+  /// Restores state written by SaveState for the same parameter list.
+  /// Returns false — leaving this optimizer untouched — on truncation or a
+  /// parameter-count/size mismatch.
+  virtual bool LoadState(ByteReader& in);
 
   /// Zeroes the grad buffers of all registered parameters.
   void ZeroGrad();
@@ -44,6 +56,8 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void Step() override;
+  void SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
 
  private:
   float momentum_;
@@ -58,6 +72,8 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float epsilon = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+  void SaveState(ByteWriter& out) const override;
+  bool LoadState(ByteReader& in) override;
 
   int64_t step_count() const { return step_; }
 
@@ -81,14 +97,24 @@ class CosineAnnealingSchedule {
   /// Learning rate for the given epoch (clamped to [0, max_epochs]).
   float LearningRateAt(int epoch) const;
 
-  void OnEpoch(Optimizer& optimizer, int epoch) const {
+  void OnEpoch(Optimizer& optimizer, int epoch) {
+    last_epoch_ = epoch;
     optimizer.set_learning_rate(LearningRateAt(epoch));
   }
+
+  /// Most recent epoch passed to OnEpoch (-1 before the first call); this is
+  /// the schedule's full resumable state.
+  int last_epoch() const { return last_epoch_; }
+
+  void SaveState(ByteWriter& out) const;
+  /// Returns false on truncation or a mismatched schedule horizon.
+  bool LoadState(ByteReader& in);
 
  private:
   float lr_max_;
   float lr_min_;
   int max_epochs_;
+  int last_epoch_ = -1;
 };
 
 }  // namespace sarn::tensor

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
@@ -130,6 +131,41 @@ TEST_F(BaselinesTest, GraphClTrainsAndReducesLoss) {
   ExpectFiniteEmbeddings(result.embeddings, 16);
   EXPECT_EQ(result.epochs_run, 6);
   EXPECT_LT(result.final_loss, first_epoch.final_loss);
+}
+
+TEST_F(BaselinesTest, GraphClResumeIsBitwiseIdenticalToStraightRun) {
+  GraphClConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 16;
+  config.projection_dim = 8;
+  config.feature_dim_per_feature = 4;
+  config.gat_heads = 2;
+  config.max_epochs = 4;
+
+  // Uninterrupted reference run.
+  GraphClResult straight = TrainGraphCl(*network_, config);
+  ASSERT_EQ(straight.epochs_run, 4);
+
+  // Interrupted: 2 epochs with checkpointing, then resume in a fresh call.
+  std::string dir = testing::TempDir() + "/graphcl_resume";
+  std::filesystem::remove_all(dir);
+  GraphClConfig phase1 = config;
+  phase1.checkpoint_dir = dir;
+  phase1.stop_after_epochs = 2;
+  GraphClResult partial = TrainGraphCl(*network_, phase1);
+  ASSERT_EQ(partial.epochs_run, 2);
+
+  GraphClConfig phase2 = config;
+  phase2.checkpoint_dir = dir;
+  GraphClResult resumed = TrainGraphCl(*network_, phase2);
+  EXPECT_EQ(resumed.resumed_from_epoch, 2);
+  EXPECT_EQ(resumed.epochs_run, 4);
+
+  // Bitwise: loss and every embedding value identical to the straight run.
+  ASSERT_EQ(resumed.final_loss, straight.final_loss);
+  ASSERT_EQ(resumed.embeddings.shape(), straight.embeddings.shape());
+  ASSERT_EQ(resumed.embeddings.data(), straight.embeddings.data());
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(BaselinesTest, GcaTrainsWhenWithinBudget) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binary_io.h"
 #include "roadnet/synthetic_city.h"
 
 namespace sarn::core {
@@ -110,6 +111,68 @@ TEST_F(NegativeQueueTest, NonEmptyCellsTracksPushes) {
   EXPECT_GE(cells.size(), 1u);
   EXPECT_LE(cells.size(), 2u);
   for (size_t i = 1; i < cells.size(); ++i) EXPECT_LT(cells[i - 1], cells[i]);
+}
+
+// --- Checkpoint state round-trips -------------------------------------------
+
+TEST_F(NegativeQueueTest, StateRoundTripRestoresContents) {
+  NegativeQueueStore a(network_, 600.0, 1000);
+  Rng rng(3);
+  for (int64_t i = 0; i < 80; ++i) {
+    a.Push(i % network_.num_segments(), Vec(static_cast<float>(i)));
+  }
+  ByteWriter writer;
+  a.SaveState(writer);
+
+  NegativeQueueStore b(network_, 600.0, 1000);  // Fresh, empty store.
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(reader));
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(b.TotalStored(), a.TotalStored());
+  EXPECT_EQ(b.NonEmptyCells(), a.NonEmptyCells());
+  for (roadnet::SegmentId s : {int64_t{0}, network_.num_segments() / 2,
+                               network_.num_segments() - 1}) {
+    auto na = a.LocalNegatives(s);
+    auto nb = b.LocalNegatives(s);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i]->segment, nb[i]->segment);
+      EXPECT_EQ(na[i]->embedding, nb[i]->embedding);  // Bitwise float equality.
+    }
+    EXPECT_EQ(a.OwnCellAggregate(s), b.OwnCellAggregate(s));
+  }
+}
+
+TEST_F(NegativeQueueTest, LoadStateRejectsMismatchedGrid) {
+  NegativeQueueStore a(network_, 600.0, 1000);
+  a.Push(0, Vec(1.0f));
+  ByteWriter writer;
+  a.SaveState(writer);
+
+  // A store over a different grid (cell side) must not accept the state.
+  NegativeQueueStore b(network_, 1200.0, 1000);
+  b.Push(0, Vec(9.0f));
+  ByteReader reader(writer.buffer());
+  EXPECT_FALSE(b.LoadState(reader));
+  // Failed load leaves the store untouched.
+  EXPECT_EQ(b.TotalStored(), 1);
+  auto aggregate = b.OwnCellAggregate(0);
+  ASSERT_EQ(aggregate.size(), 4u);
+  EXPECT_EQ(aggregate[0], 9.0f);
+}
+
+TEST_F(NegativeQueueTest, LoadStateRejectsTruncatedInput) {
+  NegativeQueueStore a(network_, 600.0, 1000);
+  for (int64_t i = 0; i < 20; ++i) a.Push(i, Vec(static_cast<float>(i)));
+  ByteWriter writer;
+  a.SaveState(writer);
+  std::string cut = writer.buffer().substr(0, writer.buffer().size() - 8);
+
+  NegativeQueueStore b(network_, 600.0, 1000);
+  ByteReader reader(cut);
+  EXPECT_FALSE(b.LoadState(reader));
+  EXPECT_EQ(b.TotalStored(), 0);
 }
 
 TEST_F(NegativeQueueTest, NearbySegmentsShareCells) {

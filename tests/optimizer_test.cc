@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binary_io.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -102,6 +103,121 @@ TEST(OptimizerTest, ZeroGradClearsAllParameters) {
 TEST(OptimizerDeathTest, RejectsNonGradParameters) {
   Tensor x = Tensor::FromVector({1}, {1.0f});  // No RequiresGrad.
   EXPECT_DEATH(Sgd({x}, 0.1f), "require grad");
+}
+
+// --- Checkpoint state round-trips -------------------------------------------
+
+TEST(AdamTest, StateRoundTripContinuesBitwise) {
+  // Two optimizers over identical parameters: run A for 5 steps, serialize,
+  // load into B (fresh moments), then both must take *bitwise* identical
+  // steps — the moments and bias-correction step count fully transferred.
+  Tensor xa = Tensor::FromVector({3}, {5.0f, -3.0f, 1.0f});
+  xa.RequiresGrad();
+  Tensor target = Tensor::FromVector({3}, {1.0f, 2.0f, -1.0f});
+  Adam a({xa}, 0.1f);
+  for (int i = 0; i < 5; ++i) QuadraticStep(a, xa, target);
+
+  Tensor xb = Tensor::FromVector({3}, {xa.at(0), xa.at(1), xa.at(2)});
+  xb.RequiresGrad();
+  Adam b({xb}, 0.05f);  // Different LR: must be overwritten by LoadState.
+  ByteWriter writer;
+  a.SaveState(writer);
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(reader));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(b.step_count(), 5);
+  EXPECT_EQ(b.learning_rate(), a.learning_rate());
+
+  for (int i = 0; i < 5; ++i) {
+    QuadraticStep(a, xa, target);
+    QuadraticStep(b, xb, target);
+    for (int j = 0; j < 3; ++j) {
+      ASSERT_EQ(xa.at(j), xb.at(j)) << "step " << i << " param " << j;
+    }
+  }
+}
+
+TEST(SgdTest, StateRoundTripRestoresVelocity) {
+  Tensor xa = Tensor::FromVector({2}, {4.0f, -4.0f});
+  xa.RequiresGrad();
+  Tensor target = Tensor::FromVector({2}, {0.0f, 0.0f});
+  Sgd a({xa}, 0.05f, /*momentum=*/0.9f);
+  for (int i = 0; i < 4; ++i) QuadraticStep(a, xa, target);
+
+  Tensor xb = Tensor::FromVector({2}, {xa.at(0), xa.at(1)});
+  xb.RequiresGrad();
+  Sgd b({xb}, 0.05f, 0.9f);
+  ByteWriter writer;
+  a.SaveState(writer);
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(reader));
+
+  for (int i = 0; i < 4; ++i) {
+    QuadraticStep(a, xa, target);
+    QuadraticStep(b, xb, target);
+    ASSERT_EQ(xa.at(0), xb.at(0));
+    ASSERT_EQ(xa.at(1), xb.at(1));
+  }
+}
+
+TEST(AdamTest, LoadStateRejectsMismatchedParameterShapes) {
+  Tensor x3 = Tensor::FromVector({3}, {1, 2, 3});
+  x3.RequiresGrad();
+  Adam a({x3}, 0.1f);
+  Tensor t = Tensor::FromVector({3}, {0, 0, 0});
+  QuadraticStep(a, x3, t);
+
+  Tensor x2 = Tensor::FromVector({2}, {1, 2});
+  x2.RequiresGrad();
+  Adam b({x2}, 0.1f);
+  ByteWriter writer;
+  a.SaveState(writer);
+  ByteReader reader(writer.buffer());
+  EXPECT_FALSE(b.LoadState(reader));
+  EXPECT_EQ(b.step_count(), 0);  // State untouched on failure.
+}
+
+TEST(AdamTest, LoadStateRejectsTruncatedInput) {
+  Tensor x = Tensor::FromVector({2}, {1, 2});
+  x.RequiresGrad();
+  Adam a({x}, 0.1f);
+  QuadraticStep(a, x, Tensor::FromVector({2}, {0, 0}));
+  ByteWriter writer;
+  a.SaveState(writer);
+  std::string truncated = writer.buffer().substr(0, writer.buffer().size() - 3);
+
+  Tensor y = Tensor::FromVector({2}, {1, 2});
+  y.RequiresGrad();
+  Adam b({y}, 0.1f);
+  ByteReader reader(truncated);
+  EXPECT_FALSE(b.LoadState(reader));
+  EXPECT_EQ(b.step_count(), 0);
+}
+
+TEST(CosineScheduleTest, StateRoundTripRestoresPosition) {
+  Tensor x = Tensor::FromVector({1}, {1.0f});
+  x.RequiresGrad();
+  Sgd opt({x}, 0.1f);
+  CosineAnnealingSchedule a(0.1f, 20);
+  a.OnEpoch(opt, 7);
+  EXPECT_EQ(a.last_epoch(), 7);
+
+  CosineAnnealingSchedule b(0.1f, 20);
+  ByteWriter writer;
+  a.SaveState(writer);
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(reader));
+  EXPECT_EQ(b.last_epoch(), 7);
+}
+
+TEST(CosineScheduleTest, LoadStateRejectsDifferentHorizon) {
+  CosineAnnealingSchedule a(0.1f, 20);
+  CosineAnnealingSchedule b(0.1f, 30);  // Different max_epochs.
+  ByteWriter writer;
+  a.SaveState(writer);
+  ByteReader reader(writer.buffer());
+  EXPECT_FALSE(b.LoadState(reader));
+  EXPECT_EQ(b.last_epoch(), -1);
 }
 
 TEST(CosineScheduleTest, EndpointsAndMidpoint) {

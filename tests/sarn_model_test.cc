@@ -5,6 +5,8 @@
 #include "core/sarn_model.h"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -166,6 +168,165 @@ TEST_F(SarnModelTest, FineTuneParametersAreFinalLayerOnly) {
     for (float g : p.grad()) norm += std::fabs(g);
     EXPECT_GT(norm, 0.0);
   }
+}
+
+// --- Crash-safe checkpoint/resume -------------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitwiseEqualParameters(const SarnModel& a, const SarnModel& b) {
+  std::vector<Tensor> pa = a.OnlineParameters();
+  std::vector<Tensor> pb = b.OnlineParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].data(), pb[i].data()) << "online parameter " << i << " diverged";
+  }
+}
+
+// The golden test of the checkpoint subsystem: training k epochs, "crashing",
+// and resuming into *fresh* objects must finish bitwise identical to an
+// uninterrupted run — for parameters, loss history and embeddings — at both
+// 1 and 4 threads.
+TEST_F(SarnModelTest, ResumedRunIsBitwiseIdenticalToStraightRun) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetParallelThreads(threads);
+    SarnConfig config = SmallConfig();
+    config.max_epochs = 6;
+
+    // Uninterrupted reference run (no checkpointing at all).
+    SarnModel straight(*network_, config);
+    TrainStats straight_stats = straight.Train();
+    ASSERT_EQ(straight_stats.epochs_run, 6);
+
+    // Interrupted run: train 3 epochs with checkpointing, then "crash".
+    std::string dir = FreshDir("sarn_resume_" + std::to_string(threads));
+    TrainOptions phase1;
+    phase1.checkpoint_dir = dir;
+    phase1.checkpoint_every = 1;
+    phase1.max_epochs = 3;  // Simulated kill after epoch 3.
+    {
+      SarnModel interrupted(*network_, config);
+      TrainStats stats = interrupted.Train(phase1);
+      EXPECT_EQ(stats.epochs_run, 3);
+      EXPECT_GT(stats.checkpoints_written, 0);
+    }  // Model destroyed: resume must work from the files alone.
+
+    // Fresh objects resume from the latest checkpoint and finish the run.
+    SarnModel resumed(*network_, config);
+    TrainOptions phase2;
+    phase2.checkpoint_dir = dir;
+    TrainStats resumed_stats = resumed.Train(phase2);
+    EXPECT_EQ(resumed_stats.resumed_from_epoch, 3);
+    EXPECT_EQ(resumed_stats.epochs_run, 6);
+
+    // Bitwise equality: loss history, final loss, parameters, embeddings.
+    ASSERT_EQ(resumed_stats.epoch_losses.size(), straight_stats.epoch_losses.size());
+    for (size_t e = 0; e < straight_stats.epoch_losses.size(); ++e) {
+      ASSERT_EQ(resumed_stats.epoch_losses[e], straight_stats.epoch_losses[e])
+          << "epoch " << e << " loss diverged";
+    }
+    ASSERT_EQ(resumed_stats.final_loss, straight_stats.final_loss);
+    ExpectBitwiseEqualParameters(straight, resumed);
+    Tensor ha = straight.Embeddings();
+    Tensor hb = resumed.Embeddings();
+    ASSERT_EQ(ha.data(), hb.data());
+    std::filesystem::remove_all(dir);
+  }
+  SetParallelThreads(0);
+}
+
+TEST_F(SarnModelTest, ResumeSurvivesCorruptLatestCheckpoint) {
+  SetParallelThreads(1);
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 4;
+  std::string dir = FreshDir("sarn_resume_corrupt");
+
+  TrainOptions phase1;
+  phase1.checkpoint_dir = dir;
+  phase1.checkpoint_every = 1;
+  phase1.max_epochs = 2;
+  {
+    SarnModel interrupted(*network_, config);
+    interrupted.Train(phase1);
+  }
+  // Corrupt the newest checkpoint file (flip one byte mid-file); keep an
+  // older valid one.
+  auto found = nn::ListCheckpoints(dir);
+  ASSERT_GE(found.size(), 2u);
+  {
+    std::fstream f(found.front().second,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    auto size = static_cast<long>(f.tellg());
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  SarnModel resumed(*network_, config);
+  TrainOptions phase2;
+  phase2.checkpoint_dir = dir;
+  TrainStats stats = resumed.Train(phase2);
+  // Fell back to the older valid checkpoint (epoch 1) and still finished.
+  EXPECT_EQ(stats.resumed_from_epoch, 1);
+  EXPECT_EQ(stats.epochs_run, 4);
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SarnModelTest, CheckpointRotationKeepsLastK) {
+  SetParallelThreads(1);
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 5;
+  std::string dir = FreshDir("sarn_rotation");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 1;
+  options.keep_last = 2;
+  SarnModel model(*network_, config);
+  TrainStats stats = model.Train(options);
+  EXPECT_EQ(stats.epochs_run, 5);
+  auto found = nn::ListCheckpoints(dir);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].first, 5);
+  EXPECT_EQ(found[1].first, 4);
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SarnModelTest, ResumeRejectsCheckpointFromDifferentSeed) {
+  SetParallelThreads(1);
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 3;
+  std::string dir = FreshDir("sarn_seed_mismatch");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  options.max_epochs = 2;
+  {
+    SarnModel model(*network_, config);
+    model.Train(options);
+  }
+  // A model with a different seed must not adopt that checkpoint silently.
+  SarnConfig other = config;
+  other.seed = config.seed + 99;
+  SarnModel model(*network_, other);
+  // Point at the mismatched dir: resume skips it and trains from scratch.
+  TrainOptions resume_options;
+  resume_options.checkpoint_dir = dir;
+  TrainStats stats = model.Train(resume_options);
+  EXPECT_EQ(stats.resumed_from_epoch, 0);
+  EXPECT_EQ(stats.epochs_run, 3);
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(SarnModelTest, EarlyStoppingBoundsEpochs) {

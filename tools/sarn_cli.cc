@@ -137,11 +137,24 @@ int CmdTrain(const Args& args) {
   config.seed = static_cast<uint64_t>(std::atoll(Get(args, "seed", "42").c_str()));
   core::FitCellSideToNetwork(config, *network);
 
+  core::TrainOptions options;
+  options.checkpoint_dir = Get(args, "checkpoint-dir");
+  options.checkpoint_every = std::atoi(Get(args, "checkpoint-every", "1").c_str());
+  options.keep_last = std::atoi(Get(args, "keep-last", "3").c_str());
+  options.max_epochs = std::atoi(Get(args, "stop-after", "-1").c_str());
+
   std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
               static_cast<long long>(network->num_segments()),
               static_cast<long long>(dim), config.max_epochs);
   core::SarnModel model(*network, config);
-  core::TrainStats stats = model.Train();
+  core::TrainStats stats = model.Train(options);
+  if (stats.aborted) {
+    return Fail("train: aborted (" + stats.abort_reason +
+                "); last checkpoint is the restart point");
+  }
+  if (stats.resumed_from_epoch > 0) {
+    std::printf("resumed from checkpoint at epoch %d\n", stats.resumed_from_epoch);
+  }
   std::printf("done: %d epochs, loss %.4f, %.1fs\n", stats.epochs_run, stats.final_loss,
               stats.seconds);
 
@@ -228,6 +241,8 @@ int Usage() {
       "  import-osm --in extract.osm --out net.csv\n"
       "  train      --network net.csv [--epochs N] [--dim D] [--seed S]\n"
       "             [--weights model.ckpt] [--embeddings emb.csv]\n"
+      "             [--checkpoint-dir DIR] [--checkpoint-every N] [--keep-last K]\n"
+      "             [--stop-after E]  (stop once E total epochs done; resume later)\n"
       "  export     --network net.csv --embeddings emb.csv --out atlas.geojson\n"
       "  eval       --network net.csv --embeddings emb.csv [--task property|spd|traj|all]\n");
   return 2;

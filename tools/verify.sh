@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Repo verification:
 #   1. tier-1: full Release build + the whole ctest suite;
-#   2. the concurrency-sensitive tests (parallel runtime, matmul kernels,
-#      GAT fusion) rebuilt under ThreadSanitizer, so a pool regression shows
-#      up as a reported race instead of a rare flake.
+#   2. the checkpoint/resume suite (ctest -L checkpoint) run on its own, so a
+#      resume-determinism or corrupt-file-handling regression is reported by
+#      name even when something earlier in the suite also fails;
+#   3. the concurrency-sensitive tests (parallel runtime, matmul kernels,
+#      GAT fusion) plus the checkpoint suite rebuilt under ThreadSanitizer,
+#      so a pool regression or a race in resumed training shows up as a
+#      reported race instead of a rare flake.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan]
 set -euo pipefail
@@ -16,12 +20,16 @@ if [[ "$mode" != "--tsan-only" ]]; then
   cmake -B build -S . > /dev/null
   cmake --build build -j"$jobs"
   (cd build && ctest --output-on-failure -j"$jobs")
+  # Fault-injection + bitwise resume-determinism tests, isolated for clarity.
+  (cd build && ctest --output-on-failure -L checkpoint)
 fi
 
 if [[ "$mode" != "--no-tsan" ]]; then
   cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
-  cmake --build build-tsan -j"$jobs" --target parallel_test ops_test nn_gat_test
-  (cd build-tsan && ctest --output-on-failure -R '^(parallel_test|ops_test|nn_gat_test)$')
+  cmake --build build-tsan -j"$jobs" \
+    --target parallel_test ops_test nn_gat_test serialization_test sarn_model_test
+  (cd build-tsan && ctest --output-on-failure \
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test)$')
 fi
 
 echo "verify: OK"
