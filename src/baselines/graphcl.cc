@@ -6,8 +6,10 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "nn/embedding.h"
 #include "nn/gat.h"
 #include "nn/losses.h"
@@ -172,24 +174,30 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
   }
   if (checkpointing && config.resume) {
     for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(config.checkpoint_dir)) {
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = ckpt_epoch;
       nn::TrainingCheckpoint ckpt;
       nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
       if (!status.ok()) {
-        SARN_LOG(Warning) << "skipping checkpoint " << path << " ["
-                          << nn::CheckpointErrorName(status.error)
-                          << "]: " << status.message;
+        event.action = obs::CheckpointEvent::Action::kSkippedCorrupt;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(config.metrics_sink, event);
         continue;
       }
       if (!ApplyGraphClCheckpoint(ckpt, config, parameters, optimizer, schedule, rng,
                                   &start_epoch, &result.final_loss)) {
-        SARN_LOG(Warning) << "skipping checkpoint " << path
-                          << ": state does not match this configuration";
+        event.action = obs::CheckpointEvent::Action::kSkippedMismatch;
+        event.detail = "state does not match this configuration";
+        obs::RecordCheckpointEvent(config.metrics_sink, event);
         continue;
       }
+      event.action = obs::CheckpointEvent::Action::kResumedFrom;
+      event.epoch = start_epoch;
       result.resumed_from_epoch = start_epoch;
       result.epochs_run = start_epoch;
-      SARN_LOG(Info) << "resumed GraphCL from " << path << " (" << start_epoch
-                     << " epochs already complete)";
+      obs::RecordCheckpointEvent(config.metrics_sink, event);
       break;
     }
   }
@@ -199,13 +207,24 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
                        : config.max_epochs;
   bool aborted = false;
   for (int epoch = start_epoch; epoch < stop_after && !aborted; ++epoch) {
+    SARN_TRACE_SPAN("graphcl_epoch");
+    Timer epoch_timer;
+    double augmentation_seconds = 0.0, forward_seconds = 0.0, loss_seconds = 0.0,
+           backward_seconds = 0.0, optimizer_seconds = 0.0,
+           checkpoint_seconds = 0.0;
+    ParallelPoolStats pool_before = GetParallelPoolStats();
+
     schedule.OnEpoch(optimizer, epoch);
-    nn::EdgeList view1 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
-    nn::EdgeList view2 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
-    roadnet::SegmentFeatures features1 =
-        MaskFeatures(features, config.feature_mask_rate, rng);
-    roadnet::SegmentFeatures features2 =
-        MaskFeatures(features, config.feature_mask_rate, rng);
+    nn::EdgeList view1, view2;
+    roadnet::SegmentFeatures features1, features2;
+    {
+      SARN_TRACE_SPAN("augmentation");
+      obs::ScopedPhaseTimer phase(&augmentation_seconds);
+      view1 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
+      view2 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
+      features1 = MaskFeatures(features, config.feature_mask_rate, rng);
+      features2 = MaskFeatures(features, config.feature_mask_rate, rng);
+    }
     // Shuffle from the identity so the batch order depends only on the
     // checkpointed RNG state (resume must replay it bitwise), not on the
     // cumulative permutation history.
@@ -220,20 +239,30 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
       if (m < 2) continue;
 
       // Both views through the SHARED encoder.
-      Tensor z1 = tensor::Rows(project(view1, features1), batch);
-      Tensor z2 = tensor::Rows(project(view2, features2), batch);
+      Tensor z1, z2;
+      {
+        SARN_TRACE_SPAN("online_forward");
+        obs::ScopedPhaseTimer phase(&forward_seconds);
+        z1 = tensor::Rows(project(view1, features1), batch);
+        z2 = tensor::Rows(project(view2, features2), batch);
+      }
 
       // NT-Xent with in-batch negatives, symmetric.
-      Tensor logits12 = tensor::MulScalar(tensor::MatMul(z1, tensor::Transpose(z2)),
-                                          1.0f / static_cast<float>(config.tau));
-      Tensor logits21 = tensor::MulScalar(tensor::MatMul(z2, tensor::Transpose(z1)),
-                                          1.0f / static_cast<float>(config.tau));
-      std::vector<int64_t> labels(static_cast<size_t>(m));
-      std::iota(labels.begin(), labels.end(), 0);
-      Tensor loss =
-          tensor::MulScalar(tensor::Add(nn::CrossEntropyWithLogits(logits12, labels),
-                                        nn::CrossEntropyWithLogits(logits21, labels)),
-                            0.5f);
+      Tensor loss;
+      {
+        SARN_TRACE_SPAN("loss");
+        obs::ScopedPhaseTimer phase(&loss_seconds);
+        Tensor logits12 = tensor::MulScalar(tensor::MatMul(z1, tensor::Transpose(z2)),
+                                            1.0f / static_cast<float>(config.tau));
+        Tensor logits21 = tensor::MulScalar(tensor::MatMul(z2, tensor::Transpose(z1)),
+                                            1.0f / static_cast<float>(config.tau));
+        std::vector<int64_t> labels(static_cast<size_t>(m));
+        std::iota(labels.begin(), labels.end(), 0);
+        loss =
+            tensor::MulScalar(tensor::Add(nn::CrossEntropyWithLogits(logits12, labels),
+                                          nn::CrossEntropyWithLogits(logits21, labels)),
+                              0.5f);
+      }
       float loss_value = loss.item();
       if (!std::isfinite(loss_value)) {
         aborted = true;
@@ -244,29 +273,78 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
       }
       epoch_loss += loss_value;
       ++batches;
-      optimizer.ZeroGrad();
-      loss.Backward();
-      optimizer.Step();
+      {
+        SARN_TRACE_SPAN("backward");
+        obs::ScopedPhaseTimer phase(&backward_seconds);
+        optimizer.ZeroGrad();
+        loss.Backward();
+      }
+      {
+        SARN_TRACE_SPAN("optimizer_step");
+        obs::ScopedPhaseTimer phase(&optimizer_seconds);
+        optimizer.Step();
+      }
     }
     if (aborted) break;  // No checkpoint of the poisoned epoch.
     result.final_loss = epoch_loss / std::max(1, batches);
     result.epochs_run = epoch + 1;
+    int64_t checkpoint_bytes = 0;
     if (checkpointing && (epoch + 1 == stop_after ||
                           (epoch + 1) % std::max(1, config.checkpoint_every) == 0)) {
+      SARN_TRACE_SPAN("checkpoint_write");
+      obs::ScopedPhaseTimer phase(&checkpoint_seconds);
       std::string path =
           config.checkpoint_dir + "/" + nn::CheckpointFileName(epoch + 1);
+      Timer write_timer;
       nn::CheckpointStatus status = nn::SaveCheckpoint(
           path, BuildGraphClCheckpoint(config, parameters, optimizer, schedule, rng,
                                        epoch + 1, result.final_loss));
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = epoch + 1;
+      event.seconds = write_timer.ElapsedSeconds();
       if (status.ok()) {
+        std::error_code ec;
+        auto size = std::filesystem::file_size(path, ec);
+        checkpoint_bytes = ec ? 0 : static_cast<int64_t>(size);
+        event.action = obs::CheckpointEvent::Action::kWritten;
+        event.bytes = checkpoint_bytes;
+        obs::RecordCheckpointEvent(config.metrics_sink, event);
         nn::PruneCheckpoints(config.checkpoint_dir, config.keep_last);
       } else {
-        SARN_LOG(Error) << "cannot write checkpoint " << path << " ["
-                        << nn::CheckpointErrorName(status.error)
-                        << "]: " << status.message;
+        event.action = obs::CheckpointEvent::Action::kWriteFailed;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(config.metrics_sink, event);
       }
     }
+    if (config.metrics_sink != nullptr) {
+      ParallelPoolStats pool_after = GetParallelPoolStats();
+      obs::EpochRecord record;
+      record.run = "graphcl";
+      record.epoch = epoch;
+      record.loss = result.final_loss;
+      record.learning_rate = optimizer.learning_rate();
+      record.batches = batches;
+      record.epoch_seconds = epoch_timer.ElapsedSeconds();
+      record.resumed = result.resumed_from_epoch > 0;
+      record.phase_seconds = {{"augmentation", augmentation_seconds},
+                              {"online_forward", forward_seconds},
+                              {"loss", loss_seconds},
+                              {"backward", backward_seconds},
+                              {"optimizer_step", optimizer_seconds},
+                              {"checkpoint_write", checkpoint_seconds}};
+      record.checkpoint_bytes = checkpoint_bytes;
+      record.checkpoint_seconds = checkpoint_seconds;
+      record.pool_regions = pool_after.regions - pool_before.regions;
+      record.pool_chunks = pool_after.chunks - pool_before.chunks;
+      record.pool_items = pool_after.items - pool_before.items;
+      record.pool_idle_seconds =
+          pool_after.worker_idle_seconds - pool_before.worker_idle_seconds;
+      config.metrics_sink->OnEpoch(record);
+    }
   }
+  if (config.metrics_sink != nullptr) config.metrics_sink->Flush();
 
   {
     tensor::NoGradGuard guard;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics_sink.h"
 #include "roadnet/road_network.h"
 #include "tensor/tensor.h"
 
@@ -46,6 +47,12 @@ struct GraphClConfig {
   /// Stop once this many *total* epochs are complete (simulates a kill);
   /// < 0 trains to max_epochs. The LR schedule always spans max_epochs.
   int stop_after_epochs = -1;
+
+  /// Optional telemetry sink (not owned; must outlive TrainGraphCl): one
+  /// obs::EpochRecord per epoch (run = "graphcl") plus checkpoint lifecycle
+  /// events, so baseline training curves are comparable with SARN's from
+  /// the same JSONL file. Measurement-only; does not perturb training.
+  obs::MetricsSink* metrics_sink = nullptr;
 };
 
 struct GraphClResult {

@@ -1,11 +1,16 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
 
 namespace sarn {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<uint32_t> g_next_thread_id{1};
 
 }  // namespace
 
@@ -13,4 +18,74 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* value = std::getenv("SARN_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return true;
+  std::optional<LogLevel> level = ParseLogLevel(value);
+  if (!level.has_value()) {
+    SARN_LOG(Warning) << "SARN_LOG_LEVEL=" << value
+                      << " is not a level (debug|info|warning|error); keeping "
+                      << LogLevelName(GetLogLevel());
+    return false;
+  }
+  SetLogLevel(*level);
+  return true;
+}
+
+uint32_t ThreadId() {
+  thread_local uint32_t id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
+namespace internal {
+
+std::string LogPrefix(LogLevel level, const char* file, int line) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+  std::ostringstream prefix;
+  prefix << "[" << LogLevelName(level) << " " << stamp << " t" << ThreadId() << " "
+         << base << ":" << line << "] ";
+  return prefix.str();
+}
+
+}  // namespace internal
 }  // namespace sarn

@@ -1,12 +1,19 @@
 // Minimal leveled logging to stderr.
+//
+// Prefix: "[LEVEL 2026-08-06T12:34:56.789Z t3 file.cc:42] message". The level
+// check happens in the SARN_LOG macro *before* the message object is
+// constructed, so a disabled `SARN_LOG(Debug) << Expensive()` costs one
+// atomic load and never evaluates its operands.
 
 #ifndef SARN_COMMON_LOGGING_H_
 #define SARN_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdio>
-#include <ctime>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sarn {
 
@@ -16,23 +23,33 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error", case-insensitive.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+const char* LogLevelName(LogLevel level);
+
+/// Applies the SARN_LOG_LEVEL environment variable, if set and valid. Called
+/// once at CLI startup; an explicit --log-level flag takes precedence (apply
+/// it with SetLogLevel *after* this). Returns false if the variable was set
+/// but unparsable (a warning is logged).
+bool InitLogLevelFromEnv();
+
+/// Small dense id of the calling thread (1, 2, ... in first-use order);
+/// stable for the thread's lifetime. Used by log prefixes and trace events.
+uint32_t ThreadId();
+
 namespace internal {
+
+/// "[LEVEL <iso8601-utc> t<tid> <basename>:<line>] " — split out so tests can
+/// validate the format without capturing stderr.
+std::string LogPrefix(LogLevel level, const char* file, int line);
 
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-    const char* base = file;
-    for (const char* p = file; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  LogMessage(LogLevel level, const char* file, int line) {
+    stream_ << LogPrefix(level, file, line);
   }
 
-  ~LogMessage() {
-    if (level_ >= GetLogLevel()) {
-      std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    }
-  }
+  ~LogMessage() { std::fprintf(stderr, "%s\n", stream_.str().c_str()); }
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
@@ -41,28 +58,23 @@ class LogMessage {
   }
 
  private:
-  static const char* LevelName(LogLevel level) {
-    switch (level) {
-      case LogLevel::kDebug:
-        return "DEBUG";
-      case LogLevel::kInfo:
-        return "INFO";
-      case LogLevel::kWarning:
-        return "WARN";
-      case LogLevel::kError:
-        return "ERROR";
-    }
-    return "?";
-  }
-
-  LogLevel level_;
   std::ostringstream stream_;
+};
+
+// Turns the LogMessage expression into void so both branches of the
+// SARN_LOG conditional have the same type ('&' binds looser than '<<').
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
 };
 
 }  // namespace internal
 }  // namespace sarn
 
-#define SARN_LOG(level) \
-  ::sarn::internal::LogMessage(::sarn::LogLevel::k##level, __FILE__, __LINE__)
+#define SARN_LOG(level)                                               \
+  (::sarn::LogLevel::k##level < ::sarn::GetLogLevel())                \
+      ? (void)0                                                       \
+      : ::sarn::internal::LogVoidify() &                              \
+            ::sarn::internal::LogMessage(::sarn::LogLevel::k##level,  \
+                                         __FILE__, __LINE__)
 
 #endif  // SARN_COMMON_LOGGING_H_

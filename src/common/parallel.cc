@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -10,6 +11,14 @@
 
 namespace sarn {
 namespace {
+
+// Telemetry counters (GetParallelPoolStats). Relaxed: these are statistics,
+// not synchronisation; readers tolerate slightly stale values.
+std::atomic<uint64_t> g_stat_regions{0};
+std::atomic<uint64_t> g_stat_serial_regions{0};
+std::atomic<uint64_t> g_stat_chunks{0};
+std::atomic<uint64_t> g_stat_items{0};
+std::atomic<uint64_t> g_stat_idle_ns{0};
 
 size_t DefaultThreads() {
   size_t hw = std::thread::hardware_concurrency();
@@ -118,7 +127,13 @@ class ThreadPool {
     uint64_t seen_epoch = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
+      auto park_begin = std::chrono::steady_clock::now();
       work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      g_stat_idle_ns.fetch_add(
+          static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - park_begin)
+                                    .count()),
+          std::memory_order_relaxed);
       if (stop_) return;
       seen_epoch = epoch_;
       std::shared_ptr<Job> job = job_;
@@ -131,9 +146,11 @@ class ThreadPool {
   void RunChunks(Job& job) {
     bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
+    uint64_t chunks_run = 0;
     for (;;) {
       size_t begin = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
       if (begin >= job.n) break;
+      ++chunks_run;
       size_t end = std::min(job.n, begin + job.chunk);
       try {
         (*job.body)(begin, end);
@@ -149,6 +166,9 @@ class ThreadPool {
         std::lock_guard<std::mutex> lock(mu_);
         done_cv_.notify_all();
       }
+    }
+    if (chunks_run > 0) {
+      g_stat_chunks.fetch_add(chunks_run, std::memory_order_relaxed);
     }
     t_in_parallel_region = was_in_region;
   }
@@ -179,13 +199,35 @@ void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
   ThreadPool& pool = ThreadPool::Instance();
   size_t threads = pool.threads();
   if (t_in_parallel_region || threads <= 1 || n < grain) {
+    g_stat_serial_regions.fetch_add(1, std::memory_order_relaxed);
     body(0, n);
     return;
   }
+  g_stat_regions.fetch_add(1, std::memory_order_relaxed);
+  g_stat_items.fetch_add(n, std::memory_order_relaxed);
   // ~4 chunks per thread for dynamic load balancing, but never below the
   // caller's grain (each chunk should amortise its dispatch).
   size_t chunk = std::max(grain, (n + threads * 4 - 1) / (threads * 4));
   pool.Run(n, chunk, body);
+}
+
+ParallelPoolStats GetParallelPoolStats() {
+  ParallelPoolStats stats;
+  stats.regions = g_stat_regions.load(std::memory_order_relaxed);
+  stats.serial_regions = g_stat_serial_regions.load(std::memory_order_relaxed);
+  stats.chunks = g_stat_chunks.load(std::memory_order_relaxed);
+  stats.items = g_stat_items.load(std::memory_order_relaxed);
+  stats.worker_idle_seconds =
+      static_cast<double>(g_stat_idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+  return stats;
+}
+
+void ResetParallelPoolStats() {
+  g_stat_regions.store(0, std::memory_order_relaxed);
+  g_stat_serial_regions.store(0, std::memory_order_relaxed);
+  g_stat_chunks.store(0, std::memory_order_relaxed);
+  g_stat_items.store(0, std::memory_order_relaxed);
+  g_stat_idle_ns.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sarn

@@ -17,6 +17,7 @@
 #define SARN_COMMON_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace sarn {
@@ -46,6 +47,22 @@ void ParallelFor(size_t n, const std::function<void(size_t begin, size_t end)>& 
 /// True while the current thread is executing a ParallelFor body (nested
 /// calls therefore run serially). Exposed for tests and assertions.
 bool InParallelRegion();
+
+/// Cumulative activity counters of the parallel runtime, for telemetry.
+/// Counters are updated with relaxed atomics once per region / chunk / park
+/// cycle (never per item), so the cost is noise even on hot kernels.
+struct ParallelPoolStats {
+  uint64_t regions = 0;         // ParallelFor calls dispatched to the pool.
+  uint64_t serial_regions = 0;  // Calls that ran inline (small / nested / 1 thread).
+  uint64_t chunks = 0;          // Dynamic chunks executed across all threads.
+  uint64_t items = 0;           // Items covered by pool-dispatched regions.
+  double worker_idle_seconds = 0.0;  // Total time workers spent parked.
+};
+
+/// Snapshot of the counters since process start (or the last reset). Epoch
+/// telemetry consumes deltas between successive snapshots.
+ParallelPoolStats GetParallelPoolStats();
+void ResetParallelPoolStats();
 
 }  // namespace sarn
 

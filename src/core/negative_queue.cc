@@ -24,7 +24,11 @@ void NegativeQueueStore::Push(roadnet::SegmentId segment, std::vector<float> emb
   std::deque<QueueEntry>& queue =
       queues_[static_cast<size_t>(cell_of_segment_[static_cast<size_t>(segment)])];
   queue.push_back({segment, std::move(embedding)});
-  if (static_cast<int>(queue.size()) > capacity_) queue.pop_front();
+  ++pushes_;
+  if (static_cast<int>(queue.size()) > capacity_) {
+    queue.pop_front();
+    ++evictions_;
+  }
 }
 
 std::vector<const QueueEntry*> NegativeQueueStore::LocalNegatives(

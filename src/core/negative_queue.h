@@ -63,6 +63,13 @@ class NegativeQueueStore {
   int per_cell_capacity() const { return capacity_; }
   int64_t TotalStored() const;
 
+  /// Telemetry: cumulative Push calls / FIFO evictions since construction.
+  /// Deliberately *not* part of the checkpointed state — a resumed run's
+  /// counters restart at the restore point, but the queue contents (which
+  /// drive training) are restored exactly.
+  uint64_t push_count() const { return pushes_; }
+  uint64_t eviction_count() const { return evictions_; }
+
   /// Cells with at least one entry, ascending.
   std::vector<int> NonEmptyCells() const;
 
@@ -79,6 +86,8 @@ class NegativeQueueStore {
   std::vector<int> cell_of_segment_;
   int capacity_;
   std::vector<std::deque<QueueEntry>> queues_;
+  uint64_t pushes_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace sarn::core

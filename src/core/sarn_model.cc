@@ -7,8 +7,11 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace sarn::core {
@@ -55,6 +58,32 @@ void NormalizeVector(std::vector<float>& v) {
   for (float x : v) sq += static_cast<double>(x) * x;
   float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
   for (float& x : v) x *= inv;
+}
+
+// Wall-time breakdown of one training epoch; field order is the emission
+// order in the metrics file.
+struct EpochPhases {
+  double augmentation = 0.0;
+  double target_forward = 0.0;
+  double online_forward = 0.0;
+  double loss = 0.0;
+  double backward = 0.0;
+  double optimizer_step = 0.0;
+  double queue_push = 0.0;
+  double checkpoint_write = 0.0;
+
+  std::vector<std::pair<std::string, double>> AsList() const {
+    return {{"augmentation", augmentation},   {"target_forward", target_forward},
+            {"online_forward", online_forward}, {"loss", loss},
+            {"backward", backward},           {"optimizer_step", optimizer_step},
+            {"queue_push", queue_push},       {"checkpoint_write", checkpoint_write}};
+  }
+};
+
+int64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<int64_t>(size);
 }
 
 }  // namespace
@@ -244,24 +273,34 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
     }
   }
   if (checkpointing && options.resume) {
-    // Newest first; skip anything corrupt or mismatched with a warning.
+    // Newest first; every skipped or restored file becomes a structured
+    // checkpoint lifecycle event (log line + registry counter + sink).
     for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(options.checkpoint_dir)) {
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = ckpt_epoch;
       nn::TrainingCheckpoint ckpt;
+      Timer load_timer;
       nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
       if (!status.ok()) {
-        SARN_LOG(Warning) << "skipping checkpoint " << path << " ["
-                          << nn::CheckpointErrorName(status.error)
-                          << "]: " << status.message;
+        event.action = obs::CheckpointEvent::Action::kSkippedCorrupt;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
         continue;
       }
       if (!ApplyCheckpoint(ckpt, optimizer, schedule, rng, progress)) {
-        SARN_LOG(Warning) << "skipping checkpoint " << path
-                          << ": state does not match this model/config";
+        event.action = obs::CheckpointEvent::Action::kSkippedMismatch;
+        event.detail = "state does not match this model/config";
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
         continue;
       }
+      event.action = obs::CheckpointEvent::Action::kResumedFrom;
+      event.epoch = progress.next_epoch;
+      event.bytes = FileSizeOrZero(path);
+      event.seconds = load_timer.ElapsedSeconds();
+      obs::RecordCheckpointEvent(options.metrics_sink, event);
       stats.resumed_from_epoch = progress.next_epoch;
-      SARN_LOG(Info) << "resumed training from " << path << " ("
-                     << progress.next_epoch << " epochs already complete)";
       break;
     }
   }
@@ -273,16 +312,38 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
+  // Cached instrument references: one registry lock each, lock-free updates
+  // in the loop. Telemetry is measurement-only — it must never touch `rng`
+  // or the numerics, or resumed runs would stop being bitwise reproducible.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter& epochs_counter = registry.GetCounter("sarn.train.epochs");
+  obs::Counter& batches_counter = registry.GetCounter("sarn.train.batches");
+  obs::Gauge& loss_gauge = registry.GetGauge("sarn.train.loss");
+  obs::Gauge& lr_gauge = registry.GetGauge("sarn.train.lr");
+  obs::Gauge& grad_norm_gauge = registry.GetGauge("sarn.train.grad_norm");
+  obs::Gauge& queue_stored_gauge = registry.GetGauge("sarn.queue.stored");
+  obs::Histogram& epoch_seconds_hist =
+      registry.GetHistogram("sarn.train.epoch_seconds");
+
   int stop_after = options.max_epochs >= 0
                        ? std::min(options.max_epochs, config_.max_epochs)
                        : config_.max_epochs;
   for (int epoch = progress.next_epoch; epoch < stop_after && !stats.aborted;
        ++epoch) {
+    SARN_TRACE_SPAN("train_epoch");
+    Timer epoch_timer;
+    EpochPhases phases;
+    ParallelPoolStats pool_before = GetParallelPoolStats();
+    double grad_norm_sum = 0.0;
+
     schedule.OnEpoch(optimizer, epoch);
-    GraphView view1 =
-        AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
-    GraphView view2 =
-        AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+    GraphView view1, view2;
+    {
+      SARN_TRACE_SPAN("augmentation");
+      obs::ScopedPhaseTimer phase(&phases.augmentation);
+      view1 = AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+      view2 = AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
+    }
     // Reshuffle from the identity so the batch order is a pure function of
     // the RNG state — which is checkpointed — rather than of the cumulative
     // permutation history, which is not. Statistically equivalent (a uniform
@@ -300,17 +361,29 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
       // Target branch first (fills z' and, later, the queues).
       Tensor z_prime_batch;
       {
+        SARN_TRACE_SPAN("target_forward");
+        obs::ScopedPhaseTimer phase(&phases.target_forward);
         tensor::NoGradGuard guard;
         Tensor z_prime_all = TargetProject(view2.edges);
         z_prime_batch = tensor::Rows(z_prime_all, batch);
       }
 
       // Online branch.
-      Tensor h = OnlineEncode(view1.edges);
-      Tensor z_all = tensor::RowL2Normalize(online_head_->Forward(h));
-      Tensor z_batch = tensor::Rows(z_all, batch);
+      Tensor z_batch;
+      {
+        SARN_TRACE_SPAN("online_forward");
+        obs::ScopedPhaseTimer phase(&phases.online_forward);
+        Tensor h = OnlineEncode(view1.edges);
+        Tensor z_all = tensor::RowL2Normalize(online_head_->Forward(h));
+        z_batch = tensor::Rows(z_all, batch);
+      }
 
-      Tensor loss = ComputeLoss(z_batch, z_prime_batch, batch, rng);
+      Tensor loss;
+      {
+        SARN_TRACE_SPAN("loss");
+        obs::ScopedPhaseTimer phase(&phases.loss);
+        loss = ComputeLoss(z_batch, z_prime_batch, batch, rng);
+      }
       float loss_value = loss.item();
       if (!std::isfinite(loss_value)) {
         stats.aborted = true;
@@ -322,9 +395,14 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
       epoch_loss += loss_value;
       ++batches;
 
-      optimizer.ZeroGrad();
-      loss.Backward();
-      double grad_norm_sq = GradNormSquared(parameters);
+      double grad_norm_sq = 0.0;
+      {
+        SARN_TRACE_SPAN("backward");
+        obs::ScopedPhaseTimer phase(&phases.backward);
+        optimizer.ZeroGrad();
+        loss.Backward();
+        grad_norm_sq = GradNormSquared(parameters);
+      }
       if (!std::isfinite(grad_norm_sq)) {
         // Abort before Step(): parameters keep their last finite values.
         stats.aborted = true;
@@ -333,17 +411,26 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
                              std::to_string(batches - 1);
         break;
       }
-      optimizer.Step();
-      nn::MomentumUpdate(target_params, online_params_no_features, config_.momentum);
+      grad_norm_sum += std::sqrt(grad_norm_sq);
+      {
+        SARN_TRACE_SPAN("optimizer_step");
+        obs::ScopedPhaseTimer phase(&phases.optimizer_step);
+        optimizer.Step();
+        nn::MomentumUpdate(target_params, online_params_no_features, config_.momentum);
+      }
 
       // Queue update with the fresh momentum projections (Algorithm 1 L15).
-      for (size_t i = 0; i < batch.size(); ++i) {
-        std::vector<float> embedding(
-            z_prime_batch.data().begin() + static_cast<int64_t>(i) * config_.projection_dim,
-            z_prime_batch.data().begin() +
-                static_cast<int64_t>(i + 1) * config_.projection_dim);
-        NormalizeVector(embedding);
-        queues_->Push(batch[i], std::move(embedding));
+      {
+        SARN_TRACE_SPAN("queue_push");
+        obs::ScopedPhaseTimer phase(&phases.queue_push);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          std::vector<float> embedding(
+              z_prime_batch.data().begin() + static_cast<int64_t>(i) * config_.projection_dim,
+              z_prime_batch.data().begin() +
+                  static_cast<int64_t>(i + 1) * config_.projection_dim);
+          NormalizeVector(embedding);
+          queues_->Push(batch[i], std::move(embedding));
+        }
       }
     }
     if (stats.aborted) {
@@ -369,23 +456,73 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
       stopping = true;
     }
 
+    int64_t checkpoint_bytes = 0;
     if (checkpointing &&
         (stopping || (epoch + 1) % std::max(1, options.checkpoint_every) == 0)) {
+      SARN_TRACE_SPAN("checkpoint_write");
+      obs::ScopedPhaseTimer phase(&phases.checkpoint_write);
       std::string path = options.checkpoint_dir + "/" +
                          nn::CheckpointFileName(progress.next_epoch);
+      Timer write_timer;
       nn::CheckpointStatus status = nn::SaveCheckpoint(
           path, BuildCheckpoint(optimizer, schedule, rng, progress));
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = progress.next_epoch;
+      event.seconds = write_timer.ElapsedSeconds();
       if (status.ok()) {
         ++stats.checkpoints_written;
+        checkpoint_bytes = FileSizeOrZero(path);
+        event.action = obs::CheckpointEvent::Action::kWritten;
+        event.bytes = checkpoint_bytes;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
         nn::PruneCheckpoints(options.checkpoint_dir, options.keep_last);
       } else {
-        SARN_LOG(Error) << "cannot write checkpoint " << path << " ["
-                        << nn::CheckpointErrorName(status.error)
-                        << "]: " << status.message;
+        event.action = obs::CheckpointEvent::Action::kWriteFailed;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
       }
+    }
+
+    double epoch_seconds = epoch_timer.ElapsedSeconds();
+    double grad_norm_mean = grad_norm_sum / std::max(1, batches);
+    epochs_counter.Increment();
+    batches_counter.Increment(static_cast<uint64_t>(batches));
+    loss_gauge.Set(epoch_loss);
+    lr_gauge.Set(optimizer.learning_rate());
+    grad_norm_gauge.Set(grad_norm_mean);
+    queue_stored_gauge.Set(static_cast<double>(queues_->TotalStored()));
+    epoch_seconds_hist.Observe(epoch_seconds);
+    if (options.metrics_sink != nullptr) {
+      ParallelPoolStats pool_after = GetParallelPoolStats();
+      obs::EpochRecord record;
+      record.run = "sarn";
+      record.epoch = epoch;
+      record.loss = epoch_loss;
+      record.grad_norm = grad_norm_mean;
+      record.learning_rate = optimizer.learning_rate();
+      record.batches = batches;
+      record.epoch_seconds = epoch_seconds;
+      record.resumed = stats.resumed_from_epoch > 0;
+      record.phase_seconds = phases.AsList();
+      record.queue_stored = queues_->TotalStored();
+      record.queue_nonempty_cells =
+          static_cast<int64_t>(queues_->NonEmptyCells().size());
+      record.queue_pushes = queues_->push_count();
+      record.queue_evictions = queues_->eviction_count();
+      record.checkpoint_bytes = checkpoint_bytes;
+      record.checkpoint_seconds = phases.checkpoint_write;
+      record.pool_regions = pool_after.regions - pool_before.regions;
+      record.pool_chunks = pool_after.chunks - pool_before.chunks;
+      record.pool_items = pool_after.items - pool_before.items;
+      record.pool_idle_seconds =
+          pool_after.worker_idle_seconds - pool_before.worker_idle_seconds;
+      options.metrics_sink->OnEpoch(record);
     }
     if (stopping) break;
   }
+  if (options.metrics_sink != nullptr) options.metrics_sink->Flush();
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }

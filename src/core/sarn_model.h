@@ -24,6 +24,7 @@
 #include "nn/gat.h"
 #include "nn/projection_head.h"
 #include "nn/serialization.h"
+#include "obs/metrics_sink.h"
 #include "roadnet/features.h"
 #include "roadnet/road_network.h"
 #include "tensor/optimizer.h"
@@ -71,6 +72,12 @@ struct TrainOptions {
   /// interrupted-and-resumed run is bitwise identical to an uninterrupted
   /// one.
   int max_epochs = -1;
+  /// Optional telemetry sink (not owned; must outlive the Train call).
+  /// Receives one obs::EpochRecord per completed epoch plus checkpoint
+  /// lifecycle events. Telemetry is measurement-only: it never touches the
+  /// RNG or the numerics, so a run with a sink attached is bitwise identical
+  /// to one without.
+  obs::MetricsSink* metrics_sink = nullptr;
 };
 
 class SarnModel {

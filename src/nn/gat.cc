@@ -1,6 +1,7 @@
 #include "nn/gat.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace sarn::nn {
@@ -46,6 +47,7 @@ GatLayer::GatLayer(int64_t in_dim, int64_t head_dim, int num_heads, bool concat_
 }
 
 Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
+  SARN_TRACE_SPAN("gat_layer_forward");
   SARN_CHECK_EQ(x.rank(), 2);
   int64_t n = x.shape()[0];
   // Self-loops make every vertex attend to itself; without them isolated
@@ -137,6 +139,7 @@ GatEncoder::GatEncoder(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
 }
 
 Tensor GatEncoder::Forward(const Tensor& x, const EdgeList& edges) const {
+  SARN_TRACE_SPAN("gat_forward");
   Tensor h = x;
   for (const GatLayer& layer : layers_) h = layer.Forward(h, edges);
   return h;

@@ -1,0 +1,257 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sarn::obs {
+namespace {
+
+// Recursive-descent validator over a string_view cursor. Depth-capped so a
+// pathological input cannot blow the stack.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool Validate(std::string* error) {
+    SkipSpace();
+    if (!Value(0)) {
+      Fill(error);
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      message_ = "trailing bytes after JSON value";
+      Fill(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool Fail(const char* message) {
+    if (message_.empty()) message_ = message;
+    return false;
+  }
+
+  void Fill(std::string* error) {
+    if (error != nullptr) {
+      *error = message_.empty() ? "invalid JSON" : message_;
+      *error += " (at byte " + std::to_string(pos_) + ")";
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (AtEnd() || Peek() != '"') return Fail("expected string");
+    ++pos_;
+    while (!AtEnd()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Fail("truncated escape");
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected digit");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd()) return Fail("truncated number");
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!Digits()) return Fail("bad fraction");
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return Fail("bad exponent");
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("expected value");
+    char c = Peek();
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return Number();
+    return Fail("unexpected character");
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipSpace();
+      if (!Value(depth + 1)) return false;
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!Value(depth + 1)) return false;
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool JsonValid(std::string_view text, std::string* error) {
+  return Validator(text).Validate(error);
+}
+
+bool JsonLinesValid(std::string_view text, std::string* error) {
+  size_t line_start = 0;
+  int line_number = 1;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    bool blank = line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (!blank && !JsonValid(line, error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": " + *error;
+      }
+      return false;
+    }
+    if (line_end == text.size()) break;
+    line_start = line_end + 1;
+    ++line_number;
+  }
+  return true;
+}
+
+void JsonEscape(std::string_view value, std::string* out) {
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace sarn::obs

@@ -1,0 +1,32 @@
+// Minimal RFC 8259 JSON *validator* (no DOM): used by tests and the CLI's
+// check-json command to verify that exported telemetry (Chrome traces,
+// JSONL metrics files) is well-formed without pulling in a JSON library.
+
+#ifndef SARN_OBS_JSON_H_
+#define SARN_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace sarn::obs {
+
+/// True when `text` is exactly one valid JSON value (leading/trailing
+/// whitespace allowed). On failure, `*error` (if non-null) describes the
+/// first problem with its byte offset.
+bool JsonValid(std::string_view text, std::string* error = nullptr);
+
+/// True when every non-empty line of `text` is a valid JSON value — the
+/// JSON-Lines shape of the metrics file. Empty input is valid (zero records).
+bool JsonLinesValid(std::string_view text, std::string* error = nullptr);
+
+/// Appends `value` to `out` with JSON string escaping ("quotes", backslash,
+/// control characters), without the surrounding quotes.
+void JsonEscape(std::string_view value, std::string* out);
+
+/// Formats a double as a JSON number; non-finite values become null (JSON
+/// has no NaN/Infinity).
+std::string JsonNumber(double value);
+
+}  // namespace sarn::obs
+
+#endif  // SARN_OBS_JSON_H_

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarn::obs {
+namespace {
+
+// CAS-add for pre-C++20-fetch_add atomic<double> portability.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  SARN_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SARN_CHECK(bounds_[i - 1] < bounds_[i]) << "bucket bounds must ascend";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound contains `value`; overflow otherwise.
+  size_t bucket = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+                  bounds_.begin();
+  if (bucket > 0 && value == bounds_[bucket - 1]) bucket -= 1;  // Inclusive bound.
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+}
+
+double Histogram::Mean() const {
+  uint64_t count = Count();
+  return count == 0 ? 0.0 : Sum() / static_cast<double>(count);
+}
+
+double Histogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == counts.size() - 1) return bounds_.back();  // Overflow bucket.
+      double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      double upper = bounds_[i];
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  SARN_CHECK_GT(start, 0.0);
+  SARN_CHECK_GT(factor, 1.0);
+  SARN_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // Seconds: 1us .. ~134s in x4 steps (14 buckets + overflow).
+  return ExponentialBuckets(1e-6, 4.0, 14);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramStat stat;
+    stat.name = name;
+    stat.count = histogram->Count();
+    stat.sum = histogram->Sum();
+    stat.p50 = histogram->Percentile(50.0);
+    stat.p95 = histogram->Percentile(95.0);
+    stat.p99 = histogram->Percentile(99.0);
+    snapshot.histograms.push_back(std::move(stat));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace sarn::obs

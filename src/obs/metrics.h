@@ -1,0 +1,134 @@
+// Lock-cheap training metrics: counters, gauges and fixed-bucket histograms
+// behind a name-keyed registry.
+//
+// Design: looking an instrument up in the registry takes a mutex (once per
+// call site — instruments are meant to be cached in a local or static
+// reference), but *updating* an instrument is a relaxed atomic operation, so
+// thread-pool workers can bump counters and observe histogram samples from
+// inside a ParallelFor body without serialising on a lock. Instrument
+// references stay valid for the registry's lifetime: ResetForTest() zeroes
+// values in place rather than destroying nodes.
+//
+// Naming scheme (DESIGN.md §9): dotted lowercase, subsystem first —
+// "sarn.train.epochs", "sarn.checkpoint.write_seconds", "sarn.pool.chunks".
+
+#ifndef SARN_OBS_METRICS_H_
+#define SARN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sarn::obs {
+
+/// Monotonically increasing event count. All operations are relaxed atomics.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. queue occupancy, current LR).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for non-negative samples (durations, byte counts).
+/// Buckets are defined by ascending finite upper bounds; one implicit
+/// overflow bucket catches everything above the last bound. Observation is a
+/// relaxed fetch_add on one bucket plus a CAS-add on the running sum, so
+/// concurrent Observe calls never lose counts.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Estimated p-th percentile (p in [0, 100]) by linear interpolation
+  /// inside the bucket holding the target rank; samples in the overflow
+  /// bucket are attributed to the last finite bound. 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds_.size() + 1 entries (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket bounds: start, start*factor, ... (count bounds).
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+/// Default latency buckets: 1us .. ~2min, x4 steps.
+std::vector<double> DefaultLatencyBuckets();
+
+/// Point-in-time copy of every instrument, for export and tests.
+struct MetricsSnapshot {
+  struct HistogramStat {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;  // Sorted by name.
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramStat> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the SARN_* instrumentation.
+  static MetricsRegistry& Default();
+
+  /// Finds or creates the named instrument. The returned reference is valid
+  /// for the registry's lifetime; cache it at the call site and update
+  /// lock-free. GetHistogram ignores `upper_bounds` when the name exists.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = DefaultLatencyBuckets());
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument in place (references stay valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sarn::obs
+
+#endif  // SARN_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sarn::obs {
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNanos()) {}
+
+Tracer& Tracer::Instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+uint64_t Tracer::NowMicros() const {
+  return (SteadyNowNanos() - epoch_ns_) / 1000;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::Record(const char* name, uint64_t begin_us, uint64_t dur_us) {
+  TraceEvent event;
+  event.name = name;
+  event.tid = ThreadId();
+  event.begin_us = begin_us;
+  event.dur_us = dur_us;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_us < b.begin_us;
+            });
+  return events;
+}
+
+std::vector<Tracer::PhaseTotal> Tracer::Aggregate(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::string, PhaseTotal> by_name;
+  for (const TraceEvent& event : events) {
+    PhaseTotal& total = by_name[event.name];
+    total.name = event.name;
+    total.count += 1;
+    total.seconds += static_cast<double>(event.dur_us) * 1e-6;
+  }
+  std::vector<PhaseTotal> totals;
+  totals.reserve(by_name.size());
+  for (auto& [name, total] : by_name) totals.push_back(std::move(total));
+  std::sort(totals.begin(), totals.end(),
+            [](const PhaseTotal& a, const PhaseTotal& b) {
+              return a.seconds > b.seconds;
+            });
+  return totals;
+}
+
+std::string Tracer::ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"";
+    // Span names are identifiers by convention; escape defensively anyway.
+    for (const char* p = event.name; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') json += '\\';
+      json += *p;
+    }
+    json += "\",\"cat\":\"sarn\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+            std::to_string(event.tid) +
+            ",\"ts\":" + std::to_string(event.begin_us) +
+            ",\"dur\":" + std::to_string(event.dur_us) + "}";
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}";
+  return json;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path,
+                              const std::vector<TraceEvent>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SARN_LOG(Error) << "cannot open trace file " << path;
+    return false;
+  }
+  out << ToChromeTraceJson(events) << "\n";
+  out.flush();
+  if (!out.good()) {
+    SARN_LOG(Error) << "short write to trace file " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sarn::obs

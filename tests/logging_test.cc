@@ -1,0 +1,109 @@
+// Tests for the leveled logger: level parsing, environment initialisation,
+// the ISO-8601 + thread-id prefix format, and the lazy-formatting guarantee
+// (a disabled SARN_LOG never evaluates its streamed operands).
+
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <regex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+// Restores the global log level around each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override {
+    SetLogLevel(saved_);
+    unsetenv("SARN_LOG_LEVEL");
+  }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsAliasesCaseInsensitively) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+}
+
+TEST_F(LoggingTest, LogLevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvAppliesValidValues) {
+  setenv("SARN_LOG_LEVEL", "error", 1);
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Invalid values are rejected and leave the level unchanged.
+  SetLogLevel(LogLevel::kInfo);
+  setenv("SARN_LOG_LEVEL", "shout", 1);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+
+  // Unset variable is a no-op success.
+  unsetenv("SARN_LOG_LEVEL");
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, PrefixHasIsoTimestampThreadIdAndLocation) {
+  std::string prefix = internal::LogPrefix(LogLevel::kWarning, "dir/file.cc", 42);
+  // "[WARN 2026-08-06T12:34:56.789Z t3 file.cc:42] " — basename only.
+  std::regex pattern(
+      R"(\[WARN \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d+ file\.cc:42\] )");
+  EXPECT_TRUE(std::regex_match(prefix, pattern)) << prefix;
+}
+
+TEST_F(LoggingTest, ThreadIdsAreStableAndDistinct) {
+  uint32_t mine = ThreadId();
+  EXPECT_GT(mine, 0u);
+  EXPECT_EQ(ThreadId(), mine);  // Stable within a thread.
+  uint32_t other = 0;
+  std::thread thread([&other] { other = ThreadId(); });
+  thread.join();
+  EXPECT_NE(other, mine);
+}
+
+TEST_F(LoggingTest, DisabledLevelDoesNotEvaluateOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  SARN_LOG(Debug) << expensive();
+  SARN_LOG(Info) << expensive();
+  SARN_LOG(Warning) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SARN_LOG(Error) << "enabled error, no operand side effects to count";
+  SetLogLevel(LogLevel::kDebug);
+  SARN_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MacroComposesWithControlFlow) {
+  // The ternary expansion must not capture a trailing else (classic
+  // dangling-else hazard for unbraced macros).
+  SetLogLevel(LogLevel::kError);
+  bool took_else = false;
+  if (false)
+    SARN_LOG(Info) << "never";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+}  // namespace
+}  // namespace sarn

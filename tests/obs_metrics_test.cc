@@ -1,0 +1,189 @@
+// Tests for the obs metrics registry: counters, gauges, histogram bucket and
+// percentile math, snapshots, and lock-free updates from ParallelFor workers
+// (the concurrent cases are the ones the TSan build watches).
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace sarn::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -1.25);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignmentWithInclusiveBounds) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);  // (0, 1]   -> bucket 0
+  histogram.Observe(1.0);  // == bound -> bucket 0 (inclusive upper bound)
+  histogram.Observe(1.5);  // (1, 2]   -> bucket 1
+  histogram.Observe(4.0);  // == bound -> bucket 2
+  histogram.Observe(9.0);  // overflow -> bucket 3
+  std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite buckets + overflow.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), histogram.Sum() / 5.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  // 10 samples all landing in bucket (10, 20]: rank r of 10 maps to
+  // 10 + 10 * r/10, i.e. p50 -> 15, p100 -> 20.
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 15.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(10.0), 11.0);
+}
+
+TEST(HistogramTest, PercentileSpansBuckets) {
+  // 50 samples in (0, 1], 50 in (1, 2]: the median sits at the edge of the
+  // first bucket and p75 is halfway through the second.
+  Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 50; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 50; ++i) histogram.Observe(1.5);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(75.0), 1.5);
+}
+
+TEST(HistogramTest, OverflowSamplesClampToLastBound) {
+  Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 4; ++i) histogram.Observe(100.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99.0), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram histogram({1.0});
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, ResetZeroesInPlace) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+  for (uint64_t c : histogram.BucketCounts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(ExponentialBucketsTest, GeometricSeries) {
+  std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  std::vector<double> latency = DefaultLatencyBuckets();
+  ASSERT_FALSE(latency.empty());
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, InstrumentsArePersistentByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.counter");
+  Counter& b = registry.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Increment(7);
+  EXPECT_EQ(b.Value(), 7u);
+
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(2.5);
+  Histogram& histogram = registry.GetHistogram("test.hist", {1.0, 2.0});
+  histogram.Observe(0.5);
+  // Second lookup ignores the (different) bounds and returns the same node.
+  Histogram& same = registry.GetHistogram("test.hist", {99.0});
+  EXPECT_EQ(&histogram, &same);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "test.counter");
+  EXPECT_EQ(snapshot.counters[0].second, 7u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 2.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+}
+
+TEST(MetricsRegistryTest, ResetForTestKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("persist");
+  counter.Increment(5);
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();  // Reference still valid after reset.
+  EXPECT_EQ(registry.GetCounter("persist").Value(), 1u);
+}
+
+TEST(MetricsConcurrencyTest, CountersFromParallelForWorkers) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("parallel.items");
+  Histogram& histogram = registry.GetHistogram("parallel.values", {256.0, 512.0, 1024.0});
+  constexpr size_t kItems = 20000;
+  ParallelFor(
+      kItems,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          counter.Increment();
+          histogram.Observe(static_cast<double>(i % 1024));
+        }
+      },
+      /*grain=*/64);
+  EXPECT_EQ(counter.Value(), kItems);
+  EXPECT_EQ(histogram.Count(), kItems);
+}
+
+TEST(MetricsConcurrencyTest, RawThreadsAgreeOnTotals) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("threads.count");
+  Gauge& gauge = registry.GetGauge("threads.gauge");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        gauge.Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(gauge.Value(), 0.0);
+  EXPECT_LT(gauge.Value(), static_cast<double>(kPerThread));
+}
+
+}  // namespace
+}  // namespace sarn::obs

@@ -1,0 +1,155 @@
+// Tests for the trace-span subsystem: recording semantics, multi-thread
+// buffers, per-phase aggregation and Chrome trace_event export.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sarn::obs {
+namespace {
+
+// The tracer is a process-wide singleton; each test drains it and restores
+// the disabled state so tests stay independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().SetEnabled(false);
+    Tracer::Instance().Drain();
+  }
+  void TearDown() override {
+    Tracer::Instance().SetEnabled(false);
+    Tracer::Instance().Drain();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  {
+    SARN_TRACE_SPAN("ignored");
+  }
+  EXPECT_TRUE(Tracer::Instance().Drain().empty());
+}
+
+#if defined(SARN_OBS_NO_TRACE)
+TEST_F(TraceTest, MacroIsCompiledOutUnderKillSwitch) {
+  Tracer::Instance().SetEnabled(true);
+  {
+    SARN_TRACE_SPAN("never_recorded");
+  }
+  EXPECT_TRUE(Tracer::Instance().Drain().empty());
+}
+#endif
+
+// Recording-semantics tests construct TraceSpan directly: the class always
+// exists; only the SARN_TRACE_SPAN macro is removed by SARN_OBS_NO_TRACE.
+TEST_F(TraceTest, EnabledSpanRecordsOneEvent) {
+  Tracer::Instance().SetEnabled(true);
+  {
+    TraceSpan span("unit_of_work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<TraceEvent> events = Tracer::Instance().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_of_work");
+  EXPECT_GT(events[0].dur_us, 0u);
+  EXPECT_GT(events[0].tid, 0u);
+  // Drain removes: a second drain is empty.
+  EXPECT_TRUE(Tracer::Instance().Drain().empty());
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledStaysInert) {
+  std::vector<TraceEvent> events;
+  {
+    TraceSpan span("opened_disabled");
+    Tracer::Instance().SetEnabled(true);
+  }
+  events = Tracer::Instance().Drain();
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(TraceTest, EventsFromMultipleThreadsAreCollected) {
+  Tracer::Instance().SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker_span");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<TraceEvent> events = Tracer::Instance().Drain();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * kSpansPerThread);
+  // Drain returns events ordered by begin time.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].begin_us, events[i].begin_us);
+  }
+}
+
+TEST_F(TraceTest, AggregateSumsPerName) {
+  std::vector<TraceEvent> events = {
+      {"alpha", 1, 0, 100},
+      {"beta", 1, 100, 5000},
+      {"alpha", 2, 200, 300},
+  };
+  std::vector<Tracer::PhaseTotal> totals = Tracer::Aggregate(events);
+  ASSERT_EQ(totals.size(), 2u);
+  // Descending by total wall time: beta (5000us) first.
+  EXPECT_EQ(totals[0].name, "beta");
+  EXPECT_EQ(totals[0].count, 1u);
+  EXPECT_NEAR(totals[0].seconds, 5000e-6, 1e-12);
+  EXPECT_EQ(totals[1].name, "alpha");
+  EXPECT_EQ(totals[1].count, 2u);
+  EXPECT_NEAR(totals[1].seconds, 400e-6, 1e-12);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  std::vector<TraceEvent> events = {
+      {"gat_forward", 1, 10, 42},
+      {"loss \"quoted\"\\", 2, 60, 7},  // Name requiring escaping.
+  };
+  std::string json = Tracer::ToChromeTraceJson(events);
+  std::string error;
+  EXPECT_TRUE(JsonValid(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"gat_forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":42"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  std::string json = Tracer::ToChromeTraceJson({});
+  std::string error;
+  EXPECT_TRUE(JsonValid(json, &error)) << error;
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  Tracer::Instance().SetEnabled(true);
+  {
+    TraceSpan span("persisted");
+  }
+  std::vector<TraceEvent> events = Tracer::Instance().Drain();
+  std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path, events));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  std::string error;
+  EXPECT_TRUE(JsonValid(text, &error)) << error;
+  EXPECT_NE(text.find("persisted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sarn::obs

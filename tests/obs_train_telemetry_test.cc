@@ -1,0 +1,221 @@
+// End-to-end telemetry tests: SarnModel::Train with a MetricsSink attached
+// emits one well-formed EpochRecord per epoch plus checkpoint lifecycle
+// events, the JSONL file stays continuous across a kill+resume, and — the
+// PR's core invariant — attaching telemetry does not perturb the numerics
+// (epoch losses are bitwise identical with and without a sink).
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/sarn_model.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/metrics_sink.h"
+#include "obs/trace.h"
+#include "roadnet/synthetic_city.h"
+
+namespace sarn::core {
+namespace {
+
+SarnConfig SmallConfig() {
+  SarnConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 16;
+  config.projection_dim = 8;
+  config.gat_layers = 2;
+  config.gat_heads = 2;
+  config.feature_dim_per_feature = 4;
+  config.max_epochs = 4;
+  config.batch_size = 128;
+  config.queue_budget = 400;
+  return config;
+}
+
+class CollectingSink : public obs::MetricsSink {
+ public:
+  void OnEpoch(const obs::EpochRecord& record) override {
+    epochs.push_back(record);
+  }
+  void OnCheckpoint(const obs::CheckpointEvent& event) override {
+    checkpoints.push_back(event);
+  }
+  void Flush() override { ++flushes; }
+
+  std::vector<obs::EpochRecord> epochs;
+  std::vector<obs::CheckpointEvent> checkpoints;
+  int flushes = 0;
+};
+
+double PhaseSeconds(const obs::EpochRecord& record, const std::string& name) {
+  for (const auto& [phase, seconds] : record.phase_seconds) {
+    if (phase == name) return seconds;
+  }
+  return -1.0;
+}
+
+class TrainTelemetryTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::SyntheticCityConfig city;
+    city.rows = 8;
+    city.cols = 8;
+    network_ = new roadnet::RoadNetwork(roadnet::GenerateSyntheticCity(city));
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    network_ = nullptr;
+  }
+
+  static roadnet::RoadNetwork* network_;
+};
+
+roadnet::RoadNetwork* TrainTelemetryTest::network_ = nullptr;
+
+TEST_F(TrainTelemetryTest, EmitsOneRecordPerEpochWithSaneFields) {
+  SarnModel model(*network_, SmallConfig());
+  CollectingSink sink;
+  TrainOptions options;
+  options.metrics_sink = &sink;
+  TrainStats stats = model.Train(options);
+
+  ASSERT_EQ(static_cast<int>(sink.epochs.size()), stats.epochs_run);
+  EXPECT_GE(sink.flushes, 1);
+  for (int i = 0; i < stats.epochs_run; ++i) {
+    const obs::EpochRecord& record = sink.epochs[static_cast<size_t>(i)];
+    EXPECT_EQ(record.run, "sarn");
+    EXPECT_EQ(record.epoch, i);
+    EXPECT_TRUE(std::isfinite(record.loss));
+    EXPECT_DOUBLE_EQ(record.loss, stats.epoch_losses[static_cast<size_t>(i)]);
+    EXPECT_GT(record.grad_norm, 0.0);
+    EXPECT_GT(record.learning_rate, 0.0);
+    EXPECT_GT(record.batches, 0);
+    EXPECT_GT(record.epoch_seconds, 0.0);
+    EXPECT_FALSE(record.resumed);
+    // The big phases must have been measured.
+    EXPECT_GT(PhaseSeconds(record, "online_forward"), 0.0);
+    EXPECT_GT(PhaseSeconds(record, "target_forward"), 0.0);
+    EXPECT_GT(PhaseSeconds(record, "backward"), 0.0);
+    EXPECT_GE(PhaseSeconds(record, "augmentation"), 0.0);
+    // SARN has negative queues: occupancy is reported.
+    EXPECT_GE(record.queue_stored, 0);
+    EXPECT_GT(record.queue_pushes, 0u);
+  }
+}
+
+TEST_F(TrainTelemetryTest, RegistryTracksEpochsAndLoss) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  uint64_t epochs_before = registry.GetCounter("sarn.train.epochs").Value();
+  SarnModel model(*network_, SmallConfig());
+  TrainStats stats = model.Train(TrainOptions{});
+  EXPECT_EQ(registry.GetCounter("sarn.train.epochs").Value(),
+            epochs_before + static_cast<uint64_t>(stats.epochs_run));
+  EXPECT_DOUBLE_EQ(registry.GetGauge("sarn.train.loss").Value(), stats.final_loss);
+}
+
+TEST_F(TrainTelemetryTest, TelemetryDoesNotPerturbTraining) {
+  // Bitwise invariance: a run with a sink + tracing enabled must produce
+  // exactly the losses of a run with telemetry off (telemetry only measures).
+  SarnConfig config = SmallConfig();
+  TrainStats plain;
+  {
+    SarnModel model(*network_, config);
+    plain = model.Train(TrainOptions{});
+  }
+  TrainStats instrumented;
+  CollectingSink sink;
+  obs::Tracer::Instance().SetEnabled(true);
+  {
+    SarnModel model(*network_, config);
+    TrainOptions options;
+    options.metrics_sink = &sink;
+    instrumented = model.Train(options);
+  }
+  obs::Tracer::Instance().SetEnabled(false);
+  obs::Tracer::Instance().Drain();
+
+  ASSERT_EQ(plain.epochs_run, instrumented.epochs_run);
+  ASSERT_EQ(plain.epoch_losses.size(), instrumented.epoch_losses.size());
+  for (size_t i = 0; i < plain.epoch_losses.size(); ++i) {
+    EXPECT_EQ(plain.epoch_losses[i], instrumented.epoch_losses[i])
+        << "epoch " << i << " diverged with telemetry attached";
+  }
+}
+
+TEST_F(TrainTelemetryTest, CheckpointEventsAndJsonlContinuityAcrossResume) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "obs_telemetry_resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string jsonl = (dir / "metrics.jsonl").string();
+  SarnConfig config = SmallConfig();
+
+  // Phase 1: train to 2 of 4 epochs, then "die".
+  {
+    obs::JsonlMetricsSink sink(jsonl);
+    ASSERT_TRUE(sink.ok());
+    SarnModel model(*network_, config);
+    TrainOptions options;
+    options.checkpoint_dir = (dir / "ckpt").string();
+    options.max_epochs = 2;
+    options.metrics_sink = &sink;
+    TrainStats stats = model.Train(options);
+    EXPECT_EQ(stats.epochs_run, 2);
+  }
+  // Phase 2: fresh process/model resumes and finishes; same JSONL path.
+  {
+    obs::JsonlMetricsSink sink(jsonl);
+    ASSERT_TRUE(sink.ok());
+    CollectingSink mirror;  // Not used here; keeps the type exercised.
+    SarnModel model(*network_, config);
+    TrainOptions options;
+    options.checkpoint_dir = (dir / "ckpt").string();
+    options.metrics_sink = &sink;
+    TrainStats stats = model.Train(options);
+    EXPECT_EQ(stats.resumed_from_epoch, 2);
+    EXPECT_EQ(stats.epochs_run, config.max_epochs);
+  }
+
+  std::ifstream file(jsonl);
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  std::string error;
+  EXPECT_TRUE(obs::JsonLinesValid(text, &error)) << error;
+
+  // The epoch series must be continuous: 0, 1 from the first run and 2, 3
+  // from the resumed one (restored epochs are not re-emitted), with the
+  // resumed run's checkpoint events interleaved.
+  std::vector<int> epoch_series;
+  bool saw_resumed_from = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"event\":\"epoch\"") != std::string::npos) {
+      size_t at = line.find("\"epoch\":");
+      ASSERT_NE(at, std::string::npos);
+      epoch_series.push_back(std::atoi(line.c_str() + at + 8));
+    }
+    if (line.find("\"action\":\"resumed_from\"") != std::string::npos) {
+      saw_resumed_from = true;
+    }
+  }
+  ASSERT_EQ(epoch_series.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(epoch_series[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(saw_resumed_from);
+  EXPECT_NE(text.find("\"action\":\"written\""), std::string::npos);
+  EXPECT_NE(text.find("\"resumed\":true"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sarn::core

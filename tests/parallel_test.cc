@@ -185,6 +185,30 @@ TEST(ParallelTest, ExceptionCarriesMessageAndRemainingChunksRun) {
   EXPECT_EQ(visited.load(), n);
 }
 
+TEST(ParallelTest, PoolStatsCountRegionsChunksAndItems) {
+  size_t original = GetParallelThreads();
+  SetParallelThreads(4);
+  ParallelPoolStats before = GetParallelPoolStats();
+
+  // Small range -> serial region; only serial_regions moves.
+  ParallelFor(4, [](size_t, size_t) {}, /*grain=*/2048);
+  ParallelPoolStats after_serial = GetParallelPoolStats();
+  EXPECT_EQ(after_serial.serial_regions, before.serial_regions + 1);
+  EXPECT_EQ(after_serial.regions, before.regions);
+
+  // Large range with a small grain -> pool dispatch: one region, every item
+  // covered, at least one chunk per participating thread is plausible but
+  // only >= 1 is guaranteed.
+  constexpr size_t kItems = 10000;
+  ParallelFor(kItems, [](size_t, size_t) {}, /*grain=*/16);
+  ParallelPoolStats after_pool = GetParallelPoolStats();
+  EXPECT_EQ(after_pool.regions, after_serial.regions + 1);
+  EXPECT_EQ(after_pool.items, after_serial.items + kItems);
+  EXPECT_GT(after_pool.chunks, after_serial.chunks);
+  EXPECT_GE(after_pool.worker_idle_seconds, 0.0);
+  SetParallelThreads(original);
+}
+
 TEST(ParallelTest, ResizeBetweenRegionsIsSafe) {
   size_t original = GetParallelThreads();
   std::atomic<size_t> count{0};

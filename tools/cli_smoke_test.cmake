@@ -7,15 +7,28 @@ function(run_step)
     message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
   endif()
 endfunction()
+file(REMOVE ${WORK_DIR}/metrics.jsonl ${WORK_DIR}/trace.json)
 run_step(${SARN_CLI} generate --city SF --scale 0.015 --out ${WORK_DIR}/net.csv)
 run_step(${SARN_CLI} train --network ${WORK_DIR}/net.csv --epochs 2 --dim 16
-         --weights ${WORK_DIR}/model.ckpt --embeddings ${WORK_DIR}/emb.csv)
+         --weights ${WORK_DIR}/model.ckpt --embeddings ${WORK_DIR}/emb.csv
+         --metrics-file ${WORK_DIR}/metrics.jsonl
+         --trace-file ${WORK_DIR}/trace.json)
 run_step(${SARN_CLI} export --network ${WORK_DIR}/net.csv
          --embeddings ${WORK_DIR}/emb.csv --out ${WORK_DIR}/atlas.geojson)
 run_step(${SARN_CLI} eval --network ${WORK_DIR}/net.csv
          --embeddings ${WORK_DIR}/emb.csv --task property)
-foreach(artifact net.csv model.ckpt emb.csv atlas.geojson)
+# Telemetry artifacts must parse: the JSONL metrics file line-by-line, the
+# Chrome trace as one JSON document.
+run_step(${SARN_CLI} check-json --in ${WORK_DIR}/metrics.jsonl --lines true)
+run_step(${SARN_CLI} check-json --in ${WORK_DIR}/trace.json)
+foreach(artifact net.csv model.ckpt emb.csv atlas.geojson metrics.jsonl trace.json)
   if(NOT EXISTS ${WORK_DIR}/${artifact})
     message(FATAL_ERROR "missing artifact ${artifact}")
   endif()
 endforeach()
+# One epoch record per trained epoch.
+file(STRINGS ${WORK_DIR}/metrics.jsonl metric_lines REGEX "\"event\":\"epoch\"")
+list(LENGTH metric_lines epoch_lines)
+if(NOT epoch_lines EQUAL 2)
+  message(FATAL_ERROR "expected 2 epoch records in metrics.jsonl, got ${epoch_lines}")
+endif()

@@ -15,12 +15,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/sarn_model.h"
+#include "obs/json.h"
+#include "obs/metrics_sink.h"
+#include "obs/trace.h"
 #include "roadnet/geojson.h"
 #include "roadnet/io.h"
 #include "roadnet/osm_import.h"
@@ -143,11 +151,37 @@ int CmdTrain(const Args& args) {
   options.keep_last = std::atoi(Get(args, "keep-last", "3").c_str());
   options.max_epochs = std::atoi(Get(args, "stop-after", "-1").c_str());
 
+  std::unique_ptr<obs::JsonlMetricsSink> sink;
+  std::string metrics_file = Get(args, "metrics-file");
+  if (!metrics_file.empty()) {
+    sink = std::make_unique<obs::JsonlMetricsSink>(metrics_file);
+    if (!sink->ok()) return Fail("train: cannot open " + metrics_file);
+    options.metrics_sink = sink.get();
+  }
+  std::string trace_file = Get(args, "trace-file");
+  if (!trace_file.empty()) obs::Tracer::Instance().SetEnabled(true);
+
   std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
               static_cast<long long>(network->num_segments()),
               static_cast<long long>(dim), config.max_epochs);
   core::SarnModel model(*network, config);
   core::TrainStats stats = model.Train(options);
+  if (!trace_file.empty()) {
+    std::vector<obs::TraceEvent> events = obs::Tracer::Instance().Drain();
+    obs::Tracer::Instance().SetEnabled(false);
+    if (!obs::Tracer::WriteChromeTrace(trace_file, events)) {
+      return Fail("train: cannot write " + trace_file);
+    }
+    std::printf("trace -> %s (%zu events; load in chrome://tracing)\n",
+                trace_file.c_str(), events.size());
+    for (const auto& phase : obs::Tracer::Aggregate(events)) {
+      std::printf("  %-24s %8llu spans  %8.3fs\n", phase.name.c_str(),
+                  static_cast<unsigned long long>(phase.count), phase.seconds);
+    }
+  }
+  if (sink != nullptr) {
+    std::printf("metrics -> %s\n", metrics_file.c_str());
+  }
   if (stats.aborted) {
     return Fail("train: aborted (" + stats.abort_reason +
                 "); last checkpoint is the restart point");
@@ -234,6 +268,26 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
+// Validates telemetry artifacts: a whole-file JSON value (Chrome trace) or,
+// with --lines true, one JSON value per non-empty line (metrics JSONL).
+int CmdCheckJson(const Args& args) {
+  std::string in = Get(args, "in");
+  if (in.empty()) return Fail("check-json: --in is required");
+  std::ifstream file(in, std::ios::binary);
+  if (!file.is_open()) return Fail("check-json: cannot open " + in);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  bool lines = Get(args, "lines", "false") == "true";
+  std::string error;
+  bool valid = lines ? obs::JsonLinesValid(text, &error)
+                     : obs::JsonValid(text, &error);
+  if (!valid) return Fail("check-json: " + in + ": " + error);
+  std::printf("%s: valid %s (%zu bytes)\n", in.c_str(),
+              lines ? "JSON lines" : "JSON", text.size());
+  return 0;
+}
+
 int Usage() {
   std::printf(
       "usage: sarn <command> [--key value ...]\n"
@@ -243,20 +297,32 @@ int Usage() {
       "             [--weights model.ckpt] [--embeddings emb.csv]\n"
       "             [--checkpoint-dir DIR] [--checkpoint-every N] [--keep-last K]\n"
       "             [--stop-after E]  (stop once E total epochs done; resume later)\n"
+      "             [--metrics-file run.jsonl]  (one JSON line per epoch)\n"
+      "             [--trace-file trace.json]   (Chrome trace of training phases)\n"
       "  export     --network net.csv --embeddings emb.csv --out atlas.geojson\n"
-      "  eval       --network net.csv --embeddings emb.csv [--task property|spd|traj|all]\n");
+      "  eval       --network net.csv --embeddings emb.csv [--task property|spd|traj|all]\n"
+      "  check-json --in file [--lines true]  (validate JSON / JSONL telemetry)\n"
+      "global: --log-level debug|info|warning|error  (overrides SARN_LOG_LEVEL)\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Args args = ParseArgs(argc, argv, 2);
+  std::string log_level = Get(args, "log-level");
+  if (!log_level.empty()) {
+    std::optional<LogLevel> level = ParseLogLevel(log_level);
+    if (!level.has_value()) return Fail("unknown --log-level " + log_level);
+    SetLogLevel(*level);
+  }
   if (command == "generate") return CmdGenerate(args);
   if (command == "import-osm") return CmdImportOsm(args);
   if (command == "train") return CmdTrain(args);
   if (command == "export") return CmdExport(args);
   if (command == "eval") return CmdEval(args);
+  if (command == "check-json") return CmdCheckJson(args);
   return Usage();
 }
 

@@ -4,10 +4,14 @@
 #   2. the checkpoint/resume suite (ctest -L checkpoint) run on its own, so a
 #      resume-determinism or corrupt-file-handling regression is reported by
 #      name even when something earlier in the suite also fails;
-#   3. the concurrency-sensitive tests (parallel runtime, matmul kernels,
-#      GAT fusion) plus the checkpoint suite rebuilt under ThreadSanitizer,
-#      so a pool regression or a race in resumed training shows up as a
-#      reported race instead of a rare flake.
+#   3. the observability suite (ctest -L obs) plus a telemetry smoke run of
+#      the CLI: 2 training epochs with --metrics-file/--trace-file, then
+#      check-json on both artifacts;
+#   4. the concurrency-sensitive tests (parallel runtime, matmul kernels,
+#      GAT fusion, metrics registry) plus the checkpoint suite rebuilt under
+#      ThreadSanitizer, so a pool regression, a race in resumed training, or
+#      a race on a telemetry instrument shows up as a reported race instead
+#      of a rare flake.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan]
 set -euo pipefail
@@ -22,14 +26,26 @@ if [[ "$mode" != "--tsan-only" ]]; then
   (cd build && ctest --output-on-failure -j"$jobs")
   # Fault-injection + bitwise resume-determinism tests, isolated for clarity.
   (cd build && ctest --output-on-failure -L checkpoint)
+  # Observability suite: metrics math, trace export, sink continuity.
+  (cd build && ctest --output-on-failure -L obs)
+  # Telemetry smoke: a short training run must produce valid JSONL metrics
+  # and a loadable Chrome trace.
+  obs_dir="build/verify_obs"
+  rm -rf "$obs_dir" && mkdir -p "$obs_dir"
+  build/tools/sarn generate --city CD --scale 0.015 --out "$obs_dir/net.csv"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --metrics-file "$obs_dir/metrics.jsonl" --trace-file "$obs_dir/trace.json"
+  build/tools/sarn check-json --in "$obs_dir/metrics.jsonl" --lines true
+  build/tools/sarn check-json --in "$obs_dir/trace.json"
 fi
 
 if [[ "$mode" != "--no-tsan" ]]; then
   cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j"$jobs" \
-    --target parallel_test ops_test nn_gat_test serialization_test sarn_model_test
+    --target parallel_test ops_test nn_gat_test serialization_test \
+             sarn_model_test obs_metrics_test obs_trace_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test)$')
 fi
 
 echo "verify: OK"
