@@ -1,0 +1,161 @@
+// Load generator for the serve subsystem: measures end-to-end query
+// throughput of serve::QueryEngine at 1, 4 and 8 worker threads against a
+// direct single-thread QueryBatch baseline, with 8 client threads submitting
+// 64-query bursts. The result cache is disabled so every request pays for a
+// real scan, and the kernel thread pool is pinned to one thread so the table
+// isolates *serve-thread* scaling from intra-batch kernel parallelism.
+// Numbers are recorded in EXPERIMENTS.md (with the host core count — scaling
+// past the physical cores is not expected).
+//
+// Environment knobs:
+//   SARN_SERVE_ROWS    index rows (default 2000)
+//   SARN_SERVE_DIM     embedding dim (default 64)
+//   SARN_SERVE_BURSTS  64-query bursts per client thread (default 25)
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "serve/query_engine.h"
+#include "tasks/embedding_index.h"
+#include "tensor/tensor.h"
+
+namespace sarn {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoll(value);
+}
+
+constexpr int kClients = 8;
+constexpr int kBurst = 64;
+constexpr int kTopK = 10;
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double mean_batch = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+// 8 client threads, each firing `bursts` bursts of 64 Submit()s and waiting
+// for the burst to resolve — the arrival pattern micro-batching is for.
+RunResult RunEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
+                    int serve_threads, int bursts) {
+  serve::ServeOptions options;
+  options.threads = serve_threads;
+  options.max_batch = kBurst;
+  options.batch_window_ms = 0.5;
+  options.cache_capacity = 0;  // Every query pays for a scan.
+  serve::QueryEngine engine(index, nullptr, options);
+
+  const int64_t n = index->size();
+  Timer timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 1);
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(kBurst);
+      for (int b = 0; b < bursts; ++b) {
+        futures.clear();
+        for (int i = 0; i < kBurst; ++i) {
+          serve::ServeRequest request;
+          request.kind = serve::ServeRequest::Kind::kById;
+          request.id = rng.UniformInt(0, n - 1);
+          request.k = kTopK;
+          futures.push_back(engine.Submit(request));
+        }
+        for (auto& future : futures) {
+          serve::ServeResponse response = future.get();
+          if (!response.ok) {
+            std::fprintf(stderr, "query failed: %s\n", response.error.c_str());
+            std::abort();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  RunResult result;
+  result.seconds = timer.ElapsedMillis() / 1000.0;
+  serve::ServeStats stats = engine.Stats();
+  result.qps = static_cast<double>(stats.requests) / result.seconds;
+  result.mean_batch = stats.mean_batch_size;
+  result.p50_ms = stats.latency_p50_ms;
+  result.p95_ms = stats.latency_p95_ms;
+  return result;
+}
+
+// Baseline: the same total work as one QueryBatch call per burst on the
+// caller's thread — no queue, no futures, no batching window.
+RunResult RunDirect(const tasks::EmbeddingIndex& index, int bursts) {
+  Rng rng(1);
+  const int64_t n = index.size();
+  Timer timer;
+  int64_t requests = 0;
+  for (int b = 0; b < bursts * kClients; ++b) {
+    std::vector<tasks::IndexQuery> queries;
+    queries.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      queries.push_back(tasks::IndexQuery::ById(rng.UniformInt(0, n - 1)));
+    }
+    std::vector<std::vector<tasks::Neighbor>> results =
+        index.QueryBatch(queries, kTopK);
+    requests += static_cast<int64_t>(results.size());
+  }
+  RunResult result;
+  result.seconds = timer.ElapsedMillis() / 1000.0;
+  result.qps = static_cast<double>(requests) / result.seconds;
+  result.mean_batch = kBurst;
+  return result;
+}
+
+int Main() {
+  const int64_t rows = EnvInt("SARN_SERVE_ROWS", 2000);
+  const int64_t dim = EnvInt("SARN_SERVE_DIM", 64);
+  const int bursts = static_cast<int>(EnvInt("SARN_SERVE_BURSTS", 25));
+
+  Rng rng(42);
+  auto index = std::make_shared<tasks::EmbeddingIndex>(
+      tensor::Tensor::Randn({rows, dim}, rng), tasks::IndexMetric::kCosine);
+
+  SetParallelThreads(1);  // Isolate serve-thread scaling from kernel threads.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("serve load generator: %lld rows x %lld dims, cosine, k=%d\n",
+              static_cast<long long>(rows), static_cast<long long>(dim), kTopK);
+  std::printf("%d clients x %d bursts x %d queries = %d requests per config; "
+              "host has %u core(s)\n\n",
+              kClients, bursts, kBurst, kClients * bursts * kBurst, cores);
+
+  std::printf("%-16s %10s %10s %10s %9s %9s %9s\n", "config", "seconds", "qps",
+              "speedup", "batch", "p50 ms", "p95 ms");
+  RunResult direct = RunDirect(*index, bursts);
+  std::printf("%-16s %10.3f %10.0f %10s %9.1f %9s %9s\n", "direct 1-thread",
+              direct.seconds, direct.qps, "-", direct.mean_batch, "-", "-");
+
+  double base_qps = 0.0;
+  for (int threads : {1, 4, 8}) {
+    RunResult run = RunEngine(index, threads, bursts);
+    if (threads == 1) base_qps = run.qps;
+    std::printf("engine %dt%*s %10.3f %10.0f %9.2fx %9.1f %9.3f %9.3f\n",
+                threads, threads >= 10 ? 6 : 7, "", run.seconds, run.qps,
+                base_qps > 0.0 ? run.qps / base_qps : 0.0, run.mean_batch,
+                run.p50_ms, run.p95_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sarn
+
+int main() { return sarn::Main(); }

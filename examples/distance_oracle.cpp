@@ -5,12 +5,14 @@
 //   ./build/examples/distance_oracle
 
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/sarn_model.h"
 #include "graph/dijkstra.h"
 #include "roadnet/synthetic_city.h"
+#include "tasks/embedding_index.h"
 #include "tasks/embedding_source.h"
 #include "tasks/spd_task.h"
 
@@ -65,5 +67,23 @@ int main() {
               dijkstra_us,
               static_cast<long long>(config.embedding_dim * 20 + 20));
   (void)sink;
+
+  // The same embeddings also serve nearest-neighbor lookups: one batched
+  // scan answers many queries at once (this is the primitive `sarn serve`
+  // micro-batches behind its NDJSON interface).
+  tasks::EmbeddingIndex index(model.Embeddings(), tasks::IndexMetric::kCosine);
+  std::vector<tasks::IndexQuery> batch;
+  for (int i = 0; i < kQueries; ++i) {
+    batch.push_back(tasks::IndexQuery::ById(
+        rng.UniformInt(0, network.num_segments() - 1)));
+  }
+  Timer batch_timer;
+  std::vector<std::vector<tasks::Neighbor>> neighbors = index.QueryBatch(batch, 5);
+  double batch_us = batch_timer.ElapsedMillis() * 1000.0 / kQueries;
+  std::printf("Batched top-5 neighbor scan over all %lld segments: %.1f us/query\n"
+              "(segment %lld looks most like segment %lld, cosine %.3f).\n",
+              static_cast<long long>(network.num_segments()), batch_us,
+              static_cast<long long>(batch[0].id),
+              static_cast<long long>(neighbors[0][0].id), neighbors[0][0].score);
   return 0;
 }

@@ -1,0 +1,87 @@
+// Declarative command-line flag registry for the sarn CLI.
+//
+// Each CLI command declares its flags once — name, type, default, help —
+// and gets uniform "--name value" parsing, type validation, required-flag
+// checking, and a generated usage text (`sarn <command> --help`) for free.
+// This replaces the ad-hoc string map the commands used to share, where
+// typos in flag names were silently ignored and every call site re-parsed
+// its own numbers.
+//
+// Conventions (unchanged from the old parser): every flag takes exactly one
+// value ("--lines true", never a bare "--lines"), unknown flags are errors,
+// and "--help" / "-h" anywhere requests the usage text.
+
+#ifndef SARN_COMMON_FLAGS_H_
+#define SARN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sarn {
+
+enum class FlagType { kString, kInt, kDouble, kBool };
+
+struct FlagSpec {
+  std::string name;           // Without the leading "--".
+  FlagType type = FlagType::kString;
+  std::string default_value;  // Parsed like a command-line value; "" = empty.
+  std::string help;
+  bool required = false;      // Required flags have no meaningful default.
+};
+
+class FlagSet {
+ public:
+  /// `command` and `summary` head the generated usage text.
+  FlagSet(std::string command, std::string summary);
+
+  /// Declares a flag; fluent so command tables read declaratively.
+  /// Names must be unique within the set (checked).
+  FlagSet& Add(FlagSpec spec);
+
+  /// Shorthands for Add.
+  FlagSet& String(const std::string& name, const std::string& default_value,
+                  const std::string& help, bool required = false);
+  FlagSet& Int(const std::string& name, int64_t default_value, const std::string& help);
+  FlagSet& Double(const std::string& name, double default_value,
+                  const std::string& help);
+  FlagSet& Bool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses "--name value" pairs from argv[first..argc). False on unknown
+  /// flag, missing value, type mismatch, or missing required flag, with the
+  /// problem described in *error. "--help" / "-h" anywhere sets
+  /// help_requested() and returns true without further validation.
+  bool Parse(int argc, char** argv, int first, std::string* error);
+
+  bool help_requested() const { return help_requested_; }
+  /// True when the flag was given on the command line (not defaulted).
+  bool provided(const std::string& name) const;
+
+  /// Typed accessors; the flag must exist with the matching type (checked).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Generated per-command usage: one line per flag with type, default and
+  /// help, required flags first.
+  std::string Usage() const;
+
+  const std::string& command() const { return command_; }
+
+ private:
+  const FlagSpec* Find(const std::string& name) const;
+  const FlagSpec& Expect(const std::string& name, FlagType type) const;
+
+  std::string command_;
+  std::string summary_;
+  std::vector<FlagSpec> specs_;
+  std::map<std::string, std::string> values_;    // Parsed or defaulted.
+  std::map<std::string, bool> explicitly_set_;
+  bool help_requested_ = false;
+};
+
+}  // namespace sarn
+
+#endif  // SARN_COMMON_FLAGS_H_

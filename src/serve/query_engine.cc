@@ -1,0 +1,318 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarn::serve {
+namespace {
+
+std::vector<double> BatchSizeBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+// Process-global sarn.serve.* instruments (DESIGN.md §9 naming scheme),
+// looked up once and updated lock-free alongside the per-engine counters.
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Counter& batches;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& swaps;
+  obs::Histogram& batch_size;
+  obs::Histogram& latency_seconds;
+  obs::Gauge& epoch;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics metrics{
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.requests"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.errors"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.batches"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.cache_hits"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.cache_misses"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.serve.swaps"),
+        obs::MetricsRegistry::Default().GetHistogram("sarn.serve.batch_size",
+                                                     BatchSizeBuckets()),
+        obs::MetricsRegistry::Default().GetHistogram("sarn.serve.latency_seconds"),
+        obs::MetricsRegistry::Default().GetGauge("sarn.serve.epoch"),
+    };
+    return metrics;
+  }
+};
+
+// Canonical cache key: (epoch, metric, k, query payload). By-point requests
+// resolve to a row id first, so they share cache entries with by-id
+// requests for the same segment.
+std::string CacheKey(uint64_t epoch, tasks::IndexMetric metric, int k,
+                     const tasks::IndexQuery& query) {
+  std::string key;
+  key.reserve(48 + query.vector.size() * sizeof(float));
+  key.append(std::to_string(epoch));
+  key.push_back('|');
+  key.push_back(metric == tasks::IndexMetric::kCosine ? 'c' : 'l');
+  key.push_back('|');
+  key.append(std::to_string(k));
+  key.push_back('|');
+  if (query.id >= 0) {
+    key.push_back('i');
+    key.append(std::to_string(query.id));
+  } else {
+    key.push_back('v');
+    key.append(reinterpret_cast<const char*>(query.vector.data()),
+               query.vector.size() * sizeof(float));
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
+                         std::shared_ptr<const geo::SpatialIndex> locator,
+                         ServeOptions options)
+    : options_(options),
+      locator_(std::move(locator)),
+      cache_(options.cache_capacity),
+      latency_seconds_(obs::DefaultLatencyBuckets()),
+      batch_size_(BatchSizeBuckets()) {
+  SARN_CHECK(index != nullptr);
+  SARN_CHECK_GT(options_.max_batch, 0);
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = next_epoch_;
+  snapshot->index = std::move(index);
+  snapshot_ = std::move(snapshot);
+  ServeMetrics::Get().epoch.Set(static_cast<double>(next_epoch_));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::shared_ptr<const QueryEngine::Snapshot> QueryEngine::AcquireSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+uint64_t QueryEngine::epoch() const { return AcquireSnapshot()->epoch; }
+
+void QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
+  SARN_CHECK(index != nullptr);
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->index = std::move(index);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot->epoch = ++next_epoch_;
+    snapshot_ = std::move(snapshot);
+  }
+  // Epoch-keyed entries can no longer be hit; drop them so they do not pin
+  // memory until they age out of the LRU.
+  cache_.Clear();
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics::Get().swaps.Increment();
+  ServeMetrics::Get().epoch.Set(static_cast<double>(epoch()));
+}
+
+std::future<ServeResponse> QueryEngine::Submit(ServeRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics::Get().requests.Increment();
+  Pending pending;
+  pending.request = std::move(request);
+  pending.admitted = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  if (options_.threads == 0) {
+    // Synchronous mode: the caller's thread is the batch of one.
+    std::vector<Pending> batch;
+    batch.push_back(std::move(pending));
+    ExecuteBatch(std::move(batch));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResponse QueryEngine::Query(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch = WaitBatch();
+    if (batch.empty()) return;  // Stopping and the queue is drained.
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+std::vector<QueryEngine::Pending> QueryEngine::WaitBatch() {
+  const auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.batch_window_ms));
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return {};
+  // Wait for the batch to fill, but never past the oldest request's
+  // deadline; stopping flushes immediately.
+  const auto deadline = queue_.front().admitted + window;
+  while (static_cast<int>(queue_.size()) < options_.max_batch && !stop_) {
+    if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+  const size_t take = std::min(queue_.size(), static_cast<size_t>(options_.max_batch));
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+ServeResponse QueryEngine::Resolve(const ServeRequest& request,
+                                   const Snapshot& snapshot,
+                                   tasks::IndexQuery* query) const {
+  ServeResponse response;
+  response.epoch = snapshot.epoch;
+  if (request.k < 0) {
+    response.error = "k must be >= 0";
+    return response;
+  }
+  switch (request.kind) {
+    case ServeRequest::Kind::kById:
+      if (request.id < 0 || request.id >= snapshot.index->size()) {
+        response.error = "id " + std::to_string(request.id) + " out of range [0, " +
+                         std::to_string(snapshot.index->size()) + ")";
+        return response;
+      }
+      *query = tasks::IndexQuery::ById(request.id);
+      break;
+    case ServeRequest::Kind::kByVector:
+      if (static_cast<int64_t>(request.vector.size()) != snapshot.index->dim()) {
+        response.error = "vector has " + std::to_string(request.vector.size()) +
+                         " dims, index has " + std::to_string(snapshot.index->dim());
+        return response;
+      }
+      *query = tasks::IndexQuery::ByVector(request.vector);
+      break;
+    case ServeRequest::Kind::kByPoint: {
+      if (locator_ == nullptr) {
+        response.error = "lat/lng queries need a road network (serve --network)";
+        return response;
+      }
+      std::optional<uint32_t> nearest = locator_->Nearest(request.point);
+      if (!nearest.has_value()) {
+        response.error = "no segment near the query point";
+        return response;
+      }
+      if (static_cast<int64_t>(*nearest) >= snapshot.index->size()) {
+        response.error = "nearest segment " + std::to_string(*nearest) +
+                         " is outside the embedding table";
+        return response;
+      }
+      *query = tasks::IndexQuery::ById(static_cast<int64_t>(*nearest));
+      break;
+    }
+  }
+  response.ok = true;
+  response.query_id = query->id;
+  return response;
+}
+
+void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  const std::shared_ptr<const Snapshot> snapshot = AcquireSnapshot();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_items_.fetch_add(batch.size(), std::memory_order_relaxed);
+  metrics.batches.Increment();
+  metrics.batch_size.Observe(static_cast<double>(batch.size()));
+  batch_size_.Observe(static_cast<double>(batch.size()));
+
+  struct Slot {
+    ServeResponse response;
+    tasks::IndexQuery query;
+    std::string key;
+    bool needs_scan = false;
+  };
+  std::vector<Slot> slots(batch.size());
+  // Misses grouped by k: QueryBatch answers one k per scan, and real
+  // traffic overwhelmingly shares one k per micro-batch.
+  std::map<int, std::vector<size_t>> scan_groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Slot& slot = slots[i];
+    const ServeRequest& request = batch[i].request;
+    slot.response = Resolve(request, *snapshot, &slot.query);
+    if (!slot.response.ok) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics.errors.Increment();
+      continue;
+    }
+    if (request.k == 0) continue;  // Valid, trivially empty; skip cache + scan.
+    slot.key = CacheKey(snapshot->epoch, snapshot->index->metric(), request.k,
+                        slot.query);
+    if (ResultCache::Value cached = cache_.Get(slot.key)) {
+      slot.response.cache_hit = true;
+      slot.response.neighbors = *cached;
+      metrics.cache_hits.Increment();
+      continue;
+    }
+    metrics.cache_misses.Increment();
+    slot.needs_scan = true;
+    scan_groups[request.k].push_back(i);
+  }
+
+  for (const auto& [k, indices] : scan_groups) {
+    std::vector<tasks::IndexQuery> queries;
+    queries.reserve(indices.size());
+    for (size_t i : indices) queries.push_back(std::move(slots[i].query));
+    std::vector<std::vector<tasks::Neighbor>> results =
+        snapshot->index->QueryBatch(queries, k);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      Slot& slot = slots[indices[j]];
+      slot.response.neighbors = std::move(results[j]);
+      cache_.Put(slot.key, std::make_shared<const std::vector<tasks::Neighbor>>(
+                               slot.response.neighbors));
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double seconds =
+        std::chrono::duration<double>(now - batch[i].admitted).count();
+    latency_seconds_.Observe(seconds);
+    metrics.latency_seconds.Observe(seconds);
+    batch[i].promise.set_value(std::move(slots[i].response));
+  }
+}
+
+ServeStats QueryEngine::Stats() const {
+  ServeStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_items = batched_items_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.epoch = epoch();
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0.0
+                  ? static_cast<double>(stats.requests) / stats.uptime_seconds
+                  : 0.0;
+  stats.mean_batch_size = batch_size_.Mean();
+  stats.latency_p50_ms = latency_seconds_.Percentile(50) * 1e3;
+  stats.latency_p95_ms = latency_seconds_.Percentile(95) * 1e3;
+  stats.latency_p99_ms = latency_seconds_.Percentile(99) * 1e3;
+  return stats;
+}
+
+}  // namespace sarn::serve

@@ -1,0 +1,67 @@
+// Thread-safe LRU cache for served top-k results.
+//
+// Keys are canonical byte strings built by the query engine from
+// (snapshot epoch, metric, k, query payload) — see query_engine.cc — so a
+// snapshot hot-swap implicitly invalidates every cached entry (the epoch
+// changes); the engine additionally calls Clear() on swap so stale results
+// do not pin memory until they age out. Values are shared_ptr-held neighbor
+// lists: a hit hands out a reference to the cached vector, an eviction just
+// drops the cache's reference while in-flight responses keep theirs.
+
+#ifndef SARN_SERVE_RESULT_CACHE_H_
+#define SARN_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tasks/embedding_index.h"
+
+namespace sarn::serve {
+
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<tasks::Neighbor>>;
+
+  /// `capacity` is the maximum number of cached entries; 0 disables the
+  /// cache entirely (Get always misses, Put is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and refreshes its recency, or null on miss.
+  Value Get(const std::string& key);
+
+  /// Inserts or refreshes `key`; evicts the least-recently-used entry when
+  /// the cache is full.
+  void Put(const std::string& key, Value value);
+
+  /// Drops every entry (snapshot swap). Hit/miss counters are cumulative
+  /// and survive a Clear.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+ private:
+  using Entry = std::pair<std::string, Value>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace sarn::serve
+
+#endif  // SARN_SERVE_RESULT_CACHE_H_

@@ -3,47 +3,38 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "tensor/matmul_kernels.h"
 
 namespace sarn::tasks {
+namespace {
 
-EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric)
-    : metric_(metric) {
-  SARN_CHECK_EQ(embeddings.rank(), 2);
-  n_ = embeddings.shape()[0];
-  d_ = embeddings.shape()[1];
-  data_ = embeddings.data();
-  if (metric_ == IndexMetric::kCosine) {
-    for (int64_t i = 0; i < n_; ++i) {
-      float* row = data_.data() + i * d_;
-      double sq = 0.0;
-      for (int64_t j = 0; j < d_; ++j) sq += static_cast<double>(row[j]) * row[j];
-      float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
-      for (int64_t j = 0; j < d_; ++j) row[j] *= inv;
-    }
-  }
+// L2-normalises `row` in place, with the norm accumulated in double exactly
+// like the stored rows at construction (so a by-vector query of a stored row
+// reproduces that row bit-for-bit).
+void NormalizeRow(float* row, int64_t d) {
+  double sq = 0.0;
+  for (int64_t j = 0; j < d; ++j) sq += static_cast<double>(row[j]) * row[j];
+  float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+  for (int64_t j = 0; j < d; ++j) row[j] *= inv;
 }
 
-std::vector<Neighbor> EmbeddingIndex::TopK(const std::vector<float>& query, int k,
-                                           int64_t exclude) const {
-  SARN_CHECK_EQ(static_cast<int64_t>(query.size()), d_);
-  k = std::min<int>(k, static_cast<int>(exclude >= 0 ? n_ - 1 : n_));
+// Top-k selection over one query's score row: a min-heap on (score, id)
+// keeps the k best seen while scanning ids ascending, then pops into
+// descending order. Independent of how the scores were produced, so batched
+// and single-query answers select identically.
+std::vector<Neighbor> SelectTopK(const float* scores, int64_t n, int k,
+                                 int64_t exclude) {
+  k = std::min<int>(k, static_cast<int>(exclude >= 0 ? n - 1 : n));
   if (k <= 0) return {};
-  // Min-heap on score keeps the k best seen so far.
-  using Entry = std::pair<double, int64_t>;
+  using Entry = std::pair<float, int64_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (int64_t i = 0; i < n_; ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     if (i == exclude) continue;
-    const float* row = data_.data() + i * d_;
-    double score = 0.0;
-    if (metric_ == IndexMetric::kCosine) {
-      for (int64_t j = 0; j < d_; ++j) score += static_cast<double>(query[j]) * row[j];
-    } else {
-      double l1 = 0.0;
-      for (int64_t j = 0; j < d_; ++j) l1 += std::fabs(query[j] - row[j]);
-      score = -l1;
-    }
+    float score = scores[i];
     if (static_cast<int>(heap.size()) < k) {
       heap.emplace(score, i);
     } else if (score > heap.top().first) {
@@ -53,30 +44,112 @@ std::vector<Neighbor> EmbeddingIndex::TopK(const std::vector<float>& query, int 
   }
   std::vector<Neighbor> out(heap.size());
   for (auto it = out.rbegin(); it != out.rend(); ++it) {
-    *it = {heap.top().second, heap.top().first};
+    *it = {heap.top().second, static_cast<double>(heap.top().first)};
     heap.pop();
   }
   return out;
 }
 
+}  // namespace
+
+EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric)
+    : metric_(metric) {
+  SARN_CHECK_EQ(embeddings.rank(), 2);
+  n_ = embeddings.shape()[0];
+  d_ = embeddings.shape()[1];
+  data_ = embeddings.data();
+  if (metric_ == IndexMetric::kCosine) {
+    for (int64_t i = 0; i < n_; ++i) NormalizeRow(data_.data() + i * d_, d_);
+  }
+  // Transposed copy ([d, n] row-major) so a batch of cosine queries is one
+  // [b, d] x [d, n] matmul through the register-tiled kernels.
+  if (metric_ == IndexMetric::kCosine) {
+    data_t_.resize(data_.size());
+    for (int64_t i = 0; i < n_; ++i) {
+      for (int64_t j = 0; j < d_; ++j) {
+        data_t_[j * n_ + i] = data_[i * d_ + j];
+      }
+    }
+  }
+}
+
+std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
+    std::span<const IndexQuery> queries, int k) const {
+  const size_t b = queries.size();
+  std::vector<std::vector<Neighbor>> results(b);
+  if (b == 0 || n_ == 0) return results;
+
+  // Assemble the query matrix [b, d]; by-id queries reuse the stored
+  // (already normalised) row and exclude themselves.
+  std::vector<float> q(b * static_cast<size_t>(d_));
+  std::vector<int64_t> excludes(b, -1);
+  for (size_t i = 0; i < b; ++i) {
+    const IndexQuery& query = queries[i];
+    float* row = q.data() + i * static_cast<size_t>(d_);
+    if (query.id >= 0) {
+      SARN_CHECK(query.id < n_) << "query id " << query.id << " of " << n_;
+      std::copy_n(data_.data() + query.id * d_, d_, row);
+      excludes[i] = query.id;
+    } else {
+      SARN_CHECK_EQ(static_cast<int64_t>(query.vector.size()), d_);
+      std::copy_n(query.vector.data(), d_, row);
+      if (metric_ == IndexMetric::kCosine) NormalizeRow(row, d_);
+    }
+  }
+
+  // One multi-query scan: every (query, row) score is an independent
+  // ascending-j reduction, so the result is invariant to batch composition
+  // and to how ParallelFor partitions the batch.
+  std::vector<float> scores(b * static_cast<size_t>(n_), 0.0f);
+  if (metric_ == IndexMetric::kCosine) {
+    ParallelFor(
+        b,
+        [&](size_t begin, size_t end) {
+          tensor::kernels::MatMulBlocked(q.data(), data_t_.data(), scores.data(),
+                                         static_cast<int64_t>(begin),
+                                         static_cast<int64_t>(end), d_, n_);
+        },
+        /*grain=*/2);
+  } else {
+    ParallelFor(
+        b,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const float* qrow = q.data() + i * static_cast<size_t>(d_);
+            float* out = scores.data() + i * static_cast<size_t>(n_);
+            for (int64_t r = 0; r < n_; ++r) {
+              const float* row = data_.data() + r * d_;
+              float l1 = 0.0f;
+              for (int64_t j = 0; j < d_; ++j) l1 += std::fabs(qrow[j] - row[j]);
+              out[r] = -l1;
+            }
+          }
+        },
+        /*grain=*/2);
+  }
+
+  ParallelFor(
+      b,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] =
+              SelectTopK(scores.data() + i * static_cast<size_t>(n_), n_, k, excludes[i]);
+        }
+      },
+      /*grain=*/2);
+  return results;
+}
+
 std::vector<Neighbor> EmbeddingIndex::QueryById(int64_t query_id, int k) const {
   SARN_CHECK(query_id >= 0 && query_id < n_) << "query_id " << query_id;
-  std::vector<float> query(data_.begin() + query_id * d_,
-                           data_.begin() + (query_id + 1) * d_);
-  return TopK(query, k, query_id);
+  IndexQuery query = IndexQuery::ById(query_id);
+  return std::move(QueryBatch({&query, 1}, k)[0]);
 }
 
 std::vector<Neighbor> EmbeddingIndex::QueryByVector(const std::vector<float>& query,
                                                     int k) const {
-  if (metric_ == IndexMetric::kCosine) {
-    std::vector<float> normalized = query;
-    double sq = 0.0;
-    for (float v : normalized) sq += static_cast<double>(v) * v;
-    float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
-    for (float& v : normalized) v *= inv;
-    return TopK(normalized, k, -1);
-  }
-  return TopK(query, k, -1);
+  IndexQuery q = IndexQuery::ByVector(query);
+  return std::move(QueryBatch({&q, 1}, k)[0]);
 }
 
 }  // namespace sarn::tasks

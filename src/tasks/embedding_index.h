@@ -4,13 +4,25 @@
 // linear vector scans. This index is that serving layer: it holds an
 // embedding matrix (optionally L2-normalised) and answers top-k most-similar
 // queries under cosine or L1 distance with an exact brute-force scan —
-// O(n d) per query, cache-friendly, and deterministic, which at road-network
-// sizes (tens of thousands of rows) answers in well under a millisecond.
+// O(n d) per query, cache-friendly, and deterministic.
+//
+// The core entry point is QueryBatch: a whole micro-batch of queries is
+// answered with one multi-query scan (for cosine, a single [b, d] x [d, n]
+// matmul through the register-tiled kernels of src/tensor/matmul_kernels.h,
+// partitioned across the thread pool). The classic single-shot
+// QueryById/QueryByVector calls are thin wrappers over a batch of one, so a
+// batched answer is bitwise identical to the sequential one — the serve
+// layer (src/serve/) relies on this to batch transparently.
+//
+// Thread safety: an EmbeddingIndex is immutable after construction; all
+// query methods are const and safe to call concurrently from any number of
+// threads. The serve layer hot-swaps whole indexes via shared_ptr.
 
 #ifndef SARN_TASKS_EMBEDDING_INDEX_H_
 #define SARN_TASKS_EMBEDDING_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -29,16 +41,45 @@ struct Neighbor {
   double score = 0.0;
 };
 
+/// One query of a batch: either a stored row (by id, the row itself is
+/// excluded from its own result) or an external vector (nothing excluded).
+struct IndexQuery {
+  /// >= 0: query by stored row id; `vector` is ignored.
+  int64_t id = -1;
+  /// Used when id < 0; dimension must match the index.
+  std::vector<float> vector;
+
+  static IndexQuery ById(int64_t id) {
+    IndexQuery q;
+    q.id = id;
+    return q;
+  }
+  static IndexQuery ByVector(std::vector<float> v) {
+    IndexQuery q;
+    q.vector = std::move(v);
+    return q;
+  }
+};
+
 class EmbeddingIndex {
  public:
   /// Copies (and for cosine, L2-normalises) the embedding rows.
   EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric);
 
+  /// Answers every query of the batch with one multi-query scan, best
+  /// neighbor first. k is clamped per query to n - 1 (by-id, self excluded)
+  /// or n (by-vector). result[i] corresponds to queries[i]. Scores are
+  /// bitwise identical to a batch of one regardless of batch composition:
+  /// every (query, row) score is an independent ascending-j reduction.
+  std::vector<std::vector<Neighbor>> QueryBatch(std::span<const IndexQuery> queries,
+                                                int k) const;
+
   /// Top-k neighbors of row `query_id` (the row itself is excluded),
-  /// best first. k is clamped to n - 1.
+  /// best first. Wrapper over QueryBatch with a batch of one.
   std::vector<Neighbor> QueryById(int64_t query_id, int k) const;
 
   /// Top-k neighbors of an external query vector (dimension must match).
+  /// Wrapper over QueryBatch with a batch of one.
   std::vector<Neighbor> QueryByVector(const std::vector<float>& query, int k) const;
 
   int64_t size() const { return n_; }
@@ -46,13 +87,11 @@ class EmbeddingIndex {
   IndexMetric metric() const { return metric_; }
 
  private:
-  std::vector<Neighbor> TopK(const std::vector<float>& query, int k,
-                             int64_t exclude) const;
-
   IndexMetric metric_;
   int64_t n_ = 0;
   int64_t d_ = 0;
-  std::vector<float> data_;  // Row-major, normalised for cosine.
+  std::vector<float> data_;    // Row-major [n, d], normalised for cosine.
+  std::vector<float> data_t_;  // Column-major copy ([d, n] row-major) for matmul.
 };
 
 }  // namespace sarn::tasks

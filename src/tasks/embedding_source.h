@@ -8,6 +8,14 @@
 //  * fully supervised end-to-end models (HRNR) — HrnrSource.
 // A task trains its prediction head plus whatever TrainableParameters() the
 // source exposes, calling Forward() each step.
+//
+// Thread-safety contract (per source, see each class): a source is
+// *shareable* when concurrent Forward() calls are safe without external
+// locking — the serve layer (src/serve/) requires a shareable source to
+// build query snapshots from. Trainable sources mutate model state on
+// Forward() and are single-threaded by contract. Forward() and dim() are
+// const on the source object itself: evaluating a source never changes
+// which embeddings it denotes, even when a trainable backing model advances.
 
 #ifndef SARN_TASKS_EMBEDDING_SOURCE_H_
 #define SARN_TASKS_EMBEDDING_SOURCE_H_
@@ -26,21 +34,25 @@ class EmbeddingSource {
 
   /// Segment embeddings [n, dim]. Gradient-tracked when the source is
   /// trainable; may be cached when it is not.
-  virtual tensor::Tensor Forward() = 0;
+  virtual tensor::Tensor Forward() const = 0;
 
   /// Source parameters the task should optimise jointly (empty = frozen).
-  virtual std::vector<tensor::Tensor> TrainableParameters() { return {}; }
+  virtual std::vector<tensor::Tensor> TrainableParameters() const { return {}; }
 
   virtual int64_t dim() const = 0;
 };
 
 /// Precomputed, frozen embeddings.
+///
+/// Thread safety: immutable after construction — Forward() returns the same
+/// tensor every call with no side effects, so one frozen source is safe to
+/// share across any number of serve/query threads.
 class FrozenEmbeddingSource : public EmbeddingSource {
  public:
   explicit FrozenEmbeddingSource(tensor::Tensor embeddings)
       : embeddings_(std::move(embeddings)) {}
 
-  tensor::Tensor Forward() override { return embeddings_; }
+  tensor::Tensor Forward() const override { return embeddings_; }
   int64_t dim() const override { return embeddings_.shape()[1]; }
 
  private:
@@ -54,6 +66,11 @@ class FrozenEmbeddingSource : public EmbeddingSource {
 /// restored on destruction, so each task fine-tunes from the same
 /// self-supervised starting point (the paper fine-tunes per task); create
 /// one source per task evaluation.
+///
+/// Thread safety: single-threaded training only. Forward() runs the encoder
+/// and records autograd state on the shared model, so concurrent calls (or
+/// serving from this source while it trains) are undefined; freeze the
+/// trained embeddings into a FrozenEmbeddingSource to serve them.
 class SarnFineTuneSource : public EmbeddingSource {
  public:
   explicit SarnFineTuneSource(core::SarnModel& model) : model_(&model) {
@@ -72,8 +89,8 @@ class SarnFineTuneSource : public EmbeddingSource {
     }
   }
 
-  tensor::Tensor Forward() override { return model_->EncodeForFineTune(); }
-  std::vector<tensor::Tensor> TrainableParameters() override {
+  tensor::Tensor Forward() const override { return model_->EncodeForFineTune(); }
+  std::vector<tensor::Tensor> TrainableParameters() const override {
     return model_->FineTuneParameters();
   }
   int64_t dim() const override { return model_->embedding_dim(); }
@@ -84,12 +101,15 @@ class SarnFineTuneSource : public EmbeddingSource {
 };
 
 /// HRNR: the whole hierarchical encoder trains end-to-end with the task.
+///
+/// Thread safety: single-threaded training only, like SarnFineTuneSource —
+/// Forward() builds the model's autograd graph.
 class HrnrSource : public EmbeddingSource {
  public:
   explicit HrnrSource(baselines::HrnrLite& model) : model_(&model) {}
 
-  tensor::Tensor Forward() override { return model_->Forward(); }
-  std::vector<tensor::Tensor> TrainableParameters() override {
+  tensor::Tensor Forward() const override { return model_->Forward(); }
+  std::vector<tensor::Tensor> TrainableParameters() const override {
     return model_->Parameters();
   }
   int64_t dim() const override { return model_->embedding_dim(); }

@@ -51,7 +51,7 @@ double RoadPropertyTask::TypeLabelNmi() const {
   return NormalizedMutualInformation(types, labels_);
 }
 
-RoadPropertyResult RoadPropertyTask::Evaluate(EmbeddingSource& source) const {
+RoadPropertyResult RoadPropertyTask::Evaluate(const EmbeddingSource& source) const {
   Rng rng(config_.seed + 2);
   int64_t num_classes = this->num_classes();
   nn::Ffn classifier({source.dim(), config_.hidden, num_classes},

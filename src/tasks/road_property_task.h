@@ -46,7 +46,7 @@ class RoadPropertyTask {
 
   /// Trains the classifier (jointly with the source's trainable parameters)
   /// and reports test metrics.
-  RoadPropertyResult Evaluate(EmbeddingSource& source) const;
+  RoadPropertyResult Evaluate(const EmbeddingSource& source) const;
 
   /// NMI between road type and speed-limit class over labeled segments
   /// (the paper's task-difficulty indicator, §5.2.1).

@@ -57,7 +57,7 @@ SpdTask::SpdTask(const roadnet::RoadNetwork& network, const SpdConfig& config)
   test_pairs_.assign(pairs.begin() + config.num_train_pairs, pairs.end());
 }
 
-SpdResult SpdTask::Evaluate(EmbeddingSource& source) const {
+SpdResult SpdTask::Evaluate(const EmbeddingSource& source) const {
   Rng rng(config_.seed + 1);
   nn::Ffn regressor({source.dim(), config_.hidden, 1}, nn::Activation::kRelu, rng);
   std::vector<Tensor> parameters = regressor.Parameters();

@@ -41,7 +41,7 @@ class SpdTask {
  public:
   SpdTask(const roadnet::RoadNetwork& network, const SpdConfig& config);
 
-  SpdResult Evaluate(EmbeddingSource& source) const;
+  SpdResult Evaluate(const EmbeddingSource& source) const;
 
   /// The sampled (origin, destination, meters) triples (tests/inspection).
   const std::vector<std::tuple<int64_t, int64_t, double>>& train_pairs() const {

@@ -88,7 +88,7 @@ TrajSimResult TrajectorySimilarityTask::RankTestSet(const Tensor& test_embedding
   return result;
 }
 
-TrajSimResult TrajectorySimilarityTask::Evaluate(EmbeddingSource& source) const {
+TrajSimResult TrajectorySimilarityTask::Evaluate(const EmbeddingSource& source) const {
   Rng rng(config_.seed + 3);
   nn::Gru gru(source.dim(), config_.gru_hidden, config_.gru_layers, rng);
   Tensor scale = Tensor::FromVector({1}, {1.0f}).RequiresGrad();

@@ -58,7 +58,7 @@ class TrajectorySimilarityTask {
 
   /// Trains the GRU head on the source's embeddings and reports ranking
   /// metrics over the test split.
-  TrajSimResult Evaluate(EmbeddingSource& source) const;
+  TrajSimResult Evaluate(const EmbeddingSource& source) const;
 
   /// NEUTRAJ-lite: its own segment table + GRU, trained on the same split
   /// and judged by the same harness.

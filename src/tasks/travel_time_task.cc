@@ -45,7 +45,7 @@ TravelTimeTask::TravelTimeTask(const roadnet::RoadNetwork& network,
   split_ = MakeSplit(static_cast<int64_t>(routes_.size()), config.seed);
 }
 
-TravelTimeResult TravelTimeTask::Evaluate(EmbeddingSource& source) const {
+TravelTimeResult TravelTimeTask::Evaluate(const EmbeddingSource& source) const {
   Rng rng(config_.seed + 1);
   nn::Gru gru(source.dim(), config_.gru_hidden, config_.gru_layers, rng);
   nn::Linear head(config_.gru_hidden, 1, rng);

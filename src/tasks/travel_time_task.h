@@ -47,7 +47,7 @@ class TravelTimeTask {
                  std::vector<std::vector<int64_t>> routes,
                  const TravelTimeConfig& config);
 
-  TravelTimeResult Evaluate(EmbeddingSource& source) const;
+  TravelTimeResult Evaluate(const EmbeddingSource& source) const;
 
   const Split& split() const { return split_; }
 

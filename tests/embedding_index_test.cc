@@ -103,5 +103,82 @@ TEST(EmbeddingIndexTest, KClamping) {
   EXPECT_EQ(index.QueryByVector(std::vector<float>(8, 1.0f), 100).size(), 12u);
 }
 
+// ---------------------------------------------------------------------------
+// QueryBatch — the core the wrappers above are now thin shims over.
+
+std::vector<IndexQuery> MixedQueries(int64_t n, int64_t d, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IndexQuery> queries;
+  for (int i = 0; i < count; ++i) {
+    if (i % 2 == 0) {
+      queries.push_back(IndexQuery::ById(i % n));
+    } else {
+      std::vector<float> v(static_cast<size_t>(d));
+      for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+      queries.push_back(IndexQuery::ByVector(std::move(v)));
+    }
+  }
+  return queries;
+}
+
+// The batch scan must be bitwise identical to issuing every query alone:
+// same neighbor ids, same scores to the last bit, for both metrics. This is
+// the contract that lets the serve layer batch arbitrarily without changing
+// any answer.
+TEST(EmbeddingIndexTest, BatchMatchesSequentialBitwiseBothMetrics) {
+  Rng rng(7);
+  Tensor embeddings = Tensor::Randn({50, 16}, rng);
+  for (IndexMetric metric : {IndexMetric::kCosine, IndexMetric::kL1}) {
+    EmbeddingIndex index(embeddings, metric);
+    std::vector<IndexQuery> queries = MixedQueries(50, 16, 64, 11);
+    std::vector<std::vector<Neighbor>> batched = index.QueryBatch(queries, 5);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::vector<std::vector<Neighbor>> alone =
+          index.QueryBatch({&queries[i], 1}, 5);
+      ASSERT_EQ(batched[i].size(), alone[0].size()) << "query " << i;
+      for (size_t j = 0; j < batched[i].size(); ++j) {
+        EXPECT_EQ(batched[i][j].id, alone[0][j].id) << "query " << i;
+        // Bitwise: EQ, not NEAR.
+        EXPECT_EQ(batched[i][j].score, alone[0][j].score) << "query " << i;
+      }
+    }
+  }
+}
+
+// The single-query wrappers are literally batch-of-one calls.
+TEST(EmbeddingIndexTest, WrappersMatchBatchOfOne) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  IndexQuery by_id = IndexQuery::ById(3);
+  std::vector<Neighbor> wrapped = index.QueryById(3, 4);
+  std::vector<std::vector<Neighbor>> batched = index.QueryBatch({&by_id, 1}, 4);
+  ASSERT_EQ(wrapped.size(), batched[0].size());
+  for (size_t j = 0; j < wrapped.size(); ++j) {
+    EXPECT_EQ(wrapped[j].id, batched[0][j].id);
+    EXPECT_EQ(wrapped[j].score, batched[0][j].score);
+  }
+}
+
+TEST(EmbeddingIndexTest, BatchSelfExclusionAndClamping) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kCosine);
+  std::vector<IndexQuery> queries;
+  queries.push_back(IndexQuery::ById(5));                        // Excludes row 5.
+  queries.push_back(IndexQuery::ByVector(std::vector<float>(8, 1.0f)));
+  std::vector<std::vector<Neighbor>> results = index.QueryBatch(queries, 100);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].size(), 11u);  // n - 1: self excluded.
+  EXPECT_EQ(results[1].size(), 12u);  // Vectors see every row.
+  for (const Neighbor& n : results[0]) EXPECT_NE(n.id, 5);
+}
+
+TEST(EmbeddingIndexTest, BatchEmptyAndKZero) {
+  EmbeddingIndex index(ClusteredEmbeddings(), IndexMetric::kL1);
+  EXPECT_TRUE(index.QueryBatch({}, 5).empty());
+  IndexQuery q = IndexQuery::ById(0);
+  std::vector<std::vector<Neighbor>> results = index.QueryBatch({&q, 1}, 0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].empty());
+}
+
 }  // namespace
 }  // namespace sarn::tasks

@@ -1,0 +1,124 @@
+#include "common/flags.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sarn {
+namespace {
+
+// Builds an argv from literals; argv[0] is the program, argv[1] the command,
+// so Parse starts at index 2 like the CLI does.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), {"sarn", "cmd"});
+    for (std::string& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+FlagSet TestFlags() {
+  FlagSet flags("cmd", "a test command");
+  flags.String("out", "", "output file", /*required=*/true)
+      .String("city", "CD", "city name")
+      .Int("epochs", 40, "epoch count")
+      .Double("scale", 0.05, "scale factor")
+      .Bool("lines", false, "line mode");
+  return flags;
+}
+
+TEST(FlagsTest, ParsesTypedValuesAndDefaults) {
+  FlagSet flags = TestFlags();
+  Argv argv({"--out", "x.csv", "--epochs", "7", "--scale", "1.5", "--lines", "true"});
+  std::string error;
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv(), 2, &error)) << error;
+  EXPECT_EQ(flags.GetString("out"), "x.csv");
+  EXPECT_EQ(flags.GetString("city"), "CD");  // Defaulted.
+  EXPECT_EQ(flags.GetInt("epochs"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), 1.5);
+  EXPECT_TRUE(flags.GetBool("lines"));
+  EXPECT_TRUE(flags.provided("out"));
+  EXPECT_FALSE(flags.provided("city"));
+}
+
+TEST(FlagsTest, BoolAcceptsNumericForms) {
+  for (const char* value : {"1", "true"}) {
+    FlagSet flags = TestFlags();
+    Argv argv({"--out", "x", "--lines", value});
+    std::string error;
+    ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv(), 2, &error)) << error;
+    EXPECT_TRUE(flags.GetBool("lines"));
+  }
+  FlagSet flags = TestFlags();
+  Argv argv({"--out", "x", "--lines", "0"});
+  std::string error;
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_FALSE(flags.GetBool("lines"));
+}
+
+TEST(FlagsTest, ErrorsDescribeTheProblem) {
+  struct Case {
+    std::vector<std::string> args;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {{"--out", "x", "--bogus", "1"}, "unknown flag --bogus"},
+      {{"--out", "x", "--epochs"}, "needs a value"},
+      {{"--out", "x", "--epochs", "many"}, "expects a int"},
+      {{"--out", "x", "--scale", "wide"}, "expects a float"},
+      {{"--out", "x", "--lines", "yes"}, "expects a bool"},
+      {{"--city", "BJ"}, "--out is required"},
+      {{"out", "x"}, "expected --flag"},
+  };
+  for (const Case& c : cases) {
+    FlagSet flags = TestFlags();
+    Argv argv(c.args);
+    std::string error;
+    EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv(), 2, &error));
+    EXPECT_NE(error.find(c.needle), std::string::npos) << error;
+  }
+}
+
+TEST(FlagsTest, HelpShortCircuitsValidation) {
+  for (const char* help : {"--help", "-h"}) {
+    FlagSet flags = TestFlags();
+    Argv argv({help});  // --out missing, but help wins.
+    std::string error;
+    ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv(), 2, &error)) << error;
+    EXPECT_TRUE(flags.help_requested());
+  }
+}
+
+TEST(FlagsTest, UsageListsRequiredFlagsFirst) {
+  FlagSet flags = TestFlags();
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("usage: sarn cmd"), std::string::npos);
+  EXPECT_NE(usage.find("a test command"), std::string::npos);
+  size_t out_pos = usage.find("--out");
+  size_t city_pos = usage.find("--city");
+  ASSERT_NE(out_pos, std::string::npos);
+  ASSERT_NE(city_pos, std::string::npos);
+  EXPECT_LT(out_pos, city_pos);  // Required before optional.
+  EXPECT_NE(usage.find("(required)"), std::string::npos);
+  EXPECT_NE(usage.find("default: CD"), std::string::npos);
+  EXPECT_NE(usage.find("epoch count"), std::string::npos);
+}
+
+TEST(FlagsTest, LastValueWins) {
+  FlagSet flags = TestFlags();
+  Argv argv({"--out", "a", "--out", "b"});
+  std::string error;
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv(), 2, &error)) << error;
+  EXPECT_EQ(flags.GetString("out"), "b");
+}
+
+}  // namespace
+}  // namespace sarn

@@ -1,0 +1,280 @@
+#include "serve/query_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/spatial_index.h"
+#include "tasks/embedding_index.h"
+#include "tensor/tensor.h"
+
+namespace sarn::serve {
+namespace {
+
+using tasks::EmbeddingIndex;
+using tasks::IndexMetric;
+using tasks::Neighbor;
+using tensor::Tensor;
+
+std::shared_ptr<const EmbeddingIndex> MakeIndex(uint64_t seed, int64_t n = 30,
+                                                int64_t d = 8) {
+  Rng rng(seed);
+  return std::make_shared<EmbeddingIndex>(Tensor::Randn({n, d}, rng),
+                                          IndexMetric::kCosine);
+}
+
+ServeRequest ById(int64_t id, int k = 5) {
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kById;
+  request.id = id;
+  request.k = k;
+  return request;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+ServeOptions Synchronous() {
+  ServeOptions options;
+  options.threads = 0;
+  return options;
+}
+
+TEST(QueryEngineTest, SynchronousMatchesDirectIndexQuery) {
+  auto index = MakeIndex(1);
+  QueryEngine engine(index, nullptr, Synchronous());
+  for (int64_t q = 0; q < 30; q += 5) {
+    ServeResponse response = engine.Query(ById(q));
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.epoch, 1u);
+    EXPECT_EQ(response.query_id, q);
+    ExpectSameNeighbors(response.neighbors, index->QueryById(q, 5));
+  }
+}
+
+TEST(QueryEngineTest, ByVectorQuery) {
+  auto index = MakeIndex(2);
+  QueryEngine engine(index, nullptr, Synchronous());
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kByVector;
+  request.vector.assign(8, 0.5f);
+  request.k = 3;
+  ServeResponse response = engine.Query(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.query_id, -1);
+  ExpectSameNeighbors(response.neighbors,
+                      index->QueryByVector(std::vector<float>(8, 0.5f), 3));
+}
+
+TEST(QueryEngineTest, ValidationErrors) {
+  QueryEngine engine(MakeIndex(3), nullptr, Synchronous());
+  EXPECT_FALSE(engine.Query(ById(-7)).ok);
+  EXPECT_FALSE(engine.Query(ById(30)).ok);  // One past the end.
+  EXPECT_FALSE(engine.Query(ById(0, -1)).ok);
+
+  ServeRequest bad_dim;
+  bad_dim.kind = ServeRequest::Kind::kByVector;
+  bad_dim.vector.assign(5, 1.0f);  // Index dim is 8.
+  EXPECT_FALSE(engine.Query(bad_dim).ok);
+
+  ServeRequest point;  // No locator configured.
+  point.kind = ServeRequest::Kind::kByPoint;
+  point.point = geo::LatLng{30.0, 104.0};
+  ServeResponse response = engine.Query(point);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("network"), std::string::npos);
+
+  EXPECT_EQ(engine.Stats().errors, 5u);
+}
+
+TEST(QueryEngineTest, KZeroIsValidAndEmpty) {
+  QueryEngine engine(MakeIndex(4), nullptr, Synchronous());
+  ServeResponse response = engine.Query(ById(2, 0));
+  ASSERT_TRUE(response.ok);
+  EXPECT_TRUE(response.neighbors.empty());
+}
+
+TEST(QueryEngineTest, PointQueryResolvesNearestSegment) {
+  // Locator over 30 points strung along a meridian; index row i <-> point i.
+  std::vector<geo::LatLng> points;
+  for (int i = 0; i < 30; ++i) points.push_back(geo::LatLng{30.0 + 0.01 * i, 104.0});
+  auto locator = std::make_shared<geo::SpatialIndex>(points, 200.0);
+  auto index = MakeIndex(5);
+  QueryEngine engine(index, locator, Synchronous());
+
+  ServeRequest request;
+  request.kind = ServeRequest::Kind::kByPoint;
+  request.point = geo::LatLng{30.071, 104.0002};  // Nearest to point 7.
+  request.k = 4;
+  ServeResponse response = engine.Query(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.query_id, 7);
+  ExpectSameNeighbors(response.neighbors, index->QueryById(7, 4));
+}
+
+TEST(QueryEngineTest, CacheHitOnRepeatSharesByIdAndByPoint) {
+  std::vector<geo::LatLng> points;
+  for (int i = 0; i < 30; ++i) points.push_back(geo::LatLng{30.0 + 0.01 * i, 104.0});
+  auto locator = std::make_shared<geo::SpatialIndex>(points, 200.0);
+  QueryEngine engine(MakeIndex(6), locator, Synchronous());
+
+  ServeResponse first = engine.Query(ById(7, 4));
+  EXPECT_FALSE(first.cache_hit);
+  ServeResponse second = engine.Query(ById(7, 4));
+  EXPECT_TRUE(second.cache_hit);
+  ExpectSameNeighbors(first.neighbors, second.neighbors);
+
+  // A point resolving to row 7 with the same k reuses the same cache entry.
+  ServeRequest point;
+  point.kind = ServeRequest::Kind::kByPoint;
+  point.point = geo::LatLng{30.07, 104.0};
+  point.k = 4;
+  ServeResponse third = engine.Query(point);
+  EXPECT_TRUE(third.cache_hit);
+
+  // Different k is a different entry.
+  EXPECT_FALSE(engine.Query(ById(7, 5)).cache_hit);
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+TEST(QueryEngineTest, PublishBumpsEpochInvalidatesCacheAndChangesAnswers) {
+  auto old_index = MakeIndex(7);
+  auto new_index = MakeIndex(8);
+  QueryEngine engine(old_index, nullptr, Synchronous());
+
+  ServeResponse before = engine.Query(ById(3));
+  EXPECT_EQ(before.epoch, 1u);
+  EXPECT_TRUE(engine.Query(ById(3)).cache_hit);
+
+  engine.Publish(new_index);
+  EXPECT_EQ(engine.epoch(), 2u);
+  ServeResponse after = engine.Query(ById(3));
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_FALSE(after.cache_hit);  // Swap invalidated the cached entry.
+  ExpectSameNeighbors(after.neighbors, new_index->QueryById(3, 5));
+  EXPECT_EQ(engine.Stats().swaps, 1u);
+}
+
+TEST(QueryEngineTest, WorkersMicroBatchRequests) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_batch = 8;
+  options.batch_window_ms = 200.0;  // Submission is far faster than the window.
+  auto index = MakeIndex(9);
+  QueryEngine engine(index, nullptr, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(engine.Submit(ById(i % 30)));
+  for (int i = 0; i < 64; ++i) {
+    ServeResponse response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.ok) << response.error;
+    if (!response.cache_hit) {
+      ExpectSameNeighbors(response.neighbors, index->QueryById(i % 30, 5));
+    }
+  }
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_EQ(stats.batched_items, 64u);
+  EXPECT_LT(stats.batches, 64u);          // Actually batched, not one-by-one...
+  EXPECT_GE(stats.mean_batch_size, 2.0);  // ...and meaningfully so.
+}
+
+TEST(QueryEngineTest, DestructorDrainsPendingFutures) {
+  std::vector<std::future<ServeResponse>> futures;
+  {
+    ServeOptions options;
+    options.threads = 2;
+    options.batch_window_ms = 50.0;
+    QueryEngine engine(MakeIndex(10), nullptr, options);
+    for (int i = 0; i < 32; ++i) futures.push_back(engine.Submit(ById(i % 30)));
+  }  // Destructor joins workers; every future must be resolved.
+  for (auto& future : futures) {
+    ServeResponse response = future.get();
+    EXPECT_TRUE(response.ok) << response.error;
+  }
+}
+
+// The hot-swap contract under concurrency: publishers swap snapshots while
+// clients query, and every single response must match a direct query against
+// the *complete* index of the epoch it is tagged with — a torn or mixed
+// snapshot would produce neighbors no single epoch can explain. Run under
+// TSan via tools/verify.sh (ctest -L serve).
+TEST(QueryEngineTest, ConcurrentQueriesDuringHotSwapNeverTear) {
+  constexpr int kSwaps = 8;
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 120;
+
+  // Pre-build one index per epoch so expected answers are known exactly.
+  std::vector<std::shared_ptr<const EmbeddingIndex>> epochs;
+  for (int e = 0; e <= kSwaps; ++e) {
+    epochs.push_back(MakeIndex(100 + static_cast<uint64_t>(e)));
+  }
+
+  ServeOptions options;
+  options.threads = 2;
+  options.max_batch = 16;
+  options.batch_window_ms = 0.2;
+  QueryEngine engine(epochs[0], nullptr, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 1);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        int64_t id = rng.UniformInt(0, 29);
+        ServeResponse response = engine.Query(ById(id, 3));
+        if (!response.ok || response.epoch < 1 ||
+            response.epoch > static_cast<uint64_t>(kSwaps) + 1) {
+          ++failures;
+          continue;
+        }
+        std::vector<Neighbor> expected =
+            epochs[response.epoch - 1]->QueryById(id, 3);
+        if (expected.size() != response.neighbors.size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t j = 0; j < expected.size(); ++j) {
+          if (expected[j].id != response.neighbors[j].id ||
+              expected[j].score != response.neighbors[j].score) {
+            ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::thread publisher([&] {
+    for (int e = 1; e <= kSwaps && !done.load(); ++e) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      engine.Publish(epochs[static_cast<size_t>(e)]);
+    }
+  });
+  for (auto& t : clients) t.join();
+  done = true;
+  publisher.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kClients) * kQueriesPerClient);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+}  // namespace sarn::serve

@@ -1,0 +1,146 @@
+#include "serve/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "serve/query_engine.h"
+
+namespace sarn::serve {
+namespace {
+
+constexpr int kDefaultK = 10;
+
+ParsedLine Parse(const std::string& line) { return ParseRequestLine(line, kDefaultK); }
+
+TEST(ServeProtocolTest, ParsesByIdWithDefaults) {
+  ParsedLine parsed = Parse(R"({"id":12})");
+  ASSERT_EQ(parsed.op, ParsedLine::Op::kQuery);  // "op" defaults to query.
+  EXPECT_EQ(parsed.request.kind, ServeRequest::Kind::kById);
+  EXPECT_EQ(parsed.request.id, 12);
+  EXPECT_EQ(parsed.request.k, kDefaultK);
+}
+
+TEST(ServeProtocolTest, ParsesExplicitQueryWithK) {
+  ParsedLine parsed = Parse(R"({"op":"query","id":0,"k":3})");
+  ASSERT_EQ(parsed.op, ParsedLine::Op::kQuery);
+  EXPECT_EQ(parsed.request.id, 0);
+  EXPECT_EQ(parsed.request.k, 3);
+}
+
+TEST(ServeProtocolTest, ParsesVector) {
+  ParsedLine parsed = Parse(R"({"vector":[1.5,-2,3e-1],"k":2})");
+  ASSERT_EQ(parsed.op, ParsedLine::Op::kQuery);
+  EXPECT_EQ(parsed.request.kind, ServeRequest::Kind::kByVector);
+  ASSERT_EQ(parsed.request.vector.size(), 3u);
+  EXPECT_FLOAT_EQ(parsed.request.vector[0], 1.5f);
+  EXPECT_FLOAT_EQ(parsed.request.vector[1], -2.0f);
+  EXPECT_FLOAT_EQ(parsed.request.vector[2], 0.3f);
+}
+
+TEST(ServeProtocolTest, ParsesLatLngAndLonAlias) {
+  for (const char* line : {R"({"lat":30.65,"lng":104.06})",
+                           R"({"lat":30.65,"lon":104.06})"}) {
+    ParsedLine parsed = Parse(line);
+    ASSERT_EQ(parsed.op, ParsedLine::Op::kQuery) << line;
+    EXPECT_EQ(parsed.request.kind, ServeRequest::Kind::kByPoint);
+    EXPECT_DOUBLE_EQ(parsed.request.point.lat, 30.65);
+    EXPECT_DOUBLE_EQ(parsed.request.point.lng, 104.06);
+  }
+}
+
+TEST(ServeProtocolTest, ParsesStatsAndReload) {
+  EXPECT_EQ(Parse(R"({"op":"stats"})").op, ParsedLine::Op::kStats);
+  ParsedLine reload = Parse(R"({"op":"reload","embeddings":"new emb.csv"})");
+  ASSERT_EQ(reload.op, ParsedLine::Op::kReload);
+  EXPECT_EQ(reload.reload_path, "new emb.csv");
+  EXPECT_EQ(Parse(R"({"op":"reload"})").op, ParsedLine::Op::kInvalid);
+}
+
+TEST(ServeProtocolTest, StringEscapes) {
+  ParsedLine parsed = Parse(R"({"op":"reload","embeddings":"a\tbA\"c"})");
+  ASSERT_EQ(parsed.op, ParsedLine::Op::kReload);
+  EXPECT_EQ(parsed.reload_path, "a\tbA\"c");
+  // ASCII \u escapes decode; non-ASCII ones are out of scope for paths.
+  EXPECT_EQ(Parse("{\"op\":\"reload\",\"embeddings\":\"\\u0041.csv\"}").reload_path,
+            "A.csv");
+  EXPECT_EQ(Parse("{\"op\":\"reload\",\"embeddings\":\"\\u20ac\"}").op,
+            ParsedLine::Op::kInvalid);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",                                        // Empty.
+      "not json",                                // Not an object.
+      R"({"id":1} trailing)",                    // Trailing characters.
+      R"({"id":{"nested":1}})",                  // Nested object.
+      R"({"id":1,"vector":[1]})",                // Two selectors.
+      R"({"k":5})",                              // No selector.
+      R"({"id":-1})",                            // Negative id.
+      R"({"id":1.5})",                           // Fractional id.
+      R"({"id":1,"k":-2})",                      // Negative k.
+      R"({"id":1,"k":2000000})",                 // k over the sanity cap.
+      R"({"op":"frobnicate","id":1})",           // Unknown op.
+      R"({"lat":30.0})",                         // lat without lng.
+      R"({"vector":[]})",                        // Empty vector.
+      R"({"vector":["x"]})",                     // Non-numeric vector.
+      R"({"id":1)",                              // Unterminated object.
+  };
+  for (const char* line : bad) {
+    ParsedLine parsed = Parse(line);
+    EXPECT_EQ(parsed.op, ParsedLine::Op::kInvalid) << "'" << line << "'";
+    EXPECT_FALSE(parsed.error.empty()) << "'" << line << "'";
+  }
+}
+
+TEST(ServeProtocolTest, FormattedLinesAreValidJson) {
+  ServeResponse ok;
+  ok.ok = true;
+  ok.epoch = 3;
+  ok.cache_hit = true;
+  ok.query_id = 12;
+  ok.neighbors = {{7, 0.93}, {9, -0.25}};
+
+  ServeResponse vector_response = ok;
+  vector_response.query_id = -1;  // No "id" field emitted.
+
+  ServeResponse error;
+  error.ok = false;
+  error.error = "bad \"quotes\"\nand\tcontrol";
+
+  ServeStats stats;
+  stats.requests = 10;
+  stats.qps = 123.456;
+  stats.latency_p99_ms = 1.25;
+
+  std::vector<std::string> lines = {
+      FormatResponseLine(0, ok),
+      FormatResponseLine(1, vector_response),
+      FormatResponseLine(2, error),
+      FormatStatsLine(3, stats),
+      FormatErrorLine(4, "plain"),
+      FormatReloadLine(5, true, 2, ""),
+      FormatReloadLine(6, false, 0, "cannot load x.csv"),
+  };
+  for (const std::string& line : lines) {
+    std::string json_error;
+    EXPECT_TRUE(obs::JsonValid(line, &json_error)) << line << ": " << json_error;
+  }
+  EXPECT_NE(lines[0].find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":12"), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"id\":12"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"requests\":10"), std::string::npos);
+}
+
+// Round-trip: a formatted response parses back through the flat reader used
+// for requests (shared grammar subset: flat object, numbers, strings).
+TEST(ServeProtocolTest, ErrorLineRoundTripsThroughEscaping) {
+  std::string line = FormatErrorLine(9, "path \\ with \"stuff\"\t");
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValid(line, &json_error)) << json_error;
+}
+
+}  // namespace
+}  // namespace sarn::serve

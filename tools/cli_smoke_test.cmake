@@ -32,3 +32,24 @@ list(LENGTH metric_lines epoch_lines)
 if(NOT epoch_lines EQUAL 2)
   message(FATAL_ERROR "expected 2 epoch records in metrics.jsonl, got ${epoch_lines}")
 endif()
+# Serve smoke: pipe NDJSON queries (by id, by vector dim-16, by lat/lng)
+# through `sarn serve`; every response line must be valid JSON and ok:true.
+file(WRITE ${WORK_DIR}/queries.ndjson
+  "{\"op\":\"query\",\"id\":0,\"k\":3}\n"
+  "{\"vector\":[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"k\":2}\n"
+  "{\"op\":\"query\",\"lat\":37.76,\"lng\":-122.44,\"k\":2}\n")
+execute_process(
+  COMMAND ${SARN_CLI} serve --embeddings ${WORK_DIR}/emb.csv
+          --network ${WORK_DIR}/net.csv --threads 2
+  INPUT_FILE ${WORK_DIR}/queries.ndjson
+  OUTPUT_FILE ${WORK_DIR}/responses.ndjson
+  ERROR_VARIABLE serve_err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve failed (${code}): ${serve_err}")
+endif()
+run_step(${SARN_CLI} check-json --in ${WORK_DIR}/responses.ndjson --lines true)
+file(STRINGS ${WORK_DIR}/responses.ndjson ok_lines REGEX "\"ok\":true")
+list(LENGTH ok_lines ok_count)
+if(NOT ok_count EQUAL 3)
+  message(FATAL_ERROR "expected 3 ok serve responses, got ${ok_count}")
+endif()

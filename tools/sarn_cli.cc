@@ -7,25 +7,35 @@
 //                 --out atlas.geojson
 //   sarn eval     --network network.csv --embeddings embeddings.csv
 //                 [--task property|spd|traj|all]
+//   sarn serve    --embeddings embeddings.csv [--network network.csv]
+//                 (newline-delimited JSON queries on stdin, see src/serve/)
 //   sarn import-osm --in extract.osm --out network.csv
 //
-// Networks are stored in the roadnet CSV format; embeddings as a headerless
-// CSV of n rows x d columns.
+// Every command declares its flags in a FlagSet (common/flags.h):
+// `sarn <command> --help` prints the generated usage. Networks are stored
+// in the roadnet CSV format; embeddings as a headerless CSV of n rows x d
+// columns.
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <deque>
 #include <fstream>
-#include <map>
+#include <future>
+#include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/sarn_model.h"
+#include "geo/spatial_index.h"
 #include "obs/json.h"
 #include "obs/metrics_sink.h"
 #include "obs/trace.h"
@@ -33,6 +43,8 @@
 #include "roadnet/io.h"
 #include "roadnet/osm_import.h"
 #include "roadnet/synthetic_city.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
 #include "tasks/embedding_source.h"
 #include "tasks/road_property_task.h"
 #include "tasks/spd_task.h"
@@ -43,24 +55,6 @@
 
 namespace sarn::cli {
 namespace {
-
-using Args = std::map<std::string, std::string>;
-
-Args ParseArgs(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (StartsWith(key, "--")) key = key.substr(2);
-    args[key] = argv[i + 1];
-  }
-  return args;
-}
-
-std::string Get(const Args& args, const std::string& key,
-                const std::string& fallback = "") {
-  auto it = args.find(key);
-  return it == args.end() ? fallback : it->second;
-}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "sarn: %s\n", message.c_str());
@@ -97,11 +91,10 @@ std::optional<tensor::Tensor> LoadEmbeddingsCsv(const std::string& path) {
   return tensor::Tensor::FromVector({n, d}, std::move(data));
 }
 
-int CmdGenerate(const Args& args) {
-  std::string city = Get(args, "city", "CD");
-  double scale = std::atof(Get(args, "scale", "0.05").c_str());
-  std::string out = Get(args, "out");
-  if (out.empty()) return Fail("generate: --out is required");
+int CmdGenerate(const FlagSet& flags) {
+  std::string city = flags.GetString("city");
+  double scale = flags.GetDouble("scale");
+  std::string out = flags.GetString("out");
   roadnet::RoadNetwork network =
       roadnet::GenerateSyntheticCity(roadnet::CityConfigByName(city, scale));
   if (!roadnet::SaveRoadNetworkCsv(network, out)) {
@@ -112,10 +105,9 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdImportOsm(const Args& args) {
-  std::string in = Get(args, "in");
-  std::string out = Get(args, "out");
-  if (in.empty() || out.empty()) return Fail("import-osm: --in and --out required");
+int CmdImportOsm(const FlagSet& flags) {
+  std::string in = flags.GetString("in");
+  std::string out = flags.GetString("out");
   roadnet::OsmImportStats stats;
   auto network = roadnet::LoadOsmFile(in, &stats);
   if (!network.has_value()) return Fail("import-osm: cannot parse " + in);
@@ -130,35 +122,34 @@ int CmdImportOsm(const Args& args) {
   return 0;
 }
 
-int CmdTrain(const Args& args) {
-  std::string network_path = Get(args, "network");
-  if (network_path.empty()) return Fail("train: --network is required");
+int CmdTrain(const FlagSet& flags) {
+  std::string network_path = flags.GetString("network");
   auto network = roadnet::LoadRoadNetworkCsv(network_path);
   if (!network.has_value()) return Fail("train: cannot load " + network_path);
 
   core::SarnConfig config;
-  config.max_epochs = std::atoi(Get(args, "epochs", "40").c_str());
-  int64_t dim = std::atoll(Get(args, "dim", "64").c_str());
+  config.max_epochs = static_cast<int>(flags.GetInt("epochs"));
+  int64_t dim = flags.GetInt("dim");
   config.embedding_dim = dim;
   config.hidden_dim = dim;
   config.projection_dim = std::max<int64_t>(8, dim / 2);
-  config.seed = static_cast<uint64_t>(std::atoll(Get(args, "seed", "42").c_str()));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   core::FitCellSideToNetwork(config, *network);
 
   core::TrainOptions options;
-  options.checkpoint_dir = Get(args, "checkpoint-dir");
-  options.checkpoint_every = std::atoi(Get(args, "checkpoint-every", "1").c_str());
-  options.keep_last = std::atoi(Get(args, "keep-last", "3").c_str());
-  options.max_epochs = std::atoi(Get(args, "stop-after", "-1").c_str());
+  options.checkpoint_dir = flags.GetString("checkpoint-dir");
+  options.checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every"));
+  options.keep_last = static_cast<int>(flags.GetInt("keep-last"));
+  options.max_epochs = static_cast<int>(flags.GetInt("stop-after"));
 
   std::unique_ptr<obs::JsonlMetricsSink> sink;
-  std::string metrics_file = Get(args, "metrics-file");
+  std::string metrics_file = flags.GetString("metrics-file");
   if (!metrics_file.empty()) {
     sink = std::make_unique<obs::JsonlMetricsSink>(metrics_file);
     if (!sink->ok()) return Fail("train: cannot open " + metrics_file);
     options.metrics_sink = sink.get();
   }
-  std::string trace_file = Get(args, "trace-file");
+  std::string trace_file = flags.GetString("trace-file");
   if (!trace_file.empty()) obs::Tracer::Instance().SetEnabled(true);
 
   std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
@@ -192,12 +183,12 @@ int CmdTrain(const Args& args) {
   std::printf("done: %d epochs, loss %.4f, %.1fs\n", stats.epochs_run, stats.final_loss,
               stats.seconds);
 
-  std::string weights = Get(args, "weights");
+  std::string weights = flags.GetString("weights");
   if (!weights.empty()) {
     if (!model.SaveWeights(weights)) return Fail("train: cannot write " + weights);
     std::printf("weights -> %s\n", weights.c_str());
   }
-  std::string embeddings_path = Get(args, "embeddings");
+  std::string embeddings_path = flags.GetString("embeddings");
   if (!embeddings_path.empty()) {
     if (!SaveEmbeddingsCsv(model.Embeddings(), embeddings_path)) {
       return Fail("train: cannot write " + embeddings_path);
@@ -207,15 +198,15 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
-int CmdExport(const Args& args) {
-  auto network = roadnet::LoadRoadNetworkCsv(Get(args, "network"));
+int CmdExport(const FlagSet& flags) {
+  auto network = roadnet::LoadRoadNetworkCsv(flags.GetString("network"));
   if (!network.has_value()) return Fail("export: cannot load --network");
-  auto embeddings = LoadEmbeddingsCsv(Get(args, "embeddings"));
+  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
   if (!embeddings.has_value()) return Fail("export: cannot load --embeddings");
   if (embeddings->shape()[0] != network->num_segments()) {
     return Fail("export: embeddings row count != segment count");
   }
-  std::string out = Get(args, "out", "atlas.geojson");
+  std::string out = flags.GetString("out");
   tensor::PcaResult pca = tensor::Pca(*embeddings, 1);
   roadnet::GeoJsonOptions options;
   for (int64_t i = 0; i < network->num_segments(); ++i) {
@@ -226,15 +217,15 @@ int CmdExport(const Args& args) {
   return 0;
 }
 
-int CmdEval(const Args& args) {
-  auto network = roadnet::LoadRoadNetworkCsv(Get(args, "network"));
+int CmdEval(const FlagSet& flags) {
+  auto network = roadnet::LoadRoadNetworkCsv(flags.GetString("network"));
   if (!network.has_value()) return Fail("eval: cannot load --network");
-  auto embeddings = LoadEmbeddingsCsv(Get(args, "embeddings"));
+  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
   if (!embeddings.has_value()) return Fail("eval: cannot load --embeddings");
   if (embeddings->shape()[0] != network->num_segments()) {
     return Fail("eval: embeddings row count != segment count");
   }
-  std::string which = Get(args, "task", "all");
+  std::string which = flags.GetString("task");
   tasks::FrozenEmbeddingSource source(*embeddings);
 
   if (which == "property" || which == "all") {
@@ -270,15 +261,14 @@ int CmdEval(const Args& args) {
 
 // Validates telemetry artifacts: a whole-file JSON value (Chrome trace) or,
 // with --lines true, one JSON value per non-empty line (metrics JSONL).
-int CmdCheckJson(const Args& args) {
-  std::string in = Get(args, "in");
-  if (in.empty()) return Fail("check-json: --in is required");
+int CmdCheckJson(const FlagSet& flags) {
+  std::string in = flags.GetString("in");
   std::ifstream file(in, std::ios::binary);
   if (!file.is_open()) return Fail("check-json: cannot open " + in);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   std::string text = buffer.str();
-  bool lines = Get(args, "lines", "false") == "true";
+  bool lines = flags.GetBool("lines");
   std::string error;
   bool valid = lines ? obs::JsonLinesValid(text, &error)
                      : obs::JsonValid(text, &error);
@@ -288,20 +278,243 @@ int CmdCheckJson(const Args& args) {
   return 0;
 }
 
+// Nearest-segment locator over the network's midpoints, cell side matched
+// to the mean segment spacing so Nearest() probes O(1) cells.
+std::shared_ptr<const geo::SpatialIndex> BuildLocator(
+    const roadnet::RoadNetwork& network) {
+  std::vector<geo::LatLng> midpoints = network.Midpoints();
+  geo::BoundingBox box = geo::BoundingBox::Empty();
+  for (const geo::LatLng& p : midpoints) box.Extend(p);
+  double area = box.WidthMeters() * box.HeightMeters();
+  double spacing = midpoints.empty()
+                       ? 100.0
+                       : std::sqrt(area / static_cast<double>(midpoints.size()));
+  double cell = std::min(2000.0, std::max(25.0, spacing));
+  return std::make_shared<geo::SpatialIndex>(std::move(midpoints), cell);
+}
+
+// The serve loop: newline-delimited JSON requests on stdin, one response
+// line per request on stdout (stderr carries human-readable status), in
+// input order. Query lines are admitted asynchronously so the engine can
+// micro-batch them; "stats" and "reload" act as barriers.
+int CmdServe(const FlagSet& flags) {
+  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
+  if (!embeddings.has_value()) {
+    return Fail("serve: cannot load " + flags.GetString("embeddings"));
+  }
+  std::string metric_name = flags.GetString("metric");
+  tasks::IndexMetric metric;
+  if (metric_name == "cosine") {
+    metric = tasks::IndexMetric::kCosine;
+  } else if (metric_name == "l1") {
+    metric = tasks::IndexMetric::kL1;
+  } else {
+    return Fail("serve: --metric must be cosine or l1");
+  }
+
+  std::shared_ptr<const geo::SpatialIndex> locator;
+  std::string network_path = flags.GetString("network");
+  if (!network_path.empty()) {
+    auto network = roadnet::LoadRoadNetworkCsv(network_path);
+    if (!network.has_value()) return Fail("serve: cannot load " + network_path);
+    if (network->num_segments() != embeddings->shape()[0]) {
+      return Fail("serve: embeddings row count != segment count");
+    }
+    locator = BuildLocator(*network);
+  }
+
+  serve::ServeOptions options;
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.max_batch = static_cast<int>(flags.GetInt("batch-size"));
+  options.batch_window_ms = flags.GetDouble("batch-window-ms");
+  options.cache_capacity = static_cast<size_t>(flags.GetInt("cache-capacity"));
+  if (options.threads < 0 || options.max_batch <= 0) {
+    return Fail("serve: --threads must be >= 0 and --batch-size >= 1");
+  }
+  const int default_k = static_cast<int>(flags.GetInt("k"));
+
+  auto index = std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric);
+  serve::QueryEngine engine(index, locator, options);
+  std::fprintf(stderr,
+               "serve: %lld rows x %lld dims (%s), %d threads, batch %d/%.1fms, "
+               "cache %zu — reading NDJSON from stdin\n",
+               static_cast<long long>(index->size()),
+               static_cast<long long>(index->dim()), metric_name.c_str(),
+               options.threads, options.max_batch, options.batch_window_ms,
+               options.cache_capacity);
+
+  struct Outstanding {
+    uint64_t seq = 0;
+    std::future<serve::ServeResponse> future;  // Invalid when `line` is final.
+    std::string line;
+  };
+  std::deque<Outstanding> outstanding;
+  auto emit = [](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+  // Prints responses whose turn has come; `block` waits for all of them
+  // (barrier before stats/reload and at EOF).
+  auto drain = [&](bool block) {
+    while (!outstanding.empty()) {
+      Outstanding& front = outstanding.front();
+      if (front.future.valid()) {
+        if (!block && front.future.wait_for(std::chrono::seconds(0)) !=
+                          std::future_status::ready) {
+          return;
+        }
+        front.line = serve::FormatResponseLine(front.seq, front.future.get());
+      }
+      emit(front.line);
+      outstanding.pop_front();
+    }
+  };
+
+  std::string line;
+  uint64_t seq = 0;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    const uint64_t this_seq = seq++;
+    serve::ParsedLine parsed = serve::ParseRequestLine(line, default_k);
+    switch (parsed.op) {
+      case serve::ParsedLine::Op::kQuery: {
+        Outstanding entry;
+        entry.seq = this_seq;
+        entry.future = engine.Submit(std::move(parsed.request));
+        outstanding.push_back(std::move(entry));
+        break;
+      }
+      case serve::ParsedLine::Op::kStats:
+        drain(/*block=*/true);
+        emit(serve::FormatStatsLine(this_seq, engine.Stats()));
+        break;
+      case serve::ParsedLine::Op::kReload: {
+        drain(/*block=*/true);
+        auto reloaded = LoadEmbeddingsCsv(parsed.reload_path);
+        if (!reloaded.has_value()) {
+          emit(serve::FormatReloadLine(this_seq, false, 0,
+                                       "cannot load " + parsed.reload_path));
+          break;
+        }
+        if (reloaded->shape()[1] != index->dim()) {
+          emit(serve::FormatReloadLine(this_seq, false, 0,
+                                       "dim mismatch: expected " +
+                                           std::to_string(index->dim())));
+          break;
+        }
+        engine.Publish(std::make_shared<tasks::EmbeddingIndex>(*reloaded, metric));
+        emit(serve::FormatReloadLine(this_seq, true, engine.epoch(), ""));
+        std::fprintf(stderr, "serve: published snapshot epoch %llu\n",
+                     static_cast<unsigned long long>(engine.epoch()));
+        break;
+      }
+      case serve::ParsedLine::Op::kInvalid: {
+        Outstanding entry;
+        entry.seq = this_seq;
+        entry.line = serve::FormatErrorLine(this_seq, parsed.error);
+        outstanding.push_back(std::move(entry));
+        break;
+      }
+    }
+    drain(/*block=*/false);
+  }
+  drain(/*block=*/true);
+  serve::ServeStats stats = engine.Stats();
+  std::fprintf(stderr,
+               "serve: %llu requests (%llu errors), %llu batches, cache %llu/%llu "
+               "hit/miss, p50 %.3fms p99 %.3fms\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_misses),
+               stats.latency_p50_ms, stats.latency_p99_ms);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Command registry: one declarative FlagSet per command.
+
+struct Command {
+  const char* name;
+  const char* summary;
+  void (*declare)(FlagSet&);
+  int (*run)(const FlagSet&);
+};
+
+const Command kCommands[] = {
+    {"generate", "synthesise a city-like road network",
+     [](FlagSet& f) {
+       f.String("city", "CD", "city template: CD, BJ or SF")
+           .Double("scale", 0.05, "fraction of the full city to generate")
+           .String("out", "", "output network CSV", /*required=*/true);
+     },
+     CmdGenerate},
+    {"import-osm", "convert an OSM XML extract to the network CSV format",
+     [](FlagSet& f) {
+       f.String("in", "", "OSM XML file", /*required=*/true)
+           .String("out", "", "output network CSV", /*required=*/true);
+     },
+     CmdImportOsm},
+    {"train", "train SARN embeddings on a network",
+     [](FlagSet& f) {
+       f.String("network", "", "network CSV", /*required=*/true)
+           .Int("epochs", 40, "training epochs")
+           .Int("dim", 64, "embedding dimension")
+           .Int("seed", 42, "RNG seed")
+           .String("weights", "", "write model weights here")
+           .String("embeddings", "", "write embeddings CSV here")
+           .String("checkpoint-dir", "", "rolling checkpoint directory")
+           .Int("checkpoint-every", 1, "checkpoint every N epochs")
+           .Int("keep-last", 3, "checkpoints to keep")
+           .Int("stop-after", -1, "stop once this many total epochs are done")
+           .String("metrics-file", "", "append one JSON line per epoch here")
+           .String("trace-file", "", "write a Chrome trace of training phases");
+     },
+     CmdTrain},
+    {"export", "color a network GeoJSON by the embeddings' first PC",
+     [](FlagSet& f) {
+       f.String("network", "", "network CSV", /*required=*/true)
+           .String("embeddings", "", "embeddings CSV", /*required=*/true)
+           .String("out", "atlas.geojson", "output GeoJSON");
+     },
+     CmdExport},
+    {"eval", "evaluate embeddings on the paper's downstream tasks",
+     [](FlagSet& f) {
+       f.String("network", "", "network CSV", /*required=*/true)
+           .String("embeddings", "", "embeddings CSV", /*required=*/true)
+           .String("task", "all", "property, spd, traj or all");
+     },
+     CmdEval},
+    {"check-json", "validate a JSON / JSONL telemetry artifact",
+     [](FlagSet& f) {
+       f.String("in", "", "file to validate", /*required=*/true)
+           .Bool("lines", false, "validate as JSON lines instead of one document");
+     },
+     CmdCheckJson},
+    {"serve", "serve batched top-k embedding queries over stdin/stdout NDJSON",
+     [](FlagSet& f) {
+       f.String("embeddings", "", "embeddings CSV to serve", /*required=*/true)
+           .String("network", "",
+                   "network CSV enabling lat/lng queries (nearest segment)")
+           .String("metric", "cosine", "similarity metric: cosine or l1")
+           .Int("threads", 2, "serve worker threads (0 = synchronous)")
+           .Int("k", 10, "default top-k when a query omits \"k\"")
+           .Int("batch-size", 64, "flush a micro-batch at this many requests")
+           .Double("batch-window-ms", 1.0, "flush when the oldest waits this long")
+           .Int("cache-capacity", 4096, "LRU result-cache entries (0 = off)");
+     },
+     CmdServe},
+};
+
 int Usage() {
+  std::printf("usage: sarn <command> [--flag value ...]\n");
+  for (const Command& command : kCommands) {
+    std::printf("  %-10s %s\n", command.name, command.summary);
+  }
   std::printf(
-      "usage: sarn <command> [--key value ...]\n"
-      "  generate   --city CD|BJ|SF --scale 0.05 --out net.csv\n"
-      "  import-osm --in extract.osm --out net.csv\n"
-      "  train      --network net.csv [--epochs N] [--dim D] [--seed S]\n"
-      "             [--weights model.ckpt] [--embeddings emb.csv]\n"
-      "             [--checkpoint-dir DIR] [--checkpoint-every N] [--keep-last K]\n"
-      "             [--stop-after E]  (stop once E total epochs done; resume later)\n"
-      "             [--metrics-file run.jsonl]  (one JSON line per epoch)\n"
-      "             [--trace-file trace.json]   (Chrome trace of training phases)\n"
-      "  export     --network net.csv --embeddings emb.csv --out atlas.geojson\n"
-      "  eval       --network net.csv --embeddings emb.csv [--task property|spd|traj|all]\n"
-      "  check-json --in file [--lines true]  (validate JSON / JSONL telemetry)\n"
+      "run 'sarn <command> --help' for that command's flags\n"
       "global: --log-level debug|info|warning|error  (overrides SARN_LOG_LEVEL)\n");
   return 2;
 }
@@ -309,20 +522,30 @@ int Usage() {
 int Main(int argc, char** argv) {
   InitLogLevelFromEnv();
   if (argc < 2) return Usage();
-  std::string command = argv[1];
-  Args args = ParseArgs(argc, argv, 2);
-  std::string log_level = Get(args, "log-level");
-  if (!log_level.empty()) {
-    std::optional<LogLevel> level = ParseLogLevel(log_level);
-    if (!level.has_value()) return Fail("unknown --log-level " + log_level);
-    SetLogLevel(*level);
+  std::string name = argv[1];
+  if (name == "--help" || name == "-h" || name == "help") {
+    Usage();
+    return 0;
   }
-  if (command == "generate") return CmdGenerate(args);
-  if (command == "import-osm") return CmdImportOsm(args);
-  if (command == "train") return CmdTrain(args);
-  if (command == "export") return CmdExport(args);
-  if (command == "eval") return CmdEval(args);
-  if (command == "check-json") return CmdCheckJson(args);
+  for (const Command& command : kCommands) {
+    if (name != command.name) continue;
+    FlagSet flags(command.name, command.summary);
+    command.declare(flags);
+    flags.String("log-level", "", "debug, info, warning or error");
+    std::string error;
+    if (!flags.Parse(argc, argv, 2, &error)) return Fail(error);
+    if (flags.help_requested()) {
+      std::fputs(flags.Usage().c_str(), stdout);
+      return 0;
+    }
+    std::string log_level = flags.GetString("log-level");
+    if (!log_level.empty()) {
+      std::optional<LogLevel> level = ParseLogLevel(log_level);
+      if (!level.has_value()) return Fail("unknown --log-level " + log_level);
+      SetLogLevel(*level);
+    }
+    return command.run(flags);
+  }
   return Usage();
 }
 

@@ -7,11 +7,16 @@
 #   3. the observability suite (ctest -L obs) plus a telemetry smoke run of
 #      the CLI: 2 training epochs with --metrics-file/--trace-file, then
 #      check-json on both artifacts;
-#   4. the concurrency-sensitive tests (parallel runtime, matmul kernels,
-#      GAT fusion, metrics registry) plus the checkpoint suite rebuilt under
-#      ThreadSanitizer, so a pool regression, a race in resumed training, or
-#      a race on a telemetry instrument shows up as a reported race instead
-#      of a rare flake.
+#   4. the query-serving suite (ctest -L serve: batch index equivalence,
+#      engine hot-swap, NDJSON protocol, CLI flags) plus a serve smoke: three
+#      NDJSON queries piped through `sarn serve`, output validated with
+#      check-json;
+#   5. the concurrency-sensitive tests (parallel runtime, matmul kernels,
+#      GAT fusion, metrics registry, serve engine hot-swap) plus the
+#      checkpoint suite rebuilt under ThreadSanitizer, so a pool regression,
+#      a race in resumed training, a race on a telemetry instrument, or a
+#      torn snapshot swap shows up as a reported race instead of a rare
+#      flake.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan]
 set -euo pipefail
@@ -37,15 +42,36 @@ if [[ "$mode" != "--tsan-only" ]]; then
     --metrics-file "$obs_dir/metrics.jsonl" --trace-file "$obs_dir/trace.json"
   build/tools/sarn check-json --in "$obs_dir/metrics.jsonl" --lines true
   build/tools/sarn check-json --in "$obs_dir/trace.json"
+  # Query-serving suite: batch/sequential bitwise equivalence, cache + epoch
+  # hot-swap semantics, protocol fuzz cases, flag registry.
+  (cd build && ctest --output-on-failure -L serve)
+  # Serve smoke: NDJSON in, validated NDJSON out, one ok:true per query.
+  serve_dir="build/verify_serve"
+  rm -rf "$serve_dir" && mkdir -p "$serve_dir"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 1 --dim 16 \
+    --embeddings "$serve_dir/emb.csv"
+  printf '%s\n' \
+    '{"op":"query","id":0,"k":3}' \
+    '{"vector":[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"k":2}' \
+    '{"op":"stats"}' \
+    > "$serve_dir/queries.ndjson"
+  build/tools/sarn serve --embeddings "$serve_dir/emb.csv" --threads 2 \
+    < "$serve_dir/queries.ndjson" > "$serve_dir/responses.ndjson"
+  build/tools/sarn check-json --in "$serve_dir/responses.ndjson" --lines true
+  ok_count="$(grep -c '"ok":true' "$serve_dir/responses.ndjson")"
+  if [[ "$ok_count" != 3 ]]; then
+    echo "verify: expected 3 ok serve responses, got $ok_count" >&2
+    exit 1
+  fi
 fi
 
 if [[ "$mode" != "--no-tsan" ]]; then
   cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j"$jobs" \
     --target parallel_test ops_test nn_gat_test serialization_test \
-             sarn_model_test obs_metrics_test obs_trace_test
+             sarn_model_test obs_metrics_test obs_trace_test serve_engine_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test)$')
 fi
 
 echo "verify: OK"
