@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -16,12 +19,58 @@
 #include "nn/gat.h"
 #include "roadnet/features.h"
 #include "roadnet/synthetic_city.h"
+#include "tasks/embedding_index.h"
 #include "tensor/matmul_kernels.h"
 #include "tensor/ops.h"
+#include "tensor/optimizer.h"
 #include "traj/frechet.h"
+
+// --- Heap-allocation counting ------------------------------------------------
+// Global operator new/delete overrides so the steady-state benchmarks can
+// report allocations-per-step. The counter is process-wide (relaxed atomic):
+// benchmark bodies read it before/after the timed work, so anything the
+// framework allocates between iterations is excluded.
+
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace sarn {
 namespace {
+
+uint64_t HeapAllocCount() { return g_heap_allocs.load(std::memory_order_relaxed); }
 
 /// Pins the parallel thread count for the duration of one benchmark.
 class ThreadPin {
@@ -276,6 +325,70 @@ void BM_GatForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GatForwardBackward);
+
+// --- Steady-state training step ---------------------------------------------
+// A full GAT train step (forward + loss + backward + Adam) over the synthetic
+// network, shaped like the SARN hot loop. Reports wall latency plus
+// allocations-per-step, the storage plane's target metric: before the pooled
+// storage plane every op result heap-allocated its data/grad buffers and tape
+// node; after it, steady-state steps recycle everything.
+
+void BM_TrainStepSteadyState(benchmark::State& state) {
+  ThreadPin pin(static_cast<size_t>(state.range(0)));
+  const roadnet::RoadNetwork& network = TestNetwork();
+  Rng rng(11);
+  nn::GatLayer layer(32, 16, 4, true, nn::Activation::kElu, rng);
+  tensor::Tensor x = tensor::Tensor::Randn({network.num_segments(), 32}, rng);
+  nn::EdgeList edges;
+  for (const roadnet::TopoEdge& e : network.topo_edges()) edges.Add(e.from, e.to);
+  tensor::Adam optimizer(layer.Parameters(), 1e-3f);
+  // Warm-up step so pools/caches are primed before measurement.
+  auto step = [&] {
+    optimizer.ZeroGrad();
+    tensor::Tensor y = layer.Forward(x, edges);
+    tensor::Tensor loss = tensor::Mean(tensor::Square(tensor::RowL2Normalize(y)));
+    loss.Backward();
+    optimizer.Step();
+  };
+  step();
+  uint64_t allocs = 0;
+  for (auto _ : state) {
+    uint64_t before = HeapAllocCount();
+    step();
+    allocs += HeapAllocCount() - before;
+  }
+  state.counters["allocs_per_step"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * network.num_segments());
+}
+BENCHMARK(BM_TrainStepSteadyState)->Arg(1)->Arg(4);
+
+// Steady-state serve batch: one EmbeddingIndex::QueryBatch of 16 by-id
+// queries under NoGradGuard. Allocations-per-batch should be near zero once
+// the query scratch comes from the pool (result vectors remain caller-owned).
+
+void BM_ServeQueryBatchSteadyState(benchmark::State& state) {
+  ThreadPin pin(static_cast<size_t>(state.range(0)));
+  Rng rng(12);
+  tensor::Tensor embeddings = tensor::Tensor::Randn({2000, 32}, rng);
+  tasks::EmbeddingIndex index(embeddings, tasks::IndexMetric::kCosine);
+  std::vector<tasks::IndexQuery> queries;
+  for (int64_t i = 0; i < 16; ++i) {
+    queries.push_back(tasks::IndexQuery::ById((i * 97) % index.size()));
+  }
+  tensor::NoGradGuard guard;
+  benchmark::DoNotOptimize(index.QueryBatch(queries, 10));  // Warm-up.
+  uint64_t allocs = 0;
+  for (auto _ : state) {
+    uint64_t before = HeapAllocCount();
+    benchmark::DoNotOptimize(index.QueryBatch(queries, 10));
+    allocs += HeapAllocCount() - before;
+  }
+  state.counters["allocs_per_batch"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_ServeQueryBatchSteadyState)->Arg(1)->Arg(4);
 
 void BM_Dijkstra(benchmark::State& state) {
   const roadnet::RoadNetwork& network = TestNetwork();

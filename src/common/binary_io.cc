@@ -36,8 +36,12 @@ void ByteWriter::PutString(std::string_view s) {
 }
 
 void ByteWriter::PutFloats(const std::vector<float>& values) {
-  PutU64(static_cast<uint64_t>(values.size()));
-  PutBytes(values.data(), values.size() * sizeof(float));
+  PutFloats(values.data(), values.size());
+}
+
+void ByteWriter::PutFloats(const float* values, size_t count) {
+  PutU64(static_cast<uint64_t>(count));
+  PutBytes(values, count * sizeof(float));
 }
 
 void ByteWriter::PutBytes(const void* data, size_t size) {

@@ -40,6 +40,7 @@ class ByteWriter {
 
   /// u64 count followed by the raw float32 payload.
   void PutFloats(const std::vector<float>& values);
+  void PutFloats(const float* values, size_t count);
 
   void PutBytes(const void* data, size_t size);
 

@@ -144,25 +144,28 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
 
   if (!config_.use_spatial_negatives) {
     // Plain InfoNCE (Eq. 2) with random negatives from the global queue pool.
+    // Negatives and mask are staged straight into pooled tensor storage —
+    // no transient std::vector<float> per batch.
     int k = config_.random_negatives;
-    std::vector<float> neg_data(static_cast<size_t>(m * k * dz), 0.0f);
-    std::vector<float> mask(static_cast<size_t>(m * k), kMaskedSimilarity);
+    Tensor negatives = Tensor::Zeros({m * k, dz});
+    Tensor mask = Tensor::Full({m, k}, kMaskedSimilarity);
+    tensor::Storage& neg_data = negatives.mutable_data();
+    tensor::Storage& mask_data = mask.mutable_data();
     for (int64_t i = 0; i < m; ++i) {
-      auto negatives = queues_->RandomNegatives(batch[static_cast<size_t>(i)], k, rng);
-      for (size_t s = 0; s < negatives.size(); ++s) {
-        std::copy(negatives[s]->embedding.begin(), negatives[s]->embedding.end(),
+      auto drawn = queues_->RandomNegatives(batch[static_cast<size_t>(i)], k, rng);
+      for (size_t s = 0; s < drawn.size(); ++s) {
+        std::copy(drawn[s]->embedding.begin(), drawn[s]->embedding.end(),
                   neg_data.begin() + (static_cast<size_t>(i) * k + s) * dz);
-        mask[static_cast<size_t>(i) * k + s] = 0.0f;
+        mask_data[static_cast<size_t>(i) * k + s] = 0.0f;
       }
     }
-    Tensor negatives = Tensor::FromVector({m * k, dz}, std::move(neg_data));
     std::vector<int64_t> repeat_index(static_cast<size_t>(m * k));
     for (int64_t i = 0; i < m; ++i) {
       std::fill_n(repeat_index.begin() + i * k, k, i);
     }
     Tensor sims = tensor::Reshape(
         tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, k});
-    sims = tensor::Add(sims, Tensor::FromVector({m, k}, std::move(mask)));
+    sims = tensor::Add(sims, mask);
     return nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
   }
 
@@ -179,24 +182,25 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
   if (phi_max == 0) {
     local_loss = Tensor::Zeros({1});  // Queues still empty (first iterations).
   } else {
-    std::vector<float> neg_data(static_cast<size_t>(m * phi_max * dz), 0.0f);
-    std::vector<float> mask(static_cast<size_t>(m * phi_max), kMaskedSimilarity);
+    Tensor negatives = Tensor::Zeros({m * phi_max, dz});
+    Tensor mask = Tensor::Full({m, phi_max}, kMaskedSimilarity);
+    tensor::Storage& neg_data = negatives.mutable_data();
+    tensor::Storage& mask_data = mask.mutable_data();
     for (int64_t i = 0; i < m; ++i) {
       const auto& entries = local[static_cast<size_t>(i)];
       for (size_t s = 0; s < entries.size(); ++s) {
         std::copy(entries[s]->embedding.begin(), entries[s]->embedding.end(),
                   neg_data.begin() + (static_cast<size_t>(i) * phi_max + s) * dz);
-        mask[static_cast<size_t>(i) * phi_max + s] = 0.0f;
+        mask_data[static_cast<size_t>(i) * phi_max + s] = 0.0f;
       }
     }
-    Tensor negatives = Tensor::FromVector({m * phi_max, dz}, std::move(neg_data));
     std::vector<int64_t> repeat_index(static_cast<size_t>(m * phi_max));
     for (int64_t i = 0; i < m; ++i) {
       std::fill_n(repeat_index.begin() + i * phi_max, phi_max, i);
     }
     Tensor sims = tensor::Reshape(
         tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, phi_max});
-    sims = tensor::Add(sims, Tensor::FromVector({m, phi_max}, std::move(mask)));
+    sims = tensor::Add(sims, mask);
     local_loss = nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
   }
 
@@ -211,7 +215,10 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
     for (size_t c = 0; c < cells.size(); ++c) cell_rank[static_cast<size_t>(cells[c])] =
         static_cast<int>(c);
     int64_t c_count = static_cast<int64_t>(cells.size());
-    std::vector<float> agg_data(static_cast<size_t>(c_count * dz), 0.0f);
+    // Every row is fully overwritten by its cell's aggregate, so the pooled
+    // buffer can stay uninitialized.
+    Tensor aggregates = Tensor::Uninitialized({c_count, dz});
+    tensor::Storage& agg_data = aggregates.mutable_data();
     for (int64_t c = 0; c < c_count; ++c) {
       std::vector<float> aggregate = queues_->CellAggregate(cells[static_cast<size_t>(c)]);
       std::copy(aggregate.begin(), aggregate.end(), agg_data.begin() + c * dz);
@@ -228,7 +235,6 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
       }
     }
     if (!rows.empty()) {
-      Tensor aggregates = Tensor::FromVector({c_count, dz}, std::move(agg_data));
       Tensor sims = tensor::MatMul(tensor::Rows(z, rows), tensor::Transpose(aggregates));
       Tensor logits = tensor::MulScalar(sims, 1.0f / static_cast<float>(config_.tau));
       global_loss = nn::CrossEntropyWithLogits(logits, labels);
@@ -355,6 +361,11 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
     double epoch_loss = 0.0;
     int batches = 0;
     for (int64_t begin = 0; begin < n; begin += config_.batch_size) {
+      // One storage "step": every tensor buffer and tape closure acquired in
+      // this batch returns to the pool when Backward() consumes the tape, so
+      // after the first batch warms the size classes, steady-state batches
+      // run with zero pool-miss allocations (tracked by sarn.alloc.*).
+      tensor::StepScope alloc_scope;
       int64_t end = std::min<int64_t>(n, begin + config_.batch_size);
       std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
 

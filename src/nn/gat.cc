@@ -66,6 +66,12 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
   Tensor wx_all = num_heads_ == 1 ? tensor::MatMul(x, weight_[0])
                                   : tensor::MatMul(x, tensor::Concat(weight_, 1));
 
+  // With grad recording off (serving, momentum-encoder passes) the per-edge
+  // gather/scale/scatter chain collapses into fused kernels that skip the
+  // [E, d] intermediates entirely; values stay bitwise identical to the op
+  // path because the fused loops apply the same float operation order.
+  const bool fused_inference = !tensor::GradModeEnabled();
+
   // Footnote-1 ablation: softmax of constant scores = uniform mean over each
   // vertex's incoming edges; identical for every head, so computed once.
   Tensor uniform_alpha;
@@ -83,15 +89,25 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
     if (use_attention_) {
       Tensor score_src = tensor::MatMul(wx, att_src_[h]);  // [n, 1]
       Tensor score_dst = tensor::MatMul(wx, att_dst_[h]);  // [n, 1]
-      Tensor e = tensor::LeakyRelu(
-          tensor::Add(tensor::Rows(score_dst, dst), tensor::Rows(score_src, src)),
-          leaky_relu_slope_);  // [E, 1]
-      alpha = tensor::EdgeSoftmax(tensor::Reshape(e, {e_count}), dst, n);
+      if (fused_inference) {
+        alpha = tensor::EdgeSoftmax(
+            tensor::FusedEdgeScores(score_src, score_dst, src, dst, leaky_relu_slope_),
+            dst, n);
+      } else {
+        Tensor e = tensor::LeakyRelu(
+            tensor::Add(tensor::Rows(score_dst, dst), tensor::Rows(score_src, src)),
+            leaky_relu_slope_);  // [E, 1]
+        alpha = tensor::EdgeSoftmax(tensor::Reshape(e, {e_count}), dst, n);
+      }
     } else {
       alpha = uniform_alpha;
     }
-    Tensor messages = tensor::ScaleRows(tensor::Rows(wx, src), alpha);
-    head_outputs.push_back(tensor::ScatterAddRows(messages, dst, n));  // [n, head_dim]
+    if (fused_inference) {
+      head_outputs.push_back(tensor::FusedGatherScaleScatter(wx, src, dst, alpha, n));
+    } else {
+      Tensor messages = tensor::ScaleRows(tensor::Rows(wx, src), alpha);
+      head_outputs.push_back(tensor::ScatterAddRows(messages, dst, n));  // [n, head_dim]
+    }
   }
 
   Tensor combined;

@@ -10,7 +10,7 @@ void Module::CopyWeightsFrom(const Module& other) {
   SARN_CHECK_EQ(dst.size(), src.size());
   for (size_t i = 0; i < dst.size(); ++i) {
     SARN_CHECK_EQ(dst[i].numel(), src[i].numel());
-    dst[i].mutable_data() = src[i].data();
+    dst[i].mutable_data().CopyFrom(src[i].data());
   }
 }
 
@@ -26,8 +26,8 @@ void MomentumUpdate(const std::vector<tensor::Tensor>& target,
   SARN_CHECK(momentum >= 0.0f && momentum <= 1.0f) << momentum;
   for (size_t i = 0; i < target.size(); ++i) {
     SARN_CHECK_EQ(target[i].numel(), source[i].numel());
-    std::vector<float>& t = const_cast<tensor::Tensor&>(target[i]).mutable_data();
-    const std::vector<float>& s = source[i].data();
+    tensor::Storage& t = const_cast<tensor::Tensor&>(target[i]).mutable_data();
+    const tensor::Storage& s = source[i].data();
     for (size_t j = 0; j < t.size(); ++j) {
       t[j] = momentum * t[j] + (1.0f - momentum) * s[j];
     }

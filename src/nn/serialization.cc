@@ -74,7 +74,7 @@ bool LoadParameters(const std::string& path, const std::vector<tensor::Tensor>& 
         return false;
       }
     }
-    std::vector<float>& data = const_cast<tensor::Tensor&>(p).mutable_data();
+    tensor::Storage& data = const_cast<tensor::Tensor&>(p).mutable_data();
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(float)));
     if (!in.good()) return false;
@@ -226,7 +226,7 @@ void WriteTensors(ByteWriter& out, const std::vector<tensor::Tensor>& tensors) {
   for (const tensor::Tensor& t : tensors) {
     out.PutI64(t.rank());
     for (int64_t d : t.shape()) out.PutI64(d);
-    out.PutFloats(t.data());
+    out.PutFloats(t.data().data(), t.data().size());
   }
 }
 

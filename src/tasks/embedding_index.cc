@@ -57,14 +57,14 @@ EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric met
   SARN_CHECK_EQ(embeddings.rank(), 2);
   n_ = embeddings.shape()[0];
   d_ = embeddings.shape()[1];
-  data_ = embeddings.data();
+  data_ = tensor::Storage::CopyOf(embeddings.data().data(), embeddings.data().size());
   if (metric_ == IndexMetric::kCosine) {
     for (int64_t i = 0; i < n_; ++i) NormalizeRow(data_.data() + i * d_, d_);
   }
   // Transposed copy ([d, n] row-major) so a batch of cosine queries is one
   // [b, d] x [d, n] matmul through the register-tiled kernels.
   if (metric_ == IndexMetric::kCosine) {
-    data_t_.resize(data_.size());
+    data_t_ = tensor::Storage::Uninitialized(data_.size());
     for (int64_t i = 0; i < n_; ++i) {
       for (int64_t j = 0; j < d_; ++j) {
         data_t_[j * n_ + i] = data_[i * d_ + j];
@@ -78,30 +78,41 @@ std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
   const size_t b = queries.size();
   std::vector<std::vector<Neighbor>> results(b);
   if (b == 0 || n_ == 0) return results;
+  // Publishes sarn.alloc.* on exit; after the first batch of a given size the
+  // pooled scratch below is all hits, so steady-state serving is
+  // allocation-free against the global allocator for the scan itself.
+  tensor::StepScope alloc_scope;
 
-  // Assemble the query matrix [b, d]; by-id queries reuse the stored
-  // (already normalised) row and exclude themselves.
-  std::vector<float> q(b * static_cast<size_t>(d_));
-  std::vector<int64_t> excludes(b, -1);
+  tensor::PoolVec<int64_t> excludes(b, -1);
   for (size_t i = 0; i < b; ++i) {
-    const IndexQuery& query = queries[i];
-    float* row = q.data() + i * static_cast<size_t>(d_);
-    if (query.id >= 0) {
-      SARN_CHECK(query.id < n_) << "query id " << query.id << " of " << n_;
-      std::copy_n(data_.data() + query.id * d_, d_, row);
-      excludes[i] = query.id;
+    if (queries[i].id >= 0) {
+      SARN_CHECK(queries[i].id < n_) << "query id " << queries[i].id << " of " << n_;
+      excludes[i] = queries[i].id;
     } else {
-      SARN_CHECK_EQ(static_cast<int64_t>(query.vector.size()), d_);
-      std::copy_n(query.vector.data(), d_, row);
-      if (metric_ == IndexMetric::kCosine) NormalizeRow(row, d_);
+      SARN_CHECK_EQ(static_cast<int64_t>(queries[i].vector.size()), d_);
     }
   }
 
   // One multi-query scan: every (query, row) score is an independent
   // ascending-j reduction, so the result is invariant to batch composition
   // and to how ParallelFor partitions the batch.
-  std::vector<float> scores(b * static_cast<size_t>(n_), 0.0f);
+  tensor::Storage scores;
   if (metric_ == IndexMetric::kCosine) {
+    // Assemble the query matrix [b, d] (the matmul needs it contiguous);
+    // by-id queries reuse the stored, already-normalised row.
+    tensor::Storage q = tensor::Storage::Uninitialized(b * static_cast<size_t>(d_));
+    for (size_t i = 0; i < b; ++i) {
+      const IndexQuery& query = queries[i];
+      float* row = q.data() + i * static_cast<size_t>(d_);
+      if (query.id >= 0) {
+        std::copy_n(data_.data() + query.id * d_, d_, row);
+      } else {
+        std::copy_n(query.vector.data(), d_, row);
+        NormalizeRow(row, d_);
+      }
+    }
+    // The kernels accumulate, so the score matrix starts zeroed.
+    scores = tensor::Storage::Zeroed(b * static_cast<size_t>(n_));
     ParallelFor(
         b,
         [&](size_t begin, size_t end) {
@@ -111,11 +122,16 @@ std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
         },
         /*grain=*/2);
   } else {
+    // L1 needs no query matrix at all: each query reads either its stored
+    // row in place (zero-copy view of the snapshot) or the caller's vector.
+    scores = tensor::Storage::Uninitialized(b * static_cast<size_t>(n_));
     ParallelFor(
         b,
         [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
-            const float* qrow = q.data() + i * static_cast<size_t>(d_);
+            const IndexQuery& query = queries[i];
+            const float* qrow = query.id >= 0 ? data_.data() + query.id * d_
+                                              : query.vector.data();
             float* out = scores.data() + i * static_cast<size_t>(n_);
             for (int64_t r = 0; r < n_; ++r) {
               const float* row = data_.data() + r * d_;

@@ -90,8 +90,10 @@ class EmbeddingIndex {
   IndexMetric metric_;
   int64_t n_ = 0;
   int64_t d_ = 0;
-  std::vector<float> data_;    // Row-major [n, d], normalised for cosine.
-  std::vector<float> data_t_;  // Column-major copy ([d, n] row-major) for matmul.
+  // Pooled snapshot storage: both matrices recycle through the BufferPool
+  // when the serve layer hot-swaps indexes.
+  tensor::Storage data_;    // Row-major [n, d], normalised for cosine.
+  tensor::Storage data_t_;  // Column-major copy ([d, n] row-major) for matmul.
 };
 
 }  // namespace sarn::tasks

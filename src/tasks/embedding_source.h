@@ -75,7 +75,7 @@ class SarnFineTuneSource : public EmbeddingSource {
  public:
   explicit SarnFineTuneSource(core::SarnModel& model) : model_(&model) {
     for (const tensor::Tensor& p : model_->FineTuneParameters()) {
-      snapshot_.push_back(p.data());
+      snapshot_.push_back(p.data().ToVector());
     }
   }
 

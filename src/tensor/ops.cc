@@ -12,6 +12,26 @@ namespace {
 
 using internal::TensorImpl;
 
+// Row-major rank-2 addressing, shared by every op that walks rows. The stride
+// arithmetic (`i * cols + j`, row base pointers) used to be hand-rolled in
+// each backward lambda; it lives here exactly once. Sixteen bytes, cheap to
+// capture by value.
+struct RowMajor {
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  size_t at(int64_t i, int64_t j) const { return static_cast<size_t>(i * cols + j); }
+  size_t row_offset(int64_t i) const { return static_cast<size_t>(i * cols); }
+
+  const float* row(const Storage& s, int64_t i) const { return s.data() + i * cols; }
+  float* row(Storage& s, int64_t i) const { return s.data() + i * cols; }
+};
+
+RowMajor Layout(const Tensor& t) {
+  SARN_CHECK_EQ(t.rank(), 2);
+  return RowMajor{t.shape()[0], t.shape()[1]};
+}
+
 // How operand b aligns against operand a in a binary op.
 enum class Broadcast {
   kSame,    // identical element counts and (logical) shapes
@@ -45,10 +65,10 @@ Broadcast ResolveBroadcast(const Tensor& a, const Tensor& b) {
 template <typename Fwd, typename DfDx, typename DfDy>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDx dfdx, DfDy dfdy) {
   Broadcast mode = ResolveBroadcast(a, b);
-  const std::vector<float>& av = a.data();
-  const std::vector<float>& bv = b.data();
+  const Storage& av = a.data();
+  const Storage& bv = b.data();
   int64_t n_cols = (mode == Broadcast::kRowVec) ? a.shape()[1] : 0;
-  std::vector<float> out(av.size());
+  Storage out = Storage::Uninitialized(av.size());
   switch (mode) {
     case Broadcast::kSame:
       for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[i]);
@@ -65,7 +85,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDx dfdx, DfDy dfdy)
   return MakeOpResult(
       a.shape(), std::move(out), {a, b},
       [ai, bi, mode, n_cols, fwd, dfdx, dfdy](TensorImpl& o) {
-        const std::vector<float>& g = o.grad;
+        const Storage& g = o.grad;
         auto b_at = [&](size_t i) -> float {
           switch (mode) {
             case Broadcast::kSame:
@@ -106,8 +126,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDx dfdx, DfDy dfdy)
 // Generic elementwise unary. `dfd(x, out)` is the local derivative.
 template <typename Fwd, typename Df>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Df dfd) {
-  const std::vector<float>& av = a.data();
-  std::vector<float> out(av.size());
+  const Storage& av = a.data();
+  Storage out = Storage::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
   auto ai = a.impl();
   return MakeOpResult(a.shape(), std::move(out), {a}, [ai, dfd](TensorImpl& o) {
@@ -263,7 +283,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                        << ShapeToString(b.shape());
   const float* ad = a.data().data();
   const float* bd = b.data().data();
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  // The kernels accumulate into C, so the output must start zeroed.
+  Storage out = Storage::Zeroed(static_cast<size_t>(m * n));
   float* od = out.data();
   // Split so each chunk holds >= ~64k multiply-adds; chunks of kMr rows keep
   // the register tiles full except at a range boundary.
@@ -309,21 +330,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Transpose(const Tensor& a) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  std::vector<float> out(static_cast<size_t>(m * n));
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      out[static_cast<size_t>(j * m + i)] = a.data()[static_cast<size_t>(i * n + j)];
+  RowMajor rm = Layout(a);
+  Storage out = Storage::Uninitialized(a.data().size());
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    for (int64_t j = 0; j < rm.cols; ++j) {
+      out[static_cast<size_t>(j * rm.rows + i)] = a.data()[rm.at(i, j)];
     }
   }
   auto ai = a.impl();
-  return MakeOpResult({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+  return MakeOpResult({rm.cols, rm.rows}, std::move(out), {a}, [ai, rm](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        ai->grad[static_cast<size_t>(i * n + j)] += o.grad[static_cast<size_t>(j * m + i)];
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      for (int64_t j = 0; j < rm.cols; ++j) {
+        ai->grad[rm.at(i, j)] += o.grad[static_cast<size_t>(j * rm.rows + i)];
       }
     }
   });
@@ -332,7 +352,9 @@ Tensor Transpose(const Tensor& a) {
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   SARN_CHECK_EQ(NumElements(shape), a.numel());
   auto ai = a.impl();
-  return MakeOpResult(shape, a.data(), {a}, [ai](TensorImpl& o) {
+  // Zero-copy: the result aliases the input's buffer. Ops never mutate their
+  // inputs, and gradients stay per-node, so this is semantics-preserving.
+  return MakeOpResult(shape, a.data().Share(), {a}, [ai](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     for (size_t i = 0; i < o.grad.size(); ++i) ai->grad[i] += o.grad[i];
@@ -342,8 +364,10 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
 Tensor Sum(const Tensor& a) {
   double acc = 0.0;
   for (float v : a.data()) acc += v;
+  Storage out = Storage::Uninitialized(1);
+  out[0] = static_cast<float>(acc);
   auto ai = a.impl();
-  return MakeOpResult({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& o) {
+  return MakeOpResult({1}, std::move(out), {a}, [ai](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     float g = o.grad[0];
@@ -357,34 +381,34 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor SumAxis(const Tensor& a, int axis) {
-  SARN_CHECK_EQ(a.rank(), 2);
   SARN_CHECK(axis == 0 || axis == 1);
-  int64_t m = a.shape()[0], n = a.shape()[1];
+  RowMajor rm = Layout(a);
   auto ai = a.impl();
   if (axis == 0) {
-    std::vector<float> out(static_cast<size_t>(n), 0.0f);
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) out[j] += a.data()[static_cast<size_t>(i * n + j)];
+    Storage out = Storage::Zeroed(static_cast<size_t>(rm.cols));
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      for (int64_t j = 0; j < rm.cols; ++j) out[static_cast<size_t>(j)] += a.data()[rm.at(i, j)];
     }
-    return MakeOpResult({n}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+    return MakeOpResult({rm.cols}, std::move(out), {a}, [ai, rm](TensorImpl& o) {
       if (!ai->requires_grad) return;
       ai->EnsureGrad();
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) ai->grad[static_cast<size_t>(i * n + j)] += o.grad[j];
+      for (int64_t i = 0; i < rm.rows; ++i) {
+        for (int64_t j = 0; j < rm.cols; ++j) ai->grad[rm.at(i, j)] += o.grad[j];
       }
     });
   }
-  std::vector<float> out(static_cast<size_t>(m), 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
+  Storage out = Storage::Uninitialized(static_cast<size_t>(rm.rows));
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    const float* row = rm.row(a.data(), i);
     double acc = 0.0;
-    for (int64_t j = 0; j < n; ++j) acc += a.data()[static_cast<size_t>(i * n + j)];
+    for (int64_t j = 0; j < rm.cols; ++j) acc += row[j];
     out[static_cast<size_t>(i)] = static_cast<float>(acc);
   }
-  return MakeOpResult({m}, std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+  return MakeOpResult({rm.rows}, std::move(out), {a}, [ai, rm](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) ai->grad[static_cast<size_t>(i * n + j)] += o.grad[i];
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      for (int64_t j = 0; j < rm.cols; ++j) ai->grad[rm.at(i, j)] += o.grad[i];
     }
   });
 }
@@ -396,62 +420,60 @@ Tensor MeanAxis(const Tensor& a, int axis) {
 }
 
 Tensor RowSoftmax(const Tensor& a) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  std::vector<float> out(a.data().size());
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = a.data().data() + i * n;
-    float* orow = out.data() + i * n;
+  RowMajor rm = Layout(a);
+  Storage out = Storage::Uninitialized(a.data().size());
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    const float* row = rm.row(a.data(), i);
+    float* orow = rm.row(out, i);
     float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    for (int64_t j = 0; j < rm.cols; ++j) mx = std::max(mx, row[j]);
     double sum = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
+    for (int64_t j = 0; j < rm.cols; ++j) {
       orow[j] = std::exp(row[j] - mx);
       sum += orow[j];
     }
     float inv = static_cast<float>(1.0 / sum);
-    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+    for (int64_t j = 0; j < rm.cols; ++j) orow[j] *= inv;
   }
   auto ai = a.impl();
-  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, rm](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      const float* y = o.data.data() + i * n;
-      const float* g = o.grad.data() + i * n;
-      float* ga = ai->grad.data() + i * n;
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      const float* y = rm.row(o.data, i);
+      const float* g = rm.row(o.grad, i);
+      float* ga = rm.row(ai->grad, i);
       double dot = 0.0;
-      for (int64_t j = 0; j < n; ++j) dot += static_cast<double>(g[j]) * y[j];
-      for (int64_t j = 0; j < n; ++j) ga[j] += (g[j] - static_cast<float>(dot)) * y[j];
+      for (int64_t j = 0; j < rm.cols; ++j) dot += static_cast<double>(g[j]) * y[j];
+      for (int64_t j = 0; j < rm.cols; ++j) ga[j] += (g[j] - static_cast<float>(dot)) * y[j];
     }
   });
 }
 
 Tensor RowLogSoftmax(const Tensor& a) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  std::vector<float> out(a.data().size());
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = a.data().data() + i * n;
-    float* orow = out.data() + i * n;
+  RowMajor rm = Layout(a);
+  Storage out = Storage::Uninitialized(a.data().size());
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    const float* row = rm.row(a.data(), i);
+    float* orow = rm.row(out, i);
     float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    for (int64_t j = 0; j < rm.cols; ++j) mx = std::max(mx, row[j]);
     double sum = 0.0;
-    for (int64_t j = 0; j < n; ++j) sum += std::exp(static_cast<double>(row[j]) - mx);
+    for (int64_t j = 0; j < rm.cols; ++j) sum += std::exp(static_cast<double>(row[j]) - mx);
     float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - lse;
+    for (int64_t j = 0; j < rm.cols; ++j) orow[j] = row[j] - lse;
   }
   auto ai = a.impl();
-  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, m, n](TensorImpl& o) {
+  return MakeOpResult(a.shape(), std::move(out), {a}, [ai, rm](TensorImpl& o) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      const float* y = o.data.data() + i * n;
-      const float* g = o.grad.data() + i * n;
-      float* ga = ai->grad.data() + i * n;
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      const float* y = rm.row(o.data, i);
+      const float* g = rm.row(o.grad, i);
+      float* ga = rm.row(ai->grad, i);
       double gsum = 0.0;
-      for (int64_t j = 0; j < n; ++j) gsum += g[j];
-      for (int64_t j = 0; j < n; ++j) {
+      for (int64_t j = 0; j < rm.cols; ++j) gsum += g[j];
+      for (int64_t j = 0; j < rm.cols; ++j) {
         ga[j] += g[j] - static_cast<float>(gsum) * std::exp(y[j]);
       }
     }
@@ -459,40 +481,40 @@ Tensor RowLogSoftmax(const Tensor& a) {
 }
 
 Tensor RowL2Normalize(const Tensor& a, float eps) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  std::vector<float> out(a.data().size());
-  std::vector<float> norms(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = a.data().data() + i * n;
+  RowMajor rm = Layout(a);
+  Storage out = Storage::Uninitialized(a.data().size());
+  Storage norms = Storage::Uninitialized(static_cast<size_t>(rm.rows));
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    const float* row = rm.row(a.data(), i);
     double sq = 0.0;
-    for (int64_t j = 0; j < n; ++j) sq += static_cast<double>(row[j]) * row[j];
+    for (int64_t j = 0; j < rm.cols; ++j) sq += static_cast<double>(row[j]) * row[j];
     float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
     norms[static_cast<size_t>(i)] = norm;
     float inv = 1.0f / norm;
-    for (int64_t j = 0; j < n; ++j) out[static_cast<size_t>(i * n + j)] = row[j] * inv;
+    float* orow = rm.row(out, i);
+    for (int64_t j = 0; j < rm.cols; ++j) orow[j] = row[j] * inv;
   }
   auto ai = a.impl();
   return MakeOpResult(a.shape(), std::move(out), {a},
-                      [ai, m, n, norms = std::move(norms), eps](TensorImpl& o) {
+                      [ai, rm, norms = std::move(norms), eps](TensorImpl& o) {
                         if (!ai->requires_grad) return;
                         ai->EnsureGrad();
-                        for (int64_t i = 0; i < m; ++i) {
-                          const float* x = ai->data.data() + i * n;
-                          const float* g = o.grad.data() + i * n;
-                          float* ga = ai->grad.data() + i * n;
+                        for (int64_t i = 0; i < rm.rows; ++i) {
+                          const float* x = rm.row(ai->data, i);
+                          const float* g = rm.row(o.grad, i);
+                          float* ga = rm.row(ai->grad, i);
                           float norm = norms[static_cast<size_t>(i)];
                           float inv = 1.0f / norm;
                           if (norm <= eps) {
-                            for (int64_t j = 0; j < n; ++j) ga[j] += g[j] * inv;
+                            for (int64_t j = 0; j < rm.cols; ++j) ga[j] += g[j] * inv;
                             continue;
                           }
                           double dot = 0.0;
-                          for (int64_t j = 0; j < n; ++j) {
+                          for (int64_t j = 0; j < rm.cols; ++j) {
                             dot += static_cast<double>(g[j]) * x[j];
                           }
                           float scale = static_cast<float>(dot) * inv * inv * inv;
-                          for (int64_t j = 0; j < n; ++j) {
+                          for (int64_t j = 0; j < rm.cols; ++j) {
                             ga[j] += g[j] * inv - x[j] * scale;
                           }
                         }
@@ -500,70 +522,67 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
 }
 
 Tensor DotRows(const Tensor& a, const Tensor& b) {
-  SARN_CHECK_EQ(a.rank(), 2);
   SARN_CHECK(a.shape() == b.shape())
       << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  std::vector<float> out(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) {
+  RowMajor rm = Layout(a);
+  Storage out = Storage::Uninitialized(static_cast<size_t>(rm.rows));
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    const float* arow = rm.row(a.data(), i);
+    const float* brow = rm.row(b.data(), i);
     double acc = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      acc += static_cast<double>(a.data()[static_cast<size_t>(i * n + j)]) *
-             b.data()[static_cast<size_t>(i * n + j)];
+    for (int64_t j = 0; j < rm.cols; ++j) {
+      acc += static_cast<double>(arow[j]) * brow[j];
     }
     out[static_cast<size_t>(i)] = static_cast<float>(acc);
   }
   auto ai = a.impl();
   auto bi = b.impl();
-  return MakeOpResult({m}, std::move(out), {a, b}, [ai, bi, m, n](TensorImpl& o) {
-    for (int64_t i = 0; i < m; ++i) {
+  return MakeOpResult({rm.rows}, std::move(out), {a, b}, [ai, bi, rm](TensorImpl& o) {
+    for (int64_t i = 0; i < rm.rows; ++i) {
       float g = o.grad[static_cast<size_t>(i)];
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (int64_t j = 0; j < n; ++j) {
-          ai->grad[static_cast<size_t>(i * n + j)] +=
-              g * bi->data[static_cast<size_t>(i * n + j)];
-        }
+        const float* brow = rm.row(bi->data, i);
+        float* ga = rm.row(ai->grad, i);
+        for (int64_t j = 0; j < rm.cols; ++j) ga[j] += g * brow[j];
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (int64_t j = 0; j < n; ++j) {
-          bi->grad[static_cast<size_t>(i * n + j)] +=
-              g * ai->data[static_cast<size_t>(i * n + j)];
-        }
+        const float* arow = rm.row(ai->data, i);
+        float* gb = rm.row(bi->grad, i);
+        for (int64_t j = 0; j < rm.cols; ++j) gb[j] += g * arow[j];
       }
     }
   });
 }
 
 Tensor ScaleRows(const Tensor& a, const Tensor& scale) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  SARN_CHECK_EQ(scale.numel(), m) << "ScaleRows " << ShapeToString(a.shape()) << " by "
-                                  << ShapeToString(scale.shape());
-  std::vector<float> out(a.data().size());
-  for (int64_t i = 0; i < m; ++i) {
+  RowMajor rm = Layout(a);
+  SARN_CHECK_EQ(scale.numel(), rm.rows) << "ScaleRows " << ShapeToString(a.shape())
+                                        << " by " << ShapeToString(scale.shape());
+  Storage out = Storage::Uninitialized(a.data().size());
+  for (int64_t i = 0; i < rm.rows; ++i) {
     float s = scale.data()[static_cast<size_t>(i)];
-    const float* row = a.data().data() + i * n;
-    float* orow = out.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] * s;
+    const float* row = rm.row(a.data(), i);
+    float* orow = rm.row(out, i);
+    for (int64_t j = 0; j < rm.cols; ++j) orow[j] = row[j] * s;
   }
   auto ai = a.impl();
   auto si = scale.impl();
-  return MakeOpResult(a.shape(), std::move(out), {a, scale}, [ai, si, m, n](TensorImpl& o) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* g = o.grad.data() + i * n;
+  return MakeOpResult(a.shape(), std::move(out), {a, scale}, [ai, si, rm](TensorImpl& o) {
+    for (int64_t i = 0; i < rm.rows; ++i) {
+      const float* g = rm.row(o.grad, i);
       float s = si->data[static_cast<size_t>(i)];
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        float* ga = ai->grad.data() + i * n;
-        for (int64_t j = 0; j < n; ++j) ga[j] += g[j] * s;
+        float* ga = rm.row(ai->grad, i);
+        for (int64_t j = 0; j < rm.cols; ++j) ga[j] += g[j] * s;
       }
       if (si->requires_grad) {
         si->EnsureGrad();
-        const float* arow = ai->data.data() + i * n;
+        const float* arow = rm.row(ai->data, i);
         double acc = 0.0;
-        for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(g[j]) * arow[j];
+        for (int64_t j = 0; j < rm.cols; ++j) acc += static_cast<double>(g[j]) * arow[j];
         si->grad[static_cast<size_t>(i)] += static_cast<float>(acc);
       }
     }
@@ -571,66 +590,66 @@ Tensor ScaleRows(const Tensor& a, const Tensor& scale) {
 }
 
 Tensor Rows(const Tensor& a, const std::vector<int64_t>& indices) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t n = a.shape()[1];
+  RowMajor rm = Layout(a);
   int64_t m = static_cast<int64_t>(indices.size());
-  std::vector<float> out(static_cast<size_t>(m * n));
+  Storage out = Storage::Uninitialized(static_cast<size_t>(m * rm.cols));
   for (int64_t r = 0; r < m; ++r) {
     int64_t src = indices[static_cast<size_t>(r)];
-    SARN_CHECK(src >= 0 && src < a.shape()[0]) << "row index " << src;
-    std::copy_n(a.data().data() + src * n, n, out.data() + r * n);
+    SARN_CHECK(src >= 0 && src < rm.rows) << "row index " << src;
+    std::copy_n(rm.row(a.data(), src), rm.cols, out.data() + r * rm.cols);
   }
   auto ai = a.impl();
-  return MakeOpResult({m, n}, std::move(out), {a}, [ai, indices, n](TensorImpl& o) {
-    if (!ai->requires_grad) return;
-    ai->EnsureGrad();
-    for (size_t r = 0; r < indices.size(); ++r) {
-      const float* g = o.grad.data() + r * n;
-      float* ga = ai->grad.data() + indices[r] * n;
-      for (int64_t j = 0; j < n; ++j) ga[j] += g[j];
-    }
-  });
+  return MakeOpResult({m, rm.cols}, std::move(out), {a},
+                      [ai, rm, idx = MakeIndexVec(indices)](TensorImpl& o) {
+                        if (!ai->requires_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t r = 0; r < idx.size(); ++r) {
+                          const float* g = o.grad.data() + r * rm.cols;
+                          float* ga = rm.row(ai->grad, idx[r]);
+                          for (int64_t j = 0; j < rm.cols; ++j) ga[j] += g[j];
+                        }
+                      });
 }
 
 Tensor TakePerRow(const Tensor& a, const std::vector<int64_t>& cols) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  SARN_CHECK_EQ(static_cast<int64_t>(cols.size()), m);
-  std::vector<float> out(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) {
+  RowMajor rm = Layout(a);
+  SARN_CHECK_EQ(static_cast<int64_t>(cols.size()), rm.rows);
+  Storage out = Storage::Uninitialized(static_cast<size_t>(rm.rows));
+  for (int64_t i = 0; i < rm.rows; ++i) {
     int64_t c = cols[static_cast<size_t>(i)];
-    SARN_CHECK(c >= 0 && c < n) << "col index " << c;
-    out[static_cast<size_t>(i)] = a.data()[static_cast<size_t>(i * n + c)];
+    SARN_CHECK(c >= 0 && c < rm.cols) << "col index " << c;
+    out[static_cast<size_t>(i)] = a.data()[rm.at(i, c)];
   }
   auto ai = a.impl();
-  return MakeOpResult({m}, std::move(out), {a}, [ai, cols, n](TensorImpl& o) {
-    if (!ai->requires_grad) return;
-    ai->EnsureGrad();
-    for (size_t i = 0; i < cols.size(); ++i) {
-      ai->grad[i * n + static_cast<size_t>(cols[i])] += o.grad[i];
-    }
-  });
+  return MakeOpResult({rm.rows}, std::move(out), {a},
+                      [ai, rm, idx = MakeIndexVec(cols)](TensorImpl& o) {
+                        if (!ai->requires_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < idx.size(); ++i) {
+                          ai->grad[rm.at(static_cast<int64_t>(i), idx[i])] += o.grad[i];
+                        }
+                      });
 }
 
 Tensor ColsRange(const Tensor& a, int64_t col, int64_t count) {
-  SARN_CHECK_EQ(a.rank(), 2);
-  int64_t m = a.shape()[0], n = a.shape()[1];
-  SARN_CHECK(col >= 0 && count > 0 && col + count <= n)
+  RowMajor rm = Layout(a);
+  SARN_CHECK(col >= 0 && count > 0 && col + count <= rm.cols)
       << "ColsRange [" << col << ", " << col + count << ") of " << ShapeToString(a.shape());
-  std::vector<float> out(static_cast<size_t>(m * count));
-  for (int64_t i = 0; i < m; ++i) {
-    std::copy_n(a.data().data() + i * n + col, count, out.data() + i * count);
+  Storage out = Storage::Uninitialized(static_cast<size_t>(rm.rows * count));
+  for (int64_t i = 0; i < rm.rows; ++i) {
+    std::copy_n(rm.row(a.data(), i) + col, count, out.data() + i * count);
   }
   auto ai = a.impl();
-  return MakeOpResult({m, count}, std::move(out), {a}, [ai, m, n, col, count](TensorImpl& o) {
-    if (!ai->requires_grad) return;
-    ai->EnsureGrad();
-    for (int64_t i = 0; i < m; ++i) {
-      const float* g = o.grad.data() + i * count;
-      float* ga = ai->grad.data() + i * n + col;
-      for (int64_t j = 0; j < count; ++j) ga[j] += g[j];
-    }
-  });
+  return MakeOpResult({rm.rows, count}, std::move(out), {a},
+                      [ai, rm, col, count](TensorImpl& o) {
+                        if (!ai->requires_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < rm.rows; ++i) {
+                          const float* g = o.grad.data() + i * count;
+                          float* ga = rm.row(ai->grad, i) + col;
+                          for (int64_t j = 0; j < count; ++j) ga[j] += g[j];
+                        }
+                      });
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -651,7 +670,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
       n += p.shape()[1];
     }
   }
-  std::vector<float> out(static_cast<size_t>(m * n));
+  RowMajor rm{m, n};
+  Storage out = Storage::Uninitialized(static_cast<size_t>(m * n));
   if (axis == 0) {
     size_t offset = 0;
     for (const Tensor& p : parts) {
@@ -663,40 +683,43 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     for (const Tensor& p : parts) {
       int64_t pn = p.shape()[1];
       for (int64_t i = 0; i < m; ++i) {
-        std::copy_n(p.data().data() + i * pn, pn, out.data() + i * n + col_offset);
+        std::copy_n(p.data().data() + i * pn, pn, rm.row(out, i) + col_offset);
       }
       col_offset += pn;
     }
   }
-  std::vector<std::shared_ptr<TensorImpl>> impls;
+  PoolVec<std::shared_ptr<TensorImpl>> impls;
   impls.reserve(parts.size());
   for (const Tensor& p : parts) impls.push_back(p.impl());
-  return MakeOpResult({m, n}, std::move(out), parts, [impls, axis, m, n](TensorImpl& o) {
-    if (axis == 0) {
-      size_t offset = 0;
-      for (const auto& pi : impls) {
-        if (pi->requires_grad) {
-          pi->EnsureGrad();
-          for (size_t i = 0; i < pi->data.size(); ++i) pi->grad[i] += o.grad[offset + i];
-        }
-        offset += pi->data.size();
-      }
-    } else {
-      int64_t col_offset = 0;
-      for (const auto& pi : impls) {
-        int64_t pn = pi->shape[1];
-        if (pi->requires_grad) {
-          pi->EnsureGrad();
-          for (int64_t i = 0; i < m; ++i) {
-            const float* g = o.grad.data() + i * n + col_offset;
-            float* gp = pi->grad.data() + i * pn;
-            for (int64_t j = 0; j < pn; ++j) gp[j] += g[j];
-          }
-        }
-        col_offset += pn;
-      }
-    }
-  });
+  return MakeOpResult({m, n}, std::move(out), parts,
+                      [impls = std::move(impls), axis, rm](TensorImpl& o) {
+                        if (axis == 0) {
+                          size_t offset = 0;
+                          for (const auto& pi : impls) {
+                            if (pi->requires_grad) {
+                              pi->EnsureGrad();
+                              for (size_t i = 0; i < pi->data.size(); ++i) {
+                                pi->grad[i] += o.grad[offset + i];
+                              }
+                            }
+                            offset += pi->data.size();
+                          }
+                        } else {
+                          int64_t col_offset = 0;
+                          for (const auto& pi : impls) {
+                            int64_t pn = pi->shape[1];
+                            if (pi->requires_grad) {
+                              pi->EnsureGrad();
+                              for (int64_t i = 0; i < rm.rows; ++i) {
+                                const float* g = rm.row(o.grad, i) + col_offset;
+                                float* gp = pi->grad.data() + i * pn;
+                                for (int64_t j = 0; j < pn; ++j) gp[j] += g[j];
+                              }
+                            }
+                            col_offset += pn;
+                          }
+                        }
+                      });
 }
 
 Tensor Dropout(const Tensor& a, float p, Rng& rng) {
@@ -704,8 +727,8 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng) {
   if (p == 0.0f) return a;
   float keep = 1.0f - p;
   float scale = 1.0f / keep;
-  std::vector<float> mask(a.data().size());
-  std::vector<float> out(a.data().size());
+  Storage mask = Storage::Uninitialized(a.data().size());
+  Storage out = Storage::Uninitialized(a.data().size());
   for (size_t i = 0; i < mask.size(); ++i) {
     mask[i] = rng.Bernoulli(keep) ? scale : 0.0f;
     out[i] = a.data()[i] * mask[i];
@@ -726,16 +749,16 @@ Tensor EdgeSoftmax(const Tensor& scores, const std::vector<int64_t>& dst,
   SARN_CHECK(scores.rank() == 1 || (scores.rank() == 2 && scores.shape()[1] == 1));
   int64_t e_count = scores.numel();
   SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), e_count);
-  std::vector<float> max_per(static_cast<size_t>(num_vertices),
-                             -std::numeric_limits<float>::infinity());
+  PoolVec<float> max_per(static_cast<size_t>(num_vertices),
+                         -std::numeric_limits<float>::infinity());
   for (int64_t e = 0; e < e_count; ++e) {
     int64_t v = dst[static_cast<size_t>(e)];
     SARN_DCHECK(v >= 0 && v < num_vertices);
     max_per[static_cast<size_t>(v)] =
         std::max(max_per[static_cast<size_t>(v)], scores.data()[static_cast<size_t>(e)]);
   }
-  std::vector<double> sum_per(static_cast<size_t>(num_vertices), 0.0);
-  std::vector<float> out(static_cast<size_t>(e_count));
+  PoolVec<double> sum_per(static_cast<size_t>(num_vertices), 0.0);
+  Storage out = Storage::Uninitialized(static_cast<size_t>(e_count));
   for (int64_t e = 0; e < e_count; ++e) {
     size_t v = static_cast<size_t>(dst[static_cast<size_t>(e)]);
     float ex = std::exp(scores.data()[static_cast<size_t>(e)] - max_per[v]);
@@ -749,46 +772,88 @@ Tensor EdgeSoftmax(const Tensor& scores, const std::vector<int64_t>& dst,
   }
   auto si = scores.impl();
   return MakeOpResult(
-      {e_count}, std::move(out), {scores}, [si, dst, num_vertices](TensorImpl& o) {
+      {e_count}, std::move(out), {scores},
+      [si, idx = MakeIndexVec(dst), num_vertices](TensorImpl& o) {
         if (!si->requires_grad) return;
         si->EnsureGrad();
         // Grouped softmax Jacobian: ds_e = y_e * (g_e - sum_{e' in group} g_e' y_e').
-        std::vector<double> group_dot(static_cast<size_t>(num_vertices), 0.0);
-        for (size_t e = 0; e < dst.size(); ++e) {
-          group_dot[static_cast<size_t>(dst[e])] +=
+        PoolVec<double> group_dot(static_cast<size_t>(num_vertices), 0.0);
+        for (size_t e = 0; e < idx.size(); ++e) {
+          group_dot[static_cast<size_t>(idx[e])] +=
               static_cast<double>(o.grad[e]) * o.data[e];
         }
-        for (size_t e = 0; e < dst.size(); ++e) {
+        for (size_t e = 0; e < idx.size(); ++e) {
           si->grad[e] += o.data[e] * (o.grad[e] - static_cast<float>(
-                                                      group_dot[static_cast<size_t>(dst[e])]));
+                                                      group_dot[static_cast<size_t>(idx[e])]));
         }
       });
 }
 
 Tensor ScatterAddRows(const Tensor& messages, const std::vector<int64_t>& dst,
                       int64_t num_vertices) {
-  SARN_CHECK_EQ(messages.rank(), 2);
-  int64_t e_count = messages.shape()[0], d = messages.shape()[1];
-  SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), e_count);
-  std::vector<float> out(static_cast<size_t>(num_vertices * d), 0.0f);
-  for (int64_t e = 0; e < e_count; ++e) {
+  RowMajor rm = Layout(messages);
+  SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), rm.rows);
+  RowMajor orm{num_vertices, rm.cols};
+  Storage out = Storage::Zeroed(static_cast<size_t>(num_vertices * rm.cols));
+  for (int64_t e = 0; e < rm.rows; ++e) {
     int64_t v = dst[static_cast<size_t>(e)];
     SARN_DCHECK(v >= 0 && v < num_vertices);
-    const float* msg = messages.data().data() + e * d;
-    float* orow = out.data() + v * d;
-    for (int64_t j = 0; j < d; ++j) orow[j] += msg[j];
+    const float* msg = rm.row(messages.data(), e);
+    float* orow = orm.row(out, v);
+    for (int64_t j = 0; j < rm.cols; ++j) orow[j] += msg[j];
   }
   auto mi = messages.impl();
-  return MakeOpResult({num_vertices, d}, std::move(out), {messages},
-                      [mi, dst, d](TensorImpl& o) {
+  return MakeOpResult({num_vertices, rm.cols}, std::move(out), {messages},
+                      [mi, rm, orm, idx = MakeIndexVec(dst)](TensorImpl& o) {
                         if (!mi->requires_grad) return;
                         mi->EnsureGrad();
-                        for (size_t e = 0; e < dst.size(); ++e) {
-                          const float* g = o.grad.data() + dst[e] * d;
-                          float* gm = mi->grad.data() + e * d;
-                          for (int64_t j = 0; j < d; ++j) gm[j] += g[j];
+                        for (size_t e = 0; e < idx.size(); ++e) {
+                          const float* g = orm.row(o.grad, idx[e]);
+                          float* gm = rm.row(mi->grad, static_cast<int64_t>(e));
+                          for (int64_t j = 0; j < rm.cols; ++j) gm[j] += g[j];
                         }
                       });
+}
+
+Tensor FusedEdgeScores(const Tensor& score_src, const Tensor& score_dst,
+                       const std::vector<int64_t>& src, const std::vector<int64_t>& dst,
+                       float negative_slope) {
+  SARN_CHECK(!GradModeEnabled()) << "FusedEdgeScores is inference-only";
+  SARN_CHECK_EQ(src.size(), dst.size());
+  int64_t e_count = static_cast<int64_t>(src.size());
+  const Storage& ss = score_src.data();
+  const Storage& sd = score_dst.data();
+  Storage out = Storage::Uninitialized(static_cast<size_t>(e_count));
+  for (int64_t e = 0; e < e_count; ++e) {
+    // Same operation order as Add(Rows(score_dst, dst), Rows(score_src, src))
+    // followed by LeakyRelu — bitwise identical, no intermediates.
+    float x = sd[static_cast<size_t>(dst[static_cast<size_t>(e)])] +
+              ss[static_cast<size_t>(src[static_cast<size_t>(e)])];
+    out[static_cast<size_t>(e)] = x > 0 ? x : negative_slope * x;
+  }
+  return Tensor::FromStorage({e_count}, std::move(out));
+}
+
+Tensor FusedGatherScaleScatter(const Tensor& wx, const std::vector<int64_t>& src,
+                               const std::vector<int64_t>& dst, const Tensor& alpha,
+                               int64_t num_vertices) {
+  SARN_CHECK(!GradModeEnabled()) << "FusedGatherScaleScatter is inference-only";
+  SARN_CHECK_EQ(src.size(), dst.size());
+  RowMajor rm = Layout(wx);
+  RowMajor orm{num_vertices, rm.cols};
+  Storage out = Storage::Zeroed(static_cast<size_t>(num_vertices * rm.cols));
+  for (size_t e = 0; e < src.size(); ++e) {
+    const float* row = rm.row(wx.data(), src[e]);
+    float s = alpha.data()[e];
+    float* orow = orm.row(out, dst[e]);
+    for (int64_t j = 0; j < rm.cols; ++j) {
+      // Explicit float intermediate matches the rounding of the unfused
+      // ScaleRows-then-ScatterAdd chain exactly.
+      float message = row[j] * s;
+      orow[j] += message;
+    }
+  }
+  return Tensor::FromStorage({num_vertices, rm.cols}, std::move(out));
 }
 
 }  // namespace sarn::tensor

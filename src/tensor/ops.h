@@ -50,7 +50,9 @@ Tensor Tanh(const Tensor& a);
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// 2-D transpose (copies).
 Tensor Transpose(const Tensor& a);
-/// View with a new shape (same element count; copies buffer semantics-free).
+/// Zero-copy view with a new shape (same element count): the result shares
+/// the input's storage. Safe because ops never mutate their inputs; gradients
+/// stay separate per node.
 Tensor Reshape(const Tensor& a, const Shape& shape);
 
 // --- Reductions ---------------------------------------------------------------
@@ -98,6 +100,23 @@ Tensor EdgeSoftmax(const Tensor& scores, const std::vector<int64_t>& dst,
 /// out[v] = sum_{e: dst[e]=v} messages[e]; messages [E, d] -> out [num_vertices, d].
 Tensor ScatterAddRows(const Tensor& messages, const std::vector<int64_t>& dst,
                       int64_t num_vertices);
+
+// --- Fused inference-only ops (grad mode must be off) ---------------------------
+// Bitwise-identical fusions of the op chains GAT inference runs per layer;
+// they skip the intermediate [E, ...] tensors entirely. Both SARN_CHECK that
+// gradient recording is disabled: there is no backward.
+
+/// LeakyRelu(score_dst[dst[e]] + score_src[src[e]]) -> [E]. Fuses
+/// Reshape(LeakyRelu(Add(Rows(score_dst, dst), Rows(score_src, src))), {E}).
+Tensor FusedEdgeScores(const Tensor& score_src, const Tensor& score_dst,
+                       const std::vector<int64_t>& src, const std::vector<int64_t>& dst,
+                       float negative_slope = 0.2f);
+
+/// out[dst[e]] += wx[src[e]] * alpha[e] -> [num_vertices, d]. Fuses
+/// ScatterAddRows(ScaleRows(Rows(wx, src), alpha), dst, num_vertices).
+Tensor FusedGatherScaleScatter(const Tensor& wx, const std::vector<int64_t>& src,
+                               const std::vector<int64_t>& dst, const Tensor& alpha,
+                               int64_t num_vertices);
 
 }  // namespace sarn::tensor
 

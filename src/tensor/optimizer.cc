@@ -81,8 +81,8 @@ bool Sgd::LoadState(ByteReader& in) {
 
 void Sgd::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
-    std::vector<float>& data = parameters_[i].mutable_data();
-    const std::vector<float>& grad = parameters_[i].grad();
+    Storage& data = parameters_[i].mutable_data();
+    const Storage& grad = parameters_[i].grad();
     std::vector<float>& vel = velocity_[i];
     for (size_t j = 0; j < data.size(); ++j) {
       float g = grad[j] + weight_decay_ * data[j];
@@ -137,8 +137,8 @@ void Adam::Step() {
   float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
   float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
   for (size_t i = 0; i < parameters_.size(); ++i) {
-    std::vector<float>& data = parameters_[i].mutable_data();
-    const std::vector<float>& grad = parameters_[i].grad();
+    Storage& data = parameters_[i].mutable_data();
+    const Storage& grad = parameters_[i].grad();
     std::vector<float>& m = m_[i];
     std::vector<float>& v = v_[i];
     for (size_t j = 0; j < data.size(); ++j) {

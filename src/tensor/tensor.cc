@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <unordered_set>
 
 namespace sarn::tensor {
 
@@ -31,10 +30,14 @@ namespace {
 
 thread_local bool t_grad_mode = true;
 
-std::shared_ptr<internal::TensorImpl> NewImpl(Shape shape, std::vector<float> data) {
+// Tape nodes and their control blocks come from the BufferPool, so building
+// and tearing down a step's graph recycles instead of hitting the global
+// allocator.
+std::shared_ptr<internal::TensorImpl> NewImpl(Shape shape, Storage data) {
   SARN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()))
       << "shape " << ShapeToString(shape);
-  auto impl = std::make_shared<internal::TensorImpl>();
+  auto impl = std::allocate_shared<internal::TensorImpl>(
+      PoolAllocator<internal::TensorImpl>());
   impl->shape = std::move(shape);
   impl->data = std::move(data);
   return impl;
@@ -48,27 +51,38 @@ NoGradGuard::NoGradGuard() : previous_(t_grad_mode) { t_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { t_grad_mode = previous_; }
 
 Tensor Tensor::Zeros(const Shape& shape) {
-  return FromImpl(NewImpl(shape, std::vector<float>(NumElements(shape), 0.0f)));
+  return FromImpl(NewImpl(shape, Storage::Zeroed(static_cast<size_t>(NumElements(shape)))));
 }
 
 Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
-  return FromImpl(NewImpl(shape, std::vector<float>(NumElements(shape), value)));
+  Storage data = Storage::Uninitialized(static_cast<size_t>(NumElements(shape)));
+  data.Fill(value);
+  return FromImpl(NewImpl(shape, std::move(data)));
 }
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
-  return FromImpl(NewImpl(shape, std::move(values)));
+  return FromImpl(NewImpl(shape, Storage::Of(values)));
+}
+
+Tensor Tensor::Uninitialized(const Shape& shape) {
+  return FromImpl(
+      NewImpl(shape, Storage::Uninitialized(static_cast<size_t>(NumElements(shape)))));
+}
+
+Tensor Tensor::FromStorage(Shape shape, Storage data) {
+  return FromImpl(NewImpl(std::move(shape), std::move(data)));
 }
 
 Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
-  std::vector<float> data(NumElements(shape));
+  Storage data = Storage::Uninitialized(static_cast<size_t>(NumElements(shape)));
   for (float& v : data) v = static_cast<float>(rng.Normal(0.0, stddev));
   return FromImpl(NewImpl(shape, std::move(data)));
 }
 
 Tensor Tensor::Uniform(const Shape& shape, Rng& rng, float lo, float hi) {
-  std::vector<float> data(NumElements(shape));
+  Storage data = Storage::Uninitialized(static_cast<size_t>(NumElements(shape)));
   for (float& v : data) v = static_cast<float>(rng.Uniform(lo, hi));
   return FromImpl(NewImpl(shape, std::move(data)));
 }
@@ -88,14 +102,24 @@ Tensor& Tensor::RequiresGrad(bool value) {
   return *this;
 }
 
-const std::vector<float>& Tensor::grad() const {
+const Storage& Tensor::grad() const {
   impl_->EnsureGrad();
   return impl_->grad;
 }
 
-std::vector<float>& Tensor::mutable_grad() {
+Storage& Tensor::mutable_grad() {
   impl_->EnsureGrad();
   return impl_->grad;
+}
+
+Tensor Tensor::RowRange(int64_t begin_row, int64_t num_rows) const {
+  SARN_CHECK_EQ(rank(), 2);
+  SARN_CHECK(begin_row >= 0 && num_rows >= 0 && begin_row + num_rows <= impl_->shape[0]);
+  int64_t cols = impl_->shape[1];
+  return FromImpl(NewImpl(
+      {num_rows, cols},
+      Storage::View(impl_->data, static_cast<size_t>(begin_row * cols),
+                    static_cast<size_t>(num_rows * cols))));
 }
 
 float Tensor::item() const {
@@ -129,24 +153,47 @@ void Tensor::Backward() {
   Backward({1.0f});
 }
 
-void Tensor::Backward(const std::vector<float>& seed_grad) {
-  SARN_CHECK(defined());
-  SARN_CHECK_EQ(static_cast<int64_t>(seed_grad.size()), numel());
-  // Topological order over the tape (iterative DFS to survive deep graphs,
-  // e.g., unrolled GRUs over 180-step trajectories).
-  std::vector<internal::TensorImpl*> order;
-  std::unordered_set<internal::TensorImpl*> visited;
+namespace {
+
+// Reused across Backward() calls on the same thread: after warm-up the topo
+// sort performs no allocations. Backward is not re-entrant (no op's backward
+// calls Backward), so one set of buffers per thread suffices.
+struct BackwardScratch {
   struct Frame {
     internal::TensorImpl* node;
     size_t next_parent;
   };
+  std::vector<internal::TensorImpl*> order;
   std::vector<Frame> stack;
-  if (visited.insert(impl_.get()).second) stack.push_back({impl_.get(), 0});
+  uint64_t pass_id = 0;
+};
+
+thread_local BackwardScratch t_backward_scratch;
+
+}  // namespace
+
+void Tensor::Backward(const std::vector<float>& seed_grad) {
+  SARN_CHECK(defined());
+  SARN_CHECK_EQ(static_cast<int64_t>(seed_grad.size()), numel());
+  // Topological order over the tape (iterative DFS to survive deep graphs,
+  // e.g., unrolled GRUs over 180-step trajectories). Visited state is a pass
+  // id stamped on each node, so no per-call hash set is built.
+  BackwardScratch& scratch = t_backward_scratch;
+  uint64_t pass = ++scratch.pass_id;
+  auto& order = scratch.order;
+  auto& stack = scratch.stack;
+  order.clear();
+  stack.clear();
+  impl_->visit_mark = pass;
+  stack.push_back({impl_.get(), 0});
   while (!stack.empty()) {
-    Frame& frame = stack.back();
+    BackwardScratch::Frame& frame = stack.back();
     if (frame.next_parent < frame.node->parents.size()) {
       internal::TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
-      if (visited.insert(parent).second) stack.push_back({parent, 0});
+      if (parent->visit_mark != pass) {
+        parent->visit_mark = pass;
+        stack.push_back({parent, 0});
+      }
     } else {
       order.push_back(frame.node);
       stack.pop_back();
@@ -159,23 +206,26 @@ void Tensor::Backward(const std::vector<float>& seed_grad) {
     internal::TensorImpl* node = *it;
     if (node->backward) {
       node->EnsureGrad();
-      node->backward();
+      node->backward(*node);
     }
   }
-  // Consume the tape so intermediate buffers can be freed.
+  // Consume the tape: dropping closures and parent edges releases every
+  // intermediate node no Tensor still references, which returns its pooled
+  // data/grad buffers (and the node itself) to the BufferPool.
   for (internal::TensorImpl* node : order) {
-    node->backward = nullptr;
-    node->parents.clear();
+    node->backward.Reset();
+    PoolVec<std::shared_ptr<internal::TensorImpl>>().swap(node->parents);
   }
+  order.clear();
 }
 
 void Tensor::ZeroGrad() {
-  if (!impl_->grad.empty()) std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  if (!impl_->grad.empty()) impl_->grad.Fill(0.0f);
 }
 
 Tensor Tensor::Detach() const {
-  auto impl = NewImpl(impl_->shape, impl_->data);
-  return FromImpl(impl);
+  return FromImpl(
+      NewImpl(impl_->shape, Storage::CopyOf(impl_->data.data(), impl_->data.size())));
 }
 
 Tensor Tensor::Clone() const { return Detach(); }
@@ -220,29 +270,44 @@ Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
   return t;
 }
 
-Tensor MakeOpResult(Shape shape, std::vector<float> data, std::vector<Tensor> inputs,
-                    BackwardFn backward) {
+namespace {
+
+Tensor MakeOpResultImpl(Shape shape, Storage data, const Tensor* inputs,
+                        size_t input_count, BackwardFn backward) {
   auto impl = NewImpl(std::move(shape), std::move(data));
   if (GradModeEnabled()) {
     bool any_requires = false;
-    for (const Tensor& input : inputs) {
-      if (input.defined() && input.requires_grad()) {
+    for (size_t i = 0; i < input_count; ++i) {
+      if (inputs[i].defined() && inputs[i].requires_grad()) {
         any_requires = true;
         break;
       }
     }
     if (any_requires) {
       impl->requires_grad = true;
-      for (const Tensor& input : inputs) {
-        if (input.defined()) impl->parents.push_back(input.impl());
+      impl->parents.reserve(input_count);
+      for (size_t i = 0; i < input_count; ++i) {
+        if (inputs[i].defined()) impl->parents.push_back(inputs[i].impl());
       }
-      // Captures a raw self pointer: the closure is owned by *impl and only
-      // invoked while the node is alive during Backward().
-      internal::TensorImpl* self = impl.get();
-      impl->backward = [self, fn = std::move(backward)]() { fn(*self); };
+      impl->backward = std::move(backward);
+      internal::IncrementTapeNodeCount();
     }
   }
   return Tensor::FromImpl(impl);
+}
+
+}  // namespace
+
+Tensor MakeOpResult(Shape shape, Storage data, std::initializer_list<Tensor> inputs,
+                    BackwardFn backward) {
+  return MakeOpResultImpl(std::move(shape), std::move(data), inputs.begin(),
+                          inputs.size(), std::move(backward));
+}
+
+Tensor MakeOpResult(Shape shape, Storage data, const std::vector<Tensor>& inputs,
+                    BackwardFn backward) {
+  return MakeOpResultImpl(std::move(shape), std::move(data), inputs.data(),
+                          inputs.size(), std::move(backward));
 }
 
 }  // namespace sarn::tensor

@@ -21,13 +21,14 @@
 #define SARN_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/storage.h"
 
 namespace sarn::tensor {
 
@@ -42,14 +43,20 @@ namespace internal {
 
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // Allocated lazily, same size as data.
+  Storage data;             // Pooled; returned to the BufferPool on destruction.
+  Storage grad;             // Allocated lazily, same size as data.
   bool requires_grad = false;
 
   // Autograd tape node. `backward` propagates this node's grad into its
-  // parents' grads. Cleared by Tensor::Backward() after use.
-  std::function<void()> backward;
-  std::vector<std::shared_ptr<TensorImpl>> parents;
+  // parents' grads (it receives *this). Cleared by Tensor::Backward() after
+  // use, which also drops the parents so intermediate buffers recycle.
+  TapeFn backward;
+  PoolVec<std::shared_ptr<TensorImpl>> parents;
+
+  // Tape-traversal mark: visited iff equal to the current Backward() pass id
+  // on this thread (replaces a per-call hash set, so topo sort allocates
+  // nothing in steady state).
+  uint64_t visit_mark = 0;
 
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
@@ -86,6 +93,11 @@ class Tensor {
   static Tensor Ones(const Shape& shape);
   static Tensor Full(const Shape& shape, float value);
   static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  /// Pooled buffer with unspecified contents — for call sites that fill every
+  /// element immediately (avoids a zero-fill plus a staging copy).
+  static Tensor Uninitialized(const Shape& shape);
+  /// Takes ownership of an already-filled pooled buffer.
+  static Tensor FromStorage(Shape shape, Storage data);
   /// N(0, stddev^2) entries.
   static Tensor Randn(const Shape& shape, Rng& rng, float stddev = 1.0f);
   /// U[lo, hi) entries.
@@ -108,11 +120,16 @@ class Tensor {
 
   // --- Data access ---------------------------------------------------------
 
-  const std::vector<float>& data() const { return impl_->data; }
-  std::vector<float>& mutable_data() { return impl_->data; }
+  const Storage& data() const { return impl_->data; }
+  Storage& mutable_data() { return impl_->data; }
   /// Gradient buffer (zeros if backward has not reached this tensor).
-  const std::vector<float>& grad() const;
-  std::vector<float>& mutable_grad();
+  const Storage& grad() const;
+  Storage& mutable_grad();
+
+  /// Zero-copy read-only view of rows [begin_row, begin_row + num_rows) of a
+  /// rank-2 tensor. Shares the underlying buffer (no copy, no tape); the view
+  /// must not outlive writes that resize the base and must not be mutated.
+  Tensor RowRange(int64_t begin_row, int64_t num_rows) const;
 
   float item() const;                       // Requires numel() == 1.
   float at(int64_t i) const;                // Rank-1 access.
@@ -151,13 +168,17 @@ class Tensor {
 
 /// Signature of an op's backward pass: receives the output node (whose
 /// `grad` holds dL/d_out) and must accumulate into the inputs' grads (the
-/// closure captures the input impls itself).
-using BackwardFn = std::function<void(internal::TensorImpl& out)>;
+/// closure captures the input impls itself). TapeFn keeps the closure inline
+/// in the node or in a pooled chunk — never in the global heap.
+using BackwardFn = TapeFn;
 
 /// Creates a result tensor wired into the tape: if grad mode is on and any
 /// input requires grad, the result requires grad and `backward` will be
-/// invoked during backprop. Used by all op implementations.
-Tensor MakeOpResult(Shape shape, std::vector<float> data, std::vector<Tensor> inputs,
+/// invoked during backprop. Used by all op implementations. The node itself
+/// and its parent list come from the BufferPool.
+Tensor MakeOpResult(Shape shape, Storage data, std::initializer_list<Tensor> inputs,
+                    BackwardFn backward);
+Tensor MakeOpResult(Shape shape, Storage data, const std::vector<Tensor>& inputs,
                     BackwardFn backward);
 
 }  // namespace sarn::tensor

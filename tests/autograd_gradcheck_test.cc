@@ -50,7 +50,7 @@ TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
 
   const float eps = 1e-3f;
   for (size_t t = 0; t < inputs.size(); ++t) {
-    std::vector<float> analytic = inputs[t].grad();
+    std::vector<float> analytic = inputs[t].grad().ToVector();
     for (size_t i = 0; i < analytic.size(); ++i) {
       float original = inputs[t].data()[i];
       NoGradGuard guard;

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "tensor/storage.h"
 #include "tensor/tensor.h"
 
 namespace sarn::tasks {
@@ -178,6 +180,58 @@ TEST(EmbeddingIndexTest, BatchEmptyAndKZero) {
   std::vector<std::vector<Neighbor>> results = index.QueryBatch({&q, 1}, 0);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].empty());
+}
+
+TEST(EmbeddingIndexTest, QueryBatchBuildsNoTapeNodesAndNoSteadyStateAllocs) {
+  // The serve path must never touch the autograd tape, and after the first
+  // batch warms the pool's size classes, repeated batches must run without a
+  // single pool-miss allocation.
+  Rng rng(11);
+  tensor::NoGradGuard guard;
+  EmbeddingIndex index(tensor::Tensor::Randn({300, 24}, rng), IndexMetric::kCosine);
+  std::vector<IndexQuery> queries;
+  for (int i = 0; i < 16; ++i) queries.push_back(IndexQuery::ById(i * 7));
+  uint64_t tape_before = tensor::internal::TapeNodeCount();
+  std::vector<std::vector<Neighbor>> warm = index.QueryBatch(queries, 10);
+  for (int round = 0; round < 3; ++round) {
+    tensor::StepScope scope;
+    std::vector<std::vector<Neighbor>> result = index.QueryBatch(queries, 10);
+    EXPECT_EQ(scope.pool_misses(), 0u) << "round " << round;
+    ASSERT_EQ(result.size(), warm.size());
+    for (size_t q = 0; q < result.size(); ++q) {
+      ASSERT_EQ(result[q].size(), warm[q].size());
+      for (size_t j = 0; j < result[q].size(); ++j) {
+        EXPECT_EQ(result[q][j].id, warm[q][j].id);
+        EXPECT_EQ(result[q][j].score, warm[q][j].score);
+      }
+    }
+  }
+  EXPECT_EQ(tensor::internal::TapeNodeCount(), tape_before);
+}
+
+TEST(EmbeddingIndexTest, QueryBatchBitwiseInvariantToThreadCount) {
+  Rng rng(12);
+  tensor::Tensor embeddings = tensor::Tensor::Randn({200, 16}, rng);
+  std::vector<IndexQuery> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(IndexQuery::ById(i * 11));
+  queries.push_back(IndexQuery::ByVector(std::vector<float>(16, 0.5f)));
+  for (IndexMetric metric : {IndexMetric::kCosine, IndexMetric::kL1}) {
+    EmbeddingIndex index(embeddings, metric);
+    size_t saved = GetParallelThreads();
+    SetParallelThreads(1);
+    std::vector<std::vector<Neighbor>> one = index.QueryBatch(queries, 12);
+    SetParallelThreads(4);
+    std::vector<std::vector<Neighbor>> four = index.QueryBatch(queries, 12);
+    SetParallelThreads(saved);
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t q = 0; q < one.size(); ++q) {
+      ASSERT_EQ(one[q].size(), four[q].size());
+      for (size_t j = 0; j < one[q].size(); ++j) {
+        EXPECT_EQ(one[q][j].id, four[q][j].id);
+        EXPECT_EQ(one[q][j].score, four[q][j].score);
+      }
+    }
+  }
 }
 
 }  // namespace

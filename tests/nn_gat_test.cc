@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "nn/losses.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
@@ -321,6 +322,65 @@ TEST(GatEncoderTest, LearnsToSeparateTwoCommunities) {
     correct += pred == labels[static_cast<size_t>(i)] ? 1 : 0;
   }
   EXPECT_GE(correct, 9);
+}
+
+TEST(GatLayerTest, FusedInferencePathMatchesOpPathBitwise) {
+  // With grad recording off, Forward takes the fused gather/scale/scatter
+  // kernels; the result must be bit-for-bit the autograd op-path output.
+  Rng rng(21);
+  GatLayer layer(8, 4, 2, /*concat_heads=*/true, Activation::kElu, rng);
+  Tensor x = Tensor::Randn({12, 8}, rng);
+  EdgeList edges = PathGraph(12);
+  Tensor op_path = layer.Forward(x, edges);
+  Tensor fused;
+  {
+    tensor::NoGradGuard guard;
+    fused = layer.Forward(x, edges);
+  }
+  ASSERT_EQ(op_path.numel(), fused.numel());
+  for (int64_t i = 0; i < op_path.numel(); ++i) {
+    EXPECT_EQ(op_path.data()[static_cast<size_t>(i)],
+              fused.data()[static_cast<size_t>(i)])
+        << i;
+  }
+}
+
+TEST(GatLayerTest, FusedUniformAttentionMatchesOpPathBitwise) {
+  Rng rng(22);
+  GatLayer layer(8, 4, 2, /*concat_heads=*/true, Activation::kElu, rng, 0.2f,
+                 /*add_self_loops=*/true, /*residual=*/true,
+                 /*use_attention=*/false);
+  Tensor x = Tensor::Randn({10, 8}, rng);
+  EdgeList edges = PathGraph(10);
+  Tensor op_path = layer.Forward(x, edges);
+  Tensor fused;
+  {
+    tensor::NoGradGuard guard;
+    fused = layer.Forward(x, edges);
+  }
+  for (int64_t i = 0; i < op_path.numel(); ++i) {
+    EXPECT_EQ(op_path.data()[static_cast<size_t>(i)],
+              fused.data()[static_cast<size_t>(i)])
+        << i;
+  }
+}
+
+TEST(GatLayerTest, ForwardBitwiseInvariantToThreadCount) {
+  Rng rng(23);
+  GatLayer layer(16, 8, 2, /*concat_heads=*/true, Activation::kElu, rng);
+  Tensor x = Tensor::Randn({64, 16}, rng);
+  EdgeList edges = PathGraph(64);
+  size_t saved = GetParallelThreads();
+  SetParallelThreads(1);
+  Tensor one = layer.Forward(x, edges);
+  SetParallelThreads(4);
+  Tensor four = layer.Forward(x, edges);
+  SetParallelThreads(saved);
+  for (int64_t i = 0; i < one.numel(); ++i) {
+    EXPECT_EQ(one.data()[static_cast<size_t>(i)],
+              four.data()[static_cast<size_t>(i)])
+        << i;
+  }
 }
 
 }  // namespace

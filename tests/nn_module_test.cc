@@ -70,7 +70,7 @@ TEST(EmbeddingTest, GradientFlowsOnlyToLookedUpRows) {
   Rng rng(4);
   Embedding emb(5, 3, rng);
   tensor::Sum(emb.Forward({1, 3})).Backward();
-  const std::vector<float>& g = emb.table().grad();
+  const tensor::Storage& g = emb.table().grad();
   for (int64_t row = 0; row < 5; ++row) {
     float norm = 0;
     for (int64_t j = 0; j < 3; ++j) norm += std::fabs(g[static_cast<size_t>(row * 3 + j)]);

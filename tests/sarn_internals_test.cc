@@ -98,7 +98,7 @@ TEST_F(SarnInternalsTest, AlignedPositivesGiveLowerLoss) {
   Rng fill_rng(3);
   for (int64_t s = 0; s < network_->num_segments(); ++s) {
     Tensor e = tensor::RowL2Normalize(Tensor::Randn({1, 4}, fill_rng));
-    peer.queues().Push(s, e.data());
+    peer.queues().Push(s, e.data().ToVector());
   }
   std::vector<int64_t> batch = {0, 1, 2, 3, 4, 5, 6, 7};
   Rng rng(4);
@@ -132,7 +132,7 @@ TEST_F(SarnInternalsTest, LambdaEndpointsSelectLossTerms) {
       for (int c2 : anchor_cells) is_anchor_cell |= (c2 == cell);
       if (!is_anchor_cell) {
         Tensor e = tensor::RowL2Normalize(Tensor::Randn({1, 4}, fill_rng));
-        peer.queues().Push(s, e.data());
+        peer.queues().Push(s, e.data().ToVector());
       }
     }
     Rng rng(8);
@@ -156,7 +156,7 @@ TEST_F(SarnInternalsTest, GlobalLossPositiveWhenCellsPopulated) {
   Rng fill_rng(9);
   for (int64_t s = 0; s < network_->num_segments(); ++s) {
     Tensor e = tensor::RowL2Normalize(Tensor::Randn({1, 4}, fill_rng));
-    peer.queues().Push(s, e.data());
+    peer.queues().Push(s, e.data().ToVector());
   }
   ASSERT_GE(peer.queues().NonEmptyCells().size(), 2u);
   std::vector<int64_t> batch = {0, 1, 2, 3};
@@ -175,7 +175,7 @@ TEST_F(SarnInternalsTest, RandomNegativeModeProducesInfoNceLoss) {
   Rng fill_rng(12);
   for (int64_t s = 0; s < network_->num_segments(); ++s) {
     Tensor e = tensor::RowL2Normalize(Tensor::Randn({1, 4}, fill_rng));
-    peer.queues().Push(s, e.data());
+    peer.queues().Push(s, e.data().ToVector());
   }
   std::vector<int64_t> batch = {0, 1, 2, 3};
   auto [z, z_prime] = MakeBatch(4, 4, 0.5f, 13);
@@ -191,7 +191,7 @@ TEST_F(SarnInternalsTest, LossBackwardReachesInputs) {
   Rng fill_rng(15);
   for (int64_t s = 0; s < network_->num_segments(); ++s) {
     Tensor e = tensor::RowL2Normalize(Tensor::Randn({1, 4}, fill_rng));
-    peer.queues().Push(s, e.data());
+    peer.queues().Push(s, e.data().ToVector());
   }
   Rng rng(16);
   Tensor z = tensor::RowL2Normalize(Tensor::Randn({4, 4}, rng));

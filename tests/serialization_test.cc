@@ -204,7 +204,7 @@ TEST(TrainingCheckpointTest, TensorShapeMismatchNeverHalfLoads) {
   std::string payload = out.Take();
 
   Linear wrong(4, 5, rng);  // Different output width.
-  std::vector<float> before = wrong.Parameters()[0].data();
+  std::vector<float> before = wrong.Parameters()[0].data().ToVector();
   ByteReader in(payload);
   CheckpointStatus status = ReadTensorsInto(in, wrong.Parameters());
   EXPECT_EQ(status.error, CheckpointError::kShapeMismatch) << status.message;

@@ -12,13 +12,17 @@
 #      NDJSON queries piped through `sarn serve`, output validated with
 #      check-json;
 #   5. the concurrency-sensitive tests (parallel runtime, matmul kernels,
-#      GAT fusion, metrics registry, serve engine hot-swap) plus the
-#      checkpoint suite rebuilt under ThreadSanitizer, so a pool regression,
-#      a race in resumed training, a race on a telemetry instrument, or a
-#      torn snapshot swap shows up as a reported race instead of a rare
-#      flake.
+#      GAT fusion, buffer-pool acquire/release, metrics registry, serve
+#      engine hot-swap) plus the checkpoint suite rebuilt under
+#      ThreadSanitizer, so a pool regression, a race in resumed training, a
+#      race on a telemetry instrument, or a torn snapshot swap shows up as a
+#      reported race instead of a rare flake;
+#   6. a leak gate: the storage-pool suite and a short CLI training run
+#      rebuilt under AddressSanitizer (LeakSanitizer on by default), so a
+#      tensor buffer or tape closure that never returns to the pool fails
+#      verification instead of slowly growing training memory.
 #
-# Usage: tools/verify.sh [--tsan-only|--no-tsan]
+# Usage: tools/verify.sh [--tsan-only|--no-tsan|--no-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,13 +69,27 @@ if [[ "$mode" != "--tsan-only" ]]; then
   fi
 fi
 
-if [[ "$mode" != "--no-tsan" ]]; then
+if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
   cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j"$jobs" \
     --target parallel_test ops_test nn_gat_test serialization_test \
-             sarn_model_test obs_metrics_test obs_trace_test serve_engine_test
+             sarn_model_test obs_metrics_test obs_trace_test serve_engine_test \
+             storage_pool_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test)$')
+fi
+
+if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
+  # Leak gate: ASan+LSan over the storage plane (pool recycling, tape
+  # consumption) and a short end-to-end training run through the CLI.
+  cmake -B build-asan -S . -DSARN_SANITIZE=address > /dev/null
+  cmake --build build-asan -j"$jobs" --target storage_pool_test tensor_test sarn_cli
+  (cd build-asan && ctest --output-on-failure -R '^(storage_pool_test|tensor_test)$')
+  asan_dir="build-asan/verify_leak"
+  rm -rf "$asan_dir" && mkdir -p "$asan_dir"
+  build-asan/tools/sarn generate --city CD --scale 0.015 --out "$asan_dir/net.csv"
+  build-asan/tools/sarn train --network "$asan_dir/net.csv" --epochs 2 --dim 16 \
+    --embeddings "$asan_dir/emb.csv"
 fi
 
 echo "verify: OK"
