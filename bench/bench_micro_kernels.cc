@@ -23,6 +23,7 @@
 #include "tensor/matmul_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "tensor/simd/simd.h"
 #include "traj/frechet.h"
 
 // --- Heap-allocation counting ------------------------------------------------
@@ -389,6 +390,123 @@ void BM_ServeQueryBatchSteadyState(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(queries.size()));
 }
 BENCHMARK(BM_ServeQueryBatchSteadyState)->Arg(1)->Arg(4);
+
+// --- SIMD scan kernels -------------------------------------------------------
+// The runtime-dispatched scan kernels of src/tensor/simd/ (DESIGN.md §12):
+// the vector tier of the host vs the bitwise-identical scalar fallback, and
+// the int8 quantized variants vs their float counterparts. 2000 x 64 with a
+// query block of 4 — the shape the fused EmbeddingIndex scan feeds them.
+
+/// Forces a kernel tier for the duration of one benchmark.
+class TierForce {
+ public:
+  explicit TierForce(tensor::simd::Tier tier)
+      : previous_(tensor::simd::ActiveTier()) {
+    tensor::simd::ForceTier(tier);
+  }
+  ~TierForce() { tensor::simd::ForceTier(previous_); }
+
+ private:
+  tensor::simd::Tier previous_;
+};
+
+constexpr int64_t kScanRows = 2000;
+constexpr int64_t kScanDim = 64;
+constexpr int kScanQn = tensor::simd::kMaxQueryBlock;
+
+template <bool kVector>
+void BM_SimdDotScan(benchmark::State& state) {
+  TierForce tier(kVector ? tensor::simd::DetectTier()
+                         : tensor::simd::Tier::kScalar);
+  Rng rng(21);
+  tensor::Tensor rows = tensor::Tensor::Randn({kScanRows, kScanDim}, rng);
+  tensor::Tensor queries = tensor::Tensor::Randn({kScanQn, kScanDim}, rng);
+  std::vector<float> out(kScanQn * kScanRows);
+  for (auto _ : state) {
+    tensor::simd::DotScan(queries.data().data(), kScanQn, rows.data().data(),
+                          kScanRows, kScanDim, out.data(), kScanRows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanQn * kScanRows * kScanDim);
+}
+BENCHMARK(BM_SimdDotScan<false>)->Name("BM_DotScanScalar");
+BENCHMARK(BM_SimdDotScan<true>)->Name("BM_DotScanSimd");
+
+template <bool kVector>
+void BM_SimdL1Scan(benchmark::State& state) {
+  TierForce tier(kVector ? tensor::simd::DetectTier()
+                         : tensor::simd::Tier::kScalar);
+  Rng rng(22);
+  tensor::Tensor rows = tensor::Tensor::Randn({kScanRows, kScanDim}, rng);
+  tensor::Tensor queries = tensor::Tensor::Randn({kScanQn, kScanDim}, rng);
+  std::vector<float> out(kScanQn * kScanRows);
+  for (auto _ : state) {
+    tensor::simd::L1Scan(queries.data().data(), kScanQn, rows.data().data(),
+                         kScanRows, kScanDim, out.data(), kScanRows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanQn * kScanRows * kScanDim);
+}
+BENCHMARK(BM_SimdL1Scan<false>)->Name("BM_L1ScanScalar");
+BENCHMARK(BM_SimdL1Scan<true>)->Name("BM_L1ScanSimd");
+
+template <bool kVector>
+void BM_SimdDotScanI8(benchmark::State& state) {
+  TierForce tier(kVector ? tensor::simd::DetectTier()
+                         : tensor::simd::Tier::kScalar);
+  Rng rng(23);
+  std::vector<int8_t> rows(kScanRows * kScanDim), queries(kScanQn * kScanDim);
+  for (int8_t& v : rows) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (int8_t& v : queries) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<float> row_scales(kScanRows, 0.01f), query_scales(kScanQn, 0.01f);
+  std::vector<float> out(kScanQn * kScanRows);
+  for (auto _ : state) {
+    tensor::simd::DotScanI8(queries.data(), query_scales.data(), kScanQn,
+                            rows.data(), row_scales.data(), kScanRows, kScanDim,
+                            out.data(), kScanRows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanQn * kScanRows * kScanDim);
+}
+BENCHMARK(BM_SimdDotScanI8<false>)->Name("BM_DotScanI8Scalar");
+BENCHMARK(BM_SimdDotScanI8<true>)->Name("BM_DotScanI8Simd");
+
+template <bool kVector>
+void BM_SimdL1ScanI8(benchmark::State& state) {
+  TierForce tier(kVector ? tensor::simd::DetectTier()
+                         : tensor::simd::Tier::kScalar);
+  Rng rng(24);
+  std::vector<int8_t> rows(kScanRows * kScanDim), queries(kScanQn * kScanDim);
+  for (int8_t& v : rows) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (int8_t& v : queries) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<float> out(kScanQn * kScanRows);
+  for (auto _ : state) {
+    tensor::simd::L1ScanI8(queries.data(), kScanQn, rows.data(), kScanRows,
+                           kScanDim, 0.01f, out.data(), kScanRows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanQn * kScanRows * kScanDim);
+}
+BENCHMARK(BM_SimdL1ScanI8<false>)->Name("BM_L1ScanI8Scalar");
+BENCHMARK(BM_SimdL1ScanI8<true>)->Name("BM_L1ScanI8Simd");
+
+void BM_QuantizeRows(benchmark::State& state) {
+  // Index-build cost of the int8 variant: symmetric per-row quantization of
+  // the whole matrix (what EmbeddingIndex's kInt8 constructor adds).
+  Rng rng(25);
+  tensor::Tensor rows = tensor::Tensor::Randn({kScanRows, kScanDim}, rng);
+  std::vector<int8_t> codes(kScanRows * kScanDim);
+  std::vector<float> scales(kScanRows);
+  for (auto _ : state) {
+    for (int64_t i = 0; i < kScanRows; ++i) {
+      tensor::simd::QuantizeRowI8(rows.data().data() + i * kScanDim, kScanDim,
+                                  codes.data() + i * kScanDim, &scales[i]);
+    }
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanRows * kScanDim);
+}
+BENCHMARK(BM_QuantizeRows);
 
 void BM_Dijkstra(benchmark::State& state) {
   const roadnet::RoadNetwork& network = TestNetwork();

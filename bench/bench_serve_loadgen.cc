@@ -1,21 +1,27 @@
-// Load generator for the serve subsystem: measures end-to-end query
-// throughput of serve::QueryEngine at 1, 4 and 8 worker threads against a
-// direct single-thread QueryBatch baseline, with 8 client threads submitting
-// 64-query bursts. The result cache is disabled so every request pays for a
-// real scan, and the kernel thread pool is pinned to one thread so the table
-// isolates *serve-thread* scaling from intra-batch kernel parallelism.
-// Numbers are recorded in EXPERIMENTS.md (with the host core count — scaling
-// past the physical cores is not expected).
+// Load generator for the serve subsystem, now across kernel/precision
+// configs: the float index on the scalar fallback (the pre-SIMD baseline),
+// the float index on the host's vector tier, and the int8 quantized index on
+// the vector tier. For each config it measures a direct single-thread
+// QueryBatch baseline and serve::QueryEngine at 1, 4 and 8 worker threads,
+// with 8 client threads submitting 64-query bursts. The result cache is
+// disabled so every request pays for a real scan, and the kernel thread pool
+// is pinned to one thread so the table isolates serve-thread scaling and
+// kernel speedups from intra-batch parallelism. The speedup column is
+// against the float32/scalar config in the same mode (the PR 5-era serving
+// cost). Numbers are recorded in EXPERIMENTS.md.
 //
 // Environment knobs:
 //   SARN_SERVE_ROWS    index rows (default 2000)
 //   SARN_SERVE_DIM     embedding dim (default 64)
 //   SARN_SERVE_BURSTS  64-query bursts per client thread (default 25)
+//   SARN_SERVE_JSON    also write results as JSON here (run_benches.sh sets
+//                      bench_out/BENCH_serve.json)
 
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,10 +30,13 @@
 #include "common/timer.h"
 #include "serve/query_engine.h"
 #include "tasks/embedding_index.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor.h"
 
 namespace sarn {
 namespace {
+
+namespace simd = tensor::simd;
 
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* value = std::getenv(name);
@@ -39,11 +48,14 @@ constexpr int kBurst = 64;
 constexpr int kTopK = 10;
 
 struct RunResult {
+  std::string config;  // e.g. "float32/avx2".
+  std::string mode;    // "direct" or "engine-4t".
   double seconds = 0.0;
   double qps = 0.0;
   double mean_batch = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  size_t index_bytes = 0;
 };
 
 // 8 client threads, each firing `bursts` bursts of 64 Submit()s and waiting
@@ -87,12 +99,14 @@ RunResult RunEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
   for (auto& t : clients) t.join();
 
   RunResult result;
+  result.mode = "engine-" + std::to_string(serve_threads) + "t";
   result.seconds = timer.ElapsedMillis() / 1000.0;
   serve::ServeStats stats = engine.Stats();
   result.qps = static_cast<double>(stats.requests) / result.seconds;
   result.mean_batch = stats.mean_batch_size;
   result.p50_ms = stats.latency_p50_ms;
   result.p95_ms = stats.latency_p95_ms;
+  result.index_bytes = stats.index_bytes;
   return result;
 }
 
@@ -114,10 +128,39 @@ RunResult RunDirect(const tasks::EmbeddingIndex& index, int bursts) {
     requests += static_cast<int64_t>(results.size());
   }
   RunResult result;
+  result.mode = "direct";
   result.seconds = timer.ElapsedMillis() / 1000.0;
   result.qps = static_cast<double>(requests) / result.seconds;
   result.mean_batch = kBurst;
+  result.index_bytes = index.index_bytes();
   return result;
+}
+
+void WriteJson(const char* path, int64_t rows, int64_t dim,
+               const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"serve_loadgen\",\"rows\":%lld,\"dim\":%lld,"
+               "\"k\":%d,\"clients\":%d,\"burst\":%d,\"results\":[",
+               static_cast<long long>(rows), static_cast<long long>(dim),
+               kTopK, kClients, kBurst);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"config\":\"%s\",\"mode\":\"%s\",\"seconds\":%.6f,"
+                 "\"qps\":%.1f,\"mean_batch\":%.2f,\"p50_ms\":%.4f,"
+                 "\"p95_ms\":%.4f,\"index_bytes\":%zu}",
+                 i == 0 ? "" : ",", r.config.c_str(), r.mode.c_str(),
+                 r.seconds, r.qps, r.mean_batch, r.p50_ms, r.p95_ms,
+                 r.index_bytes);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
 }
 
 int Main() {
@@ -126,31 +169,63 @@ int Main() {
   const int bursts = static_cast<int>(EnvInt("SARN_SERVE_BURSTS", 25));
 
   Rng rng(42);
-  auto index = std::make_shared<tasks::EmbeddingIndex>(
-      tensor::Tensor::Randn({rows, dim}, rng), tasks::IndexMetric::kCosine);
+  tensor::Tensor embeddings = tensor::Tensor::Randn({rows, dim}, rng);
+
+  struct Config {
+    std::string name;
+    tasks::IndexPrecision precision;
+    simd::Tier tier;
+  };
+  const simd::Tier vector_tier = simd::DetectTier();  // kScalar if none.
+  const std::vector<Config> configs = {
+      {"float32/scalar", tasks::IndexPrecision::kFloat32, simd::Tier::kScalar},
+      {std::string("float32/") + simd::TierName(vector_tier),
+       tasks::IndexPrecision::kFloat32, vector_tier},
+      {std::string("int8/") + simd::TierName(vector_tier),
+       tasks::IndexPrecision::kInt8, vector_tier},
+  };
 
   SetParallelThreads(1);  // Isolate serve-thread scaling from kernel threads.
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("serve load generator: %lld rows x %lld dims, cosine, k=%d\n",
               static_cast<long long>(rows), static_cast<long long>(dim), kTopK);
-  std::printf("%d clients x %d bursts x %d queries = %d requests per config; "
-              "host has %u core(s)\n\n",
-              kClients, bursts, kBurst, kClients * bursts * kBurst, cores);
+  std::printf("%d clients x %d bursts x %d queries = %d requests per run; "
+              "host has %u core(s); vector tier: %s\n\n",
+              kClients, bursts, kBurst, kClients * bursts * kBurst, cores,
+              simd::TierName(vector_tier));
 
-  std::printf("%-16s %10s %10s %10s %9s %9s %9s\n", "config", "seconds", "qps",
-              "speedup", "batch", "p50 ms", "p95 ms");
-  RunResult direct = RunDirect(*index, bursts);
-  std::printf("%-16s %10.3f %10.0f %10s %9.1f %9s %9s\n", "direct 1-thread",
-              direct.seconds, direct.qps, "-", direct.mean_batch, "-", "-");
+  // speedup = qps vs the float32/scalar config in the same mode — the
+  // serving cost before this optimisation pass.
+  std::printf("%-16s %-10s %8s %10s %8s %7s %8s %8s %10s\n", "config", "mode",
+              "seconds", "qps", "speedup", "batch", "p50 ms", "p95 ms",
+              "index B");
+  std::vector<RunResult> results;
+  std::vector<double> baseline_qps;  // Indexed by mode order: direct,1t,4t,8t.
+  for (const Config& config : configs) {
+    simd::ForceTier(config.tier);
+    auto index = std::make_shared<tasks::EmbeddingIndex>(
+        embeddings, tasks::IndexMetric::kCosine, config.precision);
+    size_t mode_slot = 0;
+    auto report = [&](RunResult run) {
+      run.config = config.name;
+      if (baseline_qps.size() <= mode_slot) baseline_qps.push_back(run.qps);
+      const double speedup = run.qps / baseline_qps[mode_slot];
+      ++mode_slot;
+      const bool engine = run.mode != "direct";
+      std::printf("%-16s %-10s %8.3f %10.0f %7.2fx %7.1f %8.3f %8.3f %10zu\n",
+                  run.config.c_str(), run.mode.c_str(), run.seconds, run.qps,
+                  speedup, run.mean_batch, engine ? run.p50_ms : 0.0,
+                  engine ? run.p95_ms : 0.0, run.index_bytes);
+      results.push_back(std::move(run));
+    };
+    report(RunDirect(*index, bursts));
+    for (int threads : {1, 4, 8}) {
+      report(RunEngine(index, threads, bursts));
+    }
+  }
 
-  double base_qps = 0.0;
-  for (int threads : {1, 4, 8}) {
-    RunResult run = RunEngine(index, threads, bursts);
-    if (threads == 1) base_qps = run.qps;
-    std::printf("engine %dt%*s %10.3f %10.0f %9.2fx %9.1f %9.3f %9.3f\n",
-                threads, threads >= 10 ? 6 : 7, "", run.seconds, run.qps,
-                base_qps > 0.0 ? run.qps / base_qps : 0.0, run.mean_batch,
-                run.p50_ms, run.p95_ms);
+  if (const char* json_path = std::getenv("SARN_SERVE_JSON")) {
+    WriteJson(json_path, rows, dim, results);
   }
   return 0;
 }

@@ -5,4 +5,8 @@ for b in bench_table3_datasets bench_fig4_learning_time bench_table4_road_proper
   echo "== $b done $(date +%T)"
 done
 ./build/bench/bench_micro_kernels --benchmark_min_time=0.2s > bench_out/bench_micro_kernels.txt 2>&1
+echo "== bench_serve_loadgen start $(date +%T)"
+SARN_SERVE_JSON=bench_out/BENCH_serve.json \
+  ./build/bench/bench_serve_loadgen > bench_out/bench_serve_loadgen.txt 2>&1
+echo "== bench_serve_loadgen done $(date +%T)"
 echo ALL-DONE

@@ -365,6 +365,9 @@ std::string FormatStatsLine(uint64_t seq, const ServeStats& stats) {
   out.append(",\"cache_misses\":" + std::to_string(stats.cache_misses));
   out.append(",\"swaps\":" + std::to_string(stats.swaps));
   out.append(",\"epoch\":" + std::to_string(stats.epoch));
+  out.append(",\"index_bytes\":" + std::to_string(stats.index_bytes));
+  out.append(",\"precision\":\"" + stats.precision + "\"");
+  out.append(",\"simd_tier\":\"" + stats.simd_tier + "\"");
   out.append(",\"uptime_seconds\":" + obs::JsonNumber(stats.uptime_seconds));
   out.append(",\"qps\":" + obs::JsonNumber(stats.qps));
   out.append(",\"mean_batch_size\":" + obs::JsonNumber(stats.mean_batch_size));

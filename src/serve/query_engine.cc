@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "tensor/simd/simd.h"
 
 namespace sarn::serve {
 namespace {
@@ -25,6 +26,8 @@ struct ServeMetrics {
   obs::Histogram& batch_size;
   obs::Histogram& latency_seconds;
   obs::Gauge& epoch;
+  obs::Gauge& index_bytes;  // Scan payload bytes of the live snapshot.
+  obs::Gauge& simd_tier;    // Numeric simd::Tier of the active kernel path.
 
   static ServeMetrics& Get() {
     static ServeMetrics metrics{
@@ -38,21 +41,27 @@ struct ServeMetrics {
                                                      BatchSizeBuckets()),
         obs::MetricsRegistry::Default().GetHistogram("sarn.serve.latency_seconds"),
         obs::MetricsRegistry::Default().GetGauge("sarn.serve.epoch"),
+        obs::MetricsRegistry::Default().GetGauge("sarn.serve.index_bytes"),
+        obs::MetricsRegistry::Default().GetGauge("sarn.serve.simd_tier"),
     };
     return metrics;
   }
 };
 
-// Canonical cache key: (epoch, metric, k, query payload). By-point requests
-// resolve to a row id first, so they share cache entries with by-id
-// requests for the same segment.
-std::string CacheKey(uint64_t epoch, tasks::IndexMetric metric, int k,
+// Canonical cache key: (epoch, metric, precision, k, query payload).
+// By-point requests resolve to a row id first, so they share cache entries
+// with by-id requests for the same segment. Precision is part of the key so
+// a float and a quantized snapshot can never alias an entry (approximate
+// int8 answers must not satisfy exact float lookups or vice versa).
+std::string CacheKey(uint64_t epoch, tasks::IndexMetric metric,
+                     tasks::IndexPrecision precision, int k,
                      const tasks::IndexQuery& query) {
   std::string key;
   key.reserve(48 + query.vector.size() * sizeof(float));
   key.append(std::to_string(epoch));
   key.push_back('|');
   key.push_back(metric == tasks::IndexMetric::kCosine ? 'c' : 'l');
+  key.push_back(precision == tasks::IndexPrecision::kInt8 ? 'q' : 'f');
   key.push_back('|');
   key.append(std::to_string(k));
   key.push_back('|');
@@ -84,6 +93,10 @@ QueryEngine::QueryEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
   snapshot->index = std::move(index);
   snapshot_ = std::move(snapshot);
   ServeMetrics::Get().epoch.Set(static_cast<double>(next_epoch_));
+  ServeMetrics::Get().index_bytes.Set(
+      static_cast<double>(snapshot_->index->index_bytes()));
+  ServeMetrics::Get().simd_tier.Set(
+      static_cast<double>(tensor::simd::ActiveTier()));
   for (int i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -109,6 +122,7 @@ void QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
   SARN_CHECK(index != nullptr);
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->index = std::move(index);
+  const size_t index_bytes = snapshot->index->index_bytes();
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot->epoch = ++next_epoch_;
@@ -120,6 +134,7 @@ void QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
   swaps_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics::Get().swaps.Increment();
   ServeMetrics::Get().epoch.Set(static_cast<double>(epoch()));
+  ServeMetrics::Get().index_bytes.Set(static_cast<double>(index_bytes));
 }
 
 std::future<ServeResponse> QueryEngine::Submit(ServeRequest request) {
@@ -257,8 +272,8 @@ void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
       continue;
     }
     if (request.k == 0) continue;  // Valid, trivially empty; skip cache + scan.
-    slot.key = CacheKey(snapshot->epoch, snapshot->index->metric(), request.k,
-                        slot.query);
+    slot.key = CacheKey(snapshot->epoch, snapshot->index->metric(),
+                        snapshot->index->precision(), request.k, slot.query);
     if (ResultCache::Value cached = cache_.Get(slot.key)) {
       slot.response.cache_hit = true;
       slot.response.neighbors = *cached;
@@ -303,7 +318,11 @@ ServeStats QueryEngine::Stats() const {
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.swaps = swaps_.load(std::memory_order_relaxed);
-  stats.epoch = epoch();
+  const std::shared_ptr<const Snapshot> snapshot = AcquireSnapshot();
+  stats.epoch = snapshot->epoch;
+  stats.index_bytes = snapshot->index->index_bytes();
+  stats.precision = tasks::PrecisionName(snapshot->index->precision());
+  stats.simd_tier = tensor::simd::TierName(tensor::simd::ActiveTier());
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(stats.requests) / stats.uptime_seconds

@@ -90,6 +90,9 @@ struct ServeStats {
   uint64_t cache_misses = 0;
   uint64_t swaps = 0;
   uint64_t epoch = 0;
+  uint64_t index_bytes = 0;     // Scan payload bytes of the live snapshot.
+  std::string precision;        // Live snapshot precision: "float32" / "int8".
+  std::string simd_tier;        // Active kernel tier: "scalar" / "avx2" / "neon".
   double uptime_seconds = 0.0;
   double qps = 0.0;             // requests / uptime.
   double mean_batch_size = 0.0;

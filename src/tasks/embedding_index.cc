@@ -2,15 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
-#include "tensor/matmul_kernels.h"
+#include "tensor/simd/simd.h"
+#include "tensor/storage.h"
 
 namespace sarn::tasks {
+
+namespace simd = tensor::simd;
+
 namespace {
+
+// Rows scanned per kernel call: the fused scan streams the matrix in tiles
+// this tall, scoring a block of up to simd::kMaxQueryBlock queries per pass
+// and feeding the scores straight into the top-k heaps, so the scratch is
+// one small pooled tile instead of a [batch, n] score matrix.
+constexpr int64_t kScanTile = 1024;
 
 // L2-normalises `row` in place, with the norm accumulated in double exactly
 // like the stored rows at construction (so a by-vector query of a stored row
@@ -22,55 +32,148 @@ void NormalizeRow(float* row, int64_t d) {
   for (int64_t j = 0; j < d; ++j) row[j] *= inv;
 }
 
-// Top-k selection over one query's score row: a min-heap on (score, id)
-// keeps the k best seen while scanning ids ascending, then pops into
-// descending order. Independent of how the scores were produced, so batched
-// and single-query answers select identically.
-std::vector<Neighbor> SelectTopK(const float* scores, int64_t n, int k,
-                                 int64_t exclude) {
-  k = std::min<int>(k, static_cast<int>(exclude >= 0 ? n - 1 : n));
-  if (k <= 0) return {};
-  using Entry = std::pair<float, int64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (int64_t i = 0; i < n; ++i) {
-    if (i == exclude) continue;
-    float score = scores[i];
-    if (static_cast<int>(heap.size()) < k) {
-      heap.emplace(score, i);
-    } else if (score > heap.top().first) {
-      heap.pop();
-      heap.emplace(score, i);
+// Pooled Storage reinterpreted as a raw byte buffer (Storage is float-typed;
+// int8 codes ride in it so snapshots recycle through the BufferPool like
+// every other index payload).
+tensor::Storage ByteStorage(size_t bytes) {
+  return tensor::Storage::Uninitialized((bytes + sizeof(float) - 1) /
+                                        sizeof(float));
+}
+
+// Top-k selection fused with the tiled scan: a pool-backed array sorted
+// descending by (score, id) keeps the k best pairs seen while tiles arrive
+// in ascending-id order — the k largest pairs under strict-> replacement
+// against the current minimum (the array's back), exactly the set a
+// (score, id) min-heap would keep, already in the emit order. The selection
+// rule is independent of tiling and batching, so fused, batched and
+// single-query answers select identically.
+class TopKAccumulator {
+ public:
+  TopKAccumulator(int k, int64_t exclude) : k_(k), exclude_(exclude) {
+    best_.reserve(static_cast<size_t>(std::max(k, 0)));
+  }
+
+  /// Offers `count` scores for rows [id0, id0 + count), ascending. `cand` is
+  /// caller scratch for at least `count` candidate positions.
+  void PushTile(const float* scores, int64_t count, int64_t id0,
+                int32_t* cand) {
+    if (k_ <= 0) return;
+    int64_t t = 0;
+    while (static_cast<int>(best_.size()) < k_ && t < count) {
+      const int64_t id = id0 + t;
+      if (id != exclude_) Insert({scores[t], id});
+      ++t;
+    }
+    // Once full, scores that don't beat the current minimum can't change the
+    // selection, so the SIMD filter picks the rare candidates. Filtering in
+    // sub-chunks keeps the threshold fresh while the minimum rises (a frozen
+    // whole-tile threshold lets most of the first tile through); each
+    // chunk's threshold is only ever stale-low, so the filter returns a
+    // superset of acceptable rows and the strict > below re-checks each one
+    // — the selection evolves exactly as the plain per-score loop would.
+    constexpr int64_t kFilterChunk = 256;
+    while (t < count) {
+      const int64_t len = std::min<int64_t>(kFilterChunk, count - t);
+      const int64_t m =
+          simd::FilterAbove(scores + t, len, best_.back().first, cand);
+      for (int64_t c = 0; c < m; ++c) {
+        const int64_t pos = t + cand[c];
+        const int64_t id = id0 + pos;
+        if (id == exclude_) continue;
+        const float score = scores[pos];
+        if (score > best_.back().first) {
+          best_.pop_back();
+          Insert({score, id});
+        }
+      }
+      t += len;
     }
   }
-  std::vector<Neighbor> out(heap.size());
-  for (auto it = out.rbegin(); it != out.rend(); ++it) {
-    *it = {heap.top().second, static_cast<double>(heap.top().first)};
-    heap.pop();
+
+  std::vector<Neighbor> Finish() {
+    std::vector<Neighbor> out(best_.size());
+    for (size_t i = 0; i < best_.size(); ++i) {
+      out[i] = {best_[i].second, static_cast<double>(best_[i].first)};
+    }
+    return out;
   }
-  return out;
+
+ private:
+  using Entry = std::pair<float, int64_t>;
+
+  void Insert(const Entry& e) {
+    auto it = std::upper_bound(
+        best_.begin(), best_.end(), e,
+        [](const Entry& a, const Entry& b) { return a > b; });
+    best_.insert(it, e);
+  }
+
+  int k_;
+  int64_t exclude_;
+  tensor::PoolVec<Entry> best_;  // Descending by (score, id); back = minimum.
+};
+
+int ClampK(int k, int64_t n, int64_t exclude) {
+  return std::min<int>(k, static_cast<int>(exclude >= 0 ? n - 1 : n));
 }
 
 }  // namespace
 
-EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric)
-    : metric_(metric) {
+const char* PrecisionName(IndexPrecision precision) {
+  switch (precision) {
+    case IndexPrecision::kFloat32: return "float32";
+    case IndexPrecision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings,
+                               IndexMetric metric, IndexPrecision precision)
+    : metric_(metric), precision_(precision) {
   SARN_CHECK_EQ(embeddings.rank(), 2);
   n_ = embeddings.shape()[0];
   d_ = embeddings.shape()[1];
-  data_ = tensor::Storage::CopyOf(embeddings.data().data(), embeddings.data().size());
+  // Both precisions prepare the float rows first (cosine normalisation must
+  // happen before quantization so the per-row scales see unit vectors).
+  tensor::Storage rows =
+      tensor::Storage::CopyOf(embeddings.data().data(), embeddings.data().size());
   if (metric_ == IndexMetric::kCosine) {
-    for (int64_t i = 0; i < n_; ++i) NormalizeRow(data_.data() + i * d_, d_);
+    for (int64_t i = 0; i < n_; ++i) NormalizeRow(rows.data() + i * d_, d_);
   }
-  // Transposed copy ([d, n] row-major) so a batch of cosine queries is one
-  // [b, d] x [d, n] matmul through the register-tiled kernels.
+  if (precision_ == IndexPrecision::kFloat32) {
+    data_ = std::move(rows);
+    return;
+  }
+  // kInt8: symmetric quantization, then the float copy is dropped — the
+  // quantized payload (codes + scales) is the whole index.
+  data_q_ = ByteStorage(static_cast<size_t>(n_) * static_cast<size_t>(d_));
+  int8_t* codes = reinterpret_cast<int8_t*>(data_q_.data());
   if (metric_ == IndexMetric::kCosine) {
-    data_t_ = tensor::Storage::Uninitialized(data_.size());
+    // Per-row scales: dot(q, r) factors as q_scale * r_scale * dot_i8.
+    scales_ = tensor::Storage::Uninitialized(static_cast<size_t>(n_));
     for (int64_t i = 0; i < n_; ++i) {
-      for (int64_t j = 0; j < d_; ++j) {
-        data_t_[j * n_ + i] = data_[i * d_ + j];
-      }
+      simd::QuantizeRowI8(rows.data() + i * d_, d_, codes + i * d_,
+                          scales_.data() + i);
+    }
+  } else {
+    // L1 distances do not factor through per-row scales, so the whole matrix
+    // shares one: |q - r|_1 ≈ scale * sum |q_i8 - r_i8|.
+    shared_scale_ =
+        simd::AbsMax(rows.data(), static_cast<int64_t>(rows.size())) / 127.0f;
+    for (int64_t i = 0; i < n_; ++i) {
+      simd::QuantizeRowI8WithScale(rows.data() + i * d_, d_, shared_scale_,
+                                   codes + i * d_);
     }
   }
+}
+
+size_t EmbeddingIndex::index_bytes() const {
+  if (precision_ == IndexPrecision::kFloat32) {
+    return data_.size() * sizeof(float);
+  }
+  // int8 codes plus the scales: one per row (cosine) or one shared (L1).
+  return static_cast<size_t>(n_) * static_cast<size_t>(d_) +
+         (metric_ == IndexMetric::kCosine ? scales_.size() : 1) * sizeof(float);
 }
 
 std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
@@ -93,67 +196,139 @@ std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
     }
   }
 
-  // One multi-query scan: every (query, row) score is an independent
-  // ascending-j reduction, so the result is invariant to batch composition
-  // and to how ParallelFor partitions the batch.
-  tensor::Storage scores;
-  if (metric_ == IndexMetric::kCosine) {
-    // Assemble the query matrix [b, d] (the matmul needs it contiguous);
-    // by-id queries reuse the stored, already-normalised row.
-    tensor::Storage q = tensor::Storage::Uninitialized(b * static_cast<size_t>(d_));
-    for (size_t i = 0; i < b; ++i) {
-      const IndexQuery& query = queries[i];
-      float* row = q.data() + i * static_cast<size_t>(d_);
-      if (query.id >= 0) {
-        std::copy_n(data_.data() + query.id * d_, d_, row);
-      } else {
-        std::copy_n(query.vector.data(), d_, row);
-        NormalizeRow(row, d_);
-      }
-    }
-    // The kernels accumulate, so the score matrix starts zeroed.
-    scores = tensor::Storage::Zeroed(b * static_cast<size_t>(n_));
-    ParallelFor(
-        b,
-        [&](size_t begin, size_t end) {
-          tensor::kernels::MatMulBlocked(q.data(), data_t_.data(), scores.data(),
-                                         static_cast<int64_t>(begin),
-                                         static_cast<int64_t>(end), d_, n_);
-        },
-        /*grain=*/2);
+  if (precision_ == IndexPrecision::kFloat32) {
+    ScanFloat(queries, k, excludes.data(), &results);
   } else {
-    // L1 needs no query matrix at all: each query reads either its stored
-    // row in place (zero-copy view of the snapshot) or the caller's vector.
-    scores = tensor::Storage::Uninitialized(b * static_cast<size_t>(n_));
-    ParallelFor(
-        b,
-        [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            const IndexQuery& query = queries[i];
-            const float* qrow = query.id >= 0 ? data_.data() + query.id * d_
-                                              : query.vector.data();
-            float* out = scores.data() + i * static_cast<size_t>(n_);
-            for (int64_t r = 0; r < n_; ++r) {
-              const float* row = data_.data() + r * d_;
-              float l1 = 0.0f;
-              for (int64_t j = 0; j < d_; ++j) l1 += std::fabs(qrow[j] - row[j]);
-              out[r] = -l1;
-            }
-          }
-        },
-        /*grain=*/2);
+    ScanInt8(queries, k, excludes.data(), &results);
   }
+  return results;
+}
 
+// One multi-query fused scan: every (query, row) score is an independent
+// fixed-order reduction (see src/tensor/simd/simd.h), so the result is
+// invariant to batch composition, query-block grouping and to how
+// ParallelFor partitions the batch.
+void EmbeddingIndex::ScanFloat(std::span<const IndexQuery> queries, int k,
+                               const int64_t* excludes,
+                               std::vector<std::vector<Neighbor>>* results) const {
+  const size_t b = queries.size();
+  // Assemble the query matrix [b, d] (the blocked kernels want the block
+  // contiguous); by-id queries reuse the stored (for cosine, already
+  // normalised) row.
+  tensor::Storage q = tensor::Storage::Uninitialized(b * static_cast<size_t>(d_));
+  for (size_t i = 0; i < b; ++i) {
+    const IndexQuery& query = queries[i];
+    float* row = q.data() + i * static_cast<size_t>(d_);
+    if (query.id >= 0) {
+      std::copy_n(data_.data() + query.id * d_, d_, row);
+    } else {
+      std::copy_n(query.vector.data(), d_, row);
+      if (metric_ == IndexMetric::kCosine) NormalizeRow(row, d_);
+    }
+  }
   ParallelFor(
       b,
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          results[i] =
-              SelectTopK(scores.data() + i * static_cast<size_t>(n_), n_, k, excludes[i]);
+        constexpr int kBlock = simd::kMaxQueryBlock;
+        tensor::Storage tile =
+            tensor::Storage::Uninitialized(kBlock * static_cast<size_t>(kScanTile));
+        tensor::PoolVec<int32_t> cand(static_cast<size_t>(kScanTile), 0);
+        for (size_t g = begin; g < end; g += kBlock) {
+          const int qn = static_cast<int>(std::min<size_t>(kBlock, end - g));
+          TopKAccumulator accs[kBlock] = {
+              {qn > 0 ? ClampK(k, n_, excludes[g + 0]) : 0, qn > 0 ? excludes[g + 0] : -1},
+              {qn > 1 ? ClampK(k, n_, excludes[g + 1]) : 0, qn > 1 ? excludes[g + 1] : -1},
+              {qn > 2 ? ClampK(k, n_, excludes[g + 2]) : 0, qn > 2 ? excludes[g + 2] : -1},
+              {qn > 3 ? ClampK(k, n_, excludes[g + 3]) : 0, qn > 3 ? excludes[g + 3] : -1},
+          };
+          for (int64_t r0 = 0; r0 < n_; r0 += kScanTile) {
+            const int64_t rows = std::min<int64_t>(kScanTile, n_ - r0);
+            if (metric_ == IndexMetric::kCosine) {
+              simd::DotScan(q.data() + g * static_cast<size_t>(d_), qn,
+                            data_.data() + r0 * d_, rows, d_, tile.data(),
+                            kScanTile);
+            } else {
+              simd::L1Scan(q.data() + g * static_cast<size_t>(d_), qn,
+                           data_.data() + r0 * d_, rows, d_, tile.data(),
+                           kScanTile);
+            }
+            for (int qi = 0; qi < qn; ++qi) {
+              accs[qi].PushTile(tile.data() + qi * kScanTile, rows, r0,
+                                cand.data());
+            }
+          }
+          for (int qi = 0; qi < qn; ++qi) {
+            (*results)[g + qi] = accs[qi].Finish();
+          }
         }
       },
       /*grain=*/2);
-  return results;
+}
+
+void EmbeddingIndex::ScanInt8(std::span<const IndexQuery> queries, int k,
+                              const int64_t* excludes,
+                              std::vector<std::vector<Neighbor>>* results) const {
+  const size_t b = queries.size();
+  const int8_t* codes = reinterpret_cast<const int8_t*>(data_q_.data());
+  // Assemble the quantized query block [b, d] + per-query scales. By-id
+  // queries reuse the stored codes (and their stored scale), so a stored row
+  // queries itself with zero extra quantization error.
+  tensor::Storage qbytes = ByteStorage(b * static_cast<size_t>(d_));
+  int8_t* q8 = reinterpret_cast<int8_t*>(qbytes.data());
+  tensor::PoolVec<float> qscales(b, shared_scale_);
+  tensor::PoolVec<float> scratch(static_cast<size_t>(d_), 0.0f);
+  for (size_t i = 0; i < b; ++i) {
+    const IndexQuery& query = queries[i];
+    int8_t* qrow = q8 + i * static_cast<size_t>(d_);
+    if (query.id >= 0) {
+      std::memcpy(qrow, codes + query.id * d_, static_cast<size_t>(d_));
+      if (metric_ == IndexMetric::kCosine) qscales[i] = scales_[query.id];
+    } else if (metric_ == IndexMetric::kCosine) {
+      std::copy_n(query.vector.data(), d_, scratch.data());
+      NormalizeRow(scratch.data(), d_);
+      simd::QuantizeRowI8(scratch.data(), d_, qrow, &qscales[i]);
+    } else {
+      simd::QuantizeRowI8WithScale(query.vector.data(), d_, shared_scale_, qrow);
+    }
+  }
+  ParallelFor(
+      b,
+      [&](size_t begin, size_t end) {
+        constexpr int kBlock = simd::kMaxQueryBlock;
+        tensor::Storage tile =
+            tensor::Storage::Uninitialized(kBlock * static_cast<size_t>(kScanTile));
+        tensor::PoolVec<int32_t> cand(static_cast<size_t>(kScanTile), 0);
+        for (size_t g = begin; g < end; g += kBlock) {
+          const int qn = static_cast<int>(std::min<size_t>(kBlock, end - g));
+          TopKAccumulator accs[kBlock] = {
+              {qn > 0 ? ClampK(k, n_, excludes[g + 0]) : 0, qn > 0 ? excludes[g + 0] : -1},
+              {qn > 1 ? ClampK(k, n_, excludes[g + 1]) : 0, qn > 1 ? excludes[g + 1] : -1},
+              {qn > 2 ? ClampK(k, n_, excludes[g + 2]) : 0, qn > 2 ? excludes[g + 2] : -1},
+              {qn > 3 ? ClampK(k, n_, excludes[g + 3]) : 0, qn > 3 ? excludes[g + 3] : -1},
+          };
+          for (int64_t r0 = 0; r0 < n_; r0 += kScanTile) {
+            const int64_t rows = std::min<int64_t>(kScanTile, n_ - r0);
+            if (metric_ == IndexMetric::kCosine) {
+              simd::DotScanI8(q8 + g * static_cast<size_t>(d_),
+                              qscales.data() + g, qn, codes + r0 * d_,
+                              scales_.data() + r0, rows, d_, tile.data(),
+                              kScanTile);
+            } else {
+              simd::L1ScanI8(q8 + g * static_cast<size_t>(d_), qn,
+                             codes + r0 * d_, rows, d_, shared_scale_,
+                             tile.data(), kScanTile);
+            }
+            for (int qi = 0; qi < qn; ++qi) {
+              accs[qi].PushTile(tile.data() + qi * kScanTile, rows, r0,
+                                cand.data());
+            }
+          }
+          for (int qi = 0; qi < qn; ++qi) {
+            (*results)[g + qi] = accs[qi].Finish();
+          }
+        }
+      },
+      /*grain=*/2);
 }
 
 std::vector<Neighbor> EmbeddingIndex::QueryById(int64_t query_id, int k) const {

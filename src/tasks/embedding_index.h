@@ -7,12 +7,23 @@
 // O(n d) per query, cache-friendly, and deterministic.
 //
 // The core entry point is QueryBatch: a whole micro-batch of queries is
-// answered with one multi-query scan (for cosine, a single [b, d] x [d, n]
-// matmul through the register-tiled kernels of src/tensor/matmul_kernels.h,
-// partitioned across the thread pool). The classic single-shot
-// QueryById/QueryByVector calls are thin wrappers over a batch of one, so a
-// batched answer is bitwise identical to the sequential one — the serve
-// layer (src/serve/) relies on this to batch transparently.
+// answered with one multi-query scan through the runtime-dispatched SIMD
+// kernels of src/tensor/simd/ (AVX2/NEON with a bitwise-identical scalar
+// fallback — DESIGN.md §12). The scan is fused with top-k selection: rows
+// are streamed in tiles through blocks of up to simd::kMaxQueryBlock queries
+// (each row load feeds four accumulator sets) and accumulated straight into
+// per-query top-k heaps, so no [batch, n] score matrix is ever materialised.
+// The classic single-shot QueryById/QueryByVector calls are thin wrappers
+// over a batch of one, so a batched answer is bitwise identical to the
+// sequential one — the serve layer (src/serve/) relies on this to batch
+// transparently.
+//
+// Precision: kFloat32 stores the (normalised) float rows. kInt8 stores
+// ggml-style symmetric per-row quantized rows — int8 codes plus one float
+// scale per row (cosine) or one shared scale (L1; distances do not factor
+// through per-row scales) — cutting index memory ~4x and feeding the 32-wide
+// int8 SIMD lanes. Quantized answers approximate the float index; the
+// recall@10 >= 0.99 contract is pinned by quantized_index_test.
 //
 // Thread safety: an EmbeddingIndex is immutable after construction; all
 // query methods are const and safe to call concurrently from any number of
@@ -33,6 +44,14 @@ enum class IndexMetric {
   kCosine = 0,  // Higher is more similar.
   kL1 = 1,      // Lower is more similar.
 };
+
+enum class IndexPrecision {
+  kFloat32 = 0,  // Exact float scan.
+  kInt8 = 1,     // Symmetric int8 quantized scan (~4x smaller, approximate).
+};
+
+/// Stable lowercase name ("float32", "int8") for logs, stats and metrics.
+const char* PrecisionName(IndexPrecision precision);
 
 struct Neighbor {
   int64_t id = -1;
@@ -63,14 +82,16 @@ struct IndexQuery {
 
 class EmbeddingIndex {
  public:
-  /// Copies (and for cosine, L2-normalises) the embedding rows.
-  EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric);
+  /// Copies (and for cosine, L2-normalises) the embedding rows; kInt8
+  /// additionally quantizes them and drops the float copy entirely.
+  EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric,
+                 IndexPrecision precision = IndexPrecision::kFloat32);
 
-  /// Answers every query of the batch with one multi-query scan, best
+  /// Answers every query of the batch with one multi-query fused scan, best
   /// neighbor first. k is clamped per query to n - 1 (by-id, self excluded)
   /// or n (by-vector). result[i] corresponds to queries[i]. Scores are
   /// bitwise identical to a batch of one regardless of batch composition:
-  /// every (query, row) score is an independent ascending-j reduction.
+  /// every (query, row) score is an independent fixed-order reduction.
   std::vector<std::vector<Neighbor>> QueryBatch(std::span<const IndexQuery> queries,
                                                 int k) const;
 
@@ -85,15 +106,31 @@ class EmbeddingIndex {
   int64_t size() const { return n_; }
   int64_t dim() const { return d_; }
   IndexMetric metric() const { return metric_; }
+  IndexPrecision precision() const { return precision_; }
+
+  /// Bytes held by the scan payload (rows + quantization scales) — the
+  /// number the sarn.serve.index_bytes gauge reports. kInt8 is ~4x smaller
+  /// than kFloat32 for the same matrix.
+  size_t index_bytes() const;
 
  private:
+  void ScanFloat(std::span<const IndexQuery> queries, int k,
+                 const int64_t* excludes,
+                 std::vector<std::vector<Neighbor>>* results) const;
+  void ScanInt8(std::span<const IndexQuery> queries, int k,
+                const int64_t* excludes,
+                std::vector<std::vector<Neighbor>>* results) const;
+
   IndexMetric metric_;
+  IndexPrecision precision_;
   int64_t n_ = 0;
   int64_t d_ = 0;
-  // Pooled snapshot storage: both matrices recycle through the BufferPool
-  // when the serve layer hot-swaps indexes.
-  tensor::Storage data_;    // Row-major [n, d], normalised for cosine.
-  tensor::Storage data_t_;  // Column-major copy ([d, n] row-major) for matmul.
+  // Pooled snapshot storage: all buffers recycle through the BufferPool when
+  // the serve layer hot-swaps indexes.
+  tensor::Storage data_;    // kFloat32: row-major [n, d], normalised for cosine.
+  tensor::Storage data_q_;  // kInt8: row-major [n, d] int8 codes (raw bytes).
+  tensor::Storage scales_;  // kInt8 cosine: [n] per-row scales.
+  float shared_scale_ = 0.0f;  // kInt8 L1: one scale for the whole index.
 };
 
 }  // namespace sarn::tasks

@@ -1,0 +1,37 @@
+// Internal: the per-tier kernel function table. Each tier's translation unit
+// (simd_scalar.cc, simd_avx2.cc, simd_neon.cc) fills one table; simd.cc picks
+// the active one at dispatch time. Not part of the public API.
+
+#ifndef SARN_TENSOR_SIMD_KERNEL_TABLE_H_
+#define SARN_TENSOR_SIMD_KERNEL_TABLE_H_
+
+#include <cstdint>
+
+namespace sarn::tensor::simd::internal {
+
+struct KernelTable {
+  void (*dot_scan)(const float* queries, int qn, const float* rows, int64_t n,
+                   int64_t d, float* out, int64_t out_stride);
+  void (*l1_scan)(const float* queries, int qn, const float* rows, int64_t n,
+                  int64_t d, float* out, int64_t out_stride);
+  void (*dot_scan_i8)(const int8_t* queries, const float* query_scales, int qn,
+                      const int8_t* rows, const float* row_scales, int64_t n,
+                      int64_t d, float* out, int64_t out_stride);
+  void (*l1_scan_i8)(const int8_t* queries, int qn, const int8_t* rows,
+                     int64_t n, int64_t d, float scale, float* out,
+                     int64_t out_stride);
+  int64_t (*filter_above)(const float* scores, int64_t count, float threshold,
+                          int32_t* out);
+};
+
+const KernelTable& ScalarTable();
+#if defined(SARN_HAVE_AVX2_KERNELS)
+const KernelTable& Avx2Table();
+#endif
+#if defined(SARN_HAVE_NEON_KERNELS)
+const KernelTable& NeonTable();
+#endif
+
+}  // namespace sarn::tensor::simd::internal
+
+#endif  // SARN_TENSOR_SIMD_KERNEL_TABLE_H_

@@ -1,0 +1,185 @@
+// Tier dispatch and the scalar quantization primitives (see simd.h).
+
+#include "tensor/simd/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "tensor/simd/kernel_table.h"
+
+namespace sarn::tensor::simd {
+namespace {
+
+// -1 = no override; otherwise the forced Tier. Relaxed is enough: ForceTier
+// is a test/bench hook called between scans, not concurrently with them.
+std::atomic<int> g_forced_tier{-1};
+
+Tier DetectTierUncached() {
+#if defined(SARN_NO_SIMD)
+  return Tier::kScalar;
+#else
+  if (const char* env = std::getenv("SARN_SIMD")) {
+    std::string value(env);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (value == "off" || value == "scalar") return Tier::kScalar;
+    if (value == "avx2") {
+      if (TierAvailable(Tier::kAvx2)) return Tier::kAvx2;
+      SARN_LOG(Warning) << "SARN_SIMD=avx2 requested but unavailable; "
+                           "falling back to scalar kernels";
+      return Tier::kScalar;
+    }
+    if (value == "neon") {
+      if (TierAvailable(Tier::kNeon)) return Tier::kNeon;
+      SARN_LOG(Warning) << "SARN_SIMD=neon requested but unavailable; "
+                           "falling back to scalar kernels";
+      return Tier::kScalar;
+    }
+    SARN_LOG(Warning) << "unknown SARN_SIMD value '" << env
+                      << "' (want off|scalar|avx2|neon); auto-detecting";
+  }
+  if (TierAvailable(Tier::kAvx2)) return Tier::kAvx2;
+  if (TierAvailable(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+#endif
+}
+
+const internal::KernelTable& Table() {
+  switch (ActiveTier()) {
+#if defined(SARN_HAVE_AVX2_KERNELS)
+    case Tier::kAvx2:
+      return internal::Avx2Table();
+#endif
+#if defined(SARN_HAVE_NEON_KERNELS)
+    case Tier::kNeon:
+      return internal::NeonTable();
+#endif
+    default:
+      return internal::ScalarTable();
+  }
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool TierAvailable(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(SARN_HAVE_AVX2_KERNELS) && defined(__x86_64__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Tier::kNeon:
+#if defined(SARN_HAVE_NEON_KERNELS)
+      return true;  // NEON is baseline on aarch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Tier DetectTier() {
+  static const Tier detected = DetectTierUncached();
+  return detected;
+}
+
+Tier ActiveTier() {
+  int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  return DetectTier();
+}
+
+void ForceTier(Tier tier) {
+  SARN_CHECK(TierAvailable(tier)) << "tier " << TierName(tier)
+                                  << " is not available on this host/build";
+  g_forced_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void DotScan(const float* queries, int qn, const float* rows, int64_t n,
+             int64_t d, float* out, int64_t out_stride) {
+  SARN_DCHECK(qn >= 1 && qn <= kMaxQueryBlock);
+  Table().dot_scan(queries, qn, rows, n, d, out, out_stride);
+}
+
+void L1Scan(const float* queries, int qn, const float* rows, int64_t n,
+            int64_t d, float* out, int64_t out_stride) {
+  SARN_DCHECK(qn >= 1 && qn <= kMaxQueryBlock);
+  Table().l1_scan(queries, qn, rows, n, d, out, out_stride);
+}
+
+void DotScanI8(const int8_t* queries, const float* query_scales, int qn,
+               const int8_t* rows, const float* row_scales, int64_t n,
+               int64_t d, float* out, int64_t out_stride) {
+  SARN_DCHECK(qn >= 1 && qn <= kMaxQueryBlock);
+  Table().dot_scan_i8(queries, query_scales, qn, rows, row_scales, n, d, out,
+                      out_stride);
+}
+
+void L1ScanI8(const int8_t* queries, int qn, const int8_t* rows, int64_t n,
+              int64_t d, float scale, float* out, int64_t out_stride) {
+  SARN_DCHECK(qn >= 1 && qn <= kMaxQueryBlock);
+  Table().l1_scan_i8(queries, qn, rows, n, d, scale, out, out_stride);
+}
+
+int64_t FilterAbove(const float* scores, int64_t count, float threshold,
+                    int32_t* out) {
+  return Table().filter_above(scores, count, threshold, out);
+}
+
+float AbsMax(const float* x, int64_t n) {
+  float amax = 0.0f;
+  for (int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  return amax;
+}
+
+void QuantizeRowI8(const float* x, int64_t d, int8_t* out, float* scale) {
+  float amax = AbsMax(x, d);
+  if (amax == 0.0f) {
+    *scale = 0.0f;
+    std::memset(out, 0, static_cast<size_t>(d));
+    return;
+  }
+  *scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  for (int64_t j = 0; j < d; ++j) {
+    long v = std::lrintf(x[j] * inv);
+    out[j] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+  }
+}
+
+void QuantizeRowI8WithScale(const float* x, int64_t d, float scale,
+                            int8_t* out) {
+  if (scale == 0.0f) {
+    std::memset(out, 0, static_cast<size_t>(d));
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (int64_t j = 0; j < d; ++j) {
+    long v = std::lrintf(x[j] * inv);
+    out[j] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+  }
+}
+
+void DequantizeRowI8(const int8_t* q, int64_t d, float scale, float* out) {
+  for (int64_t j = 0; j < d; ++j) out[j] = static_cast<float>(q[j]) * scale;
+}
+
+}  // namespace sarn::tensor::simd

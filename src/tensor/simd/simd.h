@@ -1,0 +1,129 @@
+// Runtime-dispatched SIMD scan kernels for the serving hot loop
+// (DESIGN.md §12).
+//
+// The serve path answers top-k queries with brute-force scans: for every
+// (query, row) pair it reduces d elements to one score. This layer provides
+// explicitly vectorized implementations of those reductions — batched
+// dot-product (cosine), L1 distance, and their int8-quantized counterparts —
+// selected once at startup:
+//
+//   * kAvx2   — 8-wide float / 32-wide int8 kernels (x86-64 with AVX2).
+//   * kNeon   — 4-wide float / 16-wide int8 kernels (aarch64).
+//   * kScalar — portable fallback, always available.
+//
+// Determinism contract: every tier computes the SAME reduction for a
+// (query, row) pair, bit for bit. The float kernels are specified as eight
+// independent lane accumulators over ascending j (lane l sums j ≡ l mod 8)
+// combined by the fixed tree ((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7)), followed
+// by the ascending scalar tail — the scalar tier *emulates the vector
+// schedule* rather than the other way around, and no tier uses FMA. The int8
+// kernels accumulate in exact int32/int64 arithmetic, so their order is
+// irrelevant; the final scale multiply is a single float expression shared by
+// all tiers. simd_kernels_test pins scalar-vs-vector bitwise identity.
+//
+// Selection: cpuid (GCC __builtin_cpu_supports) picks the widest available
+// tier; the SARN_SIMD environment variable (off|scalar|avx2|neon) overrides
+// it, and a -DSARN_NO_SIMD build compiles the vector tiers out entirely.
+// ForceTier() is a test/bench hook for switching tiers mid-process.
+//
+// Quantization: ggml-style symmetric per-row int8. Each row stores
+// round(x / scale) with scale = absmax / 127, so dot(q, r) ≈
+// q_scale * r_scale * dot_i8(q, r). Quantize/Dequantize are deliberately
+// scalar — they run once per snapshot (or once per external query vector),
+// never in the scan loop, and a single implementation keeps every tier's
+// quantized index bitwise identical.
+
+#ifndef SARN_TENSOR_SIMD_SIMD_H_
+#define SARN_TENSOR_SIMD_SIMD_H_
+
+#include <cstdint>
+
+namespace sarn::tensor::simd {
+
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Stable lowercase name ("scalar", "avx2", "neon") for logs and metrics.
+const char* TierName(Tier tier);
+
+/// True when the tier was compiled in and the host CPU supports it.
+/// kScalar is always available.
+bool TierAvailable(Tier tier);
+
+/// The tier the dispatcher would pick on its own: SARN_SIMD override if set
+/// and available, else the widest available tier.
+Tier DetectTier();
+
+/// The tier the scan kernels below currently run on (ForceTier override, or
+/// DetectTier() cached at first use).
+Tier ActiveTier();
+
+/// Overrides the active tier (test/bench hook). The tier must be available.
+void ForceTier(Tier tier);
+
+/// Kernels process up to this many queries per call, sharing each row load
+/// across the query block.
+inline constexpr int kMaxQueryBlock = 4;
+
+// --- Float scan kernels ------------------------------------------------------
+// queries: row-major [qn, d] (qn in [1, kMaxQueryBlock]); rows: row-major
+// [n, d]; out[qi * out_stride + r] receives the score of (query qi, row r).
+
+/// out = dot(q, row) — the cosine score when both sides are L2-normalised.
+void DotScan(const float* queries, int qn, const float* rows, int64_t n,
+             int64_t d, float* out, int64_t out_stride);
+
+/// out = -sum_j |q_j - row_j| (negated so higher is always more similar).
+void L1Scan(const float* queries, int qn, const float* rows, int64_t n,
+            int64_t d, float* out, int64_t out_stride);
+
+// --- Int8 quantized scan kernels ---------------------------------------------
+// queries: row-major [qn, d] int8; rows: row-major [n, d] int8.
+
+/// out = float(dot_i8(q, row)) * (query_scales[qi] * row_scales[r]).
+void DotScanI8(const int8_t* queries, const float* query_scales, int qn,
+               const int8_t* rows, const float* row_scales, int64_t n,
+               int64_t d, float* out, int64_t out_stride);
+
+/// out = -(float(sum_j |q_j - row_j|) * scale), one scale shared by the whole
+/// index (L1 distances do not factor through per-row scales).
+void L1ScanI8(const int8_t* queries, int qn, const int8_t* rows, int64_t n,
+              int64_t d, float scale, float* out, int64_t out_stride);
+
+// --- Fused top-k support -----------------------------------------------------
+
+/// Writes the positions t (ascending) with scores[t] > threshold into out
+/// (capacity >= count) and returns how many qualified. The comparison is the
+/// exact float >, so every tier selects the same candidate set, and NaN
+/// scores never qualify. This is the select step of the fused scan+top-k
+/// accumulation: the caller re-checks each candidate against its live heap
+/// minimum, so filtering against a stale (lower) threshold stays exact — the
+/// filter only ever returns a superset of the rows the heap would accept.
+int64_t FilterAbove(const float* scores, int64_t count, float threshold,
+                    int32_t* out);
+
+// --- Symmetric int8 quantization ---------------------------------------------
+
+/// max_j |x_j| (0 for an empty range).
+float AbsMax(const float* x, int64_t n);
+
+/// Per-row symmetric quantization: *scale = absmax/127, out_j =
+/// clamp(round(x_j / *scale), -127, 127). An all-zero row quantizes to
+/// scale 0 and all-zero codes.
+void QuantizeRowI8(const float* x, int64_t d, int8_t* out, float* scale);
+
+/// Quantizes with a caller-fixed scale (the shared-scale L1 format); values
+/// beyond ±127*scale saturate.
+void QuantizeRowI8WithScale(const float* x, int64_t d, float scale,
+                            int8_t* out);
+
+/// out_j = float(q_j) * scale — the reconstruction the quantized scores
+/// approximate against.
+void DequantizeRowI8(const int8_t* q, int64_t d, float scale, float* out);
+
+}  // namespace sarn::tensor::simd
+
+#endif  // SARN_TENSOR_SIMD_SIMD_H_

@@ -1,0 +1,228 @@
+// NEON tier (aarch64): 4-wide float kernels emulating the 8-lane schedule
+// with an accumulator pair, and 16-wide int8 kernels. The float combine uses
+// the same fixed tree as the other tiers — acc_lo holds lanes 0..3, acc_hi
+// lanes 4..7, so vaddq(acc_lo, acc_hi) lane l is a_l + a_{l+4} exactly like
+// the AVX2 128-bit fold — and the TU is compiled with contraction disabled
+// (no fused multiply-add), so scores match the scalar tier bit for bit.
+
+#if defined(SARN_HAVE_NEON_KERNELS)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "tensor/simd/kernel_table.h"
+
+namespace sarn::tensor::simd::internal {
+namespace {
+
+// ((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7)) from the lane-0..3 / lane-4..7 pair.
+inline float ReduceAdd(float32x4_t acc_lo, float32x4_t acc_hi) {
+  float32x4_t s = vaddq_f32(acc_lo, acc_hi);  // s_l = a_l + a_{l+4}
+  float32x2_t p = vadd_f32(vget_low_f32(s), vget_high_f32(s));
+  return vget_lane_f32(p, 0) + vget_lane_f32(p, 1);
+}
+
+template <int QN>
+void DotScanNeonImpl(const float* queries, const float* rows, int64_t n,
+                     int64_t d, float* out, int64_t out_stride) {
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = rows + r * d;
+    float32x4_t acc_lo[QN], acc_hi[QN];
+    for (int qi = 0; qi < QN; ++qi) {
+      acc_lo[qi] = vdupq_n_f32(0.0f);
+      acc_hi[qi] = vdupq_n_f32(0.0f);
+    }
+    int64_t j = 0;
+    for (; j + 8 <= d; j += 8) {
+      float32x4_t r_lo = vld1q_f32(row + j);
+      float32x4_t r_hi = vld1q_f32(row + j + 4);
+      for (int qi = 0; qi < QN; ++qi) {
+        const float* q = queries + static_cast<int64_t>(qi) * d + j;
+        acc_lo[qi] = vaddq_f32(acc_lo[qi], vmulq_f32(vld1q_f32(q), r_lo));
+        acc_hi[qi] = vaddq_f32(acc_hi[qi], vmulq_f32(vld1q_f32(q + 4), r_hi));
+      }
+    }
+    for (int qi = 0; qi < QN; ++qi) {
+      const float* q = queries + static_cast<int64_t>(qi) * d;
+      float sum = ReduceAdd(acc_lo[qi], acc_hi[qi]);
+      for (int64_t t = j; t < d; ++t) sum += q[t] * row[t];
+      out[static_cast<int64_t>(qi) * out_stride + r] = sum;
+    }
+  }
+}
+
+template <int QN>
+void L1ScanNeonImpl(const float* queries, const float* rows, int64_t n,
+                    int64_t d, float* out, int64_t out_stride) {
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = rows + r * d;
+    float32x4_t acc_lo[QN], acc_hi[QN];
+    for (int qi = 0; qi < QN; ++qi) {
+      acc_lo[qi] = vdupq_n_f32(0.0f);
+      acc_hi[qi] = vdupq_n_f32(0.0f);
+    }
+    int64_t j = 0;
+    for (; j + 8 <= d; j += 8) {
+      float32x4_t r_lo = vld1q_f32(row + j);
+      float32x4_t r_hi = vld1q_f32(row + j + 4);
+      for (int qi = 0; qi < QN; ++qi) {
+        const float* q = queries + static_cast<int64_t>(qi) * d + j;
+        acc_lo[qi] = vaddq_f32(acc_lo[qi], vabdq_f32(vld1q_f32(q), r_lo));
+        acc_hi[qi] = vaddq_f32(acc_hi[qi], vabdq_f32(vld1q_f32(q + 4), r_hi));
+      }
+    }
+    for (int qi = 0; qi < QN; ++qi) {
+      const float* q = queries + static_cast<int64_t>(qi) * d;
+      float sum = ReduceAdd(acc_lo[qi], acc_hi[qi]);
+      for (int64_t t = j; t < d; ++t) sum += std::fabs(q[t] - row[t]);
+      out[static_cast<int64_t>(qi) * out_stride + r] = -sum;
+    }
+  }
+}
+
+template <int QN>
+void DotScanI8NeonImpl(const int8_t* queries, const float* query_scales,
+                       const int8_t* rows, const float* row_scales, int64_t n,
+                       int64_t d, float* out, int64_t out_stride) {
+  for (int64_t r = 0; r < n; ++r) {
+    const int8_t* row = rows + r * d;
+    int32x4_t acc[QN];
+    for (int qi = 0; qi < QN; ++qi) acc[qi] = vdupq_n_s32(0);
+    int64_t j = 0;
+    for (; j + 16 <= d; j += 16) {
+      int8x16_t rv = vld1q_s8(row + j);
+      for (int qi = 0; qi < QN; ++qi) {
+        int8x16_t qv = vld1q_s8(queries + static_cast<int64_t>(qi) * d + j);
+        int16x8_t p_lo = vmull_s8(vget_low_s8(qv), vget_low_s8(rv));
+        int16x8_t p_hi = vmull_s8(vget_high_s8(qv), vget_high_s8(rv));
+        acc[qi] = vpadalq_s16(acc[qi], p_lo);
+        acc[qi] = vpadalq_s16(acc[qi], p_hi);
+      }
+    }
+    for (int qi = 0; qi < QN; ++qi) {
+      const int8_t* q = queries + static_cast<int64_t>(qi) * d;
+      int32_t sum = vaddvq_s32(acc[qi]);
+      for (int64_t t = j; t < d; ++t) {
+        sum += static_cast<int32_t>(q[t]) * static_cast<int32_t>(row[t]);
+      }
+      out[static_cast<int64_t>(qi) * out_stride + r] =
+          static_cast<float>(sum) * (query_scales[qi] * row_scales[r]);
+    }
+  }
+}
+
+template <int QN>
+void L1ScanI8NeonImpl(const int8_t* queries, const int8_t* rows, int64_t n,
+                      int64_t d, float scale, float* out, int64_t out_stride) {
+  for (int64_t r = 0; r < n; ++r) {
+    const int8_t* row = rows + r * d;
+    int32x4_t acc[QN];
+    for (int qi = 0; qi < QN; ++qi) acc[qi] = vdupq_n_s32(0);
+    int64_t j = 0;
+    for (; j + 16 <= d; j += 16) {
+      int8x16_t rv = vld1q_s8(row + j);
+      for (int qi = 0; qi < QN; ++qi) {
+        int8x16_t qv = vld1q_s8(queries + static_cast<int64_t>(qi) * d + j);
+        int16x8_t ad_lo = vabdl_s8(vget_low_s8(qv), vget_low_s8(rv));
+        int16x8_t ad_hi = vabdl_s8(vget_high_s8(qv), vget_high_s8(rv));
+        acc[qi] = vpadalq_s16(acc[qi], ad_lo);
+        acc[qi] = vpadalq_s16(acc[qi], ad_hi);
+      }
+    }
+    for (int qi = 0; qi < QN; ++qi) {
+      const int8_t* q = queries + static_cast<int64_t>(qi) * d;
+      int64_t sum = vaddvq_s32(acc[qi]);
+      for (int64_t t = j; t < d; ++t) {
+        sum += std::abs(static_cast<int32_t>(q[t]) -
+                        static_cast<int32_t>(row[t]));
+      }
+      out[static_cast<int64_t>(qi) * out_stride + r] =
+          -(static_cast<float>(sum) * scale);
+    }
+  }
+}
+
+void DotScanNeon(const float* queries, int qn, const float* rows, int64_t n,
+                 int64_t d, float* out, int64_t out_stride) {
+  switch (qn) {
+    case 1: DotScanNeonImpl<1>(queries, rows, n, d, out, out_stride); break;
+    case 2: DotScanNeonImpl<2>(queries, rows, n, d, out, out_stride); break;
+    case 3: DotScanNeonImpl<3>(queries, rows, n, d, out, out_stride); break;
+    default: DotScanNeonImpl<4>(queries, rows, n, d, out, out_stride); break;
+  }
+}
+
+void L1ScanNeon(const float* queries, int qn, const float* rows, int64_t n,
+                int64_t d, float* out, int64_t out_stride) {
+  switch (qn) {
+    case 1: L1ScanNeonImpl<1>(queries, rows, n, d, out, out_stride); break;
+    case 2: L1ScanNeonImpl<2>(queries, rows, n, d, out, out_stride); break;
+    case 3: L1ScanNeonImpl<3>(queries, rows, n, d, out, out_stride); break;
+    default: L1ScanNeonImpl<4>(queries, rows, n, d, out, out_stride); break;
+  }
+}
+
+void DotScanI8Neon(const int8_t* queries, const float* query_scales, int qn,
+                   const int8_t* rows, const float* row_scales, int64_t n,
+                   int64_t d, float* out, int64_t out_stride) {
+  switch (qn) {
+    case 1:
+      DotScanI8NeonImpl<1>(queries, query_scales, rows, row_scales, n, d, out,
+                           out_stride);
+      break;
+    case 2:
+      DotScanI8NeonImpl<2>(queries, query_scales, rows, row_scales, n, d, out,
+                           out_stride);
+      break;
+    case 3:
+      DotScanI8NeonImpl<3>(queries, query_scales, rows, row_scales, n, d, out,
+                           out_stride);
+      break;
+    default:
+      DotScanI8NeonImpl<4>(queries, query_scales, rows, row_scales, n, d, out,
+                           out_stride);
+      break;
+  }
+}
+
+void L1ScanI8Neon(const int8_t* queries, int qn, const int8_t* rows, int64_t n,
+                  int64_t d, float scale, float* out, int64_t out_stride) {
+  switch (qn) {
+    case 1: L1ScanI8NeonImpl<1>(queries, rows, n, d, scale, out, out_stride); break;
+    case 2: L1ScanI8NeonImpl<2>(queries, rows, n, d, scale, out, out_stride); break;
+    case 3: L1ScanI8NeonImpl<3>(queries, rows, n, d, scale, out, out_stride); break;
+    default: L1ScanI8NeonImpl<4>(queries, rows, n, d, scale, out, out_stride); break;
+  }
+}
+
+// NEON has no movemask, and at serve tile sizes the narrowing-shift mask
+// dance buys nothing over a plain compare loop (candidates are sparse once
+// the heaps warm up), so this tier keeps the scalar select.
+int64_t FilterAboveNeon(const float* scores, int64_t count, float threshold,
+                        int32_t* out) {
+  int64_t m = 0;
+  for (int64_t t = 0; t < count; ++t) {
+    if (scores[t] > threshold) out[m++] = static_cast<int32_t>(t);
+  }
+  return m;
+}
+
+}  // namespace
+
+const KernelTable& NeonTable() {
+  static constexpr KernelTable table = {
+      DotScanNeon,
+      L1ScanNeon,
+      DotScanI8Neon,
+      L1ScanI8Neon,
+      FilterAboveNeon,
+  };
+  return table;
+}
+
+}  // namespace sarn::tensor::simd::internal
+
+#endif  // SARN_HAVE_NEON_KERNELS

@@ -1,0 +1,126 @@
+// Scalar tier: portable kernels that *emulate the vector schedule* — eight
+// float lane accumulators over ascending j, the fixed combine tree
+// ((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7)), then the ascending scalar tail —
+// so the vector tiers are bitwise identical to this reference on the same
+// input (pinned by simd_kernels_test). The int8 reductions are exact integer
+// arithmetic; only the final scale multiply is float, written as the same
+// single expression every tier uses.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "tensor/simd/kernel_table.h"
+
+namespace sarn::tensor::simd::internal {
+namespace {
+
+float DotOne(const float* q, const float* r, int64_t d) {
+  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  int64_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    for (int l = 0; l < 8; ++l) acc[l] += q[j + l] * r[j + l];
+  }
+  float s0 = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+  float s1 = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+  float sum = s0 + s1;
+  for (; j < d; ++j) sum += q[j] * r[j];
+  return sum;
+}
+
+float L1One(const float* q, const float* r, int64_t d) {
+  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  int64_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    for (int l = 0; l < 8; ++l) acc[l] += std::fabs(q[j + l] - r[j + l]);
+  }
+  float s0 = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+  float s1 = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+  float sum = s0 + s1;
+  for (; j < d; ++j) sum += std::fabs(q[j] - r[j]);
+  return sum;
+}
+
+int32_t DotOneI8(const int8_t* q, const int8_t* r, int64_t d) {
+  int32_t acc = 0;
+  for (int64_t j = 0; j < d; ++j) {
+    acc += static_cast<int32_t>(q[j]) * static_cast<int32_t>(r[j]);
+  }
+  return acc;
+}
+
+int64_t L1OneI8(const int8_t* q, const int8_t* r, int64_t d) {
+  int64_t acc = 0;
+  for (int64_t j = 0; j < d; ++j) {
+    acc += std::abs(static_cast<int32_t>(q[j]) - static_cast<int32_t>(r[j]));
+  }
+  return acc;
+}
+
+void DotScanScalar(const float* queries, int qn, const float* rows, int64_t n,
+                   int64_t d, float* out, int64_t out_stride) {
+  for (int qi = 0; qi < qn; ++qi) {
+    const float* q = queries + static_cast<int64_t>(qi) * d;
+    float* o = out + static_cast<int64_t>(qi) * out_stride;
+    for (int64_t r = 0; r < n; ++r) o[r] = DotOne(q, rows + r * d, d);
+  }
+}
+
+void L1ScanScalar(const float* queries, int qn, const float* rows, int64_t n,
+                  int64_t d, float* out, int64_t out_stride) {
+  for (int qi = 0; qi < qn; ++qi) {
+    const float* q = queries + static_cast<int64_t>(qi) * d;
+    float* o = out + static_cast<int64_t>(qi) * out_stride;
+    for (int64_t r = 0; r < n; ++r) o[r] = -L1One(q, rows + r * d, d);
+  }
+}
+
+void DotScanI8Scalar(const int8_t* queries, const float* query_scales, int qn,
+                     const int8_t* rows, const float* row_scales, int64_t n,
+                     int64_t d, float* out, int64_t out_stride) {
+  for (int qi = 0; qi < qn; ++qi) {
+    const int8_t* q = queries + static_cast<int64_t>(qi) * d;
+    float* o = out + static_cast<int64_t>(qi) * out_stride;
+    for (int64_t r = 0; r < n; ++r) {
+      int32_t acc = DotOneI8(q, rows + r * d, d);
+      o[r] = static_cast<float>(acc) * (query_scales[qi] * row_scales[r]);
+    }
+  }
+}
+
+void L1ScanI8Scalar(const int8_t* queries, int qn, const int8_t* rows,
+                    int64_t n, int64_t d, float scale, float* out,
+                    int64_t out_stride) {
+  for (int qi = 0; qi < qn; ++qi) {
+    const int8_t* q = queries + static_cast<int64_t>(qi) * d;
+    float* o = out + static_cast<int64_t>(qi) * out_stride;
+    for (int64_t r = 0; r < n; ++r) {
+      int64_t acc = L1OneI8(q, rows + r * d, d);
+      o[r] = -(static_cast<float>(acc) * scale);
+    }
+  }
+}
+
+int64_t FilterAboveScalar(const float* scores, int64_t count, float threshold,
+                          int32_t* out) {
+  int64_t m = 0;
+  for (int64_t t = 0; t < count; ++t) {
+    if (scores[t] > threshold) out[m++] = static_cast<int32_t>(t);
+  }
+  return m;
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static constexpr KernelTable table = {
+      DotScanScalar,
+      L1ScanScalar,
+      DotScanI8Scalar,
+      L1ScanI8Scalar,
+      FilterAboveScalar,
+  };
+  return table;
+}
+
+}  // namespace sarn::tensor::simd::internal

@@ -1,0 +1,193 @@
+// Pins the int8 quantized EmbeddingIndex contract (DESIGN.md §12):
+//  * recall@10 >= 0.99 against the exact float index on a synthetic-city
+//    embedding matrix, for BOTH metrics (cosine via per-row scales, L1 via
+//    the shared scale);
+//  * quantized batches are bitwise identical to sequential single queries
+//    (the serve layer batches transparently at either precision);
+//  * index_bytes shrinks ~4x, and degenerate matrices stay well-defined.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/features.h"
+#include "roadnet/synthetic_city.h"
+#include "tasks/embedding_index.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace sarn::tasks {
+namespace {
+
+using tensor::Tensor;
+
+// Embedding stand-in with real spatial structure: the synthetic city's dense
+// segment features (type one-hot, length, heading, normalized midpoint)
+// random-projected to 64 dims with a fixed seed. Near neighbors are
+// genuinely near (same street type, adjacent midpoints), so the float top-10
+// is well separated — what trained embeddings look like, unlike iid noise.
+Tensor SyntheticCityEmbeddings(int64_t* n_out) {
+  roadnet::SyntheticCityConfig config;
+  config.seed = 5;
+  config.rows = 10;
+  config.cols = 10;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(config);
+  std::vector<std::vector<float>> features =
+      roadnet::DenseSegmentFeatures(network);
+  const int64_t n = static_cast<int64_t>(features.size());
+  const int64_t f = static_cast<int64_t>(features[0].size());
+  const int64_t d = 64;
+  Rng rng(123);
+  std::vector<float> projection(f * d);
+  for (float& v : projection) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  std::vector<float> data(n * d, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t k = 0; k < f; ++k) {
+      const float x = features[i][k];
+      if (x == 0.0f) continue;
+      for (int64_t j = 0; j < d; ++j) data[i * d + j] += x * projection[k * d + j];
+    }
+  }
+  *n_out = n;
+  return Tensor::FromVector({n, d}, std::move(data));
+}
+
+double MeanRecallAt10(const EmbeddingIndex& exact, const EmbeddingIndex& approx) {
+  const int k = 10;
+  double total = 0.0;
+  for (int64_t q = 0; q < exact.size(); ++q) {
+    std::vector<Neighbor> truth = exact.QueryById(q, k);
+    std::vector<Neighbor> got = approx.QueryById(q, k);
+    int hits = 0;
+    for (const Neighbor& t : truth) {
+      for (const Neighbor& g : got) {
+        if (g.id == t.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hits) / static_cast<double>(truth.size());
+  }
+  return total / static_cast<double>(exact.size());
+}
+
+TEST(QuantizedIndexTest, RecallAt10CosineOnSyntheticCity) {
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  ASSERT_GT(n, 100);
+  EmbeddingIndex exact(embeddings, IndexMetric::kCosine);
+  EmbeddingIndex quantized(embeddings, IndexMetric::kCosine,
+                           IndexPrecision::kInt8);
+  EXPECT_GE(MeanRecallAt10(exact, quantized), 0.99);
+}
+
+TEST(QuantizedIndexTest, RecallAt10L1OnSyntheticCity) {
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  EmbeddingIndex exact(embeddings, IndexMetric::kL1);
+  EmbeddingIndex quantized(embeddings, IndexMetric::kL1, IndexPrecision::kInt8);
+  EXPECT_GE(MeanRecallAt10(exact, quantized), 0.99);
+}
+
+TEST(QuantizedIndexTest, BatchMatchesSequentialBitwiseBothMetrics) {
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  Rng rng(7);
+  for (IndexMetric metric : {IndexMetric::kCosine, IndexMetric::kL1}) {
+    EmbeddingIndex index(embeddings, metric, IndexPrecision::kInt8);
+    std::vector<IndexQuery> queries;
+    for (int i = 0; i < 9; ++i) {
+      queries.push_back(IndexQuery::ById((i * 37) % n));
+    }
+    std::vector<float> vec(static_cast<size_t>(index.dim()));
+    for (float& v : vec) v = static_cast<float>(rng.Normal(0.0, 1.0));
+    queries.push_back(IndexQuery::ByVector(vec));
+    std::vector<std::vector<Neighbor>> batched = index.QueryBatch(queries, 10);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      IndexQuery one = queries[i];
+      std::vector<Neighbor> single =
+          std::move(index.QueryBatch({&one, 1}, 10)[0]);
+      ASSERT_EQ(batched[i].size(), single.size()) << "query " << i;
+      for (size_t j = 0; j < single.size(); ++j) {
+        EXPECT_EQ(batched[i][j].id, single[j].id) << "query " << i;
+        EXPECT_EQ(batched[i][j].score, single[j].score) << "query " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedIndexTest, ByVectorOfStoredRowFindsThatRowFirst) {
+  // Cosine by-vector queries are normalised then quantized with their own
+  // scale; a stored row's float vector must still rank that row first.
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  EmbeddingIndex index(embeddings, IndexMetric::kCosine, IndexPrecision::kInt8);
+  for (int64_t q : {int64_t{0}, n / 2, n - 1}) {
+    std::vector<float> row(embeddings.data().begin() + q * index.dim(),
+                           embeddings.data().begin() + (q + 1) * index.dim());
+    std::vector<Neighbor> top = index.QueryByVector(row, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].id, q);
+  }
+}
+
+TEST(QuantizedIndexTest, IndexBytesShrinkAboutFourX) {
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  EmbeddingIndex exact(embeddings, IndexMetric::kCosine);
+  EmbeddingIndex cosine_q(embeddings, IndexMetric::kCosine,
+                          IndexPrecision::kInt8);
+  EmbeddingIndex l1_q(embeddings, IndexMetric::kL1, IndexPrecision::kInt8);
+  EXPECT_EQ(exact.index_bytes(),
+            static_cast<size_t>(n) * 64 * sizeof(float));
+  // codes + one float scale per row (cosine) or one shared scale (L1).
+  EXPECT_EQ(cosine_q.index_bytes(),
+            static_cast<size_t>(n) * 64 + static_cast<size_t>(n) * sizeof(float));
+  EXPECT_EQ(l1_q.index_bytes(), static_cast<size_t>(n) * 64 + sizeof(float));
+  EXPECT_LT(static_cast<double>(cosine_q.index_bytes()),
+            0.3 * static_cast<double>(exact.index_bytes()));
+  EXPECT_EQ(exact.precision(), IndexPrecision::kFloat32);
+  EXPECT_EQ(cosine_q.precision(), IndexPrecision::kInt8);
+}
+
+TEST(QuantizedIndexTest, PrecisionNamesAreStable) {
+  EXPECT_STREQ(PrecisionName(IndexPrecision::kFloat32), "float32");
+  EXPECT_STREQ(PrecisionName(IndexPrecision::kInt8), "int8");
+}
+
+TEST(QuantizedIndexTest, AllZeroMatrixIsWellDefined) {
+  // Zero rows quantize to scale 0 + zero codes; every score is exactly 0 and
+  // results stay deterministic (no NaNs from a 0/0 normalisation).
+  Tensor zeros = Tensor::Zeros({8, 16});
+  for (IndexMetric metric : {IndexMetric::kCosine, IndexMetric::kL1}) {
+    EmbeddingIndex index(zeros, metric, IndexPrecision::kInt8);
+    std::vector<Neighbor> top = index.QueryById(3, 5);
+    ASSERT_EQ(top.size(), 5u);
+    for (const Neighbor& nb : top) {
+      EXPECT_EQ(nb.score, 0.0);
+      EXPECT_NE(nb.id, 3);
+    }
+  }
+}
+
+TEST(QuantizedIndexTest, SteadyStateQueriesAreAllocationFree) {
+  // The quantized scan path must hit the BufferPool exactly like the float
+  // path: after one warming batch, repeated batches allocate nothing.
+  int64_t n = 0;
+  Tensor embeddings = SyntheticCityEmbeddings(&n);
+  EmbeddingIndex index(embeddings, IndexMetric::kCosine, IndexPrecision::kInt8);
+  std::vector<IndexQuery> queries;
+  for (int i = 0; i < 16; ++i) queries.push_back(IndexQuery::ById(i * 5));
+  index.QueryBatch(queries, 10);
+  for (int round = 0; round < 3; ++round) {
+    tensor::StepScope scope;
+    index.QueryBatch(queries, 10);
+    EXPECT_EQ(scope.pool_misses(), 0u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sarn::tasks

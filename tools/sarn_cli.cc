@@ -46,6 +46,7 @@
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "tasks/embedding_source.h"
+#include "tensor/simd/simd.h"
 #include "tasks/road_property_task.h"
 #include "tasks/spd_task.h"
 #include "tasks/traj_similarity_task.h"
@@ -332,14 +333,20 @@ int CmdServe(const FlagSet& flags) {
     return Fail("serve: --threads must be >= 0 and --batch-size >= 1");
   }
   const int default_k = static_cast<int>(flags.GetInt("k"));
+  const tasks::IndexPrecision precision = flags.GetBool("quantized")
+                                              ? tasks::IndexPrecision::kInt8
+                                              : tasks::IndexPrecision::kFloat32;
 
-  auto index = std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric);
+  auto index =
+      std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric, precision);
   serve::QueryEngine engine(index, locator, options);
   std::fprintf(stderr,
-               "serve: %lld rows x %lld dims (%s), %d threads, batch %d/%.1fms, "
-               "cache %zu — reading NDJSON from stdin\n",
+               "serve: %lld rows x %lld dims (%s, %s, %zu bytes, %s kernels), "
+               "%d threads, batch %d/%.1fms, cache %zu — reading NDJSON from stdin\n",
                static_cast<long long>(index->size()),
                static_cast<long long>(index->dim()), metric_name.c_str(),
+               tasks::PrecisionName(index->precision()), index->index_bytes(),
+               tensor::simd::TierName(tensor::simd::ActiveTier()),
                options.threads, options.max_batch, options.batch_window_ms,
                options.cache_capacity);
 
@@ -403,7 +410,8 @@ int CmdServe(const FlagSet& flags) {
                                            std::to_string(index->dim())));
           break;
         }
-        engine.Publish(std::make_shared<tasks::EmbeddingIndex>(*reloaded, metric));
+        engine.Publish(
+            std::make_shared<tasks::EmbeddingIndex>(*reloaded, metric, precision));
         emit(serve::FormatReloadLine(this_seq, true, engine.epoch(), ""));
         std::fprintf(stderr, "serve: published snapshot epoch %llu\n",
                      static_cast<unsigned long long>(engine.epoch()));
@@ -503,7 +511,9 @@ const Command kCommands[] = {
            .Int("k", 10, "default top-k when a query omits \"k\"")
            .Int("batch-size", 64, "flush a micro-batch at this many requests")
            .Double("batch-window-ms", 1.0, "flush when the oldest waits this long")
-           .Int("cache-capacity", 4096, "LRU result-cache entries (0 = off)");
+           .Int("cache-capacity", 4096, "LRU result-cache entries (0 = off)")
+           .Bool("quantized", false,
+                 "serve an int8 quantized index (~4x smaller, recall@10 >= 0.99)");
      },
      CmdServe},
 };

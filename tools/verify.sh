@@ -10,17 +10,22 @@
 #   4. the query-serving suite (ctest -L serve: batch index equivalence,
 #      engine hot-swap, NDJSON protocol, CLI flags) plus a serve smoke: three
 #      NDJSON queries piped through `sarn serve`, output validated with
-#      check-json;
-#   5. the concurrency-sensitive tests (parallel runtime, matmul kernels,
+#      check-json, run once at float32 and once with --quantized;
+#   5. the SIMD suite (ctest -L simd: scalar-vs-vector bitwise identity,
+#      int8 kernel exactness, quantized recall@10 gate) in the default build,
+#      then again in a -DSARN_NO_SIMD=ON build (build-nosimd) to prove the
+#      scalar fallback configuration stays green on its own;
+#   6. the concurrency-sensitive tests (parallel runtime, matmul kernels,
 #      GAT fusion, buffer-pool acquire/release, metrics registry, serve
-#      engine hot-swap) plus the checkpoint suite rebuilt under
+#      engine hot-swap, SIMD kernels) plus the checkpoint suite rebuilt under
 #      ThreadSanitizer, so a pool regression, a race in resumed training, a
 #      race on a telemetry instrument, or a torn snapshot swap shows up as a
 #      reported race instead of a rare flake;
-#   6. a leak gate: the storage-pool suite and a short CLI training run
-#      rebuilt under AddressSanitizer (LeakSanitizer on by default), so a
-#      tensor buffer or tape closure that never returns to the pool fails
-#      verification instead of slowly growing training memory.
+#   7. a leak gate: the storage-pool, SIMD-kernel and quantized-index suites
+#      and a short CLI training run rebuilt under AddressSanitizer
+#      (LeakSanitizer on by default), so a tensor buffer, tape closure or
+#      quantized snapshot that never returns to the pool fails verification
+#      instead of slowly growing memory.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan|--no-asan]
 set -euo pipefail
@@ -67,6 +72,30 @@ if [[ "$mode" != "--tsan-only" ]]; then
     echo "verify: expected 3 ok serve responses, got $ok_count" >&2
     exit 1
   fi
+  # Same smoke at int8: the quantized index must serve the same protocol and
+  # report its precision in stats.
+  build/tools/sarn serve --embeddings "$serve_dir/emb.csv" --threads 2 \
+    --quantized true \
+    < "$serve_dir/queries.ndjson" > "$serve_dir/responses_q.ndjson"
+  build/tools/sarn check-json --in "$serve_dir/responses_q.ndjson" --lines true
+  ok_count="$(grep -c '"ok":true' "$serve_dir/responses_q.ndjson")"
+  if [[ "$ok_count" != 3 ]]; then
+    echo "verify: expected 3 ok quantized serve responses, got $ok_count" >&2
+    exit 1
+  fi
+  if ! grep -q '"precision":"int8"' "$serve_dir/responses_q.ndjson"; then
+    echo "verify: quantized serve stats did not report precision int8" >&2
+    exit 1
+  fi
+  # SIMD suite on the default (vectorised) build: bitwise identity between
+  # the scalar fallback and the active tier, int8 recall gate.
+  (cd build && ctest --output-on-failure -L simd)
+  # And the scalar-fallback configuration: same suite with the vector tiers
+  # compiled out entirely.
+  cmake -B build-nosimd -S . -DSARN_NO_SIMD=ON > /dev/null
+  cmake --build build-nosimd -j"$jobs" \
+    --target simd_kernels_test quantized_index_test embedding_index_test
+  (cd build-nosimd && ctest --output-on-failure -L simd)
 fi
 
 if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
@@ -74,17 +103,20 @@ if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
   cmake --build build-tsan -j"$jobs" \
     --target parallel_test ops_test nn_gat_test serialization_test \
              sarn_model_test obs_metrics_test obs_trace_test serve_engine_test \
-             storage_pool_test
+             storage_pool_test simd_kernels_test quantized_index_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test)$')
 fi
 
 if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
   # Leak gate: ASan+LSan over the storage plane (pool recycling, tape
   # consumption) and a short end-to-end training run through the CLI.
   cmake -B build-asan -S . -DSARN_SANITIZE=address > /dev/null
-  cmake --build build-asan -j"$jobs" --target storage_pool_test tensor_test sarn_cli
-  (cd build-asan && ctest --output-on-failure -R '^(storage_pool_test|tensor_test)$')
+  cmake --build build-asan -j"$jobs" \
+    --target storage_pool_test tensor_test simd_kernels_test \
+             quantized_index_test sarn_cli
+  (cd build-asan && ctest --output-on-failure \
+    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test)$')
   asan_dir="build-asan/verify_leak"
   rm -rf "$asan_dir" && mkdir -p "$asan_dir"
   build-asan/tools/sarn generate --city CD --scale 0.015 --out "$asan_dir/net.csv"
