@@ -10,13 +10,22 @@
 // against the float32/scalar config in the same mode (the PR 5-era serving
 // cost). Numbers are recorded in EXPERIMENTS.md.
 //
+// A cold-start section compares the two serve restart paths at three network
+// sizes: parse-load (embeddings CSV -> float rows -> heap EmbeddingIndex, the
+// pre-snapshot path) against LoadServingSnapshot's mmap + zero-copy adoption,
+// with and without the optional payload-CRC pass. Numbers land in
+// EXPERIMENTS.md's cold-start table.
+//
 // Environment knobs:
 //   SARN_SERVE_ROWS    index rows (default 2000)
 //   SARN_SERVE_DIM     embedding dim (default 64)
 //   SARN_SERVE_BURSTS  64-query bursts per client thread (default 25)
 //   SARN_SERVE_JSON    also write results as JSON here (run_benches.sh sets
 //                      bench_out/BENCH_serve.json)
+//   SARN_SNAPSHOT_JSON write the cold-start rows as JSON here (run_benches.sh
+//                      sets bench_out/BENCH_snapshot.json)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -25,10 +34,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "serve/query_engine.h"
+#include "snapshot/snapshot.h"
 #include "tasks/embedding_index.h"
 #include "tensor/simd/simd.h"
 #include "tensor/tensor.h"
@@ -163,6 +175,143 @@ void WriteJson(const char* path, int64_t rows, int64_t dim,
   std::printf("\nwrote %s\n", path);
 }
 
+// --- Cold start: parse-load vs mmap snapshot load ---------------------------
+
+struct ColdStartResult {
+  int64_t rows = 0;
+  double parse_ms = 0.0;       // CSV parse + heap index build.
+  double mmap_ms = 0.0;        // LoadServingSnapshot, payload CRC verified.
+  double mmap_nocrc_ms = 0.0;  // Same, CRC pass skipped (trusted file).
+  size_t snapshot_bytes = 0;
+};
+
+void WriteEmbeddingsCsv(const tensor::Tensor& embeddings,
+                        const std::string& path) {
+  CsvTable table;
+  for (int64_t i = 0; i < embeddings.shape()[0]; ++i) {
+    std::vector<std::string> row;
+    for (int64_t j = 0; j < embeddings.shape()[1]; ++j) {
+      row.push_back(FormatDouble(embeddings.at(i, j), 6));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  if (!WriteCsvFile(path, table)) std::abort();
+}
+
+// The pre-snapshot serve restart: read the CSV back, materialise float rows,
+// build the heap index (mirrors the CLI's LoadEmbeddingsCsv + EmbeddingIndex).
+double ParseLoadMs(const std::string& csv_path) {
+  Timer timer;
+  auto table = ReadCsvFile(csv_path, /*has_header=*/false);
+  if (!table.has_value() || table->rows.empty()) std::abort();
+  const int64_t n = static_cast<int64_t>(table->rows.size());
+  const int64_t d = static_cast<int64_t>(table->rows[0].size());
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(n * d));
+  for (const auto& row : table->rows) {
+    for (const std::string& cell : row) {
+      data.push_back(static_cast<float>(*ParseDouble(cell)));
+    }
+  }
+  tasks::EmbeddingIndex index(
+      tensor::Tensor::FromVector({n, d}, std::move(data)),
+      tasks::IndexMetric::kCosine);
+  if (index.size() != n) std::abort();
+  return timer.ElapsedMillis();
+}
+
+double MmapLoadMs(const std::string& snapshot_path, bool verify_crc) {
+  snapshot::MappedSnapshot::Options options;
+  options.verify_payload_crc = verify_crc;
+  Timer timer;
+  snapshot::LoadedSnapshot loaded;
+  snapshot::SnapshotStatus status = snapshot::LoadServingSnapshot(
+      snapshot_path, tasks::IndexPrecision::kFloat32, &loaded, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", status.message.c_str());
+    std::abort();
+  }
+  return timer.ElapsedMillis();
+}
+
+template <typename Fn>
+double BestOf(int trials, Fn fn) {
+  double best = fn();
+  for (int t = 1; t < trials; ++t) best = std::min(best, fn());
+  return best;
+}
+
+std::vector<ColdStartResult> RunColdStart(int64_t dim) {
+  std::vector<ColdStartResult> results;
+  std::printf("\ncold start: CSV parse+build vs mmap snapshot load "
+              "(dim %lld, float32, best of 3)\n",
+              static_cast<long long>(dim));
+  std::printf("%10s %12s %12s %14s %10s %12s\n", "rows", "parse ms",
+              "mmap ms", "mmap-nocrc ms", "speedup", "snapshot B");
+  for (int64_t rows : {2000, 10000, 40000}) {
+    Rng rng(static_cast<uint64_t>(rows));
+    tensor::Tensor embeddings = tensor::Tensor::Randn({rows, dim}, rng);
+    const std::string csv_path =
+        "/tmp/sarn_coldstart_" + std::to_string(rows) + ".csv";
+    const std::string snap_path =
+        "/tmp/sarn_coldstart_" + std::to_string(rows) + ".sarnsnap";
+    WriteEmbeddingsCsv(embeddings, csv_path);
+    tasks::EmbeddingIndex index(embeddings, tasks::IndexMetric::kCosine);
+    snapshot::SnapshotContents contents;
+    contents.n = rows;
+    contents.d = dim;
+    contents.metric = tasks::IndexMetric::kCosine;
+    contents.float_index = &index;
+    if (!snapshot::SaveServingSnapshot(snap_path, contents).ok()) std::abort();
+
+    ColdStartResult result;
+    result.rows = rows;
+    result.parse_ms = BestOf(3, [&] { return ParseLoadMs(csv_path); });
+    result.mmap_ms = BestOf(3, [&] { return MmapLoadMs(snap_path, true); });
+    result.mmap_nocrc_ms =
+        BestOf(3, [&] { return MmapLoadMs(snap_path, false); });
+    {
+      std::FILE* f = std::fopen(snap_path.c_str(), "rb");
+      if (f != nullptr) {
+        std::fseek(f, 0, SEEK_END);
+        result.snapshot_bytes = static_cast<size_t>(std::ftell(f));
+        std::fclose(f);
+      }
+    }
+    std::printf("%10lld %12.3f %12.3f %14.3f %9.1fx %12zu\n",
+                static_cast<long long>(result.rows), result.parse_ms,
+                result.mmap_ms, result.mmap_nocrc_ms,
+                result.parse_ms / result.mmap_ms, result.snapshot_bytes);
+    results.push_back(result);
+    std::remove(csv_path.c_str());
+    std::remove(snap_path.c_str());
+  }
+  return results;
+}
+
+void WriteColdStartJson(const char* path, int64_t dim,
+                        const std::vector<ColdStartResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"bench\":\"snapshot_coldstart\",\"dim\":%lld,"
+               "\"precision\":\"float32\",\"results\":[",
+               static_cast<long long>(dim));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ColdStartResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"rows\":%lld,\"parse_ms\":%.3f,\"mmap_ms\":%.3f,"
+                 "\"mmap_nocrc_ms\":%.3f,\"snapshot_bytes\":%zu}",
+                 i == 0 ? "" : ",", static_cast<long long>(r.rows), r.parse_ms,
+                 r.mmap_ms, r.mmap_nocrc_ms, r.snapshot_bytes);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 int Main() {
   const int64_t rows = EnvInt("SARN_SERVE_ROWS", 2000);
   const int64_t dim = EnvInt("SARN_SERVE_DIM", 64);
@@ -226,6 +375,12 @@ int Main() {
 
   if (const char* json_path = std::getenv("SARN_SERVE_JSON")) {
     WriteJson(json_path, rows, dim, results);
+  }
+
+  simd::ForceTier(vector_tier);  // Cold start runs on the real host tier.
+  const std::vector<ColdStartResult> cold = RunColdStart(dim);
+  if (const char* json_path = std::getenv("SARN_SNAPSHOT_JSON")) {
+    WriteColdStartJson(json_path, dim, cold);
   }
   return 0;
 }

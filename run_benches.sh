@@ -7,6 +7,7 @@ done
 ./build/bench/bench_micro_kernels --benchmark_min_time=0.2s > bench_out/bench_micro_kernels.txt 2>&1
 echo "== bench_serve_loadgen start $(date +%T)"
 SARN_SERVE_JSON=bench_out/BENCH_serve.json \
+SARN_SNAPSHOT_JSON=bench_out/BENCH_snapshot.json \
   ./build/bench/bench_serve_loadgen > bench_out/bench_serve_loadgen.txt 2>&1
 echo "== bench_serve_loadgen done $(date +%T)"
 echo ALL-DONE

@@ -698,6 +698,30 @@ bool SarnModel::LoadWeights(const std::string& path) {
   return true;
 }
 
+bool SarnModel::LoadFromTrainingCheckpoint(const std::string& path) {
+  nn::TrainingCheckpoint ckpt;
+  nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
+  if (!status.ok()) {
+    SARN_LOG(Warning) << "checkpoint " << path << ": " << status.message;
+    return false;
+  }
+  const std::string* online = ckpt.FindSection(kSectionOnline);
+  if (online == nullptr) {
+    SARN_LOG(Warning) << "checkpoint " << path << " has no " << kSectionOnline
+                      << " section";
+    return false;
+  }
+  ByteReader in(*online);
+  status = nn::ReadTensorsInto(in, OnlineParameters());
+  if (!status.ok()) {
+    SARN_LOG(Warning) << "checkpoint " << path << ": " << status.message;
+    return false;
+  }
+  target_encoder_->CopyWeightsFrom(*online_encoder_);
+  target_head_->CopyWeightsFrom(*online_head_);
+  return true;
+}
+
 std::vector<Tensor> SarnModel::OnlineParameters() const {
   std::vector<Tensor> params = feature_embedding_->Parameters();
   for (const Tensor& p : online_encoder_->Parameters()) params.push_back(p);

@@ -123,6 +123,14 @@ class SarnModel {
   bool SaveWeights(const std::string& path) const;
   bool LoadWeights(const std::string& path);
 
+  /// Serving-export interop: restores just the online branch from a full
+  /// training checkpoint (the rolling file Train() writes), so
+  /// `sarn snapshot save --checkpoint` can serialise Embeddings() without a
+  /// separate weights file. Optimizer/RNG/queue sections are ignored; a
+  /// corrupt file or architecture mismatch fails with a logged warning and
+  /// leaves the model untouched.
+  bool LoadFromTrainingCheckpoint(const std::string& path);
+
  private:
   friend class SarnModelTestPeer;
 

@@ -104,6 +104,12 @@ QueryEngine::QueryEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
 
 QueryEngine::~QueryEngine() {
   {
+    // Loaders first: a PublishAsync still in flight must finish (and maybe
+    // publish) before the snapshot and cache are torn down.
+    std::lock_guard<std::mutex> lock(loaders_mu_);
+    for (std::thread& loader : loaders_) loader.join();
+  }
+  {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stop_ = true;
   }
@@ -118,14 +124,15 @@ std::shared_ptr<const QueryEngine::Snapshot> QueryEngine::AcquireSnapshot() cons
 
 uint64_t QueryEngine::epoch() const { return AcquireSnapshot()->epoch; }
 
-void QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
+uint64_t QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
   SARN_CHECK(index != nullptr);
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->index = std::move(index);
   const size_t index_bytes = snapshot->index->index_bytes();
+  uint64_t published_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot->epoch = ++next_epoch_;
+    snapshot->epoch = published_epoch = ++next_epoch_;
     snapshot_ = std::move(snapshot);
   }
   // Epoch-keyed entries can no longer be hit; drop them so they do not pin
@@ -133,8 +140,24 @@ void QueryEngine::Publish(std::shared_ptr<const tasks::EmbeddingIndex> index) {
   cache_.Clear();
   swaps_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics::Get().swaps.Increment();
-  ServeMetrics::Get().epoch.Set(static_cast<double>(epoch()));
+  ServeMetrics::Get().epoch.Set(static_cast<double>(published_epoch));
   ServeMetrics::Get().index_bytes.Set(static_cast<double>(index_bytes));
+  return published_epoch;
+}
+
+std::future<uint64_t> QueryEngine::PublishAsync(
+    std::function<std::shared_ptr<const tasks::EmbeddingIndex>()> loader) {
+  SARN_CHECK(loader != nullptr);
+  auto task = std::make_shared<std::packaged_task<uint64_t()>>(
+      [this, loader = std::move(loader)]() -> uint64_t {
+        std::shared_ptr<const tasks::EmbeddingIndex> index = loader();
+        if (index == nullptr) return 0;
+        return Publish(std::move(index));
+      });
+  std::future<uint64_t> future = task->get_future();
+  std::lock_guard<std::mutex> lock(loaders_mu_);
+  loaders_.emplace_back([task] { (*task)(); });
+  return future;
 }
 
 std::future<ServeResponse> QueryEngine::Submit(ServeRequest request) {

@@ -1,0 +1,190 @@
+// Save/load of mmap-able model + index snapshots (format.h, DESIGN.md §13).
+//
+// Writing: SnapshotWriter lays named sections into one arena (header,
+// fixed-stride section table, aligned CRC-checked payloads) and
+// WriteSnapshotFile publishes it atomically (tmp + rename, like the
+// checkpoint writer). BuildServingSnapshot assembles the standard contents —
+// the trained embedding matrix, the prepared float and/or int8 index
+// payloads taken verbatim from an EmbeddingIndex, and the geo locator
+// table — so a snapshot round-trips bitwise.
+//
+// Loading: MappedSnapshot::Map mmaps the file read-only and validates it
+// (magic, versions, CRCs, section geometry — see format.h for the exact
+// order); every corruption mode is a typed SnapshotError, never UB.
+// LoadServingSnapshot then adopts the index sections as zero-copy
+// tensor::Storage::External views — the EmbeddingIndex pins the mapping via
+// a shared_ptr owner, so the file stays mapped exactly as long as any index
+// (or in-flight serve batch) still references it, and hot-swap retirement
+// munmaps it with the last reference. Only the locator is materialised
+// (its grid buckets are rebuilt from the mapped midpoint table).
+//
+// Obs: every successful load publishes sarn.snapshot.load_ms, .bytes,
+// .mapped_bytes (zero-copy adopted), .copied_bytes (materialised) and bumps
+// sarn.snapshot.loads.
+
+#ifndef SARN_SNAPSHOT_SNAPSHOT_H_
+#define SARN_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/spatial_index.h"
+#include "snapshot/format.h"
+#include "tasks/embedding_index.h"
+#include "tensor/tensor.h"
+
+namespace sarn::snapshot {
+
+// --- Writing -----------------------------------------------------------------
+
+/// Assembles one snapshot arena in memory. Sections are laid out in Add()
+/// order at 64-byte-aligned offsets; Finish() seals the header and table.
+class SnapshotWriter {
+ public:
+  /// Names must be unique, non-empty and at most 39 bytes (checked).
+  void Add(std::string_view name, SectionType dtype, const void* data,
+           size_t bytes);
+
+  /// The complete file image. The writer is left empty.
+  std::string Finish();
+
+ private:
+  struct PendingSection {
+    std::string name;
+    SectionType dtype;
+    std::string bytes;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+/// Atomically writes `bytes` (a Finish()ed arena) to `path`.
+SnapshotStatus WriteSnapshotFile(const std::string& path,
+                                 const std::string& bytes);
+
+/// What BuildServingSnapshot puts into the arena. All payload pointers are
+/// borrowed for the call only.
+struct SnapshotContents {
+  int64_t n = 0;
+  int64_t d = 0;
+  tasks::IndexMetric metric = tasks::IndexMetric::kCosine;
+  /// Trained [n, d] embedding matrix (pre-normalisation); optional.
+  const tensor::Tensor* model_embeddings = nullptr;
+  /// Prepared indexes to embed; each must match (n, d, metric) and its
+  /// precision. Either may be null.
+  const tasks::EmbeddingIndex* float_index = nullptr;
+  const tasks::EmbeddingIndex* int8_index = nullptr;
+  /// Segment midpoints for the serve locator; optional.
+  const std::vector<geo::LatLng>* midpoints = nullptr;
+  /// Grid cell side the locator was built with (meters).
+  double locator_cell_side_meters = 0.0;
+};
+
+/// Serialises the contents into one arena (meta + payload sections).
+std::string BuildServingSnapshot(const SnapshotContents& contents);
+
+/// BuildServingSnapshot + WriteSnapshotFile.
+SnapshotStatus SaveServingSnapshot(const std::string& path,
+                                   const SnapshotContents& contents);
+
+// --- Loading -----------------------------------------------------------------
+
+/// Parsed meta section.
+struct SnapshotMeta {
+  int64_t n = 0;
+  int64_t d = 0;
+  tasks::IndexMetric metric = tasks::IndexMetric::kCosine;
+  uint32_t payload_flags = 0;  // kHasFloatIndex | kHasInt8Index | ...
+  float i8_shared_scale = 0.0f;
+  double locator_cell_side_meters = 0.0;
+
+  bool has(uint32_t flag) const { return (payload_flags & flag) != 0; }
+};
+
+/// A validated, read-only mapping of a snapshot file. Move-free: always
+/// held behind shared_ptr so index views can pin it. Unmaps on destruction.
+class MappedSnapshot {
+ public:
+  struct Options {
+    /// Verify every section payload's CRC at map time. Costs one sequential
+    /// pass over the file; disable only for benchmarking page-fault-only
+    /// loads of already-trusted files.
+    bool verify_payload_crc = true;
+  };
+
+  struct Section {
+    std::string_view name;
+    SectionType dtype = SectionType::kBytes;
+    const void* data = nullptr;
+    size_t bytes = 0;
+  };
+
+  /// Maps and fully validates `path`. `*out` is only set on success.
+  static SnapshotStatus Map(const std::string& path, const Options& options,
+                            std::shared_ptr<const MappedSnapshot>* out);
+
+  ~MappedSnapshot();
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  uint32_t version_major() const { return version_major_; }
+  uint32_t version_minor() const { return version_minor_; }
+  size_t file_bytes() const { return size_; }
+  const SnapshotMeta& meta() const { return meta_; }
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// nullptr when absent.
+  const Section* Find(std::string_view name) const;
+
+  /// Typed view of a section (bytes must divide evenly; callers validate
+  /// element counts against meta()).
+  template <typename T>
+  std::span<const T> SpanOf(const Section& section) const {
+    return {static_cast<const T*>(section.data), section.bytes / sizeof(T)};
+  }
+
+ private:
+  MappedSnapshot() = default;
+
+  const unsigned char* base_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  // False when the fallback heap read path was used.
+  std::string heap_copy_;
+  uint32_t version_major_ = 0;
+  uint32_t version_minor_ = 0;
+  SnapshotMeta meta_;
+  std::vector<Section> sections_;
+};
+
+/// Everything a serve cold start needs, adopted from one mapping.
+struct LoadedSnapshot {
+  std::shared_ptr<const MappedSnapshot> mapping;
+  SnapshotMeta meta;
+  /// Index at the requested precision; zero-copy over the mapping.
+  std::shared_ptr<const tasks::EmbeddingIndex> index;
+  /// Rebuilt from the mapped midpoint table; null when the snapshot has no
+  /// locator section.
+  std::shared_ptr<const geo::SpatialIndex> locator;
+  /// Zero-copy view of the trained [n, d] embedding matrix (empty when the
+  /// snapshot was built without one).
+  std::span<const float> model_embeddings;
+
+  size_t mapped_bytes = 0;  // Adopted zero-copy payload bytes.
+  size_t copied_bytes = 0;  // Materialised bytes (locator rebuild).
+  double load_ms = 0.0;
+};
+
+/// Maps `path` and adopts the index payload at `precision` (the snapshot
+/// must carry that payload — kMalformed otherwise). On success publishes
+/// the sarn.snapshot.* metrics.
+SnapshotStatus LoadServingSnapshot(const std::string& path,
+                                   tasks::IndexPrecision precision,
+                                   LoadedSnapshot* out,
+                                   const MappedSnapshot::Options& options = {});
+
+}  // namespace sarn::snapshot
+
+#endif  // SARN_SNAPSHOT_SNAPSHOT_H_

@@ -167,6 +167,39 @@ EmbeddingIndex::EmbeddingIndex(const tensor::Tensor& embeddings,
   }
 }
 
+std::shared_ptr<const EmbeddingIndex> EmbeddingIndex::Adopt(
+    int64_t n, int64_t d, IndexMetric metric, IndexPrecision precision,
+    tensor::Storage rows_or_codes, tensor::Storage scales, float shared_scale,
+    std::shared_ptr<const void> payload_owner) {
+  SARN_CHECK(n >= 0 && d > 0);
+  auto index = std::shared_ptr<EmbeddingIndex>(new EmbeddingIndex());
+  index->metric_ = metric;
+  index->precision_ = precision;
+  index->n_ = n;
+  index->d_ = d;
+  if (precision == IndexPrecision::kFloat32) {
+    SARN_CHECK_EQ(rows_or_codes.size(),
+                  static_cast<size_t>(n) * static_cast<size_t>(d));
+    SARN_CHECK(scales.empty());
+    index->data_ = std::move(rows_or_codes);
+  } else {
+    // Codes ride in a float storage as raw bytes (same trick as the heap
+    // constructor); the storage covers ceil(n*d / 4) floats.
+    const size_t code_bytes = static_cast<size_t>(n) * static_cast<size_t>(d);
+    SARN_CHECK(rows_or_codes.size() * sizeof(float) >= code_bytes);
+    index->data_q_ = std::move(rows_or_codes);
+    if (metric == IndexMetric::kCosine) {
+      SARN_CHECK_EQ(scales.size(), static_cast<size_t>(n));
+      index->scales_ = std::move(scales);
+    } else {
+      SARN_CHECK(scales.empty());
+      index->shared_scale_ = shared_scale;
+    }
+  }
+  index->payload_owner_ = std::move(payload_owner);
+  return index;
+}
+
 size_t EmbeddingIndex::index_bytes() const {
   if (precision_ == IndexPrecision::kFloat32) {
     return data_.size() * sizeof(float);

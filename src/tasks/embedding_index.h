@@ -33,6 +33,7 @@
 #define SARN_TASKS_EMBEDDING_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -87,6 +88,22 @@ class EmbeddingIndex {
   EmbeddingIndex(const tensor::Tensor& embeddings, IndexMetric metric,
                  IndexPrecision precision = IndexPrecision::kFloat32);
 
+  /// Adopts an already-prepared scan payload without copying it — the
+  /// zero-copy seam the mmap snapshot loader (src/snapshot/) uses. The
+  /// storages are typically Storage::External views into a mapped file and
+  /// must hold exactly the bytes the heap constructor would have produced
+  /// (normalised/quantized rows), so queries are bitwise identical to the
+  /// heap-built index. `payload_owner` is held for the index's lifetime and
+  /// keeps the mapping (or any other byte owner) alive.
+  ///  * kFloat32: `rows_or_codes` holds the [n, d] float rows; `scales` empty.
+  ///  * kInt8 cosine: `rows_or_codes` holds the [n, d] int8 codes (byte
+  ///    payload riding in a float storage), `scales` the [n] per-row scales.
+  ///  * kInt8 L1: codes plus `shared_scale`; `scales` empty.
+  static std::shared_ptr<const EmbeddingIndex> Adopt(
+      int64_t n, int64_t d, IndexMetric metric, IndexPrecision precision,
+      tensor::Storage rows_or_codes, tensor::Storage scales, float shared_scale,
+      std::shared_ptr<const void> payload_owner);
+
   /// Answers every query of the batch with one multi-query fused scan, best
   /// neighbor first. k is clamped per query to n - 1 (by-id, self excluded)
   /// or n (by-vector). result[i] corresponds to queries[i]. Scores are
@@ -113,7 +130,36 @@ class EmbeddingIndex {
   /// than kFloat32 for the same matrix.
   size_t index_bytes() const;
 
+  /// True when the scan payload is adopted external memory (an mmap'd
+  /// snapshot) rather than pooled copies.
+  bool adopted() const { return payload_owner_ != nullptr; }
+
+  // --- Serialization access (src/snapshot/) ----------------------------------
+  // Raw views of the prepared scan payload, exactly as the kernels consume
+  // it. The snapshot writer serialises these bytes verbatim so a loaded
+  // index answers queries bitwise identically.
+
+  /// kFloat32 only: the [n, d] scan rows (normalised for cosine); empty at
+  /// kInt8.
+  std::span<const float> rows_f32() const {
+    return {data_.data(), data_.size()};
+  }
+  /// kInt8 only: the [n, d] int8 codes; empty at kFloat32.
+  std::span<const int8_t> codes_i8() const {
+    if (precision_ != IndexPrecision::kInt8) return {};
+    return {reinterpret_cast<const int8_t*>(data_q_.data()),
+            static_cast<size_t>(n_) * static_cast<size_t>(d_)};
+  }
+  /// kInt8 cosine only: the [n] per-row scales; empty otherwise.
+  std::span<const float> row_scales_i8() const {
+    return {scales_.data(), scales_.size()};
+  }
+  /// kInt8 L1 only: the index-wide scale (0 otherwise).
+  float shared_scale_i8() const { return shared_scale_; }
+
  private:
+  EmbeddingIndex() = default;  // Adopt() fills the members directly.
+
   void ScanFloat(std::span<const IndexQuery> queries, int k,
                  const int64_t* excludes,
                  std::vector<std::vector<Neighbor>>* results) const;
@@ -131,6 +177,9 @@ class EmbeddingIndex {
   tensor::Storage data_q_;  // kInt8: row-major [n, d] int8 codes (raw bytes).
   tensor::Storage scales_;  // kInt8 cosine: [n] per-row scales.
   float shared_scale_ = 0.0f;  // kInt8 L1: one scale for the whole index.
+  // Keeps adopted external payloads (the mmap'd snapshot) alive; null for
+  // heap-built indexes.
+  std::shared_ptr<const void> payload_owner_;
 };
 
 }  // namespace sarn::tasks

@@ -191,6 +191,19 @@ class Storage {
   /// Read-only by contract: writing through a view writes the base.
   static Storage View(const Storage& base, size_t offset, size_t n);
 
+  /// Wraps externally owned bytes (an mmap'd snapshot section) as a
+  /// read-only storage: no BufferPool block is acquired and Reset() never
+  /// frees into the pool — the caller owns the memory and must keep it
+  /// mapped for the handle's lifetime (DESIGN.md §13). Marked as a view so
+  /// Resize() can never recycle it in place.
+  static Storage External(const float* ptr, size_t n) {
+    Storage s;
+    s.ptr_ = const_cast<float*>(ptr);
+    s.size_ = n;
+    s.view_ = true;
+    return s;
+  }
+
   /// Zero-copy alias of the whole buffer (marked as a view).
   Storage Share() const { return View(*this, 0, size_); }
 

@@ -7,8 +7,11 @@
 //                 --out atlas.geojson
 //   sarn eval     --network network.csv --embeddings embeddings.csv
 //                 [--task property|spd|traj|all]
-//   sarn serve    --embeddings embeddings.csv [--network network.csv]
+//   sarn serve    --embeddings embeddings.csv | --snapshot model.sarnsnap
+//                 [--network network.csv]
 //                 (newline-delimited JSON queries on stdin, see src/serve/)
+//   sarn snapshot save --embeddings embeddings.csv --out model.sarnsnap
+//   sarn snapshot load --in model.sarnsnap
 //   sarn import-osm --in extract.osm --out network.csv
 //
 // Every command declares its flags in a FlagSet (common/flags.h):
@@ -21,6 +24,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -45,6 +49,7 @@
 #include "roadnet/synthetic_city.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "snapshot/snapshot.h"
 #include "tasks/embedding_source.h"
 #include "tensor/simd/simd.h"
 #include "tasks/road_property_task.h"
@@ -60,6 +65,21 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "sarn: %s\n", message.c_str());
   return 1;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Binary snapshot files are recognised by extension on the reload path so
+/// one "reload" op serves both formats.
+constexpr char kSnapshotExtension[] = ".sarnsnap";
+
+std::optional<tasks::IndexMetric> ParseMetric(const std::string& name) {
+  if (name == "cosine") return tasks::IndexMetric::kCosine;
+  if (name == "l1") return tasks::IndexMetric::kL1;
+  return std::nullopt;
 }
 
 bool SaveEmbeddingsCsv(const tensor::Tensor& embeddings, const std::string& path) {
@@ -279,46 +299,229 @@ int CmdCheckJson(const FlagSet& flags) {
   return 0;
 }
 
-// Nearest-segment locator over the network's midpoints, cell side matched
-// to the mean segment spacing so Nearest() probes O(1) cells.
-std::shared_ptr<const geo::SpatialIndex> BuildLocator(
-    const roadnet::RoadNetwork& network) {
-  std::vector<geo::LatLng> midpoints = network.Midpoints();
+// Locator grid cell side matched to the mean segment spacing so Nearest()
+// probes O(1) cells. Also persisted into snapshots so a loaded locator is
+// built exactly as the live one was.
+double LocatorCellSideMeters(const std::vector<geo::LatLng>& midpoints) {
   geo::BoundingBox box = geo::BoundingBox::Empty();
   for (const geo::LatLng& p : midpoints) box.Extend(p);
   double area = box.WidthMeters() * box.HeightMeters();
   double spacing = midpoints.empty()
                        ? 100.0
                        : std::sqrt(area / static_cast<double>(midpoints.size()));
-  double cell = std::min(2000.0, std::max(25.0, spacing));
+  return std::min(2000.0, std::max(25.0, spacing));
+}
+
+// Nearest-segment locator over the network's midpoints.
+std::shared_ptr<const geo::SpatialIndex> BuildLocator(
+    const roadnet::RoadNetwork& network) {
+  std::vector<geo::LatLng> midpoints = network.Midpoints();
+  double cell = LocatorCellSideMeters(midpoints);
   return std::make_shared<geo::SpatialIndex>(std::move(midpoints), cell);
+}
+
+// Serialises embeddings (from a CSV or a training checkpoint) plus the
+// prepared index payloads into one mmap-able snapshot file (src/snapshot/).
+int CmdSnapshotSave(const FlagSet& flags) {
+  const std::string out = flags.GetString("out");
+  auto metric = ParseMetric(flags.GetString("metric"));
+  if (!metric.has_value()) {
+    return Fail("snapshot save: --metric must be cosine or l1");
+  }
+  const std::string embeddings_path = flags.GetString("embeddings");
+  const std::string checkpoint_path = flags.GetString("checkpoint");
+  if (embeddings_path.empty() == checkpoint_path.empty()) {
+    return Fail("snapshot save: pass exactly one of --embeddings or --checkpoint");
+  }
+
+  std::optional<roadnet::RoadNetwork> network;
+  const std::string network_path = flags.GetString("network");
+  if (!network_path.empty()) {
+    network = roadnet::LoadRoadNetworkCsv(network_path);
+    if (!network.has_value()) {
+      return Fail("snapshot save: cannot load " + network_path);
+    }
+  }
+
+  std::optional<tensor::Tensor> embeddings;
+  if (!embeddings_path.empty()) {
+    embeddings = LoadEmbeddingsCsv(embeddings_path);
+    if (!embeddings.has_value()) {
+      return Fail("snapshot save: cannot load " + embeddings_path);
+    }
+  } else {
+    // Checkpoint interop: rebuild the model architecture, restore the
+    // online branch from the training checkpoint, and export Embeddings().
+    if (!network.has_value()) {
+      return Fail("snapshot save: --checkpoint needs --network (the graph the "
+                  "encoder runs on)");
+    }
+    core::SarnConfig config;
+    const int64_t dim = flags.GetInt("dim");
+    config.embedding_dim = dim;
+    config.hidden_dim = dim;
+    config.projection_dim = std::max<int64_t>(8, dim / 2);
+    core::FitCellSideToNetwork(config, *network);
+    core::SarnModel model(*network, config);
+    if (!model.LoadFromTrainingCheckpoint(checkpoint_path)) {
+      return Fail("snapshot save: cannot restore " + checkpoint_path +
+                  " (wrong --dim?)");
+    }
+    embeddings = model.Embeddings();
+  }
+  if (network.has_value() &&
+      network->num_segments() != embeddings->shape()[0]) {
+    return Fail("snapshot save: embeddings row count != segment count");
+  }
+
+  const std::string precision = flags.GetString("precision");
+  const bool want_float = precision == "both" || precision == "float32";
+  const bool want_int8 = precision == "both" || precision == "int8";
+  if (!want_float && !want_int8) {
+    return Fail("snapshot save: --precision must be float32, int8 or both");
+  }
+  std::optional<tasks::EmbeddingIndex> float_index;
+  std::optional<tasks::EmbeddingIndex> int8_index;
+  if (want_float) {
+    float_index.emplace(*embeddings, *metric, tasks::IndexPrecision::kFloat32);
+  }
+  if (want_int8) {
+    int8_index.emplace(*embeddings, *metric, tasks::IndexPrecision::kInt8);
+  }
+
+  snapshot::SnapshotContents contents;
+  contents.n = embeddings->shape()[0];
+  contents.d = embeddings->shape()[1];
+  contents.metric = *metric;
+  if (flags.GetBool("include-model")) contents.model_embeddings = &*embeddings;
+  if (float_index.has_value()) contents.float_index = &*float_index;
+  if (int8_index.has_value()) contents.int8_index = &*int8_index;
+  std::vector<geo::LatLng> midpoints;
+  if (network.has_value()) {
+    midpoints = network->Midpoints();
+    contents.midpoints = &midpoints;
+    contents.locator_cell_side_meters = LocatorCellSideMeters(midpoints);
+  }
+
+  snapshot::SnapshotStatus status = snapshot::SaveServingSnapshot(out, contents);
+  if (!status.ok()) return Fail("snapshot save: " + status.message);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(out, ec);
+  std::printf("snapshot -> %s (%lld rows x %lld dims, %s, %s%s%s, %llu bytes)\n",
+              out.c_str(), static_cast<long long>(contents.n),
+              static_cast<long long>(contents.d),
+              flags.GetString("metric").c_str(),
+              want_float ? "float32" : "", want_float && want_int8 ? "+" : "",
+              want_int8 ? "int8" : "",
+              static_cast<unsigned long long>(ec ? 0 : bytes));
+  return 0;
+}
+
+// Maps a snapshot, prints its layout and load metrics, and optionally runs
+// one query — the smoke-test half of the snapshot round trip.
+int CmdSnapshotLoad(const FlagSet& flags) {
+  const std::string in = flags.GetString("in");
+  const tasks::IndexPrecision precision =
+      flags.GetBool("quantized") ? tasks::IndexPrecision::kInt8
+                                 : tasks::IndexPrecision::kFloat32;
+  snapshot::MappedSnapshot::Options options;
+  options.verify_payload_crc = flags.GetBool("verify-crc");
+  snapshot::LoadedSnapshot loaded;
+  snapshot::SnapshotStatus status =
+      snapshot::LoadServingSnapshot(in, precision, &loaded, options);
+  if (!status.ok()) {
+    return Fail(std::string("snapshot load: [") +
+                snapshot::SnapshotErrorName(status.error) + "] " +
+                status.message);
+  }
+  std::printf("%s: v%u.%u, %lld rows x %lld dims, %s, %zu bytes "
+              "(%zu mapped zero-copy, %zu copied), %.3f ms\n",
+              in.c_str(), loaded.mapping->version_major(),
+              loaded.mapping->version_minor(),
+              static_cast<long long>(loaded.meta.n),
+              static_cast<long long>(loaded.meta.d),
+              loaded.meta.metric == tasks::IndexMetric::kCosine ? "cosine" : "l1",
+              loaded.mapping->file_bytes(), loaded.mapped_bytes,
+              loaded.copied_bytes, loaded.load_ms);
+  for (const auto& section : loaded.mapping->sections()) {
+    std::printf("  %-20s %10zu bytes\n", std::string(section.name).c_str(),
+                section.bytes);
+  }
+  const int64_t query_id = flags.GetInt("query-id");
+  if (query_id >= 0) {
+    const int k = static_cast<int>(flags.GetInt("k"));
+    for (const tasks::Neighbor& neighbor :
+         loaded.index->QueryById(query_id, k)) {
+      std::printf("  neighbor %lld score %.6f\n",
+                  static_cast<long long>(neighbor.id), neighbor.score);
+    }
+  }
+  return 0;
 }
 
 // The serve loop: newline-delimited JSON requests on stdin, one response
 // line per request on stdout (stderr carries human-readable status), in
 // input order. Query lines are admitted asynchronously so the engine can
-// micro-batch them; "stats" and "reload" act as barriers.
+// micro-batch them; "stats" acts as a barrier. "reload" is asynchronous:
+// the new index is parsed (CSV) or mmap-validated (.sarnsnap) on a
+// background thread and hot-swapped in, so in-flight and subsequent queries
+// never wait on a load.
 int CmdServe(const FlagSet& flags) {
-  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
-  if (!embeddings.has_value()) {
-    return Fail("serve: cannot load " + flags.GetString("embeddings"));
+  const std::string embeddings_path = flags.GetString("embeddings");
+  const std::string snapshot_path = flags.GetString("snapshot");
+  if (embeddings_path.empty() == snapshot_path.empty()) {
+    return Fail("serve: pass exactly one of --embeddings or --snapshot");
   }
   std::string metric_name = flags.GetString("metric");
-  tasks::IndexMetric metric;
-  if (metric_name == "cosine") {
-    metric = tasks::IndexMetric::kCosine;
-  } else if (metric_name == "l1") {
-    metric = tasks::IndexMetric::kL1;
-  } else {
+  auto parsed_metric = ParseMetric(metric_name);
+  if (!parsed_metric.has_value()) {
     return Fail("serve: --metric must be cosine or l1");
   }
+  const tasks::IndexMetric metric = *parsed_metric;
+  const tasks::IndexPrecision precision = flags.GetBool("quantized")
+                                              ? tasks::IndexPrecision::kInt8
+                                              : tasks::IndexPrecision::kFloat32;
 
+  std::shared_ptr<const tasks::EmbeddingIndex> index;
   std::shared_ptr<const geo::SpatialIndex> locator;
+  if (!snapshot_path.empty()) {
+    // Cold start straight off the mapped file: the scan payload is adopted
+    // zero-copy, so startup cost is validation + page faults, not parsing.
+    snapshot::LoadedSnapshot loaded;
+    snapshot::SnapshotStatus status =
+        snapshot::LoadServingSnapshot(snapshot_path, precision, &loaded);
+    if (!status.ok()) {
+      return Fail(std::string("serve: [") +
+                  snapshot::SnapshotErrorName(status.error) + "] " +
+                  status.message);
+    }
+    if (loaded.meta.metric != metric) {
+      return Fail("serve: snapshot was built for metric " +
+                  std::string(loaded.meta.metric == tasks::IndexMetric::kCosine
+                                  ? "cosine"
+                                  : "l1") +
+                  ", not --metric " + metric_name);
+    }
+    index = loaded.index;
+    locator = loaded.locator;
+    std::fprintf(stderr,
+                 "serve: snapshot %s mapped in %.2fms (%zu bytes, %zu zero-copy)\n",
+                 snapshot_path.c_str(), loaded.load_ms,
+                 loaded.mapping->file_bytes(), loaded.mapped_bytes);
+  } else {
+    auto embeddings = LoadEmbeddingsCsv(embeddings_path);
+    if (!embeddings.has_value()) {
+      return Fail("serve: cannot load " + embeddings_path);
+    }
+    index =
+        std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric, precision);
+  }
+
   std::string network_path = flags.GetString("network");
   if (!network_path.empty()) {
     auto network = roadnet::LoadRoadNetworkCsv(network_path);
     if (!network.has_value()) return Fail("serve: cannot load " + network_path);
-    if (network->num_segments() != embeddings->shape()[0]) {
+    if (network->num_segments() != index->size()) {
       return Fail("serve: embeddings row count != segment count");
     }
     locator = BuildLocator(*network);
@@ -333,12 +536,7 @@ int CmdServe(const FlagSet& flags) {
     return Fail("serve: --threads must be >= 0 and --batch-size >= 1");
   }
   const int default_k = static_cast<int>(flags.GetInt("k"));
-  const tasks::IndexPrecision precision = flags.GetBool("quantized")
-                                              ? tasks::IndexPrecision::kInt8
-                                              : tasks::IndexPrecision::kFloat32;
 
-  auto index =
-      std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric, precision);
   serve::QueryEngine engine(index, locator, options);
   std::fprintf(stderr,
                "serve: %lld rows x %lld dims (%s, %s, %zu bytes, %s kernels), "
@@ -352,8 +550,10 @@ int CmdServe(const FlagSet& flags) {
 
   struct Outstanding {
     uint64_t seq = 0;
-    std::future<serve::ServeResponse> future;  // Invalid when `line` is final.
-    std::string line;
+    std::future<serve::ServeResponse> future;   // Query in flight.
+    std::future<uint64_t> reload_future;        // Reload in flight.
+    std::shared_ptr<std::string> reload_error;  // Set by the loader thread.
+    std::string line;                           // Final when neither future is valid.
   };
   std::deque<Outstanding> outstanding;
   auto emit = [](const std::string& line) {
@@ -361,17 +561,27 @@ int CmdServe(const FlagSet& flags) {
     std::fputc('\n', stdout);
     std::fflush(stdout);
   };
+  auto ready = [](const auto& future) {
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
   // Prints responses whose turn has come; `block` waits for all of them
-  // (barrier before stats/reload and at EOF).
+  // (barrier before stats and at EOF).
   auto drain = [&](bool block) {
     while (!outstanding.empty()) {
       Outstanding& front = outstanding.front();
       if (front.future.valid()) {
-        if (!block && front.future.wait_for(std::chrono::seconds(0)) !=
-                          std::future_status::ready) {
-          return;
-        }
+        if (!block && !ready(front.future)) return;
         front.line = serve::FormatResponseLine(front.seq, front.future.get());
+      } else if (front.reload_future.valid()) {
+        if (!block && !ready(front.reload_future)) return;
+        const uint64_t epoch = front.reload_future.get();
+        front.line = serve::FormatReloadLine(front.seq, epoch != 0, epoch,
+                                             *front.reload_error);
+        if (epoch != 0) {
+          std::fprintf(stderr, "serve: published snapshot epoch %llu\n",
+                       static_cast<unsigned long long>(epoch));
+        }
       }
       emit(front.line);
       outstanding.pop_front();
@@ -397,24 +607,52 @@ int CmdServe(const FlagSet& flags) {
         emit(serve::FormatStatsLine(this_seq, engine.Stats()));
         break;
       case serve::ParsedLine::Op::kReload: {
-        drain(/*block=*/true);
-        auto reloaded = LoadEmbeddingsCsv(parsed.reload_path);
-        if (!reloaded.has_value()) {
-          emit(serve::FormatReloadLine(this_seq, false, 0,
-                                       "cannot load " + parsed.reload_path));
-          break;
-        }
-        if (reloaded->shape()[1] != index->dim()) {
-          emit(serve::FormatReloadLine(this_seq, false, 0,
-                                       "dim mismatch: expected " +
-                                           std::to_string(index->dim())));
-          break;
-        }
-        engine.Publish(
-            std::make_shared<tasks::EmbeddingIndex>(*reloaded, metric, precision));
-        emit(serve::FormatReloadLine(this_seq, true, engine.epoch(), ""));
-        std::fprintf(stderr, "serve: published snapshot epoch %llu\n",
-                     static_cast<unsigned long long>(engine.epoch()));
+        // No barrier: the load (CSV parse or snapshot mmap + validation)
+        // runs on a PublishAsync loader thread while workers keep serving
+        // the old epoch; the response line is emitted in sequence order
+        // once the swap (or failure) lands.
+        const std::string path = parsed.reload_path;
+        auto error = std::make_shared<std::string>();
+        const int64_t expected_dim = index->dim();
+        auto loader = [path, metric, precision, expected_dim,
+                       error]() -> std::shared_ptr<const tasks::EmbeddingIndex> {
+          if (EndsWith(path, kSnapshotExtension)) {
+            snapshot::LoadedSnapshot loaded;
+            snapshot::SnapshotStatus status =
+                snapshot::LoadServingSnapshot(path, precision, &loaded);
+            if (!status.ok()) {
+              *error = std::string("[") +
+                       snapshot::SnapshotErrorName(status.error) + "] " +
+                       status.message;
+              return nullptr;
+            }
+            if (loaded.meta.metric != metric) {
+              *error = "snapshot metric does not match the serving metric";
+              return nullptr;
+            }
+            if (loaded.meta.d != expected_dim) {
+              *error = "dim mismatch: expected " + std::to_string(expected_dim);
+              return nullptr;
+            }
+            return loaded.index;
+          }
+          auto reloaded = LoadEmbeddingsCsv(path);
+          if (!reloaded.has_value()) {
+            *error = "cannot load " + path;
+            return nullptr;
+          }
+          if (reloaded->shape()[1] != expected_dim) {
+            *error = "dim mismatch: expected " + std::to_string(expected_dim);
+            return nullptr;
+          }
+          return std::make_shared<tasks::EmbeddingIndex>(*reloaded, metric,
+                                                         precision);
+        };
+        Outstanding entry;
+        entry.seq = this_seq;
+        entry.reload_future = engine.PublishAsync(std::move(loader));
+        entry.reload_error = std::move(error);
+        outstanding.push_back(std::move(entry));
         break;
       }
       case serve::ParsedLine::Op::kInvalid: {
@@ -501,9 +739,36 @@ const Command kCommands[] = {
            .Bool("lines", false, "validate as JSON lines instead of one document");
      },
      CmdCheckJson},
+    {"snapshot save", "serialise embeddings + index payloads into one mmap-able file",
+     [](FlagSet& f) {
+       f.String("out", "", "output snapshot file (.sarnsnap)", /*required=*/true)
+           .String("embeddings", "", "embeddings CSV to snapshot")
+           .String("checkpoint", "", "training checkpoint to export instead")
+           .String("network", "",
+                   "network CSV; embeds the serve locator (required with "
+                   "--checkpoint)")
+           .Int("dim", 64, "embedding dimension (--checkpoint only)")
+           .String("metric", "cosine", "similarity metric: cosine or l1")
+           .String("precision", "both", "index payloads: float32, int8 or both")
+           .Bool("include-model", true,
+                 "embed the raw [n, d] embedding matrix alongside the index");
+     },
+     CmdSnapshotSave},
+    {"snapshot load", "map a snapshot, print its layout and optionally query it",
+     [](FlagSet& f) {
+       f.String("in", "", "snapshot file to map", /*required=*/true)
+           .Bool("quantized", false, "adopt the int8 payload instead of float32")
+           .Bool("verify-crc", true, "verify section payload CRCs while mapping")
+           .Int("query-id", -1, "run one top-k query for this row (-1 = off)")
+           .Int("k", 10, "neighbors for --query-id");
+     },
+     CmdSnapshotLoad},
     {"serve", "serve batched top-k embedding queries over stdin/stdout NDJSON",
      [](FlagSet& f) {
-       f.String("embeddings", "", "embeddings CSV to serve", /*required=*/true)
+       f.String("embeddings", "", "embeddings CSV to serve")
+           .String("snapshot", "",
+                   "mmap snapshot to serve instead of --embeddings (zero-copy "
+                   "cold start)")
            .String("network", "",
                    "network CSV enabling lat/lng queries (nearest segment)")
            .String("metric", "cosine", "similarity metric: cosine or l1")
@@ -537,13 +802,19 @@ int Main(int argc, char** argv) {
     Usage();
     return 0;
   }
+  // Two-word commands ("snapshot save"): join the subcommand, flags follow.
+  int first_flag = 2;
+  if (name == "snapshot" && argc >= 3 && argv[2][0] != '-') {
+    name += std::string(" ") + argv[2];
+    first_flag = 3;
+  }
   for (const Command& command : kCommands) {
     if (name != command.name) continue;
     FlagSet flags(command.name, command.summary);
     command.declare(flags);
     flags.String("log-level", "", "debug, info, warning or error");
     std::string error;
-    if (!flags.Parse(argc, argv, 2, &error)) return Fail(error);
+    if (!flags.Parse(argc, argv, first_flag, &error)) return Fail(error);
     if (flags.help_requested()) {
       std::fputs(flags.Usage().c_str(), stdout);
       return 0;

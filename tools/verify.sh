@@ -25,7 +25,13 @@
 #      and a short CLI training run rebuilt under AddressSanitizer
 #      (LeakSanitizer on by default), so a tensor buffer, tape closure or
 #      quantized snapshot that never returns to the pool fails verification
-#      instead of slowly growing memory.
+#      instead of slowly growing memory;
+#   8. the mmap snapshot suite (ctest -L snapshot: corruption fuzz typed-error
+#      sweep, round-trip bitwise identity, golden v1 layout pin) plus a CLI
+#      smoke (snapshot save -> load -> serve --snapshot), with the corruption
+#      fuzz additionally rebuilt under ASan (a mutated arena must produce a
+#      typed error, never an out-of-bounds read) and the concurrent mmap
+#      hot-swap round trip under TSan.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan|--no-asan]
 set -euo pipefail
@@ -87,6 +93,24 @@ if [[ "$mode" != "--tsan-only" ]]; then
     echo "verify: quantized serve stats did not report precision int8" >&2
     exit 1
   fi
+  # Snapshot suite: corruption fuzz, round-trip bitwise identity, golden v1.
+  (cd build && ctest --output-on-failure -L snapshot)
+  # Snapshot smoke: arena save from the trained CSV, typed load report, then
+  # the same NDJSON queries served from the mmap'd snapshot cold start.
+  snap_dir="build/verify_snapshot"
+  rm -rf "$snap_dir" && mkdir -p "$snap_dir"
+  build/tools/sarn snapshot save --embeddings "$serve_dir/emb.csv" \
+    --network "$obs_dir/net.csv" --out "$snap_dir/model.sarnsnap"
+  build/tools/sarn snapshot load --in "$snap_dir/model.sarnsnap" \
+    --query-id 0 --k 3
+  build/tools/sarn serve --snapshot "$snap_dir/model.sarnsnap" --threads 2 \
+    < "$serve_dir/queries.ndjson" > "$snap_dir/responses.ndjson"
+  build/tools/sarn check-json --in "$snap_dir/responses.ndjson" --lines true
+  ok_count="$(grep -c '"ok":true' "$snap_dir/responses.ndjson")"
+  if [[ "$ok_count" != 3 ]]; then
+    echo "verify: expected 3 ok snapshot serve responses, got $ok_count" >&2
+    exit 1
+  fi
   # SIMD suite on the default (vectorised) build: bitwise identity between
   # the scalar fallback and the active tier, int8 recall gate.
   (cd build && ctest --output-on-failure -L simd)
@@ -103,9 +127,10 @@ if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
   cmake --build build-tsan -j"$jobs" \
     --target parallel_test ops_test nn_gat_test serialization_test \
              sarn_model_test obs_metrics_test obs_trace_test serve_engine_test \
-             storage_pool_test simd_kernels_test quantized_index_test
+             storage_pool_test simd_kernels_test quantized_index_test \
+             snapshot_roundtrip_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test)$')
 fi
 
 if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
@@ -114,9 +139,10 @@ if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
   cmake -B build-asan -S . -DSARN_SANITIZE=address > /dev/null
   cmake --build build-asan -j"$jobs" \
     --target storage_pool_test tensor_test simd_kernels_test \
-             quantized_index_test sarn_cli
+             quantized_index_test snapshot_corruption_test \
+             snapshot_roundtrip_test sarn_cli
   (cd build-asan && ctest --output-on-failure \
-    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test)$')
+    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test|snapshot_corruption_test|snapshot_roundtrip_test)$')
   asan_dir="build-asan/verify_leak"
   rm -rf "$asan_dir" && mkdir -p "$asan_dir"
   build-asan/tools/sarn generate --city CD --scale 0.015 --out "$asan_dir/net.csv"
