@@ -24,8 +24,12 @@
 //                      bench_out/BENCH_serve.json)
 //   SARN_SNAPSHOT_JSON write the cold-start rows as JSON here (run_benches.sh
 //                      sets bench_out/BENCH_snapshot.json)
+//   SARN_OBS_JSON      write the observability-overhead rows (tracing off vs
+//                      sampled vs full) as JSON here (run_benches.sh sets
+//                      bench_out/BENCH_obs.json)
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -73,12 +77,14 @@ struct RunResult {
 // 8 client threads, each firing `bursts` bursts of 64 Submit()s and waiting
 // for the burst to resolve — the arrival pattern micro-batching is for.
 RunResult RunEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
-                    int serve_threads, int bursts) {
+                    int serve_threads, int bursts,
+                    uint32_t trace_sample_every = 16) {
   serve::ServeOptions options;
   options.threads = serve_threads;
   options.max_batch = kBurst;
   options.batch_window_ms = 0.5;
   options.cache_capacity = 0;  // Every query pays for a scan.
+  options.trace_sample_every = trace_sample_every;
   serve::QueryEngine engine(index, nullptr, options);
 
   const int64_t n = index->size();
@@ -173,6 +179,74 @@ void WriteJson(const char* path, int64_t rows, int64_t dim,
   std::fprintf(f, "]}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
+}
+
+// --- Observability overhead: tracing off vs sampled vs trace-everything -----
+
+struct ObsResult {
+  std::string mode;  // "off" / "sampled" / "full".
+  uint32_t sample_every = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+// The ISSUE 8 acceptance knob: request tracing at the default 1-in-16
+// sampling must cost <= ~2% QPS against tracing disabled. "full" (trace
+// every request) bounds the worst case.
+std::vector<ObsResult> RunObsOverhead(
+    std::shared_ptr<const tasks::EmbeddingIndex> index, int bursts) {
+  std::printf("\nobservability overhead: request tracing off vs sampled "
+              "(1/16) vs full (engine-4t, cache off)\n");
+  std::printf("%-10s %14s %10s %10s %8s %8s\n", "tracing", "sample_every",
+              "qps", "vs off", "p50 ms", "p95 ms");
+  struct Config {
+    const char* mode;
+    uint32_t sample_every;
+  };
+  const Config configs[] = {{"off", 0}, {"sampled", 16}, {"full", 1}};
+  std::vector<ObsResult> results;
+  double off_qps = 0.0;
+  for (const Config& config : configs) {
+    RunResult run = RunEngine(index, 4, bursts, config.sample_every);
+    ObsResult result;
+    result.mode = config.mode;
+    result.sample_every = config.sample_every;
+    result.qps = run.qps;
+    result.p50_ms = run.p50_ms;
+    result.p95_ms = run.p95_ms;
+    if (off_qps == 0.0) off_qps = run.qps;
+    std::printf("%-10s %14u %10.0f %9.3fx %8.3f %8.3f\n", result.mode.c_str(),
+                result.sample_every, result.qps, result.qps / off_qps,
+                result.p50_ms, result.p95_ms);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void WriteObsJson(const char* path, int64_t rows, int64_t dim,
+                  const std::vector<ObsResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"serve_obs_overhead\",\"rows\":%lld,\"dim\":%lld,"
+               "\"k\":%d,\"threads\":4,\"results\":[",
+               static_cast<long long>(rows), static_cast<long long>(dim),
+               kTopK);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ObsResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"tracing\":\"%s\",\"sample_every\":%u,\"qps\":%.1f,"
+                 "\"p50_ms\":%.4f,\"p95_ms\":%.4f}",
+                 i == 0 ? "" : ",", r.mode.c_str(), r.sample_every, r.qps,
+                 r.p50_ms, r.p95_ms);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 // --- Cold start: parse-load vs mmap snapshot load ---------------------------
@@ -377,7 +451,16 @@ int Main() {
     WriteJson(json_path, rows, dim, results);
   }
 
-  simd::ForceTier(vector_tier);  // Cold start runs on the real host tier.
+  simd::ForceTier(vector_tier);  // Overhead + cold start run on the host tier.
+  {
+    auto index = std::make_shared<tasks::EmbeddingIndex>(
+        embeddings, tasks::IndexMetric::kCosine,
+        tasks::IndexPrecision::kFloat32);
+    const std::vector<ObsResult> obs = RunObsOverhead(index, bursts);
+    if (const char* json_path = std::getenv("SARN_OBS_JSON")) {
+      WriteObsJson(json_path, rows, dim, obs);
+    }
+  }
   const std::vector<ColdStartResult> cold = RunColdStart(dim);
   if (const char* json_path = std::getenv("SARN_SNAPSHOT_JSON")) {
     WriteColdStartJson(json_path, dim, cold);

@@ -8,6 +8,7 @@ done
 echo "== bench_serve_loadgen start $(date +%T)"
 SARN_SERVE_JSON=bench_out/BENCH_serve.json \
 SARN_SNAPSHOT_JSON=bench_out/BENCH_snapshot.json \
+SARN_OBS_JSON=bench_out/BENCH_obs.json \
   ./build/bench/bench_serve_loadgen > bench_out/bench_serve_loadgen.txt 2>&1
 echo "== bench_serve_loadgen done $(date +%T)"
 echo ALL-DONE

@@ -25,15 +25,33 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     SARN_CHECK(bounds_[i - 1] < bounds_[i]) << "bucket bounds must ascend";
   }
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplars_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0);
+    exemplars_[i].store(0);
+  }
 }
 
-void Histogram::Observe(double value) {
+size_t Histogram::BucketFor(double value) const {
   // First bucket whose upper bound contains `value`; overflow otherwise.
   size_t bucket = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
                   bounds_.begin();
   if (bucket > 0 && value == bounds_[bucket - 1]) bucket -= 1;  // Inclusive bound.
+  return bucket;
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+}
+
+void Histogram::ObserveWithExemplar(double value, uint64_t exemplar_id) {
+  const size_t bucket = BucketFor(value);
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_id != 0) {
+    exemplars_[bucket].store(exemplar_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, value);
 }
@@ -44,27 +62,7 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double p) const {
-  p = std::clamp(p, 0.0, 100.0);
-  std::vector<uint64_t> counts = BucketCounts();
-  uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  double rank = p / 100.0 * static_cast<double>(total);
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    uint64_t next = cumulative + counts[i];
-    if (static_cast<double>(next) >= rank) {
-      if (i == counts.size() - 1) return bounds_.back();  // Overflow bucket.
-      double lower = i == 0 ? 0.0 : bounds_[i - 1];
-      double upper = bounds_[i];
-      double within = (rank - static_cast<double>(cumulative)) /
-                      static_cast<double>(counts[i]);
-      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
-    }
-    cumulative = next;
-  }
-  return bounds_.back();
+  return PercentileFromCounts(bounds_, BucketCounts(), p);
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
@@ -75,12 +73,56 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+std::vector<uint64_t> Histogram::BucketExemplars() const {
+  std::vector<uint64_t> ids(bounds_.size() + 1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = exemplars_[i].load(std::memory_order_relaxed);
+  }
+  return ids;
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double PercentileFromCounts(const std::vector<double>& bounds,
+                            const std::vector<uint64_t>& counts, double p) {
+  SARN_CHECK_EQ(counts.size(), bounds.size() + 1);
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (total == 1) {
+    // Interpolating a rank inside a one-sample bucket would just echo `p`;
+    // report the sample's bucket midpoint instead (overflow -> last bound).
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      if (i == counts.size() - 1) return bounds.back();  // Overflow bucket.
+      double lower = i == 0 ? 0.0 : bounds[i - 1];
+      return (lower + bounds[i]) / 2.0;
+    }
+  }
+  double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == counts.size() - 1) return bounds.back();  // Overflow bucket.
+      double lower = i == 0 ? 0.0 : bounds[i - 1];
+      double upper = bounds[i];
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {
@@ -102,6 +144,33 @@ std::vector<double> DefaultLatencyBuckets() {
   return ExponentialBuckets(1e-6, 4.0, 14);
 }
 
+const char* InstrumentKindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Binds `name` to `kind`, aborting on a cross-kind collision. Caller holds
+// the registry mutex.
+void BindKind(std::map<std::string, InstrumentKind>& kinds,
+              const std::string& name, InstrumentKind kind) {
+  auto [it, inserted] = kinds.emplace(name, kind);
+  SARN_CHECK(inserted || it->second == kind)
+      << "metric name collision: \"" << name << "\" is registered as a "
+      << InstrumentKindName(it->second) << ", requested "
+      << InstrumentKindName(kind);
+}
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Default() {
   static MetricsRegistry registry;
   return registry;
@@ -109,6 +178,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  BindKind(kinds_, name, InstrumentKind::kCounter);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -116,6 +186,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  BindKind(kinds_, name, InstrumentKind::kGauge);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -124,9 +195,18 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  BindKind(kinds_, name, InstrumentKind::kHistogram);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
+}
+
+std::optional<InstrumentKind> MetricsRegistry::Kind(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = kinds_.find(name);
+  if (it == kinds_.end()) return std::nullopt;
+  return it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -146,6 +226,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     stat.p50 = histogram->Percentile(50.0);
     stat.p95 = histogram->Percentile(95.0);
     stat.p99 = histogram->Percentile(99.0);
+    stat.bounds = histogram->bucket_bounds();
+    stat.bucket_counts = histogram->BucketCounts();
+    stat.exemplars = histogram->BucketExemplars();
     snapshot.histograms.push_back(std::move(stat));
   }
   return snapshot;

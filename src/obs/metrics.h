@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,12 +56,20 @@ class Gauge {
 /// overflow bucket catches everything above the last bound. Observation is a
 /// relaxed fetch_add on one bucket plus a CAS-add on the running sum, so
 /// concurrent Observe calls never lose counts.
+///
+/// Exemplars: ObserveWithExemplar additionally tags the sample's bucket with
+/// a caller-chosen id (last writer wins). The serve layer uses this to link
+/// tail latency buckets to concrete traced request ids, so "what was the
+/// p99?" can be answered with "these exact requests" (statsz, DESIGN.md §14).
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty and strictly ascending.
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Observe(double value);
+  /// Observe + tag the sample's bucket with `exemplar_id` (0 means "none"
+  /// and is never stored).
+  void ObserveWithExemplar(double value, uint64_t exemplar_id);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -68,28 +77,44 @@ class Histogram {
 
   /// Estimated p-th percentile (p in [0, 100]) by linear interpolation
   /// inside the bucket holding the target rank; samples in the overflow
-  /// bucket are attributed to the last finite bound. 0 when empty.
+  /// bucket are attributed to the last finite bound. 0 when empty; the
+  /// single-sample estimate is that sample's bucket midpoint (interpolating
+  /// a rank inside a one-sample bucket would just echo `p`, which is noise).
   double Percentile(double p) const;
 
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   /// Per-bucket counts, bounds_.size() + 1 entries (last = overflow).
   std::vector<uint64_t> BucketCounts() const;
+  /// Per-bucket exemplar ids, bounds_.size() + 1 entries; 0 = no exemplar.
+  std::vector<uint64_t> BucketExemplars() const;
 
   void Reset();
 
  private:
+  size_t BucketFor(double value) const;
+
   std::vector<double> bounds_;
-  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;    // bounds_.size() + 1
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplars_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Percentile estimate from explicit bucket counts — the same math as
+/// Histogram::Percentile, exposed so windowed (snapshot-delta) counts can be
+/// evaluated too (the SLO watchdog's sliding window, src/obs/slo.h).
+/// `counts` must have bounds.size() + 1 entries (last = overflow).
+double PercentileFromCounts(const std::vector<double>& bounds,
+                            const std::vector<uint64_t>& counts, double p);
 
 /// Exponential bucket bounds: start, start*factor, ... (count bounds).
 std::vector<double> ExponentialBuckets(double start, double factor, int count);
 /// Default latency buckets: 1us .. ~2min, x4 steps.
 std::vector<double> DefaultLatencyBuckets();
 
-/// Point-in-time copy of every instrument, for export and tests.
+/// Point-in-time copy of every instrument, for export and tests. Histogram
+/// stats carry the full bucket layout (bounds, per-bucket counts, exemplar
+/// ids) so exporters (Prometheus text, statsz) never re-read live atomics.
 struct MetricsSnapshot {
   struct HistogramStat {
     std::string name;
@@ -98,11 +123,20 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    std::vector<double> bounds;           // Finite upper bounds, ascending.
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (last = overflow).
+    std::vector<uint64_t> exemplars;      // bounds.size() + 1; 0 = none.
   };
   std::vector<std::pair<std::string, uint64_t>> counters;  // Sorted by name.
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramStat> histograms;
 };
+
+/// What a registry name is bound to. A name maps to exactly one kind for the
+/// registry's lifetime: re-requesting it as a different kind is a programming
+/// error (silent aliasing would split one series across two instruments).
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+const char* InstrumentKindName(InstrumentKind kind);
 
 class MetricsRegistry {
  public:
@@ -112,10 +146,15 @@ class MetricsRegistry {
   /// Finds or creates the named instrument. The returned reference is valid
   /// for the registry's lifetime; cache it at the call site and update
   /// lock-free. GetHistogram ignores `upper_bounds` when the name exists.
+  /// Requesting an existing name as a different instrument kind is a checked
+  /// error (the failure message names both kinds), never a silent alias.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds = DefaultLatencyBuckets());
+
+  /// The kind `name` is registered as, or nullopt when unregistered.
+  std::optional<InstrumentKind> Kind(const std::string& name) const;
 
   MetricsSnapshot Snapshot() const;
 
@@ -124,6 +163,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
+  std::map<std::string, InstrumentKind> kinds_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -99,6 +99,30 @@ std::string EpochRecordToJson(const EpochRecord& record) {
   return json;
 }
 
+const char* SloBurnKindName(SloBurnEvent::Kind kind) {
+  switch (kind) {
+    case SloBurnEvent::Kind::kBreach:
+      return "breach";
+    case SloBurnEvent::Kind::kRecovered:
+      return "recovered";
+  }
+  return "?";
+}
+
+std::string SloBurnEventToJson(const SloBurnEvent& event) {
+  std::string json = "{";
+  bool first = true;
+  AppendField(&json, "event", Quoted("slo"), &first);
+  AppendField(&json, "kind", Quoted(SloBurnKindName(event.kind)), &first);
+  AppendField(&json, "metric", Quoted(event.metric), &first);
+  AppendField(&json, "budget_ms", JsonNumber(event.budget_ms), &first);
+  AppendField(&json, "p99_ms", JsonNumber(event.p99_ms), &first);
+  AppendField(&json, "window_seconds", JsonNumber(event.window_seconds), &first);
+  AppendField(&json, "window_count", std::to_string(event.window_count), &first);
+  json += "}";
+  return json;
+}
+
 std::string CheckpointEventToJson(const CheckpointEvent& event) {
   std::string json = "{";
   bool first = true;
@@ -135,6 +159,10 @@ void JsonlMetricsSink::OnEpoch(const EpochRecord& record) {
 
 void JsonlMetricsSink::OnCheckpoint(const CheckpointEvent& event) {
   WriteLine(CheckpointEventToJson(event));
+}
+
+void JsonlMetricsSink::OnSlo(const SloBurnEvent& event) {
+  WriteLine(SloBurnEventToJson(event));
 }
 
 void JsonlMetricsSink::Flush() {

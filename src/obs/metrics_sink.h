@@ -91,17 +91,35 @@ struct CheckpointEvent {
 
 const char* CheckpointActionName(CheckpointEvent::Action action);
 
+/// SLO watchdog evaluation outcome (src/obs/slo.h): one event per window
+/// evaluation that crossed the budget in either direction — `breach` when the
+/// windowed p99 first exceeds the budget, `recovered` when it drops back.
+struct SloBurnEvent {
+  enum class Kind { kBreach, kRecovered };
+  Kind kind = Kind::kBreach;
+  std::string metric;      // Histogram name the budget is evaluated on.
+  double budget_ms = 0.0;  // Configured p99 budget.
+  double p99_ms = 0.0;     // Windowed p99 at evaluation time.
+  double window_seconds = 0.0;
+  uint64_t window_count = 0;  // Samples inside the window.
+};
+
+const char* SloBurnKindName(SloBurnEvent::Kind kind);
+
 class MetricsSink {
  public:
   virtual ~MetricsSink() = default;
   virtual void OnEpoch(const EpochRecord& record) = 0;
   virtual void OnCheckpoint(const CheckpointEvent& event) = 0;
+  /// Default no-op so pre-existing sinks (tests, fakes) keep compiling.
+  virtual void OnSlo(const SloBurnEvent& event) { (void)event; }
   virtual void Flush() {}
 };
 
 /// Serialises a record as a single-line JSON object (no trailing newline).
 std::string EpochRecordToJson(const EpochRecord& record);
 std::string CheckpointEventToJson(const CheckpointEvent& event);
+std::string SloBurnEventToJson(const SloBurnEvent& event);
 
 /// Appends one JSON line per record; thread-safe; flushes per line so a
 /// crashed run keeps every completed epoch.
@@ -114,6 +132,7 @@ class JsonlMetricsSink : public MetricsSink {
 
   void OnEpoch(const EpochRecord& record) override;
   void OnCheckpoint(const CheckpointEvent& event) override;
+  void OnSlo(const SloBurnEvent& event) override;
   void Flush() override;
 
  private:

@@ -1,0 +1,82 @@
+#include "obs/prom_export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sarn::obs {
+namespace {
+
+// Prometheus value rendering: full double precision, non-finite spelled the
+// way the exposition format expects.
+std::string PromNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string PromMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PromMetricName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PromMetricName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << PromNumber(value) << "\n";
+  }
+  for (const MetricsSnapshot::HistogramStat& h : snapshot.histograms) {
+    std::string prom = PromMetricName(h.name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+      out << prom << "_bucket{le=\"" << PromNumber(h.bounds[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << prom << "_sum " << PromNumber(h.sum) << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+bool WritePromFile(const MetricsSnapshot& snapshot, const std::string& path) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << PrometheusText(snapshot);
+    out.flush();
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sarn::obs

@@ -1,0 +1,34 @@
+// Prometheus text exposition format 0.0.4 emitter for MetricsSnapshot.
+//
+// Mapping (DESIGN.md §14): dotted SARN metric names become underscore-joined
+// Prometheus names ("sarn.serve.requests" -> "sarn_serve_requests"). Counters
+// export as `counter`, gauges as `gauge`, histograms as `histogram` with the
+// standard cumulative `_bucket{le="..."}` series (including `le="+Inf"`),
+// `_sum` and `_count`. Text format 0.0.4 has no exemplar syntax, so bucket
+// exemplar request ids surface only through statsz; this file emits strictly
+// parseable 0.0.4 text.
+
+#ifndef SARN_OBS_PROM_EXPORT_H_
+#define SARN_OBS_PROM_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sarn::obs {
+
+/// "sarn.serve.load_ms" -> "sarn_serve_load_ms": characters outside
+/// [a-zA-Z0-9_:] become '_', and a leading digit gains a '_' prefix.
+std::string PromMetricName(const std::string& name);
+
+/// Renders the whole snapshot as Prometheus text exposition format 0.0.4.
+/// Deterministic: instruments appear in snapshot (name-sorted) order.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Atomically replaces `path` with the rendered snapshot (tmp + rename, same
+/// publication discipline as checkpoints). Returns false on I/O failure.
+bool WritePromFile(const MetricsSnapshot& snapshot, const std::string& path);
+
+}  // namespace sarn::obs
+
+#endif  // SARN_OBS_PROM_EXPORT_H_

@@ -1,0 +1,114 @@
+#include "obs/slo.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace sarn::obs {
+
+SloWatchdog::Evaluation SloWatchdog::Evaluate(
+    const std::vector<double>& bounds, const std::vector<uint64_t>& oldest,
+    const std::vector<uint64_t>& newest, double budget_p99_ms) {
+  SARN_CHECK_EQ(oldest.size(), bounds.size() + 1);
+  SARN_CHECK_EQ(newest.size(), bounds.size() + 1);
+  Evaluation eval;
+  std::vector<uint64_t> delta(newest.size());
+  for (size_t i = 0; i < newest.size(); ++i) {
+    // Cumulative counts never decrease; clamp defensively anyway (a test
+    // ResetForTest between snapshots must not underflow).
+    delta[i] = newest[i] >= oldest[i] ? newest[i] - oldest[i] : 0;
+    eval.window_count += delta[i];
+  }
+  if (eval.window_count == 0) return eval;
+  eval.has_samples = true;
+  // The watched histogram records seconds; the budget is expressed in ms.
+  eval.p99_ms = PercentileFromCounts(bounds, delta, 99.0) * 1e3;
+  eval.breached = eval.p99_ms > budget_p99_ms;
+  return eval;
+}
+
+SloWatchdog::SloWatchdog(const Options& options, MetricsSink* sink)
+    : options_(options), sink_(sink) {
+  SARN_CHECK_GT(options_.budget_p99_ms, 0.0);
+  SARN_CHECK_GT(options_.window_seconds, 0.0);
+  SARN_CHECK_GT(options_.tick_seconds, 0.0);
+  thread_ = std::thread([this] { Run(); });
+}
+
+SloWatchdog::~SloWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void SloWatchdog::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(options_.tick_seconds),
+                 [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void SloWatchdog::Tick() {
+  Histogram& histogram =
+      MetricsRegistry::Default().GetHistogram(options_.metric);
+  const std::vector<double>& bounds = histogram.bucket_bounds();
+  auto now = std::chrono::steady_clock::now();
+  window_.push_back({now, histogram.BucketCounts()});
+  // Keep one snapshot older than the window so the delta spans >= window.
+  auto horizon = now - std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(options_.window_seconds));
+  while (window_.size() > 2 && window_[1].at <= horizon) window_.pop_front();
+  if (window_.size() < 2) return;
+
+  const TimedCounts& oldest = window_.front();
+  const TimedCounts& newest = window_.back();
+  Evaluation eval =
+      Evaluate(bounds, oldest.counts, newest.counts, options_.budget_p99_ms);
+  MetricsRegistry::Default().GetGauge("sarn.slo.p99_ms").Set(eval.p99_ms);
+  if (!eval.has_samples) return;
+
+  double span_seconds =
+      std::chrono::duration<double>(newest.at - oldest.at).count();
+  if (eval.breached && !in_breach_) {
+    in_breach_ = true;
+    breaches_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Default().GetCounter("sarn.slo.breaches").Increment();
+    SloBurnEvent event;
+    event.kind = SloBurnEvent::Kind::kBreach;
+    event.metric = options_.metric;
+    event.budget_ms = options_.budget_p99_ms;
+    event.p99_ms = eval.p99_ms;
+    event.window_seconds = span_seconds;
+    event.window_count = eval.window_count;
+    SARN_LOG(Warning) << "slo breach metric=" << event.metric
+                      << " p99_ms=" << event.p99_ms
+                      << " budget_ms=" << event.budget_ms
+                      << " window_count=" << event.window_count;
+    if (sink_ != nullptr) sink_->OnSlo(event);
+  } else if (!eval.breached && in_breach_) {
+    in_breach_ = false;
+    SloBurnEvent event;
+    event.kind = SloBurnEvent::Kind::kRecovered;
+    event.metric = options_.metric;
+    event.budget_ms = options_.budget_p99_ms;
+    event.p99_ms = eval.p99_ms;
+    event.window_seconds = span_seconds;
+    event.window_count = eval.window_count;
+    SARN_LOG(Info) << "slo recovered metric=" << event.metric
+                   << " p99_ms=" << event.p99_ms
+                   << " budget_ms=" << event.budget_ms;
+    if (sink_ != nullptr) sink_->OnSlo(event);
+  }
+}
+
+}  // namespace sarn::obs

@@ -1,0 +1,96 @@
+// SLO watchdog: a background thread that evaluates a p99 latency budget over
+// a sliding window of a registry histogram and emits structured burn events.
+//
+// Mechanism (DESIGN.md §14): every tick the watchdog snapshots the target
+// histogram's cumulative bucket counts and keeps a deque of timestamped
+// snapshots spanning the window. The windowed distribution is the element-wise
+// difference between the newest and the oldest in-window snapshot — no
+// per-sample storage, no contention with the serving threads (reading the
+// buckets is a relaxed-atomic scan). PercentileFromCounts turns the delta
+// into a windowed p99, compared against the budget with breach/recovery
+// hysteresis: one kBreach event when the budget is first exceeded, one
+// kRecovered when the window drops back under it, never a per-tick flood.
+//
+// Events flow through MetricsSink::OnSlo (JSONL when `sarn serve
+// --metrics-file` is set) and bump "sarn.slo.breaches" / the
+// "sarn.slo.p99_ms" gauge in the default registry either way.
+
+#ifndef SARN_OBS_SLO_H_
+#define SARN_OBS_SLO_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/metrics_sink.h"
+
+namespace sarn::obs {
+
+class SloWatchdog {
+ public:
+  struct Options {
+    std::string metric = "sarn.serve.latency_seconds";  // Histogram to watch.
+    double budget_p99_ms = 50.0;  // Breach when windowed p99 exceeds this.
+    double window_seconds = 10.0;
+    double tick_seconds = 1.0;  // Evaluation period.
+  };
+
+  /// One windowed evaluation outcome (also the unit test surface).
+  struct Evaluation {
+    bool has_samples = false;  // False when the window contains no samples.
+    uint64_t window_count = 0;
+    double p99_ms = 0.0;
+    bool breached = false;
+  };
+
+  /// Pure windowed evaluation: `newest` minus `oldest` cumulative bucket
+  /// counts (same layout: bounds.size() + 1 entries), p99 against the budget.
+  /// Exposed static so tests cover the math without threads or clocks.
+  static Evaluation Evaluate(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& oldest,
+                             const std::vector<uint64_t>& newest,
+                             double budget_p99_ms);
+
+  /// Starts the watchdog thread. `sink` may be null (events then only hit
+  /// the registry + log). The histogram is resolved from the default
+  /// registry on first tick so the engine can register it lazily.
+  SloWatchdog(const Options& options, MetricsSink* sink);
+  ~SloWatchdog();  // Joins the thread.
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  /// Breach events emitted so far (test/introspection accessor).
+  uint64_t breaches() const { return breaches_.load(std::memory_order_relaxed); }
+
+ private:
+  struct TimedCounts {
+    std::chrono::steady_clock::time_point at;
+    std::vector<uint64_t> counts;
+  };
+
+  void Run();
+  void Tick();
+
+  Options options_;
+  MetricsSink* sink_;
+  std::deque<TimedCounts> window_;
+  bool in_breach_ = false;
+  std::atomic<uint64_t> breaches_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sarn::obs
+
+#endif  // SARN_OBS_SLO_H_

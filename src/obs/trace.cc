@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <map>
 
 #include "common/logging.h"
@@ -118,6 +119,52 @@ bool Tracer::WriteChromeTrace(const std::string& path,
     return false;
   }
   out << ToChromeTraceJson(events) << "\n";
+  out.flush();
+  if (!out.good()) {
+    SARN_LOG(Error) << "short write to trace file " << path;
+    return false;
+  }
+  return true;
+}
+
+bool Tracer::AppendChromeTrace(const std::string& path,
+                               const std::vector<TraceEvent>& events) {
+  constexpr const char* kPrefix = "{\"traceEvents\":[";
+  constexpr const char* kSuffix = "],\"displayTimeUnit\":\"ms\"}";
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      existing.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+  size_t tail = existing.rfind(kSuffix);
+  if (existing.compare(0, std::string(kPrefix).size(), kPrefix) != 0 ||
+      tail == std::string::npos) {
+    // Missing or foreign file: start fresh rather than corrupt it further.
+    return WriteChromeTrace(path, events);
+  }
+  // Splice: keep the prior array contents, comma-join the new events' array
+  // contents, restore the closing suffix. Both halves stay valid JSON.
+  std::string fresh = ToChromeTraceJson(events);
+  std::string fresh_inner = fresh.substr(
+      std::string(kPrefix).size(),
+      fresh.rfind(kSuffix) - std::string(kPrefix).size());
+  std::string merged = existing.substr(0, tail);
+  bool prior_empty = tail == std::string(kPrefix).size();
+  if (!fresh_inner.empty()) {
+    if (!prior_empty) merged += ",";
+    merged += fresh_inner;
+  }
+  merged += kSuffix;
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SARN_LOG(Error) << "cannot open trace file " << path;
+    return false;
+  }
+  out << merged << "\n";
   out.flush();
   if (!out.good()) {
     SARN_LOG(Error) << "short write to trace file " << path;

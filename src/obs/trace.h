@@ -66,6 +66,13 @@ class Tracer {
   /// Writes ToChromeTraceJson to `path`. Returns false on I/O error (logged).
   static bool WriteChromeTrace(const std::string& path,
                                const std::vector<TraceEvent>& events);
+  /// Merges `events` into an existing Chrome trace file: the new events are
+  /// spliced into the prior file's traceEvents array, so a resumed training
+  /// run (kill + `sarn train` again on the same --trace-file) produces one
+  /// valid trace holding spans from both process lifetimes. Falls back to
+  /// WriteChromeTrace when `path` is missing or not a trace produced here.
+  static bool AppendChromeTrace(const std::string& path,
+                                const std::vector<TraceEvent>& events);
 
  private:
   struct ThreadBuffer {

@@ -265,6 +265,11 @@ ParsedLine ParseRequestLine(std::string_view line, int default_k) {
     parsed.op = ParsedLine::Op::kStats;
     return parsed;
   }
+  if (op == "statsz") {
+    ParsedLine parsed;
+    parsed.op = ParsedLine::Op::kStatsz;
+    return parsed;
+  }
   if (op == "reload") {
     const JsonField* path = FindField(fields, "embeddings");
     if (path == nullptr || path->type != JsonField::Type::kString || path->text.empty()) {
@@ -374,7 +379,85 @@ std::string FormatStatsLine(uint64_t seq, const ServeStats& stats) {
   out.append(",\"latency_p50_ms\":" + obs::JsonNumber(stats.latency_p50_ms));
   out.append(",\"latency_p95_ms\":" + obs::JsonNumber(stats.latency_p95_ms));
   out.append(",\"latency_p99_ms\":" + obs::JsonNumber(stats.latency_p99_ms));
-  out.append("}}");
+  out.append(",\"snapshot\":{");
+  out.append("\"loads\":" + std::to_string(stats.snapshot_loads));
+  out.append(",\"load_errors\":" + std::to_string(stats.snapshot_load_errors));
+  out.append(",\"bytes\":" + std::to_string(stats.snapshot_bytes));
+  out.append(",\"mapped_bytes\":" + std::to_string(stats.snapshot_mapped_bytes));
+  out.append(",\"copied_bytes\":" + std::to_string(stats.snapshot_copied_bytes));
+  out.append("}}}");
+  return out;
+}
+
+namespace {
+
+void AppendRecord(const obs::RequestRecord& record, std::string* out) {
+  out->append("{\"id\":");
+  out->append(std::to_string(record.id));
+  out->append(",\"ok\":");
+  out->append(record.ok ? "true" : "false");
+  out->append(",\"cache_hit\":");
+  out->append(record.cache_hit ? "true" : "false");
+  out->append(",\"total_ms\":");
+  out->append(obs::JsonNumber(static_cast<double>(record.TotalNanos()) * 1e-6));
+  out->append(",\"stages_ms\":{");
+  for (int s = 0; s < obs::kRequestStageCount; ++s) {
+    if (s > 0) out->push_back(',');
+    auto stage = static_cast<obs::RequestStage>(s);
+    out->push_back('"');
+    out->append(obs::RequestStageName(stage));
+    out->append("\":");
+    out->append(
+        obs::JsonNumber(static_cast<double>(record.StageNanos(stage)) * 1e-6));
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string FormatStatszLine(uint64_t seq, const ServeTraceStats& stats) {
+  std::string out;
+  out.reserve(512 + (stats.recent.size() + stats.slowest.size()) * 192);
+  out.append("{\"seq\":");
+  out.append(std::to_string(seq));
+  out.append(",\"ok\":true,\"statsz\":{");
+  out.append("\"enabled\":");
+  out.append(stats.enabled ? "true" : "false");
+  out.append(",\"sample_every\":" + std::to_string(stats.sample_every));
+  out.append(",\"admitted\":" + std::to_string(stats.admitted));
+  out.append(",\"traced\":" + std::to_string(stats.traced));
+  out.append(",\"traced_total_ms\":" + obs::JsonNumber(stats.traced_total_ms));
+  out.append(",\"attributed_fraction\":" +
+             obs::JsonNumber(stats.attributed_fraction));
+  out.append(",\"stages\":[");
+  for (size_t i = 0; i < stats.stages.size(); ++i) {
+    const ServeTraceStats::StageStat& stage = stats.stages[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"stage\":\"");
+    out.append(stage.stage);
+    out.append("\",\"count\":" + std::to_string(stage.count));
+    out.append(",\"total_ms\":" + obs::JsonNumber(stage.total_ms));
+    out.append(",\"p50_ms\":" + obs::JsonNumber(stage.p50_ms));
+    out.append(",\"p95_ms\":" + obs::JsonNumber(stage.p95_ms));
+    out.append(",\"p99_ms\":" + obs::JsonNumber(stage.p99_ms));
+    out.append(",\"exemplar_ids\":[");
+    for (size_t e = 0; e < stage.exemplars.size(); ++e) {
+      if (e > 0) out.push_back(',');
+      out.append(std::to_string(stage.exemplars[e]));
+    }
+    out.append("]}");
+  }
+  out.append("],\"recent\":[");
+  for (size_t i = 0; i < stats.recent.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendRecord(stats.recent[i], &out);
+  }
+  out.append("],\"slowest\":[");
+  for (size_t i = 0; i < stats.slowest.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendRecord(stats.slowest[i], &out);
+  }
+  out.append("]}}");
   return out;
 }
 

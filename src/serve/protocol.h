@@ -5,6 +5,8 @@
 //   {"op":"query","vector":[0.1,0.2,...],"k":5}      top-k of an external vector
 //   {"op":"query","lat":30.65,"lng":104.06,"k":3}    top-k of nearest segment
 //   {"op":"stats"}                                   engine statistics
+//   {"op":"statsz"}                                  per-stage latency breakdown
+//                                                    + traced-request dump
 //   {"op":"reload","embeddings":"emb.csv"}           hot-swap a new snapshot
 // "op" defaults to "query"; "k" defaults to the CLI's --k. "lon" is accepted
 // for "lng".
@@ -32,7 +34,7 @@
 namespace sarn::serve {
 
 struct ParsedLine {
-  enum class Op { kQuery, kStats, kReload, kInvalid };
+  enum class Op { kQuery, kStats, kStatsz, kReload, kInvalid };
   Op op = Op::kInvalid;
   ServeRequest request;      // kQuery.
   std::string reload_path;   // kReload.
@@ -47,6 +49,10 @@ ParsedLine ParseRequestLine(std::string_view line, int default_k);
 /// One response line (no trailing newline), valid JSON.
 std::string FormatResponseLine(uint64_t seq, const ServeResponse& response);
 std::string FormatStatsLine(uint64_t seq, const ServeStats& stats);
+/// statsz: per-stage latency attribution (count/total/percentiles/exemplar
+/// request ids per named stage), the attributed fraction, and the traced
+/// request records (recent ring + slowest table) with full timelines.
+std::string FormatStatszLine(uint64_t seq, const ServeTraceStats& stats);
 std::string FormatErrorLine(uint64_t seq, const std::string& error);
 std::string FormatReloadLine(uint64_t seq, bool ok, uint64_t epoch,
                              const std::string& error);

@@ -28,6 +28,9 @@ struct ServeMetrics {
   obs::Gauge& epoch;
   obs::Gauge& index_bytes;  // Scan payload bytes of the live snapshot.
   obs::Gauge& simd_tier;    // Numeric simd::Tier of the active kernel path.
+  // Per-stage latency histograms over traced requests (DESIGN.md §14); the
+  // Prometheus-export face of the engine-owned stage histograms.
+  obs::Histogram* stages[obs::kRequestStageCount];
 
   static ServeMetrics& Get() {
     static ServeMetrics metrics{
@@ -43,6 +46,18 @@ struct ServeMetrics {
         obs::MetricsRegistry::Default().GetGauge("sarn.serve.epoch"),
         obs::MetricsRegistry::Default().GetGauge("sarn.serve.index_bytes"),
         obs::MetricsRegistry::Default().GetGauge("sarn.serve.simd_tier"),
+        {
+            &obs::MetricsRegistry::Default().GetHistogram(
+                "sarn.serve.stage.admission_seconds"),
+            &obs::MetricsRegistry::Default().GetHistogram(
+                "sarn.serve.stage.queue_seconds"),
+            &obs::MetricsRegistry::Default().GetHistogram(
+                "sarn.serve.stage.cache_seconds"),
+            &obs::MetricsRegistry::Default().GetHistogram(
+                "sarn.serve.stage.scan_seconds"),
+            &obs::MetricsRegistry::Default().GetHistogram(
+                "sarn.serve.stage.reply_seconds"),
+        },
     };
     return metrics;
   }
@@ -85,9 +100,21 @@ QueryEngine::QueryEngine(std::shared_ptr<const tasks::EmbeddingIndex> index,
       locator_(std::move(locator)),
       cache_(options.cache_capacity),
       latency_seconds_(obs::DefaultLatencyBuckets()),
-      batch_size_(BatchSizeBuckets()) {
+      batch_size_(BatchSizeBuckets()),
+      tracer_([&options] {
+        obs::RequestTracer::Options trace;
+        trace.sample_every = options.trace_sample_every;
+        trace.ring_capacity = options.trace_ring_capacity;
+        trace.slowest_capacity = options.trace_slowest;
+        return trace;
+      }()),
+      traced_total_seconds_(obs::DefaultLatencyBuckets()) {
   SARN_CHECK(index != nullptr);
   SARN_CHECK_GT(options_.max_batch, 0);
+  for (int s = 0; s < obs::kRequestStageCount; ++s) {
+    stage_seconds_[s] =
+        std::make_unique<obs::Histogram>(obs::DefaultLatencyBuckets());
+  }
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->epoch = next_epoch_;
   snapshot->index = std::move(index);
@@ -161,19 +188,22 @@ std::future<uint64_t> QueryEngine::PublishAsync(
 }
 
 std::future<ServeResponse> QueryEngine::Submit(ServeRequest request) {
+  Pending pending;
+  pending.ctx = tracer_.Admit();  // Stamps admit when this request is traced.
   requests_.fetch_add(1, std::memory_order_relaxed);
   ServeMetrics::Get().requests.Increment();
-  Pending pending;
   pending.request = std::move(request);
   pending.admitted = std::chrono::steady_clock::now();
   std::future<ServeResponse> future = pending.promise.get_future();
   if (options_.threads == 0) {
     // Synchronous mode: the caller's thread is the batch of one.
+    pending.ctx.MarkEnqueued();
     std::vector<Pending> batch;
     batch.push_back(std::move(pending));
     ExecuteBatch(std::move(batch));
     return future;
   }
+  pending.ctx.MarkEnqueued();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.push_back(std::move(pending));
@@ -268,6 +298,8 @@ ServeResponse QueryEngine::Resolve(const ServeRequest& request,
 
 void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
   ServeMetrics& metrics = ServeMetrics::Get();
+  // Queue stage ends here for every member of the batch.
+  for (Pending& pending : batch) pending.ctx.MarkBatchFormed();
   const std::shared_ptr<const Snapshot> snapshot = AcquireSnapshot();
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_items_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -288,19 +320,31 @@ void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     Slot& slot = slots[i];
     const ServeRequest& request = batch[i].request;
+    obs::RequestContext& ctx = batch[i].ctx;
     slot.response = Resolve(request, *snapshot, &slot.query);
     if (!slot.response.ok) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       metrics.errors.Increment();
+      // Disposed without a scan: collapse the scan stage to zero here so the
+      // remaining wait (other slots' scans) lands in the reply stage.
+      ctx.MarkScanBegin();
+      ctx.MarkScanEnd();
       continue;
     }
-    if (request.k == 0) continue;  // Valid, trivially empty; skip cache + scan.
+    if (request.k == 0) {  // Valid, trivially empty; skip cache + scan.
+      ctx.MarkScanBegin();
+      ctx.MarkScanEnd();
+      continue;
+    }
     slot.key = CacheKey(snapshot->epoch, snapshot->index->metric(),
                         snapshot->index->precision(), request.k, slot.query);
     if (ResultCache::Value cached = cache_.Get(slot.key)) {
       slot.response.cache_hit = true;
       slot.response.neighbors = *cached;
       metrics.cache_hits.Increment();
+      ctx.MarkCacheHit();
+      ctx.MarkScanBegin();
+      ctx.MarkScanEnd();
       continue;
     }
     metrics.cache_misses.Increment();
@@ -311,11 +355,15 @@ void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
   for (const auto& [k, indices] : scan_groups) {
     std::vector<tasks::IndexQuery> queries;
     queries.reserve(indices.size());
-    for (size_t i : indices) queries.push_back(std::move(slots[i].query));
+    for (size_t i : indices) {
+      queries.push_back(std::move(slots[i].query));
+      batch[i].ctx.MarkScanBegin();
+    }
     std::vector<std::vector<tasks::Neighbor>> results =
         snapshot->index->QueryBatch(queries, k);
     for (size_t j = 0; j < indices.size(); ++j) {
       Slot& slot = slots[indices[j]];
+      batch[indices[j]].ctx.MarkScanEnd();
       slot.response.neighbors = std::move(results[j]);
       cache_.Put(slot.key, std::make_shared<const std::vector<tasks::Neighbor>>(
                                slot.response.neighbors));
@@ -326,8 +374,32 @@ void QueryEngine::ExecuteBatch(std::vector<Pending> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     const double seconds =
         std::chrono::duration<double>(now - batch[i].admitted).count();
-    latency_seconds_.Observe(seconds);
-    metrics.latency_seconds.Observe(seconds);
+    obs::RequestContext& ctx = batch[i].ctx;
+    const bool ok = slots[i].response.ok;
+    if (!ctx.traced()) {
+      latency_seconds_.Observe(seconds);
+      metrics.latency_seconds.Observe(seconds);
+    } else {
+      // Traced request: close the timeline, feed the per-stage histograms,
+      // and tag the latency buckets with this request id so statsz can join
+      // a tail bucket back to the full timeline in the ring. All of it
+      // happens *before* the promise resolves: once a client holds the
+      // reply, its trace record is visible to statsz (no reply/record race).
+      ctx.Finish(ok);
+      const obs::RequestRecord& record = ctx.record();
+      latency_seconds_.ObserveWithExemplar(seconds, record.id);
+      metrics.latency_seconds.ObserveWithExemplar(seconds, record.id);
+      traced_total_seconds_.ObserveWithExemplar(
+          static_cast<double>(record.TotalNanos()) * 1e-9, record.id);
+      for (int s = 0; s < obs::kRequestStageCount; ++s) {
+        const double stage_seconds =
+            static_cast<double>(
+                record.StageNanos(static_cast<obs::RequestStage>(s))) *
+            1e-9;
+        stage_seconds_[s]->ObserveWithExemplar(stage_seconds, record.id);
+        metrics.stages[s]->ObserveWithExemplar(stage_seconds, record.id);
+      }
+    }
     batch[i].promise.set_value(std::move(slots[i].response));
   }
 }
@@ -354,6 +426,56 @@ ServeStats QueryEngine::Stats() const {
   stats.latency_p50_ms = latency_seconds_.Percentile(50) * 1e3;
   stats.latency_p95_ms = latency_seconds_.Percentile(95) * 1e3;
   stats.latency_p99_ms = latency_seconds_.Percentile(99) * 1e3;
+  // Process-wide snapshot-load telemetry (src/snapshot/reader.cc) so one
+  // stats line describes how the live index got here.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  stats.snapshot_loads = registry.GetCounter("sarn.snapshot.loads").Value();
+  stats.snapshot_load_errors =
+      registry.GetCounter("sarn.snapshot.load_errors").Value();
+  stats.snapshot_bytes =
+      static_cast<uint64_t>(registry.GetGauge("sarn.snapshot.bytes").Value());
+  stats.snapshot_mapped_bytes = static_cast<uint64_t>(
+      registry.GetGauge("sarn.snapshot.mapped_bytes").Value());
+  stats.snapshot_copied_bytes = static_cast<uint64_t>(
+      registry.GetGauge("sarn.snapshot.copied_bytes").Value());
+  return stats;
+}
+
+ServeTraceStats QueryEngine::TraceStats() const {
+  ServeTraceStats stats;
+  stats.enabled = tracer_.enabled();
+  stats.sample_every = tracer_.sample_every();
+  obs::RequestTracer::TraceSnapshot trace = tracer_.Snapshot();
+  stats.admitted = trace.admitted;
+  stats.traced = trace.traced;
+  stats.recent = std::move(trace.recent);
+  stats.slowest = std::move(trace.slowest);
+
+  double stage_total_ms = 0.0;
+  stats.stages.reserve(obs::kRequestStageCount);
+  for (int s = 0; s < obs::kRequestStageCount; ++s) {
+    const obs::Histogram& histogram = *stage_seconds_[s];
+    ServeTraceStats::StageStat stage;
+    stage.stage = obs::RequestStageName(static_cast<obs::RequestStage>(s));
+    stage.count = histogram.Count();
+    stage.total_ms = histogram.Sum() * 1e3;
+    stage.p50_ms = histogram.Percentile(50) * 1e3;
+    stage.p95_ms = histogram.Percentile(95) * 1e3;
+    stage.p99_ms = histogram.Percentile(99) * 1e3;
+    // Tail exemplars: request ids from the highest occupied buckets.
+    std::vector<uint64_t> counts = histogram.BucketCounts();
+    std::vector<uint64_t> exemplars = histogram.BucketExemplars();
+    for (size_t b = counts.size(); b-- > 0 && stage.exemplars.size() < 4;) {
+      if (counts[b] > 0 && exemplars[b] != 0) {
+        stage.exemplars.push_back(exemplars[b]);
+      }
+    }
+    stage_total_ms += stage.total_ms;
+    stats.stages.push_back(std::move(stage));
+  }
+  stats.traced_total_ms = traced_total_seconds_.Sum() * 1e3;
+  stats.attributed_fraction =
+      stats.traced_total_ms > 0.0 ? stage_total_ms / stats.traced_total_ms : 1.0;
   return stats;
 }
 

@@ -45,6 +45,7 @@
 #include "common/timer.h"
 #include "geo/spatial_index.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "serve/result_cache.h"
 #include "tasks/embedding_index.h"
 
@@ -61,6 +62,15 @@ struct ServeOptions {
   double batch_window_ms = 1.0;
   /// LRU result-cache entries; 0 disables caching.
   size_t cache_capacity = 4096;
+  /// Request tracing (DESIGN.md §14): every trace_sample_every-th request
+  /// gets a per-stage timeline recorded into the trace ring. 1 traces
+  /// everything, 0 disables tracing entirely (the Mark* calls reduce to a
+  /// dead branch). Tracing never changes results — only timestamps are read.
+  uint32_t trace_sample_every = 16;
+  /// Recent traced records retained for statsz (rounded up to a power of 2).
+  uint32_t trace_ring_capacity = 256;
+  /// All-time-slowest traced records retained past ring wrap-around.
+  uint32_t trace_slowest = 8;
 };
 
 struct ServeRequest {
@@ -100,6 +110,39 @@ struct ServeStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  // Process-wide sarn.snapshot.* load telemetry (src/snapshot/reader.cc), so
+  // one stats line describes the full serving configuration.
+  uint64_t snapshot_loads = 0;
+  uint64_t snapshot_load_errors = 0;
+  uint64_t snapshot_bytes = 0;         // Arena bytes of the last load.
+  uint64_t snapshot_mapped_bytes = 0;  // Served zero-copy from the mapping.
+  uint64_t snapshot_copied_bytes = 0;  // Materialised into pool storage.
+};
+
+/// Per-stage latency attribution + the traced-request ring, the data behind
+/// {"op":"statsz"} (DESIGN.md §14). Stages telescope over [admit, replied],
+/// so `attributed_fraction` is 1.0 up to float rounding by construction.
+struct ServeTraceStats {
+  struct StageStat {
+    std::string stage;  // admission / queue / cache / scan / reply.
+    uint64_t count = 0;
+    double total_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    /// Exemplar request ids from the highest occupied latency buckets
+    /// (slowest bucket first) — the concrete requests behind the tail.
+    std::vector<uint64_t> exemplars;
+  };
+  bool enabled = false;       // False when trace_sample_every == 0.
+  uint32_t sample_every = 0;
+  uint64_t admitted = 0;      // Requests admitted (ids assigned).
+  uint64_t traced = 0;        // Requests with a recorded timeline.
+  double traced_total_ms = 0.0;      // Σ end-to-end over traced requests.
+  double attributed_fraction = 1.0;  // Σ stage time / Σ end-to-end.
+  std::vector<StageStat> stages;     // kRequestStageCount entries, in order.
+  std::vector<obs::RequestRecord> recent;   // Ring contents, oldest first.
+  std::vector<obs::RequestRecord> slowest;  // Tail table, slowest first.
 };
 
 class QueryEngine {
@@ -143,12 +186,15 @@ class QueryEngine {
 
   uint64_t epoch() const;
   ServeStats Stats() const;
+  /// Per-stage latency breakdown + traced-request dump for statsz.
+  ServeTraceStats TraceStats() const;
 
  private:
   struct Pending {
     ServeRequest request;
     std::promise<ServeResponse> promise;
     std::chrono::steady_clock::time_point admitted;
+    obs::RequestContext ctx;
   };
   struct Snapshot {
     uint64_t epoch = 0;
@@ -192,6 +238,14 @@ class QueryEngine {
   std::atomic<uint64_t> swaps_{0};
   obs::Histogram latency_seconds_;
   obs::Histogram batch_size_;
+
+  // Request-scoped tracing (engine-owned so a snapshot hot-swap never resets
+  // request ids or the ring). Stage histograms record only traced requests;
+  // exemplar ids in their tail buckets come from the same requests the ring
+  // holds, so statsz can join a p99 bucket to a full timeline.
+  obs::RequestTracer tracer_;
+  std::unique_ptr<obs::Histogram> stage_seconds_[obs::kRequestStageCount];
+  obs::Histogram traced_total_seconds_;
 };
 
 }  // namespace sarn::serve

@@ -7,6 +7,9 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/simd/simd.h"
 #include "tensor/storage.h"
 
@@ -209,11 +212,37 @@ size_t EmbeddingIndex::index_bytes() const {
          (metric_ == IndexMetric::kCosine ? scales_.size() : 1) * sizeof(float);
 }
 
+namespace {
+
+// Scan-side instruments, cached once (DESIGN.md §9 pattern). Updated per
+// QueryBatch call — cheap relaxed adds next to a full index scan.
+struct IndexScanMetrics {
+  obs::Counter& scans;
+  obs::Counter& scanned_queries;
+  obs::Histogram& scan_seconds;
+
+  static IndexScanMetrics& Get() {
+    static IndexScanMetrics metrics{
+        obs::MetricsRegistry::Default().GetCounter("sarn.index.scans"),
+        obs::MetricsRegistry::Default().GetCounter("sarn.index.scanned_queries"),
+        obs::MetricsRegistry::Default().GetHistogram("sarn.index.scan_seconds"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
 std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
     std::span<const IndexQuery> queries, int k) const {
+  SARN_TRACE_SPAN("index_query_batch");
   const size_t b = queries.size();
   std::vector<std::vector<Neighbor>> results(b);
   if (b == 0 || n_ == 0) return results;
+  IndexScanMetrics& scan_metrics = IndexScanMetrics::Get();
+  scan_metrics.scans.Increment();
+  scan_metrics.scanned_queries.Increment(b);
+  const Timer scan_timer;
   // Publishes sarn.alloc.* on exit; after the first batch of a given size the
   // pooled scratch below is all hits, so steady-state serving is
   // allocation-free against the global allocator for the scan itself.
@@ -234,6 +263,7 @@ std::vector<std::vector<Neighbor>> EmbeddingIndex::QueryBatch(
   } else {
     ScanInt8(queries, k, excludes.data(), &results);
   }
+  scan_metrics.scan_seconds.Observe(scan_timer.ElapsedSeconds());
   return results;
 }
 

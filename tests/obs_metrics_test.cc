@@ -84,6 +84,63 @@ TEST(HistogramTest, EmptyHistogramReportsZero) {
   EXPECT_EQ(histogram.Count(), 0u);
   EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
   EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleReportsBucketMidpoint) {
+  // One sample in (1, 2]: every percentile is the bucket midpoint 1.5 —
+  // interpolating a one-sample bucket would just echo `p` back as noise.
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(1.7);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 1.5);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 1.5);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99.0), 1.5);
+}
+
+TEST(HistogramTest, SingleSampleInFirstBucketMidpointFromZero) {
+  Histogram histogram({4.0, 8.0});
+  histogram.Observe(3.0);  // (0, 4] -> midpoint 2.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 2.0);
+}
+
+TEST(HistogramTest, SingleOverflowSampleClampsToLastBound) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(100.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 2.0);
+}
+
+TEST(PercentileFromCountsTest, MatchesHistogramEdgeCases) {
+  std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PercentileFromCounts(bounds, {0, 0, 0}, 99.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileFromCounts(bounds, {0, 1, 0}, 99.0), 1.5);
+  EXPECT_DOUBLE_EQ(PercentileFromCounts(bounds, {0, 0, 1}, 99.0), 2.0);
+  // Ten samples in (1, 2]: p50 interpolates to 1.5.
+  EXPECT_DOUBLE_EQ(PercentileFromCounts(bounds, {0, 10, 0}, 50.0), 1.5);
+}
+
+TEST(HistogramTest, ExemplarTagsSampleBucket) {
+  Histogram histogram({1.0, 2.0});
+  histogram.ObserveWithExemplar(0.5, 17);   // Bucket 0.
+  histogram.ObserveWithExemplar(1.5, 42);   // Bucket 1.
+  histogram.ObserveWithExemplar(9.0, 99);   // Overflow bucket.
+  std::vector<uint64_t> exemplars = histogram.BucketExemplars();
+  ASSERT_EQ(exemplars.size(), 3u);
+  EXPECT_EQ(exemplars[0], 17u);
+  EXPECT_EQ(exemplars[1], 42u);
+  EXPECT_EQ(exemplars[2], 99u);
+
+  // Last writer wins; id 0 means "none" and is never stored.
+  histogram.ObserveWithExemplar(1.5, 43);
+  histogram.ObserveWithExemplar(1.5, 0);
+  EXPECT_EQ(histogram.BucketExemplars()[1], 43u);
+  EXPECT_EQ(histogram.Count(), 5u);  // Id-0 observations still count.
+}
+
+TEST(HistogramTest, ResetClearsExemplars) {
+  Histogram histogram({1.0});
+  histogram.ObserveWithExemplar(0.5, 7);
+  histogram.Reset();
+  for (uint64_t e : histogram.BucketExemplars()) EXPECT_EQ(e, 0u);
 }
 
 TEST(HistogramTest, ResetZeroesInPlace) {
@@ -134,6 +191,31 @@ TEST(MetricsRegistryTest, InstrumentsArePersistentByName) {
   EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 2.5);
   ASSERT_EQ(snapshot.histograms.size(), 1u);
   EXPECT_EQ(snapshot.histograms[0].count, 1u);
+}
+
+TEST(MetricsRegistryTest, KindTracksRegistration) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.Kind("unregistered").has_value());
+  registry.GetCounter("k.counter");
+  registry.GetGauge("k.gauge");
+  registry.GetHistogram("k.hist", {1.0});
+  EXPECT_EQ(registry.Kind("k.counter"), InstrumentKind::kCounter);
+  EXPECT_EQ(registry.Kind("k.gauge"), InstrumentKind::kGauge);
+  EXPECT_EQ(registry.Kind("k.hist"), InstrumentKind::kHistogram);
+  // Re-requesting the same kind is fine.
+  registry.GetCounter("k.counter");
+}
+
+TEST(MetricsRegistryDeathTest, NameCollisionAcrossKindsAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("collide.name");
+  EXPECT_DEATH(registry.GetGauge("collide.name"), "metric name collision");
+  EXPECT_DEATH(registry.GetHistogram("collide.name", {1.0}),
+               "metric name collision");
+
+  registry.GetHistogram("collide.hist", {1.0});
+  EXPECT_DEATH(registry.GetCounter("collide.hist"),
+               "registered as a histogram, requested counter");
 }
 
 TEST(MetricsRegistryTest, ResetForTestKeepsReferencesValid) {

@@ -1,0 +1,120 @@
+// Tests for the Prometheus text exposition emitter (src/obs/prom_export.h).
+
+#include "obs/prom_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace sarn::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(PromMetricNameTest, ReplacesDotsAndInvalidCharacters) {
+  EXPECT_EQ(PromMetricName("sarn.serve.requests"), "sarn_serve_requests");
+  EXPECT_EQ(PromMetricName("sarn.slo.p99_ms"), "sarn_slo_p99_ms");
+  EXPECT_EQ(PromMetricName("weird-name with/slash"), "weird_name_with_slash");
+  EXPECT_EQ(PromMetricName("ok_name:sub"), "ok_name:sub");  // ':' is legal.
+}
+
+TEST(PromMetricNameTest, LeadingDigitGainsPrefix) {
+  EXPECT_EQ(PromMetricName("9lives"), "_9lives");
+  EXPECT_EQ(PromMetricName("x9lives"), "x9lives");
+}
+
+TEST(PrometheusTextTest, EmitsCounterAndGauge) {
+  MetricsRegistry registry;
+  registry.GetCounter("sarn.test.requests").Increment(42);
+  registry.GetGauge("sarn.test.occupancy").Set(2.5);
+
+  std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE sarn_test_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_requests 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sarn_test_occupancy gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_occupancy 2.5\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PrometheusTextTest, EmitsCumulativeHistogramSeries) {
+  MetricsRegistry registry;
+  // Power-of-two bounds and samples render exactly under %.17g.
+  Histogram& h =
+      registry.GetHistogram("sarn.test.latency", {0.25, 0.5, 1.0});
+  h.Observe(0.125);  // Bucket le=0.25.
+  h.Observe(0.375);  // Bucket le=0.5.
+  h.Observe(0.375);
+  h.Observe(5.0);    // Overflow -> only le=+Inf.
+
+  std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE sarn_test_latency histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(text.find("sarn_test_latency_bucket{le=\"0.25\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_latency_bucket{le=\"0.5\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_latency_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_latency_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_latency_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("sarn_test_latency_sum 5.875\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, BucketCountEqualsInfBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("sarn.test.h", {1.0});
+  h.Observe(0.5);
+  h.Observe(2.0);
+
+  std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("sarn_test_h_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sarn_test_h_count 2\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EmptySnapshotIsEmptyText) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(PrometheusText(registry.Snapshot()).empty());
+}
+
+TEST(WritePromFileTest, RoundTripsThroughDisk) {
+  MetricsRegistry registry;
+  registry.GetCounter("sarn.test.writes").Increment(7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string path = testing::TempDir() + "/sarn_prom_test.prom";
+  ASSERT_TRUE(WritePromFile(snapshot, path));
+  EXPECT_EQ(ReadFile(path), PrometheusText(snapshot));
+
+  // Overwrite is atomic (tmp + rename): a second write fully replaces.
+  registry.GetCounter("sarn.test.writes").Increment(1);
+  snapshot = registry.Snapshot();
+  ASSERT_TRUE(WritePromFile(snapshot, path));
+  EXPECT_EQ(ReadFile(path), PrometheusText(snapshot));
+  EXPECT_NE(ReadFile(path).find("sarn_test_writes 8\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WritePromFileTest, FailsOnUnwritablePath) {
+  MetricsRegistry registry;
+  registry.GetCounter("sarn.test.x").Increment(1);
+  EXPECT_FALSE(WritePromFile(registry.Snapshot(),
+                             "/nonexistent_dir_xyz/out.prom"));
+}
+
+}  // namespace
+}  // namespace sarn::obs

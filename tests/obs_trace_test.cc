@@ -151,5 +151,112 @@ TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
   EXPECT_NE(text.find("persisted"), std::string::npos);
 }
 
+// --- AppendChromeTrace: merging spans across process lifetimes ---
+
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  return text;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TEST_F(TraceTest, AppendToMissingFileWritesFreshTrace) {
+  std::string path = ::testing::TempDir() + "/obs_trace_append_fresh.json";
+  std::remove(path.c_str());
+  std::vector<TraceEvent> events = {{"first_life", 1, 10, 42}};
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, events));
+  std::string text = ReadWholeFile(path);
+  std::string error;
+  EXPECT_TRUE(JsonValid(text, &error)) << error;
+  EXPECT_NE(text.find("first_life"), std::string::npos);
+}
+
+// The kill+resume contract: a trace written by one process lifetime, then
+// appended to by a resumed run, must stay one valid Chrome trace holding
+// spans from BOTH lifetimes (ISSUE 8 satellite; CmdTrain uses this when
+// resuming from a checkpoint).
+TEST_F(TraceTest, AppendMergesSpansAcrossLifetimes) {
+  std::string path = ::testing::TempDir() + "/obs_trace_append_merge.json";
+  std::remove(path.c_str());
+  std::vector<TraceEvent> first = {{"epoch_0", 1, 10, 100},
+                                   {"epoch_1", 1, 120, 100}};
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path, first));
+
+  std::vector<TraceEvent> second = {{"epoch_2_resumed", 7, 10, 90}};
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, second));
+
+  std::string text = ReadWholeFile(path);
+  std::string error;
+  ASSERT_TRUE(JsonValid(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("epoch_0"), std::string::npos);
+  EXPECT_NE(text.find("epoch_1"), std::string::npos);
+  EXPECT_NE(text.find("epoch_2_resumed"), std::string::npos);
+  // Still exactly one traceEvents array (spliced, not concatenated).
+  EXPECT_EQ(CountOccurrences(text, "\"traceEvents\""), 1u);
+
+  // A third lifetime appends again — the splice is repeatable.
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, {{"epoch_3", 9, 10, 80}}));
+  text = ReadWholeFile(path);
+  ASSERT_TRUE(JsonValid(text, &error)) << error;
+  EXPECT_EQ(CountOccurrences(text, "\"ph\":\"X\""), 4u);  // All four spans.
+}
+
+TEST_F(TraceTest, AppendToEmptyPriorTraceStaysValid) {
+  std::string path = ::testing::TempDir() + "/obs_trace_append_empty.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path, {}));  // No spans recorded.
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, {{"later", 1, 5, 10}}));
+  std::string text = ReadWholeFile(path);
+  std::string error;
+  EXPECT_TRUE(JsonValid(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("later"), std::string::npos);
+}
+
+TEST_F(TraceTest, AppendNoNewEventsKeepsFileValid) {
+  std::string path = ::testing::TempDir() + "/obs_trace_append_none.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(Tracer::WriteChromeTrace(path, {{"only", 1, 5, 10}}));
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, {}));
+  std::string text = ReadWholeFile(path);
+  std::string error;
+  EXPECT_TRUE(JsonValid(text, &error)) << error << "\n" << text;
+  EXPECT_EQ(CountOccurrences(text, "\"ph\":\"X\""), 1u);
+}
+
+TEST_F(TraceTest, AppendToForeignFileFallsBackToFreshTrace) {
+  std::string path = ::testing::TempDir() + "/obs_trace_append_foreign.json";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("this is not a chrome trace", file);
+    std::fclose(file);
+  }
+  ASSERT_TRUE(Tracer::AppendChromeTrace(path, {{"fresh", 1, 5, 10}}));
+  std::string text = ReadWholeFile(path);
+  std::string error;
+  EXPECT_TRUE(JsonValid(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("fresh"), std::string::npos);
+  EXPECT_EQ(text.find("not a chrome trace"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sarn::obs

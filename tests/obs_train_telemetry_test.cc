@@ -217,5 +217,74 @@ TEST_F(TrainTelemetryTest, CheckpointEventsAndJsonlContinuityAcrossResume) {
   fs::remove_all(dir);
 }
 
+// Kill+resume trace-span export (ISSUE 8 satellite): the Chrome trace from a
+// resumed run must stay one valid JSON document holding spans from BOTH
+// process lifetimes — the first run writes the file, the resumed run splices
+// its spans in via AppendChromeTrace (the same call CmdTrain makes when
+// resumed_from_epoch > 0).
+TEST_F(TrainTelemetryTest, ChromeTraceSurvivesKillAndResume) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "obs_telemetry_trace_resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string trace_path = (dir / "trace.json").string();
+  SarnConfig config = SmallConfig();
+
+  // Phase 1: train 2 of 4 epochs with tracing on, export, then "die".
+  size_t first_life_spans = 0;
+  {
+    obs::Tracer::Instance().SetEnabled(true);
+    obs::Tracer::Instance().Drain();
+    SarnModel model(*network_, config);
+    TrainOptions options;
+    options.checkpoint_dir = (dir / "ckpt").string();
+    options.max_epochs = 2;
+    model.Train(options);
+    std::vector<obs::TraceEvent> events = obs::Tracer::Instance().Drain();
+    obs::Tracer::Instance().SetEnabled(false);
+    first_life_spans = events.size();
+    ASSERT_GT(first_life_spans, 0u);
+    ASSERT_TRUE(obs::Tracer::WriteChromeTrace(trace_path, events));
+  }
+  // Phase 2: a fresh "process" resumes from the checkpoint and appends its
+  // spans to the same trace file.
+  size_t second_life_spans = 0;
+  {
+    obs::Tracer::Instance().SetEnabled(true);
+    obs::Tracer::Instance().Drain();
+    SarnModel model(*network_, config);
+    TrainOptions options;
+    options.checkpoint_dir = (dir / "ckpt").string();
+    TrainStats stats = model.Train(options);
+    EXPECT_EQ(stats.resumed_from_epoch, 2);
+    std::vector<obs::TraceEvent> events = obs::Tracer::Instance().Drain();
+    obs::Tracer::Instance().SetEnabled(false);
+    second_life_spans = events.size();
+    ASSERT_GT(second_life_spans, 0u);
+    ASSERT_TRUE(obs::Tracer::AppendChromeTrace(trace_path, events));
+  }
+
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  std::string error;
+  ASSERT_TRUE(obs::JsonValid(text, &error)) << error;
+
+  // Exactly one spliced traceEvents array with every span from both
+  // lifetimes present.
+  size_t span_count = 0;
+  for (size_t pos = text.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = text.find("\"ph\":\"X\"", pos + 1)) {
+    ++span_count;
+  }
+  EXPECT_EQ(span_count, first_life_spans + second_life_spans);
+  EXPECT_EQ(text.find("\"traceEvents\""),
+            text.rfind("\"traceEvents\""));  // Single array.
+
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace sarn::core

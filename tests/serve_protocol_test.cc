@@ -53,6 +53,7 @@ TEST(ServeProtocolTest, ParsesLatLngAndLonAlias) {
 
 TEST(ServeProtocolTest, ParsesStatsAndReload) {
   EXPECT_EQ(Parse(R"({"op":"stats"})").op, ParsedLine::Op::kStats);
+  EXPECT_EQ(Parse(R"({"op":"statsz"})").op, ParsedLine::Op::kStatsz);
   ParsedLine reload = Parse(R"({"op":"reload","embeddings":"new emb.csv"})");
   ASSERT_EQ(reload.op, ParsedLine::Op::kReload);
   EXPECT_EQ(reload.reload_path, "new emb.csv");
@@ -132,6 +133,83 @@ TEST(ServeProtocolTest, FormattedLinesAreValidJson) {
   EXPECT_NE(lines[0].find("\"id\":12"), std::string::npos);
   EXPECT_EQ(lines[1].find("\"id\":12"), std::string::npos);
   EXPECT_NE(lines[3].find("\"requests\":10"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, StatsLineCarriesSnapshotLoadTelemetry) {
+  ServeStats stats;
+  stats.requests = 2;
+  stats.snapshot_loads = 3;
+  stats.snapshot_load_errors = 1;
+  stats.snapshot_bytes = 4096;
+  stats.snapshot_mapped_bytes = 4000;
+  stats.snapshot_copied_bytes = 96;
+  std::string line = FormatStatsLine(0, stats);
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValid(line, &json_error)) << line << ": " << json_error;
+  EXPECT_NE(line.find("\"snapshot\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"loads\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"load_errors\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(line.find("\"mapped_bytes\":4000"), std::string::npos);
+  EXPECT_NE(line.find("\"copied_bytes\":96"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, StatszLineIsValidJsonWithStagesAndRecords) {
+  ServeTraceStats stats;
+  stats.enabled = true;
+  stats.sample_every = 16;
+  stats.admitted = 32;
+  stats.traced = 2;
+  stats.traced_total_ms = 3.5;
+  stats.attributed_fraction = 1.0;
+  for (const char* name : {"admission", "queue", "cache", "scan", "reply"}) {
+    ServeTraceStats::StageStat stage;
+    stage.stage = name;
+    stage.count = 2;
+    stage.total_ms = 0.7;
+    stage.p50_ms = 0.3;
+    stage.p95_ms = 0.6;
+    stage.p99_ms = 0.65;
+    stage.exemplars = {16, 32};
+    stats.stages.push_back(stage);
+  }
+  obs::RequestRecord record;
+  record.id = 16;
+  record.admit_ns = 1000;
+  record.enqueued_ns = 1100;
+  record.batch_formed_ns = 1200;
+  record.scan_begin_ns = 1300;
+  record.scan_end_ns = 1900;
+  record.replied_ns = 2000;
+  record.cache_hit = true;
+  record.ok = true;
+  stats.recent.push_back(record);
+  stats.slowest.push_back(record);
+
+  std::string line = FormatStatszLine(7, stats);
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValid(line, &json_error)) << line << ": " << json_error;
+  EXPECT_NE(line.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"statsz\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"sample_every\":16"), std::string::npos);
+  EXPECT_NE(line.find("\"admitted\":32"), std::string::npos);
+  EXPECT_NE(line.find("\"attributed_fraction\":1"), std::string::npos);
+  for (const char* name : {"admission", "queue", "cache", "scan", "reply"}) {
+    EXPECT_NE(line.find(std::string("\"stage\":\"") + name + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(line.find("\"exemplar_ids\":[16,32]"), std::string::npos);
+  EXPECT_NE(line.find("\"recent\":["), std::string::npos);
+  EXPECT_NE(line.find("\"slowest\":["), std::string::npos);
+  EXPECT_NE(line.find("\"cache_hit\":true"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, StatszLineWhenTracingDisabled) {
+  ServeTraceStats stats;  // enabled=false, no stages.
+  std::string line = FormatStatszLine(0, stats);
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValid(line, &json_error)) << line << ": " << json_error;
+  EXPECT_NE(line.find("\"enabled\":false"), std::string::npos);
 }
 
 // Round-trip: a formatted response parses back through the flat reader used

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
@@ -29,9 +30,11 @@
 #include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/csv.h"
@@ -41,7 +44,10 @@
 #include "core/sarn_model.h"
 #include "geo/spatial_index.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/metrics_sink.h"
+#include "obs/prom_export.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "roadnet/geojson.h"
 #include "roadnet/io.h"
@@ -181,7 +187,13 @@ int CmdTrain(const FlagSet& flags) {
   if (!trace_file.empty()) {
     std::vector<obs::TraceEvent> events = obs::Tracer::Instance().Drain();
     obs::Tracer::Instance().SetEnabled(false);
-    if (!obs::Tracer::WriteChromeTrace(trace_file, events)) {
+    // A resumed run merges its spans into the prior lifetime's trace so one
+    // file shows the whole (killed + resumed) training timeline; a fresh run
+    // starts the file over.
+    const bool merged = stats.resumed_from_epoch > 0
+                            ? obs::Tracer::AppendChromeTrace(trace_file, events)
+                            : obs::Tracer::WriteChromeTrace(trace_file, events);
+    if (!merged) {
       return Fail("train: cannot write " + trace_file);
     }
     std::printf("trace -> %s (%zu events; load in chrome://tracing)\n",
@@ -466,6 +478,54 @@ int CmdSnapshotLoad(const FlagSet& flags) {
 // the new index is parsed (CSV) or mmap-validated (.sarnsnap) on a
 // background thread and hot-swapped in, so in-flight and subsequent queries
 // never wait on a load.
+/// Background Prometheus exporter for `sarn serve --prom-file`: atomically
+/// rewrites the file (tmp + rename) from a registry snapshot every interval,
+/// and once more on shutdown so the final state is always published.
+class PeriodicPromWriter {
+ public:
+  PeriodicPromWriter(std::string path, double interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~PeriodicPromWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Write();  // Final state, after workers have drained.
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double, std::milli>(interval_ms_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      lock.unlock();
+      Write();
+      lock.lock();
+    }
+  }
+
+  void Write() {
+    if (!obs::WritePromFile(obs::MetricsRegistry::Default().Snapshot(), path_)) {
+      SARN_LOG(Error) << "cannot write prometheus file " << path_;
+    }
+  }
+
+  std::string path_;
+  double interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 int CmdServe(const FlagSet& flags) {
   const std::string embeddings_path = flags.GetString("embeddings");
   const std::string snapshot_path = flags.GetString("snapshot");
@@ -535,7 +595,42 @@ int CmdServe(const FlagSet& flags) {
   if (options.threads < 0 || options.max_batch <= 0) {
     return Fail("serve: --threads must be >= 0 and --batch-size >= 1");
   }
+  const int64_t trace_sample = flags.GetInt("trace-sample");
+  if (trace_sample < 0) {
+    return Fail("serve: --trace-sample must be >= 0 (0 disables tracing)");
+  }
+  options.trace_sample_every = static_cast<uint32_t>(trace_sample);
   const int default_k = static_cast<int>(flags.GetInt("k"));
+
+  // SLO burn events go to the JSONL metrics stream when one is configured.
+  std::unique_ptr<obs::JsonlMetricsSink> metrics_sink;
+  const std::string metrics_file = flags.GetString("metrics-file");
+  if (!metrics_file.empty()) {
+    metrics_sink = std::make_unique<obs::JsonlMetricsSink>(metrics_file);
+    if (!metrics_sink->ok()) return Fail("serve: cannot open " + metrics_file);
+  }
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  const double slo_p99_ms = flags.GetDouble("slo-p99-ms");
+  if (slo_p99_ms > 0.0) {
+    obs::SloWatchdog::Options slo;
+    slo.budget_p99_ms = slo_p99_ms;
+    slo.window_seconds = flags.GetDouble("slo-window-s");
+    if (slo.window_seconds <= 0.0) {
+      return Fail("serve: --slo-window-s must be > 0");
+    }
+    slo.tick_seconds = std::min(1.0, slo.window_seconds / 4.0);
+    watchdog = std::make_unique<obs::SloWatchdog>(slo, metrics_sink.get());
+  }
+  std::unique_ptr<PeriodicPromWriter> prom_writer;
+  const std::string prom_file = flags.GetString("prom-file");
+  if (!prom_file.empty()) {
+    const double prom_interval_ms = flags.GetDouble("prom-interval-ms");
+    if (prom_interval_ms <= 0.0) {
+      return Fail("serve: --prom-interval-ms must be > 0");
+    }
+    prom_writer =
+        std::make_unique<PeriodicPromWriter>(prom_file, prom_interval_ms);
+  }
 
   serve::QueryEngine engine(index, locator, options);
   std::fprintf(stderr,
@@ -605,6 +700,10 @@ int CmdServe(const FlagSet& flags) {
       case serve::ParsedLine::Op::kStats:
         drain(/*block=*/true);
         emit(serve::FormatStatsLine(this_seq, engine.Stats()));
+        break;
+      case serve::ParsedLine::Op::kStatsz:
+        drain(/*block=*/true);
+        emit(serve::FormatStatszLine(this_seq, engine.TraceStats()));
         break;
       case serve::ParsedLine::Op::kReload: {
         // No barrier: the load (CSV parse or snapshot mmap + validation)
@@ -676,6 +775,37 @@ int CmdServe(const FlagSet& flags) {
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.cache_misses),
                stats.latency_p50_ms, stats.latency_p99_ms);
+  return 0;
+}
+
+int CmdMetricsExport(const FlagSet& flags) {
+  const std::string snapshot_path = flags.GetString("snapshot");
+  if (!snapshot_path.empty()) {
+    // Loading populates sarn.snapshot.* (loads, bytes, mapped/copied split),
+    // which makes the export meaningful for a fresh process.
+    const tasks::IndexPrecision precision =
+        flags.GetBool("quantized") ? tasks::IndexPrecision::kInt8
+                                   : tasks::IndexPrecision::kFloat32;
+    snapshot::LoadedSnapshot loaded;
+    snapshot::SnapshotStatus status =
+        snapshot::LoadServingSnapshot(snapshot_path, precision, &loaded);
+    if (!status.ok()) {
+      return Fail(std::string("metrics-export: [") +
+                  snapshot::SnapshotErrorName(status.error) + "] " +
+                  status.message);
+    }
+  }
+  const std::string text =
+      obs::PrometheusText(obs::MetricsRegistry::Default().Snapshot());
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (!obs::WritePromFile(obs::MetricsRegistry::Default().Snapshot(), out_path)) {
+    return Fail("metrics-export: cannot write " + out_path);
+  }
+  std::printf("metrics -> %s\n", out_path.c_str());
   return 0;
 }
 
@@ -778,9 +908,28 @@ const Command kCommands[] = {
            .Double("batch-window-ms", 1.0, "flush when the oldest waits this long")
            .Int("cache-capacity", 4096, "LRU result-cache entries (0 = off)")
            .Bool("quantized", false,
-                 "serve an int8 quantized index (~4x smaller, recall@10 >= 0.99)");
+                 "serve an int8 quantized index (~4x smaller, recall@10 >= 0.99)")
+           .Int("trace-sample", 16,
+                "trace every Nth request's per-stage timeline (1 = all, 0 = off)")
+           .String("prom-file", "",
+                   "periodically write Prometheus text exposition here")
+           .Double("prom-interval-ms", 1000.0, "--prom-file rewrite period")
+           .Double("slo-p99-ms", 0.0,
+                   "p99 latency budget; breaches emit slo events (0 = off)")
+           .Double("slo-window-s", 10.0, "sliding window for the SLO watchdog")
+           .String("metrics-file", "",
+                   "append SLO burn events as JSON lines here");
      },
      CmdServe},
+    {"metrics-export", "dump the process metrics registry as Prometheus text",
+     [](FlagSet& f) {
+       f.String("out", "", "write here instead of stdout")
+           .String("snapshot", "",
+                   "load this .sarnsnap first so sarn.snapshot.* metrics are "
+                   "populated")
+           .Bool("quantized", false, "adopt the int8 payload of --snapshot");
+     },
+     CmdMetricsExport},
 };
 
 int Usage() {

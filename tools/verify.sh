@@ -4,22 +4,26 @@
 #   2. the checkpoint/resume suite (ctest -L checkpoint) run on its own, so a
 #      resume-determinism or corrupt-file-handling regression is reported by
 #      name even when something earlier in the suite also fails;
-#   3. the observability suite (ctest -L obs) plus a telemetry smoke run of
-#      the CLI: 2 training epochs with --metrics-file/--trace-file, then
-#      check-json on both artifacts;
+#   3. the observability suite (ctest -L obs: metrics math, request-trace
+#      ring, Prometheus emitter, trace export, sink continuity) plus a
+#      telemetry smoke run of the CLI: 2 training epochs with
+#      --metrics-file/--trace-file, then check-json on both artifacts;
 #   4. the query-serving suite (ctest -L serve: batch index equivalence,
 #      engine hot-swap, NDJSON protocol, CLI flags) plus a serve smoke: three
-#      NDJSON queries piped through `sarn serve`, output validated with
-#      check-json, run once at float32 and once with --quantized;
+#      NDJSON queries and a statsz introspection line piped through
+#      `sarn serve` (with --prom-file exposition written and grepped), output
+#      validated with check-json, run once at float32 and once with
+#      --quantized, plus a `sarn metrics-export` Prometheus smoke;
 #   5. the SIMD suite (ctest -L simd: scalar-vs-vector bitwise identity,
 #      int8 kernel exactness, quantized recall@10 gate) in the default build,
 #      then again in a -DSARN_NO_SIMD=ON build (build-nosimd) to prove the
 #      scalar fallback configuration stays green on its own;
 #   6. the concurrency-sensitive tests (parallel runtime, matmul kernels,
-#      GAT fusion, buffer-pool acquire/release, metrics registry, serve
-#      engine hot-swap, SIMD kernels) plus the checkpoint suite rebuilt under
-#      ThreadSanitizer, so a pool regression, a race in resumed training, a
-#      race on a telemetry instrument, or a torn snapshot swap shows up as a
+#      GAT fusion, buffer-pool acquire/release, metrics registry, the
+#      request-trace seqlock ring, serve engine hot-swap, SIMD kernels) plus
+#      the checkpoint suite rebuilt under ThreadSanitizer, so a pool
+#      regression, a race in resumed training, a race on a telemetry
+#      instrument, a torn trace record, or a torn snapshot swap shows up as a
 #      reported race instead of a rare flake;
 #   7. a leak gate: the storage-pool, SIMD-kernel and quantized-index suites
 #      and a short CLI training run rebuilt under AddressSanitizer
@@ -69,13 +73,42 @@ if [[ "$mode" != "--tsan-only" ]]; then
     '{"op":"query","id":0,"k":3}' \
     '{"vector":[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"k":2}' \
     '{"op":"stats"}' \
+    '{"op":"statsz"}' \
     > "$serve_dir/queries.ndjson"
   build/tools/sarn serve --embeddings "$serve_dir/emb.csv" --threads 2 \
+    --trace-sample 1 --prom-file "$serve_dir/metrics.prom" \
     < "$serve_dir/queries.ndjson" > "$serve_dir/responses.ndjson"
   build/tools/sarn check-json --in "$serve_dir/responses.ndjson" --lines true
   ok_count="$(grep -c '"ok":true' "$serve_dir/responses.ndjson")"
-  if [[ "$ok_count" != 3 ]]; then
-    echo "verify: expected 3 ok serve responses, got $ok_count" >&2
+  if [[ "$ok_count" != 4 ]]; then
+    echo "verify: expected 4 ok serve responses, got $ok_count" >&2
+    exit 1
+  fi
+  # statsz must attribute the traced latency to the five named stages and the
+  # stats line must carry the snapshot load telemetry block.
+  if ! grep -q '"statsz":{"enabled":true' "$serve_dir/responses.ndjson"; then
+    echo "verify: serve statsz response missing or tracing not enabled" >&2
+    exit 1
+  fi
+  for stage in admission queue cache scan reply; do
+    if ! grep -q "\"stage\":\"$stage\"" "$serve_dir/responses.ndjson"; then
+      echo "verify: serve statsz is missing stage '$stage'" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '"snapshot":{"loads":' "$serve_dir/responses.ndjson"; then
+    echo "verify: serve stats is missing the snapshot telemetry block" >&2
+    exit 1
+  fi
+  # The periodic Prometheus exposition file: written at least once (final
+  # write on shutdown), parseable enough to carry the serve counters.
+  if ! grep -q '^sarn_serve_requests 2$' "$serve_dir/metrics.prom"; then
+    echo "verify: --prom-file exposition missing sarn_serve_requests" >&2
+    exit 1
+  fi
+  if ! grep -q '^# TYPE sarn_serve_stage_scan_seconds histogram$' \
+      "$serve_dir/metrics.prom"; then
+    echo "verify: --prom-file exposition missing stage histograms" >&2
     exit 1
   fi
   # Same smoke at int8: the quantized index must serve the same protocol and
@@ -85,8 +118,8 @@ if [[ "$mode" != "--tsan-only" ]]; then
     < "$serve_dir/queries.ndjson" > "$serve_dir/responses_q.ndjson"
   build/tools/sarn check-json --in "$serve_dir/responses_q.ndjson" --lines true
   ok_count="$(grep -c '"ok":true' "$serve_dir/responses_q.ndjson")"
-  if [[ "$ok_count" != 3 ]]; then
-    echo "verify: expected 3 ok quantized serve responses, got $ok_count" >&2
+  if [[ "$ok_count" != 4 ]]; then
+    echo "verify: expected 4 ok quantized serve responses, got $ok_count" >&2
     exit 1
   fi
   if ! grep -q '"precision":"int8"' "$serve_dir/responses_q.ndjson"; then
@@ -103,12 +136,20 @@ if [[ "$mode" != "--tsan-only" ]]; then
     --network "$obs_dir/net.csv" --out "$snap_dir/model.sarnsnap"
   build/tools/sarn snapshot load --in "$snap_dir/model.sarnsnap" \
     --query-id 0 --k 3
+  # metrics-export: loading the snapshot populates sarn.snapshot.*, so the
+  # offline Prometheus dump is non-trivial for a fresh process.
+  build/tools/sarn metrics-export --snapshot "$snap_dir/model.sarnsnap" \
+    --out "$snap_dir/export.prom"
+  if ! grep -q '^sarn_snapshot_loads 1$' "$snap_dir/export.prom"; then
+    echo "verify: metrics-export output missing sarn_snapshot_loads" >&2
+    exit 1
+  fi
   build/tools/sarn serve --snapshot "$snap_dir/model.sarnsnap" --threads 2 \
     < "$serve_dir/queries.ndjson" > "$snap_dir/responses.ndjson"
   build/tools/sarn check-json --in "$snap_dir/responses.ndjson" --lines true
   ok_count="$(grep -c '"ok":true' "$snap_dir/responses.ndjson")"
-  if [[ "$ok_count" != 3 ]]; then
-    echo "verify: expected 3 ok snapshot serve responses, got $ok_count" >&2
+  if [[ "$ok_count" != 4 ]]; then
+    echo "verify: expected 4 ok snapshot serve responses, got $ok_count" >&2
     exit 1
   fi
   # SIMD suite on the default (vectorised) build: bitwise identity between
@@ -126,11 +167,12 @@ if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
   cmake -B build-tsan -S . -DSARN_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j"$jobs" \
     --target parallel_test ops_test nn_gat_test serialization_test \
-             sarn_model_test obs_metrics_test obs_trace_test serve_engine_test \
+             sarn_model_test obs_metrics_test obs_trace_test \
+             obs_request_trace_test serve_engine_test \
              storage_pool_test simd_kernels_test quantized_index_test \
              snapshot_roundtrip_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|obs_request_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test)$')
 fi
 
 if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
