@@ -1,0 +1,224 @@
+// Step-plan engine bench (DESIGN.md §15): dynamic tape vs. record/replay.
+//
+// Trains the same SARN config twice with identical seeds — once with the
+// plan engine off (the dynamic tape) and once in replay mode — and compares
+// steady-state per-step latency. "Steady state" skips the warm-up epochs
+// where the negative queues are still filling and the plan cache is still
+// capturing/verifying; after that every full batch of an epoch replays from
+// the AOT-packed arena with fused grad kernels.
+//
+// The two runs are bitwise identical by construction (the plan engine's
+// headline invariant); the bench asserts it on the per-epoch loss series.
+//
+// A machine-readable summary lands at $SARN_PLAN_JSON when set
+// (run_benches.sh points it at bench_out/BENCH_plan.json):
+//   speedup            — dynamic / replay steady-state step latency (>= 1.2
+//                        is the acceptance bar).
+//   steady_pool_misses — allocator pool misses across the replay run's
+//                        steady-state epochs (must be 0: every steady-state
+//                        buffer is served from the plan arena or a warm
+//                        free list, never the global allocator).
+//
+// The city is floored to a size where segments >> batch_size: plan keys
+// carry the per-epoch view edge counts, so replay only pays off when many
+// batches per epoch share one key.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sarn_model.h"
+#include "obs/metrics.h"
+#include "obs/metrics_sink.h"
+#include "plan/plan.h"
+
+namespace sarn::bench {
+namespace {
+
+/// Captures each EpochRecord plus a snapshot of the cumulative allocator and
+/// plan counters at the epoch boundary (OnEpoch runs synchronously inside
+/// Train, between epochs), so per-epoch deltas can be computed afterwards.
+class PlanBenchSink : public obs::MetricsSink {
+ public:
+  struct Epoch {
+    obs::EpochRecord record;
+    uint64_t pool_misses = 0;  // sarn.alloc.pool_misses, cumulative.
+    uint64_t replays = 0;      // sarn.plan.replays, cumulative.
+    uint64_t captures = 0;     // sarn.plan.captures, cumulative.
+    uint64_t divergences = 0;  // sarn.plan.divergences, cumulative.
+  };
+
+  void OnEpoch(const obs::EpochRecord& record) override {
+    auto& registry = obs::MetricsRegistry::Default();
+    Epoch e;
+    e.record = record;
+    e.pool_misses = registry.GetCounter("sarn.alloc.pool_misses").Value();
+    e.replays = registry.GetCounter("sarn.plan.replays").Value();
+    e.captures = registry.GetCounter("sarn.plan.captures").Value();
+    e.divergences = registry.GetCounter("sarn.plan.divergences").Value();
+    epochs.push_back(std::move(e));
+  }
+  void OnCheckpoint(const obs::CheckpointEvent&) override {}
+
+  std::vector<Epoch> epochs;
+};
+
+/// Per-step seconds of one epoch: every per-batch phase (forward, loss,
+/// backward, optimizer, queue push), excluding the per-epoch augmentation
+/// and checkpoint writes the plan engine never touches.
+double StepSeconds(const obs::EpochRecord& record) {
+  double total = 0.0;
+  for (const auto& [name, seconds] : record.phase_seconds) {
+    if (name != "augmentation" && name != "checkpoint_write") total += seconds;
+  }
+  return total;
+}
+
+struct RunResult {
+  PlanBenchSink sink;
+  core::TrainStats stats;
+};
+
+void RunOne(const roadnet::RoadNetwork& network, const core::SarnConfig& config,
+            plan::PlanMode mode, RunResult* out) {
+  core::SarnModel model(network, config);
+  core::TrainOptions options;
+  options.plan_mode = mode;
+  options.metrics_sink = &out->sink;
+  out->stats = model.Train(options);
+}
+
+/// Mean steady-state per-step latency (ms) over epochs [warmup, end).
+double SteadyStepMs(const PlanBenchSink& sink, int warmup) {
+  double seconds = 0.0;
+  int64_t batches = 0;
+  for (size_t i = warmup; i < sink.epochs.size(); ++i) {
+    seconds += StepSeconds(sink.epochs[i].record);
+    batches += sink.epochs[i].record.batches;
+  }
+  return batches > 0 ? seconds / static_cast<double>(batches) * 1e3 : 0.0;
+}
+
+/// Mean steady-state ms/step of one named phase.
+double SteadyPhaseMs(const PlanBenchSink& sink, int warmup,
+                     const std::string& phase) {
+  double seconds = 0.0;
+  int64_t batches = 0;
+  for (size_t i = warmup; i < sink.epochs.size(); ++i) {
+    for (const auto& [name, s] : sink.epochs[i].record.phase_seconds) {
+      if (name == phase) seconds += s;
+    }
+    batches += sink.epochs[i].record.batches;
+  }
+  return batches > 0 ? seconds / static_cast<double>(batches) * 1e3 : 0.0;
+}
+
+int Main() {
+  BenchEnv env = GetEnv();
+  // Replay amortisation needs many batches per epoch sharing one plan key;
+  // floor the city size and epoch count so the steady-state window exists
+  // even under the fast default bench env.
+  env.scale = std::max(env.scale, 0.1);
+  env.epochs = std::max(env.epochs, 8);
+
+  const auto network = BuildCity("CD", env);
+  auto config = BenchSarnConfig(env, /*seed=*/0, network);
+  const int warmup = std::min(3, env.epochs / 2);
+
+  std::printf("segments=%lld batch_size=%lld epochs=%d warmup=%d\n",
+              static_cast<long long>(network.num_segments()),
+              static_cast<long long>(config.batch_size), env.epochs, warmup);
+
+  RunResult dynamic_run;
+  RunOne(network, config, plan::PlanMode::kOff, &dynamic_run);
+  RunResult replay_run;
+  RunOne(network, config, plan::PlanMode::kReplay, &replay_run);
+
+  const bool bitwise_identical =
+      dynamic_run.stats.epoch_losses == replay_run.stats.epoch_losses;
+
+  const double dynamic_ms = SteadyStepMs(dynamic_run.sink, warmup);
+  const double replay_ms = SteadyStepMs(replay_run.sink, warmup);
+  const double speedup = replay_ms > 0.0 ? dynamic_ms / replay_ms : 0.0;
+
+  const auto& replay_epochs = replay_run.sink.epochs;
+  uint64_t steady_pool_misses = 0, replays = 0, captures = 0, divergences = 0;
+  if (static_cast<int>(replay_epochs.size()) > warmup) {
+    const auto& first_steady = replay_epochs[warmup > 0 ? warmup - 1 : 0];
+    const auto& last = replay_epochs.back();
+    steady_pool_misses = last.pool_misses - first_steady.pool_misses;
+    divergences = last.divergences - replay_epochs.front().divergences;
+  }
+  if (!replay_epochs.empty()) {
+    // Plan counters were zero before the replay run (the dynamic run never
+    // touches them), so the final cumulative values are this run's totals.
+    replays = replay_epochs.back().replays;
+    captures = replay_epochs.back().captures;
+  }
+
+  auto& registry = obs::MetricsRegistry::Default();
+  const double plan_nodes = registry.GetGauge("sarn.plan.nodes").Value();
+  const double plan_slots = registry.GetGauge("sarn.plan.slots").Value();
+
+  PrintTitle("Step-plan engine: dynamic tape vs. record/replay (steady state)");
+  const std::vector<int> widths = {22, 14, 14, 10};
+  PrintRow({"", "dynamic", "replay", ""}, widths);
+  PrintRule(widths);
+  PrintRow({"step latency (ms)", Num(dynamic_ms, 3), Num(replay_ms, 3),
+            Num(speedup, 2) + "x"},
+           widths);
+  for (const char* phase : {"target_forward", "online_forward", "loss",
+                            "backward", "optimizer_step", "queue_push"}) {
+    const double d = SteadyPhaseMs(dynamic_run.sink, warmup, phase);
+    const double r = SteadyPhaseMs(replay_run.sink, warmup, phase);
+    PrintRow({std::string("  ") + phase, Num(d, 3), Num(r, 3),
+              r > 0.0 ? Num(d / r, 2) + "x" : "-"},
+             widths);
+  }
+  PrintRow({"final loss", Num(dynamic_run.stats.final_loss, 6),
+            Num(replay_run.stats.final_loss, 6),
+            bitwise_identical ? "bitwise" : "DIVERGED"},
+           widths);
+  std::printf(
+      "replay: captures=%llu replays=%llu divergences=%llu "
+      "steady_pool_misses=%llu plan_nodes=%.0f plan_slots=%.0f\n",
+      static_cast<unsigned long long>(captures),
+      static_cast<unsigned long long>(replays),
+      static_cast<unsigned long long>(divergences),
+      static_cast<unsigned long long>(steady_pool_misses), plan_nodes,
+      plan_slots);
+
+  if (const char* path = std::getenv("SARN_PLAN_JSON")) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(
+          f,
+          "{\"bench\":\"train_plan\",\"segments\":%lld,\"batch_size\":%lld,"
+          "\"epochs\":%d,\"warmup_epochs\":%d,\"dynamic_step_ms\":%.6f,"
+          "\"replay_step_ms\":%.6f,\"speedup\":%.4f,"
+          "\"steady_pool_misses\":%llu,\"captures\":%llu,\"replays\":%llu,"
+          "\"divergences\":%llu,\"plan_nodes\":%.0f,\"plan_slots\":%.0f,"
+          "\"bitwise_identical\":%s}\n",
+          static_cast<long long>(network.num_segments()),
+          static_cast<long long>(config.batch_size), env.epochs, warmup,
+          dynamic_ms, replay_ms, speedup,
+          static_cast<unsigned long long>(steady_pool_misses),
+          static_cast<unsigned long long>(captures),
+          static_cast<unsigned long long>(replays),
+          static_cast<unsigned long long>(divergences), plan_nodes, plan_slots,
+          bitwise_identical ? "true" : "false");
+      std::fclose(f);
+      std::printf("wrote %s\n", path);
+    } else {
+      std::printf("could not open SARN_PLAN_JSON path %s\n", path);
+    }
+  }
+  return bitwise_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sarn::bench
+
+int main() { return sarn::bench::Main(); }

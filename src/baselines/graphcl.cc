@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <numeric>
 
@@ -10,6 +11,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "obs/trace.h"
+#include "plan/executor.h"
 #include "nn/embedding.h"
 #include "nn/gat.h"
 #include "nn/losses.h"
@@ -23,6 +25,48 @@ namespace sarn::baselines {
 namespace {
 
 using tensor::Tensor;
+
+// Everything the structure of one GraphCL step depends on: hyper-parameters
+// (plus the epoch's scheduled LR), per-view edge counts, batch size and
+// thread count. Mirrors core::SarnModel::MakeStepPlanKey.
+plan::PlanKey MakeGraphClStepKey(const GraphClConfig& config, int64_t vertices,
+                                 const nn::EdgeList& view1, const nn::EdgeList& view2,
+                                 int64_t batch, float learning_rate) {
+  plan::PlanKey key;
+  uint64_t h = 0x47434c;  // Arbitrary non-zero basis.
+  auto put = [&h](uint64_t v) { h = plan::HashCombine(h, v); };
+  auto put_d = [&put](double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put(bits);
+  };
+  auto put_f = [&put](float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put(bits);
+  };
+  put(config.seed);
+  put(static_cast<uint64_t>(config.feature_dim_per_feature));
+  put(static_cast<uint64_t>(config.hidden_dim));
+  put(static_cast<uint64_t>(config.embedding_dim));
+  put(static_cast<uint64_t>(config.gat_layers));
+  put(static_cast<uint64_t>(config.gat_heads));
+  put(static_cast<uint64_t>(config.projection_dim));
+  put_d(config.edge_drop_rate);
+  put_d(config.feature_mask_rate);
+  put_d(config.tau);
+  put(static_cast<uint64_t>(config.max_epochs));
+  put(static_cast<uint64_t>(config.batch_size));
+  put_f(config.learning_rate);
+  put_f(learning_rate);
+  key.config_hash = h;
+  key.vertices = vertices;
+  key.edges_a = static_cast<int64_t>(view1.src.size());
+  key.edges_b = static_cast<int64_t>(view2.src.size());
+  key.batch = batch;
+  key.threads = static_cast<int64_t>(GetParallelThreads());
+  return key;
+}
 
 nn::EdgeList DropEdgesUniform(const std::vector<roadnet::TopoEdge>& edges, double rate,
                               Rng& rng) {
@@ -205,6 +249,7 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
   int stop_after = config.stop_after_epochs >= 0
                        ? std::min(config.stop_after_epochs, config.max_epochs)
                        : config.max_epochs;
+  plan::PlanExecutor plan_executor(plan::EffectivePlanMode(config.plan_mode));
   bool aborted = false;
   for (int epoch = start_epoch; epoch < stop_after && !aborted; ++epoch) {
     SARN_TRACE_SPAN("graphcl_epoch");
@@ -237,6 +282,10 @@ GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
       std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
       int64_t m = static_cast<int64_t>(batch.size());
       if (m < 2) continue;
+      // Declared before any Tensor of the step so the guard destructs after
+      // every step tensor has released its buffer (arena quiescence check).
+      plan::PlanExecutor::StepGuard plan_step = plan_executor.BeginStep(
+          MakeGraphClStepKey(config, n, view1, view2, m, optimizer.learning_rate()));
 
       // Both views through the SHARED encoder.
       Tensor z1, z2;

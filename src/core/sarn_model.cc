@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/csv.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "nn/losses.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/executor.h"
 #include "tensor/ops.h"
 
 namespace sarn::core {
@@ -246,6 +250,84 @@ Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
                      tensor::MulScalar(global_loss, 1.0f - lambda));
 }
 
+plan::PlanKey SarnModel::MakeStepPlanKey(const GraphView& view1, const GraphView& view2,
+                                         const std::vector<int64_t>& batch,
+                                         float learning_rate) const {
+  plan::PlanKey key;
+  uint64_t h = 0x5a524e;  // Arbitrary non-zero basis.
+  auto put = [&h](uint64_t v) { h = plan::HashCombine(h, v); };
+  auto put_d = [&put](double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put(bits);
+  };
+  auto put_f = [&put](float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put(bits);
+  };
+  // Hash every hyper-parameter: conservative (some fields cannot change the
+  // step structure) but guarantees any config edit invalidates cached plans.
+  put(config_.seed);
+  put(static_cast<uint64_t>(config_.feature_dim_per_feature));
+  put(static_cast<uint64_t>(config_.hidden_dim));
+  put(static_cast<uint64_t>(config_.embedding_dim));
+  put(static_cast<uint64_t>(config_.gat_layers));
+  put(static_cast<uint64_t>(config_.gat_heads));
+  put(static_cast<uint64_t>(config_.projection_dim));
+  put(config_.use_attention ? 1 : 0);
+  put_d(config_.delta_ds_meters);
+  put_d(config_.delta_as_radians);
+  put(static_cast<uint64_t>(config_.max_spatial_neighbors));
+  put_d(config_.rho_t);
+  put_d(config_.rho_s);
+  put_d(config_.epsilon);
+  put_d(config_.cell_side_meters);
+  put(static_cast<uint64_t>(config_.queue_budget));
+  put_d(config_.lambda);
+  put_d(config_.tau);
+  put_f(config_.momentum);
+  put(static_cast<uint64_t>(config_.max_epochs));
+  put(static_cast<uint64_t>(config_.patience));
+  put_f(config_.learning_rate);
+  put(static_cast<uint64_t>(config_.batch_size));
+  put(config_.use_spatial_matrix ? 1 : 0);
+  put(config_.use_spatial_negatives ? 1 : 0);
+  put(static_cast<uint64_t>(config_.random_negatives));
+  // The LR the cosine schedule set for this epoch: an LR-schedule change is
+  // a plan invalidation (the step values differ even if shapes do not, and
+  // the key is the one contract a cached plan is trusted on).
+  put_f(learning_rate);
+  key.config_hash = h;
+
+  key.vertices = network_->num_segments();
+  key.edges_a = static_cast<int64_t>(view1.edges.src.size());
+  key.edges_b = static_cast<int64_t>(view2.edges.src.size());
+  key.batch = static_cast<int64_t>(batch.size());
+  key.threads = static_cast<int64_t>(GetParallelThreads());
+  if (config_.use_spatial_negatives) {
+    // Mirror ComputeLoss's structural branches with pure queue queries.
+    int64_t phi_max = 0;
+    for (int64_t member : batch) {
+      phi_max = std::max(
+          phi_max, static_cast<int64_t>(queues_->LocalNegatives(member).size()));
+    }
+    key.phi_max = phi_max;
+    std::vector<int> cells = queues_->NonEmptyCells();
+    key.cells = static_cast<int64_t>(cells.size());
+    if (cells.size() >= 2) {
+      std::vector<char> nonempty(static_cast<size_t>(queues_->num_cells()), 0);
+      for (int cell : cells) nonempty[static_cast<size_t>(cell)] = 1;
+      int64_t rows = 0;
+      for (int64_t member : batch) {
+        if (nonempty[static_cast<size_t>(queues_->CellOf(member))] != 0) ++rows;
+      }
+      key.rows = rows;
+    }
+  }
+  return key;
+}
+
 TrainStats SarnModel::Train() { return Train(TrainOptions{}); }
 
 TrainStats SarnModel::Train(const TrainOptions& options) {
@@ -331,6 +413,11 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
   obs::Histogram& epoch_seconds_hist =
       registry.GetHistogram("sarn.train.epoch_seconds");
 
+  // Step-plan engine (DESIGN.md §15). Off by default; `record` verifies every
+  // step's allocation stream against the dynamic tape, `replay` executes
+  // verified plans from an AOT-packed arena. All modes are bitwise identical.
+  plan::PlanExecutor plan_executor(plan::EffectivePlanMode(options.plan_mode));
+
   int stop_after = options.max_epochs >= 0
                        ? std::min(options.max_epochs, config_.max_epochs)
                        : config_.max_epochs;
@@ -368,6 +455,11 @@ TrainStats SarnModel::Train(const TrainOptions& options) {
       tensor::StepScope alloc_scope;
       int64_t end = std::min<int64_t>(n, begin + config_.batch_size);
       std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
+      // Declared before any Tensor of the step: the guard destructs after
+      // every step tensor has released its buffer, which is exactly when the
+      // executor checks that a replayed arena went quiescent.
+      plan::PlanExecutor::StepGuard plan_step = plan_executor.BeginStep(
+          MakeStepPlanKey(view1, view2, batch, optimizer.learning_rate()));
 
       // Target branch first (fills z' and, later, the queues).
       Tensor z_prime_batch;
@@ -727,6 +819,124 @@ std::vector<Tensor> SarnModel::OnlineParameters() const {
   for (const Tensor& p : online_encoder_->Parameters()) params.push_back(p);
   for (const Tensor& p : online_head_->Parameters()) params.push_back(p);
   return params;
+}
+
+// --- Unified model-state loading -------------------------------------------
+
+const char* ModelLoadErrorName(ModelLoadError error) {
+  switch (error) {
+    case ModelLoadError::kOk: return "ok";
+    case ModelLoadError::kFileNotFound: return "file_not_found";
+    case ModelLoadError::kParseError: return "parse_error";
+    case ModelLoadError::kArchitectureMismatch: return "architecture_mismatch";
+    case ModelLoadError::kUnsupportedFormat: return "unsupported_format";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SarnModel::SnapshotLoader g_snapshot_loader = nullptr;
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+ModelLoadResult LoadFail(ModelLoadError error, std::string message) {
+  ModelLoadResult result;
+  result.error = error;
+  result.message = std::move(message);
+  return result;
+}
+
+ModelLoadResult LoadEmbeddingsCsvSource(const std::string& path) {
+  if (!std::filesystem::exists(path)) {
+    return LoadFail(ModelLoadError::kFileNotFound, "cannot open " + path);
+  }
+  auto table = ReadCsvFile(path, /*has_header=*/false);
+  if (!table.has_value() || table->rows.empty()) {
+    return LoadFail(ModelLoadError::kParseError, path + ": not a CSV table");
+  }
+  int64_t n = static_cast<int64_t>(table->rows.size());
+  int64_t d = static_cast<int64_t>(table->rows[0].size());
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(n * d));
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    const auto& row = table->rows[i];
+    if (static_cast<int64_t>(row.size()) != d) {
+      return LoadFail(ModelLoadError::kParseError,
+                      path + ": row " + std::to_string(i) + " has " +
+                          std::to_string(row.size()) + " cells, expected " +
+                          std::to_string(d));
+    }
+    for (const std::string& cell : row) {
+      auto value = ParseDouble(cell);
+      if (!value.has_value()) {
+        return LoadFail(ModelLoadError::kParseError,
+                        path + ": non-numeric cell \"" + cell + "\"");
+      }
+      data.push_back(static_cast<float>(*value));
+    }
+  }
+  ModelLoadResult result;
+  result.embeddings = Tensor::FromVector({n, d}, std::move(data));
+  return result;
+}
+
+ModelLoadResult LoadCheckpointSource(const ModelLoadSource& source) {
+  if (source.network == nullptr) {
+    return LoadFail(ModelLoadError::kArchitectureMismatch,
+                    "checkpoint restore needs the network (and config) the "
+                    "encoder runs on");
+  }
+  if (!std::filesystem::exists(source.path)) {
+    return LoadFail(ModelLoadError::kFileNotFound, "cannot open " + source.path);
+  }
+  auto model = std::make_unique<SarnModel>(*source.network, source.config);
+  if (!model->LoadFromTrainingCheckpoint(source.path)) {
+    return LoadFail(ModelLoadError::kArchitectureMismatch,
+                    "cannot restore " + source.path +
+                        " (corrupt file or architecture mismatch — wrong dim?)");
+  }
+  ModelLoadResult result;
+  result.embeddings = model->Embeddings();
+  result.model = std::move(model);
+  return result;
+}
+
+}  // namespace
+
+void SarnModel::SetSnapshotLoader(SnapshotLoader loader) {
+  g_snapshot_loader = loader;
+}
+
+ModelLoadResult SarnModel::Load(const ModelLoadSource& source) {
+  ModelLoadSource::Kind kind = source.kind;
+  if (kind == ModelLoadSource::Kind::kAuto) {
+    if (PathEndsWith(source.path, ".sarnsnap")) {
+      kind = ModelLoadSource::Kind::kSnapshot;
+    } else if (PathEndsWith(source.path, ".sarnckpt")) {
+      kind = ModelLoadSource::Kind::kTrainingCheckpoint;
+    } else {
+      kind = ModelLoadSource::Kind::kEmbeddingsCsv;
+    }
+  }
+  switch (kind) {
+    case ModelLoadSource::Kind::kEmbeddingsCsv:
+      return LoadEmbeddingsCsvSource(source.path);
+    case ModelLoadSource::Kind::kTrainingCheckpoint:
+      return LoadCheckpointSource(source);
+    case ModelLoadSource::Kind::kSnapshot:
+      if (g_snapshot_loader == nullptr) {
+        return LoadFail(ModelLoadError::kUnsupportedFormat,
+                        "snapshot loading is not linked into this binary");
+      }
+      return g_snapshot_loader(source.path);
+    case ModelLoadSource::Kind::kAuto:
+      break;  // Resolved above.
+  }
+  return LoadFail(ModelLoadError::kUnsupportedFormat, "unknown source kind");
 }
 
 }  // namespace sarn::core

@@ -13,6 +13,7 @@
 #define SARN_CORE_SARN_MODEL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/negative_queue.h"
 #include "core/sarn_config.h"
 #include "core/spatial_similarity.h"
+#include "plan/plan.h"
 #include "nn/embedding.h"
 #include "nn/gat.h"
 #include "nn/projection_head.h"
@@ -78,12 +80,72 @@ struct TrainOptions {
   /// RNG or the numerics, so a run with a sink attached is bitwise identical
   /// to one without.
   obs::MetricsSink* metrics_sink = nullptr;
+  /// Step-plan engine mode (DESIGN.md §15): record-once/replay training
+  /// plans with AOT-packed buffer arenas and fused grad kernels. Unset
+  /// defers to the SARN_PLAN environment variable, then off. Every mode is
+  /// bitwise identical to the dynamic tape — losses, gradients, parameters,
+  /// checkpoints and telemetry all match, at any thread count.
+  std::optional<plan::PlanMode> plan_mode;
+};
+
+class SarnModel;
+
+/// Typed outcome of SarnModel::Load.
+enum class ModelLoadError {
+  kOk = 0,
+  kFileNotFound,          // Missing or unreadable path.
+  kParseError,            // Unparsable CSV (ragged rows, non-numeric cells).
+  kArchitectureMismatch,  // Checkpoint does not fit the requested config.
+  kUnsupportedFormat,     // Unrecognised extension, or the snapshot loader is
+                          // not linked into this binary.
+};
+const char* ModelLoadErrorName(ModelLoadError error);
+
+/// One description of "where trained model state lives": an embeddings CSV,
+/// a rolling training checkpoint, or a .sarnsnap serving snapshot.
+struct ModelLoadSource {
+  enum class Kind {
+    kAuto,                // Sniff from the extension (.sarnsnap, .sarnckpt, else CSV).
+    kEmbeddingsCsv,       // Headerless n x d CSV of embedding rows.
+    kTrainingCheckpoint,  // Rolling checkpoint written by Train(); restores
+                          // the online branch (needs `network` + `config`).
+    kSnapshot,            // Serving snapshot with an embedded model matrix.
+  };
+  Kind kind = Kind::kAuto;
+  std::string path;
+  /// Checkpoint restores rebuild the architecture first; both fields are
+  /// ignored for the other kinds. `network` must outlive the loaded model.
+  const roadnet::RoadNetwork* network = nullptr;
+  SarnConfig config;
+};
+
+struct ModelLoadResult {
+  ModelLoadError error = ModelLoadError::kOk;
+  std::string message;
+  /// The [n, d] embedding matrix; defined on success for every kind.
+  tensor::Tensor embeddings;
+  /// The restored model; only set for checkpoint loads (the other formats
+  /// carry no encoder weights).
+  std::unique_ptr<SarnModel> model;
+  bool ok() const { return error == ModelLoadError::kOk; }
 };
 
 class SarnModel {
  public:
   /// `network` must outlive the model.
   SarnModel(const roadnet::RoadNetwork& network, SarnConfig config);
+
+  /// One factory for every on-disk form of trained state (embeddings CSV,
+  /// training checkpoint, serving snapshot), with a typed error instead of
+  /// the per-format bool/optional mix the call sites used to juggle.
+  static ModelLoadResult Load(const ModelLoadSource& source);
+
+  /// Loader for ModelLoadSource::Kind::kSnapshot. The snapshot reader lives
+  /// above sarn_core in the link graph (sarn_snapshot -> sarn_tasks ->
+  /// sarn_core), so binaries that want snapshot loads install the hook at
+  /// startup (the CLI does); without it Load reports kUnsupportedFormat.
+  using SnapshotLoader = ModelLoadResult (*)(const std::string& path);
+  static void SetSnapshotLoader(SnapshotLoader loader);
 
   /// Runs Algorithm 1 (with cosine-annealed Adam and loss-plateau early
   /// stopping) and leaves the online encoder ready for Embeddings().
@@ -170,6 +232,15 @@ class SarnModel {
   /// the matching momentum projections (detached, normalised).
   tensor::Tensor ComputeLoss(const tensor::Tensor& z, const tensor::Tensor& z_prime,
                              const std::vector<int64_t>& batch, Rng& rng) const;
+
+  /// Everything the structure of one training step depends on, mirroring the
+  /// branch/shape logic of the forward pass and ComputeLoss: hyper-parameters
+  /// (plus the current LR), per-view edge counts, batch size, queue occupancy
+  /// (phi_max, non-empty cells, global-loss rows) and thread count. Pure
+  /// queries — never touches the RNG, the queues or the numerics.
+  plan::PlanKey MakeStepPlanKey(const GraphView& view1, const GraphView& view2,
+                                const std::vector<int64_t>& batch,
+                                float learning_rate) const;
 
   const roadnet::RoadNetwork* network_;
   SarnConfig config_;

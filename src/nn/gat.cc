@@ -70,7 +70,10 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
   // gather/scale/scatter chain collapses into fused kernels that skip the
   // [E, d] intermediates entirely; values stay bitwise identical to the op
   // path because the fused loops apply the same float operation order.
+  // With grad recording on, the plan executor can request the differentiable
+  // fusions instead (one tape node per chain, bitwise-identical gradients).
   const bool fused_inference = !tensor::GradModeEnabled();
+  const bool fused_grad = !fused_inference && tensor::GradFusionEnabled();
 
   // Footnote-1 ablation: softmax of constant scores = uniform mean over each
   // vertex's incoming edges; identical for every head, so computed once.
@@ -93,6 +96,10 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
         alpha = tensor::EdgeSoftmax(
             tensor::FusedEdgeScores(score_src, score_dst, src, dst, leaky_relu_slope_),
             dst, n);
+      } else if (fused_grad) {
+        alpha = tensor::EdgeSoftmax(tensor::FusedEdgeScoreActivate(
+                                        score_src, score_dst, src, dst, leaky_relu_slope_),
+                                    dst, n);
       } else {
         Tensor e = tensor::LeakyRelu(
             tensor::Add(tensor::Rows(score_dst, dst), tensor::Rows(score_src, src)),
@@ -104,6 +111,9 @@ Tensor GatLayer::Forward(const Tensor& x, const EdgeList& edges) const {
     }
     if (fused_inference) {
       head_outputs.push_back(tensor::FusedGatherScaleScatter(wx, src, dst, alpha, n));
+    } else if (fused_grad) {
+      head_outputs.push_back(
+          tensor::ScaleScatterRows(tensor::Rows(wx, src), alpha, dst, n));
     } else {
       Tensor messages = tensor::ScaleRows(tensor::Rows(wx, src), alpha);
       head_outputs.push_back(tensor::ScatterAddRows(messages, dst, n));  // [n, head_dim]

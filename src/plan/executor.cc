@@ -1,0 +1,683 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace sarn::plan {
+namespace {
+
+using tensor::BufferPool;
+using tensor::internal::StorageBlock;
+using tensor::internal::TensorImpl;
+
+constexpr uint64_t kHeaderBytes = StorageBlock::kPayloadOffset;
+
+uint64_t AlignUp64(uint64_t v) { return (v + 63) & ~uint64_t{63}; }
+
+// --- Metrics -----------------------------------------------------------------
+
+struct PlanInstruments {
+  obs::Counter& captures;
+  obs::Counter& replays;
+  obs::Counter& verified;
+  obs::Counter& divergences;
+  obs::Counter& fallback_allocs;
+  obs::Counter& retired_arenas;
+  obs::Gauge& cache_size;
+  obs::Gauge& nodes;
+  obs::Gauge& slots;
+  obs::Gauge& arena_bytes;
+  obs::Gauge& parallel_runs;
+  obs::Gauge& parallel_nodes;
+};
+
+PlanInstruments& Instruments() {
+  // Leaky singleton, same pattern as the sarn.alloc.* instruments: the
+  // references stay valid for the registry's lifetime.
+  static PlanInstruments* instruments = [] {
+    auto& registry = obs::MetricsRegistry::Default();
+    return new PlanInstruments{
+        registry.GetCounter("sarn.plan.captures"),
+        registry.GetCounter("sarn.plan.replays"),
+        registry.GetCounter("sarn.plan.verified"),
+        registry.GetCounter("sarn.plan.divergences"),
+        registry.GetCounter("sarn.plan.fallback_allocs"),
+        registry.GetCounter("sarn.plan.retired_arenas"),
+        registry.GetGauge("sarn.plan.cache_size"),
+        registry.GetGauge("sarn.plan.nodes"),
+        registry.GetGauge("sarn.plan.slots"),
+        registry.GetGauge("sarn.plan.arena_bytes"),
+        registry.GetGauge("sarn.plan.parallel_runs"),
+        registry.GetGauge("sarn.plan.parallel_nodes"),
+    };
+  }();
+  return *instruments;
+}
+
+// --- Arena -------------------------------------------------------------------
+
+// One contiguous 64-aligned allocation serving a plan's arena-backed slots.
+// Each Serve() placement-constructs a fresh StorageBlock header at the slot's
+// planned offset (overlapping dead slots may have clobbered the previous
+// header bytes with payload data, so headers are never reused). Releases are
+// observed only through `released_`: BufferPool::Release bumps it through
+// the pointer stashed in the block's `next` field and leaves the memory
+// alone. The arena may be handed to the next step only when every block it
+// ever served has been released (quiescent()).
+class Arena {
+ public:
+  explicit Arena(uint64_t bytes) : bytes_(bytes) {
+    if (bytes_ > 0) {
+      base_ = static_cast<char*>(::operator new(bytes_, std::align_val_t{64}));
+    }
+  }
+  ~Arena() {
+    if (base_ != nullptr) ::operator delete(base_, std::align_val_t{64});
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  StorageBlock* Serve(const BufferSlot& slot) {
+    SARN_DCHECK(slot.arena_offset + kHeaderBytes <= bytes_);
+    auto* block = new (base_ + slot.arena_offset) StorageBlock();
+    block->size_class = tensor::internal::kArenaSizeClass;
+    block->oversize_bytes = BufferPool::ClassBytes(slot.size_class);
+    block->next = reinterpret_cast<StorageBlock*>(&released_);
+    block->refs.store(1, std::memory_order_relaxed);
+    ++served_;
+    return block;
+  }
+
+  uint64_t served() const { return served_; }
+  uint64_t released() const { return released_.load(std::memory_order_acquire); }
+  bool quiescent() const { return released() == served_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  char* base_ = nullptr;
+  uint64_t bytes_ = 0;
+  uint64_t served_ = 0;                 // Executor thread only.
+  std::atomic<uint64_t> released_{0};   // Bumped by BufferPool::Release.
+};
+
+// --- Per-step state ----------------------------------------------------------
+
+enum class StepKind { kCapture, kReplay };
+
+struct ActiveStep {
+  PlanKey key;
+  StepKind kind = StepKind::kCapture;
+  bool backward_done = false;
+  bool diverged = false;
+
+  // Hook blocks handed to the tensor runtime; addresses must stay stable for
+  // the bracket's lifetime (ActiveStep lives in PlanExecutor::Impl).
+  tensor::internal::AllocHooks alloc_hooks;
+  tensor::internal::TapeHooks tape_hooks;
+
+  // Tape-node registry: every grad node the step creates, in creation order.
+  // All recorder containers use the global allocator on purpose — pool
+  // traffic from the recorder itself would pollute the recorded stream.
+  std::vector<std::shared_ptr<TensorImpl>> registry;
+  std::unordered_map<const TensorImpl*, uint32_t> node_index;
+
+  // Capture state.
+  uint32_t events = 0;
+  std::vector<BufferSlot> slots;
+  std::unordered_map<const StorageBlock*, uint32_t> live;
+  bool in_closure = false;
+  bool closure_allocated = false;
+  uint32_t root = 0;
+  std::vector<uint32_t> exec;
+  std::vector<uint8_t> node_allocates;  // Per exec position.
+  std::vector<ExecRun> runs;
+  uint32_t registry_count = 0;  // Snapshot before teardown.
+
+  // Replay state.
+  const StepPlan* plan = nullptr;
+  Arena* arena = nullptr;
+  uint32_t next_slot = 0;
+  uint64_t arena_served = 0;
+  uint64_t fallbacks = 0;
+  uint64_t arena_released_at_begin = 0;
+
+  void Reset(const PlanKey& step_key, StepKind step_kind) {
+    key = step_key;
+    kind = step_kind;
+    backward_done = false;
+    diverged = false;
+    alloc_hooks = {};
+    tape_hooks = {};
+    registry.clear();
+    node_index.clear();
+    events = 0;
+    slots.clear();
+    live.clear();
+    in_closure = false;
+    closure_allocated = false;
+    root = 0;
+    exec.clear();
+    node_allocates.clear();
+    runs.clear();
+    registry_count = 0;
+    plan = nullptr;
+    arena = nullptr;
+    next_slot = 0;
+    arena_served = 0;
+    fallbacks = 0;
+    arena_released_at_begin = 0;
+  }
+};
+
+// --- Hook callbacks ----------------------------------------------------------
+
+void OnNode(void* ctx, const std::shared_ptr<TensorImpl>& node) {
+  auto& step = *static_cast<ActiveStep*>(ctx);
+  step.node_index.emplace(node.get(), static_cast<uint32_t>(step.registry.size()));
+  step.registry.push_back(node);
+}
+
+void CaptureOnAcquire(void* ctx, StorageBlock* block, size_t bytes) {
+  auto& step = *static_cast<ActiveStep*>(ctx);
+  BufferSlot slot;
+  slot.bytes = bytes;
+  slot.size_class = block->size_class;
+  slot.birth = step.events++;
+  step.live[block] = static_cast<uint32_t>(step.slots.size());
+  step.slots.push_back(slot);
+  if (step.in_closure) step.closure_allocated = true;
+}
+
+void CaptureOnRelease(void* ctx, StorageBlock* block) {
+  auto& step = *static_cast<ActiveStep*>(ctx);
+  auto it = step.live.find(block);
+  if (it == step.live.end()) return;  // Acquired before the bracket opened.
+  step.slots[it->second].death = step.events++;
+  step.live.erase(it);
+}
+
+StorageBlock* ReplayAcquire(void* ctx, size_t bytes) {
+  auto& step = *static_cast<ActiveStep*>(ctx);
+  if (step.diverged) {
+    ++step.fallbacks;
+    return nullptr;
+  }
+  if (step.next_slot >= step.plan->slots.size()) {
+    step.diverged = true;  // Stream grew past the recording.
+    ++step.fallbacks;
+    return nullptr;
+  }
+  const BufferSlot& slot = step.plan->slots[step.next_slot];
+  if (slot.bytes != static_cast<uint64_t>(bytes)) {
+    step.diverged = true;  // Shape drift the key failed to capture.
+    ++step.fallbacks;
+    return nullptr;
+  }
+  ++step.next_slot;
+  if (!slot.arena_backed()) {
+    // Planned pool service: an escaping or oversize slot.
+    ++step.fallbacks;
+    return nullptr;
+  }
+  ++step.arena_served;
+  return step.arena->Serve(slot);
+}
+
+// --- Canonical backward ------------------------------------------------------
+
+// EnsureGrad pre-pass shared by capture and replay: walking the execution
+// order, allocate the node's grad and every grad-requiring parent's grad up
+// front. Values are untouched (grads zero-fill exactly as the closures would
+// have them), but the allocation *order* becomes plan-governed and the
+// closures become allocation-free — the property that lets replay fan
+// disjoint closures out across threads without desyncing the slot stream.
+void PrepassEnsureGrad(ActiveStep& step, const std::vector<uint32_t>& exec) {
+  for (uint32_t idx : exec) {
+    TensorImpl* node = step.registry[idx].get();
+    node->EnsureGrad();
+    for (const auto& parent : node->parents) {
+      if (parent->requires_grad) parent->EnsureGrad();
+    }
+  }
+}
+
+// Consumes the tape and tears the registry down, replicating the dynamic
+// path's release order: closures and parent edges drop leaves-to-root, then
+// registry references drop in creation order. Runs identically in capture
+// and replay so buffer deaths land on the same event ticks.
+void ConsumeTape(ActiveStep& step, const std::vector<uint32_t>& exec) {
+  for (auto it = exec.rbegin(); it != exec.rend(); ++it) {
+    TensorImpl* node = step.registry[*it].get();
+    node->backward.Reset();
+    tensor::PoolVec<std::shared_ptr<TensorImpl>>().swap(node->parents);
+  }
+  step.registry_count = static_cast<uint32_t>(step.registry.size());
+  for (auto& node : step.registry) node.reset();
+}
+
+// Partitions the execution order into maximal runs of closures that (a)
+// performed no allocations during capture and (b) have pairwise-disjoint
+// footprints. A closure's footprint is its node plus its parents: it writes
+// only parent grads and reads only its own grad/data and parent data, so
+// disjoint footprints mean disjoint write sets and race-free, bitwise-stable
+// concurrent execution. Must run before ConsumeTape (it needs parent edges).
+void PartitionRuns(ActiveStep& step) {
+  std::unordered_map<const TensorImpl*, uint32_t> leaf_ids;
+  std::vector<uint32_t> stamp;  // Impl id -> serial of the run that holds it.
+  uint32_t serial = 0;
+  auto id_of = [&](const TensorImpl* impl) -> uint32_t {
+    if (auto it = step.node_index.find(impl); it != step.node_index.end()) {
+      return it->second;
+    }
+    auto [lit, _] = leaf_ids.try_emplace(
+        impl, static_cast<uint32_t>(step.registry.size() + leaf_ids.size()));
+    return lit->second;
+  };
+  step.runs.clear();
+  std::vector<uint32_t> footprint;
+  for (uint32_t i = 0; i < step.exec.size(); ++i) {
+    TensorImpl* node = step.registry[step.exec[i]].get();
+    bool eligible = step.node_allocates[i] == 0;
+    footprint.clear();
+    footprint.push_back(step.exec[i]);
+    for (const auto& parent : node->parents) footprint.push_back(id_of(parent.get()));
+    bool extend = false;
+    if (eligible && !step.runs.empty() && step.runs.back().parallel) {
+      extend = true;
+      for (uint32_t id : footprint) {
+        if (id < stamp.size() && stamp[id] == serial) {
+          extend = false;  // Conflicts with a closure already in this run.
+          break;
+        }
+      }
+    }
+    if (extend) {
+      step.runs.back().end = i + 1;
+    } else {
+      ++serial;
+      step.runs.push_back(ExecRun{i, i + 1, eligible});
+    }
+    if (eligible) {
+      for (uint32_t id : footprint) {
+        if (id >= stamp.size()) stamp.resize(id + 1, 0);
+        stamp[id] = serial;
+      }
+    }
+  }
+}
+
+// Capture-mode backward: topological order identical to the dynamic DFS in
+// tensor.cc, then seed, EnsureGrad pre-pass, serial closures with per-closure
+// allocation attribution, wavefront partition, tape consumption. Returns
+// false (dynamic DFS takes over, numerics unharmed) when the step cannot be
+// planned — e.g. the root or a closure-carrying node predates the bracket.
+bool CaptureBackward(ActiveStep& step, const std::shared_ptr<TensorImpl>& root,
+                     const float* seed, size_t seed_size) {
+  SARN_TRACE_SPAN("plan_capture_backward");
+  auto root_it = step.node_index.find(root.get());
+  if (root_it == step.node_index.end()) return false;
+
+  uint64_t pass = tensor::internal::NextBackwardPass();
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  std::vector<TensorImpl*> order;
+  root->visit_mark = pass;
+  stack.push_back({root.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->visit_mark != pass) {
+        parent->visit_mark = pass;
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  step.exec.clear();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (!(*it)->backward) continue;
+    auto nit = step.node_index.find(*it);
+    if (nit == step.node_index.end()) return false;  // Tape leaked across steps.
+    step.exec.push_back(nit->second);
+  }
+  step.root = root_it->second;
+  step.backward_done = true;
+
+  root->EnsureGrad();
+  for (size_t i = 0; i < seed_size; ++i) root->grad[i] += seed[i];
+  PrepassEnsureGrad(step, step.exec);
+
+  step.node_allocates.assign(step.exec.size(), 0);
+  for (size_t i = 0; i < step.exec.size(); ++i) {
+    TensorImpl* node = step.registry[step.exec[i]].get();
+    step.in_closure = true;
+    step.closure_allocated = false;
+    node->backward(*node);
+    step.in_closure = false;
+    step.node_allocates[i] = step.closure_allocated ? 1 : 0;
+  }
+  PartitionRuns(step);
+  ConsumeTape(step, step.exec);
+  return true;
+}
+
+// Replay-mode backward: no DFS — the recorded order executes directly, with
+// parallel-safe runs dispatched over the worker pool (grain 1: one closure
+// is one work item). Falls back to the dynamic DFS on any structural
+// mismatch; the step is then marked diverged and the plan is invalidated at
+// EndStep.
+bool ReplayBackward(ActiveStep& step, const std::shared_ptr<TensorImpl>& root,
+                    const float* seed, size_t seed_size) {
+  SARN_TRACE_SPAN("plan_replay_backward");
+  const StepPlan& plan = *step.plan;
+  if (step.diverged || step.registry.size() != plan.tape_nodes ||
+      plan.root >= step.registry.size() ||
+      step.registry[plan.root].get() != root.get()) {
+    step.diverged = true;
+    return false;
+  }
+  step.backward_done = true;
+
+  root->EnsureGrad();
+  for (size_t i = 0; i < seed_size; ++i) root->grad[i] += seed[i];
+  PrepassEnsureGrad(step, plan.exec);
+
+  for (const ExecRun& run : plan.runs) {
+    size_t count = run.end - run.begin;
+    if (run.parallel && count > 1 && GetParallelThreads() > 1) {
+      ParallelFor(
+          count,
+          [&](size_t begin, size_t end) {
+            for (size_t k = begin; k < end; ++k) {
+              TensorImpl* node = step.registry[plan.exec[run.begin + k]].get();
+              node->backward(*node);
+            }
+          },
+          1);
+    } else {
+      for (size_t k = 0; k < count; ++k) {
+        TensorImpl* node = step.registry[plan.exec[run.begin + k]].get();
+        node->backward(*node);
+      }
+    }
+  }
+  ConsumeTape(step, plan.exec);
+  return true;
+}
+
+bool OnBackward(void* ctx, const std::shared_ptr<TensorImpl>& root, const float* seed,
+                size_t seed_size) {
+  auto& step = *static_cast<ActiveStep*>(ctx);
+  if (step.backward_done) return false;  // Only the step's first Backward is planned.
+  return step.kind == StepKind::kReplay ? ReplayBackward(step, root, seed, seed_size)
+                                        : CaptureBackward(step, root, seed, seed_size);
+}
+
+// --- Plan finalisation -------------------------------------------------------
+
+// First-fit interval packing of the capture's allocation stream: slots with
+// an in-step death and a regular size class get arena offsets; escaping and
+// oversize slots stay pool-backed. Offsets are 64-aligned (header + payload
+// footprints are multiples of 64), so arena payloads keep the pool's cache
+// alignment.
+void PackSlots(StepPlan& plan) {
+  struct Placed {
+    uint64_t begin, end;
+    uint32_t birth, death;
+  };
+  std::vector<Placed> placed;
+  std::vector<std::pair<uint64_t, uint64_t>> busy;
+  for (BufferSlot& slot : plan.slots) {
+    if (slot.death == BufferSlot::kNoDeath) {
+      ++plan.escaping_slots;
+      continue;
+    }
+    if (slot.size_class >= BufferPool::kOversizeClass) continue;
+    uint64_t need = AlignUp64(kHeaderBytes + BufferPool::ClassBytes(slot.size_class));
+    busy.clear();
+    for (const Placed& p : placed) {
+      if (p.birth < slot.death && slot.birth < p.death) busy.emplace_back(p.begin, p.end);
+    }
+    std::sort(busy.begin(), busy.end());
+    uint64_t offset = 0;
+    for (const auto& [b, e] : busy) {
+      if (offset + need <= b) break;
+      if (e > offset) offset = e;
+    }
+    slot.arena_offset = offset;
+    placed.push_back({offset, offset + need, slot.birth, slot.death});
+    plan.arena_bytes = std::max(plan.arena_bytes, offset + need);
+    ++plan.arena_slots;
+  }
+  for (const ExecRun& run : plan.runs) {
+    if (run.parallel && run.end - run.begin > 1) {
+      ++plan.parallel_runs;
+      plan.parallel_nodes += run.end - run.begin;
+    }
+  }
+}
+
+}  // namespace
+
+// --- PlanExecutor ------------------------------------------------------------
+
+struct PlanExecutor::Impl {
+  explicit Impl(PlanMode m) : mode(m) {}
+
+  struct CacheEntry {
+    std::shared_ptr<StepPlan> plan;
+    std::unique_ptr<Arena> arena;
+    bool verified = false;
+  };
+
+  PlanMode mode;
+  std::unordered_map<PlanKey, CacheEntry, PlanKeyHash> cache;
+  std::vector<std::unique_ptr<Arena>> graveyard;
+  PlanCounters counters;
+  PlanCounters published;
+  ActiveStep step;
+  bool step_active = false;
+  bool fusion_prev = false;
+
+  void RetireArena(std::unique_ptr<Arena> arena) {
+    if (arena == nullptr) return;
+    ++counters.retired_arenas;
+    if (!arena->quiescent()) graveyard.push_back(std::move(arena));
+    // Quiescent arenas free immediately as `arena` goes out of scope.
+  }
+
+  void SweepGraveyard() {
+    graveyard.erase(std::remove_if(graveyard.begin(), graveyard.end(),
+                                   [](const std::unique_ptr<Arena>& a) {
+                                     return a->quiescent();
+                                   }),
+                    graveyard.end());
+  }
+};
+
+PlanExecutor::PlanExecutor(PlanMode mode) : impl_(std::make_unique<Impl>(mode)) {}
+
+PlanExecutor::~PlanExecutor() {
+  if (impl_ == nullptr) return;
+  // Arenas with outstanding blocks must not be freed (a late Release would
+  // write through their counter pointer); leak them deliberately. In a
+  // correct run every arena is quiescent here.
+  for (auto& [key, entry] : impl_->cache) {
+    if (entry.arena != nullptr && !entry.arena->quiescent()) entry.arena.release();
+  }
+  for (auto& arena : impl_->graveyard) {
+    if (arena != nullptr && !arena->quiescent()) arena.release();
+  }
+}
+
+PlanMode PlanExecutor::mode() const { return impl_->mode; }
+
+PlanExecutor::StepGuard::~StepGuard() {
+  if (executor_ != nullptr) executor_->EndStep();
+}
+
+PlanExecutor::StepGuard PlanExecutor::BeginStep(const PlanKey& key) {
+  Impl& im = *impl_;
+  if (im.mode == PlanMode::kOff) return StepGuard(nullptr);
+  SARN_CHECK(!im.step_active) << "plan step brackets must not overlap";
+  im.step_active = true;
+
+  Impl::CacheEntry* entry = nullptr;
+  if (auto it = im.cache.find(key); it != im.cache.end()) entry = &it->second;
+  StepKind kind = StepKind::kCapture;
+  if (im.mode == PlanMode::kReplay && entry != nullptr && entry->verified &&
+      entry->plan != nullptr) {
+    kind = StepKind::kReplay;
+  }
+  ActiveStep& step = im.step;
+  step.Reset(key, kind);
+  if (kind == StepKind::kReplay) {
+    if (entry->arena == nullptr) {
+      entry->arena = std::make_unique<Arena>(entry->plan->arena_bytes);
+    }
+    step.plan = entry->plan.get();
+    step.arena = entry->arena.get();
+    step.arena_released_at_begin = entry->arena->released();
+    step.alloc_hooks.acquire = &ReplayAcquire;
+  } else {
+    step.alloc_hooks.on_acquire = &CaptureOnAcquire;
+    step.alloc_hooks.on_release = &CaptureOnRelease;
+  }
+  step.alloc_hooks.ctx = &step;
+  step.tape_hooks.on_node = &OnNode;
+  step.tape_hooks.backward = &OnBackward;
+  step.tape_hooks.ctx = &step;
+
+  // Fused differentiable kernels must be on for every planned step — capture
+  // and replay see the same op stream — and restored afterwards so dynamic
+  // (kOff) baselines stay byte-for-byte unfused.
+  im.fusion_prev = tensor::GradFusionEnabled();
+  tensor::SetGradFusionEnabled(true);
+  tensor::internal::SetThreadAllocHooks(&step.alloc_hooks);
+  tensor::internal::SetThreadTapeHooks(&step.tape_hooks);
+  return StepGuard(this);
+}
+
+void PlanExecutor::EndStep() {
+  Impl& im = *impl_;
+  SARN_CHECK(im.step_active);
+  tensor::internal::SetThreadAllocHooks(nullptr);
+  tensor::internal::SetThreadTapeHooks(nullptr);
+  tensor::SetGradFusionEnabled(im.fusion_prev);
+  ActiveStep& step = im.step;
+
+  const StepPlan* published_plan = nullptr;
+  if (step.kind == StepKind::kReplay) {
+    im.counters.fallback_allocs += step.fallbacks;
+    // The whole recorded stream must have been consumed and every arena
+    // block must be back: anything else is behavioural drift, so the plan
+    // and its arena leave service.
+    uint64_t released = step.arena->released() - step.arena_released_at_begin;
+    bool clean = !step.diverged && step.backward_done &&
+                 step.next_slot == step.plan->slots.size() &&
+                 released == step.arena_served;
+    auto it = im.cache.find(step.key);
+    if (clean) {
+      ++im.counters.replays;
+      published_plan = step.plan;
+    } else {
+      ++im.counters.divergences;
+      if (it != im.cache.end()) {
+        im.RetireArena(std::move(it->second.arena));
+        im.cache.erase(it);
+      }
+    }
+  } else if (step.backward_done) {
+    auto plan = std::make_shared<StepPlan>();
+    plan->key = step.key;
+    plan->tape_nodes = step.registry_count;
+    plan->root = step.root;
+    plan->exec = std::move(step.exec);
+    plan->runs = std::move(step.runs);
+    plan->slots = std::move(step.slots);
+    PackSlots(*plan);
+    ++im.counters.captures;
+
+    Impl::CacheEntry& entry = im.cache[step.key];
+    if (entry.plan != nullptr && SameStream(*entry.plan, *plan)) {
+      // Second identical capture: the stream is reproducible for this key.
+      entry.verified = true;
+      ++im.counters.verified;
+      published_plan = entry.plan.get();
+    } else {
+      if (entry.plan != nullptr) {
+        ++im.counters.divergences;
+        im.RetireArena(std::move(entry.arena));
+      }
+      entry.plan = std::move(plan);
+      entry.verified = false;
+      published_plan = entry.plan.get();
+    }
+  }
+  // Drop never-verified entries when churn (e.g. queue fill-phase keys)
+  // bloats the cache; verified plans are the valuable ones.
+  if (im.cache.size() > 64) {
+    for (auto it = im.cache.begin(); it != im.cache.end();) {
+      if (!it->second.verified && im.counters.captures > 0) {
+        im.RetireArena(std::move(it->second.arena));
+        it = im.cache.erase(it);
+      } else {
+        ++it;
+      }
+      if (im.cache.size() <= 32) break;
+    }
+  }
+  im.SweepGraveyard();
+
+  PlanInstruments& instruments = Instruments();
+  instruments.captures.Increment(im.counters.captures - im.published.captures);
+  instruments.replays.Increment(im.counters.replays - im.published.replays);
+  instruments.verified.Increment(im.counters.verified - im.published.verified);
+  instruments.divergences.Increment(im.counters.divergences - im.published.divergences);
+  instruments.fallback_allocs.Increment(im.counters.fallback_allocs -
+                                        im.published.fallback_allocs);
+  instruments.retired_arenas.Increment(im.counters.retired_arenas -
+                                       im.published.retired_arenas);
+  im.published = im.counters;
+  instruments.cache_size.Set(static_cast<double>(im.cache.size()));
+  if (published_plan != nullptr) {
+    instruments.nodes.Set(static_cast<double>(published_plan->tape_nodes));
+    instruments.slots.Set(static_cast<double>(published_plan->slots.size()));
+    instruments.arena_bytes.Set(static_cast<double>(published_plan->arena_bytes));
+    instruments.parallel_runs.Set(static_cast<double>(published_plan->parallel_runs));
+    instruments.parallel_nodes.Set(static_cast<double>(published_plan->parallel_nodes));
+  }
+
+  step.Reset(PlanKey{}, StepKind::kCapture);  // Drop registry references now.
+  im.step_active = false;
+}
+
+PlanCounters PlanExecutor::counters() const { return impl_->counters; }
+
+size_t PlanExecutor::cache_size() const { return impl_->cache.size(); }
+
+const StepPlan* PlanExecutor::CachedPlan(const PlanKey& key) const {
+  auto it = impl_->cache.find(key);
+  return it == impl_->cache.end() ? nullptr : it->second.plan.get();
+}
+
+}  // namespace sarn::plan

@@ -1,0 +1,113 @@
+// PlanExecutor: records, verifies and replays StepPlans (DESIGN.md §15).
+//
+// One executor serves one training loop (one thread). The loop brackets each
+// step with BeginStep(key) .. guard destruction; inside the bracket the
+// executor interposes on the tensor runtime through two thread-local hook
+// sets:
+//
+//   * AllocHooks (tensor/storage.h) observe every BufferPool acquisition and
+//     final release — the step's allocation stream — and, on replay, serve
+//     acquisitions straight from a pre-packed arena.
+//   * TapeHooks (tensor/tensor.h) observe tape-node creation and take over
+//     Backward(): capture runs a canonical backward (topological order
+//     identical to the dynamic DFS, plus an EnsureGrad pre-pass so closures
+//     never allocate), replay executes the recorded closure order with
+//     parallel-safe runs dispatched over ParallelFor.
+//
+// Per-key lifecycle in kReplay mode:
+//
+//   1st sight of key  — capture: dynamic pool allocation, stream recorded,
+//                       plan built (first-fit interval packing, wavefront
+//                       partition).
+//   2nd sight         — verify: capture again, compare streams. A match
+//                       proves the stream is reproducible for this key
+//                       (first-touch allocations such as Adam moments and
+//                       parameter gradients only appear in the very first
+//                       step, so the first recording can be stale).
+//   3rd+ sight        — replay: acquisitions are served from the arena by
+//                       position after checking the requested byte count
+//                       against the recorded slot; any mismatch flips the
+//                       step to pool fallback, invalidates the plan and
+//                       retires the arena. The backward skips the DFS and
+//                       runs the recorded order directly.
+//
+// Determinism: capture and replay run the same canonical backward (same
+// closure order, same allocation order); parallel runs only cover closures
+// with pairwise-disjoint write sets, so replay is bitwise identical to the
+// dynamic tape at any thread count.
+
+#ifndef SARN_PLAN_EXECUTOR_H_
+#define SARN_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "plan/plan.h"
+
+namespace sarn::plan {
+
+/// Cumulative executor counters, exposed for tests and published as
+/// sarn.plan.* metrics at every step end.
+struct PlanCounters {
+  uint64_t captures = 0;         // Steps that recorded a stream.
+  uint64_t replays = 0;          // Steps served from an arena-backed plan.
+  uint64_t verified = 0;         // Capture streams that matched the cache.
+  uint64_t divergences = 0;      // Stream mismatches (capture or replay).
+  uint64_t fallback_allocs = 0;  // Replay acquisitions served by the pool.
+  uint64_t retired_arenas = 0;   // Arenas taken out of service.
+};
+
+class PlanExecutor {
+ public:
+  /// An executor in kOff mode is inert: BeginStep installs nothing and costs
+  /// two branches per step.
+  explicit PlanExecutor(PlanMode mode);
+  ~PlanExecutor();
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  PlanMode mode() const;
+
+  /// RAII step bracket. Must be destroyed on the thread that called
+  /// BeginStep, before the next BeginStep. Destruction finalises the step:
+  /// capture builds/verifies the plan, replay checks arena quiescence, and
+  /// the sarn.plan.* metrics are published.
+  class StepGuard {
+   public:
+    StepGuard(StepGuard&& other) noexcept : executor_(other.executor_) {
+      other.executor_ = nullptr;
+    }
+    StepGuard& operator=(StepGuard&&) = delete;
+    StepGuard(const StepGuard&) = delete;
+    StepGuard& operator=(const StepGuard&) = delete;
+    ~StepGuard();
+
+   private:
+    friend class PlanExecutor;
+    explicit StepGuard(PlanExecutor* executor) : executor_(executor) {}
+    PlanExecutor* executor_;  // Null for inert guards (kOff) and moved-from.
+  };
+
+  /// Opens the bracket around one training step. The entire step — forward,
+  /// backward, optimizer, queue updates — must run between BeginStep and the
+  /// guard's destruction, on the calling thread.
+  StepGuard BeginStep(const PlanKey& key);
+
+  // --- Introspection (tests, benches) ---------------------------------------
+
+  PlanCounters counters() const;
+  size_t cache_size() const;
+  /// The cached plan for `key`, or nullptr. Pointer valid until the next
+  /// BeginStep with the same key.
+  const StepPlan* CachedPlan(const PlanKey& key) const;
+
+ private:
+  struct Impl;
+  void EndStep();
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sarn::plan
+
+#endif  // SARN_PLAN_EXECUTOR_H_

@@ -1,0 +1,47 @@
+#include "plan/plan.h"
+
+#include <cstdlib>
+
+namespace sarn::plan {
+
+const char* PlanModeName(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kOff: return "off";
+    case PlanMode::kRecord: return "record";
+    case PlanMode::kReplay: return "replay";
+  }
+  return "unknown";
+}
+
+std::optional<PlanMode> ParsePlanMode(std::string_view text) {
+  if (text == "off") return PlanMode::kOff;
+  if (text == "record") return PlanMode::kRecord;
+  if (text == "replay") return PlanMode::kReplay;
+  return std::nullopt;
+}
+
+PlanMode EffectivePlanMode(std::optional<PlanMode> requested) {
+  if (requested.has_value()) return *requested;
+  if (const char* env = std::getenv("SARN_PLAN"); env != nullptr) {
+    if (std::optional<PlanMode> parsed = ParsePlanMode(env)) return *parsed;
+  }
+  return PlanMode::kOff;
+}
+
+bool SameStream(const StepPlan& a, const StepPlan& b) {
+  if (!(a.key == b.key)) return false;
+  if (a.tape_nodes != b.tape_nodes || a.root != b.root) return false;
+  if (a.exec != b.exec) return false;
+  if (a.slots.size() != b.slots.size()) return false;
+  for (size_t i = 0; i < a.slots.size(); ++i) {
+    const BufferSlot& x = a.slots[i];
+    const BufferSlot& y = b.slots[i];
+    if (x.bytes != y.bytes || x.size_class != y.size_class ||
+        x.birth != y.birth || x.death != y.death) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sarn::plan

@@ -1,0 +1,157 @@
+// Static step-graph plans for training (DESIGN.md §15).
+//
+// The tensor engine builds its autograd tape dynamically: every op call
+// allocates a node, every Backward() re-derives the topological order, and
+// every buffer goes through the BufferPool's size-class free lists. For SARN
+// training the step graph is *structurally static* given a handful of step
+// parameters (graph sizes, batch size, queue occupancy, hyper-parameters):
+// the same ops run in the same order with the same shapes, step after step.
+//
+// This header defines the immutable artifacts the plan layer produces:
+//
+//   * PlanMode   — off | record | replay, resolved from an explicit request
+//                  or the SARN_PLAN environment variable.
+//   * PlanKey    — everything the op/allocation stream of one step depends
+//                  on. Two steps with equal keys produce byte-identical
+//                  streams; any key change invalidates the cached plan.
+//   * StepPlan   — the recorded plan: the backward execution order over the
+//                  step's tape nodes, a wavefront partition of that order
+//                  into parallel-safe runs, and the step's full allocation
+//                  stream as buffer slots with birth/death event ticks and
+//                  AOT-planned arena offsets (first-fit interval packing).
+//
+// Plans are recorded and executed by PlanExecutor (plan/executor.h). The
+// contract that makes replay safe to enable by default is *bitwise
+// determinism*: a replayed step produces exactly the float stream the
+// dynamic tape would have produced — same losses, same gradients, same
+// parameters, same telemetry — at any thread count.
+
+#ifndef SARN_PLAN_PLAN_H_
+#define SARN_PLAN_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sarn::plan {
+
+/// How the training loop engages the plan layer.
+///   kOff    — dynamic tape only (status quo).
+///   kRecord — every step is captured and verified against the cached plan;
+///             execution stays on pool-backed buffers. This is the
+///             recording/verification backend: it proves stream stability
+///             without committing to arena replay.
+///   kReplay — record on first sight of a key, verify on the second, then
+///             replay: arena-served buffers, no tape DFS, fused grad kernels,
+///             parallel closure runs.
+enum class PlanMode { kOff = 0, kRecord, kReplay };
+
+const char* PlanModeName(PlanMode mode);
+
+/// Parses "off" / "record" / "replay" (exact, lowercase); nullopt otherwise.
+std::optional<PlanMode> ParsePlanMode(std::string_view text);
+
+/// Resolves the mode for a training run: an explicit request wins, then the
+/// SARN_PLAN environment variable, then kOff. Unparsable env values fall
+/// back to kOff (a bad env var must not change training behaviour).
+PlanMode EffectivePlanMode(std::optional<PlanMode> requested);
+
+// --- Plan cache key ----------------------------------------------------------
+
+/// 64-bit FNV-1a style combiner for building config hashes.
+inline uint64_t HashCombine(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Everything the shape of one training step's op/allocation stream depends
+/// on. Values (parameters, RNG draws) are free to differ between steps with
+/// equal keys — only the *structure* must match, and for SARN it does: RNG
+/// affects which rows are gathered, never how many.
+struct PlanKey {
+  uint64_t config_hash = 0;  // Hyper-parameters + ablation switches + LR.
+  int64_t vertices = 0;      // |V| of the (augmented) graph.
+  int64_t edges_a = 0;       // Edge count of view 1 (pre-self-loop).
+  int64_t edges_b = 0;       // Edge count of view 2 (0 when unused).
+  int64_t batch = 0;         // Anchors in this step.
+  int64_t phi_max = 0;       // Widest local-negative queue over the batch.
+  int64_t cells = 0;         // Non-empty grid cells (global loss rows).
+  int64_t rows = 0;          // Batch members participating in the global loss.
+  int64_t threads = 1;       // ParallelFor width.
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    uint64_t h = k.config_hash;
+    h = HashCombine(h, static_cast<uint64_t>(k.vertices));
+    h = HashCombine(h, static_cast<uint64_t>(k.edges_a));
+    h = HashCombine(h, static_cast<uint64_t>(k.edges_b));
+    h = HashCombine(h, static_cast<uint64_t>(k.batch));
+    h = HashCombine(h, static_cast<uint64_t>(k.phi_max));
+    h = HashCombine(h, static_cast<uint64_t>(k.cells));
+    h = HashCombine(h, static_cast<uint64_t>(k.rows));
+    h = HashCombine(h, static_cast<uint64_t>(k.threads));
+    return static_cast<size_t>(h);
+  }
+};
+
+// --- Plan IR -----------------------------------------------------------------
+
+/// One buffer acquisition in the step's allocation stream, in acquisition
+/// order. `birth`/`death` are event ticks (one shared counter over both
+/// acquisitions and releases), which is exactly the lifetime information
+/// first-fit interval packing needs.
+struct BufferSlot {
+  static constexpr uint32_t kNoDeath = 0xffffffffu;
+  static constexpr uint64_t kNoOffset = ~uint64_t{0};
+
+  uint64_t bytes = 0;        // Exact requested bytes (replay verifies these).
+  uint32_t size_class = 0;   // BufferPool class; >= kOversizeClass stays pooled.
+  uint32_t birth = 0;        // Event tick of the acquisition.
+  uint32_t death = kNoDeath; // Event tick of the final release; kNoDeath when
+                             // the buffer escapes the step bracket.
+  uint64_t arena_offset = kNoOffset;  // Block-header offset in the arena.
+
+  bool arena_backed() const { return arena_offset != kNoOffset; }
+};
+
+/// A maximal consecutive span of the backward execution order whose closures
+/// touch pairwise-disjoint tensors and perform no allocations; such a span
+/// may run under ParallelFor without changing a single bit of any gradient.
+struct ExecRun {
+  uint32_t begin = 0;  // Indices into StepPlan::exec.
+  uint32_t end = 0;
+  bool parallel = false;
+};
+
+/// An immutable recorded training step. `exec` holds indices into the step's
+/// node registry (tape nodes in creation order); replay addresses nodes by
+/// these indices, so no pointer from the recorded step survives into the
+/// plan.
+struct StepPlan {
+  PlanKey key;
+  uint32_t tape_nodes = 0;        // Nodes the step records (registry size).
+  uint32_t root = 0;              // Registry index of the backward root.
+  std::vector<uint32_t> exec;     // Backward closure order (registry indices).
+  std::vector<ExecRun> runs;      // Wavefront partition over `exec`.
+  std::vector<BufferSlot> slots;  // The step's full allocation stream.
+  uint64_t arena_bytes = 0;       // Packed arena footprint.
+  uint32_t arena_slots = 0;       // Slots served from the arena on replay.
+  uint32_t escaping_slots = 0;    // Slots with no in-step release (stay pooled).
+  uint32_t parallel_runs = 0;     // Runs with parallel == true.
+  uint32_t parallel_nodes = 0;    // Closures covered by parallel runs.
+};
+
+/// True when the two plans describe the same op/allocation stream (keys,
+/// node counts, execution order and slot stream all equal; arena offsets are
+/// derived data and not compared). Used by the verification pass.
+bool SameStream(const StepPlan& a, const StepPlan& b);
+
+}  // namespace sarn::plan
+
+#endif  // SARN_PLAN_PLAN_H_

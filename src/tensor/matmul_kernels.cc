@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/simd/simd.h"
+
 namespace sarn::tensor::kernels {
 namespace {
 
@@ -68,6 +70,34 @@ void MatMulBlocked(const float* a, const float* b, float* c, int64_t row_begin,
       if (mr == kMr && nr == kNr) {
         // Fast path with compile-time tile bounds: acc stays in registers
         // across the whole k loop.
+        AccumulateTile(
+            k, [&](int64_t ii, int64_t kk) { return a[(i0 + ii) * k + kk]; },
+            b + j0, n, acc);
+      } else {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* brow = b + kk * n + j0;
+          for (int64_t ii = 0; ii < mr; ++ii) {
+            float av = a[(i0 + ii) * k + kk];
+            for (int64_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * brow[jj];
+          }
+        }
+      }
+      StoreTile(acc, mr, nr, c + i0 * n + j0, n);
+    }
+  }
+}
+
+void MatMulBlockedInit(const float* a, const float* b, float* c, int64_t row_begin,
+                       int64_t row_end, int64_t k, int64_t n) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kMr) {
+    int64_t mr = std::min(kMr, row_end - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      int64_t nr = std::min(kNr, n - j0);
+      // Same accumulation chains as MatMulBlocked over a zeroed output: the
+      // tile seed is +0.0f either way, so results are bit-identical while C
+      // is written exactly once and never read.
+      float acc[kMr][kNr] = {};
+      if (mr == kMr && nr == kNr) {
         AccumulateTile(
             k, [&](int64_t ii, int64_t kk) { return a[(i0 + ii) * k + kk]; },
             b + j0, n, acc);
@@ -178,6 +208,13 @@ void MatMulGradBBlocked(const float* a, const float* g, float* db, int64_t row_b
       StoreTile(acc, mr, nr, db + k0 * n + j0, n);
     }
   }
+}
+
+// Follows the serve-scan tier dispatch (simd.h): the SARN_SIMD override and
+// ForceTier() govern the compiled matmul kernels too, so a scalar-forced run
+// exercises the reference kernels on every path.
+bool MatMulCompiledAvailable() {
+  return simd::ActiveTier() == simd::Tier::kAvx2;
 }
 
 }  // namespace sarn::tensor::kernels

@@ -35,6 +35,14 @@ void MatMulNaive(const float* a, const float* b, float* c, int64_t row_begin,
 void MatMulBlocked(const float* a, const float* b, float* c, int64_t row_begin,
                    int64_t row_end, int64_t k, int64_t n);
 
+/// C[i,:] = A[i,:] * B (overwrite): the blocked forward kernel minus the
+/// accumulate-into-C contract. The register tile starts at +0.0f instead of
+/// being seeded from C, which is bit-identical to accumulating into a
+/// zeroed buffer — so MatMul can hand it an uninitialized output and skip
+/// the zero-fill pass plus the tile re-read entirely.
+void MatMulBlockedInit(const float* a, const float* b, float* c, int64_t row_begin,
+                       int64_t row_end, int64_t k, int64_t n);
+
 /// dA[i,:] += G[i,:] * B^T for i in [row_begin, row_end). G: [m,n], B: [k,n].
 void MatMulGradANaive(const float* g, const float* b, float* da, int64_t row_begin,
                       int64_t row_end, int64_t k, int64_t n);
@@ -46,6 +54,35 @@ void MatMulGradBNaive(const float* a, const float* g, float* db, int64_t row_beg
                       int64_t row_end, int64_t m, int64_t k, int64_t n);
 void MatMulGradBBlocked(const float* a, const float* g, float* db, int64_t row_begin,
                         int64_t row_end, int64_t m, int64_t k, int64_t n);
+
+// --- Compiled (plan-executor) AVX2 kernels ----------------------------------
+// Vector lanes are distinct output elements — no reduction is reassociated
+// and no FMA is emitted (see simd/matmul_avx2.cc) — so each kernel is
+// bit-identical to its scalar blocked counterpart on every input. The plan
+// executor swaps them in for verified capture/replay steps (DESIGN.md §15);
+// the dynamic tape keeps the scalar reference kernels.
+
+/// True when the AVX2 kernels are compiled in and the host supports them.
+/// Defined (returning false) on every build so call sites need no #ifdefs.
+bool MatMulCompiledAvailable();
+
+#if defined(SARN_HAVE_AVX2_KERNELS)
+bool MatMulAvx2Supported();
+
+/// C[i,:] = A[i,:] * B (overwrite, zero seed) — MatMulBlockedInit, 8-wide.
+void MatMulInitAvx2(const float* a, const float* b, float* c, int64_t row_begin,
+                    int64_t row_end, int64_t k, int64_t n);
+
+/// dA[i,:] += G[i,:] * B^T via the pre-transposed bt ([n, k], bt[j*k+kk] ==
+/// b[kk*n+j]) — MatMulGradABlocked's zero-seeded-dot-then-add chains, 8-wide.
+void MatMulGradATAvx2(const float* g, const float* bt, float* da,
+                      int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
+
+/// dB[kk,:] += (A^T * G)[kk,:] — MatMulGradBBlocked, 8-wide.
+void MatMulGradBAvx2(const float* a, const float* g, float* db,
+                     int64_t row_begin, int64_t row_end, int64_t m, int64_t k,
+                     int64_t n);
+#endif  // SARN_HAVE_AVX2_KERNELS
 
 }  // namespace sarn::tensor::kernels
 

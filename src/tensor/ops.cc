@@ -283,35 +283,70 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                        << ShapeToString(b.shape());
   const float* ad = a.data().data();
   const float* bd = b.data().data();
-  // The kernels accumulate into C, so the output must start zeroed.
-  Storage out = Storage::Zeroed(static_cast<size_t>(m * n));
+  // The init kernels overwrite every element of their row range, so the
+  // output can start uninitialized (no zero-fill pass).
+  Storage out = Storage::Uninitialized(static_cast<size_t>(m * n));
   float* od = out.data();
+  // Plan-executor steps (capture and replay run under GradFusionEnabled)
+  // swap in the compiled AVX2 kernels; the dynamic tape stays on the scalar
+  // reference kernels it verifies them against. Both produce identical bits
+  // (DESIGN.md §15), and the choice is latched here on the recording thread
+  // so pool workers executing a row range agree with the plan.
+  const bool compiled = GradFusionEnabled() && kernels::MatMulCompiledAvailable();
   // Split so each chunk holds >= ~64k multiply-adds; chunks of kMr rows keep
   // the register tiles full except at a range boundary.
   size_t grain = MatMulRowGrain(k, n);
   ParallelFor(
       static_cast<size_t>(m),
       [&](size_t begin, size_t end) {
-        kernels::MatMulBlocked(ad, bd, od, static_cast<int64_t>(begin),
-                               static_cast<int64_t>(end), k, n);
+#if defined(SARN_HAVE_AVX2_KERNELS)
+        if (compiled) {
+          kernels::MatMulInitAvx2(ad, bd, od, static_cast<int64_t>(begin),
+                                  static_cast<int64_t>(end), k, n);
+          return;
+        }
+#endif
+        kernels::MatMulBlockedInit(ad, bd, od, static_cast<int64_t>(begin),
+                                   static_cast<int64_t>(end), k, n);
       },
       grain);
   auto ai = a.impl();
   auto bi = b.impl();
-  return MakeOpResult({m, n}, std::move(out), {a, b}, [ai, bi, m, k, n](TensorImpl& o) {
+  return MakeOpResult({m, n}, std::move(out), {a, b},
+                      [ai, bi, m, k, n, compiled](TensorImpl& o) {
     const float* g = o.grad.data();
     if (ai->requires_grad) {
       ai->EnsureGrad();
       float* ga = ai->grad.data();
       const float* bd = bi->data.data();
-      // dA = G * B^T : [m,n] x [n,k]
-      ParallelFor(
-          static_cast<size_t>(m),
-          [&](size_t begin, size_t end) {
-            kernels::MatMulGradABlocked(g, bd, ga, static_cast<int64_t>(begin),
+#if defined(SARN_HAVE_AVX2_KERNELS)
+      if (compiled) {
+        // Pre-transpose B so the compiled dA kernel's kk lanes load
+        // contiguously — pure data movement, no float arithmetic.
+        Storage bt = Storage::Uninitialized(static_cast<size_t>(k * n));
+        float* btd = bt.data();
+        for (int64_t kk = 0; kk < k; ++kk) {
+          for (int64_t j = 0; j < n; ++j) btd[j * k + kk] = bd[kk * n + j];
+        }
+        ParallelFor(
+            static_cast<size_t>(m),
+            [&](size_t begin, size_t end) {
+              kernels::MatMulGradATAvx2(g, btd, ga, static_cast<int64_t>(begin),
                                         static_cast<int64_t>(end), k, n);
-          },
-          MatMulRowGrain(k, n));
+            },
+            MatMulRowGrain(k, n));
+      } else
+#endif
+      {
+        // dA = G * B^T : [m,n] x [n,k]
+        ParallelFor(
+            static_cast<size_t>(m),
+            [&](size_t begin, size_t end) {
+              kernels::MatMulGradABlocked(g, bd, ga, static_cast<int64_t>(begin),
+                                          static_cast<int64_t>(end), k, n);
+            },
+            MatMulRowGrain(k, n));
+      }
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
@@ -321,6 +356,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       ParallelFor(
           static_cast<size_t>(k),
           [&](size_t begin, size_t end) {
+#if defined(SARN_HAVE_AVX2_KERNELS)
+            if (compiled) {
+              kernels::MatMulGradBAvx2(ad, g, gb, static_cast<int64_t>(begin),
+                                       static_cast<int64_t>(end), m, k, n);
+              return;
+            }
+#endif
             kernels::MatMulGradBBlocked(ad, g, gb, static_cast<int64_t>(begin),
                                         static_cast<int64_t>(end), m, k, n);
           },
@@ -832,6 +874,125 @@ Tensor FusedEdgeScores(const Tensor& score_src, const Tensor& score_dst,
     out[static_cast<size_t>(e)] = x > 0 ? x : negative_slope * x;
   }
   return Tensor::FromStorage({e_count}, std::move(out));
+}
+
+namespace {
+thread_local bool t_grad_fusion = false;
+}  // namespace
+
+bool GradFusionEnabled() { return t_grad_fusion; }
+
+void SetGradFusionEnabled(bool enabled) { t_grad_fusion = enabled; }
+
+GradFusionGuard::GradFusionGuard(bool enabled) : previous_(t_grad_fusion) {
+  t_grad_fusion = enabled;
+}
+
+GradFusionGuard::~GradFusionGuard() { t_grad_fusion = previous_; }
+
+Tensor FusedEdgeScoreActivate(const Tensor& score_src, const Tensor& score_dst,
+                              const std::vector<int64_t>& src,
+                              const std::vector<int64_t>& dst,
+                              float negative_slope) {
+  SARN_CHECK_EQ(src.size(), dst.size());
+  int64_t e_count = static_cast<int64_t>(src.size());
+  const Storage& ss = score_src.data();
+  const Storage& sd = score_dst.data();
+  Storage out = Storage::Uninitialized(static_cast<size_t>(e_count));
+  for (int64_t e = 0; e < e_count; ++e) {
+    // Same float order as Add(Rows(score_dst, dst), Rows(score_src, src))
+    // followed by LeakyRelu.
+    float x = sd[static_cast<size_t>(dst[static_cast<size_t>(e)])] +
+              ss[static_cast<size_t>(src[static_cast<size_t>(e)])];
+    out[static_cast<size_t>(e)] = x > 0 ? x : negative_slope * x;
+  }
+  auto ssi = score_src.impl();
+  auto sdi = score_dst.impl();
+  // Parent order {score_dst, score_src} mirrors Add(rows_dst, rows_src): the
+  // backward DFS then visits the score_dst matmul subtree first, so wx
+  // receives the two attention-gradient contributions in the unfused order
+  // (score_src's closure runs before score_dst's).
+  return MakeOpResult(
+      {e_count}, std::move(out), {score_dst, score_src},
+      [ssi, sdi, negative_slope, src_idx = MakeIndexVec(src),
+       dst_idx = MakeIndexVec(dst)](TensorImpl& o) {
+        // Per edge: recompute the pre-activation x bitwise from the saved
+        // inputs (LeakyRelu's derivative tests x), then scatter the chain
+        // gradient g * lrelu'(x) exactly as the unfused Rows backwards do —
+        // ascending edge order, single accumulation per edge. The unfused
+        // graph updates score_src before score_dst; the targets are distinct
+        // tensors with single-assignment row gradients, so per-tensor float
+        // accumulation order (the bitwise invariant) is preserved.
+        auto chain = [&](size_t e) -> float {
+          float x = sdi->data[static_cast<size_t>(dst_idx[e])] +
+                    ssi->data[static_cast<size_t>(src_idx[e])];
+          return o.grad[e] * (x > 0 ? 1.0f : negative_slope);
+        };
+        if (ssi->requires_grad) {
+          ssi->EnsureGrad();
+          for (size_t e = 0; e < src_idx.size(); ++e) {
+            ssi->grad[static_cast<size_t>(src_idx[e])] += chain(e);
+          }
+        }
+        if (sdi->requires_grad) {
+          sdi->EnsureGrad();
+          for (size_t e = 0; e < dst_idx.size(); ++e) {
+            sdi->grad[static_cast<size_t>(dst_idx[e])] += chain(e);
+          }
+        }
+      });
+}
+
+Tensor ScaleScatterRows(const Tensor& rows, const Tensor& scale,
+                        const std::vector<int64_t>& dst, int64_t num_vertices) {
+  RowMajor rm = Layout(rows);
+  SARN_CHECK_EQ(scale.numel(), rm.rows);
+  SARN_CHECK_EQ(static_cast<int64_t>(dst.size()), rm.rows);
+  RowMajor orm{num_vertices, rm.cols};
+  Storage out = Storage::Zeroed(static_cast<size_t>(num_vertices * rm.cols));
+  for (int64_t e = 0; e < rm.rows; ++e) {
+    int64_t v = dst[static_cast<size_t>(e)];
+    SARN_DCHECK(v >= 0 && v < num_vertices);
+    const float* row = rm.row(rows.data(), e);
+    float s = scale.data()[static_cast<size_t>(e)];
+    float* orow = orm.row(out, v);
+    for (int64_t j = 0; j < rm.cols; ++j) {
+      // Explicit float intermediate matches the rounding of the unfused
+      // ScaleRows-then-ScatterAdd chain exactly.
+      float message = row[j] * s;
+      orow[j] += message;
+    }
+  }
+  auto ai = rows.impl();
+  auto si = scale.impl();
+  return MakeOpResult(
+      {num_vertices, rm.cols}, std::move(out), {rows, scale},
+      [ai, si, rm, orm, idx = MakeIndexVec(dst)](TensorImpl& o) {
+        // The unfused pair first materialises messages.grad[e] =
+        // out.grad[dst[e]] (single assignment into zeros), then ScaleRows
+        // consumes it per edge. Reading out.grad[dst[e]] directly yields the
+        // same values; every gradient target (rows.grad row e, scale.grad[e])
+        // receives exactly one accumulation, so the per-edge interleaving
+        // cannot change any float result.
+        for (size_t e = 0; e < idx.size(); ++e) {
+          const float* g = orm.row(o.grad, idx[e]);
+          float s = si->data[e];
+          if (ai->requires_grad) {
+            ai->EnsureGrad();
+            float* ga = rm.row(ai->grad, static_cast<int64_t>(e));
+            for (int64_t j = 0; j < rm.cols; ++j) ga[j] += g[j] * s;
+          }
+          if (si->requires_grad) {
+            si->EnsureGrad();
+            const float* arow = rm.row(ai->data, static_cast<int64_t>(e));
+            double acc = 0.0;
+            for (int64_t j = 0; j < rm.cols; ++j) {
+              acc += static_cast<double>(g[j]) * arow[j];
+            }
+            si->grad[e] += static_cast<float>(acc);
+          }
+        }
+      });
 }
 
 Tensor FusedGatherScaleScatter(const Tensor& wx, const std::vector<int64_t>& src,

@@ -118,6 +118,51 @@ Tensor FusedGatherScaleScatter(const Tensor& wx, const std::vector<int64_t>& src
                                const std::vector<int64_t>& dst, const Tensor& alpha,
                                int64_t num_vertices);
 
+// --- Fused differentiable ops (grad-path fusion) --------------------------------
+// Grad-mode counterparts of the inference fusions above: each collapses an
+// adjacent elementwise/gather/scatter chain into ONE tape node whose forward
+// and backward apply the exact float operation order of the unfused chain —
+// values and gradients stay bitwise identical; only the [E, ...]
+// intermediates (and their zero-filled grad buffers) disappear. Selected by
+// GatLayer::Forward when GradFusionEnabled() is on (the plan executor turns
+// it on for recorded/replayed steps).
+
+/// True when nn layers should emit the fused differentiable kernels on the
+/// grad path (thread-local; default false).
+bool GradFusionEnabled();
+void SetGradFusionEnabled(bool enabled);
+
+/// RAII toggle for GradFusionEnabled on the calling thread.
+class GradFusionGuard {
+ public:
+  explicit GradFusionGuard(bool enabled);
+  ~GradFusionGuard();
+  GradFusionGuard(const GradFusionGuard&) = delete;
+  GradFusionGuard& operator=(const GradFusionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Differentiable FusedEdgeScores: LeakyRelu(score_dst[dst[e]] +
+/// score_src[src[e]]) -> [E], one tape node replacing the five-node
+/// Reshape(LeakyRelu(Add(Rows(score_dst, dst), Rows(score_src, src)))) chain.
+/// The backward recomputes the pre-activation (bitwise, from the saved
+/// inputs) and scatter-adds in ascending edge order, exactly like the
+/// unfused closures.
+Tensor FusedEdgeScoreActivate(const Tensor& score_src, const Tensor& score_dst,
+                              const std::vector<int64_t>& src,
+                              const std::vector<int64_t>& dst,
+                              float negative_slope = 0.2f);
+
+/// Differentiable ScaleRows+ScatterAddRows: out[dst[e]] += rows[e] * scale[e]
+/// -> [num_vertices, d], one tape node replacing the messages [E, d]
+/// intermediate (data and grad). `rows` is the gathered [E, d] tensor (the
+/// Rows(wx, src) node is kept so wx receives its gradient contributions in
+/// the unfused order).
+Tensor ScaleScatterRows(const Tensor& rows, const Tensor& scale,
+                        const std::vector<int64_t>& dst, int64_t num_vertices);
+
 }  // namespace sarn::tensor
 
 #endif  // SARN_TENSOR_OPS_H_

@@ -148,9 +148,10 @@ void Tensor::set(int64_t i, int64_t j, float v) {
   impl_->data[static_cast<size_t>(i * impl_->shape[1] + j)] = v;
 }
 
-void Tensor::Backward() {
-  SARN_CHECK_EQ(numel(), 1) << "Backward() without seed requires a scalar";
-  Backward({1.0f});
+Tensor::BackwardStatus Tensor::Backward() {
+  if (!defined()) return BackwardStatus::kUndefinedTensor;
+  if (numel() != 1) return BackwardStatus::kNotScalar;
+  return Backward({1.0f});
 }
 
 namespace {
@@ -170,11 +171,44 @@ struct BackwardScratch {
 
 thread_local BackwardScratch t_backward_scratch;
 
+thread_local internal::TapeHooks* t_tape_hooks = nullptr;
+
 }  // namespace
 
-void Tensor::Backward(const std::vector<float>& seed_grad) {
-  SARN_CHECK(defined());
-  SARN_CHECK_EQ(static_cast<int64_t>(seed_grad.size()), numel());
+namespace internal {
+
+void SetThreadTapeHooks(TapeHooks* hooks) { t_tape_hooks = hooks; }
+
+TapeHooks* ThreadTapeHooks() { return t_tape_hooks; }
+
+uint64_t NextBackwardPass() { return ++t_backward_scratch.pass_id; }
+
+}  // namespace internal
+
+const char* BackwardStatusName(Tensor::BackwardStatus status) {
+  switch (status) {
+    case Tensor::BackwardStatus::kOk: return "ok";
+    case Tensor::BackwardStatus::kUndefinedTensor: return "undefined_tensor";
+    case Tensor::BackwardStatus::kNotScalar: return "not_scalar";
+    case Tensor::BackwardStatus::kSeedSizeMismatch: return "seed_size_mismatch";
+  }
+  return "unknown";
+}
+
+Tensor::BackwardStatus Tensor::Backward(const std::vector<float>& seed_grad) {
+  if (!defined()) return BackwardStatus::kUndefinedTensor;
+  // A wrong-sized seed is a recoverable caller error, not a programming
+  // invariant: reject it with a typed status (the check must survive
+  // -DNDEBUG builds) before any gradient is touched.
+  if (static_cast<int64_t>(seed_grad.size()) != numel()) {
+    return BackwardStatus::kSeedSizeMismatch;
+  }
+  if (internal::TapeHooks* hooks = t_tape_hooks;
+      hooks != nullptr && hooks->backward != nullptr) {
+    if (hooks->backward(hooks->ctx, impl_, seed_grad.data(), seed_grad.size())) {
+      return BackwardStatus::kOk;  // Recorded/replayed by the plan layer.
+    }
+  }
   // Topological order over the tape (iterative DFS to survive deep graphs,
   // e.g., unrolled GRUs over 180-step trajectories). Visited state is a pass
   // id stamped on each node, so no per-call hash set is built.
@@ -217,6 +251,7 @@ void Tensor::Backward(const std::vector<float>& seed_grad) {
     PoolVec<std::shared_ptr<internal::TensorImpl>>().swap(node->parents);
   }
   order.clear();
+  return BackwardStatus::kOk;
 }
 
 void Tensor::ZeroGrad() {
@@ -291,6 +326,10 @@ Tensor MakeOpResultImpl(Shape shape, Storage data, const Tensor* inputs,
       }
       impl->backward = std::move(backward);
       internal::IncrementTapeNodeCount();
+      if (internal::TapeHooks* hooks = t_tape_hooks;
+          hooks != nullptr && hooks->on_node != nullptr) {
+        hooks->on_node(hooks->ctx, impl);
+      }
     }
   }
   return Tensor::FromImpl(impl);

@@ -63,6 +63,32 @@ struct TensorImpl {
   }
 };
 
+class Tensor;  // below
+
+/// Thread-local tape interposition for the step-plan recorder and executor
+/// (src/plan/). Null (the default) keeps the dynamic tape untouched.
+struct TapeHooks {
+  /// Observes every tape node the thread records (MakeOpResult with grad
+  /// mode on and a grad-requiring input).
+  void (*on_node)(void* ctx, const std::shared_ptr<TensorImpl>& node) = nullptr;
+  /// Offered the whole backward pass after the seed has been validated.
+  /// Returning true means the hook executed (or replayed) the pass itself;
+  /// false falls through to the dynamic DFS path.
+  bool (*backward)(void* ctx, const std::shared_ptr<TensorImpl>& root,
+                   const float* seed, size_t seed_size) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Installs `hooks` for the calling thread (nullptr uninstalls). The pointer
+/// must stay valid until uninstalled.
+void SetThreadTapeHooks(TapeHooks* hooks);
+TapeHooks* ThreadTapeHooks();
+
+/// Next backward pass id for this thread's visit_mark stamping. Shared
+/// between the dynamic DFS and the plan recorder's topo sort so their marks
+/// never collide.
+uint64_t NextBackwardPass();
+
 }  // namespace internal
 
 /// True while gradients are being recorded on this thread (default true).
@@ -139,12 +165,24 @@ class Tensor {
 
   // --- Autograd ------------------------------------------------------------
 
+  /// Outcome of a Backward() call. Failures are reported before any gradient
+  /// is touched, so a rejected call leaves the tape and all grads intact.
+  enum class BackwardStatus {
+    kOk = 0,
+    kUndefinedTensor,    // Called on a default-constructed Tensor.
+    kNotScalar,          // Seedless Backward() on a tensor with numel() != 1.
+    kSeedSizeMismatch,   // seed_grad.size() != numel().
+  };
+
   /// Runs reverse-mode autodiff from this scalar tensor: fills `grad` of all
   /// reachable tensors with requires_grad. The tape is consumed (freed).
-  void Backward();
+  /// Returns kNotScalar (without running) when numel() != 1.
+  BackwardStatus Backward();
 
-  /// Same, with an explicit seed gradient (shape must match).
-  void Backward(const std::vector<float>& seed_grad);
+  /// Same, with an explicit seed gradient. Returns kSeedSizeMismatch
+  /// (without running) when the seed's size differs from numel(); the check
+  /// is always on, not a debug assertion.
+  BackwardStatus Backward(const std::vector<float>& seed_grad);
 
   /// Zeroes this tensor's gradient buffer.
   void ZeroGrad();
@@ -165,6 +203,9 @@ class Tensor {
  private:
   std::shared_ptr<internal::TensorImpl> impl_;
 };
+
+/// Stable name for logging/tests ("ok", "undefined_tensor", ...).
+const char* BackwardStatusName(Tensor::BackwardStatus status);
 
 /// Signature of an op's backward pass: receives the output node (whose
 /// `grad` holds dL/d_out) and must accumulate into the inputs' grads (the

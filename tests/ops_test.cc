@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -133,6 +134,23 @@ TEST_P(MatMulKernelEquivalence, ForwardMatchesNaive) {
   }
 }
 
+TEST_P(MatMulKernelEquivalence, InitOverwritesGarbageAndMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(42 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  std::vector<float> naive(static_cast<size_t>(m * n), 0.0f);
+  // Poisoned output: the init kernel must overwrite every element without
+  // reading it, so garbage (including NaN) must not leak into the result.
+  std::vector<float> init(static_cast<size_t>(m * n),
+                          std::numeric_limits<float>::quiet_NaN());
+  kernels::MatMulNaive(a.data().data(), b.data().data(), naive.data(), 0, m, k, n);
+  kernels::MatMulBlockedInit(a.data().data(), b.data().data(), init.data(), 0, m, k, n);
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(init[i], naive[i]) << "index " << i;
+  }
+}
+
 TEST_P(MatMulKernelEquivalence, GradAMatchesNaive) {
   auto [m, k, n] = GetParam();
   Rng rng(77 + m + k + n);
@@ -161,6 +179,68 @@ TEST_P(MatMulKernelEquivalence, GradBMatchesNaive) {
     EXPECT_EQ(blocked[i], naive[i]) << "index " << i;
   }
 }
+
+#if defined(SARN_HAVE_AVX2_KERNELS)
+// Compiled (plan-executor) AVX2 kernels: vector lanes are distinct output
+// elements, so they must match the scalar blocked kernels bit for bit —
+// including on inputs with exact zeros (post-ReLU activations) and on
+// shapes with sub-tile remainders.
+
+TEST_P(MatMulKernelEquivalence, InitAvx2MatchesBlockedInit) {
+  if (!kernels::MatMulAvx2Supported()) GTEST_SKIP() << "host lacks AVX2";
+  auto [m, k, n] = GetParam();
+  Rng rng(42 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  for (size_t i = 0; i < a.data().size(); i += 3) a.mutable_data()[i] = 0.0f;
+  std::vector<float> blocked(static_cast<size_t>(m * n),
+                             std::numeric_limits<float>::quiet_NaN());
+  std::vector<float> avx2(static_cast<size_t>(m * n),
+                          std::numeric_limits<float>::quiet_NaN());
+  kernels::MatMulBlockedInit(a.data().data(), b.data().data(), blocked.data(), 0, m, k, n);
+  kernels::MatMulInitAvx2(a.data().data(), b.data().data(), avx2.data(), 0, m, k, n);
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(avx2[i], blocked[i]) << "index " << i;
+  }
+}
+
+TEST_P(MatMulKernelEquivalence, GradATAvx2MatchesBlocked) {
+  if (!kernels::MatMulAvx2Supported()) GTEST_SKIP() << "host lacks AVX2";
+  auto [m, k, n] = GetParam();
+  Rng rng(77 + m + k + n);
+  Tensor g = Tensor::Randn({m, n}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  std::vector<float> blocked(static_cast<size_t>(m * k), 0.5f);  // Accumulates on top.
+  std::vector<float> avx2(static_cast<size_t>(m * k), 0.5f);
+  kernels::MatMulGradABlocked(g.data().data(), b.data().data(), blocked.data(), 0, m, k, n);
+  // The AVX2 kernel takes B pre-transposed ([n, k]) — build it as MatMul does.
+  std::vector<float> bt(static_cast<size_t>(n * k));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) bt[j * k + kk] = b.data()[kk * n + j];
+  }
+  kernels::MatMulGradATAvx2(g.data().data(), bt.data(), avx2.data(), 0, m, k, n);
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(avx2[i], blocked[i]) << "index " << i;
+  }
+}
+
+TEST_P(MatMulKernelEquivalence, GradBAvx2MatchesBlocked) {
+  if (!kernels::MatMulAvx2Supported()) GTEST_SKIP() << "host lacks AVX2";
+  auto [m, k, n] = GetParam();
+  Rng rng(99 + m + k + n);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor g = Tensor::Randn({m, n}, rng);
+  for (size_t i = 0; i < a.data().size(); i += 3) a.mutable_data()[i] = 0.0f;
+  std::vector<float> blocked(static_cast<size_t>(k * n), -0.25f);
+  std::vector<float> avx2(static_cast<size_t>(k * n), -0.25f);
+  kernels::MatMulGradBBlocked(a.data().data(), g.data().data(), blocked.data(), 0, k, m, k,
+                              n);
+  kernels::MatMulGradBAvx2(a.data().data(), g.data().data(), avx2.data(), 0, k, m, k, n);
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(avx2[i], blocked[i]) << "index " << i;
+  }
+}
+#endif  // SARN_HAVE_AVX2_KERNELS
 
 TEST_P(MatMulKernelEquivalence, RowRangeCoversPartition) {
   // Kernels run on arbitrary row sub-ranges under ParallelFor; a partition

@@ -1,0 +1,349 @@
+// Step-plan engine tests (DESIGN.md §15): the plan cache's per-key
+// capture -> verify -> replay lifecycle, the invalidation matrix (shape, LR
+// and thread-count changes each force a re-record; a no-op rebuild reuses the
+// cached plan), and the headline guarantee — `--plan record` / `--plan
+// replay` training is bitwise identical to the dynamic tape, at 1 and 4
+// threads and across a kill + resume.
+
+#include "plan/executor.h"
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/sarn_model.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+#include "roadnet/synthetic_city.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sarn::plan {
+namespace {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// PlanKey / PlanMode unit surface.
+
+TEST(PlanKeyTest, EveryFieldParticipatesInEquality) {
+  PlanKey base;
+  base.config_hash = 7;
+  base.vertices = 100;
+  base.edges_a = 50;
+  base.edges_b = 51;
+  base.batch = 32;
+  base.phi_max = 9;
+  base.cells = 4;
+  base.rows = 30;
+  base.threads = 1;
+  EXPECT_EQ(base, base);
+
+  PlanKey k = base;
+  k.config_hash ^= 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.vertices += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.edges_a += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.edges_b += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.batch -= 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.phi_max += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.cells += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.rows += 1;
+  EXPECT_NE(base, k);
+  k = base;
+  k.threads = 4;
+  EXPECT_NE(base, k);
+  EXPECT_NE(PlanKeyHash{}(base), PlanKeyHash{}(k));
+}
+
+TEST(PlanModeTest, ParseAndPrecedence) {
+  EXPECT_EQ(ParsePlanMode("off"), PlanMode::kOff);
+  EXPECT_EQ(ParsePlanMode("record"), PlanMode::kRecord);
+  EXPECT_EQ(ParsePlanMode("replay"), PlanMode::kReplay);
+  EXPECT_FALSE(ParsePlanMode("Replay").has_value());
+  EXPECT_FALSE(ParsePlanMode("").has_value());
+
+  // An explicit request always beats the environment.
+  EXPECT_EQ(EffectivePlanMode(PlanMode::kReplay), PlanMode::kReplay);
+  EXPECT_EQ(EffectivePlanMode(PlanMode::kOff), PlanMode::kOff);
+}
+
+// ---------------------------------------------------------------------------
+// Executor lifecycle on a real (small) tensor step.
+//
+// One "training step": forward through two matmuls + elementwise tail,
+// backward, all inside the executor's step bracket. The parameters and their
+// grad buffers outlive the bracket (escaping allocations), everything else
+// dies inside it — the same shape of lifetime mix as a real SARN step.
+
+struct MiniStep {
+  Tensor w1 = Tensor::Zeros({16, 16}).RequiresGrad();
+  Tensor w2 = Tensor::Zeros({16, 16}).RequiresGrad();
+  Tensor x = Tensor::Ones({16, 16});
+
+  MiniStep() {
+    Rng rng(11);
+    w1 = Tensor::Randn({16, 16}, rng, 0.1f).RequiresGrad();
+    w2 = Tensor::Randn({16, 16}, rng, 0.1f).RequiresGrad();
+    // Touch the grads once so the first bracketed step does not see the
+    // one-time grad-buffer allocations (mirrors a warmed optimizer).
+    PlanExecutor off(PlanMode::kOff);
+    Run(&off, PlanKey{});
+  }
+
+  double Run(PlanExecutor* executor, const PlanKey& key) {
+    PlanExecutor::StepGuard guard = executor->BeginStep(key);
+    Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    Tensor out = tensor::Tanh(tensor::MatMul(h, w2));
+    Tensor loss = tensor::Mean(tensor::Square(out));
+    double value = loss.item();
+    EXPECT_EQ(loss.Backward(), Tensor::BackwardStatus::kOk);
+    return value;
+  }
+};
+
+PlanKey TestKey(uint64_t config_hash = 1, int64_t batch = 16, int64_t threads = 1) {
+  PlanKey key;
+  key.config_hash = config_hash;
+  key.vertices = 16;
+  key.edges_a = 16;
+  key.edges_b = 16;
+  key.batch = batch;
+  key.threads = threads;
+  return key;
+}
+
+TEST(PlanExecutorTest, ReplayModeCapturesVerifiesThenReplays) {
+  MiniStep step;
+  PlanExecutor executor(PlanMode::kReplay);
+  PlanKey key = TestKey();
+
+  std::vector<double> losses;
+  for (int i = 0; i < 6; ++i) losses.push_back(step.Run(&executor, key));
+
+  PlanCounters counters = executor.counters();
+  // Sight 1 captures, sight 2 captures + verifies, sights 3..6 replay.
+  EXPECT_EQ(counters.captures, 2u);
+  EXPECT_EQ(counters.verified, 1u);
+  EXPECT_EQ(counters.replays, 4u);
+  EXPECT_EQ(counters.divergences, 0u);
+  EXPECT_EQ(executor.cache_size(), 1u);
+  const StepPlan* plan = executor.CachedPlan(key);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->tape_nodes, 0u);
+  EXPECT_FALSE(plan->exec.empty());
+  EXPECT_EQ(plan->slots.size(), plan->arena_slots + plan->escaping_slots);
+
+  // The step is deterministic: every mode change left the numerics alone.
+  for (size_t i = 1; i < losses.size(); ++i) EXPECT_EQ(losses[i], losses[0]);
+
+  // Gradients accumulated once per run, identically each time.
+  for (float g : step.w1.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(PlanExecutorTest, RecordModeNeverArmsArena) {
+  MiniStep step;
+  PlanExecutor executor(PlanMode::kRecord);
+  PlanKey key = TestKey();
+  for (int i = 0; i < 5; ++i) step.Run(&executor, key);
+
+  PlanCounters counters = executor.counters();
+  // Record mode is a continuous verification backend: every step captures.
+  EXPECT_EQ(counters.captures, 5u);
+  EXPECT_GE(counters.verified, 1u);
+  EXPECT_EQ(counters.replays, 0u);
+  EXPECT_EQ(counters.divergences, 0u);
+}
+
+TEST(PlanExecutorTest, InvalidationMatrixForcesRecapture) {
+  MiniStep step;
+  PlanExecutor executor(PlanMode::kReplay);
+  PlanKey key = TestKey();
+  for (int i = 0; i < 3; ++i) step.Run(&executor, key);  // verified + replaying
+  ASSERT_EQ(executor.counters().replays, 1u);
+
+  // Shape change (batch), LR-schedule change (config_hash carries the LR
+  // bits) and thread-count change each miss the cache and re-record.
+  uint64_t captures_before = executor.counters().captures;
+  step.Run(&executor, TestKey(1, /*batch=*/8, 1));
+  step.Run(&executor, TestKey(/*config_hash=*/2, 16, 1));
+  step.Run(&executor, TestKey(1, 16, /*threads=*/2));
+  EXPECT_EQ(executor.counters().captures, captures_before + 3);
+  EXPECT_EQ(executor.cache_size(), 4u);
+
+  // A no-op rebuild — the original key again — reuses the verified plan
+  // instead of re-recording.
+  uint64_t replays_before = executor.counters().replays;
+  step.Run(&executor, key);
+  EXPECT_EQ(executor.counters().replays, replays_before + 1);
+  EXPECT_EQ(executor.counters().captures, captures_before + 3);
+}
+
+TEST(PlanExecutorTest, OffModeIsInert) {
+  MiniStep step;
+  PlanExecutor executor(PlanMode::kOff);
+  for (int i = 0; i < 3; ++i) step.Run(&executor, TestKey());
+  PlanCounters counters = executor.counters();
+  EXPECT_EQ(counters.captures, 0u);
+  EXPECT_EQ(counters.replays, 0u);
+  EXPECT_EQ(executor.cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Grad-path fusion bitwise identity (the executor turns fusion on for
+// captured and replayed steps; the fused kernels must not perturb a single
+// bit of the gradients).
+
+TEST(GradFusionTest, FusedBackwardBitwiseMatchesUnfused) {
+  auto run = [](bool fused) {
+    Rng rng(5);
+    Tensor w = Tensor::Randn({12, 12}, rng, 0.2f).RequiresGrad();
+    Tensor x = Tensor::Randn({12, 12}, rng, 0.2f);
+    tensor::GradFusionGuard guard(fused);
+    Tensor loss = tensor::Mean(tensor::Square(tensor::LeakyRelu(tensor::MatMul(x, w))));
+    EXPECT_EQ(loss.Backward(), Tensor::BackwardStatus::kOk);
+    std::vector<float> out(w.grad().begin(), w.grad().end());
+    out.push_back(loss.item());
+    return out;
+  };
+  std::vector<float> unfused = run(false);
+  std::vector<float> fused = run(true);
+  ASSERT_EQ(unfused.size(), fused.size());
+  for (size_t i = 0; i < unfused.size(); ++i) EXPECT_EQ(unfused[i], fused[i]) << i;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: SarnModel training with the plan engine is bitwise identical
+// to the dynamic tape — losses, parameters and embeddings — and the replay
+// path actually fires.
+
+core::SarnConfig PlanTestConfig() {
+  core::SarnConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 16;
+  config.projection_dim = 8;
+  config.gat_layers = 2;
+  config.gat_heads = 2;
+  config.feature_dim_per_feature = 4;
+  config.max_epochs = 4;
+  config.batch_size = 32;  // Many batches per epoch share one plan key.
+  config.queue_budget = 400;
+  return config;
+}
+
+class PlanTrainTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::SyntheticCityConfig city;
+    city.rows = 8;
+    city.cols = 8;
+    network_ = new roadnet::RoadNetwork(roadnet::GenerateSyntheticCity(city));
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    network_ = nullptr;
+  }
+
+  struct RunResult {
+    std::vector<double> epoch_losses;
+    std::vector<float> embeddings;
+  };
+
+  static RunResult TrainWith(std::optional<PlanMode> mode,
+                             core::TrainOptions options = {}) {
+    core::SarnModel model(*network_, PlanTestConfig());
+    options.plan_mode = mode;
+    core::TrainStats stats = model.Train(options);
+    EXPECT_FALSE(stats.aborted) << stats.abort_reason;
+    Tensor h = model.Embeddings();
+    return RunResult{stats.epoch_losses,
+                     std::vector<float>(h.data().begin(), h.data().end())};
+  }
+
+  static void ExpectBitwiseEqual(const RunResult& a, const RunResult& b) {
+    ASSERT_EQ(a.epoch_losses.size(), b.epoch_losses.size());
+    for (size_t i = 0; i < a.epoch_losses.size(); ++i) {
+      EXPECT_EQ(a.epoch_losses[i], b.epoch_losses[i]) << "epoch " << i;
+    }
+    ASSERT_EQ(a.embeddings.size(), b.embeddings.size());
+    for (size_t i = 0; i < a.embeddings.size(); ++i) {
+      ASSERT_EQ(a.embeddings[i], b.embeddings[i]) << "element " << i;
+    }
+  }
+
+  static uint64_t ReplayCount() {
+    return obs::MetricsRegistry::Default().GetCounter("sarn.plan.replays").Value();
+  }
+
+  static roadnet::RoadNetwork* network_;
+};
+
+roadnet::RoadNetwork* PlanTrainTest::network_ = nullptr;
+
+TEST_F(PlanTrainTest, ReplayBitwiseIdenticalToDynamicSingleThread) {
+  RunResult dynamic = TrainWith(PlanMode::kOff);
+  uint64_t replays_before = ReplayCount();
+  RunResult replay = TrainWith(PlanMode::kReplay);
+  ExpectBitwiseEqual(dynamic, replay);
+  // The replay path must actually have fired, not silently fallen back.
+  EXPECT_GT(ReplayCount(), replays_before);
+}
+
+TEST_F(PlanTrainTest, RecordBitwiseIdenticalToDynamic) {
+  RunResult dynamic = TrainWith(PlanMode::kOff);
+  RunResult record = TrainWith(PlanMode::kRecord);
+  ExpectBitwiseEqual(dynamic, record);
+}
+
+TEST_F(PlanTrainTest, ReplayBitwiseIdenticalToDynamicFourThreads) {
+  size_t previous = GetParallelThreads();
+  SetParallelThreads(4);
+  RunResult dynamic = TrainWith(PlanMode::kOff);
+  uint64_t replays_before = ReplayCount();
+  RunResult replay = TrainWith(PlanMode::kReplay);
+  SetParallelThreads(previous);
+  ExpectBitwiseEqual(dynamic, replay);
+  EXPECT_GT(ReplayCount(), replays_before);
+}
+
+TEST_F(PlanTrainTest, ReplaySurvivesKillAndResumeBitwise) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "sarn_plan_resume_test";
+  fs::remove_all(dir);
+
+  RunResult uninterrupted = TrainWith(PlanMode::kReplay);
+
+  core::TrainOptions killed;
+  killed.checkpoint_dir = dir.string();
+  killed.max_epochs = 2;  // Simulate a kill after epoch 2's checkpoint.
+  TrainWith(PlanMode::kReplay, killed);
+
+  core::TrainOptions resumed;
+  resumed.checkpoint_dir = dir.string();
+  RunResult after_resume = TrainWith(PlanMode::kReplay, resumed);
+
+  ExpectBitwiseEqual(uninterrupted, after_resume);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sarn::plan

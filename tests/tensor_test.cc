@@ -123,11 +123,31 @@ TEST(TensorTest, BackwardWithExplicitSeed) {
   EXPECT_FLOAT_EQ(x.grad()[1], 40.0f);
 }
 
-TEST(TensorDeathTest, BackwardOnNonScalarWithoutSeed) {
+TEST(TensorTest, BackwardOnNonScalarWithoutSeedReturnsTypedError) {
   Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f});
   x.RequiresGrad();
   Tensor y = Square(x);
-  EXPECT_DEATH(y.Backward(), "scalar");
+  EXPECT_EQ(y.Backward(), Tensor::BackwardStatus::kNotScalar);
+  // Rejected before any gradient was touched: the tape is still intact, so a
+  // correctly seeded call still runs.
+  EXPECT_EQ(y.Backward({1.0f, 1.0f}), Tensor::BackwardStatus::kOk);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 4.0f);
+}
+
+TEST(TensorTest, BackwardRejectsMismatchedSeedWithTypedError) {
+  Tensor x = Tensor::FromVector({2}, {3.0f, 4.0f});
+  x.RequiresGrad();
+  Tensor y = Square(x);
+  EXPECT_EQ(y.Backward({1.0f}), Tensor::BackwardStatus::kSeedSizeMismatch);
+  EXPECT_EQ(y.Backward({1.0f, 1.0f, 1.0f}), Tensor::BackwardStatus::kSeedSizeMismatch);
+  // The rejection left grads untouched and the tape alive.
+  EXPECT_EQ(y.Backward({1.0f, 1.0f}), Tensor::BackwardStatus::kOk);
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+  EXPECT_EQ(Tensor().Backward(), Tensor::BackwardStatus::kUndefinedTensor);
+  EXPECT_STREQ(BackwardStatusName(Tensor::BackwardStatus::kSeedSizeMismatch),
+               "seed_size_mismatch");
 }
 
 TEST(TensorTest, DeepChainBackwardDoesNotOverflowStack) {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/flag_binding.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -49,6 +50,7 @@
 #include "obs/prom_export.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
 #include "roadnet/geojson.h"
 #include "roadnet/io.h"
 #include "roadnet/osm_import.h"
@@ -100,41 +102,92 @@ bool SaveEmbeddingsCsv(const tensor::Tensor& embeddings, const std::string& path
   return WriteCsvFile(path, table);
 }
 
+// All model-state reads go through the SarnModel::Load factory (typed
+// errors); this wrapper keeps the optional-shaped call sites readable.
 std::optional<tensor::Tensor> LoadEmbeddingsCsv(const std::string& path) {
-  auto table = ReadCsvFile(path, /*has_header=*/false);
-  if (!table.has_value() || table->rows.empty()) return std::nullopt;
-  int64_t n = static_cast<int64_t>(table->rows.size());
-  int64_t d = static_cast<int64_t>(table->rows[0].size());
-  std::vector<float> data;
-  data.reserve(static_cast<size_t>(n * d));
-  for (const auto& row : table->rows) {
-    if (static_cast<int64_t>(row.size()) != d) return std::nullopt;
-    for (const std::string& cell : row) {
-      auto value = ParseDouble(cell);
-      if (!value) return std::nullopt;
-      data.push_back(static_cast<float>(*value));
-    }
+  core::ModelLoadSource source;
+  source.kind = core::ModelLoadSource::Kind::kEmbeddingsCsv;
+  source.path = path;
+  core::ModelLoadResult result = core::SarnModel::Load(source);
+  if (!result.ok()) {
+    SARN_LOG(Warning) << "[" << core::ModelLoadErrorName(result.error) << "] "
+                      << result.message;
+    return std::nullopt;
   }
-  return tensor::Tensor::FromVector({n, d}, std::move(data));
+  return result.embeddings;
 }
 
-int CmdGenerate(const FlagSet& flags) {
-  std::string city = flags.GetString("city");
-  double scale = flags.GetDouble("scale");
-  std::string out = flags.GetString("out");
-  roadnet::RoadNetwork network =
-      roadnet::GenerateSyntheticCity(roadnet::CityConfigByName(city, scale));
-  if (!roadnet::SaveRoadNetworkCsv(network, out)) {
-    return Fail("generate: cannot write " + out);
+/// SarnModel::Load's .sarnsnap branch. The snapshot reader sits above
+/// sarn_core in the link graph, so the CLI installs this hook at startup
+/// (Main); it adopts the embedded model matrix of a serving snapshot.
+core::ModelLoadResult LoadSnapshotEmbeddings(const std::string& path) {
+  core::ModelLoadResult result;
+  snapshot::LoadedSnapshot loaded;
+  snapshot::SnapshotStatus status = snapshot::LoadServingSnapshot(
+      path, tasks::IndexPrecision::kFloat32, &loaded);
+  if (!status.ok()) {
+    result.error = status.error == snapshot::SnapshotError::kIoError
+                       ? core::ModelLoadError::kFileNotFound
+                       : core::ModelLoadError::kParseError;
+    result.message = std::string("[") + snapshot::SnapshotErrorName(status.error) +
+                     "] " + status.message;
+    return result;
   }
-  std::printf("generated %s-like network: %lld segments -> %s\n", city.c_str(),
-              static_cast<long long>(network.num_segments()), out.c_str());
+  if (loaded.model_embeddings.empty()) {
+    result.error = core::ModelLoadError::kUnsupportedFormat;
+    result.message = path + " has no embedded model matrix (saved with "
+                     "--include-model false)";
+    return result;
+  }
+  result.embeddings = tensor::Tensor::FromVector(
+      {loaded.meta.n, loaded.meta.d},
+      std::vector<float>(loaded.model_embeddings.begin(),
+                         loaded.model_embeddings.end()));
+  return result;
+}
+
+// Each command owns one Args struct: the fields are the flag targets, and
+// Bindings() is the single place a flag's name, default and help live
+// (declared into the FlagSet and applied back by the registry harness).
+
+struct GenerateArgs {
+  std::string city = "CD";
+  double scale = 0.05;
+  std::string out;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("city", &city, "city template: CD, BJ or SF")
+        .Double("scale", &scale, "fraction of the full city to generate")
+        .String("out", &out, "output network CSV", /*required=*/true);
+    return b;
+  }
+};
+
+int CmdGenerate(const GenerateArgs& args) {
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(
+      roadnet::CityConfigByName(args.city, args.scale));
+  if (!roadnet::SaveRoadNetworkCsv(network, args.out)) {
+    return Fail("generate: cannot write " + args.out);
+  }
+  std::printf("generated %s-like network: %lld segments -> %s\n", args.city.c_str(),
+              static_cast<long long>(network.num_segments()), args.out.c_str());
   return 0;
 }
 
-int CmdImportOsm(const FlagSet& flags) {
-  std::string in = flags.GetString("in");
-  std::string out = flags.GetString("out");
+struct ImportOsmArgs {
+  std::string in;
+  std::string out;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("in", &in, "OSM XML file", /*required=*/true)
+        .String("out", &out, "output network CSV", /*required=*/true);
+    return b;
+  }
+};
+
+int CmdImportOsm(const ImportOsmArgs& args) {
+  const std::string& in = args.in;
+  const std::string& out = args.out;
   roadnet::OsmImportStats stats;
   auto network = roadnet::LoadOsmFile(in, &stats);
   if (!network.has_value()) return Fail("import-osm: cannot parse " + in);
@@ -149,34 +202,71 @@ int CmdImportOsm(const FlagSet& flags) {
   return 0;
 }
 
-int CmdTrain(const FlagSet& flags) {
-  std::string network_path = flags.GetString("network");
-  auto network = roadnet::LoadRoadNetworkCsv(network_path);
-  if (!network.has_value()) return Fail("train: cannot load " + network_path);
+struct TrainArgs {
+  std::string network;
+  int epochs = 40;
+  int64_t dim = 64;
+  int64_t seed = 42;
+  std::string weights;
+  std::string embeddings;
+  core::TrainOptions options;  // checkpoint-dir / -every / keep-last / stop-after.
+  std::string metrics_file;
+  std::string trace_file;
+  std::string plan;  // "" defers to the SARN_PLAN environment variable.
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("network", &network, "network CSV", /*required=*/true)
+        .Int("epochs", &epochs, "training epochs")
+        .Int("dim", &dim, "embedding dimension")
+        .Int("seed", &seed, "RNG seed")
+        .String("weights", &weights, "write model weights here")
+        .String("embeddings", &embeddings, "write embeddings CSV here")
+        .String("checkpoint-dir", &options.checkpoint_dir,
+                "rolling checkpoint directory")
+        .Int("checkpoint-every", &options.checkpoint_every,
+             "checkpoint every N epochs")
+        .Int("keep-last", &options.keep_last, "checkpoints to keep")
+        .Int("stop-after", &options.max_epochs,
+             "stop once this many total epochs are done")
+        .String("metrics-file", &metrics_file, "append one JSON line per epoch here")
+        .String("trace-file", &trace_file, "write a Chrome trace of training phases")
+        .String("plan", &plan,
+                "step-plan engine: off, record or replay (default: the "
+                "SARN_PLAN env var, else off; bitwise identical either way)");
+    return b;
+  }
+};
+
+int CmdTrain(const TrainArgs& args) {
+  auto network = roadnet::LoadRoadNetworkCsv(args.network);
+  if (!network.has_value()) return Fail("train: cannot load " + args.network);
 
   core::SarnConfig config;
-  config.max_epochs = static_cast<int>(flags.GetInt("epochs"));
-  int64_t dim = flags.GetInt("dim");
+  config.max_epochs = args.epochs;
+  int64_t dim = args.dim;
   config.embedding_dim = dim;
   config.hidden_dim = dim;
   config.projection_dim = std::max<int64_t>(8, dim / 2);
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.seed = static_cast<uint64_t>(args.seed);
   core::FitCellSideToNetwork(config, *network);
 
-  core::TrainOptions options;
-  options.checkpoint_dir = flags.GetString("checkpoint-dir");
-  options.checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every"));
-  options.keep_last = static_cast<int>(flags.GetInt("keep-last"));
-  options.max_epochs = static_cast<int>(flags.GetInt("stop-after"));
+  core::TrainOptions options = args.options;
+  if (!args.plan.empty()) {
+    std::optional<plan::PlanMode> mode = plan::ParsePlanMode(args.plan);
+    if (!mode.has_value()) {
+      return Fail("train: --plan must be off, record or replay");
+    }
+    options.plan_mode = mode;
+  }
 
   std::unique_ptr<obs::JsonlMetricsSink> sink;
-  std::string metrics_file = flags.GetString("metrics-file");
+  const std::string& metrics_file = args.metrics_file;
   if (!metrics_file.empty()) {
     sink = std::make_unique<obs::JsonlMetricsSink>(metrics_file);
     if (!sink->ok()) return Fail("train: cannot open " + metrics_file);
     options.metrics_sink = sink.get();
   }
-  std::string trace_file = flags.GetString("trace-file");
+  const std::string& trace_file = args.trace_file;
   if (!trace_file.empty()) obs::Tracer::Instance().SetEnabled(true);
 
   std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
@@ -216,30 +306,43 @@ int CmdTrain(const FlagSet& flags) {
   std::printf("done: %d epochs, loss %.4f, %.1fs\n", stats.epochs_run, stats.final_loss,
               stats.seconds);
 
-  std::string weights = flags.GetString("weights");
-  if (!weights.empty()) {
-    if (!model.SaveWeights(weights)) return Fail("train: cannot write " + weights);
-    std::printf("weights -> %s\n", weights.c_str());
-  }
-  std::string embeddings_path = flags.GetString("embeddings");
-  if (!embeddings_path.empty()) {
-    if (!SaveEmbeddingsCsv(model.Embeddings(), embeddings_path)) {
-      return Fail("train: cannot write " + embeddings_path);
+  if (!args.weights.empty()) {
+    if (!model.SaveWeights(args.weights)) {
+      return Fail("train: cannot write " + args.weights);
     }
-    std::printf("embeddings -> %s\n", embeddings_path.c_str());
+    std::printf("weights -> %s\n", args.weights.c_str());
+  }
+  if (!args.embeddings.empty()) {
+    if (!SaveEmbeddingsCsv(model.Embeddings(), args.embeddings)) {
+      return Fail("train: cannot write " + args.embeddings);
+    }
+    std::printf("embeddings -> %s\n", args.embeddings.c_str());
   }
   return 0;
 }
 
-int CmdExport(const FlagSet& flags) {
-  auto network = roadnet::LoadRoadNetworkCsv(flags.GetString("network"));
+struct ExportArgs {
+  std::string network;
+  std::string embeddings;
+  std::string out = "atlas.geojson";
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("network", &network, "network CSV", /*required=*/true)
+        .String("embeddings", &embeddings, "embeddings CSV", /*required=*/true)
+        .String("out", &out, "output GeoJSON");
+    return b;
+  }
+};
+
+int CmdExport(const ExportArgs& args) {
+  auto network = roadnet::LoadRoadNetworkCsv(args.network);
   if (!network.has_value()) return Fail("export: cannot load --network");
-  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
+  auto embeddings = LoadEmbeddingsCsv(args.embeddings);
   if (!embeddings.has_value()) return Fail("export: cannot load --embeddings");
   if (embeddings->shape()[0] != network->num_segments()) {
     return Fail("export: embeddings row count != segment count");
   }
-  std::string out = flags.GetString("out");
+  const std::string& out = args.out;
   tensor::PcaResult pca = tensor::Pca(*embeddings, 1);
   roadnet::GeoJsonOptions options;
   for (int64_t i = 0; i < network->num_segments(); ++i) {
@@ -250,15 +353,28 @@ int CmdExport(const FlagSet& flags) {
   return 0;
 }
 
-int CmdEval(const FlagSet& flags) {
-  auto network = roadnet::LoadRoadNetworkCsv(flags.GetString("network"));
+struct EvalArgs {
+  std::string network;
+  std::string embeddings;
+  std::string task = "all";
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("network", &network, "network CSV", /*required=*/true)
+        .String("embeddings", &embeddings, "embeddings CSV", /*required=*/true)
+        .String("task", &task, "property, spd, traj or all");
+    return b;
+  }
+};
+
+int CmdEval(const EvalArgs& args) {
+  auto network = roadnet::LoadRoadNetworkCsv(args.network);
   if (!network.has_value()) return Fail("eval: cannot load --network");
-  auto embeddings = LoadEmbeddingsCsv(flags.GetString("embeddings"));
+  auto embeddings = LoadEmbeddingsCsv(args.embeddings);
   if (!embeddings.has_value()) return Fail("eval: cannot load --embeddings");
   if (embeddings->shape()[0] != network->num_segments()) {
     return Fail("eval: embeddings row count != segment count");
   }
-  std::string which = flags.GetString("task");
+  const std::string& which = args.task;
   tasks::FrozenEmbeddingSource source(*embeddings);
 
   if (which == "property" || which == "all") {
@@ -294,14 +410,25 @@ int CmdEval(const FlagSet& flags) {
 
 // Validates telemetry artifacts: a whole-file JSON value (Chrome trace) or,
 // with --lines true, one JSON value per non-empty line (metrics JSONL).
-int CmdCheckJson(const FlagSet& flags) {
-  std::string in = flags.GetString("in");
+struct CheckJsonArgs {
+  std::string in;
+  bool lines = false;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("in", &in, "file to validate", /*required=*/true)
+        .Bool("lines", &lines, "validate as JSON lines instead of one document");
+    return b;
+  }
+};
+
+int CmdCheckJson(const CheckJsonArgs& args) {
+  const std::string& in = args.in;
   std::ifstream file(in, std::ios::binary);
   if (!file.is_open()) return Fail("check-json: cannot open " + in);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   std::string text = buffer.str();
-  bool lines = flags.GetBool("lines");
+  bool lines = args.lines;
   std::string error;
   bool valid = lines ? obs::JsonLinesValid(text, &error)
                      : obs::JsonValid(text, &error);
@@ -334,59 +461,82 @@ std::shared_ptr<const geo::SpatialIndex> BuildLocator(
 
 // Serialises embeddings (from a CSV or a training checkpoint) plus the
 // prepared index payloads into one mmap-able snapshot file (src/snapshot/).
-int CmdSnapshotSave(const FlagSet& flags) {
-  const std::string out = flags.GetString("out");
-  auto metric = ParseMetric(flags.GetString("metric"));
+struct SnapshotSaveArgs {
+  std::string out;
+  std::string embeddings;
+  std::string checkpoint;
+  std::string network;
+  int64_t dim = 64;
+  std::string metric = "cosine";
+  std::string precision = "both";
+  bool include_model = true;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("out", &out, "output snapshot file (.sarnsnap)", /*required=*/true)
+        .String("embeddings", &embeddings, "embeddings CSV to snapshot")
+        .String("checkpoint", &checkpoint, "training checkpoint to export instead")
+        .String("network", &network,
+                "network CSV; embeds the serve locator (required with "
+                "--checkpoint)")
+        .Int("dim", &dim, "embedding dimension (--checkpoint only)")
+        .String("metric", &metric, "similarity metric: cosine or l1")
+        .String("precision", &precision, "index payloads: float32, int8 or both")
+        .Bool("include-model", &include_model,
+              "embed the raw [n, d] embedding matrix alongside the index");
+    return b;
+  }
+};
+
+int CmdSnapshotSave(const SnapshotSaveArgs& args) {
+  const std::string& out = args.out;
+  auto metric = ParseMetric(args.metric);
   if (!metric.has_value()) {
     return Fail("snapshot save: --metric must be cosine or l1");
   }
-  const std::string embeddings_path = flags.GetString("embeddings");
-  const std::string checkpoint_path = flags.GetString("checkpoint");
-  if (embeddings_path.empty() == checkpoint_path.empty()) {
+  if (args.embeddings.empty() == args.checkpoint.empty()) {
     return Fail("snapshot save: pass exactly one of --embeddings or --checkpoint");
   }
 
   std::optional<roadnet::RoadNetwork> network;
-  const std::string network_path = flags.GetString("network");
-  if (!network_path.empty()) {
-    network = roadnet::LoadRoadNetworkCsv(network_path);
+  if (!args.network.empty()) {
+    network = roadnet::LoadRoadNetworkCsv(args.network);
     if (!network.has_value()) {
-      return Fail("snapshot save: cannot load " + network_path);
+      return Fail("snapshot save: cannot load " + args.network);
     }
   }
 
-  std::optional<tensor::Tensor> embeddings;
-  if (!embeddings_path.empty()) {
-    embeddings = LoadEmbeddingsCsv(embeddings_path);
-    if (!embeddings.has_value()) {
-      return Fail("snapshot save: cannot load " + embeddings_path);
-    }
+  // Both sources flow through the SarnModel::Load factory; the checkpoint
+  // branch rebuilds the architecture, restores the online encoder and
+  // exports Embeddings().
+  core::ModelLoadSource source;
+  if (!args.embeddings.empty()) {
+    source.kind = core::ModelLoadSource::Kind::kEmbeddingsCsv;
+    source.path = args.embeddings;
   } else {
-    // Checkpoint interop: rebuild the model architecture, restore the
-    // online branch from the training checkpoint, and export Embeddings().
     if (!network.has_value()) {
       return Fail("snapshot save: --checkpoint needs --network (the graph the "
                   "encoder runs on)");
     }
-    core::SarnConfig config;
-    const int64_t dim = flags.GetInt("dim");
-    config.embedding_dim = dim;
-    config.hidden_dim = dim;
-    config.projection_dim = std::max<int64_t>(8, dim / 2);
-    core::FitCellSideToNetwork(config, *network);
-    core::SarnModel model(*network, config);
-    if (!model.LoadFromTrainingCheckpoint(checkpoint_path)) {
-      return Fail("snapshot save: cannot restore " + checkpoint_path +
-                  " (wrong --dim?)");
-    }
-    embeddings = model.Embeddings();
+    source.kind = core::ModelLoadSource::Kind::kTrainingCheckpoint;
+    source.path = args.checkpoint;
+    source.network = &*network;
+    source.config.embedding_dim = args.dim;
+    source.config.hidden_dim = args.dim;
+    source.config.projection_dim = std::max<int64_t>(8, args.dim / 2);
+    core::FitCellSideToNetwork(source.config, *network);
   }
+  core::ModelLoadResult loaded = core::SarnModel::Load(source);
+  if (!loaded.ok()) {
+    return Fail(std::string("snapshot save: [") +
+                core::ModelLoadErrorName(loaded.error) + "] " + loaded.message);
+  }
+  std::optional<tensor::Tensor> embeddings = loaded.embeddings;
   if (network.has_value() &&
       network->num_segments() != embeddings->shape()[0]) {
     return Fail("snapshot save: embeddings row count != segment count");
   }
 
-  const std::string precision = flags.GetString("precision");
+  const std::string& precision = args.precision;
   const bool want_float = precision == "both" || precision == "float32";
   const bool want_int8 = precision == "both" || precision == "int8";
   if (!want_float && !want_int8) {
@@ -405,7 +555,7 @@ int CmdSnapshotSave(const FlagSet& flags) {
   contents.n = embeddings->shape()[0];
   contents.d = embeddings->shape()[1];
   contents.metric = *metric;
-  if (flags.GetBool("include-model")) contents.model_embeddings = &*embeddings;
+  if (args.include_model) contents.model_embeddings = &*embeddings;
   if (float_index.has_value()) contents.float_index = &*float_index;
   if (int8_index.has_value()) contents.int8_index = &*int8_index;
   std::vector<geo::LatLng> midpoints;
@@ -422,7 +572,7 @@ int CmdSnapshotSave(const FlagSet& flags) {
   std::printf("snapshot -> %s (%lld rows x %lld dims, %s, %s%s%s, %llu bytes)\n",
               out.c_str(), static_cast<long long>(contents.n),
               static_cast<long long>(contents.d),
-              flags.GetString("metric").c_str(),
+              args.metric.c_str(),
               want_float ? "float32" : "", want_float && want_int8 ? "+" : "",
               want_int8 ? "int8" : "",
               static_cast<unsigned long long>(ec ? 0 : bytes));
@@ -431,13 +581,30 @@ int CmdSnapshotSave(const FlagSet& flags) {
 
 // Maps a snapshot, prints its layout and load metrics, and optionally runs
 // one query — the smoke-test half of the snapshot round trip.
-int CmdSnapshotLoad(const FlagSet& flags) {
-  const std::string in = flags.GetString("in");
-  const tasks::IndexPrecision precision =
-      flags.GetBool("quantized") ? tasks::IndexPrecision::kInt8
-                                 : tasks::IndexPrecision::kFloat32;
+struct SnapshotLoadArgs {
+  std::string in;
+  bool quantized = false;
+  bool verify_crc = true;
+  int64_t query_id = -1;
+  int64_t k = 10;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("in", &in, "snapshot file to map", /*required=*/true)
+        .Bool("quantized", &quantized, "adopt the int8 payload instead of float32")
+        .Bool("verify-crc", &verify_crc, "verify section payload CRCs while mapping")
+        .Int("query-id", &query_id, "run one top-k query for this row (-1 = off)")
+        .Int("k", &k, "neighbors for --query-id");
+    return b;
+  }
+};
+
+int CmdSnapshotLoad(const SnapshotLoadArgs& args) {
+  const std::string& in = args.in;
+  const tasks::IndexPrecision precision = args.quantized
+                                              ? tasks::IndexPrecision::kInt8
+                                              : tasks::IndexPrecision::kFloat32;
   snapshot::MappedSnapshot::Options options;
-  options.verify_payload_crc = flags.GetBool("verify-crc");
+  options.verify_payload_crc = args.verify_crc;
   snapshot::LoadedSnapshot loaded;
   snapshot::SnapshotStatus status =
       snapshot::LoadServingSnapshot(in, precision, &loaded, options);
@@ -459,9 +626,9 @@ int CmdSnapshotLoad(const FlagSet& flags) {
     std::printf("  %-20s %10zu bytes\n", std::string(section.name).c_str(),
                 section.bytes);
   }
-  const int64_t query_id = flags.GetInt("query-id");
+  const int64_t query_id = args.query_id;
   if (query_id >= 0) {
-    const int k = static_cast<int>(flags.GetInt("k"));
+    const int k = static_cast<int>(args.k);
     for (const tasks::Neighbor& neighbor :
          loaded.index->QueryById(query_id, k)) {
       std::printf("  neighbor %lld score %.6f\n",
@@ -526,19 +693,68 @@ class PeriodicPromWriter {
   std::thread thread_;
 };
 
-int CmdServe(const FlagSet& flags) {
-  const std::string embeddings_path = flags.GetString("embeddings");
-  const std::string snapshot_path = flags.GetString("snapshot");
+struct ServeArgs {
+  std::string embeddings;
+  std::string snapshot;
+  std::string network;
+  std::string metric = "cosine";
+  // threads / batch-size / batch-window-ms / cache-capacity targets. The CLI
+  // default (2 workers) intentionally differs from the library default (1).
+  serve::ServeOptions options = {.threads = 2};
+  int64_t k = 10;
+  bool quantized = false;
+  int64_t trace_sample = 16;
+  std::string prom_file;
+  double prom_interval_ms = 1000.0;
+  double slo_p99_ms = 0.0;
+  double slo_window_s = 10.0;
+  std::string metrics_file;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("embeddings", &embeddings, "embeddings CSV to serve")
+        .String("snapshot", &snapshot,
+                "mmap snapshot to serve instead of --embeddings (zero-copy "
+                "cold start)")
+        .String("network", &network,
+                "network CSV enabling lat/lng queries (nearest segment)")
+        .String("metric", &metric, "similarity metric: cosine or l1")
+        .Int("threads", &options.threads, "serve worker threads (0 = synchronous)")
+        .Int("k", &k, "default top-k when a query omits \"k\"")
+        .Int("batch-size", &options.max_batch,
+             "flush a micro-batch at this many requests")
+        .Double("batch-window-ms", &options.batch_window_ms,
+                "flush when the oldest waits this long")
+        .Int("cache-capacity", &options.cache_capacity,
+             "LRU result-cache entries (0 = off)")
+        .Bool("quantized", &quantized,
+              "serve an int8 quantized index (~4x smaller, recall@10 >= 0.99)")
+        .Int("trace-sample", &trace_sample,
+             "trace every Nth request's per-stage timeline (1 = all, 0 = off)")
+        .String("prom-file", &prom_file,
+                "periodically write Prometheus text exposition here")
+        .Double("prom-interval-ms", &prom_interval_ms, "--prom-file rewrite period")
+        .Double("slo-p99-ms", &slo_p99_ms,
+                "p99 latency budget; breaches emit slo events (0 = off)")
+        .Double("slo-window-s", &slo_window_s, "sliding window for the SLO watchdog")
+        .String("metrics-file", &metrics_file,
+                "append SLO burn events as JSON lines here");
+    return b;
+  }
+};
+
+int CmdServe(const ServeArgs& args) {
+  const std::string& embeddings_path = args.embeddings;
+  const std::string& snapshot_path = args.snapshot;
   if (embeddings_path.empty() == snapshot_path.empty()) {
     return Fail("serve: pass exactly one of --embeddings or --snapshot");
   }
-  std::string metric_name = flags.GetString("metric");
+  const std::string& metric_name = args.metric;
   auto parsed_metric = ParseMetric(metric_name);
   if (!parsed_metric.has_value()) {
     return Fail("serve: --metric must be cosine or l1");
   }
   const tasks::IndexMetric metric = *parsed_metric;
-  const tasks::IndexPrecision precision = flags.GetBool("quantized")
+  const tasks::IndexPrecision precision = args.quantized
                                               ? tasks::IndexPrecision::kInt8
                                               : tasks::IndexPrecision::kFloat32;
 
@@ -577,7 +793,7 @@ int CmdServe(const FlagSet& flags) {
         std::make_shared<tasks::EmbeddingIndex>(*embeddings, metric, precision);
   }
 
-  std::string network_path = flags.GetString("network");
+  const std::string& network_path = args.network;
   if (!network_path.empty()) {
     auto network = roadnet::LoadRoadNetworkCsv(network_path);
     if (!network.has_value()) return Fail("serve: cannot load " + network_path);
@@ -587,34 +803,28 @@ int CmdServe(const FlagSet& flags) {
     locator = BuildLocator(*network);
   }
 
-  serve::ServeOptions options;
-  options.threads = static_cast<int>(flags.GetInt("threads"));
-  options.max_batch = static_cast<int>(flags.GetInt("batch-size"));
-  options.batch_window_ms = flags.GetDouble("batch-window-ms");
-  options.cache_capacity = static_cast<size_t>(flags.GetInt("cache-capacity"));
+  serve::ServeOptions options = args.options;
   if (options.threads < 0 || options.max_batch <= 0) {
     return Fail("serve: --threads must be >= 0 and --batch-size >= 1");
   }
-  const int64_t trace_sample = flags.GetInt("trace-sample");
-  if (trace_sample < 0) {
+  if (args.trace_sample < 0) {
     return Fail("serve: --trace-sample must be >= 0 (0 disables tracing)");
   }
-  options.trace_sample_every = static_cast<uint32_t>(trace_sample);
-  const int default_k = static_cast<int>(flags.GetInt("k"));
+  options.trace_sample_every = static_cast<uint32_t>(args.trace_sample);
+  const int default_k = static_cast<int>(args.k);
 
   // SLO burn events go to the JSONL metrics stream when one is configured.
   std::unique_ptr<obs::JsonlMetricsSink> metrics_sink;
-  const std::string metrics_file = flags.GetString("metrics-file");
+  const std::string& metrics_file = args.metrics_file;
   if (!metrics_file.empty()) {
     metrics_sink = std::make_unique<obs::JsonlMetricsSink>(metrics_file);
     if (!metrics_sink->ok()) return Fail("serve: cannot open " + metrics_file);
   }
   std::unique_ptr<obs::SloWatchdog> watchdog;
-  const double slo_p99_ms = flags.GetDouble("slo-p99-ms");
-  if (slo_p99_ms > 0.0) {
+  if (args.slo_p99_ms > 0.0) {
     obs::SloWatchdog::Options slo;
-    slo.budget_p99_ms = slo_p99_ms;
-    slo.window_seconds = flags.GetDouble("slo-window-s");
+    slo.budget_p99_ms = args.slo_p99_ms;
+    slo.window_seconds = args.slo_window_s;
     if (slo.window_seconds <= 0.0) {
       return Fail("serve: --slo-window-s must be > 0");
     }
@@ -622,14 +832,12 @@ int CmdServe(const FlagSet& flags) {
     watchdog = std::make_unique<obs::SloWatchdog>(slo, metrics_sink.get());
   }
   std::unique_ptr<PeriodicPromWriter> prom_writer;
-  const std::string prom_file = flags.GetString("prom-file");
-  if (!prom_file.empty()) {
-    const double prom_interval_ms = flags.GetDouble("prom-interval-ms");
-    if (prom_interval_ms <= 0.0) {
+  if (!args.prom_file.empty()) {
+    if (args.prom_interval_ms <= 0.0) {
       return Fail("serve: --prom-interval-ms must be > 0");
     }
     prom_writer =
-        std::make_unique<PeriodicPromWriter>(prom_file, prom_interval_ms);
+        std::make_unique<PeriodicPromWriter>(args.prom_file, args.prom_interval_ms);
   }
 
   serve::QueryEngine engine(index, locator, options);
@@ -778,14 +986,29 @@ int CmdServe(const FlagSet& flags) {
   return 0;
 }
 
-int CmdMetricsExport(const FlagSet& flags) {
-  const std::string snapshot_path = flags.GetString("snapshot");
+struct MetricsExportArgs {
+  std::string out;
+  std::string snapshot;
+  bool quantized = false;
+  FlagBindings Bindings() {
+    FlagBindings b;
+    b.String("out", &out, "write here instead of stdout")
+        .String("snapshot", &snapshot,
+                "load this .sarnsnap first so sarn.snapshot.* metrics are "
+                "populated")
+        .Bool("quantized", &quantized, "adopt the int8 payload of --snapshot");
+    return b;
+  }
+};
+
+int CmdMetricsExport(const MetricsExportArgs& args) {
+  const std::string& snapshot_path = args.snapshot;
   if (!snapshot_path.empty()) {
     // Loading populates sarn.snapshot.* (loads, bytes, mapped/copied split),
     // which makes the export meaningful for a fresh process.
-    const tasks::IndexPrecision precision =
-        flags.GetBool("quantized") ? tasks::IndexPrecision::kInt8
-                                   : tasks::IndexPrecision::kFloat32;
+    const tasks::IndexPrecision precision = args.quantized
+                                                ? tasks::IndexPrecision::kInt8
+                                                : tasks::IndexPrecision::kFloat32;
     snapshot::LoadedSnapshot loaded;
     snapshot::SnapshotStatus status =
         snapshot::LoadServingSnapshot(snapshot_path, precision, &loaded);
@@ -797,7 +1020,7 @@ int CmdMetricsExport(const FlagSet& flags) {
   }
   const std::string text =
       obs::PrometheusText(obs::MetricsRegistry::Default().Snapshot());
-  const std::string out_path = flags.GetString("out");
+  const std::string& out_path = args.out;
   if (out_path.empty()) {
     std::fputs(text.c_str(), stdout);
     return 0;
@@ -819,117 +1042,42 @@ struct Command {
   int (*run)(const FlagSet&);
 };
 
+/// Table glue: declare defaults from a default-constructed Args struct, and
+/// run by applying the parsed flags into a fresh one. Every flag's name,
+/// default and help string lives in exactly one place — the Args::Bindings()
+/// of its command.
+template <typename Args, int (*Run)(const Args&)>
+constexpr Command MakeCommand(const char* name, const char* summary) {
+  return {name, summary,
+          [](FlagSet& f) { Args().Bindings().Declare(f); },
+          [](const FlagSet& f) {
+            Args args;
+            args.Bindings().Apply(f);
+            return Run(args);
+          }};
+}
+
 const Command kCommands[] = {
-    {"generate", "synthesise a city-like road network",
-     [](FlagSet& f) {
-       f.String("city", "CD", "city template: CD, BJ or SF")
-           .Double("scale", 0.05, "fraction of the full city to generate")
-           .String("out", "", "output network CSV", /*required=*/true);
-     },
-     CmdGenerate},
-    {"import-osm", "convert an OSM XML extract to the network CSV format",
-     [](FlagSet& f) {
-       f.String("in", "", "OSM XML file", /*required=*/true)
-           .String("out", "", "output network CSV", /*required=*/true);
-     },
-     CmdImportOsm},
-    {"train", "train SARN embeddings on a network",
-     [](FlagSet& f) {
-       f.String("network", "", "network CSV", /*required=*/true)
-           .Int("epochs", 40, "training epochs")
-           .Int("dim", 64, "embedding dimension")
-           .Int("seed", 42, "RNG seed")
-           .String("weights", "", "write model weights here")
-           .String("embeddings", "", "write embeddings CSV here")
-           .String("checkpoint-dir", "", "rolling checkpoint directory")
-           .Int("checkpoint-every", 1, "checkpoint every N epochs")
-           .Int("keep-last", 3, "checkpoints to keep")
-           .Int("stop-after", -1, "stop once this many total epochs are done")
-           .String("metrics-file", "", "append one JSON line per epoch here")
-           .String("trace-file", "", "write a Chrome trace of training phases");
-     },
-     CmdTrain},
-    {"export", "color a network GeoJSON by the embeddings' first PC",
-     [](FlagSet& f) {
-       f.String("network", "", "network CSV", /*required=*/true)
-           .String("embeddings", "", "embeddings CSV", /*required=*/true)
-           .String("out", "atlas.geojson", "output GeoJSON");
-     },
-     CmdExport},
-    {"eval", "evaluate embeddings on the paper's downstream tasks",
-     [](FlagSet& f) {
-       f.String("network", "", "network CSV", /*required=*/true)
-           .String("embeddings", "", "embeddings CSV", /*required=*/true)
-           .String("task", "all", "property, spd, traj or all");
-     },
-     CmdEval},
-    {"check-json", "validate a JSON / JSONL telemetry artifact",
-     [](FlagSet& f) {
-       f.String("in", "", "file to validate", /*required=*/true)
-           .Bool("lines", false, "validate as JSON lines instead of one document");
-     },
-     CmdCheckJson},
-    {"snapshot save", "serialise embeddings + index payloads into one mmap-able file",
-     [](FlagSet& f) {
-       f.String("out", "", "output snapshot file (.sarnsnap)", /*required=*/true)
-           .String("embeddings", "", "embeddings CSV to snapshot")
-           .String("checkpoint", "", "training checkpoint to export instead")
-           .String("network", "",
-                   "network CSV; embeds the serve locator (required with "
-                   "--checkpoint)")
-           .Int("dim", 64, "embedding dimension (--checkpoint only)")
-           .String("metric", "cosine", "similarity metric: cosine or l1")
-           .String("precision", "both", "index payloads: float32, int8 or both")
-           .Bool("include-model", true,
-                 "embed the raw [n, d] embedding matrix alongside the index");
-     },
-     CmdSnapshotSave},
-    {"snapshot load", "map a snapshot, print its layout and optionally query it",
-     [](FlagSet& f) {
-       f.String("in", "", "snapshot file to map", /*required=*/true)
-           .Bool("quantized", false, "adopt the int8 payload instead of float32")
-           .Bool("verify-crc", true, "verify section payload CRCs while mapping")
-           .Int("query-id", -1, "run one top-k query for this row (-1 = off)")
-           .Int("k", 10, "neighbors for --query-id");
-     },
-     CmdSnapshotLoad},
-    {"serve", "serve batched top-k embedding queries over stdin/stdout NDJSON",
-     [](FlagSet& f) {
-       f.String("embeddings", "", "embeddings CSV to serve")
-           .String("snapshot", "",
-                   "mmap snapshot to serve instead of --embeddings (zero-copy "
-                   "cold start)")
-           .String("network", "",
-                   "network CSV enabling lat/lng queries (nearest segment)")
-           .String("metric", "cosine", "similarity metric: cosine or l1")
-           .Int("threads", 2, "serve worker threads (0 = synchronous)")
-           .Int("k", 10, "default top-k when a query omits \"k\"")
-           .Int("batch-size", 64, "flush a micro-batch at this many requests")
-           .Double("batch-window-ms", 1.0, "flush when the oldest waits this long")
-           .Int("cache-capacity", 4096, "LRU result-cache entries (0 = off)")
-           .Bool("quantized", false,
-                 "serve an int8 quantized index (~4x smaller, recall@10 >= 0.99)")
-           .Int("trace-sample", 16,
-                "trace every Nth request's per-stage timeline (1 = all, 0 = off)")
-           .String("prom-file", "",
-                   "periodically write Prometheus text exposition here")
-           .Double("prom-interval-ms", 1000.0, "--prom-file rewrite period")
-           .Double("slo-p99-ms", 0.0,
-                   "p99 latency budget; breaches emit slo events (0 = off)")
-           .Double("slo-window-s", 10.0, "sliding window for the SLO watchdog")
-           .String("metrics-file", "",
-                   "append SLO burn events as JSON lines here");
-     },
-     CmdServe},
-    {"metrics-export", "dump the process metrics registry as Prometheus text",
-     [](FlagSet& f) {
-       f.String("out", "", "write here instead of stdout")
-           .String("snapshot", "",
-                   "load this .sarnsnap first so sarn.snapshot.* metrics are "
-                   "populated")
-           .Bool("quantized", false, "adopt the int8 payload of --snapshot");
-     },
-     CmdMetricsExport},
+    MakeCommand<GenerateArgs, CmdGenerate>(
+        "generate", "synthesise a city-like road network"),
+    MakeCommand<ImportOsmArgs, CmdImportOsm>(
+        "import-osm", "convert an OSM XML extract to the network CSV format"),
+    MakeCommand<TrainArgs, CmdTrain>("train", "train SARN embeddings on a network"),
+    MakeCommand<ExportArgs, CmdExport>(
+        "export", "color a network GeoJSON by the embeddings' first PC"),
+    MakeCommand<EvalArgs, CmdEval>(
+        "eval", "evaluate embeddings on the paper's downstream tasks"),
+    MakeCommand<CheckJsonArgs, CmdCheckJson>(
+        "check-json", "validate a JSON / JSONL telemetry artifact"),
+    MakeCommand<SnapshotSaveArgs, CmdSnapshotSave>(
+        "snapshot save",
+        "serialise embeddings + index payloads into one mmap-able file"),
+    MakeCommand<SnapshotLoadArgs, CmdSnapshotLoad>(
+        "snapshot load", "map a snapshot, print its layout and optionally query it"),
+    MakeCommand<ServeArgs, CmdServe>(
+        "serve", "serve batched top-k embedding queries over stdin/stdout NDJSON"),
+    MakeCommand<MetricsExportArgs, CmdMetricsExport>(
+        "metrics-export", "dump the process metrics registry as Prometheus text"),
 };
 
 int Usage() {
@@ -945,6 +1093,9 @@ int Usage() {
 
 int Main(int argc, char** argv) {
   InitLogLevelFromEnv();
+  // The CLI links the snapshot reader, so SarnModel::Load can cover the
+  // .sarnsnap branch of its unified source enum here.
+  core::SarnModel::SetSnapshotLoader(&LoadSnapshotEmbeddings);
   if (argc < 2) return Usage();
   std::string name = argv[1];
   if (name == "--help" || name == "-h" || name == "help") {

@@ -35,7 +35,13 @@
 #      smoke (snapshot save -> load -> serve --snapshot), with the corruption
 #      fuzz additionally rebuilt under ASan (a mutated arena must produce a
 #      typed error, never an out-of-bounds read) and the concurrent mmap
-#      hot-swap round trip under TSan.
+#      hot-swap round trip under TSan;
+#   9. the step-plan suite (ctest -L plan: replay-vs-dynamic bitwise pins at
+#      1 and 4 threads, kill+resume, the invalidation matrix, compiled-kernel
+#      fusion identity) plus a CLI smoke proving `--plan replay` writes
+#      byte-identical embeddings to the dynamic tape; plan_test also rides
+#      the TSan and ASan rebuilds so a race in the wavefront executor or a
+#      leaked arena slot fails verification.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan|--no-asan]
 set -euo pipefail
@@ -61,6 +67,20 @@ if [[ "$mode" != "--tsan-only" ]]; then
     --metrics-file "$obs_dir/metrics.jsonl" --trace-file "$obs_dir/trace.json"
   build/tools/sarn check-json --in "$obs_dir/metrics.jsonl" --lines true
   build/tools/sarn check-json --in "$obs_dir/trace.json"
+  # Step-plan suite: bitwise replay pins, invalidation matrix, fusion identity.
+  (cd build && ctest --output-on-failure -L plan)
+  # Plan smoke: the same short training run executed by the dynamic tape and
+  # by record/replay must produce byte-identical embeddings.
+  plan_dir="build/verify_plan"
+  rm -rf "$plan_dir" && mkdir -p "$plan_dir"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --plan off --embeddings "$plan_dir/emb_dynamic.csv"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --plan replay --embeddings "$plan_dir/emb_replay.csv"
+  if ! cmp -s "$plan_dir/emb_dynamic.csv" "$plan_dir/emb_replay.csv"; then
+    echo "verify: --plan replay embeddings differ from the dynamic tape" >&2
+    exit 1
+  fi
   # Query-serving suite: batch/sequential bitwise equivalence, cache + epoch
   # hot-swap semantics, protocol fuzz cases, flag registry.
   (cd build && ctest --output-on-failure -L serve)
@@ -170,9 +190,9 @@ if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
              sarn_model_test obs_metrics_test obs_trace_test \
              obs_request_trace_test serve_engine_test \
              storage_pool_test simd_kernels_test quantized_index_test \
-             snapshot_roundtrip_test
+             snapshot_roundtrip_test plan_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|obs_request_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|obs_request_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test|plan_test)$')
 fi
 
 if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
@@ -182,14 +202,16 @@ if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
   cmake --build build-asan -j"$jobs" \
     --target storage_pool_test tensor_test simd_kernels_test \
              quantized_index_test snapshot_corruption_test \
-             snapshot_roundtrip_test sarn_cli
+             snapshot_roundtrip_test plan_test sarn_cli
   (cd build-asan && ctest --output-on-failure \
-    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test|snapshot_corruption_test|snapshot_roundtrip_test)$')
+    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test|snapshot_corruption_test|snapshot_roundtrip_test|plan_test)$')
   asan_dir="build-asan/verify_leak"
   rm -rf "$asan_dir" && mkdir -p "$asan_dir"
   build-asan/tools/sarn generate --city CD --scale 0.015 --out "$asan_dir/net.csv"
+  # Replay mode so the leak gate also covers plan capture, arena slots and
+  # the compiled-kernel backward closures.
   build-asan/tools/sarn train --network "$asan_dir/net.csv" --epochs 2 --dim 16 \
-    --embeddings "$asan_dir/emb.csv"
+    --plan replay --embeddings "$asan_dir/emb.csv"
 fi
 
 echo "verify: OK"
