@@ -22,6 +22,12 @@
 // The city is floored to a size where segments >> batch_size: plan keys
 // carry the per-epoch view edge counts, so replay only pays off when many
 // batches per epoch share one key.
+//
+// The same dynamic-vs-replay comparison then repeats for the non-default
+// registry variants of the pluggable plane (DESIGN.md §16) — the RFN
+// encoder and the Third-Law augmentation — proving the plan engine's
+// speedup and bitwise identity are properties of the driver, not of the
+// default composition. Per-variant rows land in the JSON under "variants".
 
 #include <algorithm>
 #include <cstdio>
@@ -116,6 +122,54 @@ double SteadyPhaseMs(const PlanBenchSink& sink, int warmup,
   return batches > 0 ? seconds / static_cast<double>(batches) * 1e3 : 0.0;
 }
 
+/// One composition's dynamic-vs-replay comparison.
+struct VariantResult {
+  std::string name;
+  RunResult dynamic_run;
+  RunResult replay_run;
+  double dynamic_ms = 0.0;
+  double replay_ms = 0.0;
+  double speedup = 0.0;
+  bool bitwise_identical = false;
+  uint64_t steady_pool_misses = 0;
+  uint64_t replays = 0;
+  uint64_t captures = 0;
+  uint64_t divergences = 0;
+};
+
+void RunVariant(const roadnet::RoadNetwork& network,
+                const core::SarnConfig& config, int warmup,
+                VariantResult* out) {
+  RunOne(network, config, plan::PlanMode::kOff, &out->dynamic_run);
+  // Counters are process-cumulative across variants; snapshot before the
+  // replay run so this variant's totals come out as deltas.
+  auto& registry = obs::MetricsRegistry::Default();
+  const uint64_t replays_before =
+      registry.GetCounter("sarn.plan.replays").Value();
+  const uint64_t captures_before =
+      registry.GetCounter("sarn.plan.captures").Value();
+  RunOne(network, config, plan::PlanMode::kReplay, &out->replay_run);
+
+  out->bitwise_identical =
+      out->dynamic_run.stats.epoch_losses == out->replay_run.stats.epoch_losses;
+  out->dynamic_ms = SteadyStepMs(out->dynamic_run.sink, warmup);
+  out->replay_ms = SteadyStepMs(out->replay_run.sink, warmup);
+  out->speedup =
+      out->replay_ms > 0.0 ? out->dynamic_ms / out->replay_ms : 0.0;
+
+  const auto& replay_epochs = out->replay_run.sink.epochs;
+  if (static_cast<int>(replay_epochs.size()) > warmup) {
+    const auto& first_steady = replay_epochs[warmup > 0 ? warmup - 1 : 0];
+    const auto& last = replay_epochs.back();
+    out->steady_pool_misses = last.pool_misses - first_steady.pool_misses;
+    out->divergences = last.divergences - replay_epochs.front().divergences;
+  }
+  if (!replay_epochs.empty()) {
+    out->replays = replay_epochs.back().replays - replays_before;
+    out->captures = replay_epochs.back().captures - captures_before;
+  }
+}
+
 int Main() {
   BenchEnv env = GetEnv();
   // Replay amortisation needs many batches per epoch sharing one plan key;
@@ -132,32 +186,33 @@ int Main() {
               static_cast<long long>(network.num_segments()),
               static_cast<long long>(config.batch_size), env.epochs, warmup);
 
-  RunResult dynamic_run;
-  RunOne(network, config, plan::PlanMode::kOff, &dynamic_run);
-  RunResult replay_run;
-  RunOne(network, config, plan::PlanMode::kReplay, &replay_run);
+  // The default composition headlines; the non-default registry variants
+  // re-prove the speedup + bitwise invariant through the same driver.
+  std::vector<VariantResult> variants(3);
+  variants[0].name = "sarn-default";
+  RunVariant(network, config, warmup, &variants[0]);
 
-  const bool bitwise_identical =
-      dynamic_run.stats.epoch_losses == replay_run.stats.epoch_losses;
+  auto rfn_config = config;
+  rfn_config.encoder = "rfn";
+  variants[1].name = "encoder=rfn";
+  RunVariant(network, rfn_config, warmup, &variants[1]);
 
-  const double dynamic_ms = SteadyStepMs(dynamic_run.sink, warmup);
-  const double replay_ms = SteadyStepMs(replay_run.sink, warmup);
-  const double speedup = replay_ms > 0.0 ? dynamic_ms / replay_ms : 0.0;
+  auto third_law_config = config;
+  third_law_config.augmentation = "third-law";
+  variants[2].name = "augmentation=third-law";
+  RunVariant(network, third_law_config, warmup, &variants[2]);
 
-  const auto& replay_epochs = replay_run.sink.epochs;
-  uint64_t steady_pool_misses = 0, replays = 0, captures = 0, divergences = 0;
-  if (static_cast<int>(replay_epochs.size()) > warmup) {
-    const auto& first_steady = replay_epochs[warmup > 0 ? warmup - 1 : 0];
-    const auto& last = replay_epochs.back();
-    steady_pool_misses = last.pool_misses - first_steady.pool_misses;
-    divergences = last.divergences - replay_epochs.front().divergences;
-  }
-  if (!replay_epochs.empty()) {
-    // Plan counters were zero before the replay run (the dynamic run never
-    // touches them), so the final cumulative values are this run's totals.
-    replays = replay_epochs.back().replays;
-    captures = replay_epochs.back().captures;
-  }
+  const VariantResult& base = variants[0];
+  const RunResult& dynamic_run = base.dynamic_run;
+  const RunResult& replay_run = base.replay_run;
+  const bool bitwise_identical = base.bitwise_identical;
+  const double dynamic_ms = base.dynamic_ms;
+  const double replay_ms = base.replay_ms;
+  const double speedup = base.speedup;
+  const uint64_t steady_pool_misses = base.steady_pool_misses;
+  const uint64_t replays = base.replays;
+  const uint64_t captures = base.captures;
+  const uint64_t divergences = base.divergences;
 
   auto& registry = obs::MetricsRegistry::Default();
   const double plan_nodes = registry.GetGauge("sarn.plan.nodes").Value();
@@ -191,6 +246,20 @@ int Main() {
       static_cast<unsigned long long>(steady_pool_misses), plan_nodes,
       plan_slots);
 
+  PrintTitle("Per-variant replay (pluggable plane, DESIGN.md \xc2\xa7""16)");
+  const std::vector<int> vwidths = {24, 14, 14, 10, 10};
+  PrintRow({"variant", "dynamic (ms)", "replay (ms)", "speedup", ""}, vwidths);
+  PrintRule(vwidths);
+  for (const VariantResult& v : variants) {
+    PrintRow({v.name, Num(v.dynamic_ms, 3), Num(v.replay_ms, 3),
+              Num(v.speedup, 2) + "x",
+              v.bitwise_identical ? "bitwise" : "DIVERGED"},
+             vwidths);
+  }
+
+  bool all_bitwise = true;
+  for (const VariantResult& v : variants) all_bitwise &= v.bitwise_identical;
+
   if (const char* path = std::getenv("SARN_PLAN_JSON")) {
     if (std::FILE* f = std::fopen(path, "w")) {
       std::fprintf(
@@ -200,7 +269,7 @@ int Main() {
           "\"replay_step_ms\":%.6f,\"speedup\":%.4f,"
           "\"steady_pool_misses\":%llu,\"captures\":%llu,\"replays\":%llu,"
           "\"divergences\":%llu,\"plan_nodes\":%.0f,\"plan_slots\":%.0f,"
-          "\"bitwise_identical\":%s}\n",
+          "\"bitwise_identical\":%s,\"variants\":[",
           static_cast<long long>(network.num_segments()),
           static_cast<long long>(config.batch_size), env.epochs, warmup,
           dynamic_ms, replay_ms, speedup,
@@ -209,13 +278,29 @@ int Main() {
           static_cast<unsigned long long>(replays),
           static_cast<unsigned long long>(divergences), plan_nodes, plan_slots,
           bitwise_identical ? "true" : "false");
+      for (size_t i = 0; i < variants.size(); ++i) {
+        const VariantResult& v = variants[i];
+        std::fprintf(
+            f,
+            "%s{\"variant\":\"%s\",\"dynamic_step_ms\":%.6f,"
+            "\"replay_step_ms\":%.6f,\"speedup\":%.4f,"
+            "\"steady_pool_misses\":%llu,\"captures\":%llu,\"replays\":%llu,"
+            "\"divergences\":%llu,\"bitwise_identical\":%s}",
+            i == 0 ? "" : ",", v.name.c_str(), v.dynamic_ms, v.replay_ms,
+            v.speedup, static_cast<unsigned long long>(v.steady_pool_misses),
+            static_cast<unsigned long long>(v.captures),
+            static_cast<unsigned long long>(v.replays),
+            static_cast<unsigned long long>(v.divergences),
+            v.bitwise_identical ? "true" : "false");
+      }
+      std::fprintf(f, "]}\n");
       std::fclose(f);
       std::printf("wrote %s\n", path);
     } else {
       std::printf("could not open SARN_PLAN_JSON path %s\n", path);
     }
   }
-  return bitwise_identical ? 0 : 1;
+  return all_bitwise ? 0 : 1;
 }
 
 }  // namespace

@@ -1,46 +1,17 @@
+// GCA re-expressed on the pluggable contrastive plane (DESIGN.md §16): the
+// registry composition {encoder "gat", augmentation "adaptive-drop",
+// negatives "all-vertex"} with momentum 0 (the plane's rendering of GCA's
+// parameter-shared encoders), driven by the shared ContrastiveTrainer. Only
+// the documented failure mode stays local: the up-front memory guard that
+// reproduces GCA's O(n^2) all-vertex similarity blow-up (paper Table 8).
+
 #include "baselines/gca.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
 #include "common/logging.h"
-#include "common/rng.h"
 #include "common/timer.h"
-#include "nn/embedding.h"
-#include "nn/gat.h"
-#include "nn/losses.h"
-#include "nn/projection_head.h"
-#include "roadnet/features.h"
-#include "tensor/ops.h"
-#include "tensor/optimizer.h"
+#include "core/sarn_model.h"
 
 namespace sarn::baselines {
-namespace {
-
-using tensor::Tensor;
-
-// Adaptive edge dropping: drop probability scales inversely with the Eq. 1
-// importance weight, centred on `mean_rate` (the GCA recipe).
-nn::EdgeList DropEdgesAdaptive(const std::vector<roadnet::TopoEdge>& edges,
-                               double mean_rate, double epsilon, Rng& rng) {
-  double min_w = 1e18, max_w = -1e18;
-  for (const roadnet::TopoEdge& e : edges) {
-    min_w = std::min(min_w, e.weight);
-    max_w = std::max(max_w, e.weight);
-  }
-  nn::EdgeList out;
-  for (const roadnet::TopoEdge& e : edges) {
-    double normalized =
-        max_w > min_w ? (e.weight - min_w) / (max_w - min_w) : 0.5;
-    double drop = std::clamp(2.0 * mean_rate * (1.0 - normalized), epsilon,
-                             1.0 - epsilon);
-    if (!rng.Bernoulli(drop)) out.Add(e.from, e.to);
-  }
-  return out;
-}
-
-}  // namespace
 
 GcaResult TrainGca(const roadnet::RoadNetwork& network, const GcaConfig& config) {
   Timer timer;
@@ -57,65 +28,35 @@ GcaResult TrainGca(const roadnet::RoadNetwork& network, const GcaConfig& config)
     }
   }
 
-  Rng rng(config.seed);
-  roadnet::SegmentFeatures features = roadnet::FeaturizeSegments(network);
-  std::vector<int64_t> dims(features.vocab_sizes.size(), config.feature_dim_per_feature);
-  nn::FeatureEmbedding feature_embedding(features.vocab_sizes, dims, rng);
-  nn::GatEncoder encoder(feature_embedding.output_dim(), config.hidden_dim,
-                         config.embedding_dim, config.gat_layers, config.gat_heads, rng);
-  nn::ProjectionHead head(config.embedding_dim, config.embedding_dim,
-                          config.projection_dim, rng);
+  core::SarnConfig model_config;
+  model_config.seed = config.seed;
+  model_config.feature_dim_per_feature = config.feature_dim_per_feature;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.embedding_dim = config.embedding_dim;
+  model_config.gat_layers = config.gat_layers;
+  model_config.gat_heads = config.gat_heads;
+  model_config.projection_dim = config.projection_dim;
+  model_config.tau = config.tau;
+  model_config.max_epochs = config.max_epochs;
+  model_config.patience = config.max_epochs;  // GCA has no early stopping.
+  model_config.batch_size = config.batch_size;
+  model_config.learning_rate = config.learning_rate;
+  model_config.momentum = 0.0f;           // Parameter-shared encoders.
+  model_config.use_spatial_matrix = false;  // Topological edges only.
+  model_config.encoder = "gat";
+  model_config.augmentation = "adaptive-drop";
+  model_config.negatives = "all-vertex";
+  model_config.edge_drop_rate = config.edge_drop_rate;
+  model_config.epsilon = config.epsilon;
 
-  std::vector<Tensor> parameters = feature_embedding.Parameters();
-  for (const Tensor& p : encoder.Parameters()) parameters.push_back(p);
-  for (const Tensor& p : head.Parameters()) parameters.push_back(p);
-  tensor::Adam optimizer(parameters, config.learning_rate);
-  tensor::CosineAnnealingSchedule schedule(config.learning_rate, config.max_epochs);
+  core::SarnModel model(network, model_config);
+  core::TrainOptions options;
+  options.run_name = "gca";
+  core::TrainStats stats = model.Train(options);
 
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-
-  auto project = [&](const nn::EdgeList& edges) {
-    Tensor x = feature_embedding.Forward(features.ids);
-    return tensor::RowL2Normalize(head.Forward(encoder.Forward(x, edges)));
-  };
-
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
-    schedule.OnEpoch(optimizer, epoch);
-    nn::EdgeList view1 = DropEdgesAdaptive(network.topo_edges(), config.edge_drop_rate,
-                                           config.epsilon, rng);
-    nn::EdgeList view2 = DropEdgesAdaptive(network.topo_edges(), config.edge_drop_rate,
-                                           config.epsilon, rng);
-    rng.Shuffle(order);
-    double epoch_loss = 0.0;
-    int batches = 0;
-    for (int64_t begin = 0; begin < n; begin += config.batch_size) {
-      int64_t end = std::min<int64_t>(n, begin + config.batch_size);
-      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
-      Tensor z1_all = project(view1);
-      Tensor z2_all = project(view2);
-      Tensor z1 = tensor::Rows(z1_all, batch);
-      // Negatives: ALL vertices of the other view (label = own column).
-      Tensor logits = tensor::MulScalar(tensor::MatMul(z1, tensor::Transpose(z2_all)),
-                                        1.0f / static_cast<float>(config.tau));
-      Tensor loss = nn::CrossEntropyWithLogits(logits, batch);
-      epoch_loss += loss.item();
-      ++batches;
-      optimizer.ZeroGrad();
-      loss.Backward();
-      optimizer.Step();
-    }
-    result.final_loss = epoch_loss / std::max(1, batches);
-    result.epochs_run = epoch + 1;
-  }
-
-  {
-    tensor::NoGradGuard guard;
-    nn::EdgeList full;
-    for (const roadnet::TopoEdge& e : network.topo_edges()) full.Add(e.from, e.to);
-    Tensor x = feature_embedding.Forward(features.ids);
-    result.embeddings = encoder.Forward(x, full);
-  }
+  result.embeddings = model.Embeddings();
+  result.epochs_run = stats.epochs_run;
+  result.final_loss = stats.final_loss;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -1,407 +1,60 @@
+// GraphCL re-expressed on the pluggable contrastive plane (DESIGN.md §16):
+// the bespoke training loop this file used to carry is gone — the baseline
+// is now the registry composition {encoder "gat", augmentation
+// "uniform-drop", negatives "in-batch"} with momentum 0 (a zero-momentum
+// target branch tracks the online parameters exactly, which is how the
+// plane expresses GraphCL's parameter-shared encoders) driven by the same
+// ContrastiveTrainer as SARN, so checkpoint/resume, telemetry and the
+// step-plan engine come from one implementation.
+
 #include "baselines/graphcl.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
-#include <filesystem>
-#include <numeric>
-
-#include "common/logging.h"
-#include "common/parallel.h"
-#include "common/rng.h"
 #include "common/timer.h"
-#include "obs/trace.h"
-#include "plan/executor.h"
-#include "nn/embedding.h"
-#include "nn/gat.h"
-#include "nn/losses.h"
-#include "nn/projection_head.h"
-#include "nn/serialization.h"
-#include "roadnet/features.h"
-#include "tensor/ops.h"
-#include "tensor/optimizer.h"
+#include "core/sarn_model.h"
 
 namespace sarn::baselines {
-namespace {
-
-using tensor::Tensor;
-
-// Everything the structure of one GraphCL step depends on: hyper-parameters
-// (plus the epoch's scheduled LR), per-view edge counts, batch size and
-// thread count. Mirrors core::SarnModel::MakeStepPlanKey.
-plan::PlanKey MakeGraphClStepKey(const GraphClConfig& config, int64_t vertices,
-                                 const nn::EdgeList& view1, const nn::EdgeList& view2,
-                                 int64_t batch, float learning_rate) {
-  plan::PlanKey key;
-  uint64_t h = 0x47434c;  // Arbitrary non-zero basis.
-  auto put = [&h](uint64_t v) { h = plan::HashCombine(h, v); };
-  auto put_d = [&put](double v) {
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    put(bits);
-  };
-  auto put_f = [&put](float v) {
-    uint32_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    put(bits);
-  };
-  put(config.seed);
-  put(static_cast<uint64_t>(config.feature_dim_per_feature));
-  put(static_cast<uint64_t>(config.hidden_dim));
-  put(static_cast<uint64_t>(config.embedding_dim));
-  put(static_cast<uint64_t>(config.gat_layers));
-  put(static_cast<uint64_t>(config.gat_heads));
-  put(static_cast<uint64_t>(config.projection_dim));
-  put_d(config.edge_drop_rate);
-  put_d(config.feature_mask_rate);
-  put_d(config.tau);
-  put(static_cast<uint64_t>(config.max_epochs));
-  put(static_cast<uint64_t>(config.batch_size));
-  put_f(config.learning_rate);
-  put_f(learning_rate);
-  key.config_hash = h;
-  key.vertices = vertices;
-  key.edges_a = static_cast<int64_t>(view1.src.size());
-  key.edges_b = static_cast<int64_t>(view2.src.size());
-  key.batch = batch;
-  key.threads = static_cast<int64_t>(GetParallelThreads());
-  return key;
-}
-
-nn::EdgeList DropEdgesUniform(const std::vector<roadnet::TopoEdge>& edges, double rate,
-                              Rng& rng) {
-  nn::EdgeList out;
-  for (const roadnet::TopoEdge& e : edges) {
-    if (!rng.Bernoulli(rate)) out.Add(e.from, e.to);
-  }
-  return out;
-}
-
-// GraphCL's attribute masking: replaces a fraction of feature values with
-// bin 0 (an arbitrary shared "masked" id — the embedding learns to treat it
-// as low-information).
-roadnet::SegmentFeatures MaskFeatures(const roadnet::SegmentFeatures& features,
-                                      double rate, Rng& rng) {
-  roadnet::SegmentFeatures masked = features;
-  if (rate <= 0.0) return masked;
-  for (auto& column : masked.ids) {
-    for (int64_t& id : column) {
-      if (rng.Bernoulli(rate)) id = 0;
-    }
-  }
-  return masked;
-}
-
-// Training-checkpoint section names.
-constexpr char kSectionParams[] = "graphcl/params";
-constexpr char kSectionOptimizer[] = "graphcl/optimizer";
-constexpr char kSectionSchedule[] = "graphcl/schedule";
-constexpr char kSectionRng[] = "graphcl/rng";
-constexpr char kSectionTrainer[] = "graphcl/trainer";
-
-nn::TrainingCheckpoint BuildGraphClCheckpoint(
-    const GraphClConfig& config, const std::vector<Tensor>& parameters,
-    const tensor::Adam& optimizer, const tensor::CosineAnnealingSchedule& schedule,
-    const Rng& rng, int next_epoch, double last_loss) {
-  nn::TrainingCheckpoint ckpt;
-  ByteWriter params;
-  nn::WriteTensors(params, parameters);
-  ckpt.SetSection(kSectionParams, params.Take());
-  ByteWriter optimizer_state;
-  optimizer.SaveState(optimizer_state);
-  ckpt.SetSection(kSectionOptimizer, optimizer_state.Take());
-  ByteWriter schedule_state;
-  schedule.SaveState(schedule_state);
-  ckpt.SetSection(kSectionSchedule, schedule_state.Take());
-  ByteWriter rng_state;
-  rng.SaveState(rng_state);
-  ckpt.SetSection(kSectionRng, rng_state.Take());
-  ByteWriter trainer;
-  trainer.PutU64(config.seed);
-  trainer.PutI64(next_epoch);
-  trainer.PutF64(last_loss);
-  ckpt.SetSection(kSectionTrainer, trainer.Take());
-  return ckpt;
-}
-
-// Atomic restore of a GraphCL checkpoint: stages every section, commits only
-// when all of them validate. Returns false on any mismatch.
-bool ApplyGraphClCheckpoint(const nn::TrainingCheckpoint& ckpt,
-                            const GraphClConfig& config,
-                            const std::vector<Tensor>& parameters,
-                            tensor::Adam& optimizer,
-                            tensor::CosineAnnealingSchedule& schedule, Rng& rng,
-                            int* next_epoch, double* last_loss) {
-  const std::string* params = ckpt.FindSection(kSectionParams);
-  const std::string* optimizer_state = ckpt.FindSection(kSectionOptimizer);
-  const std::string* schedule_state = ckpt.FindSection(kSectionSchedule);
-  const std::string* rng_state = ckpt.FindSection(kSectionRng);
-  const std::string* trainer = ckpt.FindSection(kSectionTrainer);
-  if (!params || !optimizer_state || !schedule_state || !rng_state || !trainer) {
-    return false;
-  }
-
-  std::vector<std::vector<float>> staged_params;
-  ByteReader params_in(*params);
-  if (!nn::ParseTensors(params_in, parameters, &staged_params).ok()) return false;
-  tensor::Adam staged_optimizer = optimizer;
-  ByteReader optimizer_in(*optimizer_state);
-  if (!staged_optimizer.LoadState(optimizer_in)) return false;
-  tensor::CosineAnnealingSchedule staged_schedule = schedule;
-  ByteReader schedule_in(*schedule_state);
-  if (!staged_schedule.LoadState(schedule_in)) return false;
-  Rng staged_rng = rng;
-  ByteReader rng_in(*rng_state);
-  if (!staged_rng.LoadState(rng_in)) return false;
-  uint64_t seed = 0;
-  int64_t epoch = 0;
-  double loss = 0.0;
-  ByteReader trainer_in(*trainer);
-  if (!trainer_in.GetU64(&seed) || !trainer_in.GetI64(&epoch) ||
-      !trainer_in.GetF64(&loss)) {
-    return false;
-  }
-  if (seed != config.seed || epoch < 0 || epoch > config.max_epochs) return false;
-
-  for (size_t i = 0; i < parameters.size(); ++i) {
-    const_cast<Tensor&>(parameters[i]).mutable_data() = std::move(staged_params[i]);
-  }
-  optimizer = staged_optimizer;
-  schedule = staged_schedule;
-  rng = staged_rng;
-  *next_epoch = static_cast<int>(epoch);
-  *last_loss = loss;
-  return true;
-}
-
-}  // namespace
 
 GraphClResult TrainGraphCl(const roadnet::RoadNetwork& network,
                            const GraphClConfig& config) {
   Timer timer;
-  Rng rng(config.seed);
-  roadnet::SegmentFeatures features = roadnet::FeaturizeSegments(network);
-  std::vector<int64_t> dims(features.vocab_sizes.size(), config.feature_dim_per_feature);
-  nn::FeatureEmbedding feature_embedding(features.vocab_sizes, dims, rng);
-  nn::GatEncoder encoder(feature_embedding.output_dim(), config.hidden_dim,
-                         config.embedding_dim, config.gat_layers, config.gat_heads, rng);
-  nn::ProjectionHead head(config.embedding_dim, config.embedding_dim,
-                          config.projection_dim, rng);
+  core::SarnConfig model_config;
+  model_config.seed = config.seed;
+  model_config.feature_dim_per_feature = config.feature_dim_per_feature;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.embedding_dim = config.embedding_dim;
+  model_config.gat_layers = config.gat_layers;
+  model_config.gat_heads = config.gat_heads;
+  model_config.projection_dim = config.projection_dim;
+  model_config.tau = config.tau;
+  model_config.max_epochs = config.max_epochs;
+  model_config.patience = config.max_epochs;  // GraphCL has no early stopping.
+  model_config.batch_size = config.batch_size;
+  model_config.learning_rate = config.learning_rate;
+  model_config.momentum = 0.0f;           // Parameter-shared encoders.
+  model_config.use_spatial_matrix = false;  // Topological edges only.
+  model_config.encoder = "gat";
+  model_config.augmentation = "uniform-drop";
+  model_config.negatives = "in-batch";
+  model_config.edge_drop_rate = config.edge_drop_rate;
+  model_config.feature_mask_rate = config.feature_mask_rate;
 
-  std::vector<Tensor> parameters = feature_embedding.Parameters();
-  for (const Tensor& p : encoder.Parameters()) parameters.push_back(p);
-  for (const Tensor& p : head.Parameters()) parameters.push_back(p);
-  tensor::Adam optimizer(parameters, config.learning_rate);
-  tensor::CosineAnnealingSchedule schedule(config.learning_rate, config.max_epochs);
-
-  int64_t n = network.num_segments();
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-
-  auto project = [&](const nn::EdgeList& edges,
-                     const roadnet::SegmentFeatures& view_features) {
-    Tensor x = feature_embedding.Forward(view_features.ids);
-    return tensor::RowL2Normalize(head.Forward(encoder.Forward(x, edges)));
-  };
+  core::SarnModel model(network, model_config);
+  core::TrainOptions options;
+  options.checkpoint_dir = config.checkpoint_dir;
+  options.checkpoint_every = config.checkpoint_every;
+  options.keep_last = config.keep_last;
+  options.resume = config.resume;
+  options.max_epochs = config.stop_after_epochs;
+  options.metrics_sink = config.metrics_sink;
+  options.plan_mode = config.plan_mode;
+  options.run_name = "graphcl";
+  core::TrainStats stats = model.Train(options);
 
   GraphClResult result;
-  int start_epoch = 0;
-  bool checkpointing = !config.checkpoint_dir.empty();
-  if (checkpointing) {
-    std::error_code ec;
-    std::filesystem::create_directories(config.checkpoint_dir, ec);
-    if (ec) {
-      SARN_LOG(Error) << "cannot create checkpoint dir " << config.checkpoint_dir
-                      << ": " << ec.message() << "; training without checkpoints";
-      checkpointing = false;
-    }
-  }
-  if (checkpointing && config.resume) {
-    for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(config.checkpoint_dir)) {
-      obs::CheckpointEvent event;
-      event.path = path;
-      event.epoch = ckpt_epoch;
-      nn::TrainingCheckpoint ckpt;
-      nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
-      if (!status.ok()) {
-        event.action = obs::CheckpointEvent::Action::kSkippedCorrupt;
-        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
-                       status.message;
-        obs::RecordCheckpointEvent(config.metrics_sink, event);
-        continue;
-      }
-      if (!ApplyGraphClCheckpoint(ckpt, config, parameters, optimizer, schedule, rng,
-                                  &start_epoch, &result.final_loss)) {
-        event.action = obs::CheckpointEvent::Action::kSkippedMismatch;
-        event.detail = "state does not match this configuration";
-        obs::RecordCheckpointEvent(config.metrics_sink, event);
-        continue;
-      }
-      event.action = obs::CheckpointEvent::Action::kResumedFrom;
-      event.epoch = start_epoch;
-      result.resumed_from_epoch = start_epoch;
-      result.epochs_run = start_epoch;
-      obs::RecordCheckpointEvent(config.metrics_sink, event);
-      break;
-    }
-  }
-
-  int stop_after = config.stop_after_epochs >= 0
-                       ? std::min(config.stop_after_epochs, config.max_epochs)
-                       : config.max_epochs;
-  plan::PlanExecutor plan_executor(plan::EffectivePlanMode(config.plan_mode));
-  bool aborted = false;
-  for (int epoch = start_epoch; epoch < stop_after && !aborted; ++epoch) {
-    SARN_TRACE_SPAN("graphcl_epoch");
-    Timer epoch_timer;
-    double augmentation_seconds = 0.0, forward_seconds = 0.0, loss_seconds = 0.0,
-           backward_seconds = 0.0, optimizer_seconds = 0.0,
-           checkpoint_seconds = 0.0;
-    ParallelPoolStats pool_before = GetParallelPoolStats();
-
-    schedule.OnEpoch(optimizer, epoch);
-    nn::EdgeList view1, view2;
-    roadnet::SegmentFeatures features1, features2;
-    {
-      SARN_TRACE_SPAN("augmentation");
-      obs::ScopedPhaseTimer phase(&augmentation_seconds);
-      view1 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
-      view2 = DropEdgesUniform(network.topo_edges(), config.edge_drop_rate, rng);
-      features1 = MaskFeatures(features, config.feature_mask_rate, rng);
-      features2 = MaskFeatures(features, config.feature_mask_rate, rng);
-    }
-    // Shuffle from the identity so the batch order depends only on the
-    // checkpointed RNG state (resume must replay it bitwise), not on the
-    // cumulative permutation history.
-    std::iota(order.begin(), order.end(), 0);
-    rng.Shuffle(order);
-    double epoch_loss = 0.0;
-    int batches = 0;
-    for (int64_t begin = 0; begin < n; begin += config.batch_size) {
-      int64_t end = std::min<int64_t>(n, begin + config.batch_size);
-      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
-      int64_t m = static_cast<int64_t>(batch.size());
-      if (m < 2) continue;
-      // Declared before any Tensor of the step so the guard destructs after
-      // every step tensor has released its buffer (arena quiescence check).
-      plan::PlanExecutor::StepGuard plan_step = plan_executor.BeginStep(
-          MakeGraphClStepKey(config, n, view1, view2, m, optimizer.learning_rate()));
-
-      // Both views through the SHARED encoder.
-      Tensor z1, z2;
-      {
-        SARN_TRACE_SPAN("online_forward");
-        obs::ScopedPhaseTimer phase(&forward_seconds);
-        z1 = tensor::Rows(project(view1, features1), batch);
-        z2 = tensor::Rows(project(view2, features2), batch);
-      }
-
-      // NT-Xent with in-batch negatives, symmetric.
-      Tensor loss;
-      {
-        SARN_TRACE_SPAN("loss");
-        obs::ScopedPhaseTimer phase(&loss_seconds);
-        Tensor logits12 = tensor::MulScalar(tensor::MatMul(z1, tensor::Transpose(z2)),
-                                            1.0f / static_cast<float>(config.tau));
-        Tensor logits21 = tensor::MulScalar(tensor::MatMul(z2, tensor::Transpose(z1)),
-                                            1.0f / static_cast<float>(config.tau));
-        std::vector<int64_t> labels(static_cast<size_t>(m));
-        std::iota(labels.begin(), labels.end(), 0);
-        loss =
-            tensor::MulScalar(tensor::Add(nn::CrossEntropyWithLogits(logits12, labels),
-                                          nn::CrossEntropyWithLogits(logits21, labels)),
-                              0.5f);
-      }
-      float loss_value = loss.item();
-      if (!std::isfinite(loss_value)) {
-        aborted = true;
-        SARN_LOG(Error) << "GraphCL: non-finite loss at epoch " << epoch
-                        << "; aborting training (embeddings keep the last "
-                           "finite parameters)";
-        break;
-      }
-      epoch_loss += loss_value;
-      ++batches;
-      {
-        SARN_TRACE_SPAN("backward");
-        obs::ScopedPhaseTimer phase(&backward_seconds);
-        optimizer.ZeroGrad();
-        loss.Backward();
-      }
-      {
-        SARN_TRACE_SPAN("optimizer_step");
-        obs::ScopedPhaseTimer phase(&optimizer_seconds);
-        optimizer.Step();
-      }
-    }
-    if (aborted) break;  // No checkpoint of the poisoned epoch.
-    result.final_loss = epoch_loss / std::max(1, batches);
-    result.epochs_run = epoch + 1;
-    int64_t checkpoint_bytes = 0;
-    if (checkpointing && (epoch + 1 == stop_after ||
-                          (epoch + 1) % std::max(1, config.checkpoint_every) == 0)) {
-      SARN_TRACE_SPAN("checkpoint_write");
-      obs::ScopedPhaseTimer phase(&checkpoint_seconds);
-      std::string path =
-          config.checkpoint_dir + "/" + nn::CheckpointFileName(epoch + 1);
-      Timer write_timer;
-      nn::CheckpointStatus status = nn::SaveCheckpoint(
-          path, BuildGraphClCheckpoint(config, parameters, optimizer, schedule, rng,
-                                       epoch + 1, result.final_loss));
-      obs::CheckpointEvent event;
-      event.path = path;
-      event.epoch = epoch + 1;
-      event.seconds = write_timer.ElapsedSeconds();
-      if (status.ok()) {
-        std::error_code ec;
-        auto size = std::filesystem::file_size(path, ec);
-        checkpoint_bytes = ec ? 0 : static_cast<int64_t>(size);
-        event.action = obs::CheckpointEvent::Action::kWritten;
-        event.bytes = checkpoint_bytes;
-        obs::RecordCheckpointEvent(config.metrics_sink, event);
-        nn::PruneCheckpoints(config.checkpoint_dir, config.keep_last);
-      } else {
-        event.action = obs::CheckpointEvent::Action::kWriteFailed;
-        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
-                       status.message;
-        obs::RecordCheckpointEvent(config.metrics_sink, event);
-      }
-    }
-    if (config.metrics_sink != nullptr) {
-      ParallelPoolStats pool_after = GetParallelPoolStats();
-      obs::EpochRecord record;
-      record.run = "graphcl";
-      record.epoch = epoch;
-      record.loss = result.final_loss;
-      record.learning_rate = optimizer.learning_rate();
-      record.batches = batches;
-      record.epoch_seconds = epoch_timer.ElapsedSeconds();
-      record.resumed = result.resumed_from_epoch > 0;
-      record.phase_seconds = {{"augmentation", augmentation_seconds},
-                              {"online_forward", forward_seconds},
-                              {"loss", loss_seconds},
-                              {"backward", backward_seconds},
-                              {"optimizer_step", optimizer_seconds},
-                              {"checkpoint_write", checkpoint_seconds}};
-      record.checkpoint_bytes = checkpoint_bytes;
-      record.checkpoint_seconds = checkpoint_seconds;
-      record.pool_regions = pool_after.regions - pool_before.regions;
-      record.pool_chunks = pool_after.chunks - pool_before.chunks;
-      record.pool_items = pool_after.items - pool_before.items;
-      record.pool_idle_seconds =
-          pool_after.worker_idle_seconds - pool_before.worker_idle_seconds;
-      config.metrics_sink->OnEpoch(record);
-    }
-  }
-  if (config.metrics_sink != nullptr) config.metrics_sink->Flush();
-
-  {
-    tensor::NoGradGuard guard;
-    nn::EdgeList full;
-    for (const roadnet::TopoEdge& e : network.topo_edges()) full.Add(e.from, e.to);
-    Tensor x = feature_embedding.Forward(features.ids);  // Unmasked at inference.
-    result.embeddings = encoder.Forward(x, full);
-  }
+  result.embeddings = model.Embeddings();
+  result.epochs_run = stats.epochs_run;
+  result.final_loss = stats.final_loss;
+  result.resumed_from_epoch = stats.resumed_from_epoch;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

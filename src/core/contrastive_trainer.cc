@@ -1,0 +1,550 @@
+#include "core/contrastive_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/checkpoint_tags.h"
+#include "core/sarn_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/executor.h"
+#include "tensor/ops.h"
+
+namespace sarn::core {
+namespace {
+
+using tensor::Tensor;
+
+int64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<int64_t>(size);
+}
+
+// Squared L2 norm of the accumulated gradients; +inf/NaN poison propagates
+// into the sum, so one finite check covers every parameter.
+double GradNormSquared(const std::vector<Tensor>& parameters) {
+  double sum = 0.0;
+  for (const Tensor& p : parameters) {
+    for (float g : p.grad()) sum += static_cast<double>(g) * g;
+  }
+  return sum;
+}
+
+// L2-normalises a raw float vector in place.
+void NormalizeVector(std::vector<float>& v) {
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+  for (float& x : v) x *= inv;
+}
+
+// Wall-time breakdown of one training epoch; field order is the emission
+// order in the metrics file.
+struct EpochPhases {
+  double augmentation = 0.0;
+  double target_forward = 0.0;
+  double online_forward = 0.0;
+  double loss = 0.0;
+  double backward = 0.0;
+  double optimizer_step = 0.0;
+  double queue_push = 0.0;
+  double checkpoint_write = 0.0;
+
+  std::vector<std::pair<std::string, double>> AsList() const {
+    return {{"augmentation", augmentation},   {"target_forward", target_forward},
+            {"online_forward", online_forward}, {"loss", loss},
+            {"backward", backward},           {"optimizer_step", optimizer_step},
+            {"queue_push", queue_push},       {"checkpoint_write", checkpoint_write}};
+  }
+};
+
+}  // namespace
+
+TrainStats ContrastiveTrainer::Run(const TrainOptions& options) {
+  Timer timer;
+  const SarnConfig& config = model_->config_;
+  Rng rng(config.seed + 1);
+
+  std::vector<Tensor> parameters = model_->OnlineParameters();
+  tensor::Adam optimizer(parameters, config.learning_rate);
+  tensor::CosineAnnealingSchedule schedule(config.learning_rate, config.max_epochs);
+
+  std::vector<Tensor> target_params = model_->TargetParameters();
+  std::vector<Tensor> online_params_no_features = model_->online_encoder_->Parameters();
+  for (const Tensor& p : model_->online_head_->Parameters()) {
+    online_params_no_features.push_back(p);
+  }
+
+  TrainStats stats;
+  Progress progress;
+  bool checkpointing = !options.checkpoint_dir.empty();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      SARN_LOG(Error) << "cannot create checkpoint dir " << options.checkpoint_dir
+                      << ": " << ec.message() << "; training without checkpoints";
+      checkpointing = false;
+    }
+  }
+  if (checkpointing && options.resume) {
+    // Newest first; every skipped or restored file becomes a structured
+    // checkpoint lifecycle event (log line + registry counter + sink).
+    for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(options.checkpoint_dir)) {
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = ckpt_epoch;
+      nn::TrainingCheckpoint ckpt;
+      Timer load_timer;
+      nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
+      if (!status.ok()) {
+        event.action = obs::CheckpointEvent::Action::kSkippedCorrupt;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
+        continue;
+      }
+      std::string detail;
+      if (!ApplyCheckpoint(ckpt, optimizer, schedule, rng, progress, &detail)) {
+        event.action = obs::CheckpointEvent::Action::kSkippedMismatch;
+        event.detail = detail;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
+        continue;
+      }
+      event.action = obs::CheckpointEvent::Action::kResumedFrom;
+      event.epoch = progress.next_epoch;
+      event.bytes = FileSizeOrZero(path);
+      event.seconds = load_timer.ElapsedSeconds();
+      obs::RecordCheckpointEvent(options.metrics_sink, event);
+      stats.resumed_from_epoch = progress.next_epoch;
+      break;
+    }
+  }
+  stats.epoch_losses = progress.epoch_losses;
+  stats.epochs_run = progress.next_epoch;
+  if (!stats.epoch_losses.empty()) stats.final_loss = stats.epoch_losses.back();
+
+  int64_t n = model_->network_->num_segments();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  NegativeSampler& sampler = *model_->sampler_;
+  const Augmentation& augmentation = *model_->augmentation_;
+  const bool keep_all_projections = sampler.NeedsAllProjections();
+  const bool sampler_wants_pushes = sampler.WantsPushes();
+
+  // Cached instrument references: one registry lock each, lock-free updates
+  // in the loop. Telemetry is measurement-only — it must never touch `rng`
+  // or the numerics, or resumed runs would stop being bitwise reproducible.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter& epochs_counter = registry.GetCounter("sarn.train.epochs");
+  obs::Counter& batches_counter = registry.GetCounter("sarn.train.batches");
+  obs::Gauge& loss_gauge = registry.GetGauge("sarn.train.loss");
+  obs::Gauge& lr_gauge = registry.GetGauge("sarn.train.lr");
+  obs::Gauge& grad_norm_gauge = registry.GetGauge("sarn.train.grad_norm");
+  obs::Gauge& queue_stored_gauge = registry.GetGauge("sarn.queue.stored");
+  obs::Histogram& epoch_seconds_hist =
+      registry.GetHistogram("sarn.train.epoch_seconds");
+
+  // Step-plan engine (DESIGN.md §15). Off by default; `record` verifies every
+  // step's allocation stream against the dynamic tape, `replay` executes
+  // verified plans from an AOT-packed arena. All modes are bitwise identical.
+  plan::PlanExecutor plan_executor(plan::EffectivePlanMode(options.plan_mode));
+
+  int stop_after = options.max_epochs >= 0
+                       ? std::min(options.max_epochs, config.max_epochs)
+                       : config.max_epochs;
+  for (int epoch = progress.next_epoch; epoch < stop_after && !stats.aborted;
+       ++epoch) {
+    SARN_TRACE_SPAN("train_epoch");
+    Timer epoch_timer;
+    EpochPhases phases;
+    ParallelPoolStats pool_before = GetParallelPoolStats();
+    double grad_norm_sum = 0.0;
+
+    schedule.OnEpoch(optimizer, epoch);
+    GraphView view1, view2;
+    {
+      SARN_TRACE_SPAN("augmentation");
+      obs::ScopedPhaseTimer phase(&phases.augmentation);
+      view1 = augmentation.MakeView(rng);
+      view2 = augmentation.MakeView(rng);
+    }
+    // Reshuffle from the identity so the batch order is a pure function of
+    // the RNG state — which is checkpointed — rather than of the cumulative
+    // permutation history, which is not. Statistically equivalent (a uniform
+    // shuffle of any fixed permutation is uniform) and required for resumed
+    // runs to be bitwise identical to uninterrupted ones.
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int64_t begin = 0; begin < n; begin += config.batch_size) {
+      // One storage "step": every tensor buffer and tape closure acquired in
+      // this batch returns to the pool when Backward() consumes the tape, so
+      // after the first batch warms the size classes, steady-state batches
+      // run with zero pool-miss allocations (tracked by sarn.alloc.*).
+      tensor::StepScope alloc_scope;
+      int64_t end = std::min<int64_t>(n, begin + config.batch_size);
+      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
+      // Declared before any Tensor of the step: the guard destructs after
+      // every step tensor has released its buffer, which is exactly when the
+      // executor checks that a replayed arena went quiescent.
+      plan::PlanExecutor::StepGuard plan_step = plan_executor.BeginStep(
+          model_->MakeStepPlanKey(view1, view2, batch, optimizer.learning_rate()));
+
+      // Target branch first (fills z' and, later, the sampler state). The
+      // all-vertex projection buffer is released at scope end unless the
+      // sampler's loss reads it — keeping the default allocation stream
+      // identical to a trainer without the handle.
+      Tensor z_prime_batch;
+      Tensor z_prime_all_kept;
+      {
+        SARN_TRACE_SPAN("target_forward");
+        obs::ScopedPhaseTimer phase(&phases.target_forward);
+        tensor::NoGradGuard guard;
+        Tensor z_prime_all = model_->TargetProject(view2);
+        z_prime_batch = tensor::Rows(z_prime_all, batch);
+        if (keep_all_projections) z_prime_all_kept = z_prime_all;
+      }
+
+      // Online branch.
+      Tensor z_batch;
+      {
+        SARN_TRACE_SPAN("online_forward");
+        obs::ScopedPhaseTimer phase(&phases.online_forward);
+        Tensor h = model_->OnlineEncode(view1);
+        Tensor z_all = tensor::RowL2Normalize(model_->online_head_->Forward(h));
+        z_batch = tensor::Rows(z_all, batch);
+      }
+
+      Tensor loss;
+      {
+        SARN_TRACE_SPAN("loss");
+        obs::ScopedPhaseTimer phase(&phases.loss);
+        loss = sampler.ComputeLoss(z_batch, z_prime_batch, z_prime_all_kept, batch,
+                                   rng);
+      }
+      float loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        stats.aborted = true;
+        stats.abort_reason = "non-finite loss " + std::to_string(loss_value) +
+                             " at epoch " + std::to_string(epoch) + ", batch " +
+                             std::to_string(batches);
+        break;
+      }
+      epoch_loss += loss_value;
+      ++batches;
+
+      double grad_norm_sq = 0.0;
+      {
+        SARN_TRACE_SPAN("backward");
+        obs::ScopedPhaseTimer phase(&phases.backward);
+        optimizer.ZeroGrad();
+        loss.Backward();
+        grad_norm_sq = GradNormSquared(parameters);
+      }
+      if (!std::isfinite(grad_norm_sq)) {
+        // Abort before Step(): parameters keep their last finite values.
+        stats.aborted = true;
+        stats.abort_reason = "non-finite gradient norm at epoch " +
+                             std::to_string(epoch) + ", batch " +
+                             std::to_string(batches - 1);
+        break;
+      }
+      grad_norm_sum += std::sqrt(grad_norm_sq);
+      {
+        SARN_TRACE_SPAN("optimizer_step");
+        obs::ScopedPhaseTimer phase(&phases.optimizer_step);
+        optimizer.Step();
+        nn::MomentumUpdate(target_params, online_params_no_features, config.momentum);
+      }
+
+      // Sampler update with the fresh momentum projections (Algorithm 1 L15).
+      {
+        SARN_TRACE_SPAN("queue_push");
+        obs::ScopedPhaseTimer phase(&phases.queue_push);
+        if (sampler_wants_pushes) {
+          for (size_t i = 0; i < batch.size(); ++i) {
+            std::vector<float> embedding(
+                z_prime_batch.data().begin() +
+                    static_cast<int64_t>(i) * config.projection_dim,
+                z_prime_batch.data().begin() +
+                    static_cast<int64_t>(i + 1) * config.projection_dim);
+            NormalizeVector(embedding);
+            sampler.Push(batch[i], std::move(embedding));
+          }
+        }
+      }
+    }
+    if (stats.aborted) {
+      // Leave the last durable checkpoint as the restart point rather than
+      // persisting an epoch that produced non-finite numbers.
+      SARN_LOG(Error) << "training aborted: " << stats.abort_reason;
+      break;
+    }
+
+    epoch_loss /= std::max(1, batches);
+    progress.epoch_losses.push_back(epoch_loss);
+    progress.next_epoch = epoch + 1;
+    stats.epoch_losses.push_back(epoch_loss);
+    stats.epochs_run = epoch + 1;
+    stats.final_loss = epoch_loss;
+
+    bool stopping = epoch + 1 == stop_after;
+    if (epoch_loss < progress.best_loss - 1e-4) {
+      progress.best_loss = epoch_loss;
+      progress.epochs_since_best = 0;
+    } else if (++progress.epochs_since_best >= config.patience) {
+      SARN_LOG(Debug) << "early stop at epoch " << epoch;
+      stopping = true;
+    }
+
+    int64_t checkpoint_bytes = 0;
+    if (checkpointing &&
+        (stopping || (epoch + 1) % std::max(1, options.checkpoint_every) == 0)) {
+      SARN_TRACE_SPAN("checkpoint_write");
+      obs::ScopedPhaseTimer phase(&phases.checkpoint_write);
+      std::string path = options.checkpoint_dir + "/" +
+                         nn::CheckpointFileName(progress.next_epoch);
+      Timer write_timer;
+      nn::CheckpointStatus status = nn::SaveCheckpoint(
+          path, BuildCheckpoint(optimizer, schedule, rng, progress));
+      obs::CheckpointEvent event;
+      event.path = path;
+      event.epoch = progress.next_epoch;
+      event.seconds = write_timer.ElapsedSeconds();
+      if (status.ok()) {
+        ++stats.checkpoints_written;
+        checkpoint_bytes = FileSizeOrZero(path);
+        event.action = obs::CheckpointEvent::Action::kWritten;
+        event.bytes = checkpoint_bytes;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
+        nn::PruneCheckpoints(options.checkpoint_dir, options.keep_last);
+      } else {
+        event.action = obs::CheckpointEvent::Action::kWriteFailed;
+        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
+                       status.message;
+        obs::RecordCheckpointEvent(options.metrics_sink, event);
+      }
+    }
+
+    double epoch_seconds = epoch_timer.ElapsedSeconds();
+    double grad_norm_mean = grad_norm_sum / std::max(1, batches);
+    NegativeSamplerStats sampler_stats = sampler.Stats();
+    epochs_counter.Increment();
+    batches_counter.Increment(static_cast<uint64_t>(batches));
+    loss_gauge.Set(epoch_loss);
+    lr_gauge.Set(optimizer.learning_rate());
+    grad_norm_gauge.Set(grad_norm_mean);
+    queue_stored_gauge.Set(static_cast<double>(sampler_stats.stored));
+    epoch_seconds_hist.Observe(epoch_seconds);
+    if (options.metrics_sink != nullptr) {
+      ParallelPoolStats pool_after = GetParallelPoolStats();
+      obs::EpochRecord record;
+      record.run = options.run_name;
+      record.epoch = epoch;
+      record.loss = epoch_loss;
+      record.grad_norm = grad_norm_mean;
+      record.learning_rate = optimizer.learning_rate();
+      record.batches = batches;
+      record.epoch_seconds = epoch_seconds;
+      record.resumed = stats.resumed_from_epoch > 0;
+      record.phase_seconds = phases.AsList();
+      record.queue_stored = sampler_stats.stored;
+      record.queue_nonempty_cells = sampler_stats.nonempty_cells;
+      record.queue_pushes = sampler_stats.pushes;
+      record.queue_evictions = sampler_stats.evictions;
+      record.checkpoint_bytes = checkpoint_bytes;
+      record.checkpoint_seconds = phases.checkpoint_write;
+      record.pool_regions = pool_after.regions - pool_before.regions;
+      record.pool_chunks = pool_after.chunks - pool_before.chunks;
+      record.pool_items = pool_after.items - pool_before.items;
+      record.pool_idle_seconds =
+          pool_after.worker_idle_seconds - pool_before.worker_idle_seconds;
+      options.metrics_sink->OnEpoch(record);
+    }
+    if (stopping) break;
+  }
+  if (options.metrics_sink != nullptr) options.metrics_sink->Flush();
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+nn::TrainingCheckpoint ContrastiveTrainer::BuildCheckpoint(
+    const tensor::Adam& optimizer, const tensor::CosineAnnealingSchedule& schedule,
+    const Rng& rng, const Progress& progress) const {
+  nn::TrainingCheckpoint ckpt;
+  ByteWriter online;
+  nn::WriteTensors(online, model_->OnlineParameters());
+  ckpt.SetSection(kSectionOnline, online.Take());
+
+  ByteWriter target;
+  nn::WriteTensors(target, model_->TargetParameters());
+  ckpt.SetSection(kSectionTarget, target.Take());
+
+  ByteWriter optimizer_state;
+  optimizer.SaveState(optimizer_state);
+  ckpt.SetSection(kSectionOptimizer, optimizer_state.Take());
+
+  ByteWriter schedule_state;
+  schedule.SaveState(schedule_state);
+  ckpt.SetSection(kSectionSchedule, schedule_state.Take());
+
+  ByteWriter rng_state;
+  rng.SaveState(rng_state);
+  ckpt.SetSection(kSectionRng, rng_state.Take());
+
+  ByteWriter sampler_state;
+  model_->sampler_->SaveState(sampler_state);
+  ckpt.SetSection(kSectionQueues, sampler_state.Take());
+
+  ByteWriter variant;
+  WriteVariantTag(variant, model_->variant_tag_);
+  ckpt.SetSection(kSectionVariant, variant.Take());
+
+  ByteWriter trainer;
+  trainer.PutU64(model_->config_.seed);
+  trainer.PutI64(progress.next_epoch);
+  trainer.PutF64(progress.best_loss);
+  trainer.PutI64(progress.epochs_since_best);
+  trainer.PutU64(progress.epoch_losses.size());
+  for (double loss : progress.epoch_losses) trainer.PutF64(loss);
+  ckpt.SetSection(kSectionTrainer, trainer.Take());
+  return ckpt;
+}
+
+bool ContrastiveTrainer::ApplyCheckpoint(const nn::TrainingCheckpoint& ckpt,
+                                         tensor::Adam& optimizer,
+                                         tensor::CosineAnnealingSchedule& schedule,
+                                         Rng& rng, Progress& progress,
+                                         std::string* detail) {
+  const SarnConfig& config = model_->config_;
+  auto fail = [detail](std::string message) {
+    SARN_LOG(Warning) << message;
+    if (detail != nullptr) *detail = std::move(message);
+    return false;
+  };
+
+  // Variant compatibility first: a checkpoint from a differently-composed
+  // model is rejected by name, never via a downstream shape mismatch.
+  // Checkpoints from before the pluggable plane carry no tag and are
+  // accepted (their tensor shapes still gate the restore).
+  const std::string* variant = ckpt.FindSection(kSectionVariant);
+  if (variant != nullptr) {
+    VariantTag tag;
+    ByteReader variant_in(*variant);
+    if (!ReadVariantTag(variant_in, &tag)) {
+      return fail("checkpoint variant tag is corrupt");
+    }
+    if (tag != model_->variant_tag_) {
+      return fail("checkpoint was trained with " + VariantTagString(tag) +
+                  " but this model composes " +
+                  VariantTagString(model_->variant_tag_));
+    }
+  }
+
+  const std::string* online = ckpt.FindSection(kSectionOnline);
+  const std::string* target = ckpt.FindSection(kSectionTarget);
+  const std::string* optimizer_state = ckpt.FindSection(kSectionOptimizer);
+  const std::string* schedule_state = ckpt.FindSection(kSectionSchedule);
+  const std::string* rng_state = ckpt.FindSection(kSectionRng);
+  const std::string* sampler_state = ckpt.FindSection(kSectionQueues);
+  const std::string* trainer = ckpt.FindSection(kSectionTrainer);
+  if (!online || !target || !optimizer_state || !schedule_state || !rng_state ||
+      !sampler_state || !trainer) {
+    return fail("checkpoint is missing a required section");
+  }
+
+  // Phase 1: parse and validate every section into staging; the model is
+  // not touched until all of them check out.
+  std::vector<Tensor> online_params = model_->OnlineParameters();
+  std::vector<Tensor> target_params = model_->TargetParameters();
+  std::vector<std::vector<float>> online_staged, target_staged;
+  ByteReader online_in(*online);
+  nn::CheckpointStatus status = nn::ParseTensors(online_in, online_params, &online_staged);
+  if (!status.ok()) {
+    return fail("online parameters: " + status.message);
+  }
+  ByteReader target_in(*target);
+  status = nn::ParseTensors(target_in, target_params, &target_staged);
+  if (!status.ok()) {
+    return fail("target parameters: " + status.message);
+  }
+
+  tensor::Adam staged_optimizer = optimizer;
+  ByteReader optimizer_in(*optimizer_state);
+  if (!staged_optimizer.LoadState(optimizer_in)) {
+    return fail("optimizer state does not match this model");
+  }
+
+  tensor::CosineAnnealingSchedule staged_schedule = schedule;
+  ByteReader schedule_in(*schedule_state);
+  if (!staged_schedule.LoadState(schedule_in)) {
+    return fail("schedule state does not match this model");
+  }
+
+  Rng staged_rng = rng;
+  ByteReader rng_in(*rng_state);
+  if (!staged_rng.LoadState(rng_in)) {
+    return fail("rng state is corrupt");
+  }
+
+  std::unique_ptr<NegativeSampler> staged_sampler = model_->sampler_->Clone();
+  ByteReader sampler_in(*sampler_state);
+  if (!staged_sampler->LoadState(sampler_in)) {
+    return fail("negative-sampler state does not match this model");
+  }
+
+  Progress staged_progress;
+  ByteReader trainer_in(*trainer);
+  uint64_t seed = 0;
+  int64_t next_epoch = 0;
+  int64_t epochs_since_best = 0;
+  uint64_t loss_count = 0;
+  if (!trainer_in.GetU64(&seed) || !trainer_in.GetI64(&next_epoch) ||
+      !trainer_in.GetF64(&staged_progress.best_loss) ||
+      !trainer_in.GetI64(&epochs_since_best) || !trainer_in.GetU64(&loss_count)) {
+    return fail("trainer progress section is corrupt");
+  }
+  if (seed != config.seed) {
+    return fail("checkpoint was trained with seed " + std::to_string(seed) +
+                ", this model uses " + std::to_string(config.seed));
+  }
+  if (next_epoch < 0 || next_epoch > config.max_epochs ||
+      loss_count != static_cast<uint64_t>(next_epoch)) {
+    return fail("trainer progress is out of range");
+  }
+  staged_progress.next_epoch = static_cast<int>(next_epoch);
+  staged_progress.epochs_since_best = static_cast<int>(epochs_since_best);
+  staged_progress.epoch_losses.resize(static_cast<size_t>(loss_count));
+  for (double& loss : staged_progress.epoch_losses) {
+    if (!trainer_in.GetF64(&loss)) {
+      return fail("trainer progress section is corrupt");
+    }
+  }
+
+  // Phase 2: commit everything.
+  for (size_t i = 0; i < online_params.size(); ++i) {
+    online_params[i].mutable_data() = std::move(online_staged[i]);
+  }
+  for (size_t i = 0; i < target_params.size(); ++i) {
+    target_params[i].mutable_data() = std::move(target_staged[i]);
+  }
+  optimizer = staged_optimizer;
+  schedule = staged_schedule;
+  rng = staged_rng;
+  model_->sampler_ = std::move(staged_sampler);
+  progress = std::move(staged_progress);
+  return true;
+}
+
+}  // namespace sarn::core

@@ -5,6 +5,7 @@
 #define SARN_CORE_SARN_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "geo/point.h"
 
@@ -72,6 +73,31 @@ struct SarnConfig {
   bool use_spatial_negatives = true;
   /// Negatives per anchor when use_spatial_negatives is off.
   int random_negatives = 64;
+
+  // --- Variant plane (DESIGN.md §16) ----------------------------------------------
+  /// Registry names of the pluggable pieces. Empty string = the default.
+  /// Encoders: "gat" (paper), "rfn". Augmentations: "spatial-importance"
+  /// (paper), "third-law", "uniform-drop", "adaptive-drop". Negatives:
+  /// "spatial" (paper), "random", "in-batch", "all-vertex". The legacy
+  /// ablation switch `use_spatial_negatives = false` resolves "spatial" to
+  /// "random" (SARN-w/o-NL) so pre-plane configs keep their meaning.
+  std::string encoder = "gat";
+  std::string augmentation = "spatial-importance";
+  std::string negatives = "spatial";
+
+  // --- "third-law" augmentation (arXiv 2406.04038) ---------------------------------
+  /// Minimum midpoint distance for an injected far-pair edge.
+  double third_law_radius_meters = 600.0;
+  /// Minimum cosine similarity of dense feature vectors for a far pair.
+  double third_law_min_similarity = 0.92;
+  /// Far-pair edges kept per segment (best-similarity first).
+  int third_law_neighbors = 2;
+
+  // --- "uniform-drop" / "adaptive-drop" augmentations ------------------------------
+  /// Edge-drop rate (uniform: exact Bernoulli rate; adaptive: mean rate).
+  double edge_drop_rate = 0.2;
+  /// Attribute-mask rate of "uniform-drop" (ids remapped to shared bin 0).
+  double feature_mask_rate = 0.1;
 };
 
 }  // namespace sarn::core

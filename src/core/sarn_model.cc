@@ -1,21 +1,18 @@
 #include "core/sarn_model.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstring>
 #include <filesystem>
-#include <numeric>
+#include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/parallel.h"
-#include "common/timer.h"
-#include "nn/losses.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "plan/executor.h"
+#include "core/contrastive_trainer.h"
+#include "core/variant_registry.h"
 #include "tensor/ops.h"
 
 namespace sarn::core {
@@ -33,68 +30,21 @@ namespace {
 
 using tensor::Tensor;
 
-// Mask value for padded negative slots; after division by tau (>= 0.01)
-// exp() underflows to exactly 0.
-constexpr float kMaskedSimilarity = -1e4f;
-
-// Training-checkpoint section names.
-constexpr char kSectionOnline[] = "sarn/online";
-constexpr char kSectionTarget[] = "sarn/target";
-constexpr char kSectionOptimizer[] = "sarn/optimizer";
-constexpr char kSectionSchedule[] = "sarn/schedule";
-constexpr char kSectionRng[] = "sarn/rng";
-constexpr char kSectionQueues[] = "sarn/queues";
-constexpr char kSectionTrainer[] = "sarn/trainer";
-
-// Squared L2 norm of the accumulated gradients; +inf/NaN poison propagates
-// into the sum, so one finite check covers every parameter.
-double GradNormSquared(const std::vector<Tensor>& parameters) {
-  double sum = 0.0;
-  for (const Tensor& p : parameters) {
-    for (float g : p.grad()) sum += static_cast<double>(g) * g;
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
   }
-  return sum;
-}
-
-// L2-normalises a raw float vector in place.
-void NormalizeVector(std::vector<float>& v) {
-  double sq = 0.0;
-  for (float x : v) sq += static_cast<double>(x) * x;
-  float inv = sq > 1e-16 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
-  for (float& x : v) x *= inv;
-}
-
-// Wall-time breakdown of one training epoch; field order is the emission
-// order in the metrics file.
-struct EpochPhases {
-  double augmentation = 0.0;
-  double target_forward = 0.0;
-  double online_forward = 0.0;
-  double loss = 0.0;
-  double backward = 0.0;
-  double optimizer_step = 0.0;
-  double queue_push = 0.0;
-  double checkpoint_write = 0.0;
-
-  std::vector<std::pair<std::string, double>> AsList() const {
-    return {{"augmentation", augmentation},   {"target_forward", target_forward},
-            {"online_forward", online_forward}, {"loss", loss},
-            {"backward", backward},           {"optimizer_step", optimizer_step},
-            {"queue_push", queue_push},       {"checkpoint_write", checkpoint_write}};
-  }
-};
-
-int64_t FileSizeOrZero(const std::string& path) {
-  std::error_code ec;
-  auto size = std::filesystem::file_size(path, ec);
-  return ec ? 0 : static_cast<int64_t>(size);
+  return joined;
 }
 
 }  // namespace
 
 SarnModel::SarnModel(const roadnet::RoadNetwork& network, SarnConfig config)
-    : network_(&network), config_(config) {
+    : network_(&network), config_(std::move(config)) {
   SARN_CHECK_GT(network.num_segments(), 1);
+  variant_tag_ = ResolvedVariantTag(config_);
   features_ = roadnet::FeaturizeSegments(network);
 
   if (config_.use_spatial_matrix) {
@@ -105,149 +55,65 @@ SarnModel::SarnModel(const roadnet::RoadNetwork& network, SarnConfig config)
     spatial_edges_ = BuildSpatialEdges(network, similarity_config);
   }
   full_edges_ = FullEdgeList(network.topo_edges(), spatial_edges_);
+  full_view_ = FullGraphView(network.topo_edges(), spatial_edges_);
 
+  VariantRegistry& registry = VariantRegistry::Instance();
+  VariantContext context;
+  context.network = network_;
+  context.config = &config_;
+  context.features = &features_;
+  context.spatial_edges = &spatial_edges_;
+
+  // Initialization draws from one seeded stream, in member order: feature
+  // embedding, online encoder, online head, target encoder, target head.
+  // This order is a compatibility contract — changing it changes every
+  // trained result (the golden-trace test pins it).
   Rng init_rng(config_.seed);
   std::vector<int64_t> feature_dims(features_.vocab_sizes.size(),
                                     config_.feature_dim_per_feature);
   feature_embedding_ = std::make_unique<nn::FeatureEmbedding>(features_.vocab_sizes,
                                                               feature_dims, init_rng);
-  int64_t d_f = feature_embedding_->output_dim();
-  online_encoder_ = std::make_unique<nn::GatEncoder>(
-      d_f, config_.hidden_dim, config_.embedding_dim, config_.gat_layers,
-      config_.gat_heads, init_rng, config_.use_attention);
+  context.input_dim = feature_embedding_->output_dim();
+  SARN_CHECK(registry.HasEncoder(variant_tag_.encoder))
+      << "unknown encoder \"" << variant_tag_.encoder
+      << "\" (registered: " << JoinNames(registry.EncoderNames()) << ")";
+  SARN_CHECK(registry.HasAugmentation(variant_tag_.augmentation))
+      << "unknown augmentation \"" << variant_tag_.augmentation
+      << "\" (registered: " << JoinNames(registry.AugmentationNames()) << ")";
+  SARN_CHECK(registry.HasSampler(variant_tag_.negatives))
+      << "unknown negative sampler \"" << variant_tag_.negatives
+      << "\" (registered: " << JoinNames(registry.SamplerNames()) << ")";
+  online_encoder_ = registry.MakeEncoder(variant_tag_.encoder, context, init_rng);
   online_head_ = std::make_unique<nn::ProjectionHead>(
       config_.embedding_dim, config_.embedding_dim, config_.projection_dim, init_rng);
-  target_encoder_ = std::make_unique<nn::GatEncoder>(
-      d_f, config_.hidden_dim, config_.embedding_dim, config_.gat_layers,
-      config_.gat_heads, init_rng, config_.use_attention);
+  target_encoder_ = registry.MakeEncoder(variant_tag_.encoder, context, init_rng);
   target_head_ = std::make_unique<nn::ProjectionHead>(
       config_.embedding_dim, config_.embedding_dim, config_.projection_dim, init_rng);
   target_encoder_->CopyWeightsFrom(*online_encoder_);
   target_head_->CopyWeightsFrom(*online_head_);
 
-  queues_ = std::make_unique<NegativeQueueStore>(network, config_.cell_side_meters,
-                                                 config_.queue_budget);
+  augmentation_ = registry.MakeAugmentation(variant_tag_.augmentation, context);
+  sampler_ = registry.MakeSampler(variant_tag_.negatives, context);
 }
 
-Tensor SarnModel::OnlineEncode(const nn::EdgeList& edges) const {
-  Tensor x = feature_embedding_->Forward(features_.ids);
-  return online_encoder_->Forward(x, edges);
+Tensor SarnModel::OnlineEncode(const GraphView& view) const {
+  Tensor x = view.masked_ids.empty()
+                 ? feature_embedding_->Forward(features_.ids)
+                 : feature_embedding_->Forward(view.masked_ids);
+  return online_encoder_->Forward(x, view);
 }
 
-Tensor SarnModel::TargetProject(const nn::EdgeList& edges) const {
-  Tensor x = feature_embedding_->Forward(features_.ids);
-  Tensor h = target_encoder_->Forward(x, edges);
+Tensor SarnModel::TargetProject(const GraphView& view) const {
+  Tensor x = view.masked_ids.empty()
+                 ? feature_embedding_->Forward(features_.ids)
+                 : feature_embedding_->Forward(view.masked_ids);
+  Tensor h = target_encoder_->Forward(x, view);
   return tensor::RowL2Normalize(target_head_->Forward(h));
 }
 
 Tensor SarnModel::ComputeLoss(const Tensor& z, const Tensor& z_prime,
                               const std::vector<int64_t>& batch, Rng& rng) const {
-  int64_t m = z.shape()[0];
-  int64_t dz = z.shape()[1];
-  Tensor positive_sim = tensor::DotRows(z, z_prime);  // Lambda(z_i, z'_i), [m].
-
-  if (!config_.use_spatial_negatives) {
-    // Plain InfoNCE (Eq. 2) with random negatives from the global queue pool.
-    // Negatives and mask are staged straight into pooled tensor storage —
-    // no transient std::vector<float> per batch.
-    int k = config_.random_negatives;
-    Tensor negatives = Tensor::Zeros({m * k, dz});
-    Tensor mask = Tensor::Full({m, k}, kMaskedSimilarity);
-    tensor::Storage& neg_data = negatives.mutable_data();
-    tensor::Storage& mask_data = mask.mutable_data();
-    for (int64_t i = 0; i < m; ++i) {
-      auto drawn = queues_->RandomNegatives(batch[static_cast<size_t>(i)], k, rng);
-      for (size_t s = 0; s < drawn.size(); ++s) {
-        std::copy(drawn[s]->embedding.begin(), drawn[s]->embedding.end(),
-                  neg_data.begin() + (static_cast<size_t>(i) * k + s) * dz);
-        mask_data[static_cast<size_t>(i) * k + s] = 0.0f;
-      }
-    }
-    std::vector<int64_t> repeat_index(static_cast<size_t>(m * k));
-    for (int64_t i = 0; i < m; ++i) {
-      std::fill_n(repeat_index.begin() + i * k, k, i);
-    }
-    Tensor sims = tensor::Reshape(
-        tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, k});
-    sims = tensor::Add(sims, mask);
-    return nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
-  }
-
-  // --- Local contrastive loss (Eq. 15) -------------------------------------
-  std::vector<std::vector<const QueueEntry*>> local(static_cast<size_t>(m));
-  int64_t phi_max = 0;
-  for (int64_t i = 0; i < m; ++i) {
-    local[static_cast<size_t>(i)] =
-        queues_->LocalNegatives(batch[static_cast<size_t>(i)]);
-    phi_max = std::max(phi_max,
-                       static_cast<int64_t>(local[static_cast<size_t>(i)].size()));
-  }
-  Tensor local_loss;
-  if (phi_max == 0) {
-    local_loss = Tensor::Zeros({1});  // Queues still empty (first iterations).
-  } else {
-    Tensor negatives = Tensor::Zeros({m * phi_max, dz});
-    Tensor mask = Tensor::Full({m, phi_max}, kMaskedSimilarity);
-    tensor::Storage& neg_data = negatives.mutable_data();
-    tensor::Storage& mask_data = mask.mutable_data();
-    for (int64_t i = 0; i < m; ++i) {
-      const auto& entries = local[static_cast<size_t>(i)];
-      for (size_t s = 0; s < entries.size(); ++s) {
-        std::copy(entries[s]->embedding.begin(), entries[s]->embedding.end(),
-                  neg_data.begin() + (static_cast<size_t>(i) * phi_max + s) * dz);
-        mask_data[static_cast<size_t>(i) * phi_max + s] = 0.0f;
-      }
-    }
-    std::vector<int64_t> repeat_index(static_cast<size_t>(m * phi_max));
-    for (int64_t i = 0; i < m; ++i) {
-      std::fill_n(repeat_index.begin() + i * phi_max, phi_max, i);
-    }
-    Tensor sims = tensor::Reshape(
-        tensor::DotRows(tensor::Rows(z, repeat_index), negatives), {m, phi_max});
-    sims = tensor::Add(sims, mask);
-    local_loss = nn::InfoNceLoss(positive_sim, sims, static_cast<float>(config_.tau));
-  }
-
-  // --- Global contrastive loss (Eq. 16) --------------------------------------
-  // One InfoNCE over cell aggregates: for anchor i, the positive is its own
-  // cell's readout and the negatives are every other non-empty cell's
-  // readout — i.e., cross entropy over cells with label = own cell.
-  std::vector<int> cells = queues_->NonEmptyCells();
-  Tensor global_loss = Tensor::Zeros({1});
-  if (cells.size() >= 2) {
-    std::vector<int> cell_rank(static_cast<size_t>(queues_->num_cells()), -1);
-    for (size_t c = 0; c < cells.size(); ++c) cell_rank[static_cast<size_t>(cells[c])] =
-        static_cast<int>(c);
-    int64_t c_count = static_cast<int64_t>(cells.size());
-    // Every row is fully overwritten by its cell's aggregate, so the pooled
-    // buffer can stay uninitialized.
-    Tensor aggregates = Tensor::Uninitialized({c_count, dz});
-    tensor::Storage& agg_data = aggregates.mutable_data();
-    for (int64_t c = 0; c < c_count; ++c) {
-      std::vector<float> aggregate = queues_->CellAggregate(cells[static_cast<size_t>(c)]);
-      std::copy(aggregate.begin(), aggregate.end(), agg_data.begin() + c * dz);
-    }
-    // Anchors whose own cell queue is non-empty participate.
-    std::vector<int64_t> rows;
-    std::vector<int64_t> labels;
-    for (int64_t i = 0; i < m; ++i) {
-      int rank = cell_rank[static_cast<size_t>(
-          queues_->CellOf(batch[static_cast<size_t>(i)]))];
-      if (rank >= 0) {
-        rows.push_back(i);
-        labels.push_back(rank);
-      }
-    }
-    if (!rows.empty()) {
-      Tensor sims = tensor::MatMul(tensor::Rows(z, rows), tensor::Transpose(aggregates));
-      Tensor logits = tensor::MulScalar(sims, 1.0f / static_cast<float>(config_.tau));
-      global_loss = nn::CrossEntropyWithLogits(logits, labels);
-    }
-  }
-
-  float lambda = static_cast<float>(config_.lambda);
-  return tensor::Add(tensor::MulScalar(local_loss, lambda),
-                     tensor::MulScalar(global_loss, 1.0f - lambda));
+  return sampler_->ComputeLoss(z, z_prime, Tensor(), batch, rng);
 }
 
 plan::PlanKey SarnModel::MakeStepPlanKey(const GraphView& view1, const GraphView& view2,
@@ -294,10 +160,23 @@ plan::PlanKey SarnModel::MakeStepPlanKey(const GraphView& view1, const GraphView
   put(config_.use_spatial_matrix ? 1 : 0);
   put(config_.use_spatial_negatives ? 1 : 0);
   put(static_cast<uint64_t>(config_.random_negatives));
+  // Variant identity: a plan recorded under one encoder/augmentation/
+  // negatives combo must never replay under another, even when the shape
+  // fields happen to coincide.
+  h = plan::HashString(h, variant_tag_.encoder);
+  h = plan::HashString(h, variant_tag_.augmentation);
+  h = plan::HashString(h, variant_tag_.negatives);
+  put_d(config_.third_law_radius_meters);
+  put_d(config_.third_law_min_similarity);
+  put(static_cast<uint64_t>(config_.third_law_neighbors));
+  put_d(config_.edge_drop_rate);
+  put_d(config_.feature_mask_rate);
   // The LR the cosine schedule set for this epoch: an LR-schedule change is
   // a plan invalidation (the step values differ even if shapes do not, and
   // the key is the one contract a cached plan is trusted on).
   put_f(learning_rate);
+  // Encoder-specific structural inputs (e.g. RFN's per-relation splits).
+  online_encoder_->ExtendPlanKey(h, view1, view2);
   key.config_hash = h;
 
   key.vertices = network_->num_segments();
@@ -305,329 +184,17 @@ plan::PlanKey SarnModel::MakeStepPlanKey(const GraphView& view1, const GraphView
   key.edges_b = static_cast<int64_t>(view2.edges.src.size());
   key.batch = static_cast<int64_t>(batch.size());
   key.threads = static_cast<int64_t>(GetParallelThreads());
-  if (config_.use_spatial_negatives) {
-    // Mirror ComputeLoss's structural branches with pure queue queries.
-    int64_t phi_max = 0;
-    for (int64_t member : batch) {
-      phi_max = std::max(
-          phi_max, static_cast<int64_t>(queues_->LocalNegatives(member).size()));
-    }
-    key.phi_max = phi_max;
-    std::vector<int> cells = queues_->NonEmptyCells();
-    key.cells = static_cast<int64_t>(cells.size());
-    if (cells.size() >= 2) {
-      std::vector<char> nonempty(static_cast<size_t>(queues_->num_cells()), 0);
-      for (int cell : cells) nonempty[static_cast<size_t>(cell)] = 1;
-      int64_t rows = 0;
-      for (int64_t member : batch) {
-        if (nonempty[static_cast<size_t>(queues_->CellOf(member))] != 0) ++rows;
-      }
-      key.rows = rows;
-    }
-  }
+  // Sampler-specific structural state (phi_max / cells / rows for the
+  // spatial two-level loss).
+  sampler_->ExtendPlanKey(key, batch);
   return key;
 }
 
 TrainStats SarnModel::Train() { return Train(TrainOptions{}); }
 
 TrainStats SarnModel::Train(const TrainOptions& options) {
-  Timer timer;
-  Rng rng(config_.seed + 1);
-  AugmentationConfig augmentation;
-  augmentation.rho_t = config_.rho_t;
-  augmentation.rho_s = config_.rho_s;
-  augmentation.epsilon = config_.epsilon;
-
-  std::vector<Tensor> parameters = OnlineParameters();
-  tensor::Adam optimizer(parameters, config_.learning_rate);
-  tensor::CosineAnnealingSchedule schedule(config_.learning_rate, config_.max_epochs);
-
-  std::vector<Tensor> target_params = TargetParameters();
-  std::vector<Tensor> online_params_no_features = online_encoder_->Parameters();
-  for (const Tensor& p : online_head_->Parameters()) {
-    online_params_no_features.push_back(p);
-  }
-
-  TrainStats stats;
-  TrainerProgress progress;
-  bool checkpointing = !options.checkpoint_dir.empty();
-  if (checkpointing) {
-    std::error_code ec;
-    std::filesystem::create_directories(options.checkpoint_dir, ec);
-    if (ec) {
-      SARN_LOG(Error) << "cannot create checkpoint dir " << options.checkpoint_dir
-                      << ": " << ec.message() << "; training without checkpoints";
-      checkpointing = false;
-    }
-  }
-  if (checkpointing && options.resume) {
-    // Newest first; every skipped or restored file becomes a structured
-    // checkpoint lifecycle event (log line + registry counter + sink).
-    for (const auto& [ckpt_epoch, path] : nn::ListCheckpoints(options.checkpoint_dir)) {
-      obs::CheckpointEvent event;
-      event.path = path;
-      event.epoch = ckpt_epoch;
-      nn::TrainingCheckpoint ckpt;
-      Timer load_timer;
-      nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
-      if (!status.ok()) {
-        event.action = obs::CheckpointEvent::Action::kSkippedCorrupt;
-        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
-                       status.message;
-        obs::RecordCheckpointEvent(options.metrics_sink, event);
-        continue;
-      }
-      if (!ApplyCheckpoint(ckpt, optimizer, schedule, rng, progress)) {
-        event.action = obs::CheckpointEvent::Action::kSkippedMismatch;
-        event.detail = "state does not match this model/config";
-        obs::RecordCheckpointEvent(options.metrics_sink, event);
-        continue;
-      }
-      event.action = obs::CheckpointEvent::Action::kResumedFrom;
-      event.epoch = progress.next_epoch;
-      event.bytes = FileSizeOrZero(path);
-      event.seconds = load_timer.ElapsedSeconds();
-      obs::RecordCheckpointEvent(options.metrics_sink, event);
-      stats.resumed_from_epoch = progress.next_epoch;
-      break;
-    }
-  }
-  stats.epoch_losses = progress.epoch_losses;
-  stats.epochs_run = progress.next_epoch;
-  if (!stats.epoch_losses.empty()) stats.final_loss = stats.epoch_losses.back();
-
-  int64_t n = network_->num_segments();
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-
-  // Cached instrument references: one registry lock each, lock-free updates
-  // in the loop. Telemetry is measurement-only — it must never touch `rng`
-  // or the numerics, or resumed runs would stop being bitwise reproducible.
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
-  obs::Counter& epochs_counter = registry.GetCounter("sarn.train.epochs");
-  obs::Counter& batches_counter = registry.GetCounter("sarn.train.batches");
-  obs::Gauge& loss_gauge = registry.GetGauge("sarn.train.loss");
-  obs::Gauge& lr_gauge = registry.GetGauge("sarn.train.lr");
-  obs::Gauge& grad_norm_gauge = registry.GetGauge("sarn.train.grad_norm");
-  obs::Gauge& queue_stored_gauge = registry.GetGauge("sarn.queue.stored");
-  obs::Histogram& epoch_seconds_hist =
-      registry.GetHistogram("sarn.train.epoch_seconds");
-
-  // Step-plan engine (DESIGN.md §15). Off by default; `record` verifies every
-  // step's allocation stream against the dynamic tape, `replay` executes
-  // verified plans from an AOT-packed arena. All modes are bitwise identical.
-  plan::PlanExecutor plan_executor(plan::EffectivePlanMode(options.plan_mode));
-
-  int stop_after = options.max_epochs >= 0
-                       ? std::min(options.max_epochs, config_.max_epochs)
-                       : config_.max_epochs;
-  for (int epoch = progress.next_epoch; epoch < stop_after && !stats.aborted;
-       ++epoch) {
-    SARN_TRACE_SPAN("train_epoch");
-    Timer epoch_timer;
-    EpochPhases phases;
-    ParallelPoolStats pool_before = GetParallelPoolStats();
-    double grad_norm_sum = 0.0;
-
-    schedule.OnEpoch(optimizer, epoch);
-    GraphView view1, view2;
-    {
-      SARN_TRACE_SPAN("augmentation");
-      obs::ScopedPhaseTimer phase(&phases.augmentation);
-      view1 = AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
-      view2 = AugmentGraph(network_->topo_edges(), spatial_edges_, augmentation, rng);
-    }
-    // Reshuffle from the identity so the batch order is a pure function of
-    // the RNG state — which is checkpointed — rather than of the cumulative
-    // permutation history, which is not. Statistically equivalent (a uniform
-    // shuffle of any fixed permutation is uniform) and required for resumed
-    // runs to be bitwise identical to uninterrupted ones.
-    std::iota(order.begin(), order.end(), 0);
-    rng.Shuffle(order);
-
-    double epoch_loss = 0.0;
-    int batches = 0;
-    for (int64_t begin = 0; begin < n; begin += config_.batch_size) {
-      // One storage "step": every tensor buffer and tape closure acquired in
-      // this batch returns to the pool when Backward() consumes the tape, so
-      // after the first batch warms the size classes, steady-state batches
-      // run with zero pool-miss allocations (tracked by sarn.alloc.*).
-      tensor::StepScope alloc_scope;
-      int64_t end = std::min<int64_t>(n, begin + config_.batch_size);
-      std::vector<int64_t> batch(order.begin() + begin, order.begin() + end);
-      // Declared before any Tensor of the step: the guard destructs after
-      // every step tensor has released its buffer, which is exactly when the
-      // executor checks that a replayed arena went quiescent.
-      plan::PlanExecutor::StepGuard plan_step = plan_executor.BeginStep(
-          MakeStepPlanKey(view1, view2, batch, optimizer.learning_rate()));
-
-      // Target branch first (fills z' and, later, the queues).
-      Tensor z_prime_batch;
-      {
-        SARN_TRACE_SPAN("target_forward");
-        obs::ScopedPhaseTimer phase(&phases.target_forward);
-        tensor::NoGradGuard guard;
-        Tensor z_prime_all = TargetProject(view2.edges);
-        z_prime_batch = tensor::Rows(z_prime_all, batch);
-      }
-
-      // Online branch.
-      Tensor z_batch;
-      {
-        SARN_TRACE_SPAN("online_forward");
-        obs::ScopedPhaseTimer phase(&phases.online_forward);
-        Tensor h = OnlineEncode(view1.edges);
-        Tensor z_all = tensor::RowL2Normalize(online_head_->Forward(h));
-        z_batch = tensor::Rows(z_all, batch);
-      }
-
-      Tensor loss;
-      {
-        SARN_TRACE_SPAN("loss");
-        obs::ScopedPhaseTimer phase(&phases.loss);
-        loss = ComputeLoss(z_batch, z_prime_batch, batch, rng);
-      }
-      float loss_value = loss.item();
-      if (!std::isfinite(loss_value)) {
-        stats.aborted = true;
-        stats.abort_reason = "non-finite loss " + std::to_string(loss_value) +
-                             " at epoch " + std::to_string(epoch) + ", batch " +
-                             std::to_string(batches);
-        break;
-      }
-      epoch_loss += loss_value;
-      ++batches;
-
-      double grad_norm_sq = 0.0;
-      {
-        SARN_TRACE_SPAN("backward");
-        obs::ScopedPhaseTimer phase(&phases.backward);
-        optimizer.ZeroGrad();
-        loss.Backward();
-        grad_norm_sq = GradNormSquared(parameters);
-      }
-      if (!std::isfinite(grad_norm_sq)) {
-        // Abort before Step(): parameters keep their last finite values.
-        stats.aborted = true;
-        stats.abort_reason = "non-finite gradient norm at epoch " +
-                             std::to_string(epoch) + ", batch " +
-                             std::to_string(batches - 1);
-        break;
-      }
-      grad_norm_sum += std::sqrt(grad_norm_sq);
-      {
-        SARN_TRACE_SPAN("optimizer_step");
-        obs::ScopedPhaseTimer phase(&phases.optimizer_step);
-        optimizer.Step();
-        nn::MomentumUpdate(target_params, online_params_no_features, config_.momentum);
-      }
-
-      // Queue update with the fresh momentum projections (Algorithm 1 L15).
-      {
-        SARN_TRACE_SPAN("queue_push");
-        obs::ScopedPhaseTimer phase(&phases.queue_push);
-        for (size_t i = 0; i < batch.size(); ++i) {
-          std::vector<float> embedding(
-              z_prime_batch.data().begin() + static_cast<int64_t>(i) * config_.projection_dim,
-              z_prime_batch.data().begin() +
-                  static_cast<int64_t>(i + 1) * config_.projection_dim);
-          NormalizeVector(embedding);
-          queues_->Push(batch[i], std::move(embedding));
-        }
-      }
-    }
-    if (stats.aborted) {
-      // Leave the last durable checkpoint as the restart point rather than
-      // persisting an epoch that produced non-finite numbers.
-      SARN_LOG(Error) << "training aborted: " << stats.abort_reason;
-      break;
-    }
-
-    epoch_loss /= std::max(1, batches);
-    progress.epoch_losses.push_back(epoch_loss);
-    progress.next_epoch = epoch + 1;
-    stats.epoch_losses.push_back(epoch_loss);
-    stats.epochs_run = epoch + 1;
-    stats.final_loss = epoch_loss;
-
-    bool stopping = epoch + 1 == stop_after;
-    if (epoch_loss < progress.best_loss - 1e-4) {
-      progress.best_loss = epoch_loss;
-      progress.epochs_since_best = 0;
-    } else if (++progress.epochs_since_best >= config_.patience) {
-      SARN_LOG(Debug) << "early stop at epoch " << epoch;
-      stopping = true;
-    }
-
-    int64_t checkpoint_bytes = 0;
-    if (checkpointing &&
-        (stopping || (epoch + 1) % std::max(1, options.checkpoint_every) == 0)) {
-      SARN_TRACE_SPAN("checkpoint_write");
-      obs::ScopedPhaseTimer phase(&phases.checkpoint_write);
-      std::string path = options.checkpoint_dir + "/" +
-                         nn::CheckpointFileName(progress.next_epoch);
-      Timer write_timer;
-      nn::CheckpointStatus status = nn::SaveCheckpoint(
-          path, BuildCheckpoint(optimizer, schedule, rng, progress));
-      obs::CheckpointEvent event;
-      event.path = path;
-      event.epoch = progress.next_epoch;
-      event.seconds = write_timer.ElapsedSeconds();
-      if (status.ok()) {
-        ++stats.checkpoints_written;
-        checkpoint_bytes = FileSizeOrZero(path);
-        event.action = obs::CheckpointEvent::Action::kWritten;
-        event.bytes = checkpoint_bytes;
-        obs::RecordCheckpointEvent(options.metrics_sink, event);
-        nn::PruneCheckpoints(options.checkpoint_dir, options.keep_last);
-      } else {
-        event.action = obs::CheckpointEvent::Action::kWriteFailed;
-        event.detail = std::string(nn::CheckpointErrorName(status.error)) + ": " +
-                       status.message;
-        obs::RecordCheckpointEvent(options.metrics_sink, event);
-      }
-    }
-
-    double epoch_seconds = epoch_timer.ElapsedSeconds();
-    double grad_norm_mean = grad_norm_sum / std::max(1, batches);
-    epochs_counter.Increment();
-    batches_counter.Increment(static_cast<uint64_t>(batches));
-    loss_gauge.Set(epoch_loss);
-    lr_gauge.Set(optimizer.learning_rate());
-    grad_norm_gauge.Set(grad_norm_mean);
-    queue_stored_gauge.Set(static_cast<double>(queues_->TotalStored()));
-    epoch_seconds_hist.Observe(epoch_seconds);
-    if (options.metrics_sink != nullptr) {
-      ParallelPoolStats pool_after = GetParallelPoolStats();
-      obs::EpochRecord record;
-      record.run = "sarn";
-      record.epoch = epoch;
-      record.loss = epoch_loss;
-      record.grad_norm = grad_norm_mean;
-      record.learning_rate = optimizer.learning_rate();
-      record.batches = batches;
-      record.epoch_seconds = epoch_seconds;
-      record.resumed = stats.resumed_from_epoch > 0;
-      record.phase_seconds = phases.AsList();
-      record.queue_stored = queues_->TotalStored();
-      record.queue_nonempty_cells =
-          static_cast<int64_t>(queues_->NonEmptyCells().size());
-      record.queue_pushes = queues_->push_count();
-      record.queue_evictions = queues_->eviction_count();
-      record.checkpoint_bytes = checkpoint_bytes;
-      record.checkpoint_seconds = phases.checkpoint_write;
-      record.pool_regions = pool_after.regions - pool_before.regions;
-      record.pool_chunks = pool_after.chunks - pool_before.chunks;
-      record.pool_items = pool_after.items - pool_before.items;
-      record.pool_idle_seconds =
-          pool_after.worker_idle_seconds - pool_before.worker_idle_seconds;
-      options.metrics_sink->OnEpoch(record);
-    }
-    if (stopping) break;
-  }
-  if (options.metrics_sink != nullptr) options.metrics_sink->Flush();
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
+  ContrastiveTrainer trainer(*this);
+  return trainer.Run(options);
 }
 
 std::vector<Tensor> SarnModel::TargetParameters() const {
@@ -636,144 +203,12 @@ std::vector<Tensor> SarnModel::TargetParameters() const {
   return params;
 }
 
-nn::TrainingCheckpoint SarnModel::BuildCheckpoint(
-    const tensor::Adam& optimizer, const tensor::CosineAnnealingSchedule& schedule,
-    const Rng& rng, const TrainerProgress& progress) const {
-  nn::TrainingCheckpoint ckpt;
-  ByteWriter online;
-  nn::WriteTensors(online, OnlineParameters());
-  ckpt.SetSection(kSectionOnline, online.Take());
-
-  ByteWriter target;
-  nn::WriteTensors(target, TargetParameters());
-  ckpt.SetSection(kSectionTarget, target.Take());
-
-  ByteWriter optimizer_state;
-  optimizer.SaveState(optimizer_state);
-  ckpt.SetSection(kSectionOptimizer, optimizer_state.Take());
-
-  ByteWriter schedule_state;
-  schedule.SaveState(schedule_state);
-  ckpt.SetSection(kSectionSchedule, schedule_state.Take());
-
-  ByteWriter rng_state;
-  rng.SaveState(rng_state);
-  ckpt.SetSection(kSectionRng, rng_state.Take());
-
-  ByteWriter queue_state;
-  queues_->SaveState(queue_state);
-  ckpt.SetSection(kSectionQueues, queue_state.Take());
-
-  ByteWriter trainer;
-  trainer.PutU64(config_.seed);
-  trainer.PutI64(progress.next_epoch);
-  trainer.PutF64(progress.best_loss);
-  trainer.PutI64(progress.epochs_since_best);
-  trainer.PutU64(progress.epoch_losses.size());
-  for (double loss : progress.epoch_losses) trainer.PutF64(loss);
-  ckpt.SetSection(kSectionTrainer, trainer.Take());
-  return ckpt;
-}
-
-bool SarnModel::ApplyCheckpoint(const nn::TrainingCheckpoint& ckpt,
-                                tensor::Adam& optimizer,
-                                tensor::CosineAnnealingSchedule& schedule, Rng& rng,
-                                TrainerProgress& progress) {
-  const std::string* online = ckpt.FindSection(kSectionOnline);
-  const std::string* target = ckpt.FindSection(kSectionTarget);
-  const std::string* optimizer_state = ckpt.FindSection(kSectionOptimizer);
-  const std::string* schedule_state = ckpt.FindSection(kSectionSchedule);
-  const std::string* rng_state = ckpt.FindSection(kSectionRng);
-  const std::string* queue_state = ckpt.FindSection(kSectionQueues);
-  const std::string* trainer = ckpt.FindSection(kSectionTrainer);
-  if (!online || !target || !optimizer_state || !schedule_state || !rng_state ||
-      !queue_state || !trainer) {
-    SARN_LOG(Warning) << "checkpoint is missing a required section";
-    return false;
-  }
-
-  // Phase 1: parse and validate every section into staging; the model is
-  // not touched until all of them check out.
-  std::vector<Tensor> online_params = OnlineParameters();
-  std::vector<Tensor> target_params = TargetParameters();
-  std::vector<std::vector<float>> online_staged, target_staged;
-  ByteReader online_in(*online);
-  nn::CheckpointStatus status = nn::ParseTensors(online_in, online_params, &online_staged);
-  if (!status.ok()) {
-    SARN_LOG(Warning) << "online parameters: " << status.message;
-    return false;
-  }
-  ByteReader target_in(*target);
-  status = nn::ParseTensors(target_in, target_params, &target_staged);
-  if (!status.ok()) {
-    SARN_LOG(Warning) << "target parameters: " << status.message;
-    return false;
-  }
-
-  tensor::Adam staged_optimizer = optimizer;
-  ByteReader optimizer_in(*optimizer_state);
-  if (!staged_optimizer.LoadState(optimizer_in)) return false;
-
-  tensor::CosineAnnealingSchedule staged_schedule = schedule;
-  ByteReader schedule_in(*schedule_state);
-  if (!staged_schedule.LoadState(schedule_in)) return false;
-
-  Rng staged_rng = rng;
-  ByteReader rng_in(*rng_state);
-  if (!staged_rng.LoadState(rng_in)) return false;
-
-  NegativeQueueStore staged_queues = *queues_;
-  ByteReader queue_in(*queue_state);
-  if (!staged_queues.LoadState(queue_in)) return false;
-
-  TrainerProgress staged_progress;
-  ByteReader trainer_in(*trainer);
-  uint64_t seed = 0;
-  int64_t next_epoch = 0;
-  int64_t epochs_since_best = 0;
-  uint64_t loss_count = 0;
-  if (!trainer_in.GetU64(&seed) || !trainer_in.GetI64(&next_epoch) ||
-      !trainer_in.GetF64(&staged_progress.best_loss) ||
-      !trainer_in.GetI64(&epochs_since_best) || !trainer_in.GetU64(&loss_count)) {
-    return false;
-  }
-  if (seed != config_.seed) {
-    SARN_LOG(Warning) << "checkpoint was trained with seed " << seed
-                      << ", this model uses " << config_.seed;
-    return false;
-  }
-  if (next_epoch < 0 || next_epoch > config_.max_epochs ||
-      loss_count != static_cast<uint64_t>(next_epoch)) {
-    return false;
-  }
-  staged_progress.next_epoch = static_cast<int>(next_epoch);
-  staged_progress.epochs_since_best = static_cast<int>(epochs_since_best);
-  staged_progress.epoch_losses.resize(static_cast<size_t>(loss_count));
-  for (double& loss : staged_progress.epoch_losses) {
-    if (!trainer_in.GetF64(&loss)) return false;
-  }
-
-  // Phase 2: commit everything.
-  for (size_t i = 0; i < online_params.size(); ++i) {
-    online_params[i].mutable_data() = std::move(online_staged[i]);
-  }
-  for (size_t i = 0; i < target_params.size(); ++i) {
-    target_params[i].mutable_data() = std::move(target_staged[i]);
-  }
-  optimizer = staged_optimizer;
-  schedule = staged_schedule;
-  rng = staged_rng;
-  *queues_ = std::move(staged_queues);
-  progress = std::move(staged_progress);
-  return true;
-}
-
 Tensor SarnModel::Embeddings() const {
   tensor::NoGradGuard guard;
-  return OnlineEncode(full_edges_);
+  return OnlineEncode(full_view_);
 }
 
-Tensor SarnModel::EncodeForFineTune() const { return OnlineEncode(full_edges_); }
+Tensor SarnModel::EncodeForFineTune() const { return OnlineEncode(full_view_); }
 
 std::vector<Tensor> SarnModel::FineTuneParameters() const {
   return online_encoder_->FinalLayerParameters();
@@ -790,28 +225,47 @@ bool SarnModel::LoadWeights(const std::string& path) {
   return true;
 }
 
-bool SarnModel::LoadFromTrainingCheckpoint(const std::string& path) {
+ModelLoadStatus SarnModel::LoadFromTrainingCheckpoint(const std::string& path) {
+  auto fail = [&path](ModelLoadError error, std::string message) {
+    ModelLoadStatus status;
+    status.error = error;
+    status.message = path + ": " + std::move(message);
+    SARN_LOG(Warning) << "checkpoint " << status.message;
+    return status;
+  };
   nn::TrainingCheckpoint ckpt;
-  nn::CheckpointStatus status = nn::LoadCheckpoint(path, &ckpt);
-  if (!status.ok()) {
-    SARN_LOG(Warning) << "checkpoint " << path << ": " << status.message;
-    return false;
+  nn::CheckpointStatus ckpt_status = nn::LoadCheckpoint(path, &ckpt);
+  if (!ckpt_status.ok()) {
+    return fail(ModelLoadError::kParseError, ckpt_status.message);
+  }
+  // Variant compatibility first: a mismatched combo must fail with the two
+  // combos named, never as a downstream tensor-shape mismatch.
+  const std::string* variant = ckpt.FindSection(kSectionVariant);
+  if (variant != nullptr) {
+    VariantTag tag;
+    ByteReader variant_in(*variant);
+    if (!ReadVariantTag(variant_in, &tag)) {
+      return fail(ModelLoadError::kParseError, "corrupt variant tag");
+    }
+    if (tag != variant_tag_) {
+      return fail(ModelLoadError::kVariantMismatch,
+                  "checkpoint was trained with " + VariantTagString(tag) +
+                      " but this model composes " + VariantTagString(variant_tag_));
+    }
   }
   const std::string* online = ckpt.FindSection(kSectionOnline);
   if (online == nullptr) {
-    SARN_LOG(Warning) << "checkpoint " << path << " has no " << kSectionOnline
-                      << " section";
-    return false;
+    return fail(ModelLoadError::kParseError,
+                std::string("no ") + kSectionOnline + " section");
   }
   ByteReader in(*online);
-  status = nn::ReadTensorsInto(in, OnlineParameters());
-  if (!status.ok()) {
-    SARN_LOG(Warning) << "checkpoint " << path << ": " << status.message;
-    return false;
+  ckpt_status = nn::ReadTensorsInto(in, OnlineParameters());
+  if (!ckpt_status.ok()) {
+    return fail(ModelLoadError::kArchitectureMismatch, ckpt_status.message);
   }
   target_encoder_->CopyWeightsFrom(*online_encoder_);
   target_head_->CopyWeightsFrom(*online_head_);
-  return true;
+  return ModelLoadStatus{};
 }
 
 std::vector<Tensor> SarnModel::OnlineParameters() const {
@@ -829,6 +283,7 @@ const char* ModelLoadErrorName(ModelLoadError error) {
     case ModelLoadError::kFileNotFound: return "file_not_found";
     case ModelLoadError::kParseError: return "parse_error";
     case ModelLoadError::kArchitectureMismatch: return "architecture_mismatch";
+    case ModelLoadError::kVariantMismatch: return "variant_mismatch";
     case ModelLoadError::kUnsupportedFormat: return "unsupported_format";
   }
   return "unknown";
@@ -894,10 +349,9 @@ ModelLoadResult LoadCheckpointSource(const ModelLoadSource& source) {
     return LoadFail(ModelLoadError::kFileNotFound, "cannot open " + source.path);
   }
   auto model = std::make_unique<SarnModel>(*source.network, source.config);
-  if (!model->LoadFromTrainingCheckpoint(source.path)) {
-    return LoadFail(ModelLoadError::kArchitectureMismatch,
-                    "cannot restore " + source.path +
-                        " (corrupt file or architecture mismatch — wrong dim?)");
+  ModelLoadStatus status = model->LoadFromTrainingCheckpoint(source.path);
+  if (!status.ok()) {
+    return LoadFail(status.error, status.message);
   }
   ModelLoadResult result;
   result.embeddings = model->Embeddings();

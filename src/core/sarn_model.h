@@ -1,12 +1,17 @@
-// The SARN model (paper §4): feature embedding + two momentum-coupled GAT
-// encoders and projection heads, trained with the spatial importance-based
-// augmentation, grid-based negative sampling and the two-level contrastive
-// loss of Algorithm 1.
+// The SARN model (paper §4) as a composition over the pluggable contrastive
+// plane (DESIGN.md §16): feature embedding + a momentum-coupled pair of
+// graph encoders (core::Encoder) and projection heads, trained by the
+// variant-agnostic ContrastiveTrainer with a graph-view generator
+// (core::Augmentation) and a negative-sampling/loss policy
+// (core::NegativeSampler). The paper's defaults compose encoder "gat" +
+// augmentation "spatial-importance" + negatives "spatial" (Algorithm 1);
+// every piece is swappable by registry name through SarnConfig.
 //
 // Ablation variants (paper §5.4) are obtained through SarnConfig:
 //  * SARN          — defaults.
 //  * SARN-w/o-M    — use_spatial_matrix = false.
-//  * SARN-w/o-NL   — use_spatial_negatives = false.
+//  * SARN-w/o-NL   — use_spatial_negatives = false (resolves the "spatial"
+//                    negatives to "random": plain InfoNCE).
 //  * SARN-w/o-MNL  — both false (the plain weighted-GCL baseline of §3).
 
 #ifndef SARN_CORE_SARN_MODEL_H_
@@ -18,7 +23,9 @@
 #include <vector>
 
 #include "core/augmentation.h"
-#include "core/negative_queue.h"
+#include "core/checkpoint_tags.h"
+#include "core/encoder.h"
+#include "core/negative_sampler.h"
 #include "core/sarn_config.h"
 #include "core/spatial_similarity.h"
 #include "plan/plan.h"
@@ -86,6 +93,9 @@ struct TrainOptions {
   /// bitwise identical to the dynamic tape — losses, gradients, parameters,
   /// checkpoints and telemetry all match, at any thread count.
   std::optional<plan::PlanMode> plan_mode;
+  /// Run label stamped on every telemetry record ("sarn" for the model's own
+  /// training; baseline wrappers pass their own name).
+  std::string run_name = "sarn";
 };
 
 class SarnModel;
@@ -96,10 +106,20 @@ enum class ModelLoadError {
   kFileNotFound,          // Missing or unreadable path.
   kParseError,            // Unparsable CSV (ragged rows, non-numeric cells).
   kArchitectureMismatch,  // Checkpoint does not fit the requested config.
+  kVariantMismatch,       // Checkpoint was written by a different encoder/
+                          // augmentation/negatives combo (the message names
+                          // both combos).
   kUnsupportedFormat,     // Unrecognised extension, or the snapshot loader is
                           // not linked into this binary.
 };
 const char* ModelLoadErrorName(ModelLoadError error);
+
+/// Typed status of the partial-restore entry points (no payload).
+struct ModelLoadStatus {
+  ModelLoadError error = ModelLoadError::kOk;
+  std::string message;
+  bool ok() const { return error == ModelLoadError::kOk; }
+};
 
 /// One description of "where trained model state lives": an embeddings CSV,
 /// a rolling training checkpoint, or a .sarnsnap serving snapshot.
@@ -132,7 +152,8 @@ struct ModelLoadResult {
 
 class SarnModel {
  public:
-  /// `network` must outlive the model.
+  /// `network` must outlive the model. The config's variant names must be
+  /// registered (checked); unknown names abort with the available set.
   SarnModel(const roadnet::RoadNetwork& network, SarnConfig config);
 
   /// One factory for every on-disk form of trained state (embeddings CSV,
@@ -151,14 +172,15 @@ class SarnModel {
   /// stopping) and leaves the online encoder ready for Embeddings().
   TrainStats Train();
 
-  /// Fault-tolerant epoch-stepping driver: same training loop, but resumes
-  /// from the newest valid checkpoint in options.checkpoint_dir, writes
-  /// atomic rolling checkpoints of the *complete* training state (online +
-  /// momentum parameters, Adam moments, schedule position, RNG stream,
-  /// negative queues, early-stop progress), and aborts with a diagnostic if
-  /// a loss or gradient norm goes non-finite. Resume invariant: a run
-  /// killed after any checkpoint and resumed with the same config and
-  /// thread count finishes bitwise identical to an uninterrupted run.
+  /// Fault-tolerant epoch-stepping driver (ContrastiveTrainer): same
+  /// training loop, but resumes from the newest valid checkpoint in
+  /// options.checkpoint_dir, writes atomic rolling checkpoints of the
+  /// *complete* training state (online + momentum parameters, Adam moments,
+  /// schedule position, RNG stream, negative-sampler state, early-stop
+  /// progress, variant tag), and aborts with a diagnostic if a loss or
+  /// gradient norm goes non-finite. Resume invariant: a run killed after
+  /// any checkpoint and resumed with the same config and thread count
+  /// finishes bitwise identical to an uninterrupted run.
   TrainStats Train(const TrainOptions& options);
 
   /// Road-segment embeddings H = F(S, G) on the *uncorrupted* graph,
@@ -169,13 +191,20 @@ class SarnModel {
   /// FineTuneParameters() against a task loss on top of this.
   tensor::Tensor EncodeForFineTune() const;
 
-  /// Final GAT layer parameters (the paper fine-tunes only this layer).
+  /// Final encoder layer parameters (the paper fine-tunes only this layer).
   std::vector<tensor::Tensor> FineTuneParameters() const;
 
   const SarnConfig& config() const { return config_; }
   const std::vector<SpatialEdge>& spatial_edges() const { return spatial_edges_; }
   const roadnet::RoadNetwork& network() const { return *network_; }
   int64_t embedding_dim() const { return config_.embedding_dim; }
+
+  /// The resolved registry names this model is composed of (config names
+  /// after legacy-ablation mapping; see ResolvedVariantTag).
+  const VariantTag& variant_tag() const { return variant_tag_; }
+  const char* encoder_name() const { return variant_tag_.encoder.c_str(); }
+  const char* augmentation_name() const { return variant_tag_.augmentation.c_str(); }
+  const char* negatives_name() const { return variant_tag_.negatives.c_str(); }
 
   /// All trainable parameters of the online branch (tests/inspection).
   std::vector<tensor::Tensor> OnlineParameters() const;
@@ -188,72 +217,60 @@ class SarnModel {
   /// Serving-export interop: restores just the online branch from a full
   /// training checkpoint (the rolling file Train() writes), so
   /// `sarn snapshot save --checkpoint` can serialise Embeddings() without a
-  /// separate weights file. Optimizer/RNG/queue sections are ignored; a
-  /// corrupt file or architecture mismatch fails with a logged warning and
-  /// leaves the model untouched.
-  bool LoadFromTrainingCheckpoint(const std::string& path);
+  /// separate weights file. Optimizer/RNG/queue sections are ignored. The
+  /// checkpoint's variant tag must match this model's composition
+  /// (kVariantMismatch names both combos otherwise); a corrupt file or
+  /// architecture mismatch also fails, and the model is left untouched.
+  ModelLoadStatus LoadFromTrainingCheckpoint(const std::string& path);
 
  private:
   friend class SarnModelTestPeer;
-
-  /// Early-stopping and epoch bookkeeping carried across checkpoints.
-  struct TrainerProgress {
-    int next_epoch = 0;
-    double best_loss = 1e18;
-    int epochs_since_best = 0;
-    std::vector<double> epoch_losses;
-  };
+  friend class ContrastiveTrainer;
 
   /// Momentum-branch parameters (target encoder + target head).
   std::vector<tensor::Tensor> TargetParameters() const;
 
-  /// Packs the complete training state into a checkpoint container.
-  nn::TrainingCheckpoint BuildCheckpoint(const tensor::Adam& optimizer,
-                                         const tensor::CosineAnnealingSchedule& schedule,
-                                         const Rng& rng,
-                                         const TrainerProgress& progress) const;
-
-  /// Restores the state captured by BuildCheckpoint. Atomic: every section
-  /// is parsed and validated into staging first, and the model/optimizer/
-  /// rng/queues are only mutated once everything checks out. Returns false
-  /// (logged) when the checkpoint does not match this model.
-  bool ApplyCheckpoint(const nn::TrainingCheckpoint& ckpt, tensor::Adam& optimizer,
-                       tensor::CosineAnnealingSchedule& schedule, Rng& rng,
-                       TrainerProgress& progress);
-
-  /// Full online forward: feature embedding -> GAT over `edges` -> [n, d].
-  tensor::Tensor OnlineEncode(const nn::EdgeList& edges) const;
+  /// Full online forward on one graph view: feature embedding (honouring the
+  /// view's attribute mask, if any) -> encoder -> [n, d].
+  tensor::Tensor OnlineEncode(const GraphView& view) const;
   /// Target branch forward (call under NoGradGuard), through the projection
   /// head: [n, d_z], L2-normalised.
-  tensor::Tensor TargetProject(const nn::EdgeList& edges) const;
+  tensor::Tensor TargetProject(const GraphView& view) const;
 
-  /// Two-level loss (Eqs. 15-17) over a minibatch. `z` is the online
-  /// projection rows of the batch (normalised, grad-tracked); `z_prime`
-  /// the matching momentum projections (detached, normalised).
+  /// Contrastive loss of one minibatch, delegated to the negative sampler.
+  /// `z` is the online projection rows of the batch (normalised,
+  /// grad-tracked); `z_prime` the matching momentum projections (detached,
+  /// normalised). Convenience for policies that never read z'_all.
   tensor::Tensor ComputeLoss(const tensor::Tensor& z, const tensor::Tensor& z_prime,
                              const std::vector<int64_t>& batch, Rng& rng) const;
 
   /// Everything the structure of one training step depends on, mirroring the
-  /// branch/shape logic of the forward pass and ComputeLoss: hyper-parameters
-  /// (plus the current LR), per-view edge counts, batch size, queue occupancy
-  /// (phi_max, non-empty cells, global-loss rows) and thread count. Pure
-  /// queries — never touches the RNG, the queues or the numerics.
+  /// branch/shape logic of the forward pass and the sampler's loss:
+  /// hyper-parameters and variant names (plus the current LR), per-view edge
+  /// counts, batch size, encoder- and sampler-specific structural state
+  /// (per-relation splits; phi_max, non-empty cells, global-loss rows) and
+  /// thread count. Pure queries — never touches the RNG or the numerics.
   plan::PlanKey MakeStepPlanKey(const GraphView& view1, const GraphView& view2,
                                 const std::vector<int64_t>& batch,
                                 float learning_rate) const;
 
   const roadnet::RoadNetwork* network_;
   SarnConfig config_;
+  VariantTag variant_tag_;
   roadnet::SegmentFeatures features_;
   std::vector<SpatialEdge> spatial_edges_;
   nn::EdgeList full_edges_;
+  /// The uncorrupted graph as a GraphView (edges = full_edges_, relations
+  /// split); what Embeddings()/EncodeForFineTune() encode over.
+  GraphView full_view_;
 
   std::unique_ptr<nn::FeatureEmbedding> feature_embedding_;
-  std::unique_ptr<nn::GatEncoder> online_encoder_;
+  std::unique_ptr<Encoder> online_encoder_;
   std::unique_ptr<nn::ProjectionHead> online_head_;
-  std::unique_ptr<nn::GatEncoder> target_encoder_;
+  std::unique_ptr<Encoder> target_encoder_;
   std::unique_ptr<nn::ProjectionHead> target_head_;
-  std::unique_ptr<NegativeQueueStore> queues_;
+  std::unique_ptr<Augmentation> augmentation_;
+  std::unique_ptr<NegativeSampler> sampler_;
 };
 
 }  // namespace sarn::core

@@ -67,6 +67,15 @@ inline uint64_t HashCombine(uint64_t h, uint64_t value) {
   return h;
 }
 
+/// Folds a string (e.g. a variant name: encoder / augmentation / negative
+/// sampler identity) into a config hash. Length is mixed in first so that
+/// concatenated names cannot alias ("ga"+"t" vs "g"+"at").
+inline uint64_t HashString(uint64_t h, std::string_view text) {
+  h = HashCombine(h, static_cast<uint64_t>(text.size()));
+  for (char c : text) h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  return h;
+}
+
 /// Everything the shape of one training step's op/allocation stream depends
 /// on. Values (parameters, RNG draws) are free to differ between steps with
 /// equal keys — only the *structure* must match, and for SARN it does: RNG

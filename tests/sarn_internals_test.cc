@@ -22,10 +22,16 @@ class SarnModelTestPeer {
     return model_->ComputeLoss(z, z_prime, batch, rng);
   }
 
-  NegativeQueueStore& queues() { return *model_->queues_; }
+  NegativeQueueStore& queues() {
+    NegativeQueueStore* store = model_->sampler_->queue_store();
+    EXPECT_NE(store, nullptr);
+    return *store;
+  }
 
   tensor::Tensor OnlineEncode(const nn::EdgeList& edges) {
-    return model_->OnlineEncode(edges);
+    GraphView view;
+    view.edges = edges;
+    return model_->OnlineEncode(view);
   }
 
  private:

@@ -4,6 +4,7 @@
 
 #include "core/sarn_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -325,6 +326,106 @@ TEST_F(SarnModelTest, ResumeRejectsCheckpointFromDifferentSeed) {
   TrainStats stats = model.Train(resume_options);
   EXPECT_EQ(stats.resumed_from_epoch, 0);
   EXPECT_EQ(stats.epochs_run, 3);
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
+}
+
+// A checkpoint written by one variant composition must never be adopted —
+// silently or otherwise — by a model composed of different registry pieces.
+TEST_F(SarnModelTest, ResumeRejectsCheckpointFromDifferentVariant) {
+  SetParallelThreads(1);
+  SarnConfig rfn_config = SmallConfig();
+  rfn_config.max_epochs = 3;
+  rfn_config.encoder = "rfn";
+  std::string dir = FreshDir("sarn_variant_mismatch_resume");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  options.max_epochs = 2;
+  {
+    SarnModel model(*network_, rfn_config);
+    model.Train(options);
+  }
+  SarnConfig gat_config = rfn_config;
+  gat_config.encoder = "gat";
+  SarnModel model(*network_, gat_config);
+  TrainOptions resume_options;
+  resume_options.checkpoint_dir = dir;
+  TrainStats stats = model.Train(resume_options);
+  EXPECT_EQ(stats.resumed_from_epoch, 0);  // Skipped, trained from scratch.
+  EXPECT_EQ(stats.epochs_run, 3);
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
+}
+
+// The typed export path: LoadFromTrainingCheckpoint must report
+// kVariantMismatch with a message naming BOTH compositions, and leave the
+// model untouched — never a silent shape mismatch.
+TEST_F(SarnModelTest, LoadFromTrainingCheckpointReportsVariantMismatch) {
+  SetParallelThreads(1);
+  SarnConfig rfn_config = SmallConfig();
+  rfn_config.max_epochs = 1;
+  rfn_config.encoder = "rfn";
+  rfn_config.negatives = "in-batch";
+  std::string dir = FreshDir("sarn_variant_mismatch_load");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  {
+    SarnModel model(*network_, rfn_config);
+    model.Train(options);
+  }
+  auto found = nn::ListCheckpoints(dir);
+  ASSERT_FALSE(found.empty());
+  const std::string path = found.front().second;
+
+  SarnConfig gat_config = rfn_config;
+  gat_config.encoder = "gat";
+  gat_config.negatives = "spatial";
+  SarnModel model(*network_, gat_config);
+  Tensor before = model.Embeddings();
+  ModelLoadStatus status = model.LoadFromTrainingCheckpoint(path);
+  EXPECT_EQ(status.error, ModelLoadError::kVariantMismatch);
+  EXPECT_NE(status.message.find("encoder=rfn"), std::string::npos) << status.message;
+  EXPECT_NE(status.message.find("encoder=gat"), std::string::npos) << status.message;
+  EXPECT_NE(status.message.find("negatives=in-batch"), std::string::npos)
+      << status.message;
+  Tensor after = model.Embeddings();
+  ASSERT_EQ(before.data(), after.data());  // Model untouched on failure.
+
+  // The matching composition restores cleanly from the same file.
+  SarnModel matching(*network_, rfn_config);
+  EXPECT_TRUE(matching.LoadFromTrainingCheckpoint(path).ok());
+  SetParallelThreads(0);
+  std::filesystem::remove_all(dir);
+}
+
+// Pre-plane checkpoints carry no variant section; they are accepted as the
+// default composition instead of being rejected.
+TEST_F(SarnModelTest, CheckpointWithoutVariantTagLoadsAsLegacy) {
+  SetParallelThreads(1);
+  SarnConfig config = SmallConfig();
+  config.max_epochs = 1;
+  std::string dir = FreshDir("sarn_variant_legacy");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  {
+    SarnModel model(*network_, config);
+    model.Train(options);
+  }
+  auto found = nn::ListCheckpoints(dir);
+  ASSERT_FALSE(found.empty());
+  const std::string path = found.front().second;
+  // Strip the variant section, simulating a checkpoint from before the
+  // pluggable plane existed.
+  nn::TrainingCheckpoint ckpt;
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &ckpt).ok());
+  ckpt.sections.erase(
+      std::remove_if(ckpt.sections.begin(), ckpt.sections.end(),
+                     [](const auto& s) { return s.first == kSectionVariant; }),
+      ckpt.sections.end());
+  ASSERT_TRUE(nn::SaveCheckpoint(path, ckpt).ok());
+
+  SarnModel model(*network_, config);
+  EXPECT_TRUE(model.LoadFromTrainingCheckpoint(path).ok());
   SetParallelThreads(0);
   std::filesystem::remove_all(dir);
 }

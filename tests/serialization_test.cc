@@ -303,5 +303,31 @@ TEST(SerializationTest, SarnModelCheckpointRoundTrip) {
   std::remove(path.c_str());
 }
 
+// The variant tag travels inside training checkpoints (section
+// "sarn/variant"); its serialization must round-trip and reject truncation
+// rather than half-read.
+TEST(SerializationTest, VariantTagRoundTrip) {
+  core::VariantTag tag;
+  tag.encoder = "rfn";
+  tag.augmentation = "third-law";
+  tag.negatives = "in-batch";
+  ByteWriter out;
+  core::WriteVariantTag(out, tag);
+  const std::string bytes = out.Take();
+
+  ByteReader in(bytes);
+  core::VariantTag restored;
+  ASSERT_TRUE(core::ReadVariantTag(in, &restored));
+  EXPECT_EQ(restored, tag);
+  EXPECT_EQ(core::VariantTagString(restored),
+            "encoder=rfn augmentation=third-law negatives=in-batch");
+
+  // ByteReader views its input; keep the truncated copy alive past the read.
+  const std::string half = bytes.substr(0, bytes.size() / 2);
+  ByteReader truncated(half);
+  core::VariantTag partial;
+  EXPECT_FALSE(core::ReadVariantTag(truncated, &partial));
+}
+
 }  // namespace
 }  // namespace sarn::nn

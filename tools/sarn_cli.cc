@@ -43,6 +43,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/sarn_model.h"
+#include "core/variant_registry.h"
 #include "geo/spatial_index.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -146,6 +147,69 @@ core::ModelLoadResult LoadSnapshotEmbeddings(const std::string& path) {
   return result;
 }
 
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+// The variant-plane flags (DESIGN.md §16), shared by `train` and
+// `snapshot save --checkpoint` (the latter must recompose the checkpoint's
+// variant to restore it). Names are validated against the registry so the
+// error message — like the --help text — always lists exactly the set this
+// binary registered.
+struct VariantArgs {
+  std::string encoder;
+  std::string augmentation;
+  std::string negatives;
+
+  FlagBindings& Bind(FlagBindings& b) {
+    const core::VariantRegistry& registry = core::VariantRegistry::Instance();
+    b.String("encoder", &encoder,
+             "graph encoder variant: " + JoinNames(registry.EncoderNames()) +
+                 " (default gat)")
+        .String("augmentation", &augmentation,
+                "graph-view augmentation variant: " +
+                    JoinNames(registry.AugmentationNames()) +
+                    " (default spatial-importance)")
+        .String("negatives", &negatives,
+                "negative-sampling/loss variant: " +
+                    JoinNames(registry.SamplerNames()) + " (default spatial)");
+    return b;
+  }
+
+  /// Writes the non-empty names into `config`; returns an error string for
+  /// unknown names, listing the registered set.
+  std::optional<std::string> Apply(core::SarnConfig& config) const {
+    const core::VariantRegistry& registry = core::VariantRegistry::Instance();
+    if (!encoder.empty()) {
+      if (!registry.HasEncoder(encoder)) {
+        return "unknown --encoder \"" + encoder +
+               "\" (registered: " + JoinNames(registry.EncoderNames()) + ")";
+      }
+      config.encoder = encoder;
+    }
+    if (!augmentation.empty()) {
+      if (!registry.HasAugmentation(augmentation)) {
+        return "unknown --augmentation \"" + augmentation +
+               "\" (registered: " + JoinNames(registry.AugmentationNames()) + ")";
+      }
+      config.augmentation = augmentation;
+    }
+    if (!negatives.empty()) {
+      if (!registry.HasSampler(negatives)) {
+        return "unknown --negatives \"" + negatives +
+               "\" (registered: " + JoinNames(registry.SamplerNames()) + ")";
+      }
+      config.negatives = negatives;
+    }
+    return std::nullopt;
+  }
+};
+
 // Each command owns one Args struct: the fields are the flag targets, and
 // Bindings() is the single place a flag's name, default and help live
 // (declared into the FlagSet and applied back by the registry harness).
@@ -210,6 +274,7 @@ struct TrainArgs {
   std::string weights;
   std::string embeddings;
   core::TrainOptions options;  // checkpoint-dir / -every / keep-last / stop-after.
+  VariantArgs variant;         // --encoder / --augmentation / --negatives.
   std::string metrics_file;
   std::string trace_file;
   std::string plan;  // "" defers to the SARN_PLAN environment variable.
@@ -218,7 +283,8 @@ struct TrainArgs {
     b.String("network", &network, "network CSV", /*required=*/true)
         .Int("epochs", &epochs, "training epochs")
         .Int("dim", &dim, "embedding dimension")
-        .Int("seed", &seed, "RNG seed")
+        .Int("seed", &seed, "RNG seed");
+    variant.Bind(b)
         .String("weights", &weights, "write model weights here")
         .String("embeddings", &embeddings, "write embeddings CSV here")
         .String("checkpoint-dir", &options.checkpoint_dir,
@@ -248,6 +314,7 @@ int CmdTrain(const TrainArgs& args) {
   config.hidden_dim = dim;
   config.projection_dim = std::max<int64_t>(8, dim / 2);
   config.seed = static_cast<uint64_t>(args.seed);
+  if (auto error = args.variant.Apply(config)) return Fail("train: " + *error);
   core::FitCellSideToNetwork(config, *network);
 
   core::TrainOptions options = args.options;
@@ -269,10 +336,11 @@ int CmdTrain(const TrainArgs& args) {
   const std::string& trace_file = args.trace_file;
   if (!trace_file.empty()) obs::Tracer::Instance().SetEnabled(true);
 
-  std::printf("training SARN on %lld segments (d=%lld, epochs=%d)...\n",
-              static_cast<long long>(network->num_segments()),
-              static_cast<long long>(dim), config.max_epochs);
   core::SarnModel model(*network, config);
+  std::printf("training SARN on %lld segments (d=%lld, epochs=%d, %s)...\n",
+              static_cast<long long>(network->num_segments()),
+              static_cast<long long>(dim), config.max_epochs,
+              core::VariantTagString(model.variant_tag()).c_str());
   core::TrainStats stats = model.Train(options);
   if (!trace_file.empty()) {
     std::vector<obs::TraceEvent> events = obs::Tracer::Instance().Drain();
@@ -467,6 +535,7 @@ struct SnapshotSaveArgs {
   std::string checkpoint;
   std::string network;
   int64_t dim = 64;
+  VariantArgs variant;  // Must match the checkpoint's variant tag.
   std::string metric = "cosine";
   std::string precision = "both";
   bool include_model = true;
@@ -478,7 +547,8 @@ struct SnapshotSaveArgs {
         .String("network", &network,
                 "network CSV; embeds the serve locator (required with "
                 "--checkpoint)")
-        .Int("dim", &dim, "embedding dimension (--checkpoint only)")
+        .Int("dim", &dim, "embedding dimension (--checkpoint only)");
+    variant.Bind(b)
         .String("metric", &metric, "similarity metric: cosine or l1")
         .String("precision", &precision, "index payloads: float32, int8 or both")
         .Bool("include-model", &include_model,
@@ -523,6 +593,9 @@ int CmdSnapshotSave(const SnapshotSaveArgs& args) {
     source.config.embedding_dim = args.dim;
     source.config.hidden_dim = args.dim;
     source.config.projection_dim = std::max<int64_t>(8, args.dim / 2);
+    if (auto error = args.variant.Apply(source.config)) {
+      return Fail("snapshot save: " + *error);
+    }
     core::FitCellSideToNetwork(source.config, *network);
   }
   core::ModelLoadResult loaded = core::SarnModel::Load(source);

@@ -41,7 +41,16 @@
 #      fusion identity) plus a CLI smoke proving `--plan replay` writes
 #      byte-identical embeddings to the dynamic tape; plan_test also rides
 #      the TSan and ASan rebuilds so a race in the wavefront executor or a
-#      leaked arena slot fails verification.
+#      leaked arena slot fails verification;
+#  10. the pluggable encoder/augmentation plane (ctest -L encoder: variant
+#      registry round-trip, pre-refactor golden-trace bitwise pin, PlanKey
+#      variant identity, checkpoint variant-tag compat) plus CLI smokes:
+#      2-epoch training runs of the RFN encoder and the Third-Law
+#      augmentation, and a `--plan replay` vs dynamic-tape byte-identity
+#      check on the non-default RFN variant; encoder_plane_test also rides
+#      the TSan and ASan rebuilds so a race or leak in a variant factory,
+#      the RFN relational kernels or the trainer's sampler staging fails
+#      verification.
 #
 # Usage: tools/verify.sh [--tsan-only|--no-tsan|--no-asan]
 set -euo pipefail
@@ -81,6 +90,24 @@ if [[ "$mode" != "--tsan-only" ]]; then
     echo "verify: --plan replay embeddings differ from the dynamic tape" >&2
     exit 1
   fi
+  # Encoder/augmentation plane suite: registry round-trip, golden-trace pin,
+  # PlanKey variant identity, checkpoint variant tags.
+  (cd build && ctest --output-on-failure -L encoder)
+  # Variant smokes: the non-default encoder (RFN) and augmentation
+  # (Third-Law) must train end to end through the CLI, and plan replay must
+  # stay byte-identical to the dynamic tape on a non-default variant too.
+  variant_dir="build/verify_encoder"
+  rm -rf "$variant_dir" && mkdir -p "$variant_dir"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --encoder rfn --plan off --embeddings "$variant_dir/emb_rfn_dynamic.csv"
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --encoder rfn --plan replay --embeddings "$variant_dir/emb_rfn_replay.csv"
+  if ! cmp -s "$variant_dir/emb_rfn_dynamic.csv" "$variant_dir/emb_rfn_replay.csv"; then
+    echo "verify: --plan replay embeddings differ from the dynamic tape (rfn)" >&2
+    exit 1
+  fi
+  build/tools/sarn train --network "$obs_dir/net.csv" --epochs 2 --dim 16 \
+    --augmentation third-law --embeddings "$variant_dir/emb_third_law.csv"
   # Query-serving suite: batch/sequential bitwise equivalence, cache + epoch
   # hot-swap semantics, protocol fuzz cases, flag registry.
   (cd build && ctest --output-on-failure -L serve)
@@ -190,9 +217,9 @@ if [[ "$mode" != "--no-tsan" && "$mode" != "--no-asan" ]]; then
              sarn_model_test obs_metrics_test obs_trace_test \
              obs_request_trace_test serve_engine_test \
              storage_pool_test simd_kernels_test quantized_index_test \
-             snapshot_roundtrip_test plan_test
+             snapshot_roundtrip_test plan_test encoder_plane_test
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|obs_request_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test|plan_test)$')
+    -R '^(parallel_test|ops_test|nn_gat_test|serialization_test|sarn_model_test|obs_metrics_test|obs_trace_test|obs_request_trace_test|serve_engine_test|storage_pool_test|simd_kernels_test|quantized_index_test|snapshot_roundtrip_test|plan_test|encoder_plane_test)$')
 fi
 
 if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
@@ -202,9 +229,9 @@ if [[ "$mode" != "--tsan-only" && "$mode" != "--no-asan" ]]; then
   cmake --build build-asan -j"$jobs" \
     --target storage_pool_test tensor_test simd_kernels_test \
              quantized_index_test snapshot_corruption_test \
-             snapshot_roundtrip_test plan_test sarn_cli
+             snapshot_roundtrip_test plan_test encoder_plane_test sarn_cli
   (cd build-asan && ctest --output-on-failure \
-    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test|snapshot_corruption_test|snapshot_roundtrip_test|plan_test)$')
+    -R '^(storage_pool_test|tensor_test|simd_kernels_test|quantized_index_test|snapshot_corruption_test|snapshot_roundtrip_test|plan_test|encoder_plane_test)$')
   asan_dir="build-asan/verify_leak"
   rm -rf "$asan_dir" && mkdir -p "$asan_dir"
   build-asan/tools/sarn generate --city CD --scale 0.015 --out "$asan_dir/net.csv"
